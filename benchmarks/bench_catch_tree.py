@@ -1,0 +1,57 @@
+"""Figure 22: the Catch Tree, verified exhaustively.
+
+Experiment F22: Theorem 20's termination argument reduces never-ending
+executions to infinite paths in the catch-event successor graph; Claims
+4-5 delete six geometrically impossible edges and the remaining graph must
+contain no cycles other than the bounded same-catcher loops (the dashed
+2-cycles in Figure 22, excluded by ET fairness).
+"""
+
+from conftest import record, report
+
+from repro.analysis.catch_tree import CatchTree, FORBIDDEN_SEQUENCES
+
+
+def test_f22_catch_tree_has_only_bounded_loops(benchmark):
+    def workload():
+        tree = CatchTree()
+        cycles = tree.simple_cycles()
+        unbounded = tree.unbounded_cycles()
+        return tree, cycles, unbounded
+
+    tree, cycles, unbounded = benchmark(workload)
+    report("Figure 22: catch-event graph structure",
+           [("events", 12, len(tree.events)),
+            ("successor edges after Claim 5", 24 - 6, len(tree.edges)),
+            ("forbidden pairs (Claim 5)", 6, len(FORBIDDEN_SEQUENCES)),
+            ("cycles", "only bounded 2-loops", len(cycles)),
+            ("unbounded cycles", 0, len(unbounded))],
+           ("quantity", "paper", "measured"))
+    assert len(tree.events) == 12
+    assert len(tree.edges) == 18
+    assert unbounded == []
+    assert all(tree.is_bounded_loop(c) for c in cycles)
+    record(benchmark, cycles=len(cycles), unbounded=len(unbounded))
+
+
+def test_f22_paths_from_roots_cannot_run_free(benchmark):
+    """Every depth-6 successor path from Lab/Lac revisits an event."""
+
+    def workload():
+        tree = CatchTree()
+        longest_fresh = 0
+        total = 0
+        for root in ("Lab", "Lac"):
+            for path in tree.paths_from(root, 6):
+                total += 1
+                fresh = len(set(path))
+                longest_fresh = max(longest_fresh, fresh)
+                assert fresh < len(path)
+        return total, longest_fresh
+
+    total, longest_fresh = benchmark(workload)
+    report("Figure 22: exhaustive path check",
+           [("depth-6 paths from Lab/Lac", "-", total),
+            ("longest repetition-free prefix", "< 7", longest_fresh)],
+           ("quantity", "paper", "measured"))
+    record(benchmark, paths=total, longest_fresh=longest_fresh)

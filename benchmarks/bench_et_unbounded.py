@@ -1,0 +1,80 @@
+"""Theorem 20's closing remark + empirical Figure 22.
+
+Experiment ET-UB: "the number of moves performed by the agents before
+termination is finite but possibly unbounded" — the ping-pong forcing
+adversary holds the paper's two-walls-one-bouncer configuration for an
+arbitrary number of rounds (the ET fairness condition is only violated
+finitely), and termination follows promptly once it stands down.  The
+catch events recorded along the way obey the successor rule underlying
+the Catch Tree (Figure 22), measured on live executions rather than
+symbolically.
+"""
+
+from conftest import record, report
+
+from repro.adversary import ETPingPongAdversary
+from repro.algorithms.ssync import ETExactSizeNoChirality
+from repro.analysis.catch_log import log_catches, successor_violations
+from repro.api import build_engine
+from repro.core import TransportModel
+
+N = 11
+
+
+def _engine(release_round):
+    adversary = ETPingPongAdversary(release_round=release_round)
+    cfg = adversary.configuration(N)
+    return build_engine(
+        ETExactSizeNoChirality(ring_size=N),
+        ring_size=N,
+        positions=cfg["positions"],
+        orientations=cfg["orientations"],
+        adversary=adversary,
+        scheduler=adversary,
+        transport=TransportModel.ET,
+    )
+
+
+def test_et_unbounded_delay_then_prompt_termination(benchmark):
+    releases = (100, 400, 1600)
+
+    def workload():
+        out = {}
+        for release in releases:
+            engine = _engine(release)
+            result = engine.run(release + 300)
+            out[release] = (result.total_moves, result.last_termination_round,
+                            result.explored)
+        return out
+
+    data = benchmark(workload)
+    rows = []
+    for release in releases:
+        moves, terminated, explored = data[release]
+        rows.append((release, "unbounded, then prompt", moves, terminated))
+        assert explored
+        assert terminated is not None
+        assert terminated <= release + 60  # prompt once released
+        assert moves >= release // 2  # the forcing really extracted work
+    report("Theorem 20 remark: ET cost is finite but unbounded", rows,
+           ("forcing rounds", "paper", "moves", "terminated at"))
+    # longer forcing => strictly more moves: no a-priori bound exists
+    assert data[100][0] < data[400][0] < data[1600][0]
+    record(benchmark, moves={r: data[r][0] for r in releases})
+
+
+def test_f22_empirical_catch_stream(benchmark):
+    def workload():
+        engine = _engine(800)
+        records = log_catches(engine, 1_000)
+        return records, successor_violations(records)
+
+    records, violations = benchmark(workload)
+    report("Figure 22 (empirical): catch stream of a forced ET run",
+           [("catch events observed", "-", len(records)),
+            ("successor-rule violations", 0, len(violations)),
+            ("direction alternation", "strict", "yes" if not violations else "no")],
+           ("quantity", "paper", "measured"))
+    assert len(records) >= 50
+    assert violations == []
+    record(benchmark, catches=len(records), violations=len(violations))

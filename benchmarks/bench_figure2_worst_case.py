@@ -1,0 +1,70 @@
+"""Figure 2: the schedule that stretches KnownNNoChirality to 3n - 6.
+
+Experiment F2: the adversary pins agent ``a`` for ``n - 3`` rounds, then
+pins ``b`` while ``a`` walks over, catches it at round ``2n - 5``, bounces
+and closes the last node the long way round at round ``3n - 6`` — the
+algorithm's exact worst case, which also shows Theorem 3's analysis tight
+for ``N = n``.
+"""
+
+from conftest import record, report
+
+from repro.adversary import Figure2Schedule
+from repro.algorithms.fsync import KnownUpperBound
+from repro.api import run_exploration
+from repro.theory.bounds import fsync_known_bound_time, fsync_lower_bound_two_agents
+
+
+def test_f2_schedule_costs_exactly_3n_minus_6(benchmark):
+    sizes = (6, 8, 12, 16, 24, 32, 48)
+
+    def workload():
+        measured = {}
+        for n in sizes:
+            cfg = Figure2Schedule(anchor=0).configuration(n)
+            result = run_exploration(
+                KnownUpperBound(bound=n), ring_size=n,
+                max_rounds=fsync_known_bound_time(n) + 5, **cfg,
+            )
+            measured[n] = (result.exploration_round, result.last_termination_round)
+        return measured
+
+    measured = benchmark(workload)
+    rows = []
+    for n in sizes:
+        explored, terminated = measured[n]
+        rows.append((n, 3 * n - 6, explored, terminated,
+                     fsync_lower_bound_two_agents(n)))
+        assert explored == 3 * n - 6
+        assert terminated == 3 * n - 6
+    report("Figure 2: worst-case schedule", rows,
+           ("n", "paper 3n-6", "measured exploration", "measured termination",
+            "Obs.3 lower bound 2n-3"))
+    record(benchmark, claim="exploration takes exactly 3n-6 rounds",
+           measured={n: measured[n][0] for n in sizes})
+
+
+def test_f2_benign_runs_are_faster(benchmark):
+    """Contrast: without the adversary the same algorithm is far quicker."""
+    from repro.adversary import NoRemoval
+
+    sizes = (8, 16, 32)
+
+    def workload():
+        out = {}
+        for n in sizes:
+            result = run_exploration(
+                KnownUpperBound(bound=n), ring_size=n, positions=[0, n // 2],
+                adversary=NoRemoval(), max_rounds=fsync_known_bound_time(n) + 5,
+                stop_on_exploration=False,
+            )
+            out[n] = result.exploration_round
+        return out
+
+    explored = benchmark(workload)
+    rows = [(n, 3 * n - 6, explored[n]) for n in sizes]
+    report("Figure 2 contrast: static ring exploration time", rows,
+           ("n", "worst case", "benign measured"))
+    for n in sizes:
+        assert explored[n] < 3 * n - 6
+    record(benchmark, benign_exploration=explored)

@@ -1,0 +1,89 @@
+"""Figures 9-11 and Lemma 3: the symmetry-breaking machinery.
+
+Experiments F9/F10 (ID assignment examples, reproduced bit-exactly), F11
+(the direction table for ID = 1), and L3 (the common-direction-window
+guarantee measured over many ID pairs).
+"""
+
+import itertools
+
+from conftest import record, report
+
+from repro.algorithms.fsync.ids import (
+    DirectionSchedule,
+    common_direction_window,
+    id_bit_length,
+    interleave_id,
+    lemma3_bound,
+)
+from repro.core.directions import RIGHT
+
+
+def test_f9_f10_id_examples(benchmark):
+    cases = {
+        "Fig 9 agent a": ((2, 2, 0), 48),
+        "Fig 9 agent b": ((3, 4, 0), 164),
+        "Fig 10 agent a": ((2, 1, 2), 42),
+        "Fig 10 agent b": ((6, 2, 0), 304),
+    }
+
+    def workload():
+        return {label: interleave_id(*ks) for label, (ks, _) in cases.items()}
+
+    measured = benchmark(workload)
+    rows = [
+        (label, expected, measured[label])
+        for label, (_, expected) in cases.items()
+    ]
+    report("Figures 9/10: ID assignment examples", rows,
+           ("example", "paper", "measured"))
+    for label, (_, expected) in cases.items():
+        assert measured[label] == expected
+    record(benchmark, ids=measured)
+
+
+def test_f11_direction_table(benchmark):
+    """Rounds 1..15 of ID=1: 000 1010 11001100 (0=left, 1=right)."""
+
+    def workload():
+        schedule = DirectionSchedule(1)
+        return "".join(
+            "1" if schedule.direction(r) is RIGHT else "0" for r in range(1, 16)
+        )
+
+    bits = benchmark(workload)
+    report("Figure 11: direction schedule of ID=1",
+           [("rounds 1-15", "000101011001100", bits)],
+           ("series", "paper", "measured"))
+    assert bits == "000101011001100"
+    record(benchmark, bits=bits)
+
+
+def test_l3_common_direction_window(benchmark):
+    """Every distinct ID pair shares a c*n window within Lemma 3's bound."""
+    c, n = 1, 8
+    ids = [0, 1, 2, 5, 7, 12, 42, 48, 100, 164, 304]
+
+    def workload():
+        worst = None
+        checked = 0
+        for id_a, id_b in itertools.combinations(ids, 2):
+            horizon = lemma3_bound(
+                max(id_bit_length(id_a), id_bit_length(id_b)), c, n
+            )
+            _, length = common_direction_window(
+                DirectionSchedule(id_a), DirectionSchedule(id_b), horizon
+            )
+            checked += 1
+            if worst is None or length < worst[2]:
+                worst = (id_a, id_b, length)
+        return checked, worst
+
+    checked, worst = benchmark(workload)
+    report("Lemma 3: common-direction windows",
+           [("pairs checked", "-", checked),
+            ("required window", f">= c*n = {c * n}", f"worst {worst[2]} "
+             f"(IDs {worst[0]} vs {worst[1]})")],
+           ("quantity", "paper", "measured"))
+    assert worst[2] >= c * n
+    record(benchmark, pairs=checked, worst_window=worst[2])

@@ -1,0 +1,80 @@
+"""Open problem (paper §5): live exploration beyond rings, measured.
+
+Experiment OP: "a challenging [open problem] is the study of live
+exploration in a network of arbitrary topology ... meshes, tori,
+hypercubes".  No non-trivial algorithm is known; this bench measures the
+two baselines any future algorithm must beat — the seeded random walk
+(the classical dynamic-graph answer, [4]) and the rotor-router (with an
+explicitly documented node-identity strengthening) — on static and
+1-interval-connected dynamic versions of the paper's suggested topologies.
+"""
+
+import statistics
+
+from conftest import record, report
+
+from repro.extensions import (
+    ConnectivityPreservingAdversary,
+    DynamicGraphEngine,
+    RandomWalkExplorer,
+    RotorRouterExplorer,
+    StaticGraphAdversary,
+    hypercube,
+    ring_graph,
+    torus,
+)
+from repro.extensions.explorers import attach_node_oracle
+
+TOPOLOGIES = {
+    "ring16": ring_graph(16),
+    "torus4x4": torus(4, 4),
+    "hypercube4": hypercube(4),
+}
+SEEDS = range(6)
+HORIZON = 200_000
+
+
+def explore(graph, explorer_factory, *, dynamic, seed, rotor=False):
+    adversary = (
+        ConnectivityPreservingAdversary(budget=1, seed=seed)
+        if dynamic
+        else StaticGraphAdversary()
+    )
+    engine = DynamicGraphEngine(graph, explorer_factory(seed), [0], adversary=adversary)
+    if rotor:
+        attach_node_oracle(engine)
+    result = engine.run(HORIZON)
+    assert result.explored
+    return result.exploration_round
+
+
+def test_op_baselines_on_paper_topologies(benchmark):
+    def workload():
+        data = {}
+        for label, graph in TOPOLOGIES.items():
+            for dynamic in (False, True):
+                walk = statistics.fmean(
+                    explore(graph, lambda s: RandomWalkExplorer(seed=s),
+                            dynamic=dynamic, seed=seed)
+                    for seed in SEEDS
+                )
+                rotor = statistics.fmean(
+                    explore(graph, lambda s: RotorRouterExplorer(),
+                            dynamic=dynamic, seed=seed, rotor=True)
+                    for seed in SEEDS
+                )
+                data[(label, dynamic)] = (walk, rotor)
+        return data
+
+    data = benchmark(workload)
+    rows = []
+    for (label, dynamic), (walk, rotor) in sorted(data.items()):
+        rows.append((label, "dynamic" if dynamic else "static",
+                     f"{walk:.0f}", f"{rotor:.0f}"))
+    report("Open problem: baseline exploration on tori/hypercubes", rows,
+           ("topology", "dynamism", "random walk (mean rounds)",
+            "rotor-router (mean rounds)"))
+    # sanity: dynamism can only slow a single explorer down on a ring
+    assert data[("ring16", True)][0] >= data[("ring16", False)][0] * 0.5
+    record(benchmark, results={f"{k[0]}/{'dyn' if k[1] else 'static'}": v
+                               for k, v in data.items()})

@@ -1,0 +1,95 @@
+"""Table 1 (FSYNC impossibility results), demonstrated.
+
+Experiments T1.1-T1.2.  Impossibility theorems quantify over all
+algorithms; these benches demonstrate the paper's constructions against
+representative concrete protocols (see DESIGN.md, "What reproduction
+means"):
+
+* Theorem 1/2 — any fixed termination budget is defeated by a larger ring
+  (the scaling construction), and the budget-free algorithms of this
+  library never terminate, consistently with the theorems;
+* Observation 1/Corollary 1 — a single agent is pinned forever;
+* Observation 2 — two agents never observe each other.
+"""
+
+from conftest import record, report
+
+from repro.adversary import BlockAgentAdversary, MeetingPreventionAdversary
+from repro.algorithms import GuessAndTerminate, UnconsciousExploration
+from repro.api import run_exploration
+from repro.core import TerminationMode
+
+
+def test_t1_theorem1_scaling_defeats_any_budget(benchmark):
+    """T1.1: for every budget, a ring exists where the guess fails."""
+    budgets = (10, 20, 40, 80)
+
+    def workload():
+        outcomes = {}
+        for budget in budgets:
+            small = run_exploration(
+                GuessAndTerminate(budget=budget), ring_size=max(3, budget // 4),
+                positions=[0, 1], max_rounds=budget + 10,
+            )
+            large = run_exploration(
+                GuessAndTerminate(budget=budget), ring_size=budget + 4,
+                positions=[0, 1], max_rounds=budget + 10,
+            )
+            outcomes[budget] = (small.termination_mode(), large.termination_mode())
+        return outcomes
+
+    outcomes = benchmark(workload)
+    rows = []
+    for budget, (small, large) in outcomes.items():
+        rows.append((budget, small.value, large.value))
+        assert large is TerminationMode.INCORRECT
+    report("Table 1 (Theorem 1): guess-and-terminate vs ring size",
+           rows, ("budget", "small ring", "ring of size budget+4"))
+    record(benchmark, claim="partial termination impossible without knowledge",
+           defeated_budgets=list(outcomes))
+
+
+def test_t1_observation1_single_agent(benchmark):
+    """Corollary 1: one agent, pinned forever by Observation 1's adversary."""
+
+    def workload():
+        return run_exploration(
+            UnconsciousExploration(), ring_size=12, positions=[5],
+            adversary=BlockAgentAdversary(0), max_rounds=2_000,
+        )
+
+    result = benchmark(workload)
+    report("Observation 1 / Corollary 1",
+           [("moves", 0, result.total_moves),
+            ("visited", 1, len(result.visited))],
+           ("quantity", "paper", "measured"))
+    assert result.total_moves == 0
+    assert len(result.visited) == 1
+    record(benchmark, moves=result.total_moves, visited=len(result.visited))
+
+
+def test_t1_observation2_no_meetings(benchmark):
+    """Observation 2: the agents never share a node over a long horizon."""
+
+    def workload():
+        from repro.api import build_engine
+
+        engine = build_engine(
+            UnconsciousExploration(), ring_size=11, positions=[0, 5],
+            adversary=MeetingPreventionAdversary(),
+        )
+        co_located = 0
+        for _ in range(3_000):
+            engine.step()
+            if engine.agents[0].node == engine.agents[1].node:
+                co_located += 1
+        return co_located, engine.exploration_complete
+
+    co_located, explored = benchmark(workload)
+    report("Observation 2: meeting prevention over 3000 rounds",
+           [("co-located rounds", 0, co_located),
+            ("ring explored anyway", "yes (Th. 5)", explored)],
+           ("quantity", "paper", "measured"))
+    assert co_located == 0
+    assert explored
+    record(benchmark, co_located_rounds=co_located, explored=explored)

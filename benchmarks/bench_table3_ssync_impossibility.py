@@ -1,0 +1,160 @@
+"""Table 3 (SSYNC impossibility results), demonstrated.
+
+Experiments T3.1-T3.4 — the paper's adversary constructions run against
+this library's algorithms (demonstrations, not proofs; see DESIGN.md):
+
+* Theorem 9 — NS starvation: zero moves, forever, for every algorithm;
+* Theorem 10 — PT, two agents, no chirality: stranded on four nodes;
+* Theorem 11 — PT explicit termination of both agents impossible: under a
+  perpetual block exactly one agent ever terminates;
+* Theorem 19 — ET with a bound instead of exact n: incorrect termination
+  via the two-ring indistinguishability schedule.
+"""
+
+from conftest import record, report
+
+from repro.adversary import (
+    FixedMissingEdge,
+    NSStarvationAdversary,
+    Theorem19Adversary,
+    theorem10_configuration,
+)
+from repro.algorithms.ssync import (
+    ETExactSizeNoChirality,
+    PTBoundNoChirality,
+    PTBoundWithChirality,
+    PTLandmarkWithChirality,
+)
+from repro.api import build_engine, run_exploration
+from repro.core import TerminationMode, TransportModel
+from repro.schedulers import RandomFairScheduler
+
+N = 10
+HORIZON = 3_000
+
+
+def test_t3_1_theorem9_ns_starvation(benchmark):
+    algorithms = {
+        "PTBoundWithChirality(2)": (lambda: PTBoundWithChirality(bound=N), 2, ()),
+        "PTBoundNoChirality(3)": (lambda: PTBoundNoChirality(bound=N), 3, (1,)),
+        "ETExactSize(3)": (lambda: ETExactSizeNoChirality(ring_size=N), 3, (2,)),
+    }
+
+    def workload():
+        moves = {}
+        for label, (factory, agents, flip) in algorithms.items():
+            adversary = NSStarvationAdversary()
+            engine = build_engine(
+                factory(),
+                ring_size=N,
+                positions=[0, 4, 7][:agents],
+                chirality=not flip,
+                flipped=flip,
+                adversary=adversary,
+                scheduler=adversary,
+                transport=TransportModel.NS,
+            )
+            result = engine.run(HORIZON)
+            moves[label] = (result.total_moves, len(result.visited))
+        return moves
+
+    moves = benchmark(workload)
+    rows = [(label, "0 moves ever", f"{m} moves, {v}/{N} nodes")
+            for label, (m, v) in moves.items()]
+    report("Table 3 row 1 (Theorem 9): NS starvation", rows,
+           ("algorithm", "paper", f"measured over {HORIZON} rounds"))
+    for m, _ in moves.values():
+        assert m == 0
+    record(benchmark, claim="exploration impossible in NS", moves=moves)
+
+
+def test_t3_2_theorem10_pt_no_chirality(benchmark):
+    def workload():
+        cfg = theorem10_configuration(N)
+        stranded = run_exploration(
+            PTBoundWithChirality(bound=N), ring_size=N,
+            transport=TransportModel.PT, max_rounds=HORIZON, **cfg,
+        )
+        # Control: identical adversary and starts, but shared orientation.
+        control = run_exploration(
+            PTBoundWithChirality(bound=N), ring_size=N,
+            positions=cfg["positions"], adversary=cfg["adversary"],
+            transport=TransportModel.PT, max_rounds=30_000,
+        )
+        return stranded, control
+
+    stranded, control = benchmark(workload)
+    report("Table 3 row 2 (Theorem 10): PT, 2 agents, no chirality",
+           [("mirrored orientations", "stranded", f"{len(stranded.visited)}/{N} nodes"),
+            ("chirality (control)", "explores", f"{len(control.visited)}/{N} nodes")],
+           ("setting", "paper", "measured"))
+    assert not stranded.explored and len(stranded.visited) == 4
+    assert control.explored
+    record(benchmark, stranded_nodes=len(stranded.visited),
+           control_explored=control.explored)
+
+
+def test_t3_3_theorem11_no_full_termination(benchmark):
+    def workload():
+        outcomes = []
+        for seed in range(5):
+            result = run_exploration(
+                PTBoundWithChirality(bound=N), ring_size=N, positions=[3, 4],
+                adversary=FixedMissingEdge(8),
+                scheduler=RandomFairScheduler(seed=seed),
+                transport=TransportModel.PT, max_rounds=10_000,
+            )
+            outcomes.append(result)
+        return outcomes
+
+    outcomes = benchmark(workload)
+    modes = [r.termination_mode() for r in outcomes]
+    report("Table 3 row 3 (Theorem 11): perpetual block, PT",
+           [(i, "partial only", m.value) for i, m in enumerate(modes)],
+           ("seed", "paper", "measured"))
+    assert all(m is TerminationMode.PARTIAL for m in modes)
+    for result in outcomes:
+        waiter = next(a for a in result.agents if not a.terminated)
+        assert waiter.waiting_on_port
+    record(benchmark, claim="explicit termination of both impossible",
+           modes=[m.value for m in modes])
+
+
+def test_t3_4_theorem19_et_needs_exact_n(benchmark):
+    n_small, n_big = 7, 11
+
+    def workload():
+        adversary = Theorem19Adversary(small_size=n_small)
+        engine = build_engine(
+            ETExactSizeNoChirality(ring_size=n_small), ring_size=n_big,
+            positions=[0, 2, 4], chirality=False, flipped=(1,),
+            adversary=adversary, scheduler=adversary,
+            transport=TransportModel.ET,
+        )
+        big = engine.run(30_000)
+        # Control: the true small ring with its single missing edge.
+        from repro.schedulers import ETFairScheduler
+
+        control_engine = build_engine(
+            ETExactSizeNoChirality(ring_size=n_small), ring_size=n_small,
+            positions=[0, 2, 4], chirality=False, flipped=(1,),
+            adversary=FixedMissingEdge(n_small - 1),
+            scheduler=ETFairScheduler(RandomFairScheduler(seed=2)),
+            transport=TransportModel.ET,
+        )
+        control = control_engine.run(30_000)
+        return big, control
+
+    big, control = benchmark(workload)
+    report("Table 3 row 4 (Theorem 19): exact n is necessary in ET",
+           [(f"believes n={n_small}, ring is {n_big}", "incorrect termination",
+             big.termination_mode().value),
+            (f"true ring n={n_small} (control)", "correct partial",
+             control.termination_mode().value)],
+           ("setting", "paper", "measured"))
+    assert big.termination_mode() is TerminationMode.INCORRECT
+    assert control.termination_mode() in (
+        TerminationMode.PARTIAL, TerminationMode.EXPLICIT
+    )
+    record(benchmark, big_ring=big.termination_mode().value,
+           control=control.termination_mode().value)

@@ -1,0 +1,23 @@
+"""Shared benchmark helpers: paper-vs-measured reporting."""
+
+from __future__ import annotations
+
+
+def record(benchmark, **info) -> None:
+    """Attach paper-vs-measured fields to the benchmark JSON/report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+def report(title: str, rows: list[tuple], header: tuple) -> None:
+    """Print an aligned paper-vs-measured table (shown with ``-s``/on failure)."""
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title}")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""The paper's feasibility map (Tables 1-4), printed and then *executed*.
+
+For every POSSIBLE row the named algorithm is run in its stated setting
+(model, agent count, knowledge) and the achieved termination mode is shown
+next to the claim; for the IMPOSSIBLE rows the matching adversary
+construction is demonstrated.
+
+Usage::
+
+    python examples/feasibility_atlas.py
+"""
+
+from repro import TransportModel, build_engine, run_exploration
+from repro.adversary import (
+    NSStarvationAdversary,
+    RandomMissingEdge,
+    theorem10_configuration,
+)
+from repro.algorithms import (
+    ETExactSizeNoChirality,
+    ETUnconscious,
+    GuessAndTerminate,
+    KnownUpperBound,
+    LandmarkNoChirality,
+    LandmarkWithChirality,
+    PTBoundNoChirality,
+    PTBoundWithChirality,
+    PTLandmarkNoChirality,
+    PTLandmarkWithChirality,
+    UnconsciousExploration,
+)
+from repro.schedulers import ETFairScheduler, FsyncScheduler, RandomFairScheduler
+from repro.theory import (
+    Knowledge,
+    Model,
+    ResultKind,
+    TABLE_ROWS,
+    Termination,
+    no_chirality_timeout,
+)
+
+N = 8
+
+FACTORIES = {
+    "KnownUpperBound": lambda: KnownUpperBound(bound=N),
+    "UnconsciousExploration": UnconsciousExploration,
+    "LandmarkWithChirality": LandmarkWithChirality,
+    "LandmarkNoChirality": LandmarkNoChirality,
+    "PTBoundWithChirality": lambda: PTBoundWithChirality(bound=N),
+    "PTLandmarkWithChirality": PTLandmarkWithChirality,
+    "PTBoundNoChirality": lambda: PTBoundNoChirality(bound=N),
+    "PTLandmarkNoChirality": PTLandmarkNoChirality,
+    "ETUnconscious": ETUnconscious,
+    "ETExactSizeNoChirality": lambda: ETExactSizeNoChirality(ring_size=N),
+}
+
+
+def run_possible_row(row):
+    landmark = 0 if Knowledge.LANDMARK in row.assumptions else None
+    chirality = Knowledge.CHIRALITY in row.assumptions
+    agents = int(row.agents)
+    if row.model is Model.FSYNC:
+        scheduler, transport = FsyncScheduler(), TransportModel.NS
+    elif row.model is Model.SSYNC_PT:
+        scheduler, transport = RandomFairScheduler(seed=3), TransportModel.PT
+    else:
+        scheduler = ETFairScheduler(RandomFairScheduler(seed=3))
+        transport = TransportModel.ET
+    engine = build_engine(
+        FACTORIES[row.algorithm](),
+        ring_size=N,
+        positions=[1, 4, 6][:agents],
+        landmark=landmark,
+        chirality=chirality,
+        flipped=() if chirality else (1,),
+        adversary=RandomMissingEdge(seed=5),
+        scheduler=scheduler,
+        transport=transport,
+    )
+    return engine.run(
+        no_chirality_timeout(N) + 10,
+        stop_on_exploration=row.termination is Termination.UNCONSCIOUS,
+    )
+
+
+def demonstrate_impossible_row(row):
+    if row.theorem.startswith("Theorem 1") and row.table == 1:
+        # Theorems 1/2: a terminating guess fails on a larger ring.
+        result = run_exploration(
+            GuessAndTerminate(budget=20), ring_size=24, positions=[0, 2],
+            max_rounds=200,
+        )
+        return f"strawman terminated unexplored -> {result.termination_mode().value}"
+    if row.model is Model.SSYNC_NS:
+        adversary = NSStarvationAdversary()
+        engine = build_engine(
+            PTBoundNoChirality(bound=N), ring_size=N, positions=[1, 4, 6],
+            chirality=False, flipped=(1,),
+            adversary=adversary, scheduler=adversary, transport=TransportModel.NS,
+        )
+        result = engine.run(1000)
+        return f"starvation adversary: {result.total_moves} moves in 1000 rounds"
+    if row.theorem.startswith("Theorem 10"):
+        cfg = theorem10_configuration(N)
+        result = run_exploration(
+            PTBoundWithChirality(bound=N), ring_size=N,
+            transport=TransportModel.PT, max_rounds=1500, **cfg,
+        )
+        return f"two mirrored agents stranded on {len(result.visited)}/{N} nodes"
+    if row.theorem.startswith("Theorem 11"):
+        from repro.adversary import FixedMissingEdge
+
+        result = run_exploration(
+            PTBoundWithChirality(bound=N), ring_size=N, positions=[3, 4],
+            adversary=FixedMissingEdge(6), scheduler=RandomFairScheduler(seed=1),
+            transport=TransportModel.PT, max_rounds=5000,
+        )
+        return f"perpetual block -> {result.termination_mode().value} termination only"
+    if row.theorem.startswith("Theorem 19"):
+        from repro.adversary import Theorem19Adversary
+
+        adversary = Theorem19Adversary(small_size=6)
+        engine = build_engine(
+            ETExactSizeNoChirality(ring_size=6), ring_size=9,
+            positions=[0, 2, 4], chirality=False, flipped=(1,),
+            adversary=adversary, scheduler=adversary, transport=TransportModel.ET,
+        )
+        result = engine.run(20_000)
+        return f"bound-only belief on a bigger ring -> {result.termination_mode().value}"
+    return "demonstrated elsewhere"
+
+
+def main() -> None:
+    print(f"Feasibility map of 'Live Exploration of Dynamic Rings', executed at n = {N}\n")
+    current_table = None
+    for row in TABLE_ROWS:
+        if row.table != current_table:
+            current_table = row.table
+            print(f"--- Table {current_table} " + "-" * 50)
+        print(f"  claim : {row.describe()}")
+        if row.kind is ResultKind.POSSIBLE:
+            result = run_possible_row(row)
+            print(
+                f"  run   : mode={result.termination_mode().value}, "
+                f"rounds={result.rounds}, moves={result.total_moves}, "
+                f"explored@{result.exploration_round}"
+            )
+        else:
+            print(f"  demo  : {demonstrate_impossible_row(row)}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

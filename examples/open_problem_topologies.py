@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The paper's open problem, measured: dynamic tori and hypercubes.
+
+Section 5: "a challenging [open problem] is the study of live exploration
+in a network of arbitrary topology ... meshes, tori, hypercubes".  This
+example runs the two baseline explorers of :mod:`repro.extensions` on the
+suggested topologies, static vs 1-interval-connected dynamic, and prints
+the exploration times any future algorithm will have to beat.
+
+Usage::
+
+    python examples/open_problem_topologies.py
+"""
+
+import statistics
+
+from repro.extensions import (
+    ConnectivityPreservingAdversary,
+    DynamicGraphEngine,
+    RandomWalkExplorer,
+    RotorRouterExplorer,
+    StaticGraphAdversary,
+    hypercube,
+    ring_graph,
+    torus,
+)
+from repro.extensions.explorers import attach_node_oracle
+
+TOPOLOGIES = {
+    "ring of 16": ring_graph(16),
+    "4x4 torus": torus(4, 4),
+    "4-hypercube": hypercube(4),
+    "5x5 torus": torus(5, 5),
+}
+
+
+def measure(graph, *, explorer, dynamic, seeds=range(5), agents=1):
+    rounds = []
+    for seed in seeds:
+        adversary = (
+            ConnectivityPreservingAdversary(budget=1, seed=seed)
+            if dynamic else StaticGraphAdversary()
+        )
+        if explorer == "walk":
+            engine = DynamicGraphEngine(
+                graph, RandomWalkExplorer(seed=seed),
+                list(range(agents)), adversary=adversary,
+            )
+        else:
+            engine = DynamicGraphEngine(
+                graph, RotorRouterExplorer(),
+                list(range(agents)), adversary=adversary,
+            )
+            attach_node_oracle(engine)
+        result = engine.run(300_000)
+        assert result.explored
+        rounds.append(result.exploration_round)
+    return statistics.fmean(rounds)
+
+
+def main() -> None:
+    print("Open problem (paper section 5): live exploration beyond rings")
+    print("Baselines: seeded random walk; rotor-router (node-identity oracle).\n")
+    header = f"{'topology':<14}{'dynamism':<10}{'random walk':>14}{'rotor-router':>14}"
+    print(header)
+    print("-" * len(header))
+    for label, graph in TOPOLOGIES.items():
+        for dynamic in (False, True):
+            walk = measure(graph, explorer="walk", dynamic=dynamic)
+            rotor = measure(graph, explorer="rotor", dynamic=dynamic)
+            kind = "dynamic" if dynamic else "static"
+            print(f"{label:<14}{kind:<10}{walk:>14.0f}{rotor:>14.0f}")
+    print()
+    print("Teams help: 4 random walkers on the dynamic 5x5 torus explore in")
+    team = measure(torus(5, 5), explorer="walk", dynamic=True, agents=4)
+    solo = measure(torus(5, 5), explorer="walk", dynamic=True, agents=1)
+    print(f"{team:.0f} rounds on average, vs {solo:.0f} for a single walker.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Live Exploration of Dynamic Rings — a full reproduction.
+
+Implements the model, every algorithm, every impossibility/lower-bound
+adversary, and the analysis tooling of:
+
+    G. Di Luna, S. Dobrev, P. Flocchini, N. Santoro,
+    "Live Exploration of Dynamic Rings", ICDCS 2016
+    (extended version: arXiv:1512.05306v4).
+
+Quick start::
+
+    from repro import run_exploration
+    from repro.algorithms.fsync import KnownUpperBound
+
+    result = run_exploration(KnownUpperBound(bound=12), ring_size=12,
+                             positions=[0, 5], max_rounds=100)
+    assert result.explored and result.all_terminated
+
+See README.md for the tour, DESIGN.md for the paper-to-module map, and
+EXPERIMENTS.md for the reproduced tables and figures.
+"""
+
+from .api import build_engine, run_exploration
+from .core import (
+    Engine,
+    Orientation,
+    Ring,
+    RunResult,
+    TerminationMode,
+    Trace,
+    TransportModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "Orientation",
+    "Ring",
+    "RunResult",
+    "TerminationMode",
+    "Trace",
+    "TransportModel",
+    "build_engine",
+    "run_exploration",
+    "__version__",
+]

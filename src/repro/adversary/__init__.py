@@ -1,0 +1,35 @@
+"""Edge adversaries: benign baselines and the paper's proof constructions."""
+
+from .simple import (
+    FunctionAdversary,
+    FixedMissingEdge,
+    NoRemoval,
+    PeriodicMissingEdge,
+    RandomMissingEdge,
+)
+from .blocking import BlockAgentAdversary, MeetingPreventionAdversary
+from .impossibility import (
+    NSStarvationAdversary,
+    Theorem19Adversary,
+    theorem10_configuration,
+)
+from .restricted import DeltaRecurrentAdversary, TIntervalAdversary
+from .worst_case import ETPingPongAdversary, Figure2Schedule, ZigZagForcingAdversary
+
+__all__ = [
+    "BlockAgentAdversary",
+    "DeltaRecurrentAdversary",
+    "ETPingPongAdversary",
+    "Figure2Schedule",
+    "FixedMissingEdge",
+    "FunctionAdversary",
+    "MeetingPreventionAdversary",
+    "NoRemoval",
+    "NSStarvationAdversary",
+    "PeriodicMissingEdge",
+    "RandomMissingEdge",
+    "Theorem19Adversary",
+    "TIntervalAdversary",
+    "ZigZagForcingAdversary",
+    "theorem10_configuration",
+]

@@ -1,0 +1,195 @@
+"""Adversaries from the impossibility proofs (Theorems 9, 10, 19).
+
+Impossibility theorems quantify over *all* algorithms; a simulator can only
+demonstrate the constructions against concrete protocols.  Each class here
+implements the paper's adversary literally enough that, run against any of
+this library's algorithms (or any deterministic algorithm a user plugs in),
+it produces the failure the proof predicts.  EXPERIMENTS.md labels the
+corresponding benches *demonstrations, not proofs*.
+
+Two of these control the activation schedule as well as the missing edge —
+pass the same object as both ``adversary=`` and ``scheduler=``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.actions import ActionKind
+from ..core.directions import CANONICAL, MIRRORED, Orientation
+from ..core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import Engine
+
+
+def _intended_edge(engine: "Engine", index: int) -> int | None:
+    """Edge the agent would try to traverse if activated now, if any."""
+    agent = engine.agents[index]
+    if agent.terminated:
+        return None
+    intent = engine.peek_intended_action(index)
+    if intent.kind is not ActionKind.MOVE:
+        return None
+    assert intent.direction is not None
+    port = agent.orientation.to_global(intent.direction)
+    return engine.ring.edge_from(agent.node, port)
+
+
+class NSStarvationAdversary:
+    """Theorem 9: in the NS model no algorithm explores, ever.
+
+    The proof's scheduler: let ``A(t)`` be the agents that would move if
+    activated and ``P(t)`` the rest; activate ``P(t)`` plus the single
+    would-be mover ``first(t)`` that has been inactive longest, and remove
+    the edge ``first(t)`` wants to cross.  Nobody moves, yet every agent is
+    activated infinitely often (the starving would-be movers rotate through
+    ``first(t)``), so the schedule is fair.
+
+    Use as **both** the adversary and the scheduler, with
+    ``transport=TransportModel.NS``.
+    """
+
+    def __init__(self) -> None:
+        self._round = -1
+        self._activation: set[int] = set()
+        self._edge: int | None = None
+
+    def reset(self, engine: "Engine") -> None:  # noqa: ARG002
+        self._round = -1
+        self._activation = set()
+        self._edge = None
+
+    def _plan(self, engine: "Engine") -> None:
+        live = [a.index for a in engine.agents if not a.terminated]
+        movers = [i for i in live if _intended_edge(engine, i) is not None]
+        passive = [i for i in live if i not in movers]
+        if not movers:
+            self._activation = set(live)
+            self._edge = None
+        else:
+            first = max(
+                movers,
+                key=lambda i: (engine.agents[i].rounds_since_active, -i),
+            )
+            self._activation = set(passive) | {first}
+            self._edge = _intended_edge(engine, first)
+        self._round = engine.round_no
+
+    def choose_missing_edge(self, engine: "Engine") -> int | None:
+        self._plan(engine)
+        return self._edge
+
+    def select(self, engine: "Engine") -> set[int]:
+        if self._round != engine.round_no:
+            self._plan(engine)
+        return set(self._activation)
+
+    def __repr__(self) -> str:
+        return "NSStarvationAdversary()"
+
+
+def theorem10_configuration(ring_size: int) -> dict:
+    """Theorem 10's scenario: PT, two agents, *no* chirality.
+
+    The proof's adversary defers the ring topology until both agents commit
+    to waiting on a port and then identifies the two waited-on edges.  With
+    a fixed topology the equivalent configuration is chosen up front: two
+    agents with opposite orientations placed so that, pushing their private
+    "left", both converge on the two endpoints of the same edge ``e_0``
+    within one step.  Keeping ``e_0`` removed (one edge per round — legal)
+    and everyone active (no sleeping, hence no passive transport) strands
+    them there forever: at most four nodes are ever visited.
+
+    Returns keyword arguments for :func:`repro.api.run_exploration`:
+    positions, orientations, and the adversary.  Valid for ``n >= 5``
+    (the theorem's own bound).
+    """
+    if ring_size < 5:
+        raise ConfigurationError("Theorem 10 is stated for rings of size n >= 5")
+    from .simple import FixedMissingEdge
+
+    # Agent 0: left = MINUS, walks 2 -> 1, then pushes e_0 toward node 0.
+    # Agent 1: left = PLUS, walks (n-1) -> 0, then pushes e_0 toward node 1.
+    positions = [2, ring_size - 1]
+    orientations: list[Orientation] = [CANONICAL, MIRRORED]
+    return {
+        "positions": positions,
+        "orientations": orientations,
+        "adversary": FixedMissingEdge(0),
+    }
+
+
+class Theorem19Adversary:
+    """Theorem 19: ET with only an upper bound cannot partially terminate.
+
+    The proof builds two rings, ``R1`` of size ``n1`` (one edge perpetually
+    missing) and ``R2`` of size ``n2 > n1``, and a schedule on ``R2`` that
+    the agents cannot distinguish from the ``R1`` run: the agents live in
+    the segment ``v_0 .. v_{n1-1}``, whose two boundary edges
+    ``e_{n1-1}`` and ``e_{n2-1}`` play the role of ``R1``'s single missing
+    edge.  In "busy" rounds, with agents pushing both boundaries, the
+    adversary alternates: remove one boundary edge and put the agents
+    pushing the other to sleep.  In the ET model such a schedule is legal
+    for any finite number of rounds — long enough for the algorithm to
+    terminate believing it explored ``R1``.
+
+    Use as **both** the adversary and the scheduler on the *large* ring,
+    with ``transport=TransportModel.ET`` and an algorithm configured for
+    the small size ``n1``.
+    """
+
+    def __init__(self, small_size: int) -> None:
+        if small_size < 3:
+            raise ConfigurationError("the simulated small ring needs n1 >= 3")
+        self._n1 = small_size
+        self._parity = False
+        self._round = -1
+        self._activation: set[int] = set()
+        self._edge: int | None = None
+
+    def reset(self, engine: "Engine") -> None:
+        if engine.ring.size <= self._n1:
+            raise ConfigurationError(
+                f"the host ring (n={engine.ring.size}) must be larger than n1={self._n1}"
+            )
+        for agent in engine.agents:
+            if not agent.node < self._n1:
+                raise ConfigurationError(
+                    "all agents must start inside the segment v_0 .. v_{n1-1}"
+                )
+        self._parity = False
+        self._round = -1
+
+    def _plan(self, engine: "Engine") -> None:
+        e_low = self._n1 - 1
+        e_high = engine.ring.size - 1
+        live = [a.index for a in engine.agents if not a.terminated]
+        low = [i for i in live if _intended_edge(engine, i) == e_low]
+        high = [i for i in live if _intended_edge(engine, i) == e_high]
+        if low and high:
+            if self._parity:
+                self._edge, asleep = e_low, set(high)
+            else:
+                self._edge, asleep = e_high, set(low)
+            self._parity = not self._parity
+        elif low:
+            self._edge, asleep = e_low, set()
+        elif high:
+            self._edge, asleep = e_high, set()
+        else:
+            self._edge, asleep = None, set()
+        self._activation = set(live) - asleep
+        self._round = engine.round_no
+
+    def choose_missing_edge(self, engine: "Engine") -> int | None:
+        self._plan(engine)
+        return self._edge
+
+    def select(self, engine: "Engine") -> set[int]:
+        if self._round != engine.round_no:
+            self._plan(engine)
+        return set(self._activation)
+
+    def __repr__(self) -> str:
+        return f"Theorem19Adversary(small_size={self._n1})"

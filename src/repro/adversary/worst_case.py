@@ -1,0 +1,254 @@
+"""Worst-case schedules and lower-bound adversaries (Fig. 2, Th. 13/15).
+
+These adversaries extract the paper's *lower bounds* from the (optimal)
+algorithms: Figure 2's schedule makes ``KnownNNoChirality`` spend exactly
+``3n - 6`` rounds, and the zig-zag forcing adversary makes the PT
+algorithms spend a quadratic number of edge traversals, matching the
+Omega(N*n) / Omega(n^2) bounds of Theorems 13 and 15.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.actions import ActionKind
+from ..core.directions import GlobalDirection, MIRRORED, Orientation
+from ..core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import Engine
+
+
+class Figure2Schedule:
+    """The schedule of Figure 2: exploration takes exactly ``3n - 6`` rounds.
+
+    With agents ``a`` at ``v_i`` and ``b`` at ``v_{i+1}``, both oriented so
+    that *left* is the global ``PLUS`` direction (chirality holds):
+
+    * rounds ``0 .. n-4``: edge ``e_i`` is removed — ``a`` is pinned while
+      ``b`` walks to ``v_{i-2}``;
+    * rounds ``n-3`` onward: edge ``e_{i-2}`` is removed — ``b`` is pinned,
+      ``a`` walks over and catches it at round ``2n - 5``, bounces, and
+      finishes the lone unexplored node ``v_{i-1}`` the long way round at
+      round ``3n - 6``.
+
+    Use :meth:`configuration` for the matching positions/orientations.
+    """
+
+    def __init__(self, anchor: int = 0) -> None:
+        self._i = anchor
+
+    def configuration(self, ring_size: int) -> dict:
+        """Positions/orientations for :func:`repro.api.run_exploration`."""
+        if ring_size < 5:
+            raise ConfigurationError("the Figure 2 schedule needs n >= 5")
+        i = self._i % ring_size
+        orientations: list[Orientation] = [MIRRORED, MIRRORED]  # left == PLUS
+        return {
+            "positions": [i, (i + 1) % ring_size],
+            "orientations": orientations,
+            "adversary": self,
+        }
+
+    def reset(self, engine: "Engine") -> None:
+        if engine.ring.size < 5:
+            raise ConfigurationError("the Figure 2 schedule needs n >= 5")
+
+    def choose_missing_edge(self, engine: "Engine") -> int | None:
+        n = engine.ring.size
+        if engine.round_no <= n - 4:
+            return self._i % n
+        return (self._i - 2) % n
+
+    def __repr__(self) -> str:
+        return f"Figure2Schedule(anchor={self._i})"
+
+
+class ETPingPongAdversary:
+    """Theorem 20's closing remark: unbounded (but finite) ET executions.
+
+    "Consider the situation when two agents are blocked going on opposite
+    directions on two different edges, while the third agent goes back and
+    forth between them; since we are in the ET model, this configuration
+    cannot be kept forever, but there is no bound on the number of rounds
+    in which it holds."
+
+    Two *wall* agents are parked on ports of two distinct edges; each round
+    the adversary removes the edge of one wall and lets the other sleep
+    (alternating), so neither ever crosses while the ET fairness condition
+    is violated only for as long as the adversary runs.  The *bouncer*
+    zig-zags between the walls, generating an unbounded stream of catch
+    events with equal-length legs — which the ET algorithm's strict
+    ``CheckD`` tolerates indefinitely.  From ``release_round`` on the
+    adversary stands down (no removals, everyone active) and the run must
+    terminate shortly after, which is exactly the ET guarantee.
+
+    Use as **both** adversary and scheduler with
+    ``transport=TransportModel.ET`` and the placement from
+    :meth:`configuration`.
+    """
+
+    def __init__(self, release_round: int) -> None:
+        if release_round < 2:
+            raise ConfigurationError("release_round must be >= 2")
+        self.release_round = release_round
+        self._round = -1
+        self._activation: set[int] = set()
+        self._edge: int | None = None
+
+    @staticmethod
+    def configuration(ring_size: int) -> dict:
+        """Walls at v2 (pushing e_1) and v6-ish (pushing outward), bouncer
+        between them; wall 1 is mirrored so both walls push away from the
+        bouncer's corridor."""
+        if ring_size < 7:
+            raise ConfigurationError("the ping-pong corridor needs n >= 7")
+        from ..core.directions import CANONICAL, MIRRORED
+
+        far = ring_size - 3
+        return {
+            "positions": [2, (2 + far) // 2, far],
+            "orientations": [CANONICAL, CANONICAL, MIRRORED],
+        }
+
+    def reset(self, engine: "Engine") -> None:
+        if len(engine.agents) != 3:
+            raise ConfigurationError("the ping-pong forcing drives three agents")
+        self._round = -1
+
+    def _wall_edge(self, engine: "Engine", index: int) -> int | None:
+        agent = engine.agents[index]
+        if agent.terminated:
+            return None
+        if agent.port is not None:
+            return engine.port_edge(agent)
+        intent = engine.peek_intended_action(index)
+        if intent.kind is not ActionKind.MOVE:
+            return None
+        assert intent.direction is not None
+        port = agent.orientation.to_global(intent.direction)
+        return engine.ring.edge_from(agent.node, port)
+
+    def _plan(self, engine: "Engine") -> None:
+        self._round = engine.round_no
+        live = {a.index for a in engine.agents if not a.terminated}
+        if engine.round_no >= self.release_round:
+            self._edge = None
+            self._activation = set(live)
+            return
+        walls = (0, 2)
+        focus = walls[engine.round_no % 2]
+        other = walls[1 - engine.round_no % 2]
+        self._edge = self._wall_edge(engine, focus)
+        self._activation = set(live) - {other}
+        if not self._activation:
+            self._activation = set(live)
+
+    def choose_missing_edge(self, engine: "Engine") -> int | None:
+        self._plan(engine)
+        return self._edge
+
+    def select(self, engine: "Engine") -> set[int]:
+        if self._round != engine.round_no:
+            self._plan(engine)
+        return set(self._activation)
+
+    def __repr__(self) -> str:
+        return f"ETPingPongAdversary(release_round={self.release_round})"
+
+
+class ZigZagForcingAdversary:
+    """Quadratic-cost forcing for the PT algorithms (Theorems 13 and 15).
+
+    Setup: two agents with chirality (left = global ``MINUS``), PT
+    transport.  Agent 0 is the *anchor*, agent 1 the *walker*.  The
+    adversary keeps the anchor's next edge removed, so the walker bounces
+    off it; each time the walker's rightward excursion reaches ``cap``
+    steps the adversary instead removes the *walker's* edge and lets the
+    anchor sleep that round — passive transport carries the anchor one
+    step left (the proof's "let it move passively on the next node"), so
+    the walker's next leftward run is one step longer than its rightward
+    run and the algorithm's crossing test ``rightSteps >= leftSteps``
+    never fires.  Progress is one node per ~``2*cap`` traversals: a
+    quadratic total before the span/landmark termination triggers.
+
+    Use as **both** the adversary and the scheduler, with
+    ``transport=TransportModel.PT``.
+    """
+
+    def __init__(self, cap: int) -> None:
+        if cap < 1:
+            raise ConfigurationError("cap must be >= 1")
+        self.cap = cap
+        self._round = -1
+        self._activation: set[int] = set()
+        self._edge: int | None = None
+
+    @staticmethod
+    def configuration(ring_size: int) -> dict:
+        """Canonical placement: anchor at ``v_1``, walker at ``v_3``."""
+        if ring_size < 5:
+            raise ConfigurationError("zig-zag forcing needs n >= 5")
+        return {"positions": [1, 3], "chirality": True}
+
+    def reset(self, engine: "Engine") -> None:
+        if len(engine.agents) != 2:
+            raise ConfigurationError("zig-zag forcing drives exactly two agents")
+        self._round = -1
+
+    def _pushed_edge(self, engine: "Engine", index: int) -> int | None:
+        agent = engine.agents[index]
+        if agent.terminated:
+            return None
+        if agent.port is not None:
+            return engine.port_edge(agent)
+        intent = engine.peek_intended_action(index)
+        if intent.kind is not ActionKind.MOVE:
+            return None
+        assert intent.direction is not None
+        port = agent.orientation.to_global(intent.direction)
+        return engine.ring.edge_from(agent.node, port)
+
+    def _plan(self, engine: "Engine") -> None:
+        anchor, walker = engine.agents[0], engine.agents[1]
+        live = {a.index for a in engine.agents if not a.terminated}
+        self._activation = set(live)
+        self._edge = None
+        self._round = engine.round_no
+        if not live:
+            return
+
+        anchor_edge = self._pushed_edge(engine, 0)
+        if walker.terminated:
+            self._edge = anchor_edge  # pin the anchor forever
+            return
+
+        intent = engine.peek_intended_action(1)
+        moving_plus = (
+            intent.kind is ActionKind.MOVE
+            and intent.direction is not None
+            and walker.orientation.to_global(intent.direction) is GlobalDirection.PLUS
+        )
+        excursion = engine.ring.distance(anchor.node, walker.node, GlobalDirection.PLUS)
+        if moving_plus and excursion >= self.cap and walker.port is None:
+            # End of excursion: pin the walker; sleeping anchor creeps left.
+            assert intent.direction is not None
+            port = walker.orientation.to_global(intent.direction)
+            walker_edge = engine.ring.edge_from(walker.node, port)
+            self._edge = walker_edge
+            if anchor_edge is not None and anchor_edge != walker_edge and 0 in live:
+                self._activation = live - {0}
+        else:
+            self._edge = anchor_edge
+
+    def choose_missing_edge(self, engine: "Engine") -> int | None:
+        self._plan(engine)
+        return self._edge
+
+    def select(self, engine: "Engine") -> set[int]:
+        if self._round != engine.round_no:
+            self._plan(engine)
+        return set(self._activation)
+
+    def __repr__(self) -> str:
+        return f"ZigZagForcingAdversary(cap={self.cap})"

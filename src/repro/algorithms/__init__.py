@@ -1,0 +1,39 @@
+"""Every exploration algorithm from the paper, plus demo strawmen."""
+
+from .base import StateMachineAlgorithm, StateSpec, Ctx, rules, TERMINAL
+from .fsync import (
+    KnownUpperBound,
+    LandmarkNoChirality,
+    LandmarkWithChirality,
+    StartFromLandmarkNoChirality,
+    UnconsciousExploration,
+)
+from .ssync import (
+    ETExactSizeNoChirality,
+    ETUnconscious,
+    PTBoundNoChirality,
+    PTBoundWithChirality,
+    PTLandmarkNoChirality,
+    PTLandmarkWithChirality,
+)
+from .strawman import GuessAndTerminate
+
+__all__ = [
+    "Ctx",
+    "ETExactSizeNoChirality",
+    "ETUnconscious",
+    "GuessAndTerminate",
+    "KnownUpperBound",
+    "LandmarkNoChirality",
+    "LandmarkWithChirality",
+    "PTBoundNoChirality",
+    "PTBoundWithChirality",
+    "PTLandmarkNoChirality",
+    "PTLandmarkWithChirality",
+    "StartFromLandmarkNoChirality",
+    "StateMachineAlgorithm",
+    "StateSpec",
+    "TERMINAL",
+    "UnconsciousExploration",
+    "rules",
+]

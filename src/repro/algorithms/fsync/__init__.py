@@ -1,0 +1,14 @@
+"""FSYNC exploration algorithms (paper, Section 3)."""
+
+from .known_bound import KnownUpperBound
+from .unconscious import UnconsciousExploration
+from .landmark_chirality import LandmarkWithChirality
+from .landmark_no_chirality import LandmarkNoChirality, StartFromLandmarkNoChirality
+
+__all__ = [
+    "KnownUpperBound",
+    "LandmarkNoChirality",
+    "LandmarkWithChirality",
+    "StartFromLandmarkNoChirality",
+    "UnconsciousExploration",
+]

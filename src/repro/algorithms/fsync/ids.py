@@ -1,0 +1,142 @@
+"""Symmetry-breaking IDs and direction schedules (paper, Section 3.2.3).
+
+Without chirality, two agents starting from the landmark may move in
+opposite directions and never interact.  The paper breaks the symmetry by
+letting each agent *derive an identifier from the timing of its first two
+blocks*:
+
+* ``k1`` — the round of the first block (``r1``);
+* ``k2`` — rounds between the second block and the later of the first
+  block / the first landmark visit in between (``r2 - max(r1, r3)``);
+* ``k3`` — rounds from the first block to that landmark visit, or 0 if
+  the landmark was not crossed in between (``max(0, r3 - r1)``);
+
+the ID is the integer whose binary expansion *interleaves the bits* of
+``k1, k2, k3`` (each zero-padded to the longest of the three).  Figures 9
+and 10 give worked examples, reproduced verbatim in the test suite.
+
+From the ID each agent derives an infinite left/right *direction schedule*
+(one bit per round, organised into exponentially growing phases) such that
+two agents with different IDs eventually move in the same direction for
+``c * n`` consecutive rounds (Lemma 3), long enough for the
+``LandmarkWithChirality`` machinery to finish the job:
+
+* ``S(ID) = "10" + bin(ID) + "0"``, left-padded with zeros to the next
+  power of two; ``jbar`` is the exponent of that length;
+* phase ``j`` covers rounds ``2^j .. 2^(j+1) - 1``; for ``j >= jbar`` the
+  phase pattern is ``Dup(S, 2^(j - jbar))`` (every bit repeated), for
+  ``j < jbar`` the direction is fixed to left;
+* bit 0 = left, bit 1 = right (Figure 11).
+"""
+
+from __future__ import annotations
+
+from ...core.directions import LEFT, RIGHT, LocalDirection
+from ...core.errors import ConfigurationError
+
+
+def interleave_id(k1: int, k2: int, k3: int) -> int:
+    """The agent identifier: bit-interleaving of ``k1, k2, k3``.
+
+    Each value is written in minimal binary, zero-padded on the left to
+    the longest of the three, and the bits are interleaved position by
+    position (``k1`` bit, ``k2`` bit, ``k3`` bit, next position, ...).
+    Matches Figures 9 and 10 of the paper exactly.
+    """
+    if min(k1, k2, k3) < 0:
+        raise ConfigurationError("k1, k2, k3 must be non-negative")
+    parts = [format(k, "b") for k in (k1, k2, k3)]
+    width = max(len(p) for p in parts)
+    padded = [p.zfill(width) for p in parts]
+    bits = "".join(
+        padded[which][position] for position in range(width) for which in range(3)
+    )
+    return int(bits, 2)
+
+
+def duplicate_bits(pattern: str, repeat: int) -> str:
+    """``Dup(S, k)``: repeat each character ``k`` times (``Dup("1010", 2) == "11001100"``)."""
+    if repeat < 1:
+        raise ConfigurationError("repeat must be >= 1")
+    return "".join(ch * repeat for ch in pattern)
+
+
+def phase_of_round(round_no: int) -> int:
+    """Phase ``j`` with ``2^j <= round < 2^(j+1)`` (rounds start at 1)."""
+    if round_no < 1:
+        raise ConfigurationError("the phase subdivision starts at round 1")
+    return round_no.bit_length() - 1
+
+
+class DirectionSchedule:
+    """The per-round direction sequence derived from an agent ID."""
+
+    def __init__(self, agent_id: int) -> None:
+        if agent_id < 0:
+            raise ConfigurationError("IDs are non-negative")
+        self.agent_id = agent_id
+        base = "10" + format(agent_id, "b") + "0"
+        jbar = max(2, (len(base) - 1).bit_length())  # min j with 2^j >= len(base)
+        while (1 << jbar) < len(base):  # pragma: no cover - bit_length covers this
+            jbar += 1
+        self.jbar = jbar
+        self.pattern = base.zfill(1 << jbar)
+
+    def phase_pattern(self, phase: int) -> str:
+        """``d(ID, j)`` for ``j >= jbar``: the phase's bit string."""
+        if phase < self.jbar:
+            raise ConfigurationError(f"phase {phase} precedes jbar={self.jbar}")
+        return duplicate_bits(self.pattern, 1 << (phase - self.jbar))
+
+    def direction(self, round_no: int) -> LocalDirection:
+        """Direction for ``round_no`` (0 = left, 1 = right; Figure 11)."""
+        if round_no < 1:
+            return LEFT
+        phase = phase_of_round(round_no)
+        if phase < self.jbar:
+            return LEFT
+        offset = round_no - (1 << phase)
+        repeat = 1 << (phase - self.jbar)
+        bit = self.pattern[offset // repeat]
+        return RIGHT if bit == "1" else LEFT
+
+    def switches(self, round_no: int) -> bool:
+        """True iff the scheduled direction changes at ``round_no``."""
+        if round_no < 2:
+            return False
+        return self.direction(round_no) is not self.direction(round_no - 1)
+
+    def __repr__(self) -> str:
+        return f"DirectionSchedule(id={self.agent_id}, jbar={self.jbar}, S={self.pattern!r})"
+
+
+def common_direction_window(
+    first: DirectionSchedule, second: DirectionSchedule, horizon: int
+) -> tuple[int, int]:
+    """Longest run of rounds ``<= horizon`` where both schedules agree.
+
+    Returns ``(start_round, length)`` of the longest common-direction
+    window; used to check Lemma 3 empirically.
+    """
+    best_start, best_len = 1, 0
+    run_start, run_len = 1, 0
+    for r in range(1, horizon + 1):
+        if first.direction(r) is second.direction(r):
+            if run_len == 0:
+                run_start = r
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_len = 0
+    return best_start, best_len
+
+
+def lemma3_bound(id_length: int, c: int, n: int) -> int:
+    """Lemma 3's round bound ``32 * ((len(ID) + 3) * c * n) + 1``."""
+    return 32 * ((id_length + 3) * c * n) + 1
+
+
+def id_bit_length(agent_id: int) -> int:
+    """``len(ID)`` as used by Lemma 3 and the termination timeouts."""
+    return max(1, agent_id.bit_length())

@@ -1,0 +1,98 @@
+"""Algorithm ``KnownNNoChirality`` (paper, Figure 1 / Theorem 3).
+
+Two anonymous agents, fully synchronous rounds, a known upper bound
+``N >= n`` on the ring size, no chirality required.  Both agents explore
+and explicitly terminate by round ``3N - 6``.
+
+Behaviour (Section 3.1): each agent heads (its own) left and keeps going
+unless one of three things happens in the first ``2N - 4`` rounds —
+
+* it *catches* the other agent (sees it blocked on the port ahead), or
+* ``2N - 4`` rounds have passed and it has been blocked ``N - 1``
+  consecutive rounds, or
+* it *fails* to enter a port (the two agents started together and pushed
+  the same port) —
+
+in which case it bounces right for the rest of the run.  An agent that is
+*caught* keeps going left.  Everyone stops at round ``3N - 6``.
+
+One deviation from the literal pseudocode, recorded in DESIGN.md: the
+pseudocode guard ``Btime = N-1`` is implemented as ``Btime >= N-1``.  The
+blocked streak can straddle the ``Ttime >= 2N-4`` threshold and be longer
+than ``N-1`` the first time both conjuncts hold; ``>=`` matches the prose
+("has been blocked for N-1 rounds") and the proof, while ``=`` could skip
+the bounce entirely.
+"""
+
+from __future__ import annotations
+
+from ...core.errors import ConfigurationError
+from ..base import (
+    Ctx,
+    LEFT,
+    RIGHT,
+    StateMachineAlgorithm,
+    StateSpec,
+    TERMINAL,
+    rules,
+)
+
+
+class KnownUpperBound(StateMachineAlgorithm):
+    """Figure 1: explore with a known upper bound ``N``, no chirality."""
+
+    def __init__(self, bound: int) -> None:
+        if bound < 3:
+            raise ConfigurationError("the bound N must be at least 3 (rings have n >= 3)")
+        self.bound = bound
+        self.name = f"KnownNNoChirality(N={bound})"
+        super().__init__()
+
+    #: Ablation switch (see benchmarks/bench_ablations.py): when True, the
+    #: long-block guard uses the figure's literal ``Btime = N-1`` instead
+    #: of ``>=``.  A blocked streak straddling the ``2N-4`` threshold then
+    #: never satisfies the guard and the agent is stuck pushing a missing
+    #: edge forever.  Production value: False.
+    literal_btime_equality = False
+
+    # Rule predicates -------------------------------------------------------
+
+    def _long_block(self, ctx: Ctx) -> bool:
+        if self.literal_btime_equality:
+            return ctx.Btime == self.bound - 1
+        return ctx.Btime >= self.bound - 1
+
+    def _bounce_now(self, ctx: Ctx) -> bool:
+        return (ctx.Ttime >= 2 * self.bound - 4 and self._long_block(ctx)) or ctx.failed
+
+    def _warmup_over(self, ctx: Ctx) -> bool:
+        return ctx.Ttime >= 2 * self.bound - 4
+
+    def _deadline(self, ctx: Ctx) -> bool:
+        return ctx.Ttime >= 3 * self.bound - 6
+
+    # States ---------------------------------------------------------------
+
+    def build_states(self) -> list[StateSpec]:
+        return [
+            StateSpec(
+                name="Init",
+                direction=LEFT,
+                rules=rules(
+                    (self._bounce_now, "Bounce"),
+                    (lambda ctx: ctx.catches, "Bounce"),
+                    (lambda ctx: ctx.caught, "Forward"),
+                    (self._warmup_over, "Forward"),
+                ),
+            ),
+            StateSpec(
+                name="Bounce",
+                direction=RIGHT,
+                rules=rules((self._deadline, TERMINAL)),
+            ),
+            StateSpec(
+                name="Forward",
+                direction=LEFT,
+                rules=rules((self._deadline, TERMINAL)),
+            ),
+        ]

@@ -1,0 +1,195 @@
+"""Algorithm ``LandmarkWithChirality`` (paper, Figure 4 / Theorem 6).
+
+Two anonymous agents, fully synchronous, no knowledge of the ring size,
+but a landmark node and common chirality.  Both agents explore and
+explicitly terminate in O(n) rounds.
+
+Sketch (Section 3.2.2): both agents head left.  If they never interact,
+each eventually loops the ring, learns ``n`` from the landmark, and times
+out (Lemma 1).  At the first catch they take roles — ``F`` (caught; keeps
+pushing its direction) and ``B`` (catcher; bounces away, later returns) —
+and from then on coordinate through two signalling states:
+
+* ``BComm``: ``B`` has caught up with ``F`` again.  If ``B`` can conclude
+  the ring is explored (``returnSteps <= 2 * bounceSteps`` — both waited
+  on the same edge — or it knows ``n``) it moves away as a termination
+  signal and stops next round; otherwise it stays one round and watches
+  what ``F`` does.
+* ``FComm``: ``F`` (on its port) either keeps pushing/leaves — its own
+  termination signal, when it knows ``n`` — or steps back into the node
+  interior to say "keep going".
+
+Directions are implemented relative to the first catch (``fwd`` = the
+direction the agent was moving when roles were assigned): ``Forward`` and
+``Return`` move along ``fwd``, ``Bounce`` and the ``BComm`` signal move
+against it.  Under chirality, with both agents initially moving left,
+this is literally the paper's left/right; see DESIGN.md for why the
+relative reading is the coherent one when these states are reused by the
+no-chirality algorithms of Figures 8 and 13.
+
+The landmark bookkeeping (``LExplore``) — distance from the landmark,
+learning ``n`` after a full loop, the ``Ntime`` clock — is maintained by
+the engine runtime (:mod:`repro.core.memory`).
+"""
+
+from __future__ import annotations
+
+from ...core.actions import Action
+from ..base import (
+    Ctx,
+    ENTER_NODE,
+    LEFT,
+    STAY,
+    StateMachineAlgorithm,
+    StateSpec,
+    TERMINAL,
+    TERMINATE,
+    move,
+    rules,
+)
+
+
+class LandmarkWithChirality(StateMachineAlgorithm):
+    """Figure 4: explore with a landmark and chirality, terminate in O(n)."""
+
+    name = "LandmarkWithChirality"
+
+    def init_vars(self, memory) -> None:
+        memory.vars["dir"] = LEFT
+        memory.vars["bounceSteps"] = None
+        memory.vars["returnSteps"] = None
+
+    # -- predicates -----------------------------------------------------------
+    #
+    # ``meeting`` only fires on *converging* meetings (Lemma 2, case 2):
+    # after a keep-going handshake both agents briefly share a node, but
+    # the driver skips a freshly entered state's rules for that round
+    # (see :mod:`repro.algorithms.base`), and by the next Look the agents
+    # have separated.
+
+    @staticmethod
+    def _init_timeout(ctx: Ctx) -> bool:
+        return ctx.Ntime > 2 * ctx.size
+
+    @staticmethod
+    def _bounce_over(ctx: Ctx) -> bool:
+        return ctx.Etime > 2 * ctx.Esteps or ctx.Ntime > 0
+
+    @staticmethod
+    def _return_timeout_or_caught(ctx: Ctx) -> bool:
+        return ctx.Ntime > 3 * ctx.size or ctx.caught
+
+    @staticmethod
+    def _forward_done(ctx: Ctx) -> bool:
+        return ctx.Ntime >= 7 * ctx.size or ctx.meeting or ctx.catches
+
+    # -- preambles -------------------------------------------------------------
+
+    @classmethod
+    def _enter_bounce(cls, ctx: Ctx) -> None:
+        cls.remember_forward(ctx)
+
+    @classmethod
+    def _enter_forward(cls, ctx: Ctx) -> None:
+        cls.remember_forward(ctx)
+
+    @staticmethod
+    def _enter_return(ctx: Ctx) -> None:
+        ctx.vars["bounceSteps"] = ctx.Esteps
+
+    def _enter_bcomm(self, ctx: Ctx) -> None:
+        # Esteps still belongs to the previous state (Bounce or Return).
+        ctx.vars["returnSteps"] = ctx.Esteps
+        bounce_steps = ctx.vars["bounceSteps"]
+        if bounce_steps is not None and ctx.vars["returnSteps"] <= 2 * bounce_steps:
+            # Both agents waited on the same edge: the ring is explored.
+            ctx.vars["comm"] = "signal"
+        elif ctx.size_known:
+            ctx.vars["comm"] = "signal"
+        else:
+            ctx.vars["comm"] = "wait"
+        ctx.vars["comm_step"] = 0
+
+    def _enter_fcomm(self, ctx: Ctx) -> None:
+        ctx.vars["comm"] = "signal" if ctx.size_known else "wait"
+        ctx.vars["comm_step"] = 0
+
+    # -- the communication scripts -----------------------------------------------
+
+    def _bcomm(self, ctx: Ctx) -> Action | str:
+        step = ctx.vars["comm_step"]
+        ctx.vars["comm_step"] = step + 1
+        if ctx.vars["comm"] == "signal":
+            if step == 0:
+                return move(ctx.vars["fwd"].opposite)  # paper: Move(right)
+            return TERMINATE  # "Terminate in the next round"
+        # wait: stay one round, then read F's answer.
+        if step == 0:
+            return STAY
+        if ctx.others_in_node > 0:
+            return "Bounce"  # F stepped into the node: keep exploring
+        return TERMINATE  # F left or is on the port: termination signal
+
+    def _fcomm(self, ctx: Ctx) -> Action | str:
+        step = ctx.vars["comm_step"]
+        ctx.vars["comm_step"] = step + 1
+        if ctx.vars["comm"] == "signal":
+            if step == 0:
+                return move(ctx.vars["fwd"])  # paper: Move(left) — stays on/leaves via the port
+            return TERMINATE
+        # wait: step from the port into the node, then read B's answer.
+        if step == 0:
+            return ENTER_NODE
+        if ctx.others_in_node > 0:
+            return "Forward"  # B stayed: keep exploring
+        return TERMINATE  # B left or is on a port: termination signal
+
+    # -- states ---------------------------------------------------------------------
+
+    def build_states(self) -> list[StateSpec]:
+        return [
+            StateSpec(
+                name="Init",
+                direction=self.var_dir,
+                rules=rules(
+                    (self._init_timeout, TERMINAL),
+                    (lambda ctx: ctx.catches, "Bounce"),
+                    (lambda ctx: ctx.caught, "Forward"),
+                ),
+            ),
+        ] + self._shared_states()
+
+    def _shared_states(self) -> list[StateSpec]:
+        """Bounce/Return/Forward/BComm/FComm — reused by Figures 8 and 13."""
+        return [
+            StateSpec(
+                name="Bounce",
+                direction=self.against_forward_dir,
+                on_enter=self._enter_bounce,
+                rules=rules(
+                    (lambda ctx: ctx.meeting, TERMINAL),
+                    (self._bounce_over, "Return"),
+                    (lambda ctx: ctx.catches, "BComm"),
+                ),
+            ),
+            StateSpec(
+                name="Return",
+                direction=self.forward_dir,
+                on_enter=self._enter_return,
+                rules=rules(
+                    (self._return_timeout_or_caught, TERMINAL),
+                    (lambda ctx: ctx.catches, "BComm"),
+                ),
+            ),
+            StateSpec(
+                name="Forward",
+                direction=self.forward_dir,
+                on_enter=self._enter_forward,
+                rules=rules(
+                    (self._forward_done, TERMINAL),
+                    (lambda ctx: ctx.caught, "FComm"),
+                ),
+            ),
+            StateSpec(name="BComm", custom=self._bcomm, on_enter=self._enter_bcomm),
+            StateSpec(name="FComm", custom=self._fcomm, on_enter=self._enter_fcomm),
+        ]

@@ -1,0 +1,304 @@
+"""Algorithms ``StartFromLandmarkNoChirality`` and ``LandmarkNoChirality``
+(paper, Figures 8 and 13 / Theorems 7 and 8).
+
+Two anonymous agents, fully synchronous, landmark, **no chirality**:
+exploration with explicit termination in O(n log n) rounds.
+
+The difficulty is the symmetric case where the agents move in opposite
+directions and never interact.  The initial phase turns the timing of each
+agent's first two blocks into an ID (:mod:`.ids`), and from then on the
+agent follows the ID-derived direction schedule (state ``Reverse``).
+Lemma 3 guarantees two distinct IDs eventually share a direction for
+``5n`` consecutive rounds — enough for one agent to lap the ring, learn
+``n`` at the landmark, and finish through the ``LandmarkWithChirality``
+machinery, whose states (``Bounce``/``Return``/``Forward``/``BComm``/
+``FComm``) are reused verbatim whenever the agents *do* catch each other.
+
+Figure 8 assumes both agents start at the landmark; Figure 13 lifts that:
+agents meeting at the landmark during the ID phase *restart* Figure 8 from
+state ``InitL`` instead of terminating (the meeting no longer certifies
+exploration when the walk did not start there).
+
+Implementation notes (details in DESIGN.md):
+
+* ``AtLandmark*``'s "both agents are at the landmark" check means *in the
+  node interior* — an agent on a port is trying to leave, which is exactly
+  the situation the synchronization step of Theorem 7's proof must reject.
+* The paper's single ``AtLandmarkL`` state is split into the entry dance
+  plus an internal ``...Cruise`` state holding the follow-up ``LExplore``;
+  the split is behaviour-preserving and keeps ``k2``'s definition
+  (``r2 - max(r1, r3)``) intact on the normal path.
+* ``Reverse``'s ``switch(Ttime)`` self-transition relies on the driver's
+  entered-this-round rule (guards of a freshly entered state wait for the
+  next Look), otherwise it would re-fire within the same round forever.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.actions import Action, STAY, TERMINATE
+from ..base import Ctx, LEFT, RIGHT, StateMachineAlgorithm, StateSpec, TERMINAL, rules
+from .ids import DirectionSchedule, interleave_id, lemma3_bound
+from .landmark_chirality import LandmarkWithChirality
+
+
+def no_chirality_timeout(ring_size: int) -> int:
+    """Figure 8's termination horizon ``32 * ((3*ceil(log n) + 3) * 5n)``."""
+    log_n = max(1, math.ceil(math.log2(ring_size)))
+    return lemma3_bound(3 * log_n, 5, ring_size) - 1  # the paper adds +1 in Happy
+
+
+class StartFromLandmarkNoChirality(LandmarkWithChirality):
+    """Figure 8: both agents start at the landmark, no chirality."""
+
+    name = "StartFromLandmarkNoChirality"
+    initial_state = "InitL"
+
+    #: Ablation switch (see benchmarks/bench_ablations.py): when True, the
+    #: ID-phase states use the *figures'* literal rule order (``Btime``/
+    #: ``isLandmark`` before ``catches``/``caught``) instead of the text's
+    #: catch-first priority.  The literal order allows a role
+    #: desynchronisation that ends in premature termination.
+    #: Production value: False.
+    literal_rule_order = False
+
+    def init_vars(self, memory) -> None:
+        super().init_vars(memory)
+        memory.vars["k1"] = 0
+        memory.vars["k2"] = 0
+        memory.vars["k3"] = 0
+
+    # -- predicates ------------------------------------------------------------
+
+    def _happy_timeout(self, ctx: Ctx) -> bool:
+        return ctx.size_known and ctx.Ttime >= no_chirality_timeout(int(ctx.size)) + 1
+
+    def _reverse_timeout(self, ctx: Ctx) -> bool:
+        return ctx.size_known and ctx.Ttime >= no_chirality_timeout(int(ctx.size))
+
+    @staticmethod
+    def _switches(ctx: Ctx) -> bool:
+        return ctx.vars["schedule"].switches(ctx.Ttime)
+
+    # -- preambles ----------------------------------------------------------------
+
+    @staticmethod
+    def _enter_init_l(ctx: Ctx) -> None:
+        ctx.vars["dir"] = LEFT
+        ctx.vars["k1"] = 0
+        ctx.vars["k2"] = 0
+        ctx.vars["k3"] = 0
+
+    @staticmethod
+    def _enter_first_block(ctx: Ctx) -> None:
+        ctx.vars["dir"] = RIGHT
+        ctx.vars["k1"] = max(0, ctx.Ttime - 1)  # Figure 8: k1 <- Ttime - 1
+
+    @staticmethod
+    def _enter_at_landmark(ctx: Ctx) -> None:
+        ctx.vars["k3"] = ctx.Etime
+        ctx.vars["dance_step"] = 0
+
+    @staticmethod
+    def _enter_ready(ctx: Ctx) -> str:
+        ctx.vars["k2"] = ctx.Etime
+        agent_id = interleave_id(ctx.vars["k1"], ctx.vars["k2"], ctx.vars["k3"])
+        ctx.vars["id"] = agent_id
+        ctx.vars["schedule"] = DirectionSchedule(agent_id)
+        return "Reverse"  # "Change to state Reverse and process it"
+
+    def _enter_reverse(self, ctx: Ctx) -> str | None:
+        ctx.vars["dir"] = ctx.vars["schedule"].direction(ctx.Ttime)
+        if ctx.size_known:
+            return "ReverseTimeout"
+        return None
+
+    # -- the landmark synchronization dance -------------------------------------------
+
+    @staticmethod
+    def _dance(cruise_state: str, success: str | Action):
+        """The "both agents at the landmark" synchronization of Figure 8/13.
+
+        On entry: if the other agent is visible in the node interior, wait
+        one round; if it is *still* there, the success outcome applies
+        (Terminate for Figure 8, restart at ``InitL`` for Figure 13's
+        pre-restart phase).  Any other observation falls through to the
+        state's ``LExplore`` (the internal cruise state).
+        """
+
+        def handler(ctx: Ctx) -> str | Action:
+            step = ctx.vars.get("dance_step", 0)
+            ctx.vars["dance_step"] = step + 1
+            if step == 0:
+                if ctx.others_in_node > 0:
+                    return STAY  # wait one round
+                return cruise_state
+            if ctx.others_in_node > 0:
+                return success
+            return cruise_state
+
+        return handler
+
+    # -- states -----------------------------------------------------------------------
+
+    def _id_phase_states(
+        self,
+        *,
+        init_name: str,
+        first_block_name: str,
+        at_landmark_name: str,
+        cruise_name: str,
+        enter_first_block,
+        dance_success: str | Action,
+    ) -> list[StateSpec]:
+        """The Init/FirstBlock/AtLandmark/Cruise quartet (Figures 8 and 13).
+
+        Rule priority deviates from the figures' literal order in one way,
+        following the paper's text instead ("if at any point the agents
+        catch each other, they enter states Forward and Bounce and proceed
+        with Algorithm LandmarkWithChirality", Section 3.2.3): ``catches``/
+        ``caught`` outrank the ID-phase triggers (``Btime``, ``isLandmark``).
+        Under the figures' order an agent that is blocked *and* caught in
+        the same round would continue the ID phase while its peer starts
+        the Bounce machinery; the desynchronised peer later misreads an
+        ordinary departure as a BComm termination signal and stops early.
+        The regression test ``test_random_adversary_safe_and_terminating``
+        covers the exact interleaving.
+        """
+        if self.literal_rule_order:
+            init_rules = rules(
+                (lambda ctx: ctx.size_known, "Happy"),
+                (lambda ctx: ctx.Btime > 0, first_block_name),
+                (lambda ctx: ctx.catches, "Bounce"),
+                (lambda ctx: ctx.caught, "Forward"),
+            )
+            first_block_rules = rules(
+                (lambda ctx: ctx.size_known, "Happy"),
+                (lambda ctx: ctx.is_landmark, at_landmark_name),
+                (lambda ctx: ctx.Btime > 0, "Ready"),
+                (lambda ctx: ctx.catches, "Bounce"),
+                (lambda ctx: ctx.caught, "Forward"),
+            )
+            cruise_rules = rules(
+                (lambda ctx: ctx.size_known, "Happy"),
+                (lambda ctx: ctx.Btime > 0, "Ready"),
+                (lambda ctx: ctx.catches, "Bounce"),
+                (lambda ctx: ctx.caught, "Forward"),
+            )
+        else:
+            init_rules = rules(
+                (lambda ctx: ctx.size_known, "Happy"),
+                (lambda ctx: ctx.catches, "Bounce"),
+                (lambda ctx: ctx.caught, "Forward"),
+                (lambda ctx: ctx.Btime > 0, first_block_name),
+            )
+            first_block_rules = rules(
+                (lambda ctx: ctx.size_known, "Happy"),
+                (lambda ctx: ctx.catches, "Bounce"),
+                (lambda ctx: ctx.caught, "Forward"),
+                (lambda ctx: ctx.is_landmark, at_landmark_name),
+                (lambda ctx: ctx.Btime > 0, "Ready"),
+            )
+            cruise_rules = rules(
+                (lambda ctx: ctx.size_known, "Happy"),
+                (lambda ctx: ctx.catches, "Bounce"),
+                (lambda ctx: ctx.caught, "Forward"),
+                (lambda ctx: ctx.Btime > 0, "Ready"),
+            )
+        dance = self._dance(cruise_name, dance_success)
+        return [
+            StateSpec(
+                name=init_name,
+                direction=self.var_dir,
+                on_enter=self._enter_init_l,
+                rules=init_rules,
+            ),
+            StateSpec(
+                name=first_block_name,
+                direction=self.var_dir,
+                on_enter=enter_first_block,
+                rules=first_block_rules,
+            ),
+            StateSpec(
+                name=at_landmark_name,
+                custom=dance,
+                on_enter=self._enter_at_landmark,
+            ),
+            StateSpec(
+                name=cruise_name,
+                direction=self.var_dir,
+                rules=cruise_rules,
+            ),
+        ]
+
+    def build_states(self) -> list[StateSpec]:
+        states = self._id_phase_states(
+            init_name="InitL",
+            first_block_name="FirstBlockL",
+            at_landmark_name="AtLandmarkL",
+            cruise_name="AtLandmarkCruiseL",
+            enter_first_block=self._enter_first_block,
+            dance_success=TERMINATE,
+        )
+        states += [
+            StateSpec(
+                name="Happy",
+                direction=self.var_dir,
+                rules=rules(
+                    (self._happy_timeout, TERMINAL),
+                    (lambda ctx: ctx.catches, "Bounce"),
+                    (lambda ctx: ctx.caught, "Forward"),
+                ),
+            ),
+            StateSpec(
+                name="Ready",
+                direction=self.var_dir,  # never moves: on_enter redirects
+                on_enter=self._enter_ready,
+            ),
+            StateSpec(
+                name="Reverse",
+                direction=self.var_dir,
+                on_enter=self._enter_reverse,
+                rules=rules(
+                    (lambda ctx: ctx.catches, "Bounce"),
+                    (lambda ctx: ctx.caught, "Forward"),
+                    (self._switches, "Reverse"),
+                ),
+            ),
+            StateSpec(
+                name="ReverseTimeout",
+                direction=self.var_dir,
+                rules=rules(
+                    (self._reverse_timeout, TERMINAL),
+                    (lambda ctx: ctx.catches, "Bounce"),
+                    (lambda ctx: ctx.caught, "Forward"),
+                ),
+            ),
+        ]
+        states += self._shared_states()
+        return states
+
+
+class LandmarkNoChirality(StartFromLandmarkNoChirality):
+    """Figure 13: arbitrary starting positions, no chirality (Theorem 8)."""
+
+    name = "LandmarkNoChirality"
+    initial_state = "Init"
+
+    @staticmethod
+    def _enter_first_block_arbitrary(ctx: Ctx) -> None:
+        ctx.vars["dir"] = RIGHT
+        ctx.vars["k1"] = ctx.Ttime  # Figure 13: k1 <- Ttime
+
+    def build_states(self) -> list[StateSpec]:
+        states = super().build_states()
+        states += self._id_phase_states(
+            init_name="Init",
+            first_block_name="FirstBlock",
+            at_landmark_name="AtLandmark",
+            cruise_name="AtLandmarkCruise",
+            enter_first_block=self._enter_first_block_arbitrary,
+            dance_success="InitL",
+        )
+        return states

@@ -1,0 +1,98 @@
+"""Algorithm ``Unconscious Exploration`` (paper, Figure 3 / Theorem 5).
+
+Two anonymous agents, fully synchronous, *no* knowledge of the ring size,
+no chirality, no landmark.  Exploration completes in O(n) rounds but the
+agents never know it: they run forever (Theorems 1 and 2 make termination
+impossible in this setting).
+
+Each agent maintains a ring-size guess ``G`` (starting at 2) and moves in
+its current direction for ``2G`` rounds per phase:
+
+* if during a phase it spent more than ``G`` consecutive rounds blocked,
+  it *reverses* direction for the next phase (same guess);
+* otherwise it *keeps* direction and doubles the guess;
+* if it ever catches the other agent it bounces and keeps the new
+  direction forever; if it is caught it keeps its direction forever.
+
+The pseudocode's ``F <- 2 * G`` assignment in state ``Reverse`` is dead
+(``F`` is never read) and is omitted here.
+"""
+
+from __future__ import annotations
+
+from ..base import Ctx, LEFT, StateMachineAlgorithm, StateSpec, rules
+
+
+class UnconsciousExploration(StateMachineAlgorithm):
+    """Figure 3: guess-doubling unconscious exploration."""
+
+    name = "UnconsciousExploration"
+
+    def init_vars(self, memory) -> None:
+        memory.vars["G"] = 2
+        memory.vars["dir"] = LEFT
+
+    # Predicates -------------------------------------------------------------
+
+    @staticmethod
+    def _phase_over_blocked(ctx: Ctx) -> bool:
+        g = ctx.vars["G"]
+        return ctx.Etime >= 2 * g and ctx.Btime > g
+
+    @staticmethod
+    def _phase_over(ctx: Ctx) -> bool:
+        return ctx.Etime >= 2 * ctx.vars["G"]
+
+    # Preambles ----------------------------------------------------------------
+
+    @staticmethod
+    def _enter_reverse(ctx: Ctx) -> None:
+        ctx.vars["dir"] = ctx.vars["dir"].opposite
+
+    @staticmethod
+    def _enter_keep(ctx: Ctx) -> None:
+        ctx.vars["G"] *= 2
+
+    @classmethod
+    def _enter_bounce(cls, ctx: Ctx) -> None:
+        cls.remember_forward(ctx)
+
+    @classmethod
+    def _enter_forward(cls, ctx: Ctx) -> None:
+        cls.remember_forward(ctx)
+
+    # States ---------------------------------------------------------------------
+
+    def build_states(self) -> list[StateSpec]:
+        phase_rules = rules(
+            (self._phase_over_blocked, "Reverse"),
+            (self._phase_over, "Keep"),
+            (lambda ctx: ctx.catches, "Bounce"),
+            (lambda ctx: ctx.caught, "Forward"),
+        )
+        return [
+            StateSpec(name="Init", direction=self.var_dir, rules=phase_rules),
+            StateSpec(
+                name="Reverse",
+                direction=self.var_dir,
+                rules=phase_rules,
+                on_enter=self._enter_reverse,
+            ),
+            StateSpec(
+                name="Keep",
+                direction=self.var_dir,
+                rules=phase_rules,
+                on_enter=self._enter_keep,
+            ),
+            # After a catch the agents hold their (new) directions forever.
+            StateSpec(
+                name="Bounce",
+                direction=self.against_forward_dir,
+                on_enter=self._enter_bounce,
+            ),
+            StateSpec(
+                name="Forward",
+                direction=self.forward_dir,
+                on_enter=self._enter_forward,
+            ),
+        ]

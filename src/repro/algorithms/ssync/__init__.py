@@ -1,0 +1,14 @@
+"""SSYNC exploration algorithms (paper, Section 4)."""
+
+from .pt_chirality import PTBoundWithChirality, PTLandmarkWithChirality
+from .pt_no_chirality import PTBoundNoChirality, PTLandmarkNoChirality
+from .et import ETExactSizeNoChirality, ETUnconscious
+
+__all__ = [
+    "ETExactSizeNoChirality",
+    "ETUnconscious",
+    "PTBoundNoChirality",
+    "PTBoundWithChirality",
+    "PTLandmarkNoChirality",
+    "PTLandmarkWithChirality",
+]

@@ -1,0 +1,66 @@
+"""Eventual Transport algorithms (paper, Section 4.3).
+
+``ETUnconscious`` (Theorem 18): with chirality, two agents that simply
+bounce off each other ("a trivial algorithm in which an agent changes
+direction only when it catches someone") explore the ring unconsciously.
+
+``ETExactSizeNoChirality`` (Theorem 20): three anonymous agents knowing
+the ring size *exactly* (Theorem 19 shows an upper bound cannot suffice)
+explore with at least one agent explicitly terminating.  It is Figure 18's
+``PTBoundNoChirality`` with the bound set to ``n - 1`` (an agent whose
+perceived span reaches ``n - 1`` edges has seen all ``n`` nodes) and the
+``CheckD`` comparison made strict — in ET an equal-length leg no longer
+certifies a crossing, because there is no passive transport to force the
+blocked agent forward (see the proof of Theorem 20).
+"""
+
+from __future__ import annotations
+
+from ...core.errors import ConfigurationError
+from ..base import LEFT, StateMachineAlgorithm, StateSpec, rules
+from .pt_no_chirality import PTBoundNoChirality
+
+
+class ETUnconscious(StateMachineAlgorithm):
+    """Theorem 18: bounce-on-catch unconscious exploration (ET, chirality)."""
+
+    name = "ETUnconscious"
+
+    def init_vars(self, memory) -> None:
+        memory.vars["dir"] = LEFT
+
+    @staticmethod
+    def _flip(ctx) -> str:
+        ctx.vars["dir"] = ctx.vars["dir"].opposite
+        return "Cruise"
+
+    def build_states(self) -> list[StateSpec]:
+        return [
+            StateSpec(
+                name="Init",
+                direction=self.var_dir,
+                rules=rules((lambda ctx: ctx.catches, "Flip")),
+            ),
+            StateSpec(name="Flip", custom=self._flip),
+            StateSpec(
+                name="Cruise",
+                direction=self.var_dir,
+                rules=rules((lambda ctx: ctx.catches, "Flip")),
+            ),
+        ]
+
+    initial_state = "Init"
+
+
+class ETExactSizeNoChirality(PTBoundNoChirality):
+    """Section 4.3.2: ET, three agents, exact ring size, no chirality."""
+
+    strict_check = True
+
+    def __init__(self, ring_size: int) -> None:
+        if ring_size < 3:
+            raise ConfigurationError("rings have n >= 3")
+        self.ring_size = ring_size
+        # "N is set to n - 1": a span of n-1 edges covers all n nodes.
+        super().__init__(bound=ring_size - 1)
+        self.name = f"ETExactSizeNoChirality(n={ring_size})"

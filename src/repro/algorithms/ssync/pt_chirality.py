@@ -1,0 +1,113 @@
+"""Two-agent PT algorithms with chirality (paper, Figures 14 and 17).
+
+``PTBoundWithChirality`` (Theorem 12): two agents, Passive Transport,
+common chirality, known upper bound ``N`` — exploration in O(N²) edge
+traversals, with one agent guaranteed to terminate explicitly and the
+other either terminating or waiting forever on a port (the strongest
+termination the model admits: Theorem 11 rules out both terminating).
+
+``PTLandmarkWithChirality`` (Theorem 14): same skeleton with the bound
+test replaced by "``n`` is known" — the agent terminates after closing a
+full loop around the landmark — for O(n²) traversals.
+
+Skeleton (Section 4.2.2): move left; bounce right on catching the other
+agent; while bouncing, reverse back to left at the first missing edge.
+``leftSteps``/``rightSteps`` record the lengths of the last left/right
+runs; a catch whose left run is no longer than the previous right run
+(``rightSteps >= leftSteps``) means the agents crossed — the ring is
+explored and the catcher terminates.
+
+``Tnodes`` is the perceived covered span in edges (see DESIGN.md):
+``Tnodes >= N`` certifies exploration for any upper bound ``N >= n``.
+"""
+
+from __future__ import annotations
+
+from ...core.actions import TERMINATE
+from ...core.errors import ConfigurationError
+from ..base import Ctx, LEFT, RIGHT, StateMachineAlgorithm, StateSpec, TERMINAL, rules
+
+
+class PTBoundWithChirality(StateMachineAlgorithm):
+    """Figure 14: PT, two agents, chirality, known upper bound ``N``."""
+
+    def __init__(self, bound: int) -> None:
+        if bound < 3:
+            raise ConfigurationError("the bound N must be at least 3")
+        self.bound = bound
+        self.name = f"PTBoundWithChirality(N={bound})"
+        super().__init__()
+
+    def init_vars(self, memory) -> None:
+        memory.vars["leftSteps"] = None
+        memory.vars["rightSteps"] = None
+
+    # -- predicates -------------------------------------------------------------
+
+    def _done(self, ctx: Ctx) -> bool:
+        """The algorithm-specific exploration certificate (``Tnodes >= N``)."""
+        return ctx.Tnodes >= self.bound
+
+    # -- preambles ----------------------------------------------------------------
+
+    def _enter_bounce(self, ctx: Ctx):
+        ctx.vars["leftSteps"] = ctx.Esteps  # steps of the left run that just ended
+        right_steps = ctx.vars["rightSteps"]
+        if right_steps is not None and right_steps >= ctx.vars["leftSteps"]:
+            return TERMINATE  # the agents crossed: the ring is explored
+        return None
+
+    @staticmethod
+    def _enter_reverse(ctx: Ctx) -> None:
+        ctx.vars["rightSteps"] = ctx.Esteps  # steps of the right run that just ended
+
+    # -- states ----------------------------------------------------------------------
+
+    def build_states(self) -> list[StateSpec]:
+        return [
+            StateSpec(
+                name="Init",
+                direction=LEFT,
+                rules=rules(
+                    (self._done, TERMINAL),
+                    (lambda ctx: ctx.catches, "Bounce"),
+                ),
+            ),
+            StateSpec(
+                name="Bounce",
+                direction=RIGHT,
+                on_enter=self._enter_bounce,
+                rules=rules(
+                    (self._done, TERMINAL),
+                    (lambda ctx: ctx.Btime > 0, "Reverse"),
+                ),
+            ),
+            StateSpec(
+                name="Reverse",
+                direction=LEFT,
+                on_enter=self._enter_reverse,
+                rules=rules(
+                    (self._done, TERMINAL),
+                    (lambda ctx: ctx.catches, "Bounce"),
+                ),
+            ),
+        ]
+
+
+class PTLandmarkWithChirality(PTBoundWithChirality):
+    """Figure 17: PT, two agents, chirality, landmark instead of a bound.
+
+    Identical to :class:`PTBoundWithChirality` except the termination
+    certificate: "``n`` is known", i.e. the agent completed a loop around
+    the landmark (the engine's ``LExplore`` bookkeeping sets ``size``).
+    """
+
+    def __init__(self) -> None:
+        StateMachineAlgorithm.__init__(self)
+        self.name = "PTLandmarkWithChirality"
+
+    # only used for repr-ish purposes; the landmark test replaces the bound
+    bound = None  # type: ignore[assignment]
+
+    def _done(self, ctx: Ctx) -> bool:
+        return ctx.size_known

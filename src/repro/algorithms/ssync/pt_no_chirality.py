@@ -1,0 +1,156 @@
+"""Three-agent PT algorithms without chirality (paper, Figure 18 / §4.2.3).
+
+Without chirality two agents cannot explore in PT (Theorem 10); three can.
+``PTBoundNoChirality`` (Theorem 16) knows an upper bound ``N``;
+``PTLandmarkNoChirality`` (Theorem 17) replaces the bound test with the
+landmark-loop certificate.  Both explore with O(N²)/O(n²) traversals; one
+agent terminates explicitly, the others terminate or wait forever.
+
+Skeleton: each agent zig-zags, changing direction *only* when it catches
+another agent waiting on a missing edge ahead of it.  The distance ``d``
+travelled between direction changes must strictly grow; the moment a leg
+is no longer than the previous one (``CheckD``), or the agent walks into
+another agent within ``d`` steps (``MeetingB``/``MeetingR``), the agents
+must have crossed and the ring is explored (Lemma 4).  The meeting states
+continue the sweep without resetting ``Esteps`` (the paper's
+``ExploreNoResetEsteps``).
+
+Deviation noted in DESIGN.md: the paper's ``Esteps <= d`` check in
+``MeetingR``/``MeetingB`` is guarded by ``d > 0`` here, mirroring
+``CheckD``'s own guard — an unset ``d`` (no completed leg yet) certifies
+nothing.
+
+The ET variant of Section 4.3.2 reuses this class with a *strict* CheckD
+(``<`` instead of ``<=``); see :mod:`.et`.
+"""
+
+from __future__ import annotations
+
+from ...core.actions import TERMINATE
+from ...core.errors import ConfigurationError
+from ..base import Ctx, LEFT, RIGHT, StateMachineAlgorithm, StateSpec, TERMINAL, rules
+
+
+class PTBoundNoChirality(StateMachineAlgorithm):
+    """Figure 18: PT, three agents, no chirality, known upper bound ``N``."""
+
+    #: ET mode uses the strict comparison in CheckD (Section 4.3.2).
+    strict_check = False
+
+    def __init__(self, bound: int) -> None:
+        if bound < 2:
+            raise ConfigurationError("the bound must be at least 2")
+        self.bound = bound
+        self.name = f"PTBoundNoChirality(N={bound})"
+        super().__init__()
+
+    def init_vars(self, memory) -> None:
+        memory.vars["d"] = 0
+
+    # -- predicates ---------------------------------------------------------------
+
+    def _done(self, ctx: Ctx) -> bool:
+        """Exploration certificate: perceived span reached the bound."""
+        return ctx.Tnodes >= self.bound
+
+    # -- CheckD (paper, Figure 18) ---------------------------------------------------
+
+    def _check_d(self, ctx: Ctx, steps: int):
+        """Terminate when a leg stopped growing, else remember its length."""
+        d = ctx.vars["d"]
+        if d > 0:
+            stopped_growing = steps < d if self.strict_check else steps <= d
+            if stopped_growing:
+                return TERMINATE
+            ctx.vars["d"] = steps
+        return None
+
+    def _meeting_check(self, ctx: Ctx):
+        d = ctx.vars["d"]
+        if d > 0:
+            crossed = ctx.Esteps < d if self.strict_check else ctx.Esteps <= d
+            if crossed:
+                return TERMINATE
+        return None
+
+    # -- preambles ----------------------------------------------------------------------
+
+    def _enter_bounce(self, ctx: Ctx):
+        return self._check_d(ctx, ctx.Esteps)
+
+    def _enter_reverse(self, ctx: Ctx):
+        if ctx.vars["d"] == 0:
+            ctx.vars["d"] = ctx.Esteps  # first change from Bounce to Reverse
+            return None
+        return self._check_d(ctx, ctx.Esteps)
+
+    # -- states ------------------------------------------------------------------------------
+
+    def build_states(self) -> list[StateSpec]:
+        return [
+            StateSpec(
+                name="Init",
+                direction=LEFT,
+                rules=rules(
+                    (self._done, TERMINAL),
+                    (lambda ctx: ctx.catches, "Bounce"),
+                ),
+            ),
+            StateSpec(
+                name="Bounce",
+                direction=RIGHT,
+                on_enter=self._enter_bounce,
+                rules=rules(
+                    (self._done, TERMINAL),
+                    (lambda ctx: ctx.meeting, "MeetingB"),
+                    (lambda ctx: ctx.catches, "Reverse"),
+                ),
+            ),
+            StateSpec(
+                name="Reverse",
+                direction=LEFT,
+                on_enter=self._enter_reverse,
+                rules=rules(
+                    (self._done, TERMINAL),
+                    (lambda ctx: ctx.meeting, "MeetingR"),
+                    (lambda ctx: ctx.catches, "Bounce"),
+                ),
+            ),
+            StateSpec(
+                name="MeetingR",
+                direction=LEFT,
+                on_enter=self._meeting_check,
+                keep_esteps=True,  # ExploreNoResetEsteps
+                rules=rules(
+                    (self._done, TERMINAL),
+                    (lambda ctx: ctx.catches, "Bounce"),
+                ),
+            ),
+            StateSpec(
+                name="MeetingB",
+                direction=RIGHT,
+                on_enter=self._meeting_check,
+                keep_esteps=True,  # ExploreNoResetEsteps
+                rules=rules(
+                    (self._done, TERMINAL),
+                    (lambda ctx: ctx.catches, "Reverse"),
+                ),
+            ),
+        ]
+
+
+class PTLandmarkNoChirality(PTBoundNoChirality):
+    """Section 4.2.3-B: PT, three agents, no chirality, landmark.
+
+    ``Tnodes >= N`` is replaced by "``n`` is known" — the agent has
+    completed a loop around the landmark (Theorem 17).
+    """
+
+    bound = None  # type: ignore[assignment]
+
+    def __init__(self) -> None:
+        StateMachineAlgorithm.__init__(self)
+        self.name = "PTLandmarkNoChirality"
+
+    def _done(self, ctx: Ctx) -> bool:
+        return ctx.size_known

@@ -1,0 +1,68 @@
+"""Deliberately broken baselines used by the impossibility demonstrations.
+
+The impossibility theorems (1, 2, 19) say *no* algorithm can achieve
+(partial) termination in their settings.  A simulator demonstrates this by
+exhibiting the paper's adversary breaking representative attempts; this
+module provides the canonical broken attempt — terminate after a fixed
+time budget, the only thing an algorithm without size knowledge can do —
+which the constructions defeat on cue.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigurationError
+from .base import Ctx, LEFT, StateMachineAlgorithm, StateSpec, TERMINAL, rules
+
+
+class GuessAndTerminate(StateMachineAlgorithm):
+    """Walk left, bounce right when blocked, stop after ``budget`` rounds.
+
+    A strawman: on a ring with at most ``budget / 2``-ish nodes (and a
+    cooperative adversary) it happens to work; Theorems 1/2 say any such
+    guess must fail — on a larger ring the agents terminate with nodes
+    unexplored, which :meth:`repro.core.results.RunResult.termination_mode`
+    reports as ``INCORRECT``.
+    """
+
+    def __init__(self, budget: int) -> None:
+        if budget < 1:
+            raise ConfigurationError("budget must be positive")
+        self.budget = budget
+        self.name = f"GuessAndTerminate(budget={budget})"
+        super().__init__()
+
+    def init_vars(self, memory) -> None:
+        memory.vars["dir"] = LEFT
+
+    def _expired(self, ctx: Ctx) -> bool:
+        return ctx.Ttime >= self.budget
+
+    @staticmethod
+    def _blocked(ctx: Ctx) -> bool:
+        return ctx.Btime > 0 or ctx.failed
+
+    @staticmethod
+    def _enter_turn(ctx: Ctx) -> str:
+        ctx.vars["dir"] = ctx.vars["dir"].opposite
+        return "Walk"
+
+    def build_states(self) -> list[StateSpec]:
+        return [
+            StateSpec(
+                name="Init",
+                direction=self.var_dir,
+                rules=rules(
+                    (self._expired, TERMINAL),
+                    (self._blocked, "Turn"),
+                ),
+            ),
+            StateSpec(name="Turn", direction=self.var_dir, on_enter=self._enter_turn),
+            StateSpec(
+                name="Walk",
+                direction=self.var_dir,
+                rules=rules(
+                    (self._expired, TERMINAL),
+                    (self._blocked, "Turn"),
+                ),
+            ),
+        ]

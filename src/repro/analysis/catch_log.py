@@ -1,0 +1,125 @@
+"""Catch-event extraction from live executions (empirical Figure 22).
+
+:mod:`.catch_tree` verifies Theorem 20's case analysis *symbolically*;
+this module closes the loop by recording the catch events of an actual
+three-agent ET (or PT) execution and checking they obey the successor
+rule the proof relies on: a catch flips the catcher's direction, only
+same-direction agents catch each other, and consecutive events involve
+the previous catcher or the third agent, never a same-direction repeat.
+
+Detection piggybacks on the zig-zag algorithms' defining property
+(Section 4.2.3: "an agent changes direction if and only if it reaches
+another agent that is waiting on a missing edge in the same direction"):
+a transition into ``Bounce`` or ``Reverse`` *is* a catch.  The caught
+agent is the unique other agent waiting on a port of the catcher's
+pre-round node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.directions import GlobalDirection, LocalDirection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import Engine
+
+#: States in which the zig-zag algorithms move locally-left / locally-right.
+_LEFT_MOVING = {"Init", "Reverse", "MeetingR"}
+_RIGHT_MOVING = {"Bounce", "MeetingB"}
+#: Transitions into these states are direction changes, i.e. catches.
+_CATCH_TARGETS = {"Bounce", "Reverse"}
+
+
+@dataclass(frozen=True)
+class CatchRecord:
+    """One observed catch: ``catcher`` (moving ``direction``) caught ``caught``."""
+
+    round: int
+    catcher: int
+    caught: int
+    direction: GlobalDirection  # the catcher's global direction *before* flipping
+
+
+def _moving_direction(state: str, agent) -> GlobalDirection | None:
+    if state in _LEFT_MOVING:
+        return agent.orientation.to_global(LocalDirection.LEFT)
+    if state in _RIGHT_MOVING:
+        return agent.orientation.to_global(LocalDirection.RIGHT)
+    return None
+
+
+def log_catches(engine: "Engine", rounds: int) -> list[CatchRecord]:
+    """Run ``rounds`` rounds, recording every catch event.
+
+    Only meaningful for the Figure 18 family (``PTBoundNoChirality``,
+    ``PTLandmarkNoChirality``, ``ETExactSizeNoChirality``), whose only
+    direction changes are catches.
+    """
+    records: list[CatchRecord] = []
+    for _ in range(rounds):
+        if engine.all_terminated:
+            break
+        before = {
+            a.index: (a.memory.vars.get("state"), a.node, a.port)
+            for a in engine.agents
+            if not a.terminated
+        }
+        ported = {
+            a.index: a.node for a in engine.agents if a.port is not None
+        }
+        engine.step()
+        for agent in engine.agents:
+            if agent.index not in before:
+                continue
+            old_state, old_node, old_port = before[agent.index]
+            new_state = agent.memory.vars.get("state")
+            if new_state == old_state or new_state not in _CATCH_TARGETS:
+                continue
+            if old_port is not None:
+                continue  # a blocked agent cannot be the catcher
+            caught = [
+                i for i, node in ported.items()
+                if node == old_node and i != agent.index
+            ]
+            if len(caught) != 1:
+                continue  # not a clean catch configuration (e.g. meeting)
+            direction = _moving_direction(old_state, agent)
+            if direction is None:
+                continue
+            records.append(
+                CatchRecord(
+                    round=engine.round_no - 1,
+                    catcher=agent.index,
+                    caught=caught[0],
+                    direction=direction,
+                )
+            )
+    return records
+
+
+def successor_violations(records: list[CatchRecord]) -> list[str]:
+    """Check the proof's successor rule over an observed catch sequence.
+
+    After event ``Dxy`` the next catch must (a) be in the opposite global
+    direction and (b) have ``x`` as catcher or caught participant or
+    involve the third agent as catcher — concretely, the paper's rule:
+    ``Dxy`` is followed by ``D'xz`` or ``D'zx`` where ``z`` is the third
+    agent.  Returns human-readable violations (empty list = clean run).
+    """
+    problems: list[str] = []
+    for prev, curr in zip(records, records[1:]):
+        if curr.direction is prev.direction:
+            problems.append(
+                f"round {curr.round}: direction did not alternate after "
+                f"round {prev.round}"
+            )
+        expected_pair = {prev.catcher, 3 - prev.catcher - prev.caught}
+        if {curr.catcher, curr.caught} != expected_pair:
+            problems.append(
+                f"round {curr.round}: participants {curr.catcher, curr.caught} "
+                f"are not the previous catcher with the third agent "
+                f"(expected {tuple(sorted(expected_pair))})"
+            )
+    return problems

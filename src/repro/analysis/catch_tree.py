@@ -1,0 +1,168 @@
+"""The Catch Tree of Theorem 20 (paper, Figure 22 and Claims 4-5).
+
+The termination proof of ``ETBoundNoChirality`` analyses the sequence of
+*catch events* in a hypothetical never-terminating execution.  An event
+``Dxy`` means "agent x, moving in direction D, catches agent y" (and
+reverses).  The proof establishes:
+
+* **successor rule** — ``Dxy`` can only be followed by ``D'xz`` or
+  ``D'zx``, where ``D'`` is the opposite direction and ``z`` the third
+  agent (only same-direction agents can catch each other);
+* **bounded loops** (the dashed edges of Figure 22) — the 2-cycle
+  ``Dxy : D'xz : Dxy`` (x bouncing between two stationary agents) cannot
+  repeat forever under the ET fairness condition;
+* **forbidden pairs** (Claim 5, the red edges of Figure 22) —
+  ``Lac:Rba``, ``Lba:Rcb``, ``Lcb:Rac``, ``Rbc:Lab``, ``Rca:Lbc``,
+  ``Rab:Lca`` are geometrically impossible once the agents' ranges are
+  pairwise-disjoint-complement (Claims 3-4).
+
+This module makes that case analysis executable: build the successor
+graph, delete the forbidden edges, and check that *every remaining cycle
+is a same-catcher 2-cycle* — i.e. the only way to avoid termination is a
+bounded loop, which ET forbids.  That is exactly the shape of Figure 22,
+verified exhaustively instead of by inspecting the drawn trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.directions import LEFT, RIGHT, LocalDirection
+
+AGENTS = ("a", "b", "c")
+
+
+@dataclass(frozen=True)
+class CatchEvent:
+    """``Dxy``: ``catcher`` moving ``direction`` catches ``caught``."""
+
+    direction: LocalDirection
+    catcher: str
+    caught: str
+
+    def __post_init__(self) -> None:
+        if self.catcher not in AGENTS or self.caught not in AGENTS:
+            raise ValueError("agents are named a, b, c")
+        if self.catcher == self.caught:
+            raise ValueError("an agent cannot catch itself")
+
+    @property
+    def third(self) -> str:
+        """The agent not involved in this event."""
+        return next(x for x in AGENTS if x not in (self.catcher, self.caught))
+
+    def successors(self) -> tuple["CatchEvent", "CatchEvent"]:
+        """The two events that may follow (the proof's successor rule)."""
+        flipped = self.direction.opposite
+        z = self.third
+        return (
+            CatchEvent(flipped, self.catcher, z),
+            CatchEvent(flipped, z, self.catcher),
+        )
+
+    def label(self) -> str:
+        d = "L" if self.direction is LEFT else "R"
+        return f"{d}{self.catcher}{self.caught}"
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+def _event(label: str) -> CatchEvent:
+    direction = LEFT if label[0] == "L" else RIGHT
+    return CatchEvent(direction, label[1], label[2])
+
+
+#: Claim 5: the six forbidden consecutive pairs (red edges of Figure 22).
+FORBIDDEN_SEQUENCES: frozenset[tuple[CatchEvent, CatchEvent]] = frozenset(
+    (_event(first), _event(second))
+    for first, second in (
+        ("Lac", "Rba"),
+        ("Lba", "Rcb"),
+        ("Lcb", "Rac"),
+        ("Rbc", "Lab"),
+        ("Rca", "Lbc"),
+        ("Rab", "Lca"),
+    )
+)
+
+
+def all_events() -> list[CatchEvent]:
+    """All 12 possible catch events."""
+    return [
+        CatchEvent(direction, x, y)
+        for direction in (LEFT, RIGHT)
+        for x, y in itertools.permutations(AGENTS, 2)
+    ]
+
+
+class CatchTree:
+    """The successor graph with Claim 5's edges removed."""
+
+    def __init__(self) -> None:
+        self.events = all_events()
+        self.edges: list[tuple[CatchEvent, CatchEvent]] = [
+            (event, succ)
+            for event in self.events
+            for succ in event.successors()
+            if (event, succ) not in FORBIDDEN_SEQUENCES
+        ]
+
+    def to_networkx(self):
+        """The graph as a ``networkx.DiGraph`` over event labels."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(e.label() for e in self.events)
+        graph.add_edges_from((u.label(), v.label()) for u, v in self.edges)
+        return graph
+
+    def simple_cycles(self) -> list[list[str]]:
+        import networkx as nx
+
+        return list(nx.simple_cycles(self.to_networkx()))
+
+    def is_bounded_loop(self, cycle: Iterable[str]) -> bool:
+        """A same-catcher 2-cycle — the bounded ``Dxy : D'xz : Dxy`` loop."""
+        labels = list(cycle)
+        if len(labels) != 2:
+            return False
+        first, second = labels
+        return (
+            first[1] == second[1]  # same catcher
+            and first[0] != second[0]  # opposite directions
+        )
+
+    def unbounded_cycles(self) -> list[list[str]]:
+        """Cycles that are not bounded loops — the theorem needs none."""
+        return [c for c in self.simple_cycles() if not self.is_bounded_loop(c)]
+
+    def paths_from(self, root: str, depth: int) -> list[list[str]]:
+        """All successor paths of a given length from a root (Figure 22)."""
+        graph = {u.label(): [] for u in self.events}
+        for u, v in self.edges:
+            graph[u.label()].append(v.label())
+        paths = [[root]]
+        for _ in range(depth):
+            paths = [p + [succ] for p in paths for succ in graph[p[-1]]]
+        return paths
+
+    def render(self, root: str, depth: int = 3) -> str:
+        """Text rendering of the catch tree rooted at ``root`` (Figure 22)."""
+        graph = {u.label(): [] for u in self.events}
+        for u, v in self.edges:
+            graph[u.label()].append(v.label())
+        lines: list[str] = []
+
+        def walk(label: str, prefix: str, remaining: int, seen: tuple[str, ...]) -> None:
+            marker = " (loop)" if label in seen else ""
+            lines.append(f"{prefix}{label}{marker}")
+            if remaining == 0 or marker:
+                return
+            for succ in graph[label]:
+                walk(succ, prefix + "  ", remaining - 1, seen + (label,))
+
+        walk(root, "", depth, ())
+        return "\n".join(lines)

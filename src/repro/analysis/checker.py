@@ -1,0 +1,57 @@
+"""Run-level safety checks shared by tests, benches and examples.
+
+The single safety property every algorithm in the paper must satisfy: *the
+terminal state is entered only after the exploration of the ring*
+(Section 2.1).  Liveness varies by setting (explicit / partial /
+unconscious) and is asserted per-experiment; safety is universal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from ..core.results import RunResult, TerminationMode
+
+
+def check_safety(result: RunResult) -> list[str]:
+    """Return a list of safety violations (empty = clean run).
+
+    Violations:
+    * an agent terminated although the ring was never explored;
+    * an agent terminated in a round before exploration completed.
+    """
+    problems: list[str] = []
+    for agent in result.agents:
+        if not agent.terminated:
+            continue
+        if result.exploration_round is None:
+            problems.append(
+                f"agent {agent.index} terminated at round {agent.termination_round} "
+                "but the ring was never explored"
+            )
+        elif (
+            agent.termination_round is not None
+            and agent.termination_round < result.exploration_round
+        ):
+            problems.append(
+                f"agent {agent.index} terminated at round {agent.termination_round}, "
+                f"before exploration completed at round {result.exploration_round}"
+            )
+    return problems
+
+
+def classify_runs(results: Iterable[RunResult]) -> Counter:
+    """Histogram of :class:`TerminationMode` over a batch of runs."""
+    counter: Counter = Counter()
+    for result in results:
+        counter[result.termination_mode()] += 1
+    return counter
+
+
+def assert_safe(result: RunResult) -> RunResult:
+    """Raise ``AssertionError`` on a safety violation; returns the result."""
+    problems = check_safety(result)
+    if problems:
+        raise AssertionError("; ".join(problems))
+    return result

@@ -1,0 +1,94 @@
+"""Empirical complexity fitting for the paper's asymptotic claims.
+
+The evaluation of a theory paper is its complexity map; reproducing it
+means checking measured cost curves have the claimed *shape*.  We fit each
+measured series against the candidate growth models that appear in the
+paper — ``n``, ``n log n``, ``n^2`` (plus a constant term) — by
+least-squares and report which model explains the data best.
+
+A model "wins" when it has the lowest residual; the benches additionally
+report the R² of the paper's claimed model so a reader can see how clean
+the fit is.  numpy is an optional dependency used only here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: Candidate growth models: name -> basis function of n.
+MODELS: dict[str, Callable[[float], float]] = {
+    "constant": lambda n: 1.0,
+    "linear": lambda n: n,
+    "nlogn": lambda n: n * math.log2(max(n, 2.0)),
+    "quadratic": lambda n: n * n,
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Least-squares fit of ``y ~ a * model(n) + b``."""
+
+    model: str
+    coefficient: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        return self.coefficient * MODELS[self.model](n) + self.intercept
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model}: y = {self.coefficient:.4g} * f(n) + {self.intercept:.4g}"
+            f"  (R^2 = {self.r_squared:.4f})"
+        )
+
+
+def fit_model(xs: Sequence[float], ys: Sequence[float], model: str) -> FitResult:
+    """Least-squares fit of one named model (requires >= 2 points)."""
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}; choose from {sorted(MODELS)}")
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length series with at least 2 points")
+    import numpy as np
+
+    basis = np.array([MODELS[model](x) for x in xs], dtype=float)
+    design = np.column_stack([basis, np.ones_like(basis)])
+    target = np.array(ys, dtype=float)
+    (coef, intercept), residuals, _, _ = np.linalg.lstsq(design, target, rcond=None)
+    predictions = design @ np.array([coef, intercept])
+    ss_res = float(np.sum((target - predictions) ** 2))
+    ss_tot = float(np.sum((target - target.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return FitResult(model=model, coefficient=float(coef), intercept=float(intercept), r_squared=r2)
+
+
+def best_fit(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    models: Sequence[str] = ("linear", "nlogn", "quadratic"),
+) -> FitResult:
+    """The candidate model with the highest R² on the series.
+
+    Note the usual caveat: richer models always fit at least as well on
+    *interpolation*; the candidates here grow differently enough (and the
+    sweeps span a 4-8x range of ``n``) that the distinction is meaningful.
+    Benches also print the claimed model's R² explicitly.
+    """
+    fits = [fit_model(xs, ys, model) for model in models]
+    return max(fits, key=lambda fit: fit.r_squared)
+
+
+def doubling_ratios(xs: Sequence[float], ys: Sequence[float]) -> list[float]:
+    """``y(2n)/y(n)`` for consecutive doublings present in the sweep.
+
+    A scale-free signal: ~2 for linear growth, ~4 for quadratic, ~2·(1+o(1))
+    for n log n.  Used by the benches to report shape without curve fitting.
+    """
+    by_x = dict(zip(xs, ys))
+    ratios = []
+    for x in xs:
+        if 2 * x in by_x and by_x[x] > 0:
+            ratios.append(by_x[2 * x] / by_x[x])
+    return ratios

@@ -1,0 +1,70 @@
+"""ASCII rendering of ring configurations and run timelines.
+
+Offline-friendly visualisation: a one-line picture of the ring per round,
+showing node occupancy, port waiting, the landmark and the missing edge.
+Used by the CLI (``python -m repro watch``) and the examples.
+
+Legend::
+
+    [2]   two agents in the node interior
+    [1*]  one agent in the node interior, node is the landmark
+    <     an agent waiting on the node's minus port (toward lower index)
+    >     an agent waiting on the node's plus port
+    / /   the edge to the right of the node is missing this round
+    ---   the edge is present
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.directions import GlobalDirection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import Engine
+
+
+def render_configuration(engine: "Engine") -> str:
+    """One-line snapshot of the current configuration."""
+    ring = engine.ring
+    cells: list[str] = []
+    for node in range(ring.size):
+        interior = sum(
+            1 for a in engine.agents if a.node == node and a.port is None
+        )
+        on_minus = any(
+            a.node == node and a.port is GlobalDirection.MINUS for a in engine.agents
+        )
+        on_plus = any(
+            a.node == node and a.port is GlobalDirection.PLUS for a in engine.agents
+        )
+        mark = "*" if ring.is_landmark(node) else ""
+        body = f"{interior if interior else '.'}{mark}"
+        cell = f"{'<' if on_minus else ' '}[{body}]{'>' if on_plus else ' '}"
+        edge = " / " if engine.missing_edge == node else "---"
+        cells.append(cell + edge)
+    return "".join(cells)
+
+
+def render_header(engine: "Engine") -> str:
+    """Column header naming the nodes, aligned with the cells."""
+    parts = [f"  v{node:<3}   " for node in range(engine.ring.size)]
+    header = "".join(p[: 9] for p in parts)
+    return header
+
+
+def watch(engine: "Engine", rounds: int, *, printer=print) -> None:
+    """Step the engine, printing one configuration line per round."""
+    printer(render_header(engine))
+    printer(f"r={engine.round_no:>4}  " + render_configuration(engine))
+    for _ in range(rounds):
+        if engine.all_terminated:
+            break
+        engine.step()
+        printer(f"r={engine.round_no:>4}  " + render_configuration(engine))
+    terminated = [a.index for a in engine.agents if a.terminated]
+    printer(
+        f"explored={engine.exploration_complete} "
+        f"visited={len(engine.visited)}/{engine.ring.size} "
+        f"terminated={terminated}"
+    )

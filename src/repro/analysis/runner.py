@@ -1,0 +1,108 @@
+"""Parameter sweeps and averaged experiments.
+
+The benches regenerate each table/figure by sweeping the ring size (and
+seeds) and summarising cost; this module holds the shared machinery so a
+bench is a declarative description, not a loop nest.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.engine import Engine
+from ..core.results import RunResult
+
+#: Builds a ready-to-run engine for one ring size and seed.
+EngineFactory = Callable[[int, int], Engine]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated measurements for one swept ring size."""
+
+    n: int
+    runs: int
+    mean_rounds: float
+    max_rounds: int
+    mean_moves: float
+    max_moves: int
+    mean_exploration_round: float | None
+    all_explored: bool
+    results: tuple[RunResult, ...]
+
+    def __str__(self) -> str:
+        explored = (
+            f"explored@~{self.mean_exploration_round:.1f}"
+            if self.mean_exploration_round is not None
+            else "NOT always explored"
+        )
+        return (
+            f"n={self.n:>4} runs={self.runs} rounds~{self.mean_rounds:.1f} "
+            f"(max {self.max_rounds}) moves~{self.mean_moves:.1f} "
+            f"(max {self.max_moves}) {explored}"
+        )
+
+
+def average_case(
+    factory: EngineFactory,
+    n: int,
+    *,
+    seeds: Sequence[int],
+    max_rounds: int,
+    stop_on_exploration: bool = False,
+    stop_when: Callable[[Engine], bool] | None = None,
+) -> SweepPoint:
+    """Run one ring size across seeds and aggregate."""
+    results: list[RunResult] = []
+    for seed in seeds:
+        engine = factory(n, seed)
+        results.append(
+            engine.run(
+                max_rounds,
+                stop_on_exploration=stop_on_exploration,
+                stop_when=stop_when,
+            )
+        )
+    exploration_rounds = [
+        r.exploration_round for r in results if r.exploration_round is not None
+    ]
+    return SweepPoint(
+        n=n,
+        runs=len(results),
+        mean_rounds=statistics.fmean(r.rounds for r in results),
+        max_rounds=max(r.rounds for r in results),
+        mean_moves=statistics.fmean(r.total_moves for r in results),
+        max_moves=max(r.total_moves for r in results),
+        mean_exploration_round=(
+            statistics.fmean(exploration_rounds)
+            if len(exploration_rounds) == len(results)
+            else None
+        ),
+        all_explored=all(r.explored for r in results),
+        results=tuple(results),
+    )
+
+
+def sweep(
+    factory: EngineFactory,
+    sizes: Sequence[int],
+    *,
+    seeds: Sequence[int] = (0,),
+    max_rounds_for: Callable[[int], int],
+    stop_on_exploration: bool = False,
+    stop_when: Callable[[Engine], bool] | None = None,
+) -> list[SweepPoint]:
+    """Sweep ring sizes; one :class:`SweepPoint` per size."""
+    return [
+        average_case(
+            factory,
+            n,
+            seeds=seeds,
+            max_rounds=max_rounds_for(n),
+            stop_on_exploration=stop_on_exploration,
+            stop_when=stop_when,
+        )
+        for n in sizes
+    ]

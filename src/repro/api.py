@@ -1,0 +1,103 @@
+"""High-level facade: build and run an exploration in one call.
+
+Most users want::
+
+    from repro import run_exploration
+    from repro.algorithms.fsync import KnownUpperBound
+
+    result = run_exploration(KnownUpperBound(bound=12), ring_size=12,
+                             positions=[0, 5], max_rounds=100)
+    print(result.summary())
+
+Everything is overridable: adversary, scheduler, transport model,
+orientations (chirality), landmark, tracing.  Defaults give the benign
+FSYNC setting: no edge ever missing, everyone active, shared orientation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .adversary.simple import NoRemoval
+from .core.directions import Orientation, orientations_for
+from .core.engine import Engine, TransportModel
+from .core.interfaces import ActivationScheduler, Algorithm, EdgeAdversary
+from .core.results import RunResult
+from .core.ring import Ring
+from .core.trace import Trace
+from .schedulers.fsync import FsyncScheduler
+
+
+def build_engine(
+    algorithm: Algorithm,
+    *,
+    ring_size: int,
+    positions: Sequence[int],
+    landmark: int | None = None,
+    chirality: bool = True,
+    flipped: tuple[int, ...] = (),
+    orientations: Sequence[Orientation] | None = None,
+    adversary: EdgeAdversary | None = None,
+    scheduler: ActivationScheduler | None = None,
+    transport: TransportModel = TransportModel.NS,
+    trace: Trace | None = None,
+) -> Engine:
+    """Assemble an :class:`Engine` with sensible defaults.
+
+    ``chirality``/``flipped`` build the orientation vector unless an
+    explicit ``orientations`` sequence is given.  Default adversary is
+    :class:`NoRemoval`, default scheduler FSYNC.
+    """
+    ring = Ring(ring_size, landmark=landmark)
+    if orientations is None:
+        orientations = orientations_for(
+            len(positions), chirality=chirality, flipped=flipped
+        )
+    return Engine(
+        ring,
+        algorithm,
+        positions,
+        orientations=orientations,
+        scheduler=scheduler if scheduler is not None else FsyncScheduler(),
+        adversary=adversary if adversary is not None else NoRemoval(),
+        transport=transport,
+        trace=trace,
+    )
+
+
+def run_exploration(
+    algorithm: Algorithm,
+    *,
+    ring_size: int,
+    positions: Sequence[int],
+    max_rounds: int,
+    landmark: int | None = None,
+    chirality: bool = True,
+    flipped: tuple[int, ...] = (),
+    orientations: Sequence[Orientation] | None = None,
+    adversary: EdgeAdversary | None = None,
+    scheduler: ActivationScheduler | None = None,
+    transport: TransportModel = TransportModel.NS,
+    trace: Trace | None = None,
+    stop_on_exploration: bool = False,
+    stop_when: Callable[[Engine], bool] | None = None,
+) -> RunResult:
+    """Build an engine and run it to completion (see :func:`build_engine`)."""
+    engine = build_engine(
+        algorithm,
+        ring_size=ring_size,
+        positions=positions,
+        landmark=landmark,
+        chirality=chirality,
+        flipped=flipped,
+        orientations=orientations,
+        adversary=adversary,
+        scheduler=scheduler,
+        transport=transport,
+        trace=trace,
+    )
+    return engine.run(
+        max_rounds,
+        stop_on_exploration=stop_on_exploration,
+        stop_when=stop_when,
+    )

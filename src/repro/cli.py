@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``atlas``  — print the paper's feasibility map (Tables 1-4);
+* ``run``    — run one algorithm on a dynamic ring and print the outcome;
+* ``watch``  — like ``run`` but renders the configuration every round;
+* ``list``   — list available algorithms, adversaries and schedulers.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .adversary import (
+    BlockAgentAdversary,
+    FixedMissingEdge,
+    MeetingPreventionAdversary,
+    NoRemoval,
+    PeriodicMissingEdge,
+    RandomMissingEdge,
+)
+from .algorithms import (
+    ETExactSizeNoChirality,
+    ETUnconscious,
+    KnownUpperBound,
+    LandmarkNoChirality,
+    LandmarkWithChirality,
+    PTBoundNoChirality,
+    PTBoundWithChirality,
+    PTLandmarkNoChirality,
+    PTLandmarkWithChirality,
+    StartFromLandmarkNoChirality,
+    UnconsciousExploration,
+)
+from .analysis.render import watch
+from .api import build_engine
+from .core import TransportModel
+from .schedulers import ETFairScheduler, FsyncScheduler, RandomFairScheduler
+from .theory.tables import render_map
+
+#: name -> (factory(args), needs_landmark, default_agents, transport)
+ALGORITHMS = {
+    "known-bound": (
+        lambda a: KnownUpperBound(bound=a.bound or a.n), False, 2, TransportModel.NS),
+    "unconscious": (
+        lambda a: UnconsciousExploration(), False, 2, TransportModel.NS),
+    "landmark-chirality": (
+        lambda a: LandmarkWithChirality(), True, 2, TransportModel.NS),
+    "landmark-no-chirality": (
+        lambda a: LandmarkNoChirality(), True, 2, TransportModel.NS),
+    "start-from-landmark": (
+        lambda a: StartFromLandmarkNoChirality(), True, 2, TransportModel.NS),
+    "pt-bound": (
+        lambda a: PTBoundWithChirality(bound=a.bound or a.n), False, 2, TransportModel.PT),
+    "pt-landmark": (
+        lambda a: PTLandmarkWithChirality(), True, 2, TransportModel.PT),
+    "pt-bound-3": (
+        lambda a: PTBoundNoChirality(bound=a.bound or a.n), False, 3, TransportModel.PT),
+    "pt-landmark-3": (
+        lambda a: PTLandmarkNoChirality(), True, 3, TransportModel.PT),
+    "et-unconscious": (
+        lambda a: ETUnconscious(), False, 2, TransportModel.ET),
+    "et-exact": (
+        lambda a: ETExactSizeNoChirality(ring_size=a.n), False, 3, TransportModel.ET),
+}
+
+ADVERSARIES = {
+    "none": lambda a: NoRemoval(),
+    "random": lambda a: RandomMissingEdge(seed=a.seed),
+    "fixed": lambda a: FixedMissingEdge(a.edge),
+    "periodic": lambda a: PeriodicMissingEdge(a.edge, period=4, duty=2),
+    "block-agent": lambda a: BlockAgentAdversary(0),
+    "prevent-meetings": lambda a: MeetingPreventionAdversary(),
+}
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Live Exploration of Dynamic Rings - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("atlas", help="print the paper's feasibility map")
+    sub.add_parser("list", help="list algorithms and adversaries")
+
+    for name in ("run", "watch"):
+        p = sub.add_parser(name, help=f"{name} an exploration")
+        p.add_argument("algorithm", choices=sorted(ALGORITHMS))
+        p.add_argument("-n", type=int, default=8, help="ring size (default 8)")
+        p.add_argument("--bound", type=int, default=None,
+                       help="known upper bound N (defaults to n)")
+        p.add_argument("--agents", type=int, default=None,
+                       help="number of agents (defaults per algorithm)")
+        p.add_argument("--adversary", choices=sorted(ADVERSARIES), default="random")
+        p.add_argument("--edge", type=int, default=0,
+                       help="edge index for fixed/periodic adversaries")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--no-chirality", action="store_true",
+                       help="flip agent 1's orientation")
+        p.add_argument("--rounds", type=int, default=None,
+                       help="horizon (default: generous per algorithm)")
+    return parser
+
+
+def build_from_args(args) -> tuple:
+    factory, needs_landmark, default_agents, transport = ALGORITHMS[args.algorithm]
+    agents = args.agents or default_agents
+    positions = [(i * args.n) // agents for i in range(agents)]
+    if transport is TransportModel.NS:
+        scheduler = FsyncScheduler()
+    elif transport is TransportModel.PT:
+        scheduler = RandomFairScheduler(seed=args.seed + 1)
+    else:
+        scheduler = ETFairScheduler(RandomFairScheduler(seed=args.seed + 1))
+    if args.algorithm == "start-from-landmark":
+        positions = [0] * agents
+    engine = build_engine(
+        factory(args),
+        ring_size=args.n,
+        positions=positions,
+        landmark=0 if needs_landmark else None,
+        chirality=not args.no_chirality,
+        flipped=(1,) if args.no_chirality and agents >= 2 else (),
+        adversary=ADVERSARIES[args.adversary](args),
+        scheduler=scheduler,
+        transport=transport,
+    )
+    default_horizon = 20_000 if transport is not TransportModel.NS else 400 * args.n
+    unconscious = "unconscious" in args.algorithm
+    return engine, args.rounds or default_horizon, unconscious
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+
+    if args.command == "atlas":
+        print("Feasibility map (Tables 1-4):")
+        print(render_map())
+        return 0
+
+    if args.command == "list":
+        print("algorithms :", ", ".join(sorted(ALGORITHMS)))
+        print("adversaries:", ", ".join(sorted(ADVERSARIES)))
+        return 0
+
+    engine, horizon, unconscious = build_from_args(args)
+    if args.command == "watch":
+        watch(engine, horizon)
+        return 0
+
+    result = engine.run(horizon, stop_on_exploration=unconscious)
+    print(result.summary())
+    return 0 if result.explored else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

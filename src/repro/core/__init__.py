@@ -1,0 +1,66 @@
+"""Core substrate: dynamic ring, agents, engine, snapshots, results."""
+
+from .actions import Action, ActionKind, ENTER_NODE, STAY, TERMINATE, move
+from .agent import AgentState
+from .directions import (
+    CANONICAL,
+    GlobalDirection,
+    LEFT,
+    LocalDirection,
+    MINUS,
+    MIRRORED,
+    Orientation,
+    PLUS,
+    RIGHT,
+    orientations_for,
+)
+from .engine import Engine, TransportModel
+from .errors import (
+    AdversaryViolation,
+    ConfigurationError,
+    InvariantViolation,
+    ProtocolViolation,
+    ReproError,
+)
+from .memory import AgentMemory
+from .results import AgentStats, RunResult, TerminationMode
+from .ring import MIN_RING_SIZE, Ring
+from .snapshot import Snapshot
+from .trace import Event, EventKind, Trace
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "AgentMemory",
+    "AgentState",
+    "AgentStats",
+    "AdversaryViolation",
+    "CANONICAL",
+    "ConfigurationError",
+    "ENTER_NODE",
+    "Engine",
+    "Event",
+    "EventKind",
+    "GlobalDirection",
+    "InvariantViolation",
+    "LEFT",
+    "LocalDirection",
+    "MIN_RING_SIZE",
+    "MINUS",
+    "MIRRORED",
+    "Orientation",
+    "PLUS",
+    "ProtocolViolation",
+    "ReproError",
+    "RIGHT",
+    "Ring",
+    "RunResult",
+    "Snapshot",
+    "STAY",
+    "TERMINATE",
+    "TerminationMode",
+    "Trace",
+    "TransportModel",
+    "move",
+    "orientations_for",
+]

@@ -1,0 +1,51 @@
+"""Actions an agent's Compute step can return to the engine.
+
+The paper's Compute step yields ``direction in {left, right, nil}`` plus an
+implicit terminal state.  One extra action is needed to express the
+communication dance of Figure 4 ("Move from the port to the node, i.e.
+staying at the same node"): :data:`ENTER_NODE` steps off a port back into
+the node interior without traversing anything.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .directions import LocalDirection
+
+
+class ActionKind(enum.Enum):
+    MOVE = "move"          # try to leave through a port (the paper's left/right)
+    STAY = "stay"          # the paper's ``nil``: do nothing, keep position
+    ENTER_NODE = "enter"   # step from a port back into the node interior
+    TERMINATE = "terminate"  # enter the terminal state; never acts again
+
+
+@dataclass(frozen=True)
+class Action:
+    """A resolved Compute result."""
+
+    kind: ActionKind
+    direction: LocalDirection | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ActionKind.MOVE and self.direction is None:
+            raise ValueError("MOVE actions need a direction")
+        if self.kind is not ActionKind.MOVE and self.direction is not None:
+            raise ValueError(f"{self.kind} actions must not carry a direction")
+
+
+def move(direction: LocalDirection) -> Action:
+    """Attempt to traverse the edge in the agent's local ``direction``."""
+    return Action(ActionKind.MOVE, LocalDirection(direction))
+
+
+#: The paper's ``nil``: stay exactly where you are (even on a port).
+STAY = Action(ActionKind.STAY)
+
+#: Step from a port into the node interior (Figure 4's FComm move).
+ENTER_NODE = Action(ActionKind.ENTER_NODE)
+
+#: Enter the terminal state: the agent stops forever.
+TERMINATE = Action(ActionKind.TERMINATE)

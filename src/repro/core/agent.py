@@ -1,0 +1,60 @@
+"""Engine-side record of a single mobile agent.
+
+Agents in the model are anonymous and all run the same protocol; the
+``index`` stored here exists purely for the engine, schedulers and
+adversaries (which *are* allowed to distinguish agents) and is never exposed
+to the algorithm through a snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .directions import GlobalDirection, LocalDirection, Orientation
+from .memory import AgentMemory
+
+
+@dataclass
+class AgentState:
+    """Position, orientation and memory of one agent.
+
+    ``port`` is ``None`` while the agent stands in the node interior;
+    otherwise it is the *global* direction of the port of ``node`` the
+    agent occupies (``PLUS`` = the port toward ``node + 1``).
+    """
+
+    index: int
+    orientation: Orientation
+    node: int
+    port: GlobalDirection | None = None
+    terminated: bool = False
+    memory: AgentMemory = field(default_factory=AgentMemory)
+
+    # Scheduler bookkeeping: rounds since last activation (fairness).
+    rounds_since_active: int = 0
+    activations: int = 0
+
+    @property
+    def on_port(self) -> bool:
+        return self.port is not None
+
+    def local_port(self) -> LocalDirection | None:
+        """The occupied port expressed in this agent's own frame."""
+        if self.port is None:
+            return None
+        return self.orientation.to_local(self.port)
+
+    def global_direction(self, local: LocalDirection) -> GlobalDirection:
+        return self.orientation.to_global(local)
+
+    def describe(self) -> str:
+        """Human-readable position (for traces and examples)."""
+        if self.terminated:
+            state = "terminated"
+        elif self.port is GlobalDirection.PLUS:
+            state = "on +port"
+        elif self.port is GlobalDirection.MINUS:
+            state = "on -port"
+        else:
+            state = "in node"
+        return f"agent{self.index}@v{self.node} ({state})"

@@ -1,0 +1,137 @@
+"""Direction and orientation primitives for agents on a ring.
+
+The paper distinguishes two frames of reference:
+
+* the *global* frame of the ring: every node ``v_i`` has a ``MINUS`` port
+  toward ``v_{i-1}`` and a ``PLUS`` port toward ``v_{i+1}`` (indices mod
+  ``n``).  Edge ``e_i`` joins ``v_i`` and ``v_{i+1}``.
+* the *local* frame of each agent: a private, internally consistent
+  labelling of the two ports of every node as ``left`` and ``right``
+  (the function ``lambda_j`` of Section 2.1).
+
+An :class:`Orientation` is the bridge between the two frames.  *Chirality*
+(Section 2.1) holds when all agents share the same orientation and know it;
+in this library that simply means constructing all agents with the same
+:class:`Orientation` value and running an algorithm that is allowed to rely
+on the assumption.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GlobalDirection(enum.IntEnum):
+    """Direction in the ring's global frame.
+
+    ``PLUS`` moves from ``v_i`` to ``v_{i+1}``; ``MINUS`` moves from
+    ``v_i`` to ``v_{i-1}``.  The integer values (+1/-1) are the index
+    deltas, so ``node_after(i, d, n) == (i + d) % n``.
+    """
+
+    PLUS = 1
+    MINUS = -1
+
+    @property
+    def opposite(self) -> "GlobalDirection":
+        return GlobalDirection(-self.value)
+
+
+class LocalDirection(enum.Enum):
+    """Direction in an agent's private frame (the paper's left/right)."""
+
+    LEFT = "left"
+    RIGHT = "right"
+
+    @property
+    def opposite(self) -> "LocalDirection":
+        if self is LocalDirection.LEFT:
+            return LocalDirection.RIGHT
+        return LocalDirection.LEFT
+
+
+LEFT = LocalDirection.LEFT
+RIGHT = LocalDirection.RIGHT
+PLUS = GlobalDirection.PLUS
+MINUS = GlobalDirection.MINUS
+
+
+class Orientation:
+    """A private, consistent port labelling: which global direction is 'left'.
+
+    The paper allows each agent a consistent private orientation
+    ``lambda_j`` that may differ between agents.  On a ring, a consistent
+    labelling is fully determined by the single choice of which global
+    direction the agent calls *left*.
+    """
+
+    __slots__ = ("_left",)
+
+    def __init__(self, left: GlobalDirection = GlobalDirection.MINUS) -> None:
+        self._left = GlobalDirection(left)
+
+    @property
+    def left_global(self) -> GlobalDirection:
+        """The global direction this agent labels ``left``."""
+        return self._left
+
+    @property
+    def right_global(self) -> GlobalDirection:
+        """The global direction this agent labels ``right``."""
+        return self._left.opposite
+
+    def to_global(self, local: LocalDirection) -> GlobalDirection:
+        """Translate one of the agent's local directions to the global frame."""
+        if local is LocalDirection.LEFT:
+            return self._left
+        return self._left.opposite
+
+    def to_local(self, global_dir: GlobalDirection) -> LocalDirection:
+        """Translate a global direction into this agent's local frame."""
+        if GlobalDirection(global_dir) is self._left:
+            return LocalDirection.LEFT
+        return LocalDirection.RIGHT
+
+    def flipped(self) -> "Orientation":
+        """The mirror orientation (what a disagreeing agent would use)."""
+        return Orientation(self._left.opposite)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Orientation):
+            return NotImplemented
+        return self._left is other._left
+
+    def __hash__(self) -> int:
+        return hash(self._left)
+
+    def __repr__(self) -> str:
+        return f"Orientation(left={self._left.name})"
+
+
+#: Conventional orientation: local left == global MINUS (counter-clockwise),
+#: matching the proof of Lemma 2 ("left corresponds to counter-clockwise").
+CANONICAL = Orientation(GlobalDirection.MINUS)
+
+#: The mirror of :data:`CANONICAL`.
+MIRRORED = Orientation(GlobalDirection.PLUS)
+
+
+def orientations_for(count: int, *, chirality: bool, flipped: tuple[int, ...] = ()) -> list[Orientation]:
+    """Build per-agent orientations for a team of ``count`` agents.
+
+    With ``chirality=True`` every agent receives :data:`CANONICAL`.
+    Without chirality the adversary chooses orientations; callers name the
+    agents whose orientation is mirrored via ``flipped`` (indices into the
+    team).  ``flipped`` must be empty when ``chirality`` is requested.
+    """
+    if count < 1:
+        raise ValueError("a team needs at least one agent")
+    if chirality:
+        if flipped:
+            raise ValueError("chirality means all agents share an orientation")
+        return [CANONICAL for _ in range(count)]
+    flipped_set = set(flipped)
+    bad = [i for i in flipped_set if not 0 <= i < count]
+    if bad:
+        raise ValueError(f"flipped indices out of range: {bad}")
+    return [MIRRORED if i in flipped_set else CANONICAL for i in range(count)]

@@ -1,0 +1,439 @@
+"""The dynamic-ring simulation engine.
+
+Implements the computational model of Section 2.1 of the paper:
+
+* discrete rounds; at most one ring edge missing per round (1-interval
+  connectivity), chosen by an adaptive adversary;
+* a non-empty subset of agents activated per round (FSYNC = all of them),
+  chosen by a scheduler that may itself be adversarial;
+* per active agent: Look (simultaneous local snapshots), Compute (the
+  algorithm), Move (port mutual exclusion, traversal, blocking);
+* the three SSYNC transport models — NS, PT, ET — governing what happens
+  to an agent that sleeps while positioned on a port.
+
+Round anatomy (all ordering decisions documented in DESIGN.md):
+
+1. the adversary picks the missing edge;
+2. the scheduler picks the activation set (it already sees the edge choice,
+   like the single adversary of the paper that controls both);
+3. every active agent Looks at the configuration *as of the start of the
+   round* and Computes an action — decisions are simultaneous;
+4. actions resolve: terminations, port releases (``ENTER_NODE``) and port
+   acquisitions in mutual exclusion — a port occupied at the start of the
+   round is denied to new requesters for the whole round, contention among
+   new requesters is broken by a pluggable policy (default: lowest index);
+5. Move: every active agent standing on the port it requested traverses if
+   the edge is present, otherwise it stays blocked on the port; under PT
+   every *sleeping* agent on a port of a present edge is passively
+   transported across;
+6. bookkeeping: counters tick for active agents, landmark observations and
+   visited-set updates happen for agents that arrived at a node.
+
+Agents that crossed the same edge in opposite directions simply swap —
+the model says they "might not be able to detect each other", and no
+snapshot ever exposes the encounter.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from typing import Callable, Iterable, Sequence
+
+from .actions import Action, ActionKind, STAY
+from .agent import AgentState
+from .directions import GlobalDirection, LocalDirection, Orientation, CANONICAL
+from .errors import AdversaryViolation, ConfigurationError, InvariantViolation
+from .interfaces import ActivationScheduler, Algorithm, EdgeAdversary
+from .memory import AgentMemory
+from .results import AgentStats, RunResult
+from .ring import Ring
+from .snapshot import Snapshot
+from .trace import Event, EventKind, Trace
+
+
+class TransportModel(enum.Enum):
+    """What happens to an agent sleeping on a port (Section 2.1).
+
+    ``NS`` — no simultaneity: a sleeping agent never moves.
+    ``PT`` — passive transport: a sleeping agent on a port of a present
+    edge is carried across during that round.
+    ``ET`` — eventual transport: like NS, but the *scheduler* must
+    guarantee that an agent sleeping on a port of an infinitely-often
+    present edge is eventually activated in a round where the edge is
+    present (see :class:`repro.schedulers.ssync.ETFairScheduler`).
+
+    Under FSYNC nobody ever sleeps, so the choice is irrelevant there.
+    """
+
+    NS = "ns"
+    PT = "pt"
+    ET = "et"
+
+
+#: Safety valve for same-round state-transition chains inside algorithms.
+MAX_ROUNDS_LIMIT = 100_000_000
+
+
+def _default_tie_break(contenders: Sequence[int]) -> int:
+    """Default port-contention winner: the lowest agent index."""
+    return min(contenders)
+
+
+class Engine:
+    """A single simulation of one algorithm on one dynamic ring."""
+
+    def __init__(
+        self,
+        ring: Ring,
+        algorithm: Algorithm,
+        positions: Sequence[int],
+        *,
+        orientations: Sequence[Orientation] | None = None,
+        scheduler: ActivationScheduler,
+        adversary: EdgeAdversary,
+        transport: TransportModel = TransportModel.NS,
+        trace: Trace | None = None,
+        port_tie_break: Callable[[Sequence[int]], int] = _default_tie_break,
+    ) -> None:
+        if not positions:
+            raise ConfigurationError("at least one agent is required")
+        if orientations is None:
+            orientations = [CANONICAL] * len(positions)
+        if len(orientations) != len(positions):
+            raise ConfigurationError(
+                f"{len(positions)} positions but {len(orientations)} orientations"
+            )
+        self.ring = ring
+        self.algorithm = algorithm
+        self.scheduler = scheduler
+        self.adversary = adversary
+        self.transport = TransportModel(transport)
+        self.trace = trace
+        self._tie_break = port_tie_break
+
+        self.agents: list[AgentState] = []
+        for index, (node, orientation) in enumerate(zip(positions, orientations)):
+            agent = AgentState(
+                index=index,
+                orientation=orientation,
+                node=ring.normalize(node),
+                memory=AgentMemory(),
+            )
+            self.agents.append(agent)
+
+        self.round_no = 0
+        self.missing_edge: int | None = None
+        self.visited: set[int] = set()
+        self.exploration_round: int | None = None
+        self.termination_rounds: dict[int, int] = {}
+        self.last_active: set[int] = set()
+
+        for agent in self.agents:
+            self.algorithm.setup(agent.memory)
+            self.visited.add(agent.node)
+            if self.ring.is_landmark(agent.node):
+                agent.memory.observe_landmark()
+        if len(self.visited) == self.ring.size:
+            self.exploration_round = 0
+        self.adversary.reset(self)
+        self.scheduler.reset(self)
+
+    # ------------------------------------------------------------------
+    # read API (used by adversaries, schedulers, analysis)
+    # ------------------------------------------------------------------
+
+    @property
+    def exploration_complete(self) -> bool:
+        return len(self.visited) == self.ring.size
+
+    @property
+    def live_agents(self) -> list[AgentState]:
+        return [a for a in self.agents if not a.terminated]
+
+    @property
+    def all_terminated(self) -> bool:
+        return all(a.terminated for a in self.agents)
+
+    def port_edge(self, agent: AgentState) -> int | None:
+        """The edge the agent's occupied port leads to (``None`` if in a node)."""
+        if agent.port is None:
+            return None
+        return self.ring.edge_from(agent.node, agent.port)
+
+    def snapshot_for(self, agent: AgentState) -> Snapshot:
+        """Build the agent's Look snapshot of the current configuration."""
+        others_in_node = 0
+        left_port = agent.orientation.to_global(LocalDirection.LEFT)
+        other_left = False
+        other_right = False
+        for other in self.agents:
+            if other.index == agent.index or other.node != agent.node:
+                continue
+            if other.port is None:
+                others_in_node += 1
+            elif other.port is left_port:
+                other_left = True
+            else:
+                other_right = True
+        return Snapshot(
+            on_port=agent.local_port(),
+            others_in_node=others_in_node,
+            other_on_left_port=other_left,
+            other_on_right_port=other_right,
+            is_landmark=self.ring.is_landmark(agent.node),
+            moved=agent.memory.moved,
+            failed=agent.memory.failed,
+        )
+
+    def peek_intended_action(self, index: int) -> Action:
+        """Simulate the agent's next Compute without side effects.
+
+        This is the omniscience the paper's adversaries enjoy: protocols
+        are deterministic, so an adversary that knows the algorithm can
+        always work out what an agent would do if activated now.
+        """
+        agent = self.agents[index]
+        if agent.terminated:
+            return STAY
+        snapshot = self.snapshot_for(agent)
+        memory = copy.deepcopy(agent.memory)
+        return self.algorithm.compute(snapshot, memory)
+
+    # ------------------------------------------------------------------
+    # the round loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one round; returns ``False`` if no live agent remains."""
+        live = self.live_agents
+        if not live:
+            return False
+
+        self.missing_edge = self._validated_edge(self.adversary.choose_missing_edge(self))
+        active = self._validated_activation(self.scheduler.select(self))
+        self.last_active = active
+        self._emit(EventKind.ROUND, None, (self.missing_edge, tuple(sorted(active))))
+
+        # Look (simultaneous) + Compute.
+        snapshots = {i: self.snapshot_for(self.agents[i]) for i in active}
+        decisions: dict[int, Action] = {}
+        for i in active:
+            agent = self.agents[i]
+            agent.memory.failed = False
+            decisions[i] = self.algorithm.compute(snapshots[i], agent.memory)
+
+        movers = self._resolve_actions(decisions)
+        self._move_phase(movers)
+        self._end_of_round(active, movers)
+        self.round_no += 1
+        return True
+
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stop_on_exploration: bool = False,
+        stop_when: Callable[["Engine"], bool] | None = None,
+    ) -> RunResult:
+        """Run until everyone terminated, a stop condition, or the horizon."""
+        if not 0 < max_rounds <= MAX_ROUNDS_LIMIT:
+            raise ConfigurationError(f"max_rounds must be in (0, {MAX_ROUNDS_LIMIT}]")
+        reason = "horizon"
+        for _ in range(max_rounds):
+            if self.all_terminated:
+                reason = "all-terminated"
+                break
+            if stop_on_exploration and self.exploration_complete:
+                reason = "explored"
+                break
+            if stop_when is not None and stop_when(self):
+                reason = "stop-condition"
+                break
+            self.step()
+        else:
+            if self.all_terminated:
+                reason = "all-terminated"
+            elif stop_on_exploration and self.exploration_complete:
+                reason = "explored"
+        return self._build_result(reason)
+
+    # ------------------------------------------------------------------
+    # round phases
+    # ------------------------------------------------------------------
+
+    def _resolve_actions(self, decisions: dict[int, Action]) -> set[int]:
+        """Apply terminations/releases and resolve port mutual exclusion.
+
+        Returns the set of agents positioned on the port they asked to
+        traverse this round (the Move-phase participants).
+        """
+        occupied_at_start = {
+            (a.node, a.port) for a in self.agents if a.port is not None
+        }
+        movers: set[int] = set()
+        requests: dict[tuple[int, GlobalDirection], list[int]] = {}
+
+        for i, action in decisions.items():
+            agent = self.agents[i]
+            if action.kind is ActionKind.TERMINATE:
+                agent.terminated = True
+                self.termination_rounds[i] = self.round_no
+                self._emit(EventKind.TERMINATE, i, f"at v{agent.node}")
+                continue
+            if action.kind is ActionKind.STAY:
+                continue
+            if action.kind is ActionKind.ENTER_NODE:
+                if agent.port is not None:
+                    agent.port = None
+                    agent.memory.Btime = 0
+                    self._emit(EventKind.ENTER_NODE, i, f"v{agent.node}")
+                continue
+            # MOVE
+            assert action.direction is not None
+            target = agent.orientation.to_global(action.direction)
+            if agent.port is target:
+                movers.add(i)  # already holds the right port; Btime keeps counting
+            else:
+                requests.setdefault((agent.node, target), []).append(i)
+
+        for (node, target), contenders in requests.items():
+            if (node, target) in occupied_at_start:
+                winners: list[int] = []
+            else:
+                winner = self._tie_break(contenders)
+                if winner not in contenders:
+                    raise InvariantViolation("tie-break returned a non-contender")
+                winners = [winner]
+            for i in contenders:
+                agent = self.agents[i]
+                # A fresh traversal attempt either way: the consecutive-wait
+                # clock restarts (it only accumulates while pushing on the
+                # same port across rounds).
+                agent.memory.Btime = 0
+                if i in winners:
+                    agent.port = target  # may implicitly vacate its other port
+                    movers.add(i)
+                else:
+                    # Section 2.1: "otherwise it sets moved = false".
+                    agent.memory.failed = True
+                    agent.memory.moved = False
+                    self._emit(EventKind.PORT_DENIED, i, f"v{node} toward {target.name}")
+        return movers
+
+    def _move_phase(self, movers: set[int]) -> None:
+        blocked: list[int] = []
+        for i in sorted(movers):
+            agent = self.agents[i]
+            assert agent.port is not None
+            edge = self.ring.edge_from(agent.node, agent.port)
+            if edge == self.missing_edge:
+                agent.memory.record_blocked()
+                blocked.append(i)
+                self._emit(EventKind.BLOCKED, i, f"v{agent.node} edge e{edge}")
+            else:
+                self._traverse(agent, EventKind.MOVE)
+
+        if self.transport is TransportModel.PT:
+            for agent in self.agents:
+                if (
+                    agent.terminated
+                    or agent.index in self.last_active
+                    or agent.port is None
+                ):
+                    continue
+                edge = self.ring.edge_from(agent.node, agent.port)
+                if edge != self.missing_edge:
+                    self._traverse(agent, EventKind.TRANSPORT)
+
+    def _traverse(self, agent: AgentState, kind: EventKind) -> None:
+        assert agent.port is not None
+        origin = agent.node
+        local = agent.orientation.to_local(agent.port)
+        agent.node = self.ring.neighbor(agent.node, agent.port)
+        agent.port = None
+        agent.memory.record_traversal(local)
+        if self.ring.is_landmark(agent.node):
+            agent.memory.observe_landmark()
+        newly = agent.node not in self.visited
+        self.visited.add(agent.node)
+        self._emit(kind, agent.index, f"v{origin}->v{agent.node}")
+        if newly and self.exploration_complete and self.exploration_round is None:
+            # Exploration completes during round `round_no`; by the paper's
+            # accounting that is "time round_no + 1" (rounds are 0-indexed).
+            self.exploration_round = self.round_no + 1
+            self._emit(EventKind.EXPLORED, None, f"after {self.round_no + 1} rounds")
+
+    def _end_of_round(self, active: set[int], movers: set[int]) -> None:
+        for i in active:
+            agent = self.agents[i]
+            if agent.terminated:
+                continue
+            agent.memory.tick()
+        for agent in self.agents:
+            if agent.terminated:
+                continue
+            if agent.index in active:
+                agent.rounds_since_active = 0
+                agent.activations += 1
+            else:
+                agent.rounds_since_active += 1
+        self._check_invariants()
+
+    # ------------------------------------------------------------------
+    # validation / bookkeeping
+    # ------------------------------------------------------------------
+
+    def _validated_edge(self, edge: int | None) -> int | None:
+        if edge is None:
+            return None
+        if not isinstance(edge, int) or not 0 <= edge < self.ring.size:
+            raise AdversaryViolation(
+                f"adversary removed invalid edge {edge!r} on ring of size {self.ring.size}"
+            )
+        return edge
+
+    def _validated_activation(self, selected: Iterable[int]) -> set[int]:
+        live = {a.index for a in self.agents if not a.terminated}
+        active = {i for i in selected if i in live}
+        if not active:
+            raise AdversaryViolation(
+                "scheduler activated no live agent (activation sets must be non-empty)"
+            )
+        return active
+
+    def _check_invariants(self) -> None:
+        seen: set[tuple[int, GlobalDirection]] = set()
+        for agent in self.agents:
+            if agent.port is None:
+                continue
+            key = (agent.node, agent.port)
+            if key in seen:
+                raise InvariantViolation(f"two agents share port {key}")
+            seen.add(key)
+
+    def _emit(self, kind: EventKind, agent: int | None, detail) -> None:
+        if self.trace is not None:
+            self.trace.emit(Event(self.round_no, kind, agent, detail))
+
+    def _build_result(self, reason: str) -> RunResult:
+        stats = [
+            AgentStats(
+                index=a.index,
+                moves=a.memory.Tsteps,
+                terminated=a.terminated,
+                termination_round=self.termination_rounds.get(a.index),
+                final_node=a.node,
+                waiting_on_port=a.port is not None,
+            )
+            for a in self.agents
+        ]
+        return RunResult(
+            ring_size=self.ring.size,
+            rounds=self.round_no,
+            explored=self.exploration_complete,
+            exploration_round=self.exploration_round,
+            visited=set(self.visited),
+            agents=stats,
+            halted_reason=reason,
+        )

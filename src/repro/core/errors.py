@@ -1,0 +1,36 @@
+"""Exception hierarchy for the dynamic-ring exploration library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation was configured inconsistently (bad sizes, counts, ...)."""
+
+
+class ProtocolViolation(ReproError):
+    """An algorithm performed an action the model forbids.
+
+    Examples: moving after entering the terminal state, requesting a port
+    from a node the agent is not at, or chaining state transitions without
+    ever producing an action (a same-round transition loop).
+    """
+
+
+class InvariantViolation(ReproError):
+    """The engine's internal consistency checks failed.
+
+    Raised only when the engine itself is buggy (e.g. two agents on one
+    port); never caused by user algorithms.
+    """
+
+
+class AdversaryViolation(ReproError):
+    """An adversary broke the rules of the model.
+
+    Examples: removing more than one edge in a round (violating
+    1-interval connectivity) or an SSYNC scheduler activating no agent.
+    """

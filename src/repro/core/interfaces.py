@@ -1,0 +1,71 @@
+"""Structural interfaces tying the engine to its pluggable parts.
+
+Three parties interact with the engine every round, in this order:
+
+1. the **edge adversary** picks the (at most one) missing edge — it is
+   adaptive and omniscient, exactly like the adversaries in the paper's
+   proofs, and may even simulate agents' next decisions through
+   :meth:`repro.core.engine.Engine.peek_intended_action`;
+2. the **activation scheduler** picks the non-empty set of active agents
+   (FSYNC: everyone), knowing the adversary's edge choice — this matches
+   the paper, where the same adversary controls both; and
+3. the **algorithm**, run once per active agent, maps a local snapshot and
+   the agent's memory to an action.
+
+These are :class:`typing.Protocol` classes: implementations in
+:mod:`repro.adversary`, :mod:`repro.schedulers` and :mod:`repro.algorithms`
+only need the methods, not an import of a base class (duck typing keeps the
+core free of dependency cycles).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from .actions import Action
+from .memory import AgentMemory
+from .snapshot import Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .engine import Engine
+
+
+@runtime_checkable
+class EdgeAdversary(Protocol):
+    """Chooses which single edge (if any) is missing each round."""
+
+    def reset(self, engine: "Engine") -> None:
+        """Called once before round 0 with the fully built engine."""
+
+    def choose_missing_edge(self, engine: "Engine") -> int | None:
+        """Return the missing edge index for this round, or ``None``."""
+
+
+@runtime_checkable
+class ActivationScheduler(Protocol):
+    """Chooses the non-empty activation set each round."""
+
+    def reset(self, engine: "Engine") -> None:
+        """Called once before round 0 with the fully built engine."""
+
+    def select(self, engine: "Engine") -> set[int]:
+        """Indices of agents active this round (non-terminated subset)."""
+
+
+@runtime_checkable
+class Algorithm(Protocol):
+    """A deterministic exploration protocol, identical for all agents.
+
+    Implementations must keep *all* per-agent state inside
+    ``memory.vars`` — the algorithm object itself is shared between agents
+    and must stay stateless, which is what makes adversarial look-ahead
+    (``peek``) and deterministic replay possible.
+    """
+
+    name: str
+
+    def setup(self, memory: AgentMemory) -> None:
+        """Initialise ``memory.vars`` for one agent before round 0."""
+
+    def compute(self, snapshot: Snapshot, memory: AgentMemory) -> Action:
+        """The Compute step: map a Look snapshot to an action."""

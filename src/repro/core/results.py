@@ -1,0 +1,120 @@
+"""Outcome records and termination-mode classification.
+
+The paper distinguishes three strengths of solving exploration
+(Section 2.1):
+
+* **explicit termination** — within finite time *every* agent enters a
+  terminal state (after the ring is explored);
+* **explicit partial termination** — at least one agent terminates;
+* **unconscious exploration** — every node is visited but no agent is
+  required to stop.
+
+:class:`RunResult` captures everything a finite simulation can certify and
+classifies which of these modes the run achieved.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TerminationMode(enum.Enum):
+    """Strongest termination requirement a finite run satisfied."""
+
+    EXPLICIT = "explicit"          # all agents terminated, ring explored
+    PARTIAL = "partial"            # >=1 agent terminated, ring explored
+    UNCONSCIOUS = "unconscious"    # ring explored, nobody terminated
+    INCORRECT = "incorrect"        # an agent terminated before exploration
+    NONE = "none"                  # horizon hit: not explored, nobody stopped
+
+
+@dataclass
+class AgentStats:
+    """Per-agent accounting at the end of a run."""
+
+    index: int
+    moves: int
+    terminated: bool
+    termination_round: int | None
+    final_node: int
+    waiting_on_port: bool
+
+
+@dataclass
+class RunResult:
+    """Everything measured over one simulation run."""
+
+    ring_size: int
+    rounds: int
+    explored: bool
+    exploration_round: int | None
+    visited: set[int] = field(default_factory=set)
+    agents: list[AgentStats] = field(default_factory=list)
+    halted_reason: str = "horizon"
+
+    @property
+    def total_moves(self) -> int:
+        return sum(a.moves for a in self.agents)
+
+    @property
+    def terminated_count(self) -> int:
+        return sum(1 for a in self.agents if a.terminated)
+
+    @property
+    def all_terminated(self) -> bool:
+        return bool(self.agents) and all(a.terminated for a in self.agents)
+
+    @property
+    def any_terminated(self) -> bool:
+        return any(a.terminated for a in self.agents)
+
+    @property
+    def last_termination_round(self) -> int | None:
+        rounds = [a.termination_round for a in self.agents if a.termination_round is not None]
+        return max(rounds) if rounds else None
+
+    def termination_mode(self) -> TerminationMode:
+        """Classify the run against the paper's three requirements."""
+        if self.any_terminated and not self.explored_before_terminations():
+            return TerminationMode.INCORRECT
+        if self.explored and self.all_terminated:
+            return TerminationMode.EXPLICIT
+        if self.explored and self.any_terminated:
+            return TerminationMode.PARTIAL
+        if self.explored:
+            return TerminationMode.UNCONSCIOUS
+        if self.any_terminated:
+            return TerminationMode.INCORRECT
+        return TerminationMode.NONE
+
+    def explored_before_terminations(self) -> bool:
+        """Every termination happened at or after full exploration.
+
+        The model requires the terminal state "to be entered only after the
+        exploration of the ring"; a terminating agent on an unexplored ring
+        is a correctness bug (this is how the impossibility demonstrations
+        detect a broken protocol).
+        """
+        if not self.any_terminated:
+            return True
+        if self.exploration_round is None:
+            return False
+        return all(
+            a.termination_round is None or a.termination_round >= self.exploration_round
+            for a in self.agents
+        )
+
+    def summary(self) -> str:
+        mode = self.termination_mode().value
+        explored = (
+            f"explored@r{self.exploration_round}" if self.explored else "NOT explored"
+        )
+        terms = ", ".join(
+            f"a{a.index}:r{a.termination_round}" for a in self.agents if a.terminated
+        )
+        terms = terms or "none"
+        return (
+            f"n={self.ring_size} rounds={self.rounds} {explored} "
+            f"moves={self.total_moves} terminated=[{terms}] mode={mode}"
+        )

@@ -1,0 +1,118 @@
+"""The static structure underlying a 1-interval-connected dynamic ring.
+
+A dynamic ring (Section 2.1) is a ring ``R = (v_0, ..., v_{n-1})`` in which
+at every round the adversary may remove *at most one* edge — removing one
+edge of a ring leaves a connected path, so the network is 1-interval
+connected by construction.  The removal choice lives with the adversary
+(:mod:`repro.adversary`); this module only models the invariant structure:
+node count, edge naming, the optional landmark, and index arithmetic.
+
+Edge ``e_i`` joins ``v_i`` and ``v_{i+1 mod n}`` (the paper's convention in
+the proof of Theorem 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .directions import GlobalDirection
+from .errors import ConfigurationError
+
+#: Smallest meaningful ring: the paper's theorems quantify over ``n >= 3``.
+MIN_RING_SIZE = 3
+
+
+@dataclass(frozen=True)
+class Ring:
+    """An anonymous ring of ``size`` nodes with an optional landmark.
+
+    ``landmark`` is the index of the unique observably-different node
+    (Section 2.1), or ``None`` for a fully anonymous ring.  Nodes carry no
+    identifiers visible to agents; indices exist only in the global frame
+    used by the engine and adversaries.
+    """
+
+    size: int
+    landmark: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < MIN_RING_SIZE:
+            raise ConfigurationError(
+                f"ring size must be >= {MIN_RING_SIZE}, got {self.size}"
+            )
+        if self.landmark is not None and not 0 <= self.landmark < self.size:
+            raise ConfigurationError(
+                f"landmark index {self.landmark} outside ring of size {self.size}"
+            )
+
+    @property
+    def has_landmark(self) -> bool:
+        return self.landmark is not None
+
+    @property
+    def edges(self) -> range:
+        """Edge indices; edge ``i`` joins ``v_i`` and ``v_{i+1 mod size}``."""
+        return range(self.size)
+
+    def normalize(self, node: int) -> int:
+        """Map an arbitrary integer onto a node index."""
+        return node % self.size
+
+    def is_landmark(self, node: int) -> bool:
+        return self.landmark is not None and self.normalize(node) == self.landmark
+
+    def neighbor(self, node: int, direction: GlobalDirection) -> int:
+        """The node reached from ``node`` moving one step in ``direction``."""
+        return (node + int(direction)) % self.size
+
+    def edge_from(self, node: int, direction: GlobalDirection) -> int:
+        """The edge used when leaving ``node`` in ``direction``.
+
+        Moving PLUS from ``v_i`` crosses ``e_i``; moving MINUS crosses
+        ``e_{i-1}``.
+        """
+        node = self.normalize(node)
+        if direction is GlobalDirection.PLUS:
+            return node
+        return (node - 1) % self.size
+
+    def edge_endpoints(self, edge: int) -> tuple[int, int]:
+        """Both endpoints of edge ``e_i`` as ``(v_i, v_{i+1})``."""
+        edge = edge % self.size
+        return edge, (edge + 1) % self.size
+
+    def distance(self, a: int, b: int, direction: GlobalDirection) -> int:
+        """Hops from ``a`` to ``b`` walking only in ``direction``."""
+        a, b = self.normalize(a), self.normalize(b)
+        if direction is GlobalDirection.PLUS:
+            return (b - a) % self.size
+        return (a - b) % self.size
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Undirected ring distance (minimum over the two arcs)."""
+        plus = self.distance(a, b, GlobalDirection.PLUS)
+        return min(plus, self.size - plus)
+
+    def to_networkx(self, missing_edge: int | None = None):
+        """Export the current-round footprint as a ``networkx.Graph``.
+
+        Requires :mod:`networkx` (an optional dependency).  ``missing_edge``
+        is the edge the adversary removed this round, if any; the result is
+        the connected spanning subgraph guaranteed by 1-interval
+        connectivity.  Node attribute ``landmark`` marks the special node.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        for node in range(self.size):
+            graph.add_node(node, landmark=self.is_landmark(node))
+        for edge in self.edges:
+            if missing_edge is not None and edge % self.size == missing_edge % self.size:
+                continue
+            u, v = self.edge_endpoints(edge)
+            graph.add_edge(u, v, index=edge)
+        return graph
+
+    def __repr__(self) -> str:
+        mark = f", landmark={self.landmark}" if self.landmark is not None else ""
+        return f"Ring(size={self.size}{mark})"

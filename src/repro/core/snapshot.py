@@ -1,0 +1,79 @@
+"""Local-frame snapshots produced by the Look step.
+
+Section 2.1: "The agent determines its own position within the node (i.e.,
+whether or not it is on a port, and if so on which one), and the position of
+the other agents (if any) at that node."
+
+Snapshots are expressed in the *observing agent's* local frame, so two
+agents standing at the same node but with opposite orientations see the two
+ports under swapped names — exactly the asymmetry the no-chirality results
+rely on.  Nothing in a snapshot identifies nodes or agents: the network and
+the agents are anonymous (the landmark flag is the single exception allowed
+by the model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .directions import LocalDirection
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """What one agent sees during its Look step.
+
+    Attributes:
+        on_port: where the observing agent itself stands — ``None`` for the
+            node interior, otherwise the local direction of the port it
+            occupies (it got there via a failed move or port acquisition).
+        others_in_node: how many *other* agents stand in the node interior.
+        other_on_left_port: an(other) agent occupies the port this agent
+            calls *left*.
+        other_on_right_port: an(other) agent occupies the port this agent
+            calls *right*.
+        is_landmark: this node is the landmark (always ``False`` on
+            anonymous rings).
+        moved: the private flag set by the agent's previous Move phase
+            (``True`` iff its last traversal attempt succeeded).
+        failed: the agent's previous port-acquisition attempt failed (the
+            ``failed`` predicate of Section 3.1).
+    """
+
+    on_port: LocalDirection | None
+    others_in_node: int
+    other_on_left_port: bool
+    other_on_right_port: bool
+    is_landmark: bool
+    moved: bool
+    failed: bool
+
+    @property
+    def in_interior(self) -> bool:
+        """The observing agent stands in the node interior."""
+        return self.on_port is None
+
+    def other_on_port(self, direction: LocalDirection) -> bool:
+        """An(other) agent occupies the port in local ``direction``."""
+        if direction is LocalDirection.LEFT:
+            return self.other_on_left_port
+        return self.other_on_right_port
+
+    # -- the three predicates of Section 3 ---------------------------------
+
+    def meeting(self) -> bool:
+        """Both (or more) agents stand together in the node interior."""
+        return self.in_interior and self.others_in_node > 0
+
+    def catches(self, moving_direction: LocalDirection) -> bool:
+        """Another agent sits on the port of my moving direction.
+
+        The paper evaluates ``catches`` for an agent that is in the node and
+        about to move; an agent already on a port cannot catch (the port in
+        its moving direction is the one it occupies itself).
+        """
+        return self.in_interior and self.other_on_port(moving_direction)
+
+    def caught(self) -> bool:
+        """I am on a port after a failed move and another agent is in the node."""
+        return self.on_port is not None and not self.moved and self.others_in_node > 0

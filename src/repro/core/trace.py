@@ -1,0 +1,82 @@
+"""Structured event tracing for simulations.
+
+Tracing is optional: the engine only emits events when a :class:`Trace`
+is attached, so large parameter sweeps pay nothing.  Events are small
+tuples-with-names designed for debugging algorithm/adversary interplay and
+for the narrated timelines printed by the examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+class EventKind(enum.Enum):
+    ROUND = "round"              # round began: payload = missing edge, active set
+    MOVE = "move"                # agent traversed an edge
+    BLOCKED = "blocked"          # agent waited on the missing edge
+    PORT_DENIED = "port-denied"  # port acquisition failed (mutual exclusion)
+    TRANSPORT = "transport"      # PT model moved a sleeping agent
+    ENTER_NODE = "enter-node"    # agent stepped from a port into the interior
+    TRANSITION = "transition"    # algorithm state change
+    TERMINATE = "terminate"      # agent entered the terminal state
+    EXPLORED = "explored"        # every node has now been visited
+
+
+@dataclass(frozen=True)
+class Event:
+    round: int
+    kind: EventKind
+    agent: int | None = None
+    detail: Any = None
+
+    def __str__(self) -> str:
+        who = f" a{self.agent}" if self.agent is not None else ""
+        what = f" {self.detail}" if self.detail is not None else ""
+        return f"[r{self.round:>5}]{who} {self.kind.value}{what}"
+
+
+class Trace:
+    """An append-only event log with an optional size cap.
+
+    When ``limit`` is reached the trace silently stops recording (the
+    ``truncated`` flag reports it); simulations never fail because a trace
+    filled up.
+    """
+
+    def __init__(self, limit: int | None = 100_000) -> None:
+        self._events: list[Event] = []
+        self._limit = limit
+        self.truncated = False
+
+    def emit(self, event: Event) -> None:
+        if self._limit is not None and len(self._events) >= self._limit:
+            self.truncated = True
+            return
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[Event]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        return [e for e in self._events if e.kind is kind]
+
+    def for_agent(self, agent: int) -> list[Event]:
+        return [e for e in self._events if e.agent == agent]
+
+    def render(self, *, last: int | None = None) -> str:
+        """Multi-line text rendering (optionally only the ``last`` events)."""
+        events = self._events if last is None else self._events[-last:]
+        lines = [str(e) for e in events]
+        if self.truncated:
+            lines.append("... trace truncated ...")
+        return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Beyond rings: the paper's open problems, prototyped.
+
+Section 5 of the paper: "a challenging [open problem] is the study of live
+exploration in a network of arbitrary topology ... meshes, tori,
+hypercubes".  This subpackage provides a faithful generalisation of the
+model to arbitrary port-labelled dynamic graphs (1-interval connectivity
+enforced per round) plus two baseline explorers, so that the open problem
+can at least be *measured* while the theory is open.
+
+Everything here is an extension, not a reproduction: no claims from the
+paper apply, and the interfaces are deliberately independent of the ring
+engine (whose direction algebra has no analogue on general graphs).
+"""
+
+from .dynamic_graph import (
+    ConnectivityPreservingAdversary,
+    DynamicGraphEngine,
+    GraphRunResult,
+    StaticGraphAdversary,
+    hypercube,
+    ring_graph,
+    torus,
+)
+from .explorers import RandomWalkExplorer, RotorRouterExplorer
+
+__all__ = [
+    "ConnectivityPreservingAdversary",
+    "DynamicGraphEngine",
+    "GraphRunResult",
+    "RandomWalkExplorer",
+    "RotorRouterExplorer",
+    "StaticGraphAdversary",
+    "hypercube",
+    "ring_graph",
+    "torus",
+]

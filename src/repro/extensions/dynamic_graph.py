@@ -1,0 +1,286 @@
+"""A 1-interval-connected dynamic graph substrate (open-problem support).
+
+Generalises the ring model of the paper to arbitrary port-labelled graphs:
+
+* nodes are anonymous; each node's incident edges appear as locally
+  numbered ports ``0 .. deg-1`` (the standard port-labelled model);
+* per round the adversary removes any edge set that leaves the footprint
+  *connected* (1-interval connectivity, Class 9 of [13]);
+* agents are Look-Compute-Move: they see their node's degree, which port
+  they occupy (if blocked), how many other agents share the node, and the
+  per-port agent occupancy; they request a port, win it in mutual
+  exclusion, and cross iff the edge is present.
+
+The round loop mirrors :mod:`repro.core.engine` but drops everything
+ring-specific (orientations, the left/right algebra, landmark distance
+accounting).  networkx is required.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Protocol, Sequence
+
+from ..core.errors import AdversaryViolation, ConfigurationError
+
+
+def ring_graph(n: int):
+    """The paper's topology, for cross-checking against the ring engine."""
+    import networkx as nx
+
+    return nx.cycle_graph(n)
+
+
+def torus(rows: int, cols: int):
+    """A rows x cols torus (the paper's suggested 'special topology')."""
+    import networkx as nx
+
+    graph = nx.grid_2d_graph(rows, cols, periodic=True)
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def hypercube(dimension: int):
+    """The d-dimensional hypercube."""
+    import networkx as nx
+
+    graph = nx.hypercube_graph(dimension)
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+@dataclass(frozen=True)
+class GraphSnapshot:
+    """What a graph agent sees during Look (local frame, anonymous)."""
+
+    degree: int
+    on_port: int | None          # port the agent occupies after a failed move
+    others_in_node: int
+    occupied_ports: frozenset[int]  # ports of this node held by other agents
+    moved: bool
+
+
+class GraphExplorer(Protocol):
+    """Deterministic-or-seeded per-agent exploration strategy."""
+
+    name: str
+
+    def setup(self, memory: dict) -> None: ...
+
+    def choose_port(self, snapshot: GraphSnapshot, memory: dict) -> int | None: ...
+
+
+class StaticGraphAdversary:
+    """No edge is ever removed."""
+
+    def reset(self, engine: "DynamicGraphEngine") -> None:  # noqa: ARG002
+        return None
+
+    def missing_edges(self, engine: "DynamicGraphEngine") -> set:
+        return set()
+
+
+class ConnectivityPreservingAdversary:
+    """Remove up to ``budget`` random edges, keeping the footprint connected.
+
+    The straightforward generalisation of the ring's one-missing-edge
+    adversary: each round it samples removal candidates and drops an edge
+    only if the remaining footprint stays connected (checked with
+    networkx), up to the per-round budget.
+    """
+
+    def __init__(self, budget: int = 1, seed: int = 0) -> None:
+        if budget < 0:
+            raise ConfigurationError("budget must be >= 0")
+        self._budget = budget
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self, engine: "DynamicGraphEngine") -> None:  # noqa: ARG002
+        self._rng = random.Random(self._seed)
+
+    def missing_edges(self, engine: "DynamicGraphEngine") -> set:
+        import networkx as nx
+
+        graph = engine.graph
+        removed: set = set()
+        candidates = list(graph.edges())
+        self._rng.shuffle(candidates)
+        footprint = graph.copy()
+        for edge in candidates:
+            if len(removed) >= self._budget:
+                break
+            footprint.remove_edge(*edge)
+            if nx.is_connected(footprint):
+                removed.add(frozenset(edge))
+            else:
+                footprint.add_edge(*edge)
+        return removed
+
+
+@dataclass
+class GraphAgent:
+    index: int
+    node: Any
+    port: int | None = None
+    moved: bool = False
+    moves: int = 0
+    memory: dict = field(default_factory=dict)
+
+
+@dataclass
+class GraphRunResult:
+    nodes: int
+    rounds: int
+    explored: bool
+    exploration_round: int | None
+    total_moves: int
+    visited: set = field(default_factory=set)
+
+
+class DynamicGraphEngine:
+    """Synchronous Look-Compute-Move on a dynamic port-labelled graph."""
+
+    def __init__(
+        self,
+        graph,
+        explorer: GraphExplorer,
+        positions: Sequence[Any],
+        *,
+        adversary=None,
+    ) -> None:
+        import networkx as nx
+
+        if not positions:
+            raise ConfigurationError("at least one agent is required")
+        if not nx.is_connected(graph):
+            raise ConfigurationError("the underlying graph must be connected")
+        self.graph = graph
+        self.explorer = explorer
+        self.adversary = adversary if adversary is not None else StaticGraphAdversary()
+        # Port labelling: node -> sorted neighbour list; port i = i-th neighbour.
+        self.ports = {node: sorted(graph.neighbors(node)) for node in graph.nodes}
+        self.agents = [
+            GraphAgent(index=i, node=node) for i, node in enumerate(positions)
+        ]
+        for agent in self.agents:
+            if agent.node not in graph:
+                raise ConfigurationError(f"start node {agent.node!r} not in the graph")
+            self.explorer.setup(agent.memory)
+        self.round_no = 0
+        self.visited = {agent.node for agent in self.agents}
+        self.exploration_round = 0 if self.exploration_complete else None
+        self.missing: set = set()
+        self.adversary.reset(self)
+
+    @property
+    def exploration_complete(self) -> bool:
+        return len(self.visited) == self.graph.number_of_nodes()
+
+    def degree(self, node) -> int:
+        return len(self.ports[node])
+
+    def snapshot_for(self, agent: GraphAgent) -> GraphSnapshot:
+        others = 0
+        occupied: set[int] = set()
+        for other in self.agents:
+            if other.index == agent.index or other.node != agent.node:
+                continue
+            if other.port is None:
+                others += 1
+            else:
+                occupied.add(other.port)
+        return GraphSnapshot(
+            degree=self.degree(agent.node),
+            on_port=agent.port,
+            others_in_node=others,
+            occupied_ports=frozenset(occupied),
+            moved=agent.moved,
+        )
+
+    def _edge_of_port(self, node, port: int):
+        neighbors = self.ports[node]
+        if not 0 <= port < len(neighbors):
+            raise AdversaryViolation(
+                f"explorer requested port {port} at a degree-{len(neighbors)} node"
+            )
+        return frozenset((node, neighbors[port]))
+
+    def step(self) -> None:
+        self.missing = {frozenset(e) for e in self.adversary.missing_edges(self)}
+        self._check_connectivity()
+
+        # Look + Compute (simultaneous).
+        requests: dict[int, int | None] = {}
+        for agent in self.agents:
+            requests[agent.index] = self.explorer.choose_port(
+                self.snapshot_for(agent), agent.memory
+            )
+
+        # Port acquisition in mutual exclusion (as in the ring engine:
+        # ports occupied at round start stay denied, lowest index wins).
+        held = {
+            (agent.node, agent.port)
+            for agent in self.agents
+            if agent.port is not None
+        }
+        movers: list[GraphAgent] = []
+        claims: dict[tuple, int] = {}
+        for agent in self.agents:
+            port = requests[agent.index]
+            agent.moved = False
+            if port is None:
+                agent.port = None  # a resting agent steps back into the node
+                continue
+            key = (agent.node, port)
+            if agent.port == port:
+                movers.append(agent)
+            elif key in held or claims.get(key, agent.index) != agent.index:
+                continue  # denied
+            else:
+                claims[key] = agent.index
+                agent.port = port
+                movers.append(agent)
+
+        # Move.
+        for agent in movers:
+            assert agent.port is not None
+            edge = self._edge_of_port(agent.node, agent.port)
+            if edge in self.missing:
+                continue  # blocked: stays on the port
+            target = self.ports[agent.node][agent.port]
+            agent.node = target
+            agent.port = None
+            agent.moved = True
+            agent.moves += 1
+            if target not in self.visited:
+                self.visited.add(target)
+                if self.exploration_complete and self.exploration_round is None:
+                    self.exploration_round = self.round_no + 1
+        self.round_no += 1
+
+    def run(self, max_rounds: int, *, stop_on_exploration: bool = True) -> GraphRunResult:
+        for _ in range(max_rounds):
+            if stop_on_exploration and self.exploration_complete:
+                break
+            self.step()
+        return GraphRunResult(
+            nodes=self.graph.number_of_nodes(),
+            rounds=self.round_no,
+            explored=self.exploration_complete,
+            exploration_round=self.exploration_round,
+            total_moves=sum(agent.moves for agent in self.agents),
+            visited=set(self.visited),
+        )
+
+    def _check_connectivity(self) -> None:
+        import networkx as nx
+
+        if not self.missing:
+            return
+        footprint = self.graph.copy()
+        for edge in self.missing:
+            footprint.remove_edge(*tuple(edge))
+        if not nx.is_connected(footprint):
+            raise AdversaryViolation(
+                "adversary disconnected the footprint (1-interval connectivity)"
+            )

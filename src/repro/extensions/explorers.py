@@ -1,0 +1,92 @@
+"""Baseline explorers for dynamic port-labelled graphs.
+
+Neither is from the paper (the open problem is exactly that no non-trivial
+live algorithm is known for arbitrary dynamic topologies); they are the
+standard baselines any future algorithm must beat:
+
+* :class:`RotorRouterExplorer` — the deterministic rotor-router (a.k.a.
+  Propp machine / Eulerian walker): each node's memory cycles through its
+  ports; explores any *static* graph in O(m·D) and degrades gracefully
+  under dynamism.  Here the rotor state lives in the agent (the model has
+  no whiteboards), so it is a per-agent rotor over the node it stands on,
+  keyed by an anonymous node signature the agent can actually compute —
+  we allow it a node-indexed map as an explicit *strengthening* of the
+  model, documented loudly.
+* :class:`RandomWalkExplorer` — the seeded uniform random walk, the
+  classical answer for dynamic graphs (Avin-Koucky-Lotker [4], cited by
+  the paper): expected cover time is polynomial on every connected
+  dynamic graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.errors import ConfigurationError
+from .dynamic_graph import GraphSnapshot
+
+
+class RandomWalkExplorer:
+    """Uniform random walk; blocked attempts re-roll next round."""
+
+    name = "random-walk"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._assigned = 0
+
+    def setup(self, memory: dict) -> None:
+        # distinct, reproducible stream per agent (setup runs in agent order)
+        memory["rng"] = random.Random(self._seed * 1_000_003 + self._assigned)
+        self._assigned += 1
+
+    def choose_port(self, snapshot: GraphSnapshot, memory: dict) -> int | None:
+        if snapshot.degree == 0:
+            return None
+        return memory["rng"].randrange(snapshot.degree)
+
+
+class RotorRouterExplorer:
+    """Per-agent rotor-router over node-indexed rotors.
+
+    **Model strengthening (explicit):** the agent keys its rotors by a
+    node identifier supplied through ``memory['node_of']`` — a callback
+    the engine harness installs (see :func:`attach_node_oracle`).  In the
+    paper's anonymous model an agent cannot do this; the rotor-router is
+    included as a *baseline upper bound* on what identity information
+    buys, not as a solution to the open problem.
+    """
+
+    name = "rotor-router"
+
+    def setup(self, memory: dict) -> None:
+        memory["rotors"] = {}
+
+    def choose_port(self, snapshot: GraphSnapshot, memory: dict) -> int | None:
+        if snapshot.degree == 0:
+            return None
+        oracle = memory.get("node_of")
+        if oracle is None:
+            raise ConfigurationError(
+                "RotorRouterExplorer needs attach_node_oracle(engine) "
+                "(it uses node identities, a documented model strengthening)"
+            )
+        node = oracle()
+        rotors = memory["rotors"]
+        port = rotors.get(node, 0) % snapshot.degree
+        if snapshot.on_port is None:
+            # advance the rotor only when starting a fresh attempt
+            rotors[node] = (port + 1) % snapshot.degree
+            return port
+        return snapshot.on_port  # keep pushing the blocked port
+
+
+def attach_node_oracle(engine) -> None:
+    """Give every agent a callback reporting its current node.
+
+    Installs ``memory['node_of']`` for each agent of a
+    :class:`~repro.extensions.dynamic_graph.DynamicGraphEngine`.  This is
+    the explicit strengthening the rotor-router baseline requires.
+    """
+    for agent in engine.agents:
+        agent.memory["node_of"] = (lambda a=agent: a.node)

@@ -1,0 +1,17 @@
+"""Activation schedulers: FSYNC and the SSYNC adversarial variants."""
+
+from .fsync import FsyncScheduler
+from .ssync import (
+    ETFairScheduler,
+    RandomFairScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+)
+
+__all__ = [
+    "FsyncScheduler",
+    "ETFairScheduler",
+    "RandomFairScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+]

@@ -1,0 +1,25 @@
+"""The fully synchronous scheduler: everyone is active every round."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import Engine
+
+
+class FsyncScheduler:
+    """FSYNC (Section 2.1): ``A(t) = A`` for every round ``t``.
+
+    Terminated agents are excluded — they no longer take steps, and the
+    engine requires activation sets to contain live agents only.
+    """
+
+    def reset(self, engine: "Engine") -> None:  # noqa: ARG002 - uniform interface
+        return None
+
+    def select(self, engine: "Engine") -> set[int]:
+        return {agent.index for agent in engine.agents if not agent.terminated}
+
+    def __repr__(self) -> str:
+        return "FsyncScheduler()"

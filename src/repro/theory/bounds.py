@@ -1,0 +1,46 @@
+"""Closed-form bounds stated by the paper, as plain functions.
+
+Every bench compares a measured quantity against one of these; keeping
+them here (with the theorem references) makes EXPERIMENTS.md mechanical.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def fsync_known_bound_time(bound: int) -> int:
+    """Theorem 3: ``KnownNNoChirality`` explicitly terminates in ``3N - 6``."""
+    return 3 * bound - 6
+
+
+def fsync_lower_bound_two_agents(ring_size: int) -> int:
+    """Observation 3 (from [26]): two FSYNC agents need ``>= 2n - 3`` time."""
+    return 2 * ring_size - 3
+
+
+def partial_termination_lower_bound(bound: int) -> int:
+    """Theorem 4: with an upper bound ``N``, partial termination needs ``>= N - 1`` time."""
+    return bound - 1
+
+
+def no_chirality_timeout(ring_size: int) -> int:
+    """Figure 8's Happy/Reverse horizon ``32 * ((3 ceil(log n) + 3) * 5n)``.
+
+    This is both the algorithm's termination deadline and the O(n log n)
+    claim of Theorem 8 made concrete (Lemma 3 with ``c = 5`` and
+    ``len(ID) <= 3 ceil(log n)``).
+    """
+    log_n = max(1, math.ceil(math.log2(ring_size)))
+    return 32 * ((3 * log_n + 3) * 5 * ring_size)
+
+
+def pt_bound_moves_lower(bound: int, ring_size: int) -> float:
+    """Theorem 13: Omega(N * n) moves; the proof extracts ``(n/2)(N - n/2)``."""
+    x = math.ceil(ring_size / 2)
+    return x * max(0, bound - x)
+
+
+def pt_landmark_moves_lower(ring_size: int) -> float:
+    """Theorem 15: Omega(n^2) moves; the proof extracts ``> n^2 / 2``."""
+    return ring_size * ring_size / 2

@@ -1,0 +1,214 @@
+"""Tables 1-4 of the paper as queryable structured data.
+
+The paper's evaluation *is* this feasibility/complexity map; encoding it
+as data lets tests assert the map, benches print it next to measured
+results, and users query "what does the paper say about my setting?".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Model(enum.Enum):
+    """Synchrony/transport setting."""
+
+    FSYNC = "FSYNC"
+    SSYNC_NS = "SSYNC/NS"
+    SSYNC_PT = "SSYNC/PT"
+    SSYNC_ET = "SSYNC/ET"
+
+
+class Knowledge(enum.Enum):
+    """Structural knowledge/assumptions a result relies on (or rules out)."""
+
+    UPPER_BOUND = "known upper bound N"
+    EXACT_SIZE = "known exact n"
+    LANDMARK = "landmark node"
+    CHIRALITY = "chirality"
+    AGENT_IDS = "distinct agent IDs"
+
+
+class ResultKind(enum.Enum):
+    POSSIBLE = "possible"
+    IMPOSSIBLE = "impossible"
+
+
+class Termination(enum.Enum):
+    EXPLICIT = "explicit termination"
+    PARTIAL = "partial termination"
+    UNCONSCIOUS = "unconscious exploration"
+    EXPLORATION = "exploration"  # impossibility rows: even bare exploration fails
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of Tables 1-4."""
+
+    table: int
+    model: Model
+    agents: str  # "1", "2", "3", "any"
+    kind: ResultKind
+    termination: Termination
+    assumptions: frozenset[Knowledge] = field(default_factory=frozenset)
+    even_if: frozenset[Knowledge] = field(default_factory=frozenset)
+    complexity: str | None = None
+    theorem: str = ""
+    algorithm: str | None = None  # class name in repro.algorithms, if any
+
+    def describe(self) -> str:
+        needs = ", ".join(sorted(k.value for k in self.assumptions)) or "nothing"
+        even = ", ".join(sorted(k.value for k in self.even_if))
+        even = f" even with {even}" if even else ""
+        cost = f" [{self.complexity}]" if self.complexity else ""
+        return (
+            f"T{self.table} {self.model.value}: {self.agents} agent(s), "
+            f"{self.termination.value} {self.kind.value} with {needs}{even}"
+            f"{cost} ({self.theorem})"
+        )
+
+
+def _ks(*items: Knowledge) -> frozenset[Knowledge]:
+    return frozenset(items)
+
+
+TABLE_ROWS: tuple[TableRow, ...] = (
+    # ---- Table 1: FSYNC impossibilities -----------------------------------
+    TableRow(
+        table=1, model=Model.FSYNC, agents="2", kind=ResultKind.IMPOSSIBLE,
+        termination=Termination.PARTIAL,
+        even_if=_ks(Knowledge.AGENT_IDS, Knowledge.CHIRALITY),
+        theorem="Theorem 1",
+    ),
+    TableRow(
+        table=1, model=Model.FSYNC, agents="any", kind=ResultKind.IMPOSSIBLE,
+        termination=Termination.PARTIAL,
+        even_if=_ks(Knowledge.CHIRALITY),
+        theorem="Theorem 2",
+    ),
+    # ---- Table 2: FSYNC possibilities --------------------------------------
+    TableRow(
+        table=2, model=Model.FSYNC, agents="2", kind=ResultKind.POSSIBLE,
+        termination=Termination.EXPLICIT,
+        assumptions=_ks(Knowledge.UPPER_BOUND),
+        complexity="3N - 6 rounds", theorem="Theorem 3",
+        algorithm="KnownUpperBound",
+    ),
+    TableRow(
+        table=2, model=Model.FSYNC, agents="2", kind=ResultKind.POSSIBLE,
+        termination=Termination.EXPLICIT,
+        assumptions=_ks(Knowledge.CHIRALITY, Knowledge.LANDMARK),
+        complexity="O(n) rounds", theorem="Theorem 6",
+        algorithm="LandmarkWithChirality",
+    ),
+    TableRow(
+        table=2, model=Model.FSYNC, agents="2", kind=ResultKind.POSSIBLE,
+        termination=Termination.EXPLICIT,
+        assumptions=_ks(Knowledge.LANDMARK),
+        complexity="O(n log n) rounds", theorem="Theorem 8",
+        algorithm="LandmarkNoChirality",
+    ),
+    # implied by Theorems 1/2 + Figure 3 (not a table row, but part of the map):
+    TableRow(
+        table=2, model=Model.FSYNC, agents="2", kind=ResultKind.POSSIBLE,
+        termination=Termination.UNCONSCIOUS,
+        complexity="O(n) rounds", theorem="Theorem 5",
+        algorithm="UnconsciousExploration",
+    ),
+    # ---- Table 3: SSYNC impossibilities --------------------------------------
+    TableRow(
+        table=3, model=Model.SSYNC_NS, agents="any", kind=ResultKind.IMPOSSIBLE,
+        termination=Termination.EXPLORATION,
+        even_if=_ks(Knowledge.CHIRALITY, Knowledge.EXACT_SIZE, Knowledge.LANDMARK,
+                    Knowledge.AGENT_IDS),
+        theorem="Theorem 9",
+    ),
+    TableRow(
+        table=3, model=Model.SSYNC_PT, agents="2", kind=ResultKind.IMPOSSIBLE,
+        termination=Termination.EXPLORATION,
+        even_if=_ks(Knowledge.EXACT_SIZE, Knowledge.LANDMARK),
+        theorem="Theorem 10 (no chirality)",
+    ),
+    TableRow(
+        table=3, model=Model.SSYNC_PT, agents="2", kind=ResultKind.IMPOSSIBLE,
+        termination=Termination.EXPLICIT,
+        even_if=_ks(Knowledge.CHIRALITY, Knowledge.EXACT_SIZE, Knowledge.LANDMARK),
+        theorem="Theorem 11",
+    ),
+    TableRow(
+        table=3, model=Model.SSYNC_ET, agents="any", kind=ResultKind.IMPOSSIBLE,
+        termination=Termination.PARTIAL,
+        even_if=_ks(Knowledge.UPPER_BOUND, Knowledge.CHIRALITY, Knowledge.LANDMARK,
+                    Knowledge.AGENT_IDS),
+        theorem="Theorem 19 (unknown exact n)",
+    ),
+    # ---- Table 4: SSYNC possibilities -----------------------------------------
+    TableRow(
+        table=4, model=Model.SSYNC_PT, agents="2", kind=ResultKind.POSSIBLE,
+        termination=Termination.PARTIAL,
+        assumptions=_ks(Knowledge.CHIRALITY, Knowledge.UPPER_BOUND),
+        complexity="O(N^2) moves", theorem="Theorem 12",
+        algorithm="PTBoundWithChirality",
+    ),
+    TableRow(
+        table=4, model=Model.SSYNC_PT, agents="2", kind=ResultKind.POSSIBLE,
+        termination=Termination.PARTIAL,
+        assumptions=_ks(Knowledge.CHIRALITY, Knowledge.LANDMARK),
+        complexity="O(n^2) moves", theorem="Theorem 14",
+        algorithm="PTLandmarkWithChirality",
+    ),
+    TableRow(
+        table=4, model=Model.SSYNC_PT, agents="3", kind=ResultKind.POSSIBLE,
+        termination=Termination.PARTIAL,
+        assumptions=_ks(Knowledge.UPPER_BOUND),
+        complexity="O(N^2) moves", theorem="Theorem 16",
+        algorithm="PTBoundNoChirality",
+    ),
+    TableRow(
+        table=4, model=Model.SSYNC_PT, agents="3", kind=ResultKind.POSSIBLE,
+        termination=Termination.PARTIAL,
+        assumptions=_ks(Knowledge.LANDMARK),
+        complexity="O(n^2) moves", theorem="Theorem 17",
+        algorithm="PTLandmarkNoChirality",
+    ),
+    TableRow(
+        table=4, model=Model.SSYNC_ET, agents="2", kind=ResultKind.POSSIBLE,
+        termination=Termination.UNCONSCIOUS,
+        assumptions=_ks(Knowledge.CHIRALITY),
+        theorem="Theorem 18",
+        algorithm="ETUnconscious",
+    ),
+    TableRow(
+        table=4, model=Model.SSYNC_ET, agents="3", kind=ResultKind.POSSIBLE,
+        termination=Termination.PARTIAL,
+        assumptions=_ks(Knowledge.EXACT_SIZE),
+        theorem="Theorem 20",
+        algorithm="ETExactSizeNoChirality",
+    ),
+)
+
+
+def lookup(
+    *,
+    table: int | None = None,
+    model: Model | None = None,
+    kind: ResultKind | None = None,
+    algorithm: str | None = None,
+) -> list[TableRow]:
+    """Filter the feasibility map."""
+    rows = list(TABLE_ROWS)
+    if table is not None:
+        rows = [r for r in rows if r.table == table]
+    if model is not None:
+        rows = [r for r in rows if r.model is model]
+    if kind is not None:
+        rows = [r for r in rows if r.kind is kind]
+    if algorithm is not None:
+        rows = [r for r in rows if r.algorithm == algorithm]
+    return rows
+
+
+def render_map() -> str:
+    """The whole feasibility map as aligned text (used by examples/benches)."""
+    return "\n".join(row.describe() for row in TABLE_ROWS)

@@ -1,0 +1,152 @@
+"""The impossibility constructions (Theorems 1, 2, 9, 10) as demonstrations."""
+
+import pytest
+
+from repro.adversary import (
+    NSStarvationAdversary,
+    theorem10_configuration,
+)
+from repro.algorithms import GuessAndTerminate
+from repro.algorithms.ssync import (
+    ETExactSizeNoChirality,
+    PTBoundNoChirality,
+    PTBoundWithChirality,
+    PTLandmarkWithChirality,
+)
+from repro.api import build_engine, run_exploration
+from repro.core import TerminationMode, TransportModel
+from repro.core.errors import ConfigurationError
+
+from ..helpers import fsync_engine
+
+
+class TestTheorem1And2Demo:
+    """No size knowledge => any terminating guess fails on a larger ring."""
+
+    def test_strawman_succeeds_on_a_small_ring(self):
+        result = run_exploration(
+            GuessAndTerminate(budget=30), ring_size=5, positions=[0, 2],
+            max_rounds=100,
+        )
+        assert result.explored  # lucky: the budget covers a 5-ring
+
+    def test_strawman_fails_on_a_large_ring(self):
+        """The Theorem 1 scaling argument, concretely."""
+        budget = 30
+        result = run_exploration(
+            GuessAndTerminate(budget=budget), ring_size=budget + 4,
+            positions=[0, 2], max_rounds=200,
+        )
+        assert result.termination_mode() is TerminationMode.INCORRECT
+
+    def test_any_budget_has_a_defeating_ring(self):
+        for budget in (5, 12, 33):
+            result = run_exploration(
+                GuessAndTerminate(budget=budget), ring_size=budget + 3,
+                positions=[0, 1], max_rounds=budget + 50,
+            )
+            assert result.termination_mode() is TerminationMode.INCORRECT
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigurationError):
+            GuessAndTerminate(budget=0)
+
+
+class TestTheorem9:
+    """NS starvation: nobody ever moves, under any of our algorithms."""
+
+    @pytest.mark.parametrize(
+        "algorithm,agents,flip",
+        [
+            (lambda n: PTBoundWithChirality(bound=n), 2, ()),
+            (lambda n: PTBoundNoChirality(bound=n), 3, (1,)),
+            (lambda n: ETExactSizeNoChirality(ring_size=n), 3, (2,)),
+        ],
+    )
+    def test_zero_moves_forever(self, algorithm, agents, flip):
+        n = 8
+        adversary = NSStarvationAdversary()
+        positions = [0, 3, 5][:agents]
+        engine = build_engine(
+            algorithm(n),
+            ring_size=n,
+            positions=positions,
+            chirality=not flip,
+            flipped=flip,
+            adversary=adversary,
+            scheduler=adversary,
+            transport=TransportModel.NS,
+        )
+        result = engine.run(1_500)
+        assert result.total_moves == 0
+        assert not result.explored
+        assert not result.any_terminated
+
+    def test_schedule_is_fair(self):
+        """Every agent is activated infinitely often (here: regularly)."""
+        n = 6
+        adversary = NSStarvationAdversary()
+        engine = build_engine(
+            PTBoundWithChirality(bound=n),
+            ring_size=n,
+            positions=[0, 3],
+            adversary=adversary,
+            scheduler=adversary,
+            transport=TransportModel.NS,
+        )
+        for _ in range(200):
+            engine.step()
+            for agent in engine.agents:
+                assert agent.rounds_since_active <= len(engine.agents)
+
+
+class TestTheorem10:
+    """PT, two agents, no chirality: stranded on four nodes forever."""
+
+    @pytest.mark.parametrize("n", [5, 8, 12])
+    def test_two_agents_stranded(self, n):
+        cfg = theorem10_configuration(n)
+        result = run_exploration(
+            PTBoundWithChirality(bound=n), ring_size=n,
+            transport=TransportModel.PT, max_rounds=2_000, **cfg,
+        )
+        assert not result.explored
+        assert len(result.visited) == 4
+        assert not result.any_terminated
+
+    def test_three_agent_algorithm_with_two_agents_is_also_stuck(self):
+        n = 8
+        cfg = theorem10_configuration(n)
+        result = run_exploration(
+            PTBoundNoChirality(bound=n), ring_size=n,
+            transport=TransportModel.PT, max_rounds=2_000, **cfg,
+        )
+        assert not result.explored
+        assert not result.any_terminated
+
+    def test_landmark_does_not_help(self):
+        """Theorem 10 holds even with a landmark and known n."""
+        n = 8
+        cfg = theorem10_configuration(n)
+        result = run_exploration(
+            PTLandmarkWithChirality(), ring_size=n, landmark=5,
+            transport=TransportModel.PT, max_rounds=2_000, **cfg,
+        )
+        assert not result.explored
+        assert not result.any_terminated
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem10_configuration(4)
+
+    def test_chirality_restores_solvability(self):
+        """Control: same adversary, but agents sharing an orientation cope."""
+        n = 8
+        cfg = theorem10_configuration(n)
+        result = run_exploration(
+            PTBoundWithChirality(bound=n), ring_size=n,
+            positions=cfg["positions"],  # same starts, but with chirality
+            adversary=cfg["adversary"],
+            transport=TransportModel.PT, max_rounds=10_000,
+        )
+        assert result.explored

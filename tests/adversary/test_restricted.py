@@ -1,0 +1,105 @@
+"""T-interval and delta-recurrent adversary classes (§1.1.2 related work)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import (
+    DeltaRecurrentAdversary,
+    FixedMissingEdge,
+    RandomMissingEdge,
+    TIntervalAdversary,
+)
+from repro.algorithms.fsync import KnownUpperBound, UnconsciousExploration
+from repro.core.errors import ConfigurationError
+
+from ..helpers import fsync_engine
+
+
+def missing_sequence(adversary, n, rounds, algorithm=None):
+    engine = fsync_engine(
+        algorithm or UnconsciousExploration(), n, [0, n // 2], adversary=adversary
+    )
+    out = []
+    for _ in range(rounds):
+        engine.step()
+        out.append(engine.missing_edge)
+    return out
+
+
+class TestTInterval:
+    def test_choice_is_held_for_t_rounds(self):
+        seq = missing_sequence(
+            TIntervalAdversary(RandomMissingEdge(seed=3), interval=4), 8, 20
+        )
+        for start in range(0, 20, 4):
+            window = seq[start:start + 4]
+            assert len(set(window)) == 1
+
+    def test_interval_one_is_the_paper_model(self):
+        inner = RandomMissingEdge(seed=5)
+        wrapped = TIntervalAdversary(RandomMissingEdge(seed=5), interval=1)
+        assert missing_sequence(inner, 8, 15) == missing_sequence(wrapped, 8, 15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TIntervalAdversary(RandomMissingEdge(), interval=0)
+
+    @settings(max_examples=15)
+    @given(
+        t=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**12),
+    )
+    def test_algorithms_survive_any_interval(self, t, seed):
+        n = 8
+        engine = fsync_engine(
+            KnownUpperBound(bound=n), n, [0, 4],
+            adversary=TIntervalAdversary(RandomMissingEdge(seed=seed), interval=t),
+        )
+        result = engine.run(3 * n)
+        assert result.explored
+
+
+class TestDeltaRecurrent:
+    def test_absence_streaks_are_capped(self):
+        delta = 3
+        seq = missing_sequence(
+            DeltaRecurrentAdversary(FixedMissingEdge(2), delta=delta), 8, 30
+        )
+        streak = 0
+        for edge in seq:
+            if edge == 2:
+                streak += 1
+                assert streak <= delta - 1
+            else:
+                streak = 0
+
+    def test_delta_one_means_static_ring(self):
+        seq = missing_sequence(
+            DeltaRecurrentAdversary(FixedMissingEdge(2), delta=1), 8, 10
+        )
+        assert seq == [None] * 10
+
+    def test_inner_choice_passes_through_when_varied(self):
+        inner = RandomMissingEdge(seed=9)
+        wrapped = DeltaRecurrentAdversary(RandomMissingEdge(seed=9), delta=50)
+        # a random inner rarely repeats 50x; the wrapper should be invisible
+        assert missing_sequence(inner, 10, 30) == missing_sequence(wrapped, 10, 30)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeltaRecurrentAdversary(FixedMissingEdge(0), delta=0)
+
+    @settings(max_examples=15)
+    @given(
+        delta=st.integers(min_value=1, max_value=8),
+        edge=st.integers(min_value=0, max_value=7),
+    )
+    def test_blocked_agents_always_get_through(self, delta, edge):
+        """delta-recurrence turns perpetual blocking into bounded waiting."""
+        n = 8
+        engine = fsync_engine(
+            UnconsciousExploration(), n, [0, 4],
+            adversary=DeltaRecurrentAdversary(FixedMissingEdge(edge), delta=delta),
+        )
+        result = engine.run(40 * n, stop_on_exploration=True)
+        assert result.explored

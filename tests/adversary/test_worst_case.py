@@ -1,0 +1,124 @@
+"""Worst-case schedules: Figure 2 and the zig-zag forcing of Th. 13/15."""
+
+import pytest
+
+from repro.adversary import Figure2Schedule, ZigZagForcingAdversary
+from repro.algorithms.fsync import KnownUpperBound
+from repro.algorithms.ssync import PTBoundWithChirality, PTLandmarkWithChirality
+from repro.api import build_engine, run_exploration
+from repro.core import TransportModel
+from repro.core.errors import ConfigurationError
+from repro.theory.bounds import fsync_known_bound_time
+
+
+class TestFigure2:
+    @pytest.mark.parametrize("n", [5, 7, 10, 16, 23])
+    def test_exact_cost_for_any_size(self, n):
+        cfg = Figure2Schedule(anchor=0).configuration(n)
+        result = run_exploration(
+            KnownUpperBound(bound=n), ring_size=n,
+            max_rounds=fsync_known_bound_time(n) + 5, **cfg,
+        )
+        assert result.exploration_round == 3 * n - 6
+
+    @pytest.mark.parametrize("anchor", [0, 3, 7])
+    def test_anchor_position_is_irrelevant(self, anchor):
+        n = 9
+        cfg = Figure2Schedule(anchor=anchor).configuration(n)
+        result = run_exploration(
+            KnownUpperBound(bound=n), ring_size=n,
+            max_rounds=fsync_known_bound_time(n) + 5, **cfg,
+        )
+        assert result.exploration_round == 3 * n - 6
+
+    def test_rejects_small_rings(self):
+        with pytest.raises(ConfigurationError):
+            Figure2Schedule().configuration(4)
+
+    def test_cost_exceeds_generic_lower_bound(self):
+        """3n-6 >= 2n-3 (Observation 3) for n >= 3."""
+        for n in range(3, 30):
+            assert 3 * n - 6 >= 2 * n - 3 or n < 3
+
+
+def zigzag_moves(algorithm_factory, n, landmark=None):
+    adversary = ZigZagForcingAdversary(cap=max(1, n // 3))
+    cfg = adversary.configuration(n)
+    engine = build_engine(
+        algorithm_factory(n),
+        ring_size=n,
+        positions=cfg["positions"],
+        landmark=landmark,
+        adversary=adversary,
+        scheduler=adversary,
+        transport=TransportModel.PT,
+    )
+    result = engine.run(
+        300 * n * n, stop_when=lambda e: e.agents[1].terminated
+    )
+    return result
+
+
+class TestZigZagForcing:
+    def test_walker_is_forced_but_eventually_terminates(self):
+        result = zigzag_moves(lambda n: PTBoundWithChirality(bound=n), 12)
+        assert result.explored
+        assert result.agents[1].terminated
+
+    def test_moves_grow_quadratically_bound_variant(self):
+        """Theorem 13: doubling n roughly quadruples the extracted moves."""
+        moves = {n: zigzag_moves(lambda m: PTBoundWithChirality(bound=m), n).total_moves
+                 for n in (8, 16, 32)}
+        assert 2.5 < moves[16] / moves[8]
+        assert 2.5 < moves[32] / moves[16]
+
+    def test_moves_grow_quadratically_landmark_variant(self):
+        """Theorem 15: same shape for the landmark algorithm."""
+        moves = {n: zigzag_moves(lambda m: PTLandmarkWithChirality(), n, landmark=0).total_moves
+                 for n in (8, 16, 32)}
+        assert 2.5 < moves[16] / moves[8]
+        assert 2.5 < moves[32] / moves[16]
+
+    def test_crossing_test_never_fires_under_forcing(self):
+        """The adversary's creep keeps leftSteps > rightSteps (Th. 13 proof)."""
+        n = 10
+        adversary = ZigZagForcingAdversary(cap=3)
+        cfg = adversary.configuration(n)
+        engine = build_engine(
+            PTBoundWithChirality(bound=n),
+            ring_size=n,
+            positions=cfg["positions"],
+            adversary=adversary,
+            scheduler=adversary,
+            transport=TransportModel.PT,
+        )
+        for _ in range(400):
+            if engine.agents[1].terminated:
+                break
+            engine.step()
+            mem = engine.agents[1].memory
+            left, right = mem.vars.get("leftSteps"), mem.vars.get("rightSteps")
+            if left is not None and right is not None and not engine.agents[1].terminated:
+                # termination via the crossing test would need right >= left
+                assert not (right >= left and mem.vars["state"] == "Terminate")
+        assert engine.agents[1].terminated
+        # the walker terminated through the span certificate, not crossing
+        assert engine.agents[1].memory.Tnodes >= n
+
+    def test_cap_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZigZagForcingAdversary(cap=0)
+        with pytest.raises(ConfigurationError):
+            ZigZagForcingAdversary.configuration(4)
+
+    def test_needs_exactly_two_agents(self):
+        adversary = ZigZagForcingAdversary(cap=2)
+        with pytest.raises(ConfigurationError):
+            build_engine(
+                PTBoundWithChirality(bound=8),
+                ring_size=8,
+                positions=[1, 3, 5],
+                adversary=adversary,
+                scheduler=adversary,
+                transport=TransportModel.PT,
+            )

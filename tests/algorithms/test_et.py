@@ -1,0 +1,159 @@
+"""Theorems 18, 19, 20: the Eventual Transport algorithms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import FixedMissingEdge, NoRemoval, RandomMissingEdge, Theorem19Adversary
+from repro.algorithms.ssync import ETExactSizeNoChirality, ETUnconscious
+from repro.analysis.checker import check_safety
+from repro.core import TerminationMode, TransportModel
+from repro.core.errors import ConfigurationError
+from repro.api import build_engine
+
+from ..helpers import et_engine
+
+HORIZON = 80_000
+
+
+class TestETUnconscious:
+    @pytest.mark.parametrize("n", [3, 6, 10, 15])
+    def test_explores_without_terminating(self, n):
+        engine = et_engine(ETUnconscious(), n, [0, n // 2], seed=n)
+        result = engine.run(HORIZON, stop_on_exploration=True)
+        assert result.explored
+        assert result.termination_mode() is TerminationMode.UNCONSCIOUS
+
+    def test_static_ring(self):
+        engine = et_engine(ETUnconscious(), 9, [2, 6], adversary=NoRemoval(), seed=0)
+        result = engine.run(HORIZON, stop_on_exploration=True)
+        assert result.explored
+
+    def test_perpetual_missing_edge(self):
+        engine = et_engine(
+            ETUnconscious(), 8, [2, 5], adversary=FixedMissingEdge(0), seed=1
+        )
+        result = engine.run(HORIZON, stop_on_exploration=True)
+        assert result.explored
+
+    @settings(max_examples=20)
+    @given(
+        n=st.integers(min_value=3, max_value=12),
+        gap=st.integers(min_value=0, max_value=11),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_explores(self, n, gap, seed):
+        engine = et_engine(ETUnconscious(), n, [0, gap % n], seed=seed)
+        result = engine.run(HORIZON, stop_on_exploration=True)
+        assert result.explored
+        assert not result.any_terminated
+
+
+class TestETExactSize:
+    def test_size_floor(self):
+        with pytest.raises(ConfigurationError):
+            ETExactSizeNoChirality(ring_size=2)
+
+    def test_bound_is_n_minus_one(self):
+        """Section 4.3.2: "N is set to n - 1"."""
+        assert ETExactSizeNoChirality(ring_size=9).bound == 8
+
+    def test_checkd_is_strict(self):
+        assert ETExactSizeNoChirality(ring_size=9).strict_check
+
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    def test_random_runs_partially_terminate(self, n):
+        engine = et_engine(
+            ETExactSizeNoChirality(ring_size=n), n, [0, n // 3, (2 * n) // 3],
+            chirality=False, flipped=(1,), seed=n,
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.any_terminated
+
+    def test_perpetual_missing_edge_third_agent_sweeps(self):
+        """Theorem 20's proof scenario: two agents pinned at the missing
+        edge's endpoints, the third walks n-1 steps and terminates."""
+        n = 7
+        engine = et_engine(
+            ETExactSizeNoChirality(ring_size=n), n, [1, 3, 5],
+            chirality=False, flipped=(2,),
+            adversary=FixedMissingEdge(n - 1), seed=4,
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.any_terminated
+
+    @settings(max_examples=15)
+    @given(
+        n=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+        flip=st.sampled_from([(), (1,), (0, 2)]),
+    )
+    def test_property_safe(self, n, seed, flip):
+        positions = [0, n // 3, (2 * n) // 3]
+        engine = et_engine(
+            ETExactSizeNoChirality(ring_size=n), n, positions,
+            chirality=False, flipped=flip, seed=seed,
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.any_terminated
+
+
+class TestTheorem19:
+    """Exact size knowledge is necessary: the two-ring indistinguishability."""
+
+    def test_misused_bound_terminates_incorrectly_on_big_ring(self):
+        n1, n2 = 6, 9
+        adversary = Theorem19Adversary(small_size=n1)
+        engine = build_engine(
+            ETExactSizeNoChirality(ring_size=n1),
+            ring_size=n2,
+            positions=[0, 2, 4],
+            chirality=False,
+            flipped=(1,),
+            adversary=adversary,
+            scheduler=adversary,
+            transport=TransportModel.ET,
+        )
+        result = engine.run(20_000)
+        assert result.termination_mode() is TerminationMode.INCORRECT
+        assert not result.explored
+
+    def test_control_run_on_true_small_ring_is_correct(self):
+        n1 = 6
+        engine = et_engine(
+            ETExactSizeNoChirality(ring_size=n1), n1, [0, 2, 4],
+            chirality=False, flipped=(1,),
+            adversary=FixedMissingEdge(n1 - 1), seed=4,
+        )
+        result = engine.run(20_000)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.any_terminated
+
+    def test_adversary_validates_configuration(self):
+        adversary = Theorem19Adversary(small_size=6)
+        with pytest.raises(ConfigurationError):
+            build_engine(
+                ETExactSizeNoChirality(ring_size=6),
+                ring_size=6,  # host must be strictly larger
+                positions=[0, 1, 2],
+                adversary=adversary,
+                scheduler=adversary,
+                transport=TransportModel.ET,
+            )
+        with pytest.raises(ConfigurationError):
+            build_engine(
+                ETExactSizeNoChirality(ring_size=6),
+                ring_size=9,
+                positions=[0, 1, 7],  # outside the segment
+                adversary=adversary,
+                scheduler=adversary,
+                transport=TransportModel.ET,
+            )
+        with pytest.raises(ConfigurationError):
+            Theorem19Adversary(small_size=2)

@@ -1,0 +1,205 @@
+"""Section 3.2.3: ID computation and direction schedules.
+
+Figures 9 and 10 are reproduced bit for bit; Figure 11's direction table
+is asserted verbatim; Lemma 3 is checked as a property over random ID
+pairs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.fsync.ids import (
+    DirectionSchedule,
+    common_direction_window,
+    duplicate_bits,
+    id_bit_length,
+    interleave_id,
+    lemma3_bound,
+    phase_of_round,
+)
+from repro.core.directions import LEFT, RIGHT
+from repro.core.errors import ConfigurationError
+
+
+class TestInterleaving:
+    def test_figure9_agent_a(self):
+        """k1=010, k2=010, k3=000 -> 110000 (decimal 48)."""
+        assert interleave_id(2, 2, 0) == 48
+
+    def test_figure9_agent_b(self):
+        """k1=011, k2=100, k3=000 -> 010100100 (decimal 164)."""
+        assert interleave_id(3, 4, 0) == 164
+
+    def test_figure10_agent_a(self):
+        """k1=10, k2=01, k3=10 -> 101010 (decimal 42)."""
+        assert interleave_id(2, 1, 2) == 42
+
+    def test_figure10_agent_b(self):
+        """k1=110, k2=010, k3=000 -> 100110000 (decimal 304)."""
+        assert interleave_id(6, 2, 0) == 304
+
+    def test_zero_id(self):
+        assert interleave_id(0, 0, 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interleave_id(-1, 0, 0)
+
+    @given(st.integers(0, 500), st.integers(0, 500), st.integers(0, 500),
+           st.integers(0, 500), st.integers(0, 500), st.integers(0, 500))
+    def test_ids_equal_iff_components_equal(self, a1, a2, a3, b1, b2, b3):
+        """"Note that two IDs are equal if and only if their ki's are equal.""" ""
+        same = (a1, a2, a3) == (b1, b2, b3)
+        assert (interleave_id(a1, a2, a3) == interleave_id(b1, b2, b3)) == same
+
+
+class TestHelpers:
+    def test_duplicate_bits_example(self):
+        """Dup(1010, 2) = 11001100 (paper's own example)."""
+        assert duplicate_bits("1010", 2) == "11001100"
+
+    def test_duplicate_identity(self):
+        assert duplicate_bits("10", 1) == "10"
+
+    def test_duplicate_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            duplicate_bits("10", 0)
+
+    def test_phase_boundaries(self):
+        assert phase_of_round(1) == 0
+        assert phase_of_round(2) == 1
+        assert phase_of_round(3) == 1
+        assert phase_of_round(4) == 2
+        assert phase_of_round(7) == 2
+        assert phase_of_round(8) == 3
+
+    def test_phase_rejects_round_zero(self):
+        with pytest.raises(ConfigurationError):
+            phase_of_round(0)
+
+    @given(st.integers(1, 1 << 20))
+    def test_phase_covers_rounds(self, r):
+        j = phase_of_round(r)
+        assert (1 << j) <= r < (1 << (j + 1))
+
+    def test_id_bit_length(self):
+        assert id_bit_length(0) == 1
+        assert id_bit_length(1) == 1
+        assert id_bit_length(48) == 6
+
+    def test_lemma3_bound_formula(self):
+        assert lemma3_bound(3, 5, 10) == 32 * ((3 + 3) * 5 * 10) + 1
+
+
+class TestFigure11:
+    """ID = 1: S(ID) = 1010, jbar = 2."""
+
+    def test_pattern_and_jbar(self):
+        sched = DirectionSchedule(1)
+        assert sched.pattern == "1010"
+        assert sched.jbar == 2
+
+    def test_rounds_1_to_3_go_left(self):
+        sched = DirectionSchedule(1)
+        for r in (1, 2, 3):
+            assert sched.direction(r) is LEFT
+
+    def test_phase_two_matches_figure(self):
+        """Rounds 4-7: directions 1 0 1 0."""
+        sched = DirectionSchedule(1)
+        got = [sched.direction(r) for r in range(4, 8)]
+        assert got == [RIGHT, LEFT, RIGHT, LEFT]
+
+    def test_phase_three_duplicates(self):
+        """Rounds 8-15: directions 1 1 0 0 1 1 0 0."""
+        sched = DirectionSchedule(1)
+        got = [sched.direction(r) for r in range(8, 16)]
+        expected = [RIGHT, RIGHT, LEFT, LEFT, RIGHT, RIGHT, LEFT, LEFT]
+        assert got == expected
+
+    def test_phase_pattern_accessor(self):
+        sched = DirectionSchedule(1)
+        assert sched.phase_pattern(2) == "1010"
+        assert sched.phase_pattern(3) == "11001100"
+        with pytest.raises(ConfigurationError):
+            sched.phase_pattern(1)
+
+    def test_switches(self):
+        sched = DirectionSchedule(1)
+        assert sched.switches(4)       # left -> right at the phase boundary
+        assert sched.switches(5)       # right -> left inside the phase
+        assert not sched.switches(9)   # right -> right (duplicated bits)
+        assert not sched.switches(1)
+
+
+class TestScheduleStructure:
+    @given(st.integers(0, 4000))
+    def test_pattern_is_padded_s_of_id(self, agent_id):
+        sched = DirectionSchedule(agent_id)
+        base = "10" + format(agent_id, "b") + "0"
+        assert len(sched.pattern) == 1 << sched.jbar
+        assert sched.pattern.endswith(base)
+        assert set(sched.pattern[: -len(base)]) <= {"0"}
+
+    @given(st.integers(0, 4000), st.integers(2, 9))
+    def test_phase_pattern_length_matches_phase(self, agent_id, j):
+        sched = DirectionSchedule(agent_id)
+        j = max(j, sched.jbar)
+        assert len(sched.phase_pattern(j)) == 1 << j
+
+    @given(st.integers(0, 200))
+    def test_every_schedule_uses_both_directions(self, agent_id):
+        """Lemma 3's last statement: each S(ID) contains both 0 and 1."""
+        sched = DirectionSchedule(agent_id)
+        assert "0" in sched.pattern and "1" in sched.pattern
+
+
+class TestLemma3:
+    @pytest.mark.parametrize(
+        "id_a,id_b",
+        [(48, 164), (42, 304), (0, 1), (1, 2), (7, 8), (100, 101)],
+    )
+    def test_common_window_for_paper_pairs(self, id_a, id_b):
+        """Distinct IDs share a direction for c*n rounds within the bound."""
+        c, n = 1, 8
+        a, b = DirectionSchedule(id_a), DirectionSchedule(id_b)
+        longest = max(id_bit_length(id_a), id_bit_length(id_b))
+        horizon = lemma3_bound(longest, c, n)
+        _, length = common_direction_window(a, b, horizon)
+        assert length >= c * n
+
+    @settings(max_examples=25)
+    @given(
+        id_a=st.integers(0, 300),
+        id_b=st.integers(0, 300),
+        n=st.integers(3, 10),
+    )
+    def test_common_window_property(self, id_a, id_b, n):
+        if id_a == id_b:
+            return
+        c = 1
+        a, b = DirectionSchedule(id_a), DirectionSchedule(id_b)
+        longest = max(id_bit_length(id_a), id_bit_length(id_b))
+        horizon = lemma3_bound(longest, c, n)
+        _, length = common_direction_window(a, b, horizon)
+        assert length >= c * n
+
+    @settings(max_examples=25)
+    @given(id_a=st.integers(0, 300), n=st.integers(3, 8))
+    def test_each_agent_runs_both_directions_long_enough(self, id_a, n):
+        """Lemma 3: by the bound, each agent has a c*n run in each direction."""
+        c = 1
+        sched = DirectionSchedule(id_a)
+        horizon = lemma3_bound(id_bit_length(id_a), c, n)
+        runs = {LEFT: 0, RIGHT: 0}
+        best = {LEFT: 0, RIGHT: 0}
+        prev = None
+        for r in range(1, horizon + 1):
+            d = sched.direction(r)
+            runs[d] = runs[d] + 1 if d is prev else 1
+            if d is not prev and prev is not None:
+                runs[prev] = 0
+            best[d] = max(best[d], runs[d])
+            prev = d
+        assert best[LEFT] >= c * n
+        assert best[RIGHT] >= c * n

@@ -1,0 +1,169 @@
+"""Theorem 3 / Figure 1: KnownNNoChirality.
+
+Claims under test: with a known upper bound ``N >= n``, two anonymous
+agents — regardless of orientations, starting nodes and (1-interval)
+adversary — explore the ring and explicitly terminate at round ``3N - 6``,
+and never terminate before exploration is complete.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import (
+    BlockAgentAdversary,
+    Figure2Schedule,
+    FixedMissingEdge,
+    NoRemoval,
+    PeriodicMissingEdge,
+    RandomMissingEdge,
+)
+from repro.algorithms.fsync import KnownUpperBound
+from repro.analysis.checker import check_safety
+from repro.core import TerminationMode
+from repro.core.errors import ConfigurationError
+from repro.theory.bounds import fsync_known_bound_time
+
+from ..helpers import fsync_engine
+
+
+class TestConstruction:
+    def test_bound_floor(self):
+        with pytest.raises(ConfigurationError):
+            KnownUpperBound(bound=2)
+
+    def test_name_mentions_bound(self):
+        assert "N=9" in KnownUpperBound(bound=9).name
+
+
+class TestBenignRuns:
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 13, 20])
+    def test_explores_and_terminates_with_exact_bound(self, n):
+        engine = fsync_engine(KnownUpperBound(bound=n), n, [0, n // 2])
+        result = engine.run(fsync_known_bound_time(n) + 5)
+        assert result.explored
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+        assert result.last_termination_round == fsync_known_bound_time(n)
+
+    @pytest.mark.parametrize("n,bound", [(5, 8), (6, 10), (9, 20)])
+    def test_loose_upper_bound_still_works(self, n, bound):
+        engine = fsync_engine(KnownUpperBound(bound=bound), n, [1, 3])
+        result = engine.run(fsync_known_bound_time(bound) + 5)
+        assert result.explored
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_same_start_same_orientation(self):
+        """Both push the same port; `failed` breaks the symmetry (proof, case 1)."""
+        n = 8
+        engine = fsync_engine(KnownUpperBound(bound=n), n, [2, 2])
+        result = engine.run(fsync_known_bound_time(n) + 5)
+        assert result.explored
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_same_start_opposite_orientations(self):
+        n = 8
+        engine = fsync_engine(
+            KnownUpperBound(bound=n), n, [2, 2], chirality=False, flipped=(1,)
+        )
+        result = engine.run(fsync_known_bound_time(n) + 5)
+        assert result.explored
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_adjacent_starts_opposite_orientations(self):
+        """Proof case (i): neighbours facing each other explore in one round."""
+        n = 8
+        engine = fsync_engine(
+            KnownUpperBound(bound=n), n, [2, 3], chirality=False, flipped=(0,)
+        )
+        result = engine.run(fsync_known_bound_time(n) + 5)
+        assert result.explored
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+
+class TestAdversarialRuns:
+    @pytest.mark.parametrize("edge", [0, 3, 5])
+    def test_one_edge_perpetually_missing(self, edge):
+        n = 7
+        engine = fsync_engine(
+            KnownUpperBound(bound=n), n, [0, 4], adversary=FixedMissingEdge(edge)
+        )
+        result = engine.run(fsync_known_bound_time(n) + 5)
+        assert result.explored
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_blocking_one_agent_leaves_the_other_to_finish(self):
+        n = 9
+        engine = fsync_engine(
+            KnownUpperBound(bound=n), n, [0, 4], adversary=BlockAgentAdversary(0)
+        )
+        result = engine.run(fsync_known_bound_time(n) + 5)
+        assert result.explored
+
+    @settings(max_examples=30)
+    @given(
+        n=st.integers(min_value=3, max_value=14),
+        slack=st.integers(min_value=0, max_value=6),
+        gap=st.integers(min_value=0, max_value=13),
+        flip=st.sampled_from([(), (0,), (1,), (0, 1)]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_random_adversary_never_defeats_it(self, n, slack, gap, flip, seed):
+        """Safety + liveness hold for arbitrary sizes, starts, orientations."""
+        bound = n + slack
+        engine = fsync_engine(
+            KnownUpperBound(bound=bound),
+            n,
+            [0, gap % n],
+            chirality=False,
+            flipped=flip,
+            adversary=RandomMissingEdge(seed=seed),
+        )
+        result = engine.run(fsync_known_bound_time(bound) + 5)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.all_terminated
+        assert result.last_termination_round == fsync_known_bound_time(bound)
+
+    @settings(max_examples=20)
+    @given(
+        n=st.integers(min_value=4, max_value=12),
+        period=st.integers(min_value=2, max_value=6),
+        duty=st.integers(min_value=1, max_value=6),
+        edge=st.integers(min_value=0, max_value=11),
+    )
+    def test_periodic_adversary(self, n, period, duty, edge):
+        duty = min(duty, period)
+        engine = fsync_engine(
+            KnownUpperBound(bound=n),
+            n,
+            [1, n - 1],
+            adversary=PeriodicMissingEdge(edge % n, period, duty),
+        )
+        result = engine.run(fsync_known_bound_time(n) + 5)
+        assert check_safety(result) == []
+        assert result.explored
+
+
+class TestFigure2WorstCase:
+    @pytest.mark.parametrize("n", [5, 6, 9, 12, 17])
+    def test_exploration_takes_exactly_3n_minus_6(self, n):
+        schedule = Figure2Schedule(anchor=2)
+        cfg = schedule.configuration(n)
+        engine = fsync_engine(
+            KnownUpperBound(bound=n),
+            n,
+            cfg["positions"],
+            orientations=cfg["orientations"],
+            adversary=cfg["adversary"],
+        )
+        result = engine.run(fsync_known_bound_time(n) + 5)
+        assert result.exploration_round == 3 * n - 6
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_schedule_needs_n_at_least_5(self):
+        with pytest.raises(ConfigurationError):
+            Figure2Schedule().configuration(4)
+
+    def test_worst_case_beats_observation_3_lower_bound(self):
+        """Obs. 3: any two-agent exploration needs >= 2n - 3 rounds."""
+        n = 11
+        assert 3 * n - 6 >= 2 * n - 3

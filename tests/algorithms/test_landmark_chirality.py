@@ -1,0 +1,155 @@
+"""Theorem 6 / Figure 4: LandmarkWithChirality.
+
+Claims under test: two anonymous agents with chirality on a ring with a
+landmark (no size knowledge) explore and *both* explicitly terminate in
+O(n) rounds; termination never precedes exploration.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import (
+    BlockAgentAdversary,
+    FixedMissingEdge,
+    MeetingPreventionAdversary,
+    NoRemoval,
+    PeriodicMissingEdge,
+    RandomMissingEdge,
+)
+from repro.algorithms.fsync import LandmarkWithChirality
+from repro.analysis.checker import check_safety
+from repro.core import TerminationMode
+
+from ..helpers import fsync_engine
+
+#: O(n) with a generous constant: Lemma 1 gives 7n-1 for the no-catch case
+#: and Theorem 6's accounting stays under ~20n overall.
+def horizon(n: int) -> int:
+    return 60 * n + 60
+
+
+class TestBenignRuns:
+    @pytest.mark.parametrize("n", [3, 4, 6, 9, 14, 25])
+    def test_explicit_termination(self, n):
+        engine = fsync_engine(LandmarkWithChirality(), n, [1, n // 2], landmark=0)
+        result = engine.run(horizon(n))
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_termination_is_linear_in_n(self):
+        for n in (8, 16, 32):
+            engine = fsync_engine(LandmarkWithChirality(), n, [1, n // 2], landmark=0)
+            result = engine.run(horizon(n))
+            assert result.all_terminated
+            assert result.last_termination_round <= horizon(n)
+
+    def test_starting_on_the_landmark(self):
+        engine = fsync_engine(LandmarkWithChirality(), 8, [0, 0], landmark=0)
+        result = engine.run(horizon(8))
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_landmark_elsewhere(self):
+        engine = fsync_engine(LandmarkWithChirality(), 10, [2, 6], landmark=7)
+        result = engine.run(horizon(10))
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+
+class TestAdversarialRuns:
+    @pytest.mark.parametrize("edge", [0, 2, 5])
+    def test_perpetually_missing_edge(self, edge):
+        n = 8
+        engine = fsync_engine(
+            LandmarkWithChirality(), n, [1, 5], landmark=0,
+            adversary=FixedMissingEdge(edge),
+        )
+        result = engine.run(horizon(n))
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_block_one_agent(self):
+        """The unblocked agent loops, learns n, and both eventually stop."""
+        n = 9
+        engine = fsync_engine(
+            LandmarkWithChirality(), n, [2, 6], landmark=0,
+            adversary=BlockAgentAdversary(0),
+        )
+        result = engine.run(horizon(n))
+        assert check_safety(result) == []
+        assert result.explored
+
+    def test_meeting_prevention_cannot_block_termination(self):
+        """Lemma 1: agents that never interact still learn n and stop."""
+        n = 9
+        engine = fsync_engine(
+            LandmarkWithChirality(), n, [2, 6], landmark=0,
+            adversary=MeetingPreventionAdversary(),
+        )
+        result = engine.run(horizon(n))
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    @settings(max_examples=40)
+    @given(
+        n=st.integers(min_value=3, max_value=16),
+        a=st.integers(min_value=0, max_value=15),
+        b=st.integers(min_value=0, max_value=15),
+        landmark=st.integers(min_value=0, max_value=15),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_random_runs_are_safe_and_live(self, n, a, b, landmark, seed):
+        engine = fsync_engine(
+            LandmarkWithChirality(), n, [a % n, b % n], landmark=landmark % n,
+            adversary=RandomMissingEdge(seed=seed),
+        )
+        result = engine.run(horizon(n))
+        assert check_safety(result) == []
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    @settings(max_examples=20)
+    @given(
+        n=st.integers(min_value=4, max_value=12),
+        edge=st.integers(min_value=0, max_value=11),
+        period=st.integers(min_value=2, max_value=7),
+        duty=st.integers(min_value=1, max_value=7),
+    )
+    def test_periodic_edges(self, n, edge, period, duty):
+        engine = fsync_engine(
+            LandmarkWithChirality(), n, [1, n - 2], landmark=0,
+            adversary=PeriodicMissingEdge(edge % n, period, min(duty, period)),
+        )
+        result = engine.run(horizon(n))
+        assert check_safety(result) == []
+        assert result.explored
+
+
+class TestRoleMachinery:
+    def test_catch_assigns_roles(self):
+        """Block agent 0; agent 1 walks into it and becomes B (Bounce)."""
+        n = 8
+        engine = fsync_engine(
+            LandmarkWithChirality(), n, [3, 5], landmark=0,
+            adversary=FixedMissingEdge(2),
+        )
+        states = set()
+        for _ in range(8):
+            engine.step()
+            states.add(engine.agents[1].memory.vars["state"])
+        assert "Bounce" in states
+        assert engine.agents[0].memory.vars["state"] in {"Forward", "FComm", "Terminate"}
+
+    def test_no_premature_termination_after_handshake(self):
+        """The keep-going handshake must not trip the meeting rule.
+
+        Force an early catch (blocked edge), let the comm dance resolve to
+        keep-going, and verify nobody has terminated while nodes are still
+        unexplored.
+        """
+        n = 12
+        engine = fsync_engine(
+            LandmarkWithChirality(), n, [3, 5], landmark=9,
+            adversary=FixedMissingEdge(2, until_round=30),
+        )
+        for _ in range(12):
+            engine.step()
+            for agent in engine.agents:
+                if agent.terminated:
+                    assert engine.exploration_complete
+        result = engine.run(horizon(n))
+        assert result.termination_mode() is TerminationMode.EXPLICIT

@@ -1,0 +1,160 @@
+"""Theorems 7-8 / Figures 8, 12, 13: landmark exploration without chirality.
+
+These runs can legitimately take the full O(n log n) horizon (the Happy
+timeout is ``32((3 ceil(log n)+3) 5n)+1``), so sizes are kept small.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import (
+    FixedMissingEdge,
+    NoRemoval,
+    PeriodicMissingEdge,
+    RandomMissingEdge,
+)
+from repro.algorithms.fsync import LandmarkNoChirality, StartFromLandmarkNoChirality
+from repro.algorithms.fsync.landmark_no_chirality import no_chirality_timeout
+from repro.analysis.checker import check_safety
+from repro.core import TerminationMode
+
+from ..helpers import fsync_engine
+
+
+def horizon(n: int) -> int:
+    return no_chirality_timeout(n) + 10
+
+
+class TestTimeoutFormula:
+    def test_matches_paper_expression(self):
+        # n = 8: 32 * ((3*3 + 3) * 5 * 8) = 32 * 480 = 15360
+        assert no_chirality_timeout(8) == 15360
+
+    def test_is_n_log_n(self):
+        """Doubling n grows the bound by ~2x plus a log factor."""
+        small, large = no_chirality_timeout(8), no_chirality_timeout(16)
+        assert 2.0 < large / small < 3.0
+
+
+class TestStartFromLandmark:
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_opposite_orientations_static_ring(self, n):
+        engine = fsync_engine(
+            StartFromLandmarkNoChirality(), n, [0, 0], landmark=0,
+            chirality=False, flipped=(1,),
+        )
+        result = engine.run(horizon(n))
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_same_orientation(self, n):
+        engine = fsync_engine(
+            StartFromLandmarkNoChirality(), n, [0, 0], landmark=0, chirality=True
+        )
+        result = engine.run(horizon(n))
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_figure12_same_edge_bounce_terminates_at_landmark(self):
+        """Both agents bounce off the same (diametral) edge and meet back
+        at the landmark simultaneously: the AtLandmark dance certifies
+        exploration (Figure 12).  Needs equal arm lengths, hence odd n:
+        for n = 7 and landmark v0, edge e_3 = (v3, v4) is 3 hops both ways.
+        """
+        n = 7
+        engine = fsync_engine(
+            StartFromLandmarkNoChirality(), n, [0, 0], landmark=0,
+            chirality=False, flipped=(1,),
+            adversary=FixedMissingEdge(3),
+        )
+        result = engine.run(horizon(n))
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+        # termination must be fast (the dance, not the big timeout)
+        assert result.last_termination_round <= 2 * n
+
+    def test_non_diametral_bounce_still_safe(self):
+        """With unequal arms the dance never fires; the run still finishes
+        correctly through IDs or the Happy timeout."""
+        n = 6
+        engine = fsync_engine(
+            StartFromLandmarkNoChirality(), n, [0, 0], landmark=0,
+            chirality=False, flipped=(1,),
+            adversary=FixedMissingEdge(2),
+        )
+        result = engine.run(horizon(n))
+        assert check_safety(result) == []
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    @settings(max_examples=12)
+    @given(
+        n=st.integers(min_value=4, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**10),
+        flip=st.sampled_from([(), (1,)]),
+    )
+    def test_random_adversary_safe_and_terminating(self, n, seed, flip):
+        engine = fsync_engine(
+            StartFromLandmarkNoChirality(), n, [0, 0], landmark=0,
+            chirality=False, flipped=flip,
+            adversary=RandomMissingEdge(seed=seed),
+        )
+        result = engine.run(horizon(n))
+        assert check_safety(result) == []
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+
+class TestArbitraryStart:
+    @pytest.mark.parametrize("n,starts", [(5, (1, 3)), (6, (2, 5)), (8, (1, 6))])
+    def test_static_ring(self, n, starts):
+        engine = fsync_engine(
+            LandmarkNoChirality(), n, list(starts), landmark=0,
+            chirality=False, flipped=(1,),
+        )
+        result = engine.run(horizon(n))
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_restart_path_via_landmark_meeting(self):
+        """Agents meeting at the landmark mid-ID-phase restart from InitL
+        rather than terminating (the Figure 13 modification)."""
+        n = 6
+        engine = fsync_engine(
+            LandmarkNoChirality(), n, [1, 5], landmark=0,
+            chirality=False, flipped=(1,),
+            adversary=PeriodicMissingEdge(3, 5, 2),
+        )
+        result = engine.run(horizon(n))
+        assert check_safety(result) == []
+        assert result.explored
+
+    @settings(max_examples=12)
+    @given(
+        n=st.integers(min_value=4, max_value=7),
+        a=st.integers(min_value=0, max_value=6),
+        b=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**10),
+    )
+    def test_random_runs_safe_and_live(self, n, a, b, seed):
+        engine = fsync_engine(
+            LandmarkNoChirality(), n, [a % n, b % n], landmark=0,
+            chirality=False, flipped=(1,),
+            adversary=RandomMissingEdge(seed=seed),
+        )
+        result = engine.run(horizon(n))
+        assert check_safety(result) == []
+        assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_ids_are_assigned_after_two_blocks(self):
+        """Drive one agent through two blocks and check the ID machinery."""
+        n = 8
+        engine = fsync_engine(
+            LandmarkNoChirality(), n, [2, 6], landmark=0,
+            chirality=False, flipped=(1,),
+            adversary=PeriodicMissingEdge(0, 4, 2),
+        )
+        for _ in range(horizon(n)):
+            if engine.all_terminated:
+                break
+            engine.step()
+            for agent in engine.agents:
+                if "id" in agent.memory.vars:
+                    assert agent.memory.vars["schedule"].agent_id == agent.memory.vars["id"]
+        result = engine._build_result("test")
+        assert check_safety(result) == []

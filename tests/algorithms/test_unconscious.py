@@ -1,0 +1,121 @@
+"""Theorem 5 / Figure 3: Unconscious Exploration.
+
+Claims under test: two anonymous agents with no knowledge and no chirality
+explore every 1-interval-connected ring in O(n) rounds, and (consistently
+with Theorems 1/2) never terminate.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import (
+    BlockAgentAdversary,
+    FixedMissingEdge,
+    MeetingPreventionAdversary,
+    NoRemoval,
+    RandomMissingEdge,
+)
+from repro.algorithms.fsync import UnconsciousExploration
+from repro.core import TerminationMode
+
+from ..helpers import fsync_engine
+
+#: Generous constant for the O(n) claim; the proof's accounting gives
+#: roughly 4n rounds to reach G >= n plus a few more phases.
+LINEAR_HORIZON = 40
+
+
+def horizon(n: int) -> int:
+    return LINEAR_HORIZON * n
+
+
+class TestExploration:
+    @pytest.mark.parametrize("n", [3, 5, 8, 13, 21])
+    def test_explores_without_terminating(self, n):
+        engine = fsync_engine(UnconsciousExploration(), n, [0, n // 2])
+        result = engine.run(horizon(n), stop_on_exploration=True)
+        assert result.explored
+        assert result.termination_mode() is TerminationMode.UNCONSCIOUS
+
+    def test_same_start_same_orientation(self):
+        engine = fsync_engine(UnconsciousExploration(), 9, [4, 4])
+        result = engine.run(horizon(9), stop_on_exploration=True)
+        assert result.explored
+
+    def test_opposite_orientations(self):
+        engine = fsync_engine(
+            UnconsciousExploration(), 10, [2, 7], chirality=False, flipped=(1,)
+        )
+        result = engine.run(horizon(10), stop_on_exploration=True)
+        assert result.explored
+
+    @pytest.mark.parametrize("edge", [0, 4])
+    def test_perpetually_missing_edge(self, edge):
+        engine = fsync_engine(
+            UnconsciousExploration(), 9, [1, 5], adversary=FixedMissingEdge(edge)
+        )
+        result = engine.run(horizon(9), stop_on_exploration=True)
+        assert result.explored
+
+    def test_meeting_prevention_does_not_stop_exploration(self):
+        """Obs. 2 prevents meetings, not exploration (cf. Theorem 5's proof)."""
+        engine = fsync_engine(
+            UnconsciousExploration(), 9, [0, 4], adversary=MeetingPreventionAdversary()
+        )
+        result = engine.run(horizon(9), stop_on_exploration=True)
+        assert result.explored
+
+    @settings(max_examples=30)
+    @given(
+        n=st.integers(min_value=3, max_value=16),
+        gap=st.integers(min_value=0, max_value=15),
+        flip=st.sampled_from([(), (0,), (1,)]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_random_adversary_linear_time(self, n, gap, flip, seed):
+        engine = fsync_engine(
+            UnconsciousExploration(),
+            n,
+            [0, gap % n],
+            chirality=False,
+            flipped=flip,
+            adversary=RandomMissingEdge(seed=seed),
+        )
+        result = engine.run(horizon(n), stop_on_exploration=True)
+        assert result.explored
+        assert not result.any_terminated
+        assert result.exploration_round is not None
+        assert result.exploration_round <= horizon(n)
+
+
+class TestGuessDoubling:
+    def test_guess_doubles_in_keep_state(self):
+        engine = fsync_engine(UnconsciousExploration(), 12, [0, 6])
+        for _ in range(5):
+            engine.step()
+        # after Etime >= 2G with G=2 the agents entered Keep and doubled
+        assert engine.agents[0].memory.vars["G"] == 4
+
+    def test_blocked_agent_reverses_direction(self):
+        engine = fsync_engine(
+            UnconsciousExploration(), 12, [3], adversary=BlockAgentAdversary(0)
+        )
+        start_dir = None
+        for _ in range(10):
+            engine.step()
+            current = engine.agents[0].memory.vars["dir"]
+            if start_dir is None:
+                start_dir = current
+        # with G=2 and the first phase blocked, the agent must have reversed
+        assert engine.agents[0].memory.vars["state"] in {"Reverse", "Keep", "Init"}
+        assert engine.agents[0].memory.Tsteps == 0  # the blocker never lets it move
+
+    def test_single_agent_cannot_explore(self):
+        """Corollary 1, demonstrated against this algorithm."""
+        engine = fsync_engine(
+            UnconsciousExploration(), 8, [0], adversary=BlockAgentAdversary(0)
+        )
+        result = engine.run(800)
+        assert not result.explored
+        assert len(result.visited) == 1
+        assert result.total_moves == 0

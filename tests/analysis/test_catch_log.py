@@ -1,0 +1,103 @@
+"""Empirical catch logging and the ET ping-pong scenario (Theorem 20)."""
+
+import pytest
+
+from repro.adversary import ETPingPongAdversary, RandomMissingEdge
+from repro.algorithms.ssync import ETExactSizeNoChirality, PTBoundNoChirality
+from repro.analysis.catch_log import log_catches, successor_violations
+from repro.api import build_engine
+from repro.core import TerminationMode, TransportModel
+from repro.core.errors import ConfigurationError
+from repro.schedulers import ETFairScheduler, RandomFairScheduler
+
+
+def pingpong_engine(n=11, release_round=200):
+    adversary = ETPingPongAdversary(release_round=release_round)
+    cfg = adversary.configuration(n)
+    engine = build_engine(
+        ETExactSizeNoChirality(ring_size=n),
+        ring_size=n,
+        positions=cfg["positions"],
+        orientations=cfg["orientations"],
+        adversary=adversary,
+        scheduler=adversary,
+        transport=TransportModel.ET,
+    )
+    return engine
+
+
+class TestPingPongAdversary:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ETPingPongAdversary(release_round=1)
+        with pytest.raises(ConfigurationError):
+            ETPingPongAdversary.configuration(6)
+        adversary = ETPingPongAdversary(release_round=10)
+        with pytest.raises(ConfigurationError):
+            build_engine(
+                ETExactSizeNoChirality(ring_size=8), ring_size=8,
+                positions=[0, 4], adversary=adversary, scheduler=adversary,
+                transport=TransportModel.ET,
+            )
+
+    def test_no_termination_while_forcing(self):
+        """The unbounded-delay configuration of Theorem 20's remark."""
+        engine = pingpong_engine(release_round=300)
+        engine.run(280)
+        assert not engine.all_terminated
+        assert not any(a.terminated for a in engine.agents)
+        # walls still parked on their ports
+        assert engine.agents[0].port is not None
+        assert engine.agents[2].port is not None
+
+    def test_termination_follows_release(self):
+        """The ET guarantee bites once the adversary stands down."""
+        engine = pingpong_engine(release_round=200)
+        result = engine.run(400)
+        assert result.explored
+        assert result.any_terminated
+        assert result.termination_mode() in (
+            TerminationMode.PARTIAL, TerminationMode.EXPLICIT
+        )
+
+    @pytest.mark.parametrize("release", [60, 200, 600])
+    def test_delay_is_tunable_without_bound(self, release):
+        """Longer forcing = more moves before termination: no fixed bound."""
+        engine = pingpong_engine(release_round=release)
+        result = engine.run(release + 200)
+        assert result.explored
+        assert result.rounds > release
+
+
+class TestCatchLogging:
+    def test_forced_run_produces_clean_catch_stream(self):
+        engine = pingpong_engine(release_round=400)
+        records = log_catches(engine, 1_000)
+        assert len(records) >= 20  # the bouncer keeps bouncing
+        assert successor_violations(records) == []
+
+    def test_direction_alternates(self):
+        engine = pingpong_engine(release_round=300)
+        records = log_catches(engine, 600)
+        directions = [r.direction for r in records]
+        for previous, current in zip(directions, directions[1:]):
+            assert current is not previous
+
+    def test_bouncer_is_always_the_catcher_while_forcing(self):
+        engine = pingpong_engine(release_round=300)
+        records = log_catches(engine, 280)
+        assert records
+        assert all(r.catcher == 1 for r in records)
+        assert all(r.caught in (0, 2) for r in records)
+
+    def test_random_runs_are_also_clean(self):
+        for seed in range(8):
+            engine = build_engine(
+                PTBoundNoChirality(bound=9), ring_size=9, positions=[0, 3, 6],
+                chirality=False, flipped=(1,),
+                adversary=RandomMissingEdge(seed=seed),
+                scheduler=RandomFairScheduler(seed=seed + 50),
+                transport=TransportModel.PT,
+            )
+            records = log_catches(engine, 30_000)
+            assert successor_violations(records) == []

@@ -1,0 +1,115 @@
+"""Figure 22 / Claims 4-5: the Catch Tree, verified exhaustively."""
+
+import pytest
+
+from repro.analysis.catch_tree import (
+    AGENTS,
+    CatchEvent,
+    CatchTree,
+    FORBIDDEN_SEQUENCES,
+    all_events,
+)
+from repro.core.directions import LEFT, RIGHT
+
+
+class TestCatchEvent:
+    def test_twelve_events_exist(self):
+        events = all_events()
+        assert len(events) == 12
+        assert len(set(events)) == 12
+
+    def test_third_agent(self):
+        assert CatchEvent(LEFT, "a", "b").third == "c"
+        assert CatchEvent(RIGHT, "b", "c").third == "a"
+
+    def test_successor_rule(self):
+        """Dxy -> D'xz or D'zx: opposite direction, third agent involved."""
+        event = CatchEvent(LEFT, "a", "b")
+        successors = event.successors()
+        assert set(successors) == {
+            CatchEvent(RIGHT, "a", "c"),
+            CatchEvent(RIGHT, "c", "a"),
+        }
+
+    def test_every_successor_flips_direction(self):
+        for event in all_events():
+            for succ in event.successors():
+                assert succ.direction is event.direction.opposite
+                assert event.caught not in (succ.catcher, succ.caught)
+
+    def test_labels(self):
+        assert CatchEvent(LEFT, "a", "c").label() == "Lac"
+        assert CatchEvent(RIGHT, "b", "a").label() == "Rba"
+
+    def test_self_catch_rejected(self):
+        with pytest.raises(ValueError):
+            CatchEvent(LEFT, "a", "a")
+
+    def test_unknown_agent_rejected(self):
+        with pytest.raises(ValueError):
+            CatchEvent(LEFT, "a", "x")
+
+
+class TestForbiddenPairs:
+    def test_claim5_lists_six_pairs(self):
+        assert len(FORBIDDEN_SEQUENCES) == 6
+
+    def test_forbidden_pairs_are_valid_successions(self):
+        """Claim 5 forbids otherwise-legal successor pairs."""
+        for first, second in FORBIDDEN_SEQUENCES:
+            assert second in first.successors()
+
+    def test_rotation_structure(self):
+        """The six pairs are Claim 4's pattern closed under rotation/symmetry."""
+        labels = {(a.label(), b.label()) for a, b in FORBIDDEN_SEQUENCES}
+        assert ("Lac", "Rba") in labels
+        assert ("Rbc", "Lab") in labels
+
+
+class TestCatchTree:
+    def test_edge_count(self):
+        """24 successor edges minus the 6 forbidden ones."""
+        tree = CatchTree()
+        assert len(tree.edges) == 18
+
+    def test_every_cycle_is_a_bounded_loop(self):
+        """The heart of Theorem 20: no unbounded catch sequence exists."""
+        tree = CatchTree()
+        assert tree.unbounded_cycles() == []
+
+    def test_exactly_six_bounded_loops(self):
+        tree = CatchTree()
+        cycles = tree.simple_cycles()
+        assert len(cycles) == 6
+        assert all(tree.is_bounded_loop(c) for c in cycles)
+
+    def test_bounded_loops_share_a_catcher(self):
+        tree = CatchTree()
+        for cycle in tree.simple_cycles():
+            catchers = {label[1] for label in cycle}
+            assert len(catchers) == 1
+
+    def test_figure22_left_tree(self):
+        """Root Lab: Rac loops back; Rca leads into the c-loop (Figure 22)."""
+        tree = CatchTree()
+        rendering = tree.render("Lab", depth=3)
+        assert "Lab" in rendering
+        assert "(loop)" in rendering
+
+    def test_paths_from_root_terminate_or_loop(self):
+        """Every depth-6 path from Lab/Lac revisits some event (no free run)."""
+        tree = CatchTree()
+        for root in ("Lab", "Lac"):
+            for path in tree.paths_from(root, 6):
+                assert len(set(path)) < len(path)
+
+    def test_graph_is_exported_to_networkx(self):
+        graph = CatchTree().to_networkx()
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 18
+
+    def test_is_bounded_loop_rejects_longer_cycles(self):
+        tree = CatchTree()
+        assert not tree.is_bounded_loop(["Lab", "Rac", "Lba"])
+        assert not tree.is_bounded_loop(["Lab"])
+        assert not tree.is_bounded_loop(["Lab", "Rba"])  # different catcher

@@ -1,0 +1,123 @@
+"""Exhaustive adversary model checking (Theorem 3 on small rings)."""
+
+import itertools
+
+import pytest
+
+from repro.adversary import NoRemoval
+from repro.algorithms.fsync import KnownUpperBound
+from repro.analysis.model_check import (
+    ForcedEdgeAdversary,
+    SearchResult,
+    effective_edge_choices,
+    exhaustive_worst_case,
+    verify_theorem3,
+)
+from repro.api import build_engine
+from repro.core.errors import ConfigurationError
+
+
+class TestEffectiveChoices:
+    def test_idle_agents_leave_only_none(self):
+        from repro.core import STAY
+
+        class Idle:
+            name = "idle"
+
+            def setup(self, memory):
+                return None
+
+            def compute(self, snapshot, memory):
+                return STAY
+
+        engine = build_engine(Idle(), ring_size=6, positions=[0, 3])
+        assert effective_edge_choices(engine) == [None]
+
+    def test_two_walkers_give_three_choices(self):
+        engine = build_engine(
+            KnownUpperBound(bound=6), ring_size=6, positions=[0, 3]
+        )
+        choices = effective_edge_choices(engine)
+        assert choices[0] is None
+        assert len(choices) == 3  # None + one attempted edge per agent
+
+    def test_agents_attempting_same_edge_collapse(self):
+        engine = build_engine(
+            KnownUpperBound(bound=6), ring_size=6, positions=[3, 3]
+        )
+        choices = effective_edge_choices(engine)
+        assert len(choices) == 2  # None + the shared edge
+
+
+class TestExhaustiveSearch:
+    def test_requires_forced_adversary(self):
+        def bad_factory():
+            return build_engine(
+                KnownUpperBound(bound=5), ring_size=5, positions=[0, 1],
+                adversary=NoRemoval(),
+            )
+
+        with pytest.raises(ConfigurationError):
+            exhaustive_worst_case(
+                bad_factory, depth=9,
+                done=lambda e: e.exploration_complete,
+                value=lambda e: e.exploration_round or 0,
+            )
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_theorem3_verified_for_every_start_pair(self, n):
+        """Every adversary schedule is defeated by round 3n-6 — exhaustively."""
+        worst = -1
+        for a, b in itertools.combinations(range(n), 2):
+            result = verify_theorem3(n, positions=(a, b))
+            assert result.all_succeeded, (n, a, b)
+            assert result.worst_value <= 3 * n - 6
+            worst = max(worst, result.worst_value)
+        assert worst == 3 * n - 6  # the bound is tight (Figure 2's squeeze)
+
+    def test_adjacent_starts_realize_the_worst_case(self):
+        n = 6
+        result = verify_theorem3(n, positions=(0, 1))
+        assert result.worst_value == 3 * n - 6
+        assert result.all_succeeded
+
+    def test_witness_schedule_replays(self):
+        """The returned witness reproduces the worst case when replayed."""
+        n = 5
+        result = verify_theorem3(n, positions=(0, 1))
+        adversary = ForcedEdgeAdversary()
+        engine = build_engine(
+            KnownUpperBound(bound=n), ring_size=n, positions=[0, 1],
+            adversary=adversary,
+        )
+        for edge in result.witness:
+            adversary.edge = edge
+            engine.step()
+        assert engine.exploration_complete
+        assert engine.exploration_round == result.worst_value
+
+    def test_result_counts_branches(self):
+        result = verify_theorem3(4, positions=(0, 1))
+        assert isinstance(result, SearchResult)
+        assert result.branches_explored > 10
+
+
+class TestTheorem5Exhaustive:
+    def test_unconscious_exploration_verified_small_rings(self):
+        from repro.analysis.model_check import verify_theorem5
+
+        for n in (4, 5):
+            worst = -1
+            for a in range(n):
+                result = verify_theorem5(n, positions=(0, a or 1))
+                assert result.all_succeeded
+                worst = max(worst, result.worst_value)
+            assert worst <= 3 * n  # O(n) with a small constant
+
+    def test_worst_case_exceeds_static_time(self):
+        from repro.analysis.model_check import verify_theorem5
+
+        n = 6
+        result = verify_theorem5(n, positions=(0, 1))
+        # a static ring explores in ~n/2 rounds; the adversary forces more
+        assert result.worst_value > n // 2

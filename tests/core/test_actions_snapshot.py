@@ -1,0 +1,81 @@
+"""Action construction rules and snapshot predicates."""
+
+import pytest
+
+from repro.core.actions import Action, ActionKind, ENTER_NODE, STAY, TERMINATE, move
+from repro.core.directions import LEFT, RIGHT
+from repro.core.snapshot import Snapshot
+
+
+class TestActions:
+    def test_move_carries_direction(self):
+        action = move(LEFT)
+        assert action.kind is ActionKind.MOVE
+        assert action.direction is LEFT
+
+    def test_move_requires_direction(self):
+        with pytest.raises(ValueError):
+            Action(ActionKind.MOVE)
+
+    def test_non_move_rejects_direction(self):
+        with pytest.raises(ValueError):
+            Action(ActionKind.STAY, LEFT)
+
+    def test_singletons(self):
+        assert STAY.kind is ActionKind.STAY
+        assert ENTER_NODE.kind is ActionKind.ENTER_NODE
+        assert TERMINATE.kind is ActionKind.TERMINATE
+
+    def test_actions_are_frozen(self):
+        with pytest.raises(AttributeError):
+            STAY.kind = ActionKind.MOVE  # type: ignore[misc]
+
+
+def snap(
+    on_port=None,
+    others=0,
+    left_port=False,
+    right_port=False,
+    landmark=False,
+    moved=False,
+    failed=False,
+) -> Snapshot:
+    return Snapshot(
+        on_port=on_port,
+        others_in_node=others,
+        other_on_left_port=left_port,
+        other_on_right_port=right_port,
+        is_landmark=landmark,
+        moved=moved,
+        failed=failed,
+    )
+
+
+class TestPredicates:
+    def test_meeting_requires_both_in_interior(self):
+        assert snap(others=1).meeting()
+        assert not snap(others=0).meeting()
+        assert not snap(on_port=LEFT, others=1).meeting()
+
+    def test_catches_checks_port_in_moving_direction(self):
+        assert snap(left_port=True).catches(LEFT)
+        assert not snap(left_port=True).catches(RIGHT)
+        assert snap(right_port=True).catches(RIGHT)
+
+    def test_agent_on_a_port_cannot_catch(self):
+        assert not snap(on_port=RIGHT, left_port=True).catches(LEFT)
+
+    def test_caught_requires_failed_move_and_witness(self):
+        assert snap(on_port=LEFT, others=1, moved=False).caught()
+        assert not snap(on_port=LEFT, others=0, moved=False).caught()
+        assert not snap(on_port=LEFT, others=1, moved=True).caught()
+        assert not snap(others=1).caught()
+
+    def test_other_on_port_lookup(self):
+        s = snap(left_port=True)
+        assert s.other_on_port(LEFT)
+        assert not s.other_on_port(RIGHT)
+
+    def test_in_interior(self):
+        assert snap().in_interior
+        assert not snap(on_port=LEFT).in_interior

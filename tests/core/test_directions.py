@@ -1,0 +1,105 @@
+"""Orientation and direction arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.directions import (
+    CANONICAL,
+    GlobalDirection,
+    LEFT,
+    LocalDirection,
+    MINUS,
+    MIRRORED,
+    Orientation,
+    PLUS,
+    RIGHT,
+    orientations_for,
+)
+
+
+class TestGlobalDirection:
+    def test_opposites(self):
+        assert PLUS.opposite is MINUS
+        assert MINUS.opposite is PLUS
+
+    def test_integer_values_are_index_deltas(self):
+        assert int(PLUS) == 1
+        assert int(MINUS) == -1
+
+    def test_double_opposite_is_identity(self):
+        for d in GlobalDirection:
+            assert d.opposite.opposite is d
+
+
+class TestLocalDirection:
+    def test_opposites(self):
+        assert LEFT.opposite is RIGHT
+        assert RIGHT.opposite is LEFT
+
+    def test_double_opposite_is_identity(self):
+        for d in LocalDirection:
+            assert d.opposite.opposite is d
+
+
+class TestOrientation:
+    def test_canonical_left_is_minus(self):
+        assert CANONICAL.to_global(LEFT) is MINUS
+        assert CANONICAL.to_global(RIGHT) is PLUS
+
+    def test_mirrored_left_is_plus(self):
+        assert MIRRORED.to_global(LEFT) is PLUS
+        assert MIRRORED.to_global(RIGHT) is MINUS
+
+    def test_to_local_inverts_to_global(self):
+        for orientation in (CANONICAL, MIRRORED):
+            for local in LocalDirection:
+                assert orientation.to_local(orientation.to_global(local)) is local
+
+    def test_to_global_inverts_to_local(self):
+        for orientation in (CANONICAL, MIRRORED):
+            for global_dir in GlobalDirection:
+                assert orientation.to_global(orientation.to_local(global_dir)) is global_dir
+
+    def test_flipped_swaps_frames(self):
+        assert CANONICAL.flipped() == MIRRORED
+        assert MIRRORED.flipped() == CANONICAL
+
+    def test_equality_and_hash(self):
+        assert Orientation(MINUS) == CANONICAL
+        assert hash(Orientation(MINUS)) == hash(CANONICAL)
+        assert Orientation(PLUS) != CANONICAL
+
+    def test_repr_names_left(self):
+        assert "MINUS" in repr(CANONICAL)
+
+
+class TestOrientationsFor:
+    def test_chirality_gives_identical_orientations(self):
+        team = orientations_for(3, chirality=True)
+        assert team == [CANONICAL, CANONICAL, CANONICAL]
+
+    def test_flipped_marks_mirrored_agents(self):
+        team = orientations_for(3, chirality=False, flipped=(1,))
+        assert team == [CANONICAL, MIRRORED, CANONICAL]
+
+    def test_chirality_with_flips_is_rejected(self):
+        with pytest.raises(ValueError):
+            orientations_for(2, chirality=True, flipped=(0,))
+
+    def test_out_of_range_flip_is_rejected(self):
+        with pytest.raises(ValueError):
+            orientations_for(2, chirality=False, flipped=(5,))
+
+    def test_empty_team_is_rejected(self):
+        with pytest.raises(ValueError):
+            orientations_for(0, chirality=True)
+
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    def test_flip_sets_are_respected(self, count, data):
+        flips = tuple(
+            data.draw(st.sets(st.integers(min_value=0, max_value=count - 1), max_size=count))
+        )
+        team = orientations_for(count, chirality=False, flipped=flips)
+        for index, orientation in enumerate(team):
+            expected = MIRRORED if index in flips else CANONICAL
+            assert orientation == expected

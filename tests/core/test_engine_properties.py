@@ -1,0 +1,254 @@
+"""Engine invariants under randomized workloads (hypothesis).
+
+Two layers:
+
+* a **differential test** — a single agent driven by a random action script
+  is checked against an independent 20-line reference fold of the model's
+  movement rules;
+* a **chaos test** — multiple agents driven by a deterministic-but-arbitrary
+  pseudo-random protocol under random adversaries/schedulers, with the
+  model's global invariants asserted after every round.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import RandomMissingEdge
+from repro.core import (
+    Engine,
+    GlobalDirection,
+    LEFT,
+    RIGHT,
+    Ring,
+    STAY,
+    TransportModel,
+    move,
+)
+from repro.core.directions import CANONICAL, MIRRORED
+from repro.schedulers import FsyncScheduler, RandomFairScheduler
+
+
+class ScriptedSingle:
+    """One agent, fixed action list, STAY afterwards."""
+
+    name = "scripted-single"
+
+    def __init__(self, script):
+        self._script = script
+
+    def setup(self, memory):
+        memory.vars["pc"] = 0
+
+    def compute(self, snapshot, memory):
+        pc = memory.vars["pc"]
+        if pc >= len(self._script):
+            return STAY
+        memory.vars["pc"] = pc + 1
+        return self._script[pc]
+
+
+class ChaosAlgorithm:
+    """Deterministic pseudo-random walker: direction from a hash.
+
+    Stateless and deterministic in (seed, Ttime, net) — a legitimate
+    protocol as far as the engine is concerned, exercising arbitrary
+    direction changes.
+    """
+
+    name = "chaos"
+
+    def __init__(self, seed):
+        self._seed = seed
+
+    def setup(self, memory):
+        return None
+
+    def compute(self, snapshot, memory):
+        h = hash((self._seed, memory.Ttime, memory.net, snapshot.on_port))
+        choice = h % 3
+        if choice == 0:
+            return move(LEFT)
+        if choice == 1:
+            return move(RIGHT)
+        return STAY
+
+
+directions = st.sampled_from([LEFT, RIGHT])
+scripts = st.lists(
+    st.one_of(directions.map(move), st.just(STAY)), min_size=0, max_size=60
+)
+
+
+class TestSingleAgentDifferential:
+    @settings(max_examples=60)
+    @given(
+        n=st.integers(min_value=3, max_value=12),
+        start=st.integers(min_value=0, max_value=11),
+        script=scripts,
+        seed=st.integers(min_value=0, max_value=2**16),
+        mirrored=st.booleans(),
+    )
+    def test_position_matches_reference_fold(self, n, start, script, seed, mirrored):
+        orientation = MIRRORED if mirrored else CANONICAL
+        adversary = RandomMissingEdge(seed=seed)
+        engine = Engine(
+            Ring(n),
+            ScriptedSingle(script),
+            [start % n],
+            orientations=[orientation],
+            scheduler=FsyncScheduler(),
+            adversary=adversary,
+            transport=TransportModel.NS,
+        )
+        # Reference: replay the same adversary stream independently.
+        reference_adversary = RandomMissingEdge(seed=seed)
+        reference_adversary.reset(engine)
+        node, port = start % n, None
+        moves = 0
+        ring = Ring(n)
+        for action in script:
+            missing = reference_adversary.choose_missing_edge(engine)
+            if action is STAY:
+                pass
+            else:
+                target = orientation.to_global(action.direction)
+                port = target  # single agent: acquisition always succeeds
+                edge = ring.edge_from(node, target)
+                if edge != missing:
+                    node = ring.neighbor(node, target)
+                    port = None
+                    moves += 1
+            engine.step()
+            agent = engine.agents[0]
+            assert agent.node == node
+            assert agent.port == port
+            assert agent.memory.Tsteps == moves
+
+    @settings(max_examples=40)
+    @given(
+        n=st.integers(min_value=3, max_value=10),
+        script=scripts,
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_counters_are_internally_consistent(self, n, script, seed):
+        engine = Engine(
+            Ring(n, landmark=0),
+            ScriptedSingle(script),
+            [1],
+            scheduler=FsyncScheduler(),
+            adversary=RandomMissingEdge(seed=seed),
+            transport=TransportModel.NS,
+        )
+        for _ in script:
+            engine.step()
+            mem = engine.agents[0].memory
+            assert mem.Ttime == engine.round_no
+            assert 0 <= mem.Tnodes <= mem.Tsteps
+            assert mem.min_net <= mem.net <= mem.max_net
+            assert mem.Esteps <= mem.Tsteps
+            assert mem.Etime <= mem.Ttime
+            # span >= n-1 edges means the agent itself saw every node
+            if mem.Tnodes >= n - 1:
+                assert engine.exploration_complete
+
+
+class TestChaosInvariants:
+    @settings(max_examples=30)
+    @given(
+        n=st.integers(min_value=3, max_value=10),
+        agents=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+        transport=st.sampled_from(list(TransportModel)),
+        rounds=st.integers(min_value=1, max_value=80),
+    )
+    def test_global_invariants_hold_every_round(self, n, agents, seed, transport, rounds):
+        positions = [(seed + 3 * i) % n for i in range(agents)]
+        engine = Engine(
+            Ring(n, landmark=seed % n),
+            ChaosAlgorithm(seed),
+            positions,
+            orientations=[
+                MIRRORED if (seed >> i) & 1 else CANONICAL for i in range(agents)
+            ],
+            scheduler=RandomFairScheduler(p=0.6, seed=seed),
+            adversary=RandomMissingEdge(p=0.7, seed=seed + 1),
+            transport=transport,
+        )
+        visited_before = set(engine.visited)
+        for _ in range(rounds):
+            engine.step()
+            # 1. port exclusivity (the engine asserts this itself, but the
+            #    test documents it as a model property)
+            occupied = [
+                (a.node, a.port) for a in engine.agents if a.port is not None
+            ]
+            assert len(occupied) == len(set(occupied))
+            # 2. positions are legal nodes
+            for agent in engine.agents:
+                assert 0 <= agent.node < n
+            # 3. visited grows monotonically and covers agents' positions
+            assert visited_before <= engine.visited
+            assert {a.node for a in engine.agents} <= engine.visited
+            visited_before = set(engine.visited)
+            # 4. at most one edge missing, in range
+            assert engine.missing_edge is None or 0 <= engine.missing_edge < n
+            # 5. per-agent counter sanity
+            for agent in engine.agents:
+                mem = agent.memory
+                assert mem.Tnodes <= mem.Tsteps
+                assert mem.Btime <= mem.Ttime + 1
+            # 6. exploration flag consistent with the visited set
+            assert engine.exploration_complete == (len(engine.visited) == n)
+
+    @settings(max_examples=20)
+    @given(
+        n=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_determinism_full_replay(self, n, seed):
+        """Identical configuration => identical trajectory."""
+
+        def trajectory():
+            engine = Engine(
+                Ring(n),
+                ChaosAlgorithm(seed),
+                [0, n // 2],
+                scheduler=RandomFairScheduler(seed=seed),
+                adversary=RandomMissingEdge(seed=seed + 1),
+                transport=TransportModel.PT,
+            )
+            out = []
+            for _ in range(60):
+                engine.step()
+                out.append(tuple((a.node, a.port) for a in engine.agents))
+            return out
+
+        assert trajectory() == trajectory()
+
+    @settings(max_examples=20)
+    @given(
+        n=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_pt_transport_only_moves_port_sleepers(self, n, seed):
+        """Under PT, an agent's position changes in a round only if it was
+        active or asleep on a port with its edge present."""
+        engine = Engine(
+            Ring(n),
+            ChaosAlgorithm(seed),
+            [0, n // 2],
+            scheduler=RandomFairScheduler(p=0.4, seed=seed),
+            adversary=RandomMissingEdge(p=0.5, seed=seed + 1),
+            transport=TransportModel.PT,
+        )
+        for _ in range(60):
+            before = [(a.node, a.port) for a in engine.agents]
+            engine.step()
+            for agent, (node, port) in zip(engine.agents, before):
+                if agent.index in engine.last_active:
+                    continue
+                if (node, port) != (agent.node, agent.port):
+                    # moved while asleep: must have been passive transport
+                    assert port is not None
+                    assert agent.port is None

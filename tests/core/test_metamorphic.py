@@ -1,0 +1,179 @@
+"""Metamorphic symmetry tests: the model has no privileged node or side.
+
+Rotating every position (agents, landmark, adversary's edges) by the same
+offset, or reflecting the whole configuration, must yield the *same*
+execution up to the symmetry.  These invariances hold for the entire
+simulation pipeline — snapshots, port mutual exclusion, counters — so they
+catch any accidental dependence on absolute node indices or on a global
+notion of left.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.fsync import KnownUpperBound, LandmarkWithChirality
+from repro.api import build_engine
+from repro.core import CANONICAL, MIRRORED
+from repro.core.interfaces import EdgeAdversary
+
+
+class RotatedAdversary:
+    """Rotate a deterministic base edge schedule by ``shift``."""
+
+    def __init__(self, schedule, shift, n):
+        self._schedule = schedule
+        self._shift = shift
+        self._n = n
+
+    def reset(self, engine):
+        return None
+
+    def choose_missing_edge(self, engine):
+        edge = self._schedule[engine.round_no % len(self._schedule)]
+        if edge is None:
+            return None
+        return (edge + self._shift) % self._n
+
+
+class ReflectedAdversary:
+    """Reflect a base edge schedule through node 0 (edge i -> n-1-i)."""
+
+    def __init__(self, schedule, n):
+        self._schedule = schedule
+        self._n = n
+
+    def reset(self, engine):
+        return None
+
+    def choose_missing_edge(self, engine):
+        edge = self._schedule[engine.round_no % len(self._schedule)]
+        if edge is None:
+            return None
+        return (self._n - 1 - edge) % self._n
+
+
+def trajectory(engine, rounds):
+    out = []
+    for _ in range(rounds):
+        if engine.all_terminated:
+            break
+        engine.step()
+        out.append(tuple((a.node, a.port, a.terminated) for a in engine.agents))
+    return out
+
+
+schedules = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=7)),
+    min_size=1, max_size=12,
+)
+
+
+class TestRotationInvariance:
+    @settings(max_examples=25)
+    @given(
+        n=st.integers(min_value=5, max_value=8),
+        a=st.integers(min_value=0, max_value=7),
+        b=st.integers(min_value=0, max_value=7),
+        shift=st.integers(min_value=1, max_value=7),
+        schedule=schedules,
+    )
+    def test_known_bound_rotates(self, n, a, b, shift, schedule):
+        schedule = [e % n if e is not None else None for e in schedule]
+        base = build_engine(
+            KnownUpperBound(bound=n), ring_size=n,
+            positions=[a % n, b % n],
+            adversary=RotatedAdversary(schedule, 0, n),
+        )
+        rotated = build_engine(
+            KnownUpperBound(bound=n), ring_size=n,
+            positions=[(a + shift) % n, (b + shift) % n],
+            adversary=RotatedAdversary(schedule, shift, n),
+        )
+        t_base = trajectory(base, 3 * n)
+        t_rot = trajectory(rotated, 3 * n)
+        assert len(t_base) == len(t_rot)
+        for row_base, row_rot in zip(t_base, t_rot):
+            for (node, port, term), (node_r, port_r, term_r) in zip(row_base, row_rot):
+                assert node_r == (node + shift) % n
+                assert port_r == port
+                assert term_r == term
+
+    @settings(max_examples=15)
+    @given(
+        n=st.integers(min_value=5, max_value=8),
+        shift=st.integers(min_value=1, max_value=7),
+        schedule=schedules,
+    )
+    def test_landmark_rotates_with_everything_else(self, n, shift, schedule):
+        schedule = [e % n if e is not None else None for e in schedule]
+        base = build_engine(
+            LandmarkWithChirality(), ring_size=n, positions=[1, 3], landmark=0,
+            adversary=RotatedAdversary(schedule, 0, n),
+        )
+        rotated = build_engine(
+            LandmarkWithChirality(), ring_size=n,
+            positions=[(1 + shift) % n, (3 + shift) % n],
+            landmark=shift % n,
+            adversary=RotatedAdversary(schedule, shift, n),
+        )
+        t_base = trajectory(base, 40 * n)
+        t_rot = trajectory(rotated, 40 * n)
+        assert [
+            tuple(((node + shift) % n, port, term) for node, port, term in row)
+            for row in t_base
+        ] == t_rot
+
+
+class TestReflectionInvariance:
+    @settings(max_examples=20)
+    @given(
+        n=st.integers(min_value=5, max_value=8),
+        a=st.integers(min_value=0, max_value=7),
+        b=st.integers(min_value=0, max_value=7),
+        schedule=schedules,
+    )
+    def test_known_bound_reflects(self, n, a, b, schedule):
+        """Mirroring positions, orientations and edges reproduces the run.
+
+        Node ``v`` maps to ``-v mod n``; edge ``i = (v_i, v_{i+1})`` maps to
+        ``(-i-1 mod n)``; a CANONICAL agent maps to a MIRRORED one.
+        """
+        schedule = [e % n if e is not None else None for e in schedule]
+
+        class Base:
+            def reset(self, engine):
+                return None
+
+            def choose_missing_edge(self, engine):
+                return schedule[engine.round_no % len(schedule)]
+
+        class Mirror:
+            def reset(self, engine):
+                return None
+
+            def choose_missing_edge(self, engine):
+                edge = schedule[engine.round_no % len(schedule)]
+                return None if edge is None else (-edge - 1) % n
+
+        base = build_engine(
+            KnownUpperBound(bound=n), ring_size=n,
+            positions=[a % n, b % n],
+            orientations=[CANONICAL, CANONICAL],
+            adversary=Base(),
+        )
+        mirrored = build_engine(
+            KnownUpperBound(bound=n), ring_size=n,
+            positions=[(-a) % n, (-b) % n],
+            orientations=[MIRRORED, MIRRORED],
+            adversary=Mirror(),
+        )
+        t_base = trajectory(base, 3 * n)
+        t_mirror = trajectory(mirrored, 3 * n)
+        assert len(t_base) == len(t_mirror)
+        for row_base, row_mirror in zip(t_base, t_mirror):
+            for (node, port, term), (node_m, port_m, term_m) in zip(row_base, row_mirror):
+                assert node_m == (-node) % n
+                assert term_m == term
+                if port is None:
+                    assert port_m is None
+                else:
+                    assert port_m is not None and port_m is not port

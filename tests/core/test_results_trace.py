@@ -1,0 +1,99 @@
+"""RunResult classification and Trace behaviour."""
+
+from repro.core.results import AgentStats, RunResult, TerminationMode
+from repro.core.trace import Event, EventKind, Trace
+
+
+def result(*, explored, exploration_round, agents):
+    return RunResult(
+        ring_size=6,
+        rounds=100,
+        explored=explored,
+        exploration_round=exploration_round,
+        visited=set(range(6)) if explored else {0},
+        agents=[
+            AgentStats(
+                index=i,
+                moves=10,
+                terminated=t is not None,
+                termination_round=t,
+                final_node=0,
+                waiting_on_port=False,
+            )
+            for i, t in enumerate(agents)
+        ],
+    )
+
+
+class TestTerminationMode:
+    def test_explicit(self):
+        r = result(explored=True, exploration_round=5, agents=[7, 9])
+        assert r.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_partial(self):
+        r = result(explored=True, exploration_round=5, agents=[7, None])
+        assert r.termination_mode() is TerminationMode.PARTIAL
+
+    def test_unconscious(self):
+        r = result(explored=True, exploration_round=5, agents=[None, None])
+        assert r.termination_mode() is TerminationMode.UNCONSCIOUS
+
+    def test_none(self):
+        r = result(explored=False, exploration_round=None, agents=[None, None])
+        assert r.termination_mode() is TerminationMode.NONE
+
+    def test_incorrect_when_terminating_unexplored(self):
+        r = result(explored=False, exploration_round=None, agents=[3, None])
+        assert r.termination_mode() is TerminationMode.INCORRECT
+
+    def test_incorrect_when_terminating_too_early(self):
+        r = result(explored=True, exploration_round=50, agents=[3, None])
+        assert r.termination_mode() is TerminationMode.INCORRECT
+
+    def test_termination_at_exploration_round_is_fine(self):
+        r = result(explored=True, exploration_round=5, agents=[5, 6])
+        assert r.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_counts(self):
+        r = result(explored=True, exploration_round=5, agents=[7, None, 9])
+        assert r.terminated_count == 2
+        assert r.any_terminated
+        assert not r.all_terminated
+        assert r.last_termination_round == 9
+        assert r.total_moves == 30
+
+    def test_summary_mentions_mode(self):
+        r = result(explored=True, exploration_round=5, agents=[7, 9])
+        assert "explicit" in r.summary()
+        assert "explored@r5" in r.summary()
+
+
+class TestTrace:
+    def test_append_and_query(self):
+        trace = Trace()
+        trace.emit(Event(0, EventKind.MOVE, agent=1, detail="v0->v1"))
+        trace.emit(Event(1, EventKind.BLOCKED, agent=0))
+        assert len(trace) == 2
+        assert len(trace.of_kind(EventKind.MOVE)) == 1
+        assert len(trace.for_agent(0)) == 1
+
+    def test_limit_truncates_silently(self):
+        trace = Trace(limit=2)
+        for i in range(5):
+            trace.emit(Event(i, EventKind.MOVE))
+        assert len(trace) == 2
+        assert trace.truncated
+        assert "truncated" in trace.render()
+
+    def test_render_last(self):
+        trace = Trace()
+        for i in range(5):
+            trace.emit(Event(i, EventKind.MOVE, agent=0))
+        lines = trace.render(last=2).splitlines()
+        assert len(lines) == 2
+        assert "r    4" in lines[-1] or "r4" in lines[-1].replace(" ", "")
+
+    def test_event_str(self):
+        text = str(Event(3, EventKind.TERMINATE, agent=2, detail="at v1"))
+        assert "terminate" in text
+        assert "a2" in text

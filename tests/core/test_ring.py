@@ -1,0 +1,120 @@
+"""Ring topology, edge naming and distance arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.directions import MINUS, PLUS
+from repro.core.errors import ConfigurationError
+from repro.core.ring import MIN_RING_SIZE, Ring
+
+sizes = st.integers(min_value=MIN_RING_SIZE, max_value=64)
+
+
+class TestConstruction:
+    def test_minimum_size(self):
+        Ring(3)
+        with pytest.raises(ConfigurationError):
+            Ring(2)
+
+    def test_landmark_must_be_a_node(self):
+        Ring(5, landmark=4)
+        with pytest.raises(ConfigurationError):
+            Ring(5, landmark=5)
+        with pytest.raises(ConfigurationError):
+            Ring(5, landmark=-1)
+
+    def test_has_landmark(self):
+        assert Ring(5, landmark=0).has_landmark
+        assert not Ring(5).has_landmark
+
+    def test_repr(self):
+        assert "landmark=2" in repr(Ring(4, landmark=2))
+        assert "landmark" not in repr(Ring(4))
+
+
+class TestTopology:
+    def test_neighbors_wrap(self):
+        ring = Ring(5)
+        assert ring.neighbor(4, PLUS) == 0
+        assert ring.neighbor(0, MINUS) == 4
+
+    def test_edge_from_plus_port_is_node_index(self):
+        ring = Ring(6)
+        for node in range(6):
+            assert ring.edge_from(node, PLUS) == node
+
+    def test_edge_from_minus_port_is_previous_edge(self):
+        ring = Ring(6)
+        assert ring.edge_from(0, MINUS) == 5
+        assert ring.edge_from(3, MINUS) == 2
+
+    def test_edge_endpoints(self):
+        ring = Ring(6)
+        assert ring.edge_endpoints(5) == (5, 0)
+        assert ring.edge_endpoints(2) == (2, 3)
+
+    @given(sizes, st.integers(min_value=0, max_value=200))
+    def test_edge_connects_its_endpoints(self, n, edge):
+        ring = Ring(n)
+        u, v = ring.edge_endpoints(edge)
+        assert ring.neighbor(u, PLUS) == v
+        assert ring.neighbor(v, MINUS) == u
+
+    @given(sizes, st.integers(), st.integers())
+    def test_directed_distances_sum_to_ring_size(self, n, a, b):
+        ring = Ring(n)
+        a, b = ring.normalize(a), ring.normalize(b)
+        plus = ring.distance(a, b, PLUS)
+        minus = ring.distance(a, b, MINUS)
+        if a == b:
+            assert plus == minus == 0
+        else:
+            assert plus + minus == n
+
+    @given(sizes, st.integers(), st.integers())
+    def test_hop_distance_is_symmetric_and_bounded(self, n, a, b):
+        ring = Ring(n)
+        d = ring.hop_distance(a, b)
+        assert d == ring.hop_distance(b, a)
+        assert 0 <= d <= n // 2
+
+    @given(sizes, st.integers())
+    def test_walking_the_ring_visits_every_node(self, n, start):
+        ring = Ring(n)
+        node = ring.normalize(start)
+        seen = {node}
+        for _ in range(n - 1):
+            node = ring.neighbor(node, PLUS)
+            seen.add(node)
+        assert seen == set(range(n))
+
+    def test_is_landmark(self):
+        ring = Ring(5, landmark=3)
+        assert ring.is_landmark(3)
+        assert ring.is_landmark(8)  # normalization applies
+        assert not ring.is_landmark(0)
+
+
+class TestNetworkxExport:
+    def test_full_ring_is_a_cycle(self):
+        import networkx as nx
+
+        graph = Ring(7).to_networkx()
+        assert nx.is_connected(graph)
+        assert graph.number_of_edges() == 7
+        assert all(d == 2 for _, d in graph.degree())
+
+    def test_one_interval_connectivity(self):
+        """Removing any single edge leaves a connected spanning subgraph."""
+        import networkx as nx
+
+        ring = Ring(9, landmark=4)
+        for missing in range(9):
+            graph = ring.to_networkx(missing_edge=missing)
+            assert graph.number_of_edges() == 8
+            assert nx.is_connected(graph)
+
+    def test_landmark_attribute(self):
+        graph = Ring(5, landmark=2).to_networkx()
+        assert graph.nodes[2]["landmark"]
+        assert not graph.nodes[0]["landmark"]

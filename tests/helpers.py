@@ -1,0 +1,86 @@
+"""Shared builders for algorithm/engine tests."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.adversary import NoRemoval, RandomMissingEdge
+from repro.api import build_engine
+from repro.core import Engine, Orientation, TransportModel
+from repro.core.interfaces import ActivationScheduler, Algorithm, EdgeAdversary
+from repro.schedulers import ETFairScheduler, FsyncScheduler, RandomFairScheduler
+
+
+def fsync_engine(
+    algorithm: Algorithm,
+    n: int,
+    positions: Sequence[int],
+    *,
+    landmark: int | None = None,
+    adversary: EdgeAdversary | None = None,
+    orientations: Sequence[Orientation] | None = None,
+    chirality: bool = True,
+    flipped: tuple[int, ...] = (),
+    trace=None,
+) -> Engine:
+    return build_engine(
+        algorithm,
+        ring_size=n,
+        positions=positions,
+        landmark=landmark,
+        adversary=adversary or NoRemoval(),
+        orientations=orientations,
+        chirality=chirality,
+        flipped=flipped,
+        scheduler=FsyncScheduler(),
+        trace=trace,
+    )
+
+
+def pt_engine(
+    algorithm: Algorithm,
+    n: int,
+    positions: Sequence[int],
+    *,
+    seed: int = 0,
+    landmark: int | None = None,
+    adversary: EdgeAdversary | None = None,
+    scheduler: ActivationScheduler | None = None,
+    chirality: bool = True,
+    flipped: tuple[int, ...] = (),
+) -> Engine:
+    return build_engine(
+        algorithm,
+        ring_size=n,
+        positions=positions,
+        landmark=landmark,
+        adversary=adversary or RandomMissingEdge(seed=seed),
+        scheduler=scheduler or RandomFairScheduler(seed=seed + 1000),
+        chirality=chirality,
+        flipped=flipped,
+        transport=TransportModel.PT,
+    )
+
+
+def et_engine(
+    algorithm: Algorithm,
+    n: int,
+    positions: Sequence[int],
+    *,
+    seed: int = 0,
+    landmark: int | None = None,
+    adversary: EdgeAdversary | None = None,
+    chirality: bool = True,
+    flipped: tuple[int, ...] = (),
+) -> Engine:
+    return build_engine(
+        algorithm,
+        ring_size=n,
+        positions=positions,
+        landmark=landmark,
+        adversary=adversary or RandomMissingEdge(seed=seed),
+        scheduler=ETFairScheduler(RandomFairScheduler(seed=seed + 2000)),
+        chirality=chirality,
+        flipped=flipped,
+        transport=TransportModel.ET,
+    )

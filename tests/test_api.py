@@ -1,0 +1,88 @@
+"""The high-level facade: build_engine / run_exploration."""
+
+import pytest
+
+from repro import Trace, TransportModel, build_engine, run_exploration
+from repro.adversary import RandomMissingEdge
+from repro.algorithms.fsync import KnownUpperBound, LandmarkWithChirality
+from repro.algorithms.ssync import PTBoundWithChirality
+from repro.core import CANONICAL, MIRRORED
+from repro.core.errors import ConfigurationError
+from repro.schedulers import RandomFairScheduler
+
+
+class TestBuildEngine:
+    def test_defaults_are_benign_fsync(self):
+        engine = build_engine(
+            KnownUpperBound(bound=8), ring_size=8, positions=[0, 4]
+        )
+        engine.step()
+        assert engine.missing_edge is None
+        assert engine.last_active == {0, 1}
+
+    def test_chirality_flag_builds_orientations(self):
+        engine = build_engine(
+            KnownUpperBound(bound=8), ring_size=8, positions=[0, 4],
+            chirality=False, flipped=(1,),
+        )
+        assert engine.agents[0].orientation == CANONICAL
+        assert engine.agents[1].orientation == MIRRORED
+
+    def test_explicit_orientations_override(self):
+        engine = build_engine(
+            KnownUpperBound(bound=8), ring_size=8, positions=[0, 4],
+            orientations=[MIRRORED, MIRRORED],
+        )
+        assert all(a.orientation == MIRRORED for a in engine.agents)
+
+    def test_landmark_is_passed_through(self):
+        engine = build_engine(
+            LandmarkWithChirality(), ring_size=8, positions=[1, 4], landmark=3
+        )
+        assert engine.ring.landmark == 3
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ConfigurationError):
+            build_engine(KnownUpperBound(bound=8), ring_size=2, positions=[0])
+
+
+class TestRunExploration:
+    def test_basic_run(self):
+        result = run_exploration(
+            KnownUpperBound(bound=8), ring_size=8, positions=[0, 4],
+            max_rounds=100,
+        )
+        assert result.explored
+        assert result.all_terminated
+
+    def test_trace_capture(self):
+        trace = Trace()
+        run_exploration(
+            KnownUpperBound(bound=6), ring_size=6, positions=[0, 3],
+            max_rounds=50, trace=trace,
+        )
+        assert len(trace) > 0
+
+    def test_ssync_run(self):
+        result = run_exploration(
+            PTBoundWithChirality(bound=8), ring_size=8, positions=[0, 4],
+            max_rounds=30_000,
+            adversary=RandomMissingEdge(seed=1),
+            scheduler=RandomFairScheduler(seed=2),
+            transport=TransportModel.PT,
+        )
+        assert result.explored
+
+    def test_stop_on_exploration(self):
+        result = run_exploration(
+            KnownUpperBound(bound=8), ring_size=8, positions=[0, 4],
+            max_rounds=100, stop_on_exploration=True,
+        )
+        assert result.halted_reason == "explored"
+
+    def test_stop_when(self):
+        result = run_exploration(
+            KnownUpperBound(bound=8), ring_size=8, positions=[0, 4],
+            max_rounds=100, stop_when=lambda e: e.round_no >= 2,
+        )
+        assert result.rounds == 2

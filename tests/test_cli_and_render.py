@@ -1,0 +1,114 @@
+"""The CLI entry point and the ASCII renderer."""
+
+import pytest
+
+from repro.adversary import FixedMissingEdge
+from repro.algorithms.fsync import KnownUpperBound
+from repro.analysis.render import render_configuration, render_header, watch
+from repro.api import build_engine
+from repro.cli import ALGORITHMS, main, make_parser
+
+
+class TestRenderer:
+    def engine(self):
+        return build_engine(
+            KnownUpperBound(bound=6), ring_size=6, positions=[0, 3],
+            landmark=2, adversary=FixedMissingEdge(4),
+        )
+
+    def test_configuration_shows_agents_and_landmark(self):
+        line = render_configuration(self.engine())
+        assert line.count("[1]") == 2  # two singly-occupied nodes
+        assert "[.*]" in line  # empty landmark node
+
+    def test_missing_edge_marker(self):
+        engine = self.engine()
+        engine.step()
+        line = render_configuration(engine)
+        assert " / " in line
+
+    def test_port_markers_appear_when_blocked(self):
+        engine = build_engine(
+            KnownUpperBound(bound=6), ring_size=6, positions=[5],
+            adversary=FixedMissingEdge(4),  # blocks the leftward move from v5
+        )
+        engine.step()
+        line = render_configuration(engine)
+        assert "<" in line
+
+    def test_header_names_every_node(self):
+        header = render_header(self.engine())
+        for node in range(6):
+            assert f"v{node}" in header
+
+    def test_watch_prints_rounds_and_outcome(self):
+        lines = []
+        watch(self.engine(), 5, printer=lines.append)
+        assert len(lines) == 8  # header + initial + 5 rounds + summary
+        assert "explored=" in lines[-1]
+
+    def test_watch_stops_when_all_terminated(self):
+        engine = self.engine()
+        lines = []
+        watch(engine, 100, printer=lines.append)
+        assert engine.all_terminated
+        assert "terminated=[0, 1]" in lines[-1]
+
+
+class TestCli:
+    def test_atlas(self, capsys):
+        assert main(["atlas"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "known-bound" in out
+        assert "prevent-meetings" in out
+
+    def test_run_known_bound(self, capsys):
+        code = main(["run", "known-bound", "-n", "8", "--adversary", "random"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode=explicit" in out
+
+    def test_run_unconscious(self, capsys):
+        code = main(["run", "unconscious", "-n", "6", "--adversary", "none"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode=unconscious" in out
+
+    def test_run_pt_bound_three_agents(self, capsys):
+        code = main(["run", "pt-bound-3", "-n", "9", "--no-chirality",
+                     "--seed", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "explored" in out
+
+    def test_run_blocked_agent_fails_exploration(self, capsys):
+        code = main(["run", "unconscious", "-n", "8",
+                     "--adversary", "block-agent", "--agents", "1",
+                     "--rounds", "200"])
+        assert code == 1  # exploration impossible: non-zero exit
+
+    def test_watch_command(self, capsys):
+        code = main(["watch", "known-bound", "-n", "6",
+                     "--adversary", "none", "--rounds", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "v0" in out and "r=" in out
+
+    def test_every_algorithm_runs(self, capsys):
+        for name in sorted(ALGORITHMS):
+            argv = ["run", name, "-n", "6", "--seed", "1"]
+            if "no-chirality" in name or name in ("pt-bound-3", "pt-landmark-3",
+                                                  "et-exact"):
+                argv.append("--no-chirality")
+            code = main(argv)
+            out = capsys.readouterr().out
+            assert code == 0, (name, out)
+
+    def test_parser_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["run", "no-such-algorithm"])

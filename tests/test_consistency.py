@@ -1,0 +1,87 @@
+"""Cross-module consistency and model corner cases."""
+
+from repro.adversary import DeltaRecurrentAdversary, RandomMissingEdge, TIntervalAdversary
+from repro.algorithms.fsync import LandmarkWithChirality, UnconsciousExploration
+from repro.algorithms.fsync.landmark_no_chirality import (
+    no_chirality_timeout as algorithm_timeout,
+)
+from repro.analysis.checker import check_safety
+from repro.api import run_exploration
+from repro.core import TerminationMode
+from repro.theory.bounds import no_chirality_timeout as theory_timeout
+
+
+class TestBoundConsistency:
+    def test_timeout_formulas_agree(self):
+        """The algorithm's deadline and theory/bounds must never drift."""
+        for n in range(3, 200):
+            assert algorithm_timeout(n) == theory_timeout(n)
+
+    def test_table_complexity_strings_match_bounds(self):
+        from repro.theory import lookup
+
+        row = lookup(algorithm="KnownUpperBound")[0]
+        assert "3N - 6" in row.complexity
+
+
+class TestStartupCorners:
+    def test_everything_explored_at_round_zero(self):
+        """Three agents covering a 3-ring: exploration holds before any move."""
+        result = run_exploration(
+            UnconsciousExploration(), ring_size=3, positions=[0, 1],
+            max_rounds=30, stop_on_exploration=True,
+        )
+        assert result.explored  # two agents on a 3-ring finish in one move
+
+        engine_result = run_exploration(
+            UnconsciousExploration(), ring_size=3, positions=[0, 1],
+            max_rounds=1, stop_on_exploration=True,
+        )
+        assert engine_result.rounds <= 1
+
+    def test_all_agents_on_one_node_of_minimal_ring(self):
+        result = run_exploration(
+            UnconsciousExploration(), ring_size=3, positions=[1, 1],
+            max_rounds=60, stop_on_exploration=True,
+        )
+        assert result.explored
+
+
+class TestAdversaryComposition:
+    """The restricted dynamism wrappers compose with the full algorithms."""
+
+    def test_landmark_algorithm_under_t_interval(self):
+        for t in (2, 5):
+            result = run_exploration(
+                LandmarkWithChirality(), ring_size=8, positions=[1, 4],
+                landmark=0,
+                adversary=TIntervalAdversary(RandomMissingEdge(seed=3), interval=t),
+                max_rounds=3_000,
+            )
+            assert check_safety(result) == []
+            assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_landmark_algorithm_under_delta_recurrence(self):
+        for delta in (2, 6):
+            result = run_exploration(
+                LandmarkWithChirality(), ring_size=8, positions=[1, 4],
+                landmark=0,
+                adversary=DeltaRecurrentAdversary(
+                    RandomMissingEdge(seed=4), delta=delta
+                ),
+                max_rounds=3_000,
+            )
+            assert check_safety(result) == []
+            assert result.termination_mode() is TerminationMode.EXPLICIT
+
+    def test_nested_wrappers(self):
+        """delta-recurrence over T-interval over random: still sound."""
+        adversary = DeltaRecurrentAdversary(
+            TIntervalAdversary(RandomMissingEdge(seed=5), interval=3), delta=4
+        )
+        result = run_exploration(
+            LandmarkWithChirality(), ring_size=8, positions=[2, 6], landmark=0,
+            adversary=adversary, max_rounds=3_000,
+        )
+        assert check_safety(result) == []
+        assert result.explored

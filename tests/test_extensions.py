@@ -1,0 +1,189 @@
+"""The arbitrary-topology extension (paper §5 open problem)."""
+
+import pytest
+
+from repro.core.errors import AdversaryViolation, ConfigurationError
+from repro.extensions import (
+    ConnectivityPreservingAdversary,
+    DynamicGraphEngine,
+    RandomWalkExplorer,
+    RotorRouterExplorer,
+    StaticGraphAdversary,
+    hypercube,
+    ring_graph,
+    torus,
+)
+from repro.extensions.explorers import attach_node_oracle
+
+TOPOLOGIES = {
+    "ring12": ring_graph(12),
+    "torus3x4": torus(3, 4),
+    "cube3": hypercube(3),
+}
+
+
+def run_walker(graph, explorer, *, adversary=None, agents=1, horizon=60_000,
+               rotor=False):
+    engine = DynamicGraphEngine(
+        graph, explorer, list(range(agents)),
+        adversary=adversary or StaticGraphAdversary(),
+    )
+    if rotor:
+        attach_node_oracle(engine)
+    return engine.run(horizon)
+
+
+class TestTopologies:
+    def test_ring_matches_cycle(self):
+        graph = ring_graph(8)
+        assert graph.number_of_nodes() == 8
+        assert all(d == 2 for _, d in graph.degree())
+
+    def test_torus_is_4_regular(self):
+        graph = torus(3, 5)
+        assert graph.number_of_nodes() == 15
+        assert all(d == 4 for _, d in graph.degree())
+
+    def test_hypercube_degrees(self):
+        graph = hypercube(4)
+        assert graph.number_of_nodes() == 16
+        assert all(d == 4 for _, d in graph.degree())
+
+
+class TestEngineBasics:
+    def test_requires_agents_and_connectivity(self):
+        import networkx as nx
+
+        with pytest.raises(ConfigurationError):
+            DynamicGraphEngine(ring_graph(5), RandomWalkExplorer(), [])
+        disconnected = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(ConfigurationError):
+            DynamicGraphEngine(disconnected, RandomWalkExplorer(), [0])
+
+    def test_start_node_must_exist(self):
+        with pytest.raises(ConfigurationError):
+            DynamicGraphEngine(ring_graph(5), RandomWalkExplorer(), [99])
+
+    def test_adversary_cannot_disconnect(self):
+        class Disconnector:
+            def reset(self, engine):
+                return None
+
+            def missing_edges(self, engine):
+                # remove both edges of node 0: disconnects a ring
+                return {frozenset((0, 1)), frozenset((0, 4))}
+
+        engine = DynamicGraphEngine(
+            ring_graph(5), RandomWalkExplorer(seed=1), [2],
+            adversary=Disconnector(),
+        )
+        with pytest.raises(AdversaryViolation):
+            engine.step()
+
+    def test_connectivity_preserving_adversary_is_legal(self):
+        engine = DynamicGraphEngine(
+            torus(3, 4), RandomWalkExplorer(seed=2), [0],
+            adversary=ConnectivityPreservingAdversary(budget=3, seed=5),
+        )
+        for _ in range(50):
+            engine.step()  # the engine itself validates connectivity
+
+    def test_blocked_agent_waits_on_port(self):
+        class RemoveAll:
+            """Keep the agent's port-0 edge missing while switched on."""
+
+            def __init__(self):
+                self.on = True
+
+            def reset(self, engine):
+                return None
+
+            def missing_edges(self, engine):
+                if not self.on:
+                    return set()
+                agent = engine.agents[0]
+                return {engine._edge_of_port(agent.node, 0)}
+
+        class PushPortZero:
+            name = "push0"
+
+            def setup(self, memory):
+                return None
+
+            def choose_port(self, snapshot, memory):
+                return 0
+
+        adversary = RemoveAll()
+        engine = DynamicGraphEngine(
+            ring_graph(6), PushPortZero(), [3], adversary=adversary
+        )
+        engine.step()
+        assert engine.agents[0].port == 0
+        assert engine.agents[0].node == 3
+        adversary.on = False
+        engine.step()
+        assert engine.agents[0].node != 3
+
+    def test_port_mutual_exclusion(self):
+        class PushPortZero:
+            name = "push0"
+
+            def setup(self, memory):
+                return None
+
+            def choose_port(self, snapshot, memory):
+                return 0
+
+        class HoldEverything:
+            def reset(self, engine):
+                return None
+
+            def missing_edges(self, engine):
+                return {frozenset((0, 1))}  # port 0 of node 0 is edge (0,1)
+
+        engine = DynamicGraphEngine(
+            ring_graph(6), PushPortZero(), [0, 0], adversary=HoldEverything()
+        )
+        engine.step()
+        holders = [a for a in engine.agents if a.port == 0]
+        assert len(holders) == 1  # the other agent was denied
+
+
+class TestExploration:
+    @pytest.mark.parametrize("label", sorted(TOPOLOGIES))
+    def test_random_walk_explores_static(self, label):
+        result = run_walker(TOPOLOGIES[label], RandomWalkExplorer(seed=7))
+        assert result.explored
+
+    @pytest.mark.parametrize("label", sorted(TOPOLOGIES))
+    def test_rotor_router_explores_static(self, label):
+        result = run_walker(TOPOLOGIES[label], RotorRouterExplorer(), rotor=True)
+        assert result.explored
+
+    @pytest.mark.parametrize("label", sorted(TOPOLOGIES))
+    def test_random_walk_explores_dynamic(self, label):
+        result = run_walker(
+            TOPOLOGIES[label], RandomWalkExplorer(seed=11),
+            adversary=ConnectivityPreservingAdversary(budget=1, seed=13),
+        )
+        assert result.explored
+
+    @pytest.mark.parametrize("label", sorted(TOPOLOGIES))
+    def test_rotor_router_explores_dynamic(self, label):
+        result = run_walker(
+            TOPOLOGIES[label], RotorRouterExplorer(), rotor=True,
+            adversary=ConnectivityPreservingAdversary(budget=1, seed=17),
+        )
+        assert result.explored
+
+    def test_multiple_agents_explore_faster_on_average(self):
+        graph = torus(4, 4)
+        solo = run_walker(graph, RandomWalkExplorer(seed=3))
+        team = run_walker(graph, RandomWalkExplorer(seed=3), agents=4)
+        assert team.explored
+        assert team.exploration_round <= solo.exploration_round
+
+    def test_rotor_router_requires_the_oracle(self):
+        engine = DynamicGraphEngine(ring_graph(6), RotorRouterExplorer(), [0])
+        with pytest.raises(ConfigurationError):
+            engine.step()

@@ -1,0 +1,161 @@
+"""Cross-cutting integration: the feasibility map, executed.
+
+Every POSSIBLE row of Tables 2 and 4 is run in its stated setting and must
+achieve its stated termination requirement; representative IMPOSSIBLE rows
+are run against their constructions and must fail exactly as predicted.
+This is the paper's evaluation as one executable matrix.
+"""
+
+import pytest
+
+from repro import TransportModel, build_engine, run_exploration
+from repro.adversary import (
+    NSStarvationAdversary,
+    RandomMissingEdge,
+    theorem10_configuration,
+)
+from repro.algorithms import (
+    ETExactSizeNoChirality,
+    ETUnconscious,
+    KnownUpperBound,
+    LandmarkNoChirality,
+    LandmarkWithChirality,
+    PTBoundNoChirality,
+    PTBoundWithChirality,
+    PTLandmarkNoChirality,
+    PTLandmarkWithChirality,
+    UnconsciousExploration,
+)
+from repro.analysis.checker import check_safety
+from repro.core import TerminationMode
+from repro.schedulers import ETFairScheduler, FsyncScheduler, RandomFairScheduler
+from repro.theory import (
+    Knowledge,
+    Model,
+    ResultKind,
+    Termination,
+    lookup,
+    no_chirality_timeout,
+)
+
+N = 8
+SEED = 7
+
+
+def build_for_row(row, seed=SEED):
+    """Instantiate the row's algorithm in its stated setting."""
+    landmark = 0 if Knowledge.LANDMARK in row.assumptions else None
+    chirality = Knowledge.CHIRALITY in row.assumptions
+    agents = int(row.agents)
+    positions = [1, 4, 6][:agents]
+    flipped = () if chirality else ((1,) if agents >= 2 else ())
+
+    factory = {
+        "KnownUpperBound": lambda: KnownUpperBound(bound=N),
+        "UnconsciousExploration": UnconsciousExploration,
+        "LandmarkWithChirality": LandmarkWithChirality,
+        "LandmarkNoChirality": LandmarkNoChirality,
+        "PTBoundWithChirality": lambda: PTBoundWithChirality(bound=N),
+        "PTLandmarkWithChirality": PTLandmarkWithChirality,
+        "PTBoundNoChirality": lambda: PTBoundNoChirality(bound=N),
+        "PTLandmarkNoChirality": PTLandmarkNoChirality,
+        "ETUnconscious": ETUnconscious,
+        "ETExactSizeNoChirality": lambda: ETExactSizeNoChirality(ring_size=N),
+    }[row.algorithm]
+
+    if row.model is Model.FSYNC:
+        scheduler = FsyncScheduler()
+        transport = TransportModel.NS
+    elif row.model is Model.SSYNC_PT:
+        scheduler = RandomFairScheduler(seed=seed)
+        transport = TransportModel.PT
+    else:  # SSYNC_ET
+        scheduler = ETFairScheduler(RandomFairScheduler(seed=seed))
+        transport = TransportModel.ET
+
+    return build_engine(
+        factory(),
+        ring_size=N,
+        positions=positions,
+        landmark=landmark,
+        chirality=chirality,
+        flipped=flipped,
+        adversary=RandomMissingEdge(seed=seed + 1),
+        scheduler=scheduler,
+        transport=transport,
+    )
+
+
+POSSIBLE_ROWS = lookup(kind=ResultKind.POSSIBLE)
+
+
+class TestFeasibilityMapIsLive:
+    @pytest.mark.parametrize(
+        "row", POSSIBLE_ROWS, ids=[r.algorithm for r in POSSIBLE_ROWS]
+    )
+    def test_possible_row_achieves_its_claim(self, row):
+        engine = build_for_row(row)
+        horizon = no_chirality_timeout(N) + 10
+        unconscious = row.termination is Termination.UNCONSCIOUS
+        result = engine.run(horizon, stop_on_exploration=unconscious)
+        assert check_safety(result) == [], row.describe()
+        assert result.explored, row.describe()
+        mode = result.termination_mode()
+        if row.termination is Termination.EXPLICIT:
+            assert mode is TerminationMode.EXPLICIT, row.describe()
+        elif row.termination is Termination.PARTIAL:
+            assert mode in (TerminationMode.EXPLICIT, TerminationMode.PARTIAL), (
+                row.describe()
+            )
+        else:
+            assert mode is TerminationMode.UNCONSCIOUS, row.describe()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_possible_rows_across_seeds(self, seed):
+        for row in POSSIBLE_ROWS:
+            engine = build_for_row(row, seed=seed)
+            unconscious = row.termination is Termination.UNCONSCIOUS
+            result = engine.run(
+                no_chirality_timeout(N) + 10, stop_on_exploration=unconscious
+            )
+            assert check_safety(result) == [], (seed, row.describe())
+            assert result.explored, (seed, row.describe())
+
+
+class TestImpossibleRowsFail:
+    def test_ns_row(self):
+        """Theorem 9: the NS construction stops every SSYNC algorithm."""
+        adversary = NSStarvationAdversary()
+        engine = build_engine(
+            PTBoundNoChirality(bound=N),
+            ring_size=N,
+            positions=[1, 4, 6],
+            chirality=False,
+            flipped=(1,),
+            adversary=adversary,
+            scheduler=adversary,
+            transport=TransportModel.NS,
+        )
+        result = engine.run(1_000)
+        assert result.total_moves == 0
+
+    def test_pt_two_agents_no_chirality_row(self):
+        """Theorem 10: two PT agents without chirality stay stranded."""
+        cfg = theorem10_configuration(N)
+        result = run_exploration(
+            PTBoundWithChirality(bound=N), ring_size=N,
+            transport=TransportModel.PT, max_rounds=1_500, **cfg,
+        )
+        assert not result.explored
+
+    def test_pt_full_termination_row(self):
+        """Theorem 11: under a perpetual block, only partial termination."""
+        from repro.adversary import FixedMissingEdge
+
+        result = run_exploration(
+            PTBoundWithChirality(bound=N), ring_size=N, positions=[3, 4],
+            adversary=FixedMissingEdge(6),
+            scheduler=RandomFairScheduler(seed=1),
+            transport=TransportModel.PT, max_rounds=5_000,
+        )
+        assert result.termination_mode() is TerminationMode.PARTIAL

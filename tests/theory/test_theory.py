@@ -1,0 +1,104 @@
+"""The paper's bounds and the Tables 1-4 feasibility map."""
+
+import pytest
+
+from repro.theory import (
+    Knowledge,
+    Model,
+    ResultKind,
+    TABLE_ROWS,
+    Termination,
+    fsync_known_bound_time,
+    fsync_lower_bound_two_agents,
+    lookup,
+    no_chirality_timeout,
+    partial_termination_lower_bound,
+    pt_bound_moves_lower,
+    pt_landmark_moves_lower,
+)
+from repro.theory.tables import render_map
+
+
+class TestBounds:
+    def test_theorem3_time(self):
+        assert fsync_known_bound_time(10) == 24
+
+    def test_observation3(self):
+        assert fsync_lower_bound_two_agents(10) == 17
+
+    def test_theorem4(self):
+        assert partial_termination_lower_bound(10) == 9
+
+    def test_upper_exceeds_lower(self):
+        for n in range(3, 50):
+            assert fsync_known_bound_time(n) >= fsync_lower_bound_two_agents(n)
+            assert fsync_known_bound_time(n) >= partial_termination_lower_bound(n)
+
+    def test_no_chirality_timeout_value(self):
+        assert no_chirality_timeout(8) == 32 * ((3 * 3 + 3) * 5 * 8)
+
+    def test_pt_lower_bounds_are_quadratic(self):
+        assert pt_bound_moves_lower(20, 20) == 10 * 10
+        assert pt_landmark_moves_lower(10) == 50
+        assert pt_landmark_moves_lower(20) / pt_landmark_moves_lower(10) == 4.0
+
+
+class TestFeasibilityMap:
+    def test_sixteen_rows(self):
+        assert len(TABLE_ROWS) == 16
+
+    def test_tables_partition(self):
+        assert len(lookup(table=1)) == 2
+        assert len(lookup(table=2)) == 4   # 3 table rows + Theorem 5
+        assert len(lookup(table=3)) == 4
+        assert len(lookup(table=4)) == 6
+
+    def test_impossibilities_have_no_algorithm(self):
+        for row in lookup(kind=ResultKind.IMPOSSIBLE):
+            assert row.algorithm is None
+
+    def test_possibilities_name_an_implemented_algorithm(self):
+        import repro.algorithms as algorithms
+
+        for row in lookup(kind=ResultKind.POSSIBLE):
+            assert row.algorithm is not None
+            assert hasattr(algorithms, row.algorithm), row.algorithm
+
+    def test_every_row_cites_a_theorem(self):
+        for row in TABLE_ROWS:
+            assert row.theorem.startswith("Theorem")
+
+    def test_ns_model_has_only_the_impossibility(self):
+        rows = lookup(model=Model.SSYNC_NS)
+        assert len(rows) == 1
+        assert rows[0].kind is ResultKind.IMPOSSIBLE
+        assert rows[0].termination is Termination.EXPLORATION
+
+    def test_pt_possibilities_match_paper(self):
+        rows = lookup(table=4, model=Model.SSYNC_PT, kind=ResultKind.POSSIBLE)
+        agents = sorted(row.agents for row in rows)
+        assert agents == ["2", "2", "3", "3"]
+        # chirality buys the two-agent solutions (Theorem 10's boundary)
+        for row in rows:
+            if row.agents == "2":
+                assert Knowledge.CHIRALITY in row.assumptions
+            else:
+                assert Knowledge.CHIRALITY not in row.assumptions
+
+    def test_et_exact_size_requirement(self):
+        rows = lookup(model=Model.SSYNC_ET, kind=ResultKind.POSSIBLE)
+        partial = [r for r in rows if r.termination is Termination.PARTIAL]
+        assert len(partial) == 1
+        assert Knowledge.EXACT_SIZE in partial[0].assumptions
+
+    def test_lookup_by_algorithm(self):
+        rows = lookup(algorithm="KnownUpperBound")
+        assert len(rows) == 1
+        assert rows[0].complexity == "3N - 6 rounds"
+
+    def test_describe_and_render(self):
+        text = render_map()
+        assert "Theorem 3" in text
+        assert "impossible" in text
+        for row in TABLE_ROWS:
+            assert row.theorem.split()[1] in text
