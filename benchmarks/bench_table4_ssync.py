@@ -1,6 +1,9 @@
 """Table 4 (SSYNC possibility results), regenerated.
 
-Experiments T4.1-T4.6:
+Experiments T4.1-T4.6, now thin drivers over the declarative
+``table4-ssync`` campaign spec (:mod:`repro.campaigns.presets`): each
+test executes one variant's cells through the campaign executor and
+asserts the guarantee on the recorded metrics.
 
 * Theorem 12 — PT, 2 agents, chirality, bound N: O(N²) moves;
 * Theorem 14 — PT, 2 agents, chirality, landmark: O(n²) moves;
@@ -13,210 +16,112 @@ Average-case move counts under random adversaries stay far below the
 quadratic envelopes (they are worst-case bounds; the *worst case* shape is
 regenerated separately in bench_lower_bounds.py via zig-zag forcing).
 Here we check the guarantees: exploration, the promised termination mode,
-and that moves never exceed the envelope.
+and that moves never exceed the envelope.  The same cells can be
+(re)computed in parallel with
+``python -m repro campaign run --spec table4-ssync``.
 """
 
 import statistics
 
-from conftest import record, report
+from conftest import by_size, record, report, run_variant
 
-from repro.adversary import RandomMissingEdge
-from repro.algorithms.ssync import (
-    ETExactSizeNoChirality,
-    ETUnconscious,
-    PTBoundNoChirality,
-    PTBoundWithChirality,
-    PTLandmarkNoChirality,
-    PTLandmarkWithChirality,
-)
-from repro.api import build_engine
-from repro.core import TerminationMode, TransportModel
-from repro.schedulers import ETFairScheduler, RandomFairScheduler
+from repro.campaigns.presets import table4_ssync
 
-SEEDS = range(6)
-HORIZON = 100_000
+SPEC = table4_ssync()
+CELLS = SPEC.cell_list()
 
 
-def run_ssync(algorithm, n, agents, *, landmark=None, chirality=True,
-              flipped=(), transport=TransportModel.PT, seed=0,
-              stop_on_exploration=False):
-    scheduler = RandomFairScheduler(seed=seed + 1)
-    if transport is TransportModel.ET:
-        scheduler = ETFairScheduler(scheduler)
-    engine = build_engine(
-        algorithm,
-        ring_size=n,
-        positions=[1, 1 + n // 3, 1 + (2 * n) // 3][:agents],
-        landmark=landmark,
-        chirality=chirality,
-        flipped=flipped,
-        adversary=RandomMissingEdge(seed=seed),
-        scheduler=scheduler,
-        transport=transport,
-    )
-    return engine.run(HORIZON, stop_on_exploration=stop_on_exploration)
+def check_partial_guarantee(metrics) -> None:
+    assert metrics["explored"]
+    assert metrics["terminated_count"] >= 1
+    assert metrics["all_terminated_or_waiting"]
 
 
-def check_partial_guarantee(result) -> None:
-    assert result.explored
-    assert result.any_terminated
-    assert all(a.terminated or a.waiting_on_port for a in result.agents)
+def summarize(metrics):
+    return (statistics.fmean(m["total_moves"] for m in metrics),
+            max(m["total_moves"] for m in metrics))
 
 
-def summarize(results):
-    return statistics.fmean(r.total_moves for r in results), max(
-        r.total_moves for r in results
-    )
+def moves_table(label, envelope_factor):
+    """Run one PT variant; per-size (mean, max) moves + envelope assertion."""
+    records = run_variant(CELLS, label)
+    data = {}
+    for n, metrics in sorted(by_size(records).items()):
+        for m in metrics:
+            check_partial_guarantee(m)
+        data[n] = summarize(metrics)
+        assert data[n][1] <= envelope_factor * n * n
+    return data
 
 
 def test_t4_1_theorem12_pt_bound_chirality(benchmark):
-    sizes = (8, 16, 32)
-
-    def workload():
-        data = {}
-        for n in sizes:
-            runs = [
-                run_ssync(PTBoundWithChirality(bound=n), n, 2, seed=seed)
-                for seed in SEEDS
-            ]
-            for r in runs:
-                check_partial_guarantee(r)
-            data[n] = summarize(runs)
-        return data
-
-    data = benchmark(workload)
-    rows = [(n, f"O(N^2) <= {4 * n * n}", f"{data[n][0]:.0f}", data[n][1]) for n in sizes]
+    data = benchmark(moves_table, "t4.1-theorem12-pt-bound", 4)
+    rows = [(n, f"O(N^2) <= {4 * n * n}", f"{data[n][0]:.0f}", data[n][1])
+            for n in sorted(data)]
     report("Table 4 row 1 (Theorem 12): PT 2 agents + bound, moves",
            rows, ("n=N", "paper envelope", "mean moves", "max moves"))
-    for n in sizes:
-        assert data[n][1] <= 4 * n * n
     record(benchmark, claim="partial termination, O(N^2) moves", moves=data)
 
 
 def test_t4_2_theorem14_pt_landmark_chirality(benchmark):
-    sizes = (8, 16, 32)
-
-    def workload():
-        data = {}
-        for n in sizes:
-            runs = [
-                run_ssync(PTLandmarkWithChirality(), n, 2, landmark=0, seed=seed)
-                for seed in SEEDS
-            ]
-            for r in runs:
-                check_partial_guarantee(r)
-            data[n] = summarize(runs)
-        return data
-
-    data = benchmark(workload)
-    rows = [(n, f"O(n^2) <= {4 * n * n}", f"{data[n][0]:.0f}", data[n][1]) for n in sizes]
+    data = benchmark(moves_table, "t4.2-theorem14-pt-landmark", 4)
+    rows = [(n, f"O(n^2) <= {4 * n * n}", f"{data[n][0]:.0f}", data[n][1])
+            for n in sorted(data)]
     report("Table 4 row 2 (Theorem 14): PT 2 agents + landmark, moves",
            rows, ("n", "paper envelope", "mean moves", "max moves"))
-    for n in sizes:
-        assert data[n][1] <= 4 * n * n
     record(benchmark, claim="partial termination, O(n^2) moves", moves=data)
 
 
 def test_t4_3_theorem16_pt_bound_no_chirality(benchmark):
-    sizes = (9, 18, 33)
-
-    def workload():
-        data = {}
-        for n in sizes:
-            runs = [
-                run_ssync(
-                    PTBoundNoChirality(bound=n), n, 3,
-                    chirality=False, flipped=(1,), seed=seed,
-                )
-                for seed in SEEDS
-            ]
-            for r in runs:
-                check_partial_guarantee(r)
-            data[n] = summarize(runs)
-        return data
-
-    data = benchmark(workload)
-    rows = [(n, f"O(N^2) <= {6 * n * n}", f"{data[n][0]:.0f}", data[n][1]) for n in sizes]
+    data = benchmark(moves_table, "t4.3-theorem16-pt-bound-no-chirality", 6)
+    rows = [(n, f"O(N^2) <= {6 * n * n}", f"{data[n][0]:.0f}", data[n][1])
+            for n in sorted(data)]
     report("Table 4 row 3 (Theorem 16): PT 3 agents + bound, moves",
            rows, ("n=N", "paper envelope", "mean moves", "max moves"))
-    for n in sizes:
-        assert data[n][1] <= 6 * n * n
     record(benchmark, claim="partial termination, O(N^2) moves", moves=data)
 
 
 def test_t4_4_theorem17_pt_landmark_no_chirality(benchmark):
-    sizes = (9, 18, 33)
-
-    def workload():
-        data = {}
-        for n in sizes:
-            runs = [
-                run_ssync(
-                    PTLandmarkNoChirality(), n, 3, landmark=0,
-                    chirality=False, flipped=(2,), seed=seed,
-                )
-                for seed in SEEDS
-            ]
-            for r in runs:
-                check_partial_guarantee(r)
-            data[n] = summarize(runs)
-        return data
-
-    data = benchmark(workload)
-    rows = [(n, f"O(n^2) <= {6 * n * n}", f"{data[n][0]:.0f}", data[n][1]) for n in sizes]
+    data = benchmark(moves_table, "t4.4-theorem17-pt-landmark-no-chirality", 6)
+    rows = [(n, f"O(n^2) <= {6 * n * n}", f"{data[n][0]:.0f}", data[n][1])
+            for n in sorted(data)]
     report("Table 4 row 4 (Theorem 17): PT 3 agents + landmark, moves",
            rows, ("n", "paper envelope", "mean moves", "max moves"))
-    for n in sizes:
-        assert data[n][1] <= 6 * n * n
     record(benchmark, claim="partial termination, O(n^2) moves", moves=data)
 
 
 def test_t4_5_theorem18_et_unconscious(benchmark):
-    sizes = (8, 16, 32)
-
     def workload():
+        records = run_variant(CELLS, "t4.5-theorem18-et-unconscious")
         data = {}
-        for n in sizes:
-            rounds = []
-            for seed in SEEDS:
-                result = run_ssync(
-                    ETUnconscious(), n, 2, transport=TransportModel.ET,
-                    seed=seed, stop_on_exploration=True,
-                )
-                assert result.explored
-                assert result.termination_mode() is TerminationMode.UNCONSCIOUS
-                rounds.append(result.rounds)
-            data[n] = statistics.fmean(rounds)
+        for n, metrics in sorted(by_size(records).items()):
+            for m in metrics:
+                assert m["explored"]
+                assert m["mode"] == "unconscious"
+            data[n] = statistics.fmean(m["rounds"] for m in metrics)
         return data
 
     data = benchmark(workload)
     report("Table 4 row 5 (Theorem 18): ET unconscious exploration",
-           [(n, "explores, never stops", f"{data[n]:.0f} rounds") for n in sizes],
+           [(n, "explores, never stops", f"{data[n]:.0f} rounds")
+            for n in sorted(data)],
            ("n", "paper", "measured mean"))
     record(benchmark, claim="unconscious exploration in ET", rounds=data)
 
 
 def test_t4_6_theorem20_et_exact_size(benchmark):
-    sizes = (8, 16, 32)
-
     def workload():
+        records = run_variant(CELLS, "t4.6-theorem20-et-exact")
         data = {}
-        for n in sizes:
-            runs = [
-                run_ssync(
-                    ETExactSizeNoChirality(ring_size=n), n, 3,
-                    chirality=False, flipped=(1,),
-                    transport=TransportModel.ET, seed=seed,
-                )
-                for seed in SEEDS
-            ]
-            for r in runs:
-                check_partial_guarantee(r)
-            data[n] = summarize(runs)
+        for n, metrics in sorted(by_size(records).items()):
+            for m in metrics:
+                check_partial_guarantee(m)
+            data[n] = summarize(metrics)
         return data
 
     data = benchmark(workload)
     report("Table 4 row 6 (Theorem 20): ET 3 agents + exact n",
-           [(n, "partial termination", f"mean {data[n][0]:.0f} moves") for n in sizes],
+           [(n, "partial termination", f"mean {data[n][0]:.0f} moves")
+            for n in sorted(data)],
            ("n", "paper", "measured"))
     record(benchmark, claim="partial termination with exact n in ET", moves=data)

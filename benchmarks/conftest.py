@@ -1,6 +1,25 @@
-"""Shared benchmark helpers: paper-vs-measured reporting."""
+"""Shared benchmark helpers: paper-vs-measured reporting + campaign driving."""
 
 from __future__ import annotations
+
+
+def run_variant(cells, label):
+    """Execute every campaign cell carrying ``label``, in-process."""
+    from repro.campaigns import execute_cell
+
+    records = [execute_cell(c) for c in cells if c.label == label]
+    assert records, f"no cells labelled {label!r}"
+    errors = [r["error"] for r in records if "error" in r]
+    assert not errors, errors
+    return records
+
+
+def by_size(records):
+    """ring_size -> list of metric dicts."""
+    sizes = {}
+    for r in records:
+        sizes.setdefault(r["config"]["ring_size"], []).append(r["metrics"])
+    return sizes
 
 
 def record(benchmark, **info) -> None:

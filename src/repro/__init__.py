@@ -20,7 +20,7 @@ See README.md for the tour, DESIGN.md for the paper-to-module map, and
 EXPERIMENTS.md for the reproduced tables and figures.
 """
 
-from .api import build_engine, run_exploration
+from .api import build_engine, run_campaign, run_cell, run_exploration
 from .core import (
     Engine,
     Orientation,
@@ -31,7 +31,7 @@ from .core import (
     TransportModel,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Engine",
@@ -42,6 +42,8 @@ __all__ = [
     "Trace",
     "TransportModel",
     "build_engine",
+    "run_campaign",
+    "run_cell",
     "run_exploration",
     "__version__",
 ]

@@ -1,16 +1,23 @@
-"""Parameter sweeps and averaged experiments.
+"""In-process parameter sweeps over live engine factories.
 
 The benches regenerate each table/figure by sweeping the ring size (and
 seeds) and summarising cost; this module holds the shared machinery so a
 bench is a declarative description, not a loop nest.
+
+This is the *closure-based* sweep path: factories are arbitrary Python
+callables, so sweeps run in-process and cannot be parallelised or
+resumed.  For declarative, multiprocessing-backed, resumable sweeps use
+:mod:`repro.campaigns`; both paths reduce through the same statistics
+(:func:`repro.campaigns.aggregate.summarize_results`), so a mean here
+means exactly what a campaign table row reports.
 """
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..campaigns.aggregate import summarize_results
 from ..core.engine import Engine
 from ..core.results import RunResult
 
@@ -65,22 +72,16 @@ def average_case(
                 stop_when=stop_when,
             )
         )
-    exploration_rounds = [
-        r.exploration_round for r in results if r.exploration_round is not None
-    ]
+    stats = summarize_results(results)
     return SweepPoint(
         n=n,
-        runs=len(results),
-        mean_rounds=statistics.fmean(r.rounds for r in results),
-        max_rounds=max(r.rounds for r in results),
-        mean_moves=statistics.fmean(r.total_moves for r in results),
-        max_moves=max(r.total_moves for r in results),
-        mean_exploration_round=(
-            statistics.fmean(exploration_rounds)
-            if len(exploration_rounds) == len(results)
-            else None
-        ),
-        all_explored=all(r.explored for r in results),
+        runs=stats.runs,
+        mean_rounds=stats.mean_rounds,
+        max_rounds=stats.max_rounds,
+        mean_moves=stats.mean_moves,
+        max_moves=stats.max_moves,
+        mean_exploration_round=stats.mean_exploration_round,
+        all_explored=stats.all_explored,
         results=tuple(results),
     )
 

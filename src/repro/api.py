@@ -12,6 +12,12 @@ Most users want::
 Everything is overridable: adversary, scheduler, transport model,
 orientations (chirality), landmark, tracing.  Defaults give the benign
 FSYNC setting: no edge ever missing, everyone active, shared orientation.
+
+For *families* of runs there are two campaign entry points built on
+:mod:`repro.campaigns`: :func:`run_cell` executes one declarative,
+serialisable :class:`~repro.campaigns.spec.CellConfig`, and
+:func:`run_campaign` expands a whole sweep spec and executes it in
+parallel with resumable JSONL persistence.
 """
 
 from __future__ import annotations
@@ -100,4 +106,44 @@ def run_exploration(
         max_rounds,
         stop_on_exploration=stop_on_exploration,
         stop_when=stop_when,
+    )
+
+
+def run_cell(cell, *, trace: Trace | None = None) -> RunResult:
+    """Run one campaign cell (:class:`~repro.campaigns.spec.CellConfig`).
+
+    The declarative twin of :func:`run_exploration`: the configuration is
+    plain data (names into the campaign registry), so it can be hashed,
+    stored and shipped across processes.  Imported lazily because
+    :mod:`repro.campaigns` itself builds on this module.
+    """
+    from .campaigns.registry import build_cell_engine
+
+    engine = build_cell_engine(cell, trace=trace)
+    return engine.run(cell.max_rounds, stop_on_exploration=cell.stop_on_exploration)
+
+
+def run_campaign(
+    spec,
+    store: str | None = None,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+):
+    """Expand and execute a campaign spec; returns the executor's report.
+
+    ``spec`` is a :class:`~repro.campaigns.spec.CampaignSpec` or the name
+    of a preset (``"smoke"``, ``"table2-fsync"``, …).  ``store`` is the
+    JSONL path results stream into (default ``results/<name>.jsonl``);
+    re-running with the same spec and store resumes, skipping completed
+    cells.  See :mod:`repro.campaigns` for the full toolkit.
+    """
+    from .campaigns import executor, presets
+
+    if isinstance(spec, str):
+        spec = presets.get_spec(spec)
+    if store is None:
+        store = f"results/{spec.name}.jsonl"
+    return executor.run_campaign(
+        spec, store, workers=workers, chunk_size=chunk_size
     )

@@ -1,0 +1,85 @@
+"""Parallel experiment campaigns: declarative sweeps, resumable runs, table reports.
+
+The paper's results are *sweep-shaped* — claims over families of
+(algorithm × adversary × scheduler × ring size × agent count)
+configurations.  This package turns such a family into a first-class
+object and runs it at scale:
+
+* :mod:`~repro.campaigns.spec` — :class:`CampaignSpec` (declarative
+  grid/variants) expanding into content-hashed :class:`CellConfig` cells;
+* :mod:`~repro.campaigns.registry` — name → algorithm/adversary/scheduler
+  factories and :func:`build_cell_engine` (shared with the CLI);
+* :mod:`~repro.campaigns.executor` — chunked multiprocessing execution
+  with per-worker warm state, streaming results into the store;
+* :mod:`~repro.campaigns.store` — append-only JSONL with content-hashed
+  keys; interrupted campaigns resume without recomputing finished cells;
+* :mod:`~repro.campaigns.aggregate` — reduce raw records into the
+  paper's table rows;
+* :mod:`~repro.campaigns.presets` — named specs (``table2-fsync``,
+  ``table4-ssync``, ``paper-tables``, ``smoke``) and JSON/YAML loading.
+
+Quick start::
+
+    from repro.campaigns import get_spec, run_campaign, aggregate_records
+
+    run = run_campaign(get_spec("smoke"), "results/smoke.jsonl", workers=4)
+    for row in aggregate_records(run.records):
+        print(row)
+"""
+
+from .aggregate import (
+    DEFAULT_GROUP_BY,
+    GroupStats,
+    TableRow,
+    aggregate_records,
+    metrics_from_result,
+    render_rows,
+    summarize_metrics,
+    summarize_results,
+)
+from .executor import CampaignRun, execute_cell, run_campaign, run_cells
+from .presets import DEFAULT_SPEC, SPECS, get_spec, load_spec
+from .registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    AUTO_SCHEDULER,
+    SCHEDULERS,
+    AlgorithmEntry,
+    build_cell_engine,
+    default_horizon,
+    validate_cell,
+)
+from .spec import CampaignSpec, CellConfig, resolve_horizon, resolve_positions
+from .store import ResultStore
+
+__all__ = [
+    "ADVERSARIES",
+    "ALGORITHMS",
+    "AUTO_SCHEDULER",
+    "AlgorithmEntry",
+    "CampaignRun",
+    "CampaignSpec",
+    "CellConfig",
+    "DEFAULT_GROUP_BY",
+    "DEFAULT_SPEC",
+    "GroupStats",
+    "ResultStore",
+    "SCHEDULERS",
+    "SPECS",
+    "TableRow",
+    "aggregate_records",
+    "build_cell_engine",
+    "default_horizon",
+    "execute_cell",
+    "get_spec",
+    "load_spec",
+    "metrics_from_result",
+    "render_rows",
+    "resolve_horizon",
+    "resolve_positions",
+    "run_campaign",
+    "run_cells",
+    "summarize_metrics",
+    "summarize_results",
+    "validate_cell",
+]

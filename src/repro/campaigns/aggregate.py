@@ -1,0 +1,189 @@
+"""Reduce raw campaign records into the paper's table rows.
+
+Two levels of reduction:
+
+* :func:`metrics_from_result` flattens one :class:`~repro.core.results.RunResult`
+  into the JSON-able metric dict the store keeps per cell;
+* :func:`aggregate_records` groups stored records by configuration
+  dimensions (default: variant label × ring size) and reduces each group
+  to a :class:`TableRow` — the mean/max rounds and moves, exploration and
+  termination statistics that Tables 1–4 report.
+
+:func:`summarize_metrics` is the shared single-group reducer; the
+classic in-process sweeps of :mod:`repro.analysis.runner` route through
+it too, so a table row means the same thing whether it was produced by
+a campaign or an ad-hoc sweep.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.results import RunResult
+
+
+def metrics_from_result(result: RunResult) -> dict[str, Any]:
+    """Flatten a run outcome into the metric dict stored per cell."""
+    return {
+        "rounds": result.rounds,
+        "explored": result.explored,
+        "exploration_round": result.exploration_round,
+        "total_moves": result.total_moves,
+        "terminated_count": result.terminated_count,
+        "all_terminated": result.all_terminated,
+        "last_termination_round": result.last_termination_round,
+        "all_terminated_or_waiting": all(
+            a.terminated or a.waiting_on_port for a in result.agents
+        ),
+        "halted_reason": result.halted_reason,
+        "mode": result.termination_mode().value,
+    }
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Reduction of one group of metric dicts (one table cell family)."""
+
+    runs: int
+    mean_rounds: float
+    max_rounds: int
+    mean_moves: float
+    max_moves: int
+    mean_exploration_round: float | None
+    all_explored: bool
+    all_terminated: bool
+    mean_last_termination_round: float | None
+    max_last_termination_round: int | None
+    modes: dict[str, int]
+
+
+def summarize_metrics(metrics: Sequence[Mapping[str, Any]]) -> GroupStats:
+    """Reduce metric dicts for one group; mean exploration round is only
+    reported when *every* run explored (matching the paper's accounting)."""
+    if not metrics:
+        raise ValueError("cannot summarise an empty group")
+    exploration = [
+        m["exploration_round"] for m in metrics
+        if m.get("exploration_round") is not None
+    ]
+    terminations = [
+        m["last_termination_round"] for m in metrics
+        if m.get("last_termination_round") is not None
+    ]
+    return GroupStats(
+        runs=len(metrics),
+        mean_rounds=statistics.fmean(m["rounds"] for m in metrics),
+        max_rounds=max(m["rounds"] for m in metrics),
+        mean_moves=statistics.fmean(m["total_moves"] for m in metrics),
+        max_moves=max(m["total_moves"] for m in metrics),
+        mean_exploration_round=(
+            statistics.fmean(exploration)
+            if len(exploration) == len(metrics) else None
+        ),
+        all_explored=all(m["explored"] for m in metrics),
+        all_terminated=all(m.get("all_terminated", False) for m in metrics),
+        mean_last_termination_round=(
+            statistics.fmean(terminations) if terminations else None
+        ),
+        max_last_termination_round=(max(terminations) if terminations else None),
+        modes=dict(Counter(m.get("mode", "?") for m in metrics)),
+    )
+
+
+def summarize_results(results: Sequence[RunResult]) -> GroupStats:
+    """Reduce live :class:`RunResult` objects (the in-process sweep path)."""
+    return summarize_metrics([metrics_from_result(r) for r in results])
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One aggregated row: a group key plus its reduced statistics."""
+
+    group: tuple[tuple[str, Any], ...]
+    stats: GroupStats
+    cells: tuple[str, ...] = field(default=(), repr=False)
+
+    @property
+    def label(self) -> str:
+        return " ".join(f"{k}={v}" for k, v in self.group)
+
+    def __str__(self) -> str:
+        s = self.stats
+        explored = (
+            f"explored@~{s.mean_exploration_round:.1f}"
+            if s.mean_exploration_round is not None
+            else ("explored" if s.all_explored else "NOT always explored")
+        )
+        return (
+            f"{self.label:<40} runs={s.runs:<3} rounds~{s.mean_rounds:.1f} "
+            f"(max {s.max_rounds}) moves~{s.mean_moves:.1f} (max {s.max_moves}) "
+            f"{explored} modes={s.modes}"
+        )
+
+
+DEFAULT_GROUP_BY = ("label", "algorithm", "ring_size")
+
+
+def _dimension_order(value: Any) -> tuple:
+    """Sort key for one group-dimension value: numbers numerically first,
+    then everything else lexically, ``None`` last."""
+    if value is None:
+        return (2, "", 0)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, "", value)
+    return (1, str(value), 0)
+
+
+def aggregate_records(
+    records: Iterable[Mapping[str, Any]],
+    *,
+    by: Sequence[str] = DEFAULT_GROUP_BY,
+) -> list[TableRow]:
+    """Group successful records by config dimensions and reduce each group.
+
+    Records carrying an ``"error"`` field are excluded — they have no
+    metrics.  Groups are ordered by their key values (numeric dimensions
+    like ``ring_size`` numerically, so growth tables read top to bottom).
+    """
+    from .spec import CellConfig  # local import: spec does not import us
+
+    valid = {f.name for f in dataclass_fields(CellConfig)}
+    unknown = [dim for dim in by if dim not in valid]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown group-by dimension(s) {unknown} (choose from {sorted(valid)})")
+
+    groups: dict[tuple, list[Mapping[str, Any]]] = {}
+    keys: dict[tuple, list[str]] = {}
+    for record in records:
+        if "error" in record:
+            continue
+        config = record.get("config", {})
+        gkey = tuple(
+            (dim, tuple(v) if isinstance(v, list) else v)
+            for dim, v in ((d, config.get(d)) for d in by)
+        )
+        groups.setdefault(gkey, []).append(record["metrics"])
+        keys.setdefault(gkey, []).append(record["key"])
+    return [
+        TableRow(group=gkey, stats=summarize_metrics(groups[gkey]),
+                 cells=tuple(keys[gkey]))
+        for gkey in sorted(
+            groups, key=lambda g: tuple(_dimension_order(v) for _, v in g))
+    ]
+
+
+def render_rows(rows: Sequence[TableRow], *, title: str = "") -> str:
+    """Aligned text report for a list of table rows."""
+    lines = []
+    if title:
+        lines.append(f"== {title}")
+    lines.extend(str(row) for row in rows)
+    if not rows:
+        lines.append("(no completed cells)")
+    return "\n".join(lines)

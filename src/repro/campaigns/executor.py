@@ -1,0 +1,158 @@
+"""Batch execution of campaign cells: serial, or multiprocessing with chunked work units.
+
+The unit shipped to a worker is a *chunk* of cell dicts, not a single
+cell: chunking amortises pickling/IPC over many simulations, and pool
+processes are long-lived (no ``maxtasksperchild``), so each worker pays
+the interpreter/import cost once and keeps its warm registry state —
+resolved factory tables, enum caches — for every cell it runs.
+
+Completed chunks are appended to the :class:`~repro.campaigns.store.ResultStore`
+as they arrive, so an interrupted campaign loses at most the chunks in
+flight; :func:`run_cells` consults ``store.completed_keys()`` first and
+never re-runs a cell whose key is already present.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from .aggregate import metrics_from_result
+from .registry import build_cell_engine, validate_cell
+from .spec import CampaignSpec, CellConfig
+from .store import ResultStore
+
+
+def execute_cell(cell: CellConfig) -> dict[str, Any]:
+    """Run one cell to completion and package the outcome as a store record."""
+    start = time.perf_counter()
+    try:
+        engine = build_cell_engine(cell)
+        result = engine.run(
+            cell.max_rounds, stop_on_exploration=cell.stop_on_exploration
+        )
+        return {
+            "key": cell.key(),
+            "config": cell.to_dict(),
+            "metrics": metrics_from_result(result),
+            "elapsed_s": round(time.perf_counter() - start, 6),
+        }
+    except Exception as exc:  # record the failure; a resume retries it
+        return {
+            "key": cell.key(),
+            "config": cell.to_dict(),
+            "error": f"{type(exc).__name__}: {exc}",
+            "elapsed_s": round(time.perf_counter() - start, 6),
+        }
+
+
+def _run_chunk(payload: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Worker entry point: run a chunk of serialised cells."""
+    return [execute_cell(CellConfig.from_dict(d)) for d in payload]
+
+
+@dataclass
+class CampaignRun:
+    """What one :func:`run_cells` invocation did."""
+
+    total: int
+    skipped: int
+    executed: int
+    failed: int
+    elapsed_s: float
+    workers: int
+    records: list[dict[str, Any]] = field(default_factory=list, repr=False)
+
+    def summary(self) -> str:
+        return (
+            f"cells={self.total} skipped={self.skipped} executed={self.executed} "
+            f"failed={self.failed} workers={self.workers} in {self.elapsed_s:.1f}s"
+        )
+
+
+def _chunked(items: Sequence[Any], size: int) -> list[list[Any]]:
+    return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def run_cells(
+    cells: Iterable[CellConfig],
+    store: ResultStore,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> CampaignRun:
+    """Execute every cell not already in the store; return what happened.
+
+    ``workers=None`` uses every CPU; ``workers<=1`` runs serially in-process
+    (same records, useful under debuggers and in tests).  Results stream
+    into ``store`` chunk by chunk, so interrupting and re-invoking with the
+    same cells resumes where the run stopped.
+    """
+    cells = list(cells)
+    for cell in cells:
+        validate_cell(cell)
+    start = time.perf_counter()
+    done = store.completed_keys()
+    pending = [c for c in cells if c.key() not in done]
+    skipped = len(cells) - len(pending)
+
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    workers = max(1, min(workers, len(pending) or 1))
+
+    records: list[dict[str, Any]] = []
+    completed = 0
+
+    def consume(chunk_records: list[dict[str, Any]]) -> None:
+        nonlocal completed
+        store.append_many(chunk_records)
+        records.extend(chunk_records)
+        completed += len(chunk_records)
+        if progress is not None:
+            progress(completed, len(pending))
+
+    if workers <= 1 or len(pending) <= 1:
+        workers = 1
+        for cell in pending:
+            consume([execute_cell(cell)])
+    else:
+        if chunk_size is None:
+            # ~4 chunks per worker balances scheduling slack against IPC.
+            chunk_size = max(1, min(25, -(-len(pending) // (workers * 4))))
+        chunks = _chunked([c.to_dict() for c in pending], chunk_size)
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        with ctx.Pool(processes=workers) as pool:
+            for chunk_records in pool.imap_unordered(_run_chunk, chunks):
+                consume(chunk_records)
+
+    failed = sum(1 for r in records if "error" in r)
+    return CampaignRun(
+        total=len(cells),
+        skipped=skipped,
+        executed=len(records),
+        failed=failed,
+        elapsed_s=time.perf_counter() - start,
+        workers=workers,
+        records=records,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore | str,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> CampaignRun:
+    """Expand a spec and execute it against a store (path or instance)."""
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return run_cells(
+        spec.cells(), store,
+        workers=workers, chunk_size=chunk_size, progress=progress,
+    )

@@ -1,0 +1,183 @@
+"""Named campaign specs: the paper's tables and a CI smoke sweep.
+
+Every preset mirrors an existing bench (``benchmarks/bench_table2_fsync.py``
+and ``bench_table4_ssync.py`` are now thin drivers over these), so the
+same configuration family backs interactive campaigns, benches, and CI.
+
+Specs can also be loaded from JSON or YAML files via :func:`load_spec`,
+so one-off sweeps don't require touching Python.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from ..core.errors import ConfigurationError
+from .spec import CampaignSpec
+
+#: Seeds mirroring the benches (5 for Table 2, 6 for Table 4).
+TABLE2_SEEDS = list(range(5))
+TABLE4_SEEDS = list(range(6))
+
+
+def table2_fsync() -> CampaignSpec:
+    """Table 2 (FSYNC): Theorems 3, 5, 6 and 8 as one sweep (90 cells)."""
+    return CampaignSpec(
+        name="table2-fsync",
+        description="FSYNC possibility results: termination/exploration times "
+                    "for Theorems 3, 5, 6, 8 under a random adversary.",
+        base={
+            "adversary": "random",
+            "transport": "ns",
+            "agents": 2,
+            "placement": "offset-spread",   # positions [1, 1 + n//2]
+        },
+        grid={"seed": TABLE2_SEEDS},
+        variants=[
+            {"label": "t2.1-theorem3-known-bound",
+             "algorithm": "known-bound",
+             "horizon": "known_bound_time(N) + 5",
+             "grid": {"ring_size": [8, 16, 32, 64]}},
+            {"label": "t5-theorem5-unconscious",
+             "algorithm": "unconscious",
+             "horizon": "100 * n",
+             "stop_on_exploration": True,
+             "grid": {"ring_size": [8, 16, 32, 64, 128]}},
+            {"label": "t2.2-theorem6-landmark-chirality",
+             "algorithm": "landmark-chirality",
+             "landmark": 0,
+             "horizon": "100 * n",
+             "grid": {"ring_size": [8, 16, 32, 64, 128]}},
+            {"label": "t2.3-theorem8-landmark-no-chirality",
+             "algorithm": "landmark-no-chirality",
+             "landmark": 0,
+             "chirality": False,
+             "flipped": [1],
+             "horizon": "no_chirality_timeout(n) + 10",
+             "grid": {"ring_size": [6, 8, 12, 16]}},
+        ],
+    )
+
+
+def table4_ssync() -> CampaignSpec:
+    """Table 4 (SSYNC): Theorems 12, 14, 16, 17, 18, 20 (108 cells)."""
+    return CampaignSpec(
+        name="table4-ssync",
+        description="SSYNC possibility results: move counts and termination "
+                    "modes under PT/ET transports with a random adversary.",
+        base={
+            "adversary": "random",
+            "transport": "pt",
+            "placement": "thirds",          # positions [1, 1+n//3, 1+2n//3][:k]
+            "max_rounds": 100_000,
+        },
+        grid={"seed": TABLE4_SEEDS},
+        variants=[
+            {"label": "t4.1-theorem12-pt-bound",
+             "algorithm": "pt-bound", "agents": 2,
+             "grid": {"ring_size": [8, 16, 32]}},
+            {"label": "t4.2-theorem14-pt-landmark",
+             "algorithm": "pt-landmark", "agents": 2, "landmark": 0,
+             "grid": {"ring_size": [8, 16, 32]}},
+            {"label": "t4.3-theorem16-pt-bound-no-chirality",
+             "algorithm": "pt-bound-3", "agents": 3,
+             "chirality": False, "flipped": [1],
+             "grid": {"ring_size": [9, 18, 33]}},
+            {"label": "t4.4-theorem17-pt-landmark-no-chirality",
+             "algorithm": "pt-landmark-3", "agents": 3, "landmark": 0,
+             "chirality": False, "flipped": [2],
+             "grid": {"ring_size": [9, 18, 33]}},
+            {"label": "t4.5-theorem18-et-unconscious",
+             "algorithm": "et-unconscious", "agents": 2, "transport": "et",
+             "stop_on_exploration": True,
+             "grid": {"ring_size": [8, 16, 32]}},
+            {"label": "t4.6-theorem20-et-exact",
+             "algorithm": "et-exact", "agents": 3, "transport": "et",
+             "chirality": False, "flipped": [1],
+             "grid": {"ring_size": [8, 16, 32]}},
+        ],
+    )
+
+
+def paper_tables() -> CampaignSpec:
+    """Tables 2 and 4 as one resumable campaign (~200 cells, the default)."""
+    return CampaignSpec.merged(
+        "paper-tables",
+        [table2_fsync(), table4_ssync()],
+        description="Every possibility result of Tables 2 and 4 in one sweep.",
+    )
+
+
+def smoke() -> CampaignSpec:
+    """A <60s CI campaign touching FSYNC, PT and ET paths (24 cells)."""
+    return CampaignSpec(
+        name="smoke",
+        description="Fast end-to-end sanity sweep for CI.",
+        base={"adversary": "random"},
+        grid={"seed": [0, 1, 2], "ring_size": [6, 8]},
+        variants=[
+            {"label": "smoke-known-bound", "algorithm": "known-bound",
+             "horizon": "known_bound_time(N) + 5",
+             "placement": "offset-spread"},
+            {"label": "smoke-unconscious", "algorithm": "unconscious",
+             "horizon": "100 * n", "stop_on_exploration": True,
+             "placement": "offset-spread"},
+            {"label": "smoke-pt-bound", "algorithm": "pt-bound",
+             "transport": "pt", "placement": "thirds", "max_rounds": 20_000},
+            {"label": "smoke-et-unconscious", "algorithm": "et-unconscious",
+             "transport": "et", "placement": "thirds", "max_rounds": 20_000,
+             "stop_on_exploration": True},
+        ],
+    )
+
+
+#: name -> spec factory; ``python -m repro campaign list`` prints these.
+SPECS: dict[str, Callable[[], CampaignSpec]] = {
+    "table2-fsync": table2_fsync,
+    "table4-ssync": table4_ssync,
+    "paper-tables": paper_tables,
+    "smoke": smoke,
+}
+
+DEFAULT_SPEC = "paper-tables"
+
+
+def get_spec(name: str) -> CampaignSpec:
+    """Resolve a preset name to a fresh spec instance."""
+    if name not in SPECS:
+        raise ConfigurationError(
+            f"unknown campaign spec {name!r} (choose from {sorted(SPECS)})")
+    return SPECS[name]()
+
+
+def load_spec(path: str | Path) -> CampaignSpec:
+    """Load a spec from a ``.json``/``.yaml``/``.yml`` file.
+
+    Every failure mode (missing file, parse error, bad structure) is
+    reported as a :class:`ConfigurationError` so the CLI can turn it
+    into a clean message instead of a traceback.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {path}: {exc}") from exc
+    try:
+        if path.suffix in (".yaml", ".yml"):
+            try:
+                import yaml
+            except ImportError as exc:  # pragma: no cover - yaml ships in the image
+                raise ConfigurationError("PyYAML is required for YAML specs") from exc
+            data = yaml.safe_load(text)
+        else:
+            data = json.loads(text)
+    except ConfigurationError:
+        raise
+    except Exception as exc:
+        raise ConfigurationError(f"invalid spec file {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"spec file {path} must contain a mapping, got {type(data).__name__}")
+    return CampaignSpec.from_dict(data)

@@ -1,0 +1,174 @@
+"""Named factories turning a :class:`CellConfig` into a live engine.
+
+Campaign cells (and CLI invocations) refer to algorithms, adversaries and
+schedulers *by name* so they stay picklable and serialisable; this module
+owns the name → constructor mapping and the one function that matters:
+:func:`build_cell_engine`, which assembles a ready-to-run
+:class:`~repro.core.engine.Engine` from a cell.
+
+The tables here are the single source of truth — ``repro.cli`` routes its
+``run``/``watch``/``list`` commands through them too, so a name accepted
+on the command line is exactly a name accepted in a campaign spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..adversary import (
+    BlockAgentAdversary,
+    FixedMissingEdge,
+    MeetingPreventionAdversary,
+    NoRemoval,
+    PeriodicMissingEdge,
+    RandomMissingEdge,
+)
+from ..algorithms import (
+    ETExactSizeNoChirality,
+    ETUnconscious,
+    KnownUpperBound,
+    LandmarkNoChirality,
+    LandmarkWithChirality,
+    PTBoundNoChirality,
+    PTBoundWithChirality,
+    PTLandmarkNoChirality,
+    PTLandmarkWithChirality,
+    StartFromLandmarkNoChirality,
+    UnconsciousExploration,
+)
+from ..core.engine import TransportModel
+from ..core.errors import ConfigurationError
+from ..core.interfaces import ActivationScheduler, Algorithm, EdgeAdversary
+from ..schedulers import (
+    ETFairScheduler,
+    FsyncScheduler,
+    RandomFairScheduler,
+    RoundRobinScheduler,
+)
+from .spec import CellConfig, resolve_positions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import Engine
+
+
+def _bound(cell: CellConfig) -> int:
+    return cell.bound if cell.bound is not None else cell.ring_size
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """Everything the CLI and executor need to instantiate one algorithm."""
+
+    factory: Callable[[CellConfig], Algorithm]
+    needs_landmark: bool
+    default_agents: int
+    transport: TransportModel
+    placement_override: str | None = None
+
+
+#: name -> how to build it (same names as ``python -m repro run``).
+ALGORITHMS: dict[str, AlgorithmEntry] = {
+    "known-bound": AlgorithmEntry(
+        lambda c: KnownUpperBound(bound=_bound(c)), False, 2, TransportModel.NS),
+    "unconscious": AlgorithmEntry(
+        lambda c: UnconsciousExploration(), False, 2, TransportModel.NS),
+    "landmark-chirality": AlgorithmEntry(
+        lambda c: LandmarkWithChirality(), True, 2, TransportModel.NS),
+    "landmark-no-chirality": AlgorithmEntry(
+        lambda c: LandmarkNoChirality(), True, 2, TransportModel.NS),
+    "start-from-landmark": AlgorithmEntry(
+        lambda c: StartFromLandmarkNoChirality(), True, 2, TransportModel.NS,
+        placement_override="origin"),
+    "pt-bound": AlgorithmEntry(
+        lambda c: PTBoundWithChirality(bound=_bound(c)), False, 2, TransportModel.PT),
+    "pt-landmark": AlgorithmEntry(
+        lambda c: PTLandmarkWithChirality(), True, 2, TransportModel.PT),
+    "pt-bound-3": AlgorithmEntry(
+        lambda c: PTBoundNoChirality(bound=_bound(c)), False, 3, TransportModel.PT),
+    "pt-landmark-3": AlgorithmEntry(
+        lambda c: PTLandmarkNoChirality(), True, 3, TransportModel.PT),
+    "et-unconscious": AlgorithmEntry(
+        lambda c: ETUnconscious(), False, 2, TransportModel.ET),
+    "et-exact": AlgorithmEntry(
+        lambda c: ETExactSizeNoChirality(ring_size=c.ring_size), False, 3,
+        TransportModel.ET),
+}
+
+#: name -> adversary factory.
+ADVERSARIES: dict[str, Callable[[CellConfig], EdgeAdversary]] = {
+    "none": lambda c: NoRemoval(),
+    "random": lambda c: RandomMissingEdge(seed=c.seed),
+    "fixed": lambda c: FixedMissingEdge(c.edge),
+    "periodic": lambda c: PeriodicMissingEdge(c.edge, period=4, duty=2),
+    "block-agent": lambda c: BlockAgentAdversary(0),
+    "prevent-meetings": lambda c: MeetingPreventionAdversary(),
+}
+
+#: name -> scheduler factory ("auto" resolves from the transport model).
+SCHEDULERS: dict[str, Callable[[CellConfig], ActivationScheduler]] = {
+    "fsync": lambda c: FsyncScheduler(),
+    "random-fair": lambda c: RandomFairScheduler(seed=c.seed + 1),
+    "round-robin": lambda c: RoundRobinScheduler(),
+    "et-fair": lambda c: ETFairScheduler(RandomFairScheduler(seed=c.seed + 1)),
+}
+
+#: transport -> scheduler name used when a cell says ``scheduler="auto"``.
+AUTO_SCHEDULER = {
+    TransportModel.NS: "fsync",
+    TransportModel.PT: "random-fair",
+    TransportModel.ET: "et-fair",
+}
+
+
+def default_horizon(transport: TransportModel, ring_size: int) -> int:
+    """The CLI's generous default horizon per transport model."""
+    return 400 * ring_size if transport is TransportModel.NS else 20_000
+
+
+def validate_cell(cell: CellConfig) -> None:
+    """Fail fast on names the registry does not know."""
+    if cell.algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {cell.algorithm!r} (choose from {sorted(ALGORITHMS)})")
+    if cell.adversary not in ADVERSARIES:
+        raise ConfigurationError(
+            f"unknown adversary {cell.adversary!r} (choose from {sorted(ADVERSARIES)})")
+    if cell.scheduler != "auto" and cell.scheduler not in SCHEDULERS:
+        raise ConfigurationError(
+            f"unknown scheduler {cell.scheduler!r} (choose from {sorted(SCHEDULERS)})")
+    TransportModel(cell.transport)
+
+
+def build_cell_engine(cell: CellConfig, *, trace=None) -> "Engine":
+    """Assemble the engine a cell describes (deterministic given the cell)."""
+    from ..api import build_engine  # late import: api is a facade over us too
+
+    validate_cell(cell)
+    entry = ALGORITHMS[cell.algorithm]
+    transport = TransportModel(cell.transport)
+    placement = entry.placement_override or cell.placement
+    positions = resolve_positions(
+        placement,
+        ring_size=cell.ring_size,
+        agents=cell.agents,
+        positions=cell.positions if placement == "explicit" else None,
+    )
+    scheduler_name = cell.scheduler
+    if scheduler_name == "auto":
+        scheduler_name = AUTO_SCHEDULER[transport]
+    landmark = cell.landmark
+    if landmark is None and entry.needs_landmark:
+        landmark = 0
+    return build_engine(
+        entry.factory(cell),
+        ring_size=cell.ring_size,
+        positions=positions,
+        landmark=landmark,
+        chirality=cell.chirality,
+        flipped=cell.flipped,
+        adversary=ADVERSARIES[cell.adversary](cell),
+        scheduler=SCHEDULERS[scheduler_name](cell),
+        transport=transport,
+        trace=trace,
+    )

@@ -2,78 +2,45 @@
 
 Commands:
 
-* ``atlas``  — print the paper's feasibility map (Tables 1-4);
-* ``run``    — run one algorithm on a dynamic ring and print the outcome;
-* ``watch``  — like ``run`` but renders the configuration every round;
-* ``list``   — list available algorithms, adversaries and schedulers.
+* ``atlas``    — print the paper's feasibility map (Tables 1-4);
+* ``run``      — run one algorithm on a dynamic ring and print the outcome;
+* ``watch``    — like ``run`` but renders the configuration every round;
+* ``list``     — list available algorithms, adversaries and schedulers;
+* ``campaign`` — parallel experiment campaigns:
+
+  * ``campaign run``    — expand a sweep spec and execute it (resumable);
+  * ``campaign resume`` — continue an interrupted campaign;
+  * ``campaign report`` — aggregate a result store into table rows;
+  * ``campaign list``   — list the named campaign specs.
+
+Single runs and campaign cells share one registry
+(:mod:`repro.campaigns.registry`): every algorithm/adversary name below
+is also a valid name in a campaign spec.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import sys
+from pathlib import Path
 from typing import Sequence
 
-from .adversary import (
-    BlockAgentAdversary,
-    FixedMissingEdge,
-    MeetingPreventionAdversary,
-    NoRemoval,
-    PeriodicMissingEdge,
-    RandomMissingEdge,
-)
-from .algorithms import (
-    ETExactSizeNoChirality,
-    ETUnconscious,
-    KnownUpperBound,
-    LandmarkNoChirality,
-    LandmarkWithChirality,
-    PTBoundNoChirality,
-    PTBoundWithChirality,
-    PTLandmarkNoChirality,
-    PTLandmarkWithChirality,
-    StartFromLandmarkNoChirality,
-    UnconsciousExploration,
-)
 from .analysis.render import watch
-from .api import build_engine
-from .core import TransportModel
-from .schedulers import ETFairScheduler, FsyncScheduler, RandomFairScheduler
+from .campaigns.aggregate import aggregate_records, render_rows
+from .campaigns.executor import run_cells
+from .campaigns.presets import DEFAULT_SPEC, SPECS, get_spec, load_spec
+from .campaigns.registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    SCHEDULERS,
+    build_cell_engine,
+    default_horizon,
+)
+from .campaigns.spec import CellConfig
+from .campaigns.store import ResultStore
+from .core.errors import ConfigurationError
 from .theory.tables import render_map
-
-#: name -> (factory(args), needs_landmark, default_agents, transport)
-ALGORITHMS = {
-    "known-bound": (
-        lambda a: KnownUpperBound(bound=a.bound or a.n), False, 2, TransportModel.NS),
-    "unconscious": (
-        lambda a: UnconsciousExploration(), False, 2, TransportModel.NS),
-    "landmark-chirality": (
-        lambda a: LandmarkWithChirality(), True, 2, TransportModel.NS),
-    "landmark-no-chirality": (
-        lambda a: LandmarkNoChirality(), True, 2, TransportModel.NS),
-    "start-from-landmark": (
-        lambda a: StartFromLandmarkNoChirality(), True, 2, TransportModel.NS),
-    "pt-bound": (
-        lambda a: PTBoundWithChirality(bound=a.bound or a.n), False, 2, TransportModel.PT),
-    "pt-landmark": (
-        lambda a: PTLandmarkWithChirality(), True, 2, TransportModel.PT),
-    "pt-bound-3": (
-        lambda a: PTBoundNoChirality(bound=a.bound or a.n), False, 3, TransportModel.PT),
-    "pt-landmark-3": (
-        lambda a: PTLandmarkNoChirality(), True, 3, TransportModel.PT),
-    "et-unconscious": (
-        lambda a: ETUnconscious(), False, 2, TransportModel.ET),
-    "et-exact": (
-        lambda a: ETExactSizeNoChirality(ring_size=a.n), False, 3, TransportModel.ET),
-}
-
-ADVERSARIES = {
-    "none": lambda a: NoRemoval(),
-    "random": lambda a: RandomMissingEdge(seed=a.seed),
-    "fixed": lambda a: FixedMissingEdge(a.edge),
-    "periodic": lambda a: PeriodicMissingEdge(a.edge, period=4, duty=2),
-    "block-agent": lambda a: BlockAgentAdversary(0),
-    "prevent-meetings": lambda a: MeetingPreventionAdversary(),
-}
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -102,40 +69,139 @@ def make_parser() -> argparse.ArgumentParser:
                        help="flip agent 1's orientation")
         p.add_argument("--rounds", type=int, default=None,
                        help="horizon (default: generous per algorithm)")
+
+    campaign = sub.add_parser(
+        "campaign", help="parallel, resumable experiment campaigns")
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    for verb, help_text in (
+        ("run", "expand a sweep spec and execute every pending cell"),
+        ("resume", "continue an interrupted campaign from its store"),
+    ):
+        p = csub.add_parser(verb, help=help_text)
+        p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
+                       help=f"named spec (default: {DEFAULT_SPEC}; "
+                            f"see 'campaign list')")
+        p.add_argument("--spec-file", default=None, metavar="PATH",
+                       help="JSON/YAML spec file (overrides --spec)")
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="JSONL result store (default: results/<spec>.jsonl)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: all CPUs; 1 = serial)")
+        p.add_argument("--chunk-size", type=int, default=None,
+                       help="cells per work unit (default: auto)")
+        p.add_argument("--limit", type=int, default=None,
+                       help="only run the first LIMIT cells of the expansion")
+        p.add_argument("--no-report", action="store_true",
+                       help="skip the aggregate table after the run")
+
+    p = csub.add_parser("report", help="aggregate a result store into table rows")
+    p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
+                   help="spec name used to locate the default store")
+    p.add_argument("--spec-file", default=None, metavar="PATH",
+                   help="JSON/YAML spec file (overrides --spec)")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="JSONL result store (default: results/<spec>.jsonl)")
+    p.add_argument("--by", default="label,algorithm,ring_size",
+                   help="comma-separated config dimensions to group by")
+
+    csub.add_parser("list", help="list the named campaign specs")
     return parser
 
 
 def build_from_args(args) -> tuple:
-    factory, needs_landmark, default_agents, transport = ALGORITHMS[args.algorithm]
-    agents = args.agents or default_agents
-    positions = [(i * args.n) // agents for i in range(agents)]
-    if transport is TransportModel.NS:
-        scheduler = FsyncScheduler()
-    elif transport is TransportModel.PT:
-        scheduler = RandomFairScheduler(seed=args.seed + 1)
-    else:
-        scheduler = ETFairScheduler(RandomFairScheduler(seed=args.seed + 1))
-    if args.algorithm == "start-from-landmark":
-        positions = [0] * agents
-    engine = build_engine(
-        factory(args),
-        ring_size=args.n,
-        positions=positions,
-        landmark=0 if needs_landmark else None,
-        chirality=not args.no_chirality,
-        flipped=(1,) if args.no_chirality and agents >= 2 else (),
-        adversary=ADVERSARIES[args.adversary](args),
-        scheduler=scheduler,
-        transport=transport,
-    )
-    default_horizon = 20_000 if transport is not TransportModel.NS else 400 * args.n
+    """Translate single-run CLI flags into a campaign cell and build it."""
+    entry = ALGORITHMS[args.algorithm]
+    agents = args.agents or entry.default_agents
+    no_chirality = args.no_chirality
     unconscious = "unconscious" in args.algorithm
-    return engine, args.rounds or default_horizon, unconscious
+    cell = CellConfig(
+        algorithm=args.algorithm,
+        ring_size=args.n,
+        max_rounds=args.rounds or default_horizon(entry.transport, args.n),
+        agents=agents,
+        seed=args.seed,
+        adversary=args.adversary,
+        transport=entry.transport.value,
+        chirality=not no_chirality,
+        flipped=(1,) if no_chirality and agents >= 2 else (),
+        bound=args.bound,
+        edge=args.edge,
+        stop_on_exploration=unconscious,
+    )
+    return build_cell_engine(cell), cell.max_rounds, unconscious
+
+
+def _campaign_spec(args):
+    if args.spec_file:
+        return load_spec(args.spec_file)
+    return get_spec(args.spec)
+
+
+def _campaign_store(args, spec) -> ResultStore:
+    path = args.store or Path("results") / f"{spec.name}.jsonl"
+    return ResultStore(path)
+
+
+def _progress(done: int, total: int) -> None:
+    print(f"\r  {done}/{total} cells", end="", file=sys.stderr, flush=True)
+    if done == total:
+        print(file=sys.stderr)
+
+
+def campaign_main(args) -> int:
+    if args.campaign_command == "list":
+        for name in sorted(SPECS):
+            spec = SPECS[name]()
+            print(f"{name:<16} {spec.size():>4} cells  {spec.description}")
+        return 0
+
+    spec = _campaign_spec(args)
+
+    if args.campaign_command == "report":
+        store = _campaign_store(args, spec)
+        if not store.path.exists():
+            print(f"no result store at {store.path}", file=sys.stderr)
+            return 1
+        by = tuple(d.strip() for d in args.by.split(",") if d.strip())
+        rows = aggregate_records(store.records(), by=by)
+        print(render_rows(rows, title=f"campaign {spec.name} ({store.path})"))
+        return 0
+
+    # run / resume
+    store = _campaign_store(args, spec)
+    if args.campaign_command == "resume" and not store.path.exists():
+        print(f"nothing to resume: no store at {store.path}", file=sys.stderr)
+        return 1
+    cells = spec.cell_list()
+    if args.limit is not None:
+        cells = cells[:args.limit]
+    print(f"campaign {spec.name}: {len(cells)} cells -> {store.path}")
+    run = run_cells(
+        cells, store,
+        workers=args.workers, chunk_size=args.chunk_size, progress=_progress,
+    )
+    print(run.summary())
+    if not args.no_report:
+        rows = aggregate_records(store.records())
+        print(render_rows(rows, title=f"campaign {spec.name}"))
+    return 1 if run.failed else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = make_parser().parse_args(argv)
+    try:
+        return _dispatch(make_parser().parse_args(argv))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
+
+def _dispatch(args) -> int:
     if args.command == "atlas":
         print("Feasibility map (Tables 1-4):")
         print(render_map())
@@ -144,7 +210,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         print("algorithms :", ", ".join(sorted(ALGORITHMS)))
         print("adversaries:", ", ".join(sorted(ADVERSARIES)))
+        print("schedulers :", ", ".join(sorted(SCHEDULERS)))
+        print("campaigns  :", ", ".join(sorted(SPECS)))
         return 0
+
+    if args.command == "campaign":
+        return campaign_main(args)
 
     engine, horizon, unconscious = build_from_args(args)
     if args.command == "watch":

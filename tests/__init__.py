@@ -1,0 +1,6 @@
+"""Test-suite package root.
+
+The suite uses relative imports (``from ..helpers import fsync_engine``),
+so every test directory is a real package; pytest imports modules as
+``tests.<subdir>.<module>``.
+"""

@@ -1,0 +1,1 @@
+"""campaigns test package."""

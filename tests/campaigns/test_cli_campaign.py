@@ -1,0 +1,77 @@
+"""The ``python -m repro campaign`` command family."""
+
+import json
+
+import pytest
+
+from repro.campaigns.presets import get_spec
+from repro.cli import main
+
+
+@pytest.fixture
+def in_tmp(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestCampaignCli:
+    def test_list_names_every_preset(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "table2-fsync", "table4-ssync", "paper-tables"):
+            assert name in out
+
+    def test_run_writes_default_store_and_reports(self, in_tmp, capsys):
+        code = main(["campaign", "run", "--spec", "smoke", "--workers", "1",
+                     "--limit", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (in_tmp / "results" / "smoke.jsonl").exists()
+        assert "executed=6" in out
+        assert "label=" in out  # the aggregate table
+
+    def test_run_twice_resumes_from_store(self, in_tmp, capsys):
+        main(["campaign", "run", "--spec", "smoke", "--workers", "1",
+              "--limit", "6", "--no-report"])
+        capsys.readouterr()
+        code = main(["campaign", "resume", "--spec", "smoke", "--workers", "1",
+                     "--limit", "6", "--no-report"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skipped=6" in out and "executed=0" in out
+
+    def test_resume_without_store_fails(self, in_tmp, capsys):
+        assert main(["campaign", "resume", "--spec", "smoke"]) == 1
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_report_without_store_fails(self, in_tmp, capsys):
+        assert main(["campaign", "report", "--spec", "smoke"]) == 1
+
+    def test_report_groups_rows(self, in_tmp, capsys):
+        main(["campaign", "run", "--spec", "smoke", "--workers", "1",
+              "--limit", "6", "--no-report"])
+        capsys.readouterr()
+        code = main(["campaign", "report", "--spec", "smoke",
+                     "--by", "ring_size"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ring_size=6" in out
+
+    def test_run_spec_file(self, in_tmp, capsys):
+        spec = get_spec("smoke").restricted(4)
+        spec_path = in_tmp / "custom.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        store = in_tmp / "custom.jsonl"
+        code = main(["campaign", "run", "--spec-file", str(spec_path),
+                     "--store", str(store), "--workers", "1", "--no-report"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "executed=4" in out
+        assert store.exists()
+
+    def test_parallel_run_on_the_cli(self, in_tmp, capsys):
+        code = main(["campaign", "run", "--spec", "smoke", "--workers", "2",
+                     "--chunk-size", "2", "--no-report"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workers=2" in out and "executed=24" in out

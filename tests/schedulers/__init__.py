@@ -1,0 +1,1 @@
+"""schedulers test package."""

@@ -1,0 +1,1 @@
+"""theory test package."""
