@@ -31,7 +31,7 @@ from .core import (
     TransportModel,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Engine",

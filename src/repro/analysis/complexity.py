@@ -64,10 +64,62 @@ def fit_model(xs: Sequence[float], ys: Sequence[float], model: str) -> FitResult
     return FitResult(model=model, coefficient=float(coef), intercept=float(intercept), r_squared=r2)
 
 
+#: The growth shapes the paper's claims are checked against.
+DEFAULT_SHAPE_MODELS = ("linear", "nlogn", "quadratic")
+
+
+@dataclass(frozen=True)
+class ShapeProfile:
+    """Every candidate fit for one measured series, plus the winner.
+
+    The unit of a ``campaign report --fit`` verdict: which growth model
+    best explains a series, and how decisively (the runner-up R² is part
+    of the story — a linear win at R²=0.999 over quadratic at R²=0.998
+    on three points is not a strong claim).
+    """
+
+    fits: tuple[FitResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fits:
+            raise ValueError("a shape profile needs at least one fit")
+
+    @property
+    def best(self) -> FitResult:
+        return max(self.fits, key=lambda fit: fit.r_squared)
+
+    def r_squared(self, model: str) -> float:
+        for fit in self.fits:
+            if fit.model == model:
+                return fit.r_squared
+        raise ValueError(f"model {model!r} was not fitted "
+                         f"(have {[f.model for f in self.fits]})")
+
+    def verdict(self) -> str:
+        """One-line summary: winner first, every candidate's R² after."""
+        scores = ", ".join(
+            f"{fit.model}={fit.r_squared:.4f}"
+            for fit in sorted(self.fits, key=lambda f: -f.r_squared)
+        )
+        return f"{self.best.model} (R^2: {scores})"
+
+    def __str__(self) -> str:
+        return self.verdict()
+
+
+def fit_profile(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    models: Sequence[str] = DEFAULT_SHAPE_MODELS,
+) -> ShapeProfile:
+    """Fit every candidate model to one series (see :func:`fit_model`)."""
+    return ShapeProfile(fits=tuple(fit_model(xs, ys, m) for m in models))
+
+
 def best_fit(
     xs: Sequence[float],
     ys: Sequence[float],
-    models: Sequence[str] = ("linear", "nlogn", "quadratic"),
+    models: Sequence[str] = DEFAULT_SHAPE_MODELS,
 ) -> FitResult:
     """The candidate model with the highest R² on the series.
 
@@ -76,8 +128,7 @@ def best_fit(
     sweeps span a 4-8x range of ``n``) that the distinction is meaningful.
     Benches also print the claimed model's R² explicitly.
     """
-    fits = [fit_model(xs, ys, model) for model in models]
-    return max(fits, key=lambda fit: fit.r_squared)
+    return fit_profile(xs, ys, models).best
 
 
 def doubling_ratios(xs: Sequence[float], ys: Sequence[float]) -> list[float]:

@@ -133,10 +133,13 @@ def run_campaign(
     """Expand and execute a campaign spec; returns the executor's report.
 
     ``spec`` is a :class:`~repro.campaigns.spec.CampaignSpec` or the name
-    of a preset (``"smoke"``, ``"table2-fsync"``, …).  ``store`` is the
-    JSONL path results stream into (default ``results/<name>.jsonl``);
-    re-running with the same spec and store resumes, skipping completed
-    cells.  See :mod:`repro.campaigns` for the full toolkit.
+    of a preset (``"smoke"``, ``"table2-fsync"``, …).  ``store`` selects
+    where results stream: a backend URI (``"sqlite:results/t2.db"``,
+    ``"jsonl:results/t2.jsonl"``), a bare path (JSONL by default), or a
+    :class:`~repro.campaigns.stores.ResultStore` instance (default:
+    ``results/<name>.jsonl``).  Re-running with the same spec and store
+    resumes, skipping completed cells.  See :mod:`repro.campaigns` for
+    the full toolkit.
     """
     from .campaigns import executor, presets
 

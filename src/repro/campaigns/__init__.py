@@ -8,23 +8,32 @@ object and runs it at scale:
 * :mod:`~repro.campaigns.spec` — :class:`CampaignSpec` (declarative
   grid/variants) expanding into content-hashed :class:`CellConfig` cells;
 * :mod:`~repro.campaigns.registry` — name → algorithm/adversary/scheduler
-  factories and :func:`build_cell_engine` (shared with the CLI);
+  factories and :func:`build_cell_engine` (shared with the CLI), plus
+  beyond-paper topologies (``path``/``torus``/``cactus``) that run on the
+  dynamic-graph engine;
 * :mod:`~repro.campaigns.executor` — chunked multiprocessing execution
   with per-worker warm state, streaming results into the store;
-* :mod:`~repro.campaigns.store` — append-only JSONL with content-hashed
-  keys; interrupted campaigns resume without recomputing finished cells;
+* :mod:`~repro.campaigns.stores` — pluggable result-store backends
+  (append-only JSONL, WAL-mode SQLite with indexed resume, columnar
+  export) behind one :class:`ResultStore` contract, selected by URI
+  (``sqlite:results/t2.db``), plus the :class:`Query` layer backing
+  filtered reports and complexity-shape fits;
 * :mod:`~repro.campaigns.aggregate` — reduce raw records into the
   paper's table rows;
 * :mod:`~repro.campaigns.presets` — named specs (``table2-fsync``,
-  ``table4-ssync``, ``paper-tables``, ``smoke``) and JSON/YAML loading.
+  ``table4-ssync``, ``paper-tables``, ``impossibility``, ``topologies``,
+  ``smoke``) and JSON/YAML loading.
 
 Quick start::
 
-    from repro.campaigns import get_spec, run_campaign, aggregate_records
+    from repro.campaigns import get_spec, run_campaign, open_store, fit_rows
 
-    run = run_campaign(get_spec("smoke"), "results/smoke.jsonl", workers=4)
-    for row in aggregate_records(run.records):
+    run = run_campaign(get_spec("smoke"), "sqlite:results/smoke.db", workers=4)
+    store = open_store("sqlite:results/smoke.db", campaign="smoke")
+    for row in store.query().table():
         print(row)
+    for fit in fit_rows(store.query()):
+        print(fit)          # shape verdicts straight from the store
 """
 
 from .aggregate import (
@@ -32,6 +41,8 @@ from .aggregate import (
     GroupStats,
     TableRow,
     aggregate_records,
+    aggregate_store,
+    metrics_from_graph_result,
     metrics_from_result,
     render_rows,
     summarize_metrics,
@@ -43,37 +54,71 @@ from .registry import (
     ADVERSARIES,
     ALGORITHMS,
     AUTO_SCHEDULER,
+    COMBINED_ADVERSARIES,
+    GRAPH_ADVERSARIES,
+    GRAPH_EXPLORERS,
     SCHEDULERS,
+    TOPOLOGIES,
     AlgorithmEntry,
     build_cell_engine,
+    build_graph_cell_engine,
     default_horizon,
+    is_graph_cell,
     validate_cell,
 )
 from .spec import CampaignSpec, CellConfig, resolve_horizon, resolve_positions
-from .store import ResultStore
+from .stores import (
+    ExportResult,
+    FitRow,
+    JsonlStore,
+    Query,
+    ResultStore,
+    SqliteStore,
+    export_store,
+    fit_rows,
+    open_store,
+    render_fit_rows,
+)
 
 __all__ = [
     "ADVERSARIES",
     "ALGORITHMS",
     "AUTO_SCHEDULER",
+    "COMBINED_ADVERSARIES",
     "AlgorithmEntry",
     "CampaignRun",
     "CampaignSpec",
     "CellConfig",
     "DEFAULT_GROUP_BY",
     "DEFAULT_SPEC",
+    "ExportResult",
+    "FitRow",
+    "GRAPH_ADVERSARIES",
+    "GRAPH_EXPLORERS",
     "GroupStats",
+    "JsonlStore",
+    "Query",
     "ResultStore",
     "SCHEDULERS",
     "SPECS",
+    "SqliteStore",
+    "TOPOLOGIES",
     "TableRow",
     "aggregate_records",
+    "aggregate_store",
     "build_cell_engine",
+    "build_graph_cell_engine",
     "default_horizon",
     "execute_cell",
+    "export_store",
+    "fit_rows",
     "get_spec",
+    "is_graph_cell",
     "load_spec",
+    "metrics_from_graph_result",
     "metrics_from_result",
+    "open_store",
+    "render_fit_rows",
     "render_rows",
     "resolve_horizon",
     "resolve_positions",

@@ -91,8 +91,33 @@ def summarize_metrics(metrics: Sequence[Mapping[str, Any]]) -> GroupStats:
             statistics.fmean(terminations) if terminations else None
         ),
         max_last_termination_round=(max(terminations) if terminations else None),
-        modes=dict(Counter(m.get("mode", "?") for m in metrics)),
+        # Sorted so rendering is independent of record arrival order
+        # (parallel runs land records in nondeterministic order).
+        modes=dict(sorted(Counter(m.get("mode", "?") for m in metrics).items())),
     )
+
+
+def metrics_from_graph_result(result) -> dict[str, Any]:
+    """Flatten a :class:`~repro.extensions.dynamic_graph.GraphRunResult`.
+
+    Graph explorers are unconscious by construction (no explorer in the
+    open-problem playground terminates), so the termination fields pin to
+    their vacuous values; the shared keys (rounds, exploration, moves)
+    mean exactly what they mean for ring cells, which is what lets one
+    aggregate table mix topologies.
+    """
+    return {
+        "rounds": result.rounds,
+        "explored": result.explored,
+        "exploration_round": result.exploration_round,
+        "total_moves": result.total_moves,
+        "terminated_count": 0,
+        "all_terminated": False,
+        "last_termination_round": None,
+        "all_terminated_or_waiting": False,
+        "halted_reason": "explored" if result.explored else "horizon",
+        "mode": "unconscious" if result.explored else "none",
+    }
 
 
 def summarize_results(results: Sequence[RunResult]) -> GroupStats:
@@ -176,6 +201,24 @@ def aggregate_records(
         for gkey in sorted(
             groups, key=lambda g: tuple(_dimension_order(v) for _, v in g))
     ]
+
+
+def aggregate_store(
+    store,
+    *,
+    by: Sequence[str] = DEFAULT_GROUP_BY,
+    where: Mapping[str, Any] | None = None,
+) -> list[TableRow]:
+    """Aggregate a result store through its query layer.
+
+    The store-aware twin of :func:`aggregate_records`: filters go through
+    :meth:`~repro.campaigns.stores.Query.where`, so backends that can
+    (SQLite) evaluate them with indexed SQL instead of a full scan.
+    """
+    query = store.query()
+    if where:
+        query = query.where(**where)
+    return query.table(by=by)
 
 
 def render_rows(rows: Sequence[TableRow], *, title: str = "") -> str:

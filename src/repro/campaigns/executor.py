@@ -6,7 +6,7 @@ processes are long-lived (no ``maxtasksperchild``), so each worker pays
 the interpreter/import cost once and keeps its warm registry state —
 resolved factory tables, enum caches — for every cell it runs.
 
-Completed chunks are appended to the :class:`~repro.campaigns.store.ResultStore`
+Completed chunks are appended to the :class:`~repro.campaigns.stores.ResultStore`
 as they arrive, so an interrupted campaign loses at most the chunks in
 flight; :func:`run_cells` consults ``store.completed_keys()`` first and
 never re-runs a cell whose key is already present.
@@ -19,24 +19,37 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from .aggregate import metrics_from_result
-from .registry import build_cell_engine, validate_cell
+from .aggregate import metrics_from_graph_result, metrics_from_result
+from .registry import (
+    build_cell_engine,
+    build_graph_cell_engine,
+    is_graph_cell,
+    validate_cell,
+)
 from .spec import CampaignSpec, CellConfig
-from .store import ResultStore
+from .stores import ResultStore, open_store
 
 
 def execute_cell(cell: CellConfig) -> dict[str, Any]:
     """Run one cell to completion and package the outcome as a store record."""
     start = time.perf_counter()
     try:
-        engine = build_cell_engine(cell)
-        result = engine.run(
-            cell.max_rounds, stop_on_exploration=cell.stop_on_exploration
-        )
+        if is_graph_cell(cell):
+            engine = build_graph_cell_engine(cell)
+            result = engine.run(
+                cell.max_rounds, stop_on_exploration=cell.stop_on_exploration
+            )
+            metrics = metrics_from_graph_result(result)
+        else:
+            engine = build_cell_engine(cell)
+            result = engine.run(
+                cell.max_rounds, stop_on_exploration=cell.stop_on_exploration
+            )
+            metrics = metrics_from_result(result)
         return {
             "key": cell.key(),
             "config": cell.to_dict(),
-            "metrics": metrics_from_result(result),
+            "metrics": metrics,
             "elapsed_s": round(time.perf_counter() - start, 6),
         }
     except Exception as exc:  # record the failure; a resume retries it
@@ -149,9 +162,13 @@ def run_campaign(
     chunk_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
 ) -> CampaignRun:
-    """Expand a spec and execute it against a store (path or instance)."""
-    if not isinstance(store, ResultStore):
-        store = ResultStore(store)
+    """Expand a spec and execute it against a store (URI, path or instance).
+
+    Strings go through :func:`~repro.campaigns.stores.open_store`, so
+    ``"sqlite:results/t2.db"`` selects the SQLite backend and a plain
+    path keeps the JSONL default.
+    """
+    store = open_store(store, campaign=spec.name)
     return run_cells(
         spec.cells(), store,
         workers=workers, chunk_size=chunk_size, progress=progress,

@@ -110,6 +110,103 @@ def paper_tables() -> CampaignSpec:
     )
 
 
+def topologies() -> CampaignSpec:
+    """Beyond-paper topologies as a sweep dimension (48 cells).
+
+    The open-problem playground of :mod:`repro.extensions` as a campaign:
+    the seeded random walk (the classical dynamic-graph answer) over
+    ring/path/torus/cactus, each under a connectivity-preserving
+    single-edge adversary.  ``ring_size`` is the node count everywhere;
+    the sizes are chosen so the torus factorises into a >= 3x3 grid.
+    """
+    return CampaignSpec(
+        name="topologies",
+        description="Random-walk exploration across ring, path, torus and "
+                    "cactus topologies under a connectivity-preserving "
+                    "adversary (requires networkx).",
+        base={
+            "algorithm": "random-walk",
+            "adversary": "random",
+            "agents": 2,
+            "stop_on_exploration": True,
+            "horizon": "400 * n",
+        },
+        grid={
+            "seed": [0, 1, 2],
+            "ring_size": [9, 12, 16, 25],
+            "topology": ["ring", "path", "torus", "cactus"],
+        },
+        variants=[{"label": "random-walk-topologies"}],
+    )
+
+
+def impossibility() -> CampaignSpec:
+    """Tables 1/3 adversary constructions as one sweep (12 cells).
+
+    The impossibility and lower-bound demonstrations, previously
+    bench-only, as resumable campaign cells:
+
+    * Theorem 9 — NS starvation: zero moves, ever (the adversary is also
+      the scheduler);
+    * Theorem 10 — PT without chirality: two agents stranded on four
+      nodes by one fixed missing edge;
+    * Theorem 19 — ET with only a bound: the two-ring schedule forces an
+      *incorrect* termination (the algorithm believes ``bound``, the
+      host ring is larger);
+    * Figure 2 / Observation 3 — the worst-case schedule stretches
+      KnownUpperBound to exactly ``3n - 6`` rounds;
+    * Theorem 13 — zig-zag forcing extracts quadratic move counts from
+      the PT bound algorithm.
+    """
+    variants: list[dict] = [
+        {"label": "t3.1-theorem9-ns-starvation",
+         "algorithm": "pt-bound", "agents": 2, "transport": "ns",
+         "adversary": "ns-starvation", "placement": "spread",
+         "horizon": "50 * n",
+         "grid": {"ring_size": [8, 12, 16]}},
+        {"label": "t3.4-theorem19-et-bound-only",
+         "algorithm": "et-exact", "agents": 3, "transport": "et",
+         "adversary": "theorem19", "bound": 7,
+         "chirality": False, "flipped": [1],
+         "placement": "explicit", "positions": [0, 2, 4],
+         "max_rounds": 30_000,
+         "grid": {"ring_size": [11]}},
+        {"label": "fig2-worst-case-3n-6",
+         "algorithm": "known-bound", "agents": 2, "transport": "ns",
+         "adversary": "figure2", "edge": 0,
+         "chirality": False, "flipped": [0, 1],   # both agents mirrored
+         "placement": "explicit", "positions": [0, 1],
+         "horizon": "known_bound_time(N) + 5",
+         "grid": {"ring_size": [8, 16, 32]}},
+        {"label": "t13-zigzag-quadratic-moves",
+         "algorithm": "pt-bound", "agents": 2, "transport": "pt",
+         "adversary": "zigzag",
+         "placement": "explicit", "positions": [1, 3],
+         "stop_on_exploration": True,           # moves are already quadratic
+         "horizon": "400 * n * n",
+         "grid": {"ring_size": [8, 16, 32]}},
+    ]
+    # Theorem 10's construction places agents relative to n, so each ring
+    # size is its own variant (positions [2, n-1], orientations mirrored).
+    for n in (8, 12):
+        variants.append(
+            {"label": "t3.2-theorem10-pt-no-chirality",
+             "algorithm": "pt-bound", "agents": 2, "transport": "pt",
+             "scheduler": "fsync",                # everyone active: no PT sleep
+             "adversary": "fixed", "edge": 0,
+             "chirality": False, "flipped": [1],
+             "placement": "explicit", "positions": [2, n - 1],
+             "max_rounds": 3_000,
+             "grid": {"ring_size": [n]}})
+    return CampaignSpec(
+        name="impossibility",
+        description="Tables 1/3 impossibility and lower-bound adversary "
+                    "constructions as resumable campaign cells "
+                    "(demonstrations, not proofs).",
+        variants=variants,
+    )
+
+
 def smoke() -> CampaignSpec:
     """A <60s CI campaign touching FSYNC, PT and ET paths (24 cells)."""
     return CampaignSpec(
@@ -138,6 +235,8 @@ SPECS: dict[str, Callable[[], CampaignSpec]] = {
     "table2-fsync": table2_fsync,
     "table4-ssync": table4_ssync,
     "paper-tables": paper_tables,
+    "impossibility": impossibility,
+    "topologies": topologies,
     "smoke": smoke,
 }
 

@@ -13,16 +13,21 @@ on the command line is exactly a name accepted in a campaign spec.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..adversary import (
     BlockAgentAdversary,
+    Figure2Schedule,
     FixedMissingEdge,
     MeetingPreventionAdversary,
     NoRemoval,
+    NSStarvationAdversary,
     PeriodicMissingEdge,
     RandomMissingEdge,
+    Theorem19Adversary,
+    ZigZagForcingAdversary,
 )
 from ..algorithms import (
     ETExactSizeNoChirality,
@@ -90,12 +95,27 @@ ALGORITHMS: dict[str, AlgorithmEntry] = {
         lambda c: PTLandmarkNoChirality(), True, 3, TransportModel.PT),
     "et-unconscious": AlgorithmEntry(
         lambda c: ETUnconscious(), False, 2, TransportModel.ET),
+    # ``bound`` lets the algorithm believe a ring size other than the
+    # host's (the Theorem 19 indistinguishability construction).
     "et-exact": AlgorithmEntry(
-        lambda c: ETExactSizeNoChirality(ring_size=c.ring_size), False, 3,
+        lambda c: ETExactSizeNoChirality(ring_size=_bound(c)), False, 3,
         TransportModel.ET),
 }
 
-#: name -> adversary factory.
+def _theorem19(cell: CellConfig) -> Theorem19Adversary:
+    if cell.bound is None:
+        raise ConfigurationError(
+            "adversary 'theorem19' needs bound=n1 (the small ring size the "
+            "algorithm believes in); the cell's ring_size is the host ring")
+    return Theorem19Adversary(small_size=cell.bound)
+
+
+#: name -> adversary factory.  The last four are the impossibility /
+#: lower-bound constructions of Tables 1/3 and Figure 2; those listed in
+#: COMBINED_ADVERSARIES also control the activation schedule, and
+#: ``scheduler="auto"`` resolves to the same instance for them.
+#: ``adversary_arg`` parameterises constructions that need a knob
+#: (zig-zag excursion cap; defaults follow the benches).
 ADVERSARIES: dict[str, Callable[[CellConfig], EdgeAdversary]] = {
     "none": lambda c: NoRemoval(),
     "random": lambda c: RandomMissingEdge(seed=c.seed),
@@ -103,7 +123,17 @@ ADVERSARIES: dict[str, Callable[[CellConfig], EdgeAdversary]] = {
     "periodic": lambda c: PeriodicMissingEdge(c.edge, period=4, duty=2),
     "block-agent": lambda c: BlockAgentAdversary(0),
     "prevent-meetings": lambda c: MeetingPreventionAdversary(),
+    "ns-starvation": lambda c: NSStarvationAdversary(),
+    "figure2": lambda c: Figure2Schedule(anchor=c.edge),
+    "theorem19": _theorem19,
+    "zigzag": lambda c: ZigZagForcingAdversary(
+        cap=c.adversary_arg if c.adversary_arg is not None
+        else max(1, c.ring_size // 3)),
 }
+
+#: Adversaries that are also the scheduler (the paper's single adversary
+#: controls both the missing edge and the activation set).
+COMBINED_ADVERSARIES = frozenset({"ns-starvation", "theorem19", "zigzag"})
 
 #: name -> scheduler factory ("auto" resolves from the transport model).
 SCHEDULERS: dict[str, Callable[[CellConfig], ActivationScheduler]] = {
@@ -128,9 +158,29 @@ def default_horizon(transport: TransportModel, ring_size: int) -> int:
 
 def validate_cell(cell: CellConfig) -> None:
     """Fail fast on names the registry does not know."""
+    if cell.topology not in TOPOLOGIES:
+        raise ConfigurationError(
+            f"unknown topology {cell.topology!r} (choose from {sorted(TOPOLOGIES)})")
+    if is_graph_cell(cell):
+        # Graph cells run on the dynamic-graph engine: explorer algorithms
+        # only, graph-capable adversaries, synchronous activation.
+        if cell.adversary not in GRAPH_ADVERSARIES:
+            raise ConfigurationError(
+                f"adversary {cell.adversary!r} cannot drive topology "
+                f"{cell.topology!r} (choose from {sorted(GRAPH_ADVERSARIES)})")
+        if cell.scheduler != "auto":
+            raise ConfigurationError(
+                "graph topologies are fully synchronous; use scheduler='auto'")
+        return
+    if cell.topology != "ring":
+        raise ConfigurationError(
+            f"algorithm {cell.algorithm!r} is ring-specific; topology "
+            f"{cell.topology!r} needs a graph explorer "
+            f"(choose from {sorted(GRAPH_EXPLORERS)})")
     if cell.algorithm not in ALGORITHMS:
         raise ConfigurationError(
-            f"unknown algorithm {cell.algorithm!r} (choose from {sorted(ALGORITHMS)})")
+            f"unknown algorithm {cell.algorithm!r} "
+            f"(choose from {sorted(ALGORITHMS) + sorted(GRAPH_EXPLORERS)})")
     if cell.adversary not in ADVERSARIES:
         raise ConfigurationError(
             f"unknown adversary {cell.adversary!r} (choose from {sorted(ADVERSARIES)})")
@@ -145,6 +195,10 @@ def build_cell_engine(cell: CellConfig, *, trace=None) -> "Engine":
     from ..api import build_engine  # late import: api is a facade over us too
 
     validate_cell(cell)
+    if is_graph_cell(cell):
+        raise ConfigurationError(
+            f"cell {cell.algorithm!r}/{cell.topology!r} runs on the graph "
+            "engine; use build_graph_cell_engine")
     entry = ALGORITHMS[cell.algorithm]
     transport = TransportModel(cell.transport)
     placement = entry.placement_override or cell.placement
@@ -154,9 +208,16 @@ def build_cell_engine(cell: CellConfig, *, trace=None) -> "Engine":
         agents=cell.agents,
         positions=cell.positions if placement == "explicit" else None,
     )
-    scheduler_name = cell.scheduler
-    if scheduler_name == "auto":
-        scheduler_name = AUTO_SCHEDULER[transport]
+    adversary = ADVERSARIES[cell.adversary](cell)
+    if cell.scheduler == "auto":
+        if cell.adversary in COMBINED_ADVERSARIES:
+            # The construction controls activation too: one instance
+            # plays both roles, exactly as the proofs state it.
+            scheduler = adversary
+        else:
+            scheduler = SCHEDULERS[AUTO_SCHEDULER[transport]](cell)
+    else:
+        scheduler = SCHEDULERS[cell.scheduler](cell)
     landmark = cell.landmark
     if landmark is None and entry.needs_landmark:
         landmark = 0
@@ -167,8 +228,125 @@ def build_cell_engine(cell: CellConfig, *, trace=None) -> "Engine":
         landmark=landmark,
         chirality=cell.chirality,
         flipped=cell.flipped,
-        adversary=ADVERSARIES[cell.adversary](cell),
-        scheduler=SCHEDULERS[scheduler_name](cell),
+        adversary=adversary,
+        scheduler=scheduler,
         transport=transport,
         trace=trace,
     )
+
+
+# ---------------------------------------------------------------------------
+# beyond-the-paper topologies (campaign dimension ``topology``)
+# ---------------------------------------------------------------------------
+
+def _torus_dims(n: int) -> tuple[int, int]:
+    """The most-square ``rows x cols = n`` factorisation with both >= 3."""
+    for rows in range(math.isqrt(n), 2, -1):
+        if n % rows == 0 and n // rows >= 3:
+            return rows, n // rows
+    raise ConfigurationError(
+        f"topology 'torus' needs ring_size = rows * cols with both >= 3 "
+        f"(got {n})")
+
+
+def _make_ring(cell: CellConfig) -> Any:
+    from ..extensions.dynamic_graph import ring_graph
+
+    return ring_graph(cell.ring_size)
+
+
+def _make_path(cell: CellConfig) -> Any:
+    from ..extensions.dynamic_graph import path_graph
+
+    return path_graph(cell.ring_size)
+
+
+def _make_torus(cell: CellConfig) -> Any:
+    from ..extensions.dynamic_graph import torus
+
+    return torus(*_torus_dims(cell.ring_size))
+
+
+def _make_cactus(cell: CellConfig) -> Any:
+    from ..extensions.dynamic_graph import cactus_graph
+
+    return cactus_graph(cell.ring_size)
+
+
+#: topology name -> graph builder (``ring_size`` is the node count for
+#: every topology; the torus factorises it into the most-square grid).
+#: ``"ring"`` doubles as the marker for the paper's native ring engine.
+TOPOLOGIES: dict[str, Callable[[CellConfig], Any]] = {
+    "ring": _make_ring,
+    "path": _make_path,
+    "torus": _make_torus,
+    "cactus": _make_cactus,
+}
+
+
+def _make_random_walk(cell: CellConfig) -> Any:
+    from ..extensions.explorers import RandomWalkExplorer
+
+    return RandomWalkExplorer(seed=cell.seed)
+
+
+def _make_rotor_router(cell: CellConfig) -> Any:
+    from ..extensions.explorers import RotorRouterExplorer
+
+    return RotorRouterExplorer()
+
+
+#: algorithm names that select the dynamic-graph engine (they work on
+#: every topology, including ``"ring"`` — useful for cross-checks).
+GRAPH_EXPLORERS: dict[str, Callable[[CellConfig], Any]] = {
+    "random-walk": _make_random_walk,
+    "rotor-router": _make_rotor_router,
+}
+
+#: adversary names valid for graph cells.
+GRAPH_ADVERSARIES = frozenset({"none", "random"})
+
+
+def is_graph_cell(cell: CellConfig) -> bool:
+    """Does this cell run on the dynamic-graph engine?"""
+    return cell.algorithm in GRAPH_EXPLORERS
+
+
+def build_graph_cell_engine(cell: CellConfig) -> Any:
+    """Assemble a :class:`~repro.extensions.dynamic_graph.DynamicGraphEngine`.
+
+    ``ring_size`` is read as the node count, placements resolve over node
+    labels ``0..n-1`` exactly as on the ring, and ``seed`` feeds both the
+    explorer (random walk) and the connectivity-preserving adversary.
+    Requires networkx (like everything in :mod:`repro.extensions`).
+    """
+    from ..extensions.dynamic_graph import (
+        ConnectivityPreservingAdversary,
+        DynamicGraphEngine,
+        StaticGraphAdversary,
+    )
+
+    validate_cell(cell)
+    if not is_graph_cell(cell):
+        raise ConfigurationError(
+            f"cell {cell.algorithm!r} runs on the ring engine; "
+            "use build_cell_engine")
+    graph = TOPOLOGIES[cell.topology](cell)
+    node_count = graph.number_of_nodes()
+    positions = resolve_positions(
+        cell.placement,
+        ring_size=node_count,
+        agents=cell.agents,
+        positions=cell.positions if cell.placement == "explicit" else None,
+    )
+    if cell.adversary == "none":
+        adversary = StaticGraphAdversary()
+    else:
+        adversary = ConnectivityPreservingAdversary(budget=1, seed=cell.seed)
+    explorer = GRAPH_EXPLORERS[cell.algorithm](cell)
+    engine = DynamicGraphEngine(graph, explorer, positions, adversary=adversary)
+    if cell.algorithm == "rotor-router":
+        from ..extensions.explorers import attach_node_oracle
+
+        attach_node_oracle(engine)  # the documented model strengthening
+    return engine

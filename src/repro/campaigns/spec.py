@@ -167,6 +167,7 @@ class CellConfig:
     adversary: str = "random"
     scheduler: str = "auto"
     transport: str = "ns"
+    topology: str = "ring"
     landmark: int | None = None
     chirality: bool = True
     flipped: tuple[int, ...] = ()
@@ -174,6 +175,7 @@ class CellConfig:
     positions: tuple[int, ...] | None = None
     bound: int | None = None
     edge: int = 0
+    adversary_arg: int | None = None
     stop_on_exploration: bool = False
     label: str = ""
 
@@ -219,9 +221,14 @@ class CellConfig:
         yields a fresh key, while re-expanding the same spec reproduces
         the same keys across runs and processes.  ``label`` is excluded:
         it is an aggregation tag, so renaming a variant must not
-        invalidate its cached results.
+        invalidate its cached results.  Fields grown after the first
+        release (:data:`_KEY_EXCLUDED_DEFAULTS`) are excluded while at
+        their default, so stores written by older versions still resume.
         """
         fields_for_hash = {k: v for k, v in self.to_dict().items() if k != "label"}
+        for name, default in _KEY_EXCLUDED_DEFAULTS.items():
+            if fields_for_hash.get(name) == default:
+                del fields_for_hash[name]
         canonical = json.dumps(fields_for_hash, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:24]
 
@@ -236,6 +243,12 @@ class CellConfig:
 
 #: Spec/variant keys that are control syntax, not CellConfig fields.
 _SPEC_CONTROL_KEYS = {"grid", "label", "horizon"}
+
+#: Fields added after the first release, excluded from the content hash
+#: while they sit at their default: a defaulted new field describes the
+#: *same simulation* the old schema described, so pre-existing result
+#: stores keep resuming instead of silently re-running every cell.
+_KEY_EXCLUDED_DEFAULTS = {"topology": "ring", "adversary_arg": None}
 
 
 @dataclass

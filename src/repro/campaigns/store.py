@@ -1,95 +1,18 @@
-"""Append-only JSONL result store with content-hashed keys.
+"""Backward-compatible alias for the pre-package store module.
 
-One line per completed cell::
-
-    {"schema": 1, "key": "<sha256 prefix>", "config": {...},
-     "metrics": {...}, "elapsed_s": 0.0123}
-
-The key is :meth:`CellConfig.key` — a hash over the *configuration*, not
-the run identity — so re-expanding the same spec after an interrupt (or
-on another machine pointed at the same file) recognises completed cells
-and skips them.  Failed cells are recorded with an ``"error"`` field and
-are deliberately *not* treated as completed: a resume retries them.
-
-The reader tolerates a truncated final line (the signature of a run
-killed mid-write) and skips it instead of refusing the whole file.
+The store grew into the :mod:`repro.campaigns.stores` package (abstract
+base + JSONL/SQLite backends + query layer + columnar export).  This
+module keeps the old import path working: ``ResultStore`` here is the
+concrete JSONL backend the original module implemented, byte-compatible
+with every store file written before the split.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from pathlib import Path
-from typing import Any, Iterator
+from .stores import SCHEMA_VERSION, JsonlStore, open_store
+from .stores import ResultStore as BaseResultStore
 
-SCHEMA_VERSION = 1
+#: The original concrete class under its original name.
+ResultStore = JsonlStore
 
-
-class ResultStore:
-    """A campaign's durable memory, backed by one JSONL file."""
-
-    def __init__(self, path: str | os.PathLike[str]) -> None:
-        self.path = Path(path)
-        self._completed: set[str] | None = None
-
-    # -- reading -------------------------------------------------------
-
-    def records(self) -> Iterator[dict[str, Any]]:
-        """Yield every well-formed record (malformed/truncated lines skipped)."""
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # interrupted mid-write; the cell will re-run
-                if isinstance(record, dict) and "key" in record:
-                    yield record
-
-    def completed_keys(self) -> set[str]:
-        """Keys of cells that finished successfully (cached after first read)."""
-        if self._completed is None:
-            self._completed = {
-                r["key"] for r in self.records() if "error" not in r
-            }
-        return self._completed
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.records())
-
-    def __contains__(self, key: str) -> bool:
-        return key in self.completed_keys()
-
-    # -- writing -------------------------------------------------------
-
-    def append(self, record: dict[str, Any]) -> None:
-        """Durably append one record (one line, flushed before returning)."""
-        record = dict(record, schema=SCHEMA_VERSION)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        if self._completed is not None and "error" not in record:
-            self._completed.add(record["key"])
-
-    def append_many(self, records: list[dict[str, Any]]) -> None:
-        """Append a chunk of records with a single open/flush/fsync."""
-        if not records:
-            return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            for record in records:
-                record = dict(record, schema=SCHEMA_VERSION)
-                fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        if self._completed is not None:
-            self._completed.update(
-                r["key"] for r in records if "error" not in r
-            )
+__all__ = ["BaseResultStore", "ResultStore", "SCHEMA_VERSION", "open_store"]

@@ -1,0 +1,194 @@
+"""Columnar export of campaign records: Parquet when pyarrow exists, CSV always.
+
+Large-campaign analysis wants column scans (one metric across a million
+cells), not record iteration.  :func:`export_store` flattens records
+into a fixed, documented column schema and writes them out:
+
+* ``key``, ``elapsed_s``, ``error`` — record identity and bookkeeping;
+* ``config_<field>`` — one column per :class:`CellConfig` field, in
+  dataclass declaration order (list-valued fields JSON-encoded);
+* ``metric_<name>`` — one column per metric observed anywhere in the
+  export, sorted by name (error records leave them empty).
+
+Parquet needs pyarrow; when it is not importable the CSV fallback keeps
+the identical schema, so downstream code written against the columns
+works on either format.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import json
+from dataclasses import dataclass
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from ...core.errors import ConfigurationError
+from .base import ResultStore
+
+#: Suffixes implying the Parquet format when ``format=None``.
+PARQUET_SUFFIXES = frozenset({".parquet", ".pq"})
+
+FORMATS = ("csv", "parquet")
+
+
+def parquet_available() -> bool:
+    """Is the optional pyarrow dependency importable?"""
+    try:
+        import pyarrow  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _config_columns() -> list[str]:
+    from ..spec import CellConfig  # late: spec does not import us
+
+    return [f.name for f in dataclass_fields(CellConfig)]
+
+
+def _columns_for(metric_names: set[str]) -> list[str]:
+    return (
+        ["key", "elapsed_s", "error"]
+        + [f"config_{name}" for name in _config_columns()]
+        + [f"metric_{name}" for name in sorted(metric_names)]
+    )
+
+
+def export_columns(records: Iterable[Mapping[str, Any]]) -> list[str]:
+    """The exact column schema an export of ``records`` will carry."""
+    metric_names: set[str] = set()
+    for record in records:
+        metric_names.update(record.get("metrics", {}))
+    return _columns_for(metric_names)
+
+
+def _cell_value(value: Any) -> Any:
+    """Flatten one cell: containers become canonical JSON text."""
+    if isinstance(value, (list, tuple, dict)):
+        return json.dumps(list(value) if isinstance(value, tuple) else value,
+                          sort_keys=True, separators=(",", ":"))
+    return value
+
+
+def flatten_record(
+    record: Mapping[str, Any], columns: Sequence[str]
+) -> dict[str, Any]:
+    """One record -> one flat row under the given column schema."""
+    config = record.get("config", {})
+    metrics = record.get("metrics", {})
+    row: dict[str, Any] = {}
+    for column in columns:
+        if column.startswith("config_"):
+            value = config.get(column[len("config_"):])
+        elif column.startswith("metric_"):
+            value = metrics.get(column[len("metric_"):])
+        else:
+            value = record.get(column)
+        row[column] = _cell_value(value)
+    return row
+
+
+@dataclass(frozen=True)
+class ExportResult:
+    """What one export produced."""
+
+    path: Path
+    format: str
+    rows: int
+    columns: tuple[str, ...]
+
+    def summary(self) -> str:
+        return (f"exported {self.rows} rows x {len(self.columns)} columns "
+                f"-> {self.path} ({self.format})")
+
+
+def resolve_format(dest: Path, format: str | None) -> str:
+    """Explicit format wins; otherwise the suffix decides; parquet
+    requires pyarrow and fails loudly (never a silent CSV downgrade)."""
+    if format is None:
+        format = "parquet" if dest.suffix in PARQUET_SUFFIXES else "csv"
+    if format not in FORMATS:
+        raise ConfigurationError(
+            f"unknown export format {format!r} (choose from {FORMATS})")
+    if format == "parquet" and not parquet_available():
+        raise ConfigurationError(
+            "parquet export needs pyarrow, which is not installed; "
+            "use --format csv (same column schema) or install pyarrow")
+    return format
+
+
+def export_store(
+    store: ResultStore | Iterable[Mapping[str, Any]],
+    dest: str | Path,
+    *,
+    format: str | None = None,
+    where: Mapping[str, Any] | None = None,
+) -> ExportResult:
+    """Write a store's records (or any record iterable) as a columnar file.
+
+    A :class:`ResultStore` input is scanned twice and never materialised:
+    one pass discovers the metric columns, the second streams rows into
+    the writer — memory stays flat however large the campaign (the
+    Parquet writer necessarily holds its in-memory table; the CSV path
+    is fully streaming).  A plain iterable is materialised once (it may
+    not be re-iterable).
+    """
+    dest = Path(dest)
+    format = resolve_format(dest, format)
+    if isinstance(store, ResultStore):
+        def scan() -> Iterable[Mapping[str, Any]]:
+            return store.select(where)
+    else:
+        if where is not None:
+            from .base import record_matches
+
+            materialized = [r for r in store if record_matches(r, where)]
+        else:
+            materialized = list(store)
+
+        def scan() -> Iterable[Mapping[str, Any]]:
+            return iter(materialized)
+
+    metric_names: set[str] = set()
+    total = 0
+    for record in scan():
+        metric_names.update(record.get("metrics", {}))
+        total += 1
+    columns = _columns_for(metric_names)
+    # Records stream oldest-first and appends land at the end, so capping
+    # the write pass at the discovery pass's count snapshots the store:
+    # rows appended by a concurrent writer between the passes can neither
+    # inflate the row count nor smuggle in metrics the schema missed.
+    snapshot = itertools.islice(scan(), total)
+    rows = (flatten_record(record, columns) for record in snapshot)
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    if format == "parquet":
+        _write_parquet(dest, columns, rows)
+    else:
+        _write_csv(dest, columns, rows)
+    return ExportResult(path=dest, format=format, rows=total,
+                        columns=tuple(columns))
+
+
+def _write_csv(dest: Path, columns: Sequence[str],
+               rows: Iterable[Mapping[str, Any]]) -> None:
+    with dest.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(columns))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: ("" if v is None else v) for k, v in row.items()})
+
+
+def _write_parquet(dest: Path, columns: Sequence[str],
+                   rows: Iterable[Mapping[str, Any]]) -> None:
+    import pyarrow as pa
+    import pyarrow.parquet as pq
+
+    arrays: dict[str, list[Any]] = {column: [] for column in columns}
+    for row in rows:
+        for column in columns:
+            arrays[column].append(row[column])
+    pq.write_table(pa.table(arrays), dest)

@@ -1,0 +1,52 @@
+"""Append-only JSONL backend: one record per line, fsynced per chunk.
+
+The original (and default) store format.  Human-greppable, trivially
+mergeable with ``cat``, and tolerant of a truncated final line — the
+signature of a run killed mid-write — which the reader skips instead of
+refusing the whole file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from .base import ResultStore
+
+
+class JsonlStore(ResultStore):
+    """A campaign's durable memory, backed by one JSONL file."""
+
+    scheme = "jsonl"
+
+    # -- reading -------------------------------------------------------
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Yield every well-formed record (malformed/truncated lines skipped)."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # interrupted mid-write; the cell will re-run
+                if isinstance(record, dict) and "key" in record:
+                    yield record
+
+    # -- writing -------------------------------------------------------
+
+    def _write_many(self, records: list[dict[str, Any]]) -> None:
+        """Append records with a single open/flush/fsync."""
+        import os
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

@@ -1,0 +1,202 @@
+"""Indexed query/report layer over any result-store backend.
+
+A :class:`Query` is an immutable view over a store: ``where()`` narrows
+it by config dimensions (pushed into SQL on backends that can), and the
+terminal operations reduce it — ``table()`` into the paper's aggregated
+rows, ``series()`` into an ``x -> reduced metric`` curve, and ``fit()``
+into a :class:`~repro.analysis.complexity.ShapeProfile` checking the
+asymptotic *shape* of that curve (linear vs n·log n vs quadratic).
+
+This is the path ``python -m repro campaign report`` takes, so the O(·)
+claims of the paper are checked straight from the store::
+
+    query = open_store("sqlite:results/t2.db").query()
+    for row in fit_rows(query.where(algorithm="known-bound")):
+        print(row)     # label=... rounds: linear (R^2: linear=0.999, ...)
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
+from typing import Any, Iterator, Mapping, Sequence
+
+from ...analysis.complexity import DEFAULT_SHAPE_MODELS, ShapeProfile, fit_profile
+from ...core.errors import ConfigurationError
+from ..aggregate import DEFAULT_GROUP_BY, TableRow, aggregate_records
+from .base import ResultStore, record_matches
+
+#: metric-series reducers usable by :meth:`Query.series`.
+REDUCERS = {
+    "mean": statistics.fmean,
+    "max": max,
+    "min": min,
+    "sum": sum,
+}
+
+
+def _valid_dimensions() -> set[str]:
+    from ..spec import CellConfig  # late: spec does not import us
+
+    return {f.name for f in dataclass_fields(CellConfig)}
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable, composable view over one result store."""
+
+    store: ResultStore
+    filters: Mapping[str, Any] = field(default_factory=dict)
+
+    def where(self, **dims: Any) -> "Query":
+        """Narrow by config-dimension filters (scalar equality, a list of
+        admissible values, or a callable predicate)."""
+        unknown = sorted(set(dims) - _valid_dimensions())
+        if unknown:
+            raise ConfigurationError(
+                f"unknown filter dimension(s) {unknown} "
+                f"(choose from {sorted(_valid_dimensions())})")
+        return Query(self.store, {**self.filters, **dims})
+
+    # -- terminal operations -------------------------------------------
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Matching records, oldest first (errors included)."""
+        return self.store.select(self.filters or None)
+
+    def count(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def values(self, dim: str) -> list[Any]:
+        """Distinct config values of one dimension, sorted, over matches."""
+        seen = {r.get("config", {}).get(dim) for r in self.records()}
+        return sorted(seen, key=lambda v: (v is None, str(type(v)), v))
+
+    def table(self, by: Sequence[str] = DEFAULT_GROUP_BY) -> list[TableRow]:
+        """Group and reduce matching records into the paper's table rows."""
+        return aggregate_records(self.records(), by=by)
+
+    def series(
+        self, x: str = "ring_size", y: str = "rounds", reduce: str = "mean"
+    ) -> list[tuple[float, float]]:
+        """The reduced metric ``y`` as a function of config dimension ``x``.
+
+        Successful records are grouped by their ``config[x]`` value (one
+        group per sweep point, e.g. all seeds of one ring size) and each
+        group's ``metrics[y]`` values are reduced (default: mean).
+        Records missing the metric, and error records, are skipped.
+        """
+        return _series_from_records(self.records(), x=x, y=y, reduce=reduce)
+
+    def fit(
+        self,
+        x: str = "ring_size",
+        y: str = "rounds",
+        *,
+        reduce: str = "mean",
+        models: Sequence[str] = DEFAULT_SHAPE_MODELS,
+    ) -> ShapeProfile | None:
+        """Shape-fit the ``y``-vs-``x`` series; ``None`` below 3 points
+        (two points fit every 2-parameter model perfectly)."""
+        series = self.series(x=x, y=y, reduce=reduce)
+        if len(series) < 3:
+            return None
+        xs, ys = zip(*series)
+        return fit_profile(xs, ys, models)
+
+
+def _series_from_records(
+    records, *, x: str, y: str, reduce: str
+) -> list[tuple[float, float]]:
+    """The per-``x`` reduction behind :meth:`Query.series` (shared with
+    :func:`fit_rows`, which works over an already-materialised list)."""
+    if reduce not in REDUCERS:
+        raise ConfigurationError(
+            f"unknown reducer {reduce!r} (choose from {sorted(REDUCERS)})")
+    groups: dict[float, list[float]] = {}
+    for record in records:
+        if "error" in record:
+            continue
+        x_value = record.get("config", {}).get(x)
+        y_value = record.get("metrics", {}).get(y)
+        if not isinstance(x_value, (int, float)) or isinstance(x_value, bool):
+            continue
+        if not isinstance(y_value, (int, float)) or isinstance(y_value, bool):
+            continue
+        groups.setdefault(x_value, []).append(y_value)
+    reducer = REDUCERS[reduce]
+    return [(x_value, reducer(groups[x_value])) for x_value in sorted(groups)]
+
+
+@dataclass(frozen=True)
+class FitRow:
+    """One group's shape verdict for one metric (a ``report --fit`` line)."""
+
+    group: tuple[tuple[str, Any], ...]
+    metric: str
+    points: tuple[tuple[float, float], ...]
+    profile: ShapeProfile | None
+
+    @property
+    def label(self) -> str:
+        return " ".join(f"{k}={v}" for k, v in self.group)
+
+    def __str__(self) -> str:
+        sizes = f"n={[int(x) if float(x).is_integer() else x for x, _ in self.points]}"
+        if self.profile is None:
+            return (f"{self.label:<40} {self.metric}: "
+                    f"(needs >= 3 sweep points to fit; have {sizes})")
+        return f"{self.label:<40} {self.metric}: {self.profile.verdict()}  [{sizes}]"
+
+
+def fit_rows(
+    query: Query,
+    *,
+    by: Sequence[str] = ("label",),
+    x: str = "ring_size",
+    metrics: Sequence[str] = ("rounds", "total_moves"),
+    reduce: str = "mean",
+    models: Sequence[str] = DEFAULT_SHAPE_MODELS,
+    records: Sequence[dict[str, Any]] | None = None,
+) -> list[FitRow]:
+    """Shape-fit every ``by``-group of a query, one row per metric.
+
+    Groups follow the same ordering as :func:`aggregate_records`, so the
+    fit table lines up with the aggregate table above it.  The store is
+    read exactly once; grouping and series reduction run over the
+    materialised records.  A caller that already holds the query's
+    records (the CLI report prints the aggregate table from the same
+    data) passes them via ``records`` to skip even that one read.
+    """
+    if records is None:
+        records = list(query.records())
+    rows: list[FitRow] = []
+    for table_row in aggregate_records(records, by=by):
+        group_filters = dict(table_row.group)
+        group_records = [r for r in records if record_matches(r, group_filters)]
+        for metric in metrics:
+            series = _series_from_records(
+                group_records, x=x, y=metric, reduce=reduce)
+            profile = None
+            if len(series) >= 3:
+                xs, ys = zip(*series)
+                profile = fit_profile(xs, ys, models)
+            rows.append(FitRow(
+                group=table_row.group,
+                metric=metric,
+                points=tuple(series),
+                profile=profile,
+            ))
+    return rows
+
+
+def render_fit_rows(rows: Sequence[FitRow], *, title: str = "") -> str:
+    """Aligned text report for a list of fit rows."""
+    lines = []
+    if title:
+        lines.append(f"== {title}")
+    lines.extend(str(row) for row in rows)
+    if not rows:
+        lines.append("(no completed cells to fit)")
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""SQLite backend: concurrent appends, indexed resume and filter queries.
+
+Scaling past a single JSONL writer needs three things the flat file
+cannot give:
+
+* **safe concurrent appends** — WAL journal mode plus a generous busy
+  timeout lets several worker *processes* append to one database while
+  readers keep streaming (writers serialise on a short lock instead of
+  corrupting each other);
+* **indexed resume** — :meth:`completed_keys` is one indexed
+  ``SELECT DISTINCT cell_key ... WHERE ok = 1`` instead of a full-file
+  re-parse;
+* **indexed reports** — equality filters on config dimensions are pushed
+  down into SQL (``json_extract`` over the stored record), and several
+  campaigns can share one database, scoped by the indexed
+  ``campaign_key`` column.
+
+The stored unit is still the full JSON record, so every backend returns
+byte-identical dicts and aggregation/reporting code never knows which
+backend fed it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Any, Iterator, Mapping
+
+from ...core.errors import ConfigurationError
+from .base import LIST_FIELDS, ResultStore, _check_dimension
+
+#: First bytes of every SQLite database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    id           INTEGER PRIMARY KEY,
+    cell_key     TEXT NOT NULL,
+    campaign_key TEXT NOT NULL DEFAULT '',
+    ok           INTEGER NOT NULL,
+    record       TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS ix_results_cell_key ON results (cell_key, ok);
+CREATE INDEX IF NOT EXISTS ix_results_campaign_key ON results (campaign_key);
+"""
+
+
+class SqliteStore(ResultStore):
+    """A result store backed by one SQLite database (WAL mode)."""
+
+    scheme = "sqlite"
+
+    def __init__(self, path: str | os.PathLike[str], *,
+                 campaign: str | None = None, timeout_s: float = 30.0) -> None:
+        super().__init__(path, campaign=campaign)
+        self._timeout_s = timeout_s
+        self._conn: sqlite3.Connection | None = None
+        self._pid: int | None = None
+
+    # -- connection management ----------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        """The process-local connection (reopened after a fork)."""
+        pid = os.getpid()
+        if self._conn is None or self._pid != pid:
+            # A connection inherited across fork() must never be reused:
+            # SQLite locks are per-process.  Drop it without closing (the
+            # parent still owns it) and open our own.
+            self._conn = None
+            self._check_magic()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=self._timeout_s)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+            conn.commit()
+            self._conn = conn
+            self._pid = pid
+        return self._conn
+
+    def _check_magic(self) -> None:
+        """Refuse to run SQL against a file another backend wrote.
+
+        A pre-existing ``.db`` path may hold JSONL from a version where
+        every store was JSONL; without this check sqlite3 raises an
+        opaque ``DatabaseError`` mid-query (or, worse, a write could
+        clobber history).
+        """
+        if not self.path.is_file() or self.path.stat().st_size == 0:
+            return
+        with self.path.open("rb") as fh:
+            magic = fh.read(len(_SQLITE_MAGIC))
+        if magic != _SQLITE_MAGIC:
+            raise ConfigurationError(
+                f"{self.path} is not a SQLite database — if it was written "
+                f"by the JSONL backend, point at it with jsonl:{self.path}")
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._pid = None
+
+    # -- campaign scoping ---------------------------------------------
+
+    def _scope(self) -> tuple[str, list[Any]]:
+        """WHERE fragment confining reads to this store's campaign tag."""
+        if self.campaign is None:
+            return "", []
+        return "campaign_key = ?", [self.campaign]
+
+    # -- reading -------------------------------------------------------
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        yield from self._select_sql([], [])
+
+    def _select_sql(
+        self, clauses: list[str], params: list[Any]
+    ) -> Iterator[dict[str, Any]]:
+        if not self.path.exists():
+            return
+        scope, scope_params = self._scope()
+        where = " AND ".join(([scope] if scope else []) + clauses)
+        sql = "SELECT record FROM results"
+        if where:
+            sql += f" WHERE {where}"
+        sql += " ORDER BY id"
+        cursor = self._connect().execute(sql, scope_params + params)
+        for (text,) in cursor:
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError:  # pragma: no cover - rows are atomic
+                continue
+            if isinstance(record, dict) and "key" in record:
+                yield record
+
+    def _load_completed_keys(self) -> set[str]:
+        """A single indexed query — no record parsing at all."""
+        if not self.path.exists():
+            return set()
+        scope, scope_params = self._scope()
+        sql = "SELECT DISTINCT cell_key FROM results WHERE ok = 1"
+        if scope:
+            sql += f" AND {scope}"
+        return {key for (key,) in self._connect().execute(sql, scope_params)}
+
+    def select(
+        self, where: Mapping[str, Any] | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Push scalar equality/membership filters into indexed SQL.
+
+        Callable predicates and list-valued fields (``flipped``,
+        ``positions``) fall back to the Python-side filter; everything
+        else becomes a ``json_extract`` comparison evaluated by SQLite.
+        """
+        from .base import record_matches
+
+        where = dict(where or {})
+        clauses: list[str] = []
+        params: list[Any] = []
+        residual: dict[str, Any] = {}
+        for dim, expected in where.items():
+            _check_dimension(dim)
+            expr = f"json_extract(record, '$.config.{dim}')"
+            if callable(expected) or dim in LIST_FIELDS:
+                residual[dim] = expected
+            elif expected is None:
+                clauses.append(f"{expr} IS NULL")
+            elif isinstance(expected, bool):
+                clauses.append(f"{expr} = ?")
+                params.append(int(expected))
+            elif isinstance(expected, (int, float, str)):
+                clauses.append(f"{expr} = ?")
+                params.append(expected)
+            elif isinstance(expected, (list, tuple, set, frozenset)):
+                values = [v for v in expected]
+                if values and all(
+                    isinstance(v, (int, float, str)) and not isinstance(v, bool)
+                    for v in values
+                ):
+                    marks = ",".join("?" * len(values))
+                    clauses.append(f"{expr} IN ({marks})")
+                    params.extend(values)
+                else:
+                    residual[dim] = expected
+            else:
+                residual[dim] = expected
+        for record in self._select_sql(clauses, params):
+            if not residual or record_matches(record, residual):
+                yield record
+
+    def __len__(self) -> int:
+        if not self.path.exists():
+            return 0
+        scope, scope_params = self._scope()
+        sql = "SELECT COUNT(*) FROM results"
+        if scope:
+            sql += f" WHERE {scope}"
+        (count,) = self._connect().execute(sql, scope_params).fetchone()
+        return int(count)
+
+    # -- writing -------------------------------------------------------
+
+    def _write_many(self, records: list[dict[str, Any]]) -> None:
+        """One transaction per chunk; atomic even against a mid-write kill."""
+        campaign = self.campaign or ""
+        rows = [
+            (
+                record["key"],
+                campaign,
+                0 if "error" in record else 1,
+                json.dumps(record, sort_keys=True, separators=(",", ":")),
+            )
+            for record in records
+        ]
+        conn = self._connect()
+        with conn:  # BEGIN ... COMMIT (or ROLLBACK on error)
+            conn.executemany(
+                "INSERT INTO results (cell_key, campaign_key, ok, record) "
+                "VALUES (?, ?, ?, ?)",
+                rows,
+            )

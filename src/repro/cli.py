@@ -10,8 +10,14 @@ Commands:
 
   * ``campaign run``    — expand a sweep spec and execute it (resumable);
   * ``campaign resume`` — continue an interrupted campaign;
-  * ``campaign report`` — aggregate a result store into table rows;
+  * ``campaign report`` — aggregate a result store into table rows
+    (``--fit`` adds complexity-shape verdicts straight from the store);
+  * ``campaign export`` — dump a store as a columnar file (CSV/Parquet);
   * ``campaign list``   — list the named campaign specs.
+
+``--store`` accepts a backend URI everywhere: ``sqlite:results/t2.db``
+selects the concurrent, indexed SQLite backend, ``jsonl:`` (or a bare
+path) the append-only JSONL default.
 
 Single runs and campaign cells share one registry
 (:mod:`repro.campaigns.registry`): every algorithm/adversary name below
@@ -38,7 +44,13 @@ from .campaigns.registry import (
     default_horizon,
 )
 from .campaigns.spec import CellConfig
-from .campaigns.store import ResultStore
+from .campaigns.stores import (
+    ResultStore,
+    export_store,
+    fit_rows,
+    open_store,
+    render_fit_rows,
+)
 from .core.errors import ConfigurationError
 from .theory.tables import render_map
 
@@ -84,8 +96,9 @@ def make_parser() -> argparse.ArgumentParser:
                             f"see 'campaign list')")
         p.add_argument("--spec-file", default=None, metavar="PATH",
                        help="JSON/YAML spec file (overrides --spec)")
-        p.add_argument("--store", default=None, metavar="PATH",
-                       help="JSONL result store (default: results/<spec>.jsonl)")
+        p.add_argument("--store", default=None, metavar="URI",
+                       help="result store: a path, jsonl:PATH or sqlite:PATH "
+                            "(default: results/<spec>.jsonl)")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes (default: all CPUs; 1 = serial)")
         p.add_argument("--chunk-size", type=int, default=None,
@@ -100,10 +113,28 @@ def make_parser() -> argparse.ArgumentParser:
                    help="spec name used to locate the default store")
     p.add_argument("--spec-file", default=None, metavar="PATH",
                    help="JSON/YAML spec file (overrides --spec)")
-    p.add_argument("--store", default=None, metavar="PATH",
-                   help="JSONL result store (default: results/<spec>.jsonl)")
+    p.add_argument("--store", default=None, metavar="URI",
+                   help="result store: a path, jsonl:PATH or sqlite:PATH "
+                        "(default: results/<spec>.jsonl)")
     p.add_argument("--by", default="label,algorithm,ring_size",
                    help="comma-separated config dimensions to group by")
+    p.add_argument("--fit", action="store_true",
+                   help="also shape-fit rounds/moves vs ring size per label "
+                        "(linear vs n log n vs quadratic; needs numpy)")
+
+    p = csub.add_parser(
+        "export", help="export a result store as a columnar file")
+    p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
+                   help="spec name used to locate the default store")
+    p.add_argument("--spec-file", default=None, metavar="PATH",
+                   help="JSON/YAML spec file (overrides --spec)")
+    p.add_argument("--store", default=None, metavar="URI",
+                   help="result store: a path, jsonl:PATH or sqlite:PATH "
+                        "(default: results/<spec>.jsonl)")
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="destination file (.csv, or .parquet with pyarrow)")
+    p.add_argument("--format", choices=("csv", "parquet"), default=None,
+                   help="output format (default: from the --out suffix)")
 
     csub.add_parser("list", help="list the named campaign specs")
     return parser
@@ -139,8 +170,8 @@ def _campaign_spec(args):
 
 
 def _campaign_store(args, spec) -> ResultStore:
-    path = args.store or Path("results") / f"{spec.name}.jsonl"
-    return ResultStore(path)
+    target = args.store or Path("results") / f"{spec.name}.jsonl"
+    return open_store(target, campaign=spec.name)
 
 
 def _progress(done: int, total: int) -> None:
@@ -160,31 +191,51 @@ def campaign_main(args) -> int:
 
     if args.campaign_command == "report":
         store = _campaign_store(args, spec)
-        if not store.path.exists():
+        if not store.exists():
             print(f"no result store at {store.path}", file=sys.stderr)
             return 1
         by = tuple(d.strip() for d in args.by.split(",") if d.strip())
-        rows = aggregate_records(store.records(), by=by)
-        print(render_rows(rows, title=f"campaign {spec.name} ({store.path})"))
+        query = store.query()
+        if args.fit:
+            # one store scan feeds both the aggregate table and the fits
+            records = list(query.records())
+            rows = aggregate_records(records, by=by)
+        else:
+            rows = query.table(by=by)
+        print(render_rows(rows, title=f"campaign {spec.name} ({store.uri()})"))
+        if args.fit:
+            print()
+            print(render_fit_rows(
+                fit_rows(query, records=records),
+                title="complexity-shape fits over ring_size "
+                      "(mean per size; best of linear/nlogn/quadratic)"))
+        return 0
+
+    if args.campaign_command == "export":
+        store = _campaign_store(args, spec)
+        if not store.exists():
+            print(f"no result store at {store.path}", file=sys.stderr)
+            return 1
+        result = export_store(store, args.out, format=args.format)
+        print(result.summary())
         return 0
 
     # run / resume
     store = _campaign_store(args, spec)
-    if args.campaign_command == "resume" and not store.path.exists():
+    if args.campaign_command == "resume" and not store.exists():
         print(f"nothing to resume: no store at {store.path}", file=sys.stderr)
         return 1
     cells = spec.cell_list()
     if args.limit is not None:
         cells = cells[:args.limit]
-    print(f"campaign {spec.name}: {len(cells)} cells -> {store.path}")
+    print(f"campaign {spec.name}: {len(cells)} cells -> {store.uri()}")
     run = run_cells(
         cells, store,
         workers=args.workers, chunk_size=args.chunk_size, progress=_progress,
     )
     print(run.summary())
     if not args.no_report:
-        rows = aggregate_records(store.records())
-        print(render_rows(rows, title=f"campaign {spec.name}"))
+        print(render_rows(store.query().table(), title=f"campaign {spec.name}"))
     return 1 if run.failed else 0
 
 

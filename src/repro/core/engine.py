@@ -36,7 +36,6 @@ snapshot ever exposes the encounter.
 
 from __future__ import annotations
 
-import copy
 import enum
 from typing import Callable, Iterable, Sequence
 
@@ -192,13 +191,17 @@ class Engine:
         This is the omniscience the paper's adversaries enjoy: protocols
         are deterministic, so an adversary that knows the algorithm can
         always work out what an agent would do if activated now.
+
+        Adversaries call this for every agent every round, so the
+        speculative Compute runs against :meth:`AgentMemory.clone` — a
+        shallow-plus-vars copy — instead of ``copy.deepcopy``
+        (see ``benchmarks/bench_memory_clone.py`` for the difference).
         """
         agent = self.agents[index]
         if agent.terminated:
             return STAY
         snapshot = self.snapshot_for(agent)
-        memory = copy.deepcopy(agent.memory)
-        return self.algorithm.compute(snapshot, memory)
+        return self.algorithm.compute(snapshot, agent.memory.clone())
 
     # ------------------------------------------------------------------
     # the round loop

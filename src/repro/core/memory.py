@@ -81,6 +81,31 @@ class AgentMemory:
         """The paper's "n is known" predicate."""
         return self.size is not None
 
+    # -- copying -------------------------------------------------------------
+
+    def clone(self) -> "AgentMemory":
+        """A cheap copy safe to hand to a speculative ``Compute``.
+
+        The engine's ``peek_intended_action`` (and through it every
+        omniscient adversary) simulates an agent's next Compute against a
+        throwaway memory every round — ``copy.deepcopy`` there dominated
+        the peek hot path.  The counters are immutable scalars, so a
+        ``__dict__`` copy covers them; ``vars`` gets a fresh dict with
+        one level of container copying, which isolates everything the
+        paper's algorithms do to it (they rebind keys, and the only
+        non-scalar values — direction enums, ``DirectionSchedule`` — are
+        immutable after construction).  An algorithm that nests *mutable*
+        state deeper than one container level must not mutate it in
+        place during Compute.
+        """
+        clone = AgentMemory.__new__(AgentMemory)
+        clone.__dict__.update(self.__dict__)
+        clone.vars = {
+            key: value.copy() if isinstance(value, (dict, list, set)) else value
+            for key, value in self.vars.items()
+        }
+        return clone
+
     # -- updates driven by the engine ---------------------------------------
 
     def record_traversal(self, direction: LocalDirection) -> None:

@@ -32,6 +32,43 @@ def ring_graph(n: int):
     return nx.cycle_graph(n)
 
 
+def path_graph(n: int):
+    """The path on ``n`` nodes — the ring minus one edge, permanently.
+
+    The harshest 1-interval-connected relative of the ring: removing any
+    further edge disconnects it, so a connectivity-preserving adversary
+    is forced to keep every edge alive.
+    """
+    import networkx as nx
+
+    return nx.path_graph(n)
+
+
+def cactus_graph(n: int):
+    """A cactus on ``n`` nodes: a chain of triangles joined at cut vertices.
+
+    Every edge lies on at most one cycle (the defining cactus property),
+    which gives an adversary exactly one removable edge per cycle — the
+    natural interpolation between the ring (one cycle) and a tree (none).
+    A leftover node (even ``n``) becomes a pendant tail.
+    """
+    import networkx as nx
+
+    if n < 3:
+        raise ConfigurationError("a cactus needs at least 3 nodes")
+    graph = nx.Graph()
+    graph.add_node(0)
+    last, next_id = 0, 1
+    while n - graph.number_of_nodes() >= 2:
+        a, b = next_id, next_id + 1
+        next_id += 2
+        graph.add_edges_from([(last, a), (a, b), (b, last)])
+        last = b
+    if graph.number_of_nodes() < n:
+        graph.add_edge(last, next_id)  # pendant tail absorbs the odd node out
+    return graph
+
+
 def torus(rows: int, cols: int):
     """A rows x cols torus (the paper's suggested 'special topology')."""
     import networkx as nx

@@ -75,3 +75,81 @@ class TestCampaignCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "workers=2" in out and "executed=24" in out
+
+
+class TestStoreBackendCli:
+    def _run(self, in_tmp, store, extra=()):
+        return main(["campaign", "run", "--spec", "smoke", "--workers", "1",
+                     "--limit", "6", "--store", store, "--no-report", *extra])
+
+    def test_sqlite_uri_runs_and_resumes(self, in_tmp, capsys):
+        store = f"sqlite:{in_tmp / 'smoke.db'}"
+        assert self._run(in_tmp, store) == 0
+        assert (in_tmp / "smoke.db").exists()
+        capsys.readouterr()
+        code = main(["campaign", "resume", "--spec", "smoke", "--workers", "1",
+                     "--limit", "6", "--store", store, "--no-report"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skipped=6" in out and "executed=0" in out
+
+    def test_bare_db_path_selects_sqlite(self, in_tmp, capsys):
+        assert self._run(in_tmp, str(in_tmp / "smoke.db")) == 0
+        import sqlite3
+
+        with sqlite3.connect(in_tmp / "smoke.db") as conn:
+            (count,) = conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        assert count == 6
+
+    def test_unknown_scheme_is_a_clean_error(self, in_tmp, capsys):
+        assert self._run(in_tmp, "mongo:whatever") == 2
+        assert "unknown store scheme" in capsys.readouterr().err
+
+    def test_reports_identical_across_backends(self, in_tmp, capsys):
+        jsonl = str(in_tmp / "smoke.jsonl")
+        sqlite = f"sqlite:{in_tmp / 'smoke.db'}"
+        self._run(in_tmp, jsonl)
+        self._run(in_tmp, sqlite)
+        capsys.readouterr()
+        outputs = []
+        for store in (jsonl, sqlite):
+            assert main(["campaign", "report", "--spec", "smoke",
+                         "--store", store, "--fit"]) == 0
+            out = capsys.readouterr().out
+            # drop the title line naming the store file
+            outputs.append("\n".join(out.splitlines()[1:]))
+        assert outputs[0] == outputs[1]
+
+    def test_report_fit_prints_verdicts(self, in_tmp, capsys):
+        """A spec with >= 3 ring sizes gets real shape verdicts."""
+        spec = get_spec("table2-fsync")
+        spec.grid["seed"] = [0]
+        for variant in spec.variants:
+            variant["grid"]["ring_size"] = variant["grid"]["ring_size"][:3]
+        spec_path = in_tmp / "t2.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        store = f"sqlite:{in_tmp / 't2.db'}"
+        assert main(["campaign", "run", "--spec-file", str(spec_path),
+                     "--store", store, "--workers", "1", "--no-report"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--spec-file", str(spec_path),
+                     "--store", store, "--fit"]) == 0
+        out = capsys.readouterr().out
+        assert "complexity-shape fits" in out
+        assert "(R^2:" in out
+
+    def test_export_csv(self, in_tmp, capsys):
+        store = f"sqlite:{in_tmp / 'smoke.db'}"
+        self._run(in_tmp, store)
+        capsys.readouterr()
+        out_path = in_tmp / "smoke.csv"
+        assert main(["campaign", "export", "--spec", "smoke",
+                     "--store", store, "--out", str(out_path)]) == 0
+        assert "exported 6 rows" in capsys.readouterr().out
+        header = out_path.read_text().splitlines()[0]
+        assert header.startswith("key,elapsed_s,error,config_algorithm")
+
+    def test_export_without_store_fails(self, in_tmp, capsys):
+        assert main(["campaign", "export", "--spec", "smoke",
+                     "--out", str(in_tmp / "x.csv")]) == 1
+        assert "no result store" in capsys.readouterr().err

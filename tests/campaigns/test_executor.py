@@ -8,7 +8,7 @@ from repro.algorithms.fsync import UnconsciousExploration
 from repro.campaigns import (
     CampaignSpec,
     CellConfig,
-    ResultStore,
+    JsonlStore as ResultStore,
     aggregate_records,
     execute_cell,
     run_cells,

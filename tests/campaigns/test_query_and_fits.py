@@ -1,0 +1,141 @@
+"""The Query layer and complexity-shape fits, from records to verdicts."""
+
+import math
+
+import pytest
+
+from repro.campaigns import JsonlStore, SqliteStore, fit_rows, render_fit_rows
+from repro.campaigns.stores import Query
+from repro.core.errors import ConfigurationError
+
+
+def rec(key, n, seed=0, label="row", rounds=None, moves=None, **extra):
+    rounds = rounds if rounds is not None else 3 * n
+    return {
+        "key": key,
+        "config": {"ring_size": n, "seed": seed, "label": label,
+                   "algorithm": "x"},
+        "metrics": {"rounds": rounds, "explored": True,
+                    "total_moves": moves if moves is not None else rounds,
+                    "exploration_round": rounds, "all_terminated": True,
+                    "last_termination_round": rounds, "mode": "explicit"},
+        **extra,
+    }
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def store(request, tmp_path):
+    """Every test below runs against both backends."""
+    if request.param == "jsonl":
+        return JsonlStore(tmp_path / "r.jsonl")
+    return SqliteStore(tmp_path / "r.db")
+
+
+class TestQuery:
+    def test_where_narrows_and_composes(self, store):
+        store.append_many([rec(f"k{n}{s}", n, seed=s)
+                           for n in (8, 16) for s in (0, 1)])
+        q = store.query()
+        assert q.count() == 4
+        assert q.where(ring_size=8).count() == 2
+        assert q.where(ring_size=8).where(seed=1).count() == 1
+        assert q.where(ring_size=8, seed=1).count() == 1
+        # the original query is untouched (immutability)
+        assert q.count() == 4
+
+    def test_where_rejects_unknown_dimensions(self, store):
+        with pytest.raises(ConfigurationError, match="unknown filter"):
+            store.query().where(bogus=1)
+
+    def test_values_lists_distinct_sorted(self, store):
+        store.append_many([rec(f"k{n}", n) for n in (32, 8, 16)])
+        assert store.query().values("ring_size") == [8, 16, 32]
+
+    def test_table_routes_through_aggregate(self, store):
+        store.append_many([rec(f"k{n}{s}", n, seed=s)
+                           for n in (8, 16) for s in (0, 1)])
+        rows = store.query().table(by=("ring_size",))
+        assert [dict(r.group)["ring_size"] for r in rows] == [8, 16]
+        assert all(r.stats.runs == 2 for r in rows)
+
+    def test_series_reduces_per_x(self, store):
+        store.append_many(
+            [rec("a8", 8, seed=0, rounds=10), rec("b8", 8, seed=1, rounds=20),
+             rec("a16", 16, seed=0, rounds=40)])
+        assert store.query().series() == [(8, 15.0), (16, 40.0)]
+        assert store.query().series(reduce="max") == [(8, 20.0), (16, 40.0)]
+        with pytest.raises(ConfigurationError, match="unknown reducer"):
+            store.query().series(reduce="median")
+
+    def test_series_skips_errors(self, store):
+        store.append(rec("ok", 8, rounds=10))
+        store.append({"key": "bad", "config": {"ring_size": 8}, "error": "x"})
+        assert store.query().series() == [(8, 10.0)]
+
+    def test_fit_needs_three_points(self, store):
+        store.append_many([rec(f"k{n}", n) for n in (8, 16)])
+        assert store.query().fit() is None
+
+    def test_fit_recovers_linear_shape(self, store):
+        store.append_many([rec(f"k{n}", n, rounds=3 * n - 6)
+                           for n in (8, 16, 32, 64)])
+        profile = store.query().fit()
+        assert profile is not None
+        assert profile.best.model == "linear"
+        assert profile.r_squared("linear") > 0.9999
+
+    def test_fit_recovers_quadratic_shape(self, store):
+        store.append_many([rec(f"k{n}", n, rounds=n * n + 7)
+                           for n in (8, 16, 32, 64)])
+        assert store.query().fit().best.model == "quadratic"
+
+    def test_fit_recovers_nlogn_shape(self, store):
+        store.append_many(
+            [rec(f"k{n}", n, rounds=int(5 * n * math.log2(n)))
+             for n in (8, 16, 32, 64, 128)])
+        assert store.query().fit().best.model == "nlogn"
+
+
+class TestFitRows:
+    def test_one_row_per_group_and_metric(self, store):
+        store.append_many(
+            [rec(f"a{n}", n, label="lin", rounds=2 * n, moves=2 * n)
+             for n in (8, 16, 32)]
+            + [rec(f"b{n}", n, label="quad", rounds=n * n, moves=n * n)
+               for n in (8, 16, 32)])
+        rows = fit_rows(store.query())
+        assert [(dict(r.group)["label"], r.metric) for r in rows] == [
+            ("lin", "rounds"), ("lin", "total_moves"),
+            ("quad", "rounds"), ("quad", "total_moves")]
+        verdicts = {dict(r.group)["label"]: r.profile.best.model
+                    for r in rows if r.metric == "rounds"}
+        assert verdicts == {"lin": "linear", "quad": "quadratic"}
+
+    def test_underpopulated_group_renders_gracefully(self, store):
+        store.append_many([rec(f"k{n}", n) for n in (8, 16)])
+        rows = fit_rows(store.query())
+        assert all(r.profile is None for r in rows)
+        text = render_fit_rows(rows, title="fits")
+        assert "needs >= 3 sweep points" in text
+
+    def test_render_empty(self):
+        assert "no completed cells" in render_fit_rows([])
+
+    def test_backends_produce_identical_fit_text(self, tmp_path):
+        records = [rec(f"k{n}{s}", n, seed=s, rounds=3 * n - 6)
+                   for n in (8, 16, 32) for s in (0, 1)]
+        jsonl = JsonlStore(tmp_path / "r.jsonl")
+        sqlite = SqliteStore(tmp_path / "r.db")
+        jsonl.append_many(records)
+        sqlite.append_many(records)
+        assert (render_fit_rows(fit_rows(jsonl.query()))
+                == render_fit_rows(fit_rows(sqlite.query())))
+
+
+class TestQueryOnQueryObject:
+    def test_query_is_reusable_between_operations(self, store):
+        store.append_many([rec(f"k{n}", n) for n in (8, 16, 32)])
+        q = Query(store).where(algorithm="x")
+        assert q.count() == 3
+        assert len(q.table(by=("ring_size",))) == 3
+        assert len(q.series()) == 3

@@ -1,0 +1,166 @@
+"""Topology sweeps and the impossibility preset, cell by cell."""
+
+import pytest
+
+from repro.campaigns import (
+    CellConfig,
+    build_cell_engine,
+    build_graph_cell_engine,
+    execute_cell,
+    get_spec,
+    is_graph_cell,
+    validate_cell,
+)
+from repro.core.errors import ConfigurationError
+
+networkx = pytest.importorskip("networkx")
+
+
+def graph_cell(**overrides) -> CellConfig:
+    fields = dict(algorithm="random-walk", ring_size=9, max_rounds=4_000,
+                  adversary="random", stop_on_exploration=True)
+    fields.update(overrides)
+    return CellConfig(**fields)
+
+
+class TestTopologyRegistry:
+    def test_graph_builders_have_requested_node_count(self):
+        from repro.campaigns.registry import TOPOLOGIES
+
+        for topology in ("ring", "path", "torus", "cactus"):
+            cell = graph_cell(topology=topology, ring_size=9)
+            graph = TOPOLOGIES[topology](cell)
+            assert graph.number_of_nodes() == 9, topology
+            assert networkx.is_connected(graph)
+
+    def test_cactus_even_count_gets_pendant_tail(self):
+        from repro.extensions.dynamic_graph import cactus_graph
+
+        graph = cactus_graph(8)
+        assert graph.number_of_nodes() == 8
+        assert networkx.is_connected(graph)
+        assert min(dict(graph.degree).values()) == 1  # the tail
+
+    def test_torus_needs_a_grid_factorisation(self):
+        cell = graph_cell(topology="torus", ring_size=7)  # prime
+        with pytest.raises(ConfigurationError, match="torus"):
+            build_graph_cell_engine(cell)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            validate_cell(graph_cell(topology="klein-bottle"))
+
+    def test_ring_algorithms_refuse_graph_topologies(self):
+        cell = CellConfig(algorithm="known-bound", ring_size=9, max_rounds=10,
+                          topology="torus")
+        with pytest.raises(ConfigurationError, match="ring-specific"):
+            validate_cell(cell)
+
+    def test_graph_cells_refuse_ring_only_adversaries(self):
+        with pytest.raises(ConfigurationError, match="cannot drive"):
+            validate_cell(graph_cell(topology="path", adversary="figure2"))
+
+    def test_engine_dispatch(self):
+        assert is_graph_cell(graph_cell())
+        assert not is_graph_cell(
+            CellConfig(algorithm="known-bound", ring_size=8, max_rounds=10))
+        with pytest.raises(ConfigurationError, match="graph engine"):
+            build_cell_engine(graph_cell())
+
+
+class TestTopologyExecution:
+    @pytest.mark.parametrize("topology", ["ring", "path", "torus", "cactus"])
+    def test_random_walk_explores_every_topology(self, topology):
+        record = execute_cell(graph_cell(topology=topology))
+        assert "error" not in record, record.get("error")
+        metrics = record["metrics"]
+        assert metrics["explored"]
+        assert metrics["mode"] == "unconscious"
+        assert metrics["total_moves"] > 0
+        assert record["config"]["topology"] == topology
+
+    def test_rotor_router_runs_on_graph_engine(self):
+        record = execute_cell(graph_cell(algorithm="rotor-router",
+                                         topology="path", adversary="none"))
+        assert "error" not in record, record.get("error")
+        assert record["metrics"]["explored"]
+
+    def test_topology_is_a_sweep_dimension(self):
+        spec = get_spec("topologies")
+        cells = spec.cell_list()
+        assert {c.topology for c in cells} == {"ring", "path", "torus", "cactus"}
+        # content hashes separate topologies that share every other field
+        by_everything_else = {}
+        for cell in cells:
+            key = (cell.ring_size, cell.seed)
+            by_everything_else.setdefault(key, set()).add(cell.key())
+        assert all(len(keys) == 4 for keys in by_everything_else.values())
+
+    def test_graph_results_are_seed_deterministic(self):
+        cell = graph_cell(topology="cactus", seed=3)
+        first = execute_cell(cell)
+        second = execute_cell(cell)
+        assert first["metrics"] == second["metrics"]
+
+
+class TestImpossibilityPreset:
+    @pytest.fixture(scope="class")
+    def records(self):
+        """One (cheap) cell per variant, executed once for the class."""
+        spec = get_spec("impossibility")
+        picked = {}
+        for cell in spec.cell_list():
+            if cell.label not in picked:
+                picked[cell.label] = cell
+        return {label: (cell, execute_cell(cell))
+                for label, cell in picked.items()
+                if cell.label != "t3.4-theorem19-et-bound-only"}
+
+    def test_every_variant_executes_cleanly(self, records):
+        for label, (_, record) in records.items():
+            assert "error" not in record, (label, record.get("error"))
+
+    def test_theorem9_starves_every_move(self, records):
+        _, record = records["t3.1-theorem9-ns-starvation"]
+        metrics = record["metrics"]
+        assert metrics["total_moves"] == 0
+        assert not metrics["explored"]
+
+    def test_theorem10_strands_the_agents(self, records):
+        _, record = records["t3.2-theorem10-pt-no-chirality"]
+        metrics = record["metrics"]
+        assert not metrics["explored"]
+        assert metrics["mode"] == "none"
+
+    def test_figure2_costs_exactly_3n_minus_6(self, records):
+        cell, record = records["fig2-worst-case-3n-6"]
+        assert record["metrics"]["exploration_round"] == 3 * cell.ring_size - 6
+        assert record["metrics"]["mode"] == "explicit"
+
+    def test_zigzag_extracts_superlinear_moves(self, records):
+        cell, record = records["t13-zigzag-quadratic-moves"]
+        metrics = record["metrics"]
+        assert metrics["explored"]
+        # the forcing is Omega(n^2); even the smallest cell clears the
+        # linear envelope 2n that a benign PT run stays inside
+        assert metrics["total_moves"] > 3 * cell.ring_size
+
+    def test_theorem19_terminates_incorrectly(self):
+        spec = get_spec("impossibility")
+        cell = next(c for c in spec.cells()
+                    if c.label == "t3.4-theorem19-et-bound-only")
+        record = execute_cell(cell)
+        assert "error" not in record, record.get("error")
+        assert record["metrics"]["mode"] == "incorrect"
+
+    def test_combined_adversary_is_also_the_scheduler(self):
+        cell = CellConfig(algorithm="pt-bound", ring_size=8, max_rounds=10,
+                          adversary="ns-starvation", transport="ns")
+        engine = build_cell_engine(cell)
+        assert engine.scheduler is engine.adversary
+
+    def test_theorem19_requires_a_bound(self):
+        cell = CellConfig(algorithm="et-exact", ring_size=11, max_rounds=10,
+                          agents=3, adversary="theorem19", transport="et")
+        with pytest.raises(ConfigurationError, match="bound"):
+            build_cell_engine(cell)

@@ -148,3 +148,47 @@ class TestLandmarkTracking:
             mem.record_traversal(RIGHT)
         mem.observe_landmark()
         assert mem.size == n
+
+
+class TestClone:
+    def _populated(self) -> AgentMemory:
+        mem = AgentMemory()
+        for _ in range(3):
+            mem.record_traversal(RIGHT)
+        mem.record_traversal(LEFT)
+        mem.record_blocked()
+        mem.tick()
+        mem.observe_landmark()
+        mem.vars.update({"state": "Explore", "G": 4, "dir": LEFT,
+                         "nested": {"a": 1}, "steps": [1, 2]})
+        return mem
+
+    def test_clone_equals_original(self):
+        mem = self._populated()
+        clone = mem.clone()
+        assert clone == mem
+        assert clone is not mem and clone.vars is not mem.vars
+
+    def test_scalar_mutations_do_not_leak_back(self):
+        mem = self._populated()
+        clone = mem.clone()
+        clone.record_traversal(RIGHT)
+        clone.tick()
+        clone.vars["G"] = 99
+        clone.vars["state"] = "Done"
+        assert mem.Tsteps == 4 and mem.Ttime == 1
+        assert mem.vars["G"] == 4 and mem.vars["state"] == "Explore"
+
+    def test_one_level_containers_are_isolated(self):
+        mem = self._populated()
+        clone = mem.clone()
+        clone.vars["nested"]["a"] = 2
+        clone.vars["steps"].append(3)
+        assert mem.vars["nested"] == {"a": 1}
+        assert mem.vars["steps"] == [1, 2]
+
+    def test_clone_matches_deepcopy(self):
+        import copy
+
+        mem = self._populated()
+        assert mem.clone() == copy.deepcopy(mem)
