@@ -1,0 +1,29 @@
+# Developer entry points.  Everything honours PYTHONPATH=src (pyproject
+# sets pythonpath for pytest, the bench script inserts it itself).
+
+PYTHON ?= python
+
+.PHONY: test bench bench-smoke bench-suites smoke-campaign
+
+## Tier-1 test suite (the CI gate).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Full engine hot-path benchmark; rewrites BENCH_engine.json at the repo
+## root — commit the refreshed file so the perf trajectory stays current.
+bench:
+	$(PYTHON) benchmarks/bench_engine_hotpath.py
+
+## CI-sized benchmark (< 60 s) with the acceptance guard: fails if the
+## worst-case-adversary headline drops below 5x over the reference path.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_engine_hotpath.py --smoke \
+		--out results/BENCH_engine_smoke.json --min-speedup 5
+
+## The pytest-benchmark suites (paper-table reproductions).
+bench-suites:
+	$(PYTHON) -m pytest benchmarks -q
+
+## The CI smoke campaign, serially, against the default JSONL store.
+smoke-campaign:
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec smoke --workers 2

@@ -1,0 +1,204 @@
+"""Round-loop throughput of the engine hot path; persists ``BENCH_engine.json``.
+
+Unlike the pytest-benchmark suites next to it, this is a standalone
+script: it sweeps ring sizes 10^2..10^5, agent counts 1..64 and the three
+transport models, measures rounds/second on the optimized engine, and —
+for a subset plus the headline worst-case configuration (n=1000, k=32,
+``ns-starvation``) — on the reference path (``optimized=False``), which
+preserves the pre-index engine's behaviour and allocation profile
+(O(k) Look scans, a fresh ``Snapshot`` per observation, uncached peeks).
+The speedup column is therefore measured, not estimated, on every run.
+
+Usage::
+
+    python benchmarks/bench_engine_hotpath.py           # full sweep
+    python benchmarks/bench_engine_hotpath.py --smoke   # CI mode, < 60 s
+    make bench / make bench-smoke
+
+Results land in ``BENCH_engine.json`` at the repo root (override with
+``--out``) so the repository carries a perf trajectory reviewers can
+diff PR over PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaigns.registry import build_cell_engine  # noqa: E402
+from repro.campaigns.spec import CellConfig  # noqa: E402
+
+#: The acceptance configuration: a peek-heavy omniscient adversary over a
+#: mid-size ring and team — the regime every impossibility sweep lives in.
+HEADLINE = dict(algorithm="known-bound", ring_size=1000, agents=32,
+                adversary="ns-starvation", transport="ns")
+
+WARMUP_ROUNDS = 30
+
+
+def measure(cell: CellConfig, *, optimized: bool, budget_s: float,
+            max_rounds: int = 200_000) -> dict:
+    """Rounds/second for one configuration on one engine path.
+
+    Engines that run out of live agents are rebuilt mid-measurement so
+    short-lived algorithms still yield sustained-throughput numbers.
+    """
+    engine = build_cell_engine(cell, optimized=optimized)
+    for _ in range(WARMUP_ROUNDS):
+        if not engine.step():
+            engine = build_cell_engine(cell, optimized=optimized)
+    rounds = 0
+    elapsed = 0.0
+    start = time.perf_counter()
+    while rounds < max_rounds:
+        if not engine.step():
+            # Rebuild outside the clock: engine construction is not the
+            # round loop.
+            elapsed += time.perf_counter() - start
+            engine = build_cell_engine(cell, optimized=optimized)
+            start = time.perf_counter()
+            continue
+        rounds += 1
+        if rounds % 64 == 0:
+            elapsed_now = elapsed + (time.perf_counter() - start)
+            if elapsed_now >= budget_s:
+                break
+    elapsed += time.perf_counter() - start
+    return {"rounds": rounds, "elapsed_s": round(elapsed, 4),
+            "rounds_per_s": round(rounds / elapsed, 1) if elapsed else None}
+
+
+def sweep_cell(ring_size: int, agents: int, transport: str) -> CellConfig:
+    """A sustained workload per transport: unconscious explorers never
+    terminate, so the loop runs for as long as the budget allows."""
+    return CellConfig(
+        algorithm="unconscious", ring_size=ring_size, agents=agents,
+        max_rounds=10**8, adversary="random", transport=transport,
+    )
+
+
+def worst_case_cells() -> list[tuple[str, CellConfig]]:
+    """The look-ahead (peeking) adversaries at benchmark scale."""
+    return [
+        ("ns-starvation(n=1000,k=32)", CellConfig(
+            max_rounds=10**8, **HEADLINE)),
+        ("block-agent(n=1000,k=8)", CellConfig(
+            algorithm="unconscious", ring_size=1000, agents=8,
+            max_rounds=10**8, adversary="block-agent", transport="ns")),
+        ("zigzag(n=200,k=2)", CellConfig(
+            algorithm="pt-bound", ring_size=200, agents=2,
+            max_rounds=10**8, adversary="zigzag", transport="pt")),
+    ]
+
+
+def run(smoke: bool, budget_s: float | None) -> dict:
+    if smoke:
+        ring_sizes = [100, 1000]
+        agent_counts = [1, 8, 16]
+        budget = budget_s or 0.05
+        baseline_max_n = 100
+    else:
+        ring_sizes = [100, 1000, 10_000, 100_000]
+        agent_counts = [1, 8, 64]
+        budget = budget_s or 0.2
+        baseline_max_n = 1000
+
+    sweeps = []
+    for transport in ("ns", "pt", "et"):
+        for n in ring_sizes:
+            for k in agent_counts:
+                cell = sweep_cell(n, k, transport)
+                row = {
+                    "workload": "sweep", "transport": transport,
+                    "ring_size": n, "agents": k, "adversary": "random",
+                    "optimized": measure(cell, optimized=True, budget_s=budget),
+                }
+                if n <= baseline_max_n:
+                    row["reference"] = measure(
+                        cell, optimized=False, budget_s=budget)
+                    row["speedup"] = round(
+                        row["optimized"]["rounds_per_s"]
+                        / row["reference"]["rounds_per_s"], 2)
+                sweeps.append(row)
+                print(f"  {transport} n={n:>6} k={k:<3} "
+                      f"{row['optimized']['rounds_per_s']:>10,.0f} rounds/s"
+                      + (f"  ({row['speedup']}x vs reference)"
+                         if "speedup" in row else ""),
+                      flush=True)
+
+    for label, cell in worst_case_cells():
+        row = {
+            "workload": "worst-case", "label": label,
+            "transport": cell.transport, "ring_size": cell.ring_size,
+            "agents": cell.agents, "adversary": cell.adversary,
+            "optimized": measure(cell, optimized=True, budget_s=budget * 2),
+            "reference": measure(cell, optimized=False, budget_s=budget * 2),
+        }
+        row["speedup"] = round(row["optimized"]["rounds_per_s"]
+                               / row["reference"]["rounds_per_s"], 2)
+        sweeps.append(row)
+        print(f"  {label:<28} {row['optimized']['rounds_per_s']:>10,.0f} "
+              f"rounds/s  ({row['speedup']}x vs reference)", flush=True)
+
+    # The headline ratio gates CI (--min-speedup), so give it a full
+    # second per path even in smoke mode: sub-0.2s windows on shared
+    # runners are noisy enough to flake a hard threshold.
+    headline_budget = max(budget * 4, 1.0)
+    headline_cell = CellConfig(max_rounds=10**8, **HEADLINE)
+    optimized = measure(headline_cell, optimized=True, budget_s=headline_budget)
+    reference = measure(headline_cell, optimized=False, budget_s=headline_budget)
+    headline = {
+        "config": dict(HEADLINE),
+        "optimized": optimized,
+        "reference": reference,
+        "speedup": round(optimized["rounds_per_s"] / reference["rounds_per_s"], 2),
+    }
+    print(f"headline (n=1000, k=32, ns-starvation): "
+          f"{optimized['rounds_per_s']:,.0f} vs {reference['rounds_per_s']:,.0f} "
+          f"rounds/s -> {headline['speedup']}x", flush=True)
+
+    return {
+        "benchmark": "engine-hotpath",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "mode": "smoke" if smoke else "full",
+        "headline": headline,
+        "sweeps": sweeps,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small grid, tiny budgets (< 60 s)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="seconds of measurement per configuration")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_engine.json"),
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero if the headline speedup is below "
+                             "this factor (CI guard)")
+    args = parser.parse_args(argv)
+
+    results = run(args.smoke, args.budget)
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    if args.min_speedup is not None and \
+            results["headline"]["speedup"] < args.min_speedup:
+        print(f"FAIL: headline speedup {results['headline']['speedup']}x "
+              f"< required {args.min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

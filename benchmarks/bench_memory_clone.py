@@ -45,13 +45,13 @@ def test_clone_matches_deepcopy_semantics():
     for index in (0, 1):
         agent = engine.agents[index]
         snapshot = engine.snapshot_for(agent)
-        before = copy.deepcopy(agent.memory.__dict__)
+        before = copy.deepcopy(agent.memory)  # AgentMemory is slotted: no __dict__
         via_clone = engine.algorithm.compute(snapshot, agent.memory.clone())
         via_deepcopy = engine.algorithm.compute(
             snapshot, copy.deepcopy(agent.memory))
         assert via_clone == via_deepcopy
         # the speculative Compute must not leak into the real memory
-        assert agent.memory.__dict__ == before
+        assert agent.memory == before
 
 
 def test_clone_peek_faster_than_deepcopy(benchmark):

@@ -39,14 +39,12 @@ class BlockAgentAdversary:
         # Peek even when the agent already waits on a port: it may decide
         # to reverse this very round, and Observation 1's adversary always
         # removes the edge the agent is about to try.
-        intent = engine.peek_intended_action(self._target)
-        if intent.kind is not ActionKind.MOVE:
-            if agent.port is not None:
-                return engine.port_edge(agent)
-            return None
-        assert intent.direction is not None
-        target_port = agent.orientation.to_global(intent.direction)
-        return engine.ring.edge_from(agent.node, target_port)
+        edge = engine.peek_intended_edge(self._target)
+        if edge is not None:
+            return edge
+        if agent.port is not None:
+            return engine.port_edge(agent)
+        return None
 
     def __repr__(self) -> str:
         return f"BlockAgentAdversary(target={self._target})"

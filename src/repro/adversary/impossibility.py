@@ -24,16 +24,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def _intended_edge(engine: "Engine", index: int) -> int | None:
-    """Edge the agent would try to traverse if activated now, if any."""
-    agent = engine.agents[index]
-    if agent.terminated:
-        return None
-    intent = engine.peek_intended_action(index)
-    if intent.kind is not ActionKind.MOVE:
-        return None
-    assert intent.direction is not None
-    port = agent.orientation.to_global(intent.direction)
-    return engine.ring.edge_from(agent.node, port)
+    """Edge the agent would try to traverse if activated now, if any.
+
+    Thin alias for :meth:`Engine.peek_intended_edge`, which resolves the
+    edge once per cached peek (these adversaries ask for every agent every
+    round).
+    """
+    return engine.peek_intended_edge(index)
 
 
 class NSStarvationAdversary:

@@ -122,12 +122,7 @@ class ETPingPongAdversary:
             return None
         if agent.port is not None:
             return engine.port_edge(agent)
-        intent = engine.peek_intended_action(index)
-        if intent.kind is not ActionKind.MOVE:
-            return None
-        assert intent.direction is not None
-        port = agent.orientation.to_global(intent.direction)
-        return engine.ring.edge_from(agent.node, port)
+        return engine.peek_intended_edge(index)
 
     def _plan(self, engine: "Engine") -> None:
         self._round = engine.round_no
@@ -202,12 +197,7 @@ class ZigZagForcingAdversary:
             return None
         if agent.port is not None:
             return engine.port_edge(agent)
-        intent = engine.peek_intended_action(index)
-        if intent.kind is not ActionKind.MOVE:
-            return None
-        assert intent.direction is not None
-        port = agent.orientation.to_global(intent.direction)
-        return engine.ring.edge_from(agent.node, port)
+        return engine.peek_intended_edge(index)
 
     def _plan(self, engine: "Engine") -> None:
         anchor, walker = engine.agents[0], engine.agents[1]

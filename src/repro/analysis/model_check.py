@@ -29,7 +29,6 @@ import copy
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from ..core.actions import ActionKind
 from ..core.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,13 +60,8 @@ def effective_edge_choices(engine: "Engine") -> list[int | None]:
     for agent in engine.agents:
         if agent.terminated:
             continue
-        intent = engine.peek_intended_action(agent.index)
-        if intent.kind is not ActionKind.MOVE:
-            continue
-        assert intent.direction is not None
-        port = agent.orientation.to_global(intent.direction)
-        edge = engine.ring.edge_from(agent.node, port)
-        if edge not in seen:
+        edge = engine.peek_intended_edge(agent.index)
+        if edge is not None and edge not in seen:
             seen.add(edge)
             choices.append(edge)
     return choices

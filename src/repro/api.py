@@ -47,12 +47,17 @@ def build_engine(
     scheduler: ActivationScheduler | None = None,
     transport: TransportModel = TransportModel.NS,
     trace: Trace | None = None,
+    debug_invariants: bool | None = None,
+    optimized: bool = True,
 ) -> Engine:
     """Assemble an :class:`Engine` with sensible defaults.
 
     ``chirality``/``flipped`` build the orientation vector unless an
     explicit ``orientations`` sequence is given.  Default adversary is
-    :class:`NoRemoval`, default scheduler FSYNC.
+    :class:`NoRemoval`, default scheduler FSYNC.  ``debug_invariants``
+    gates the per-round model audit (``None`` = on under pytest, off
+    otherwise); ``optimized=False`` selects the reference (scan-based)
+    Look path — see the engine docs.
     """
     ring = Ring(ring_size, landmark=landmark)
     if orientations is None:
@@ -68,6 +73,8 @@ def build_engine(
         adversary=adversary if adversary is not None else NoRemoval(),
         transport=transport,
         trace=trace,
+        debug_invariants=debug_invariants,
+        optimized=optimized,
     )
 
 

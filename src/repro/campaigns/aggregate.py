@@ -27,6 +27,30 @@ from ..core.errors import ConfigurationError
 from ..core.results import RunResult
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches numpy's default ("linear") method so report numbers agree
+    with any offline analysis of the exported columnar data; implemented
+    here (the lowest aggregation layer, no store dependencies) so both
+    the table reducer below and the query layer's ``p50``/``p90``/``p99``
+    series reducers share one definition.
+    """
+    if not values:
+        raise ValueError("percentile of an empty group")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    frac = rank - low
+    if frac == 0.0:
+        return float(ordered[low])
+    return ordered[low] * (1.0 - frac) + ordered[low + 1] * frac
+
+
 def metrics_from_result(result: RunResult) -> dict[str, Any]:
     """Flatten a run outcome into the metric dict stored per cell."""
     return {
@@ -47,7 +71,13 @@ def metrics_from_result(result: RunResult) -> dict[str, Any]:
 
 @dataclass(frozen=True)
 class GroupStats:
-    """Reduction of one group of metric dicts (one table cell family)."""
+    """Reduction of one group of metric dicts (one table cell family).
+
+    ``p50``/``p90`` report the tails next to the mean: a sweep whose mean
+    looks linear can still hide quadratic stragglers, and the percentile
+    columns are where they show up.  (Defaults keep older call sites that
+    construct :class:`GroupStats` positionally/partially working.)
+    """
 
     runs: int
     mean_rounds: float
@@ -60,6 +90,10 @@ class GroupStats:
     mean_last_termination_round: float | None
     max_last_termination_round: int | None
     modes: dict[str, int]
+    p50_rounds: float = 0.0
+    p90_rounds: float = 0.0
+    p50_moves: float = 0.0
+    p90_moves: float = 0.0
 
 
 def summarize_metrics(metrics: Sequence[Mapping[str, Any]]) -> GroupStats:
@@ -75,12 +109,18 @@ def summarize_metrics(metrics: Sequence[Mapping[str, Any]]) -> GroupStats:
         m["last_termination_round"] for m in metrics
         if m.get("last_termination_round") is not None
     ]
+    rounds = [m["rounds"] for m in metrics]
+    moves = [m["total_moves"] for m in metrics]
     return GroupStats(
         runs=len(metrics),
-        mean_rounds=statistics.fmean(m["rounds"] for m in metrics),
-        max_rounds=max(m["rounds"] for m in metrics),
-        mean_moves=statistics.fmean(m["total_moves"] for m in metrics),
-        max_moves=max(m["total_moves"] for m in metrics),
+        mean_rounds=statistics.fmean(rounds),
+        max_rounds=max(rounds),
+        mean_moves=statistics.fmean(moves),
+        max_moves=max(moves),
+        p50_rounds=percentile(rounds, 50),
+        p90_rounds=percentile(rounds, 90),
+        p50_moves=percentile(moves, 50),
+        p90_moves=percentile(moves, 90),
         mean_exploration_round=(
             statistics.fmean(exploration)
             if len(exploration) == len(metrics) else None
@@ -146,7 +186,9 @@ class TableRow:
         )
         return (
             f"{self.label:<40} runs={s.runs:<3} rounds~{s.mean_rounds:.1f} "
-            f"(max {s.max_rounds}) moves~{s.mean_moves:.1f} (max {s.max_moves}) "
+            f"(p50 {s.p50_rounds:.0f}, p90 {s.p90_rounds:.0f}, max {s.max_rounds}) "
+            f"moves~{s.mean_moves:.1f} "
+            f"(p90 {s.p90_moves:.0f}, max {s.max_moves}) "
             f"{explored} modes={s.modes}"
         )
 

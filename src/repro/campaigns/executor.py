@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
 from .aggregate import metrics_from_graph_result, metrics_from_result
@@ -96,6 +96,7 @@ def run_cells(
     workers: int | None = None,
     chunk_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    debug_invariants: bool | None = None,
 ) -> CampaignRun:
     """Execute every cell not already in the store; return what happened.
 
@@ -103,8 +104,15 @@ def run_cells(
     (same records, useful under debuggers and in tests).  Results stream
     into ``store`` chunk by chunk, so interrupting and re-invoking with the
     same cells resumes where the run stopped.
+
+    ``debug_invariants`` (``None`` = leave each cell's own flag alone)
+    force-overrides the per-round engine audit for every cell of this run;
+    campaigns default the audit off, so passing ``True`` is the "paranoid
+    sweep" switch (note it changes non-default cells' store keys).
     """
     cells = list(cells)
+    if debug_invariants is not None:
+        cells = [replace(c, debug_invariants=debug_invariants) for c in cells]
     for cell in cells:
         validate_cell(cell)
     start = time.perf_counter()
@@ -161,6 +169,7 @@ def run_campaign(
     workers: int | None = None,
     chunk_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    debug_invariants: bool | None = None,
 ) -> CampaignRun:
     """Expand a spec and execute it against a store (URI, path or instance).
 
@@ -172,4 +181,5 @@ def run_campaign(
     return run_cells(
         spec.cells(), store,
         workers=workers, chunk_size=chunk_size, progress=progress,
+        debug_invariants=debug_invariants,
     )

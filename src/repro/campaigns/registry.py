@@ -190,8 +190,13 @@ def validate_cell(cell: CellConfig) -> None:
     TransportModel(cell.transport)
 
 
-def build_cell_engine(cell: CellConfig, *, trace=None) -> "Engine":
-    """Assemble the engine a cell describes (deterministic given the cell)."""
+def build_cell_engine(cell: CellConfig, *, trace=None, optimized: bool = True) -> "Engine":
+    """Assemble the engine a cell describes (deterministic given the cell).
+
+    ``optimized=False`` builds the same configuration on the engine's
+    reference (scan-based) Look path; the trace-equivalence tests run
+    seed-matched cells through both and assert identical behaviour.
+    """
     from ..api import build_engine  # late import: api is a facade over us too
 
     validate_cell(cell)
@@ -232,6 +237,11 @@ def build_cell_engine(cell: CellConfig, *, trace=None) -> "Engine":
         scheduler=scheduler,
         transport=transport,
         trace=trace,
+        # Campaign cells opt *in* to the per-round model audit: sweeps pay
+        # for it only when a cell explicitly asks (unlike direct engine
+        # construction, which defaults the audit on under pytest).
+        debug_invariants=cell.debug_invariants,
+        optimized=optimized,
     )
 
 
@@ -312,7 +322,7 @@ def is_graph_cell(cell: CellConfig) -> bool:
     return cell.algorithm in GRAPH_EXPLORERS
 
 
-def build_graph_cell_engine(cell: CellConfig) -> Any:
+def build_graph_cell_engine(cell: CellConfig, *, optimized: bool = True) -> Any:
     """Assemble a :class:`~repro.extensions.dynamic_graph.DynamicGraphEngine`.
 
     ``ring_size`` is read as the node count, placements resolve over node
@@ -344,7 +354,9 @@ def build_graph_cell_engine(cell: CellConfig) -> Any:
     else:
         adversary = ConnectivityPreservingAdversary(budget=1, seed=cell.seed)
     explorer = GRAPH_EXPLORERS[cell.algorithm](cell)
-    engine = DynamicGraphEngine(graph, explorer, positions, adversary=adversary)
+    engine = DynamicGraphEngine(
+        graph, explorer, positions, adversary=adversary, optimized=optimized
+    )
     if cell.algorithm == "rotor-router":
         from ..extensions.explorers import attach_node_oracle
 

@@ -177,6 +177,7 @@ class CellConfig:
     edge: int = 0
     adversary_arg: int | None = None
     stop_on_exploration: bool = False
+    debug_invariants: bool = False
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -248,7 +249,11 @@ _SPEC_CONTROL_KEYS = {"grid", "label", "horizon"}
 #: while they sit at their default: a defaulted new field describes the
 #: *same simulation* the old schema described, so pre-existing result
 #: stores keep resuming instead of silently re-running every cell.
-_KEY_EXCLUDED_DEFAULTS = {"topology": "ring", "adversary_arg": None}
+_KEY_EXCLUDED_DEFAULTS = {
+    "topology": "ring",
+    "adversary_arg": None,
+    "debug_invariants": False,
+}
 
 
 @dataclass

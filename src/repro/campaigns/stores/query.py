@@ -24,15 +24,28 @@ from typing import Any, Iterator, Mapping, Sequence
 
 from ...analysis.complexity import DEFAULT_SHAPE_MODELS, ShapeProfile, fit_profile
 from ...core.errors import ConfigurationError
-from ..aggregate import DEFAULT_GROUP_BY, TableRow, aggregate_records
+from ..aggregate import DEFAULT_GROUP_BY, TableRow, aggregate_records, percentile
 from .base import ResultStore, record_matches
 
-#: metric-series reducers usable by :meth:`Query.series`.
+def _percentile_reducer(q: float):
+    def reduce(values: Sequence[float]) -> float:
+        return percentile(values, q)
+
+    return reduce
+
+
+#: metric-series reducers usable by :meth:`Query.series`.  The percentile
+#: reducers make tail behaviour a first-class series — perf sweeps report
+#: p50/p90/p99 next to the mean instead of hiding stragglers in it.
 REDUCERS = {
     "mean": statistics.fmean,
     "max": max,
     "min": min,
     "sum": sum,
+    "median": _percentile_reducer(50),
+    "p50": _percentile_reducer(50),
+    "p90": _percentile_reducer(90),
+    "p99": _percentile_reducer(99),
 }
 
 

@@ -107,6 +107,9 @@ def make_parser() -> argparse.ArgumentParser:
                        help="only run the first LIMIT cells of the expansion")
         p.add_argument("--no-report", action="store_true",
                        help="skip the aggregate table after the run")
+        p.add_argument("--debug-invariants", action="store_true",
+                       help="run every cell with the per-round engine audit "
+                            "on (campaigns default it off for throughput)")
 
     p = csub.add_parser("report", help="aggregate a result store into table rows")
     p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
@@ -232,6 +235,7 @@ def campaign_main(args) -> int:
     run = run_cells(
         cells, store,
         workers=args.workers, chunk_size=args.chunk_size, progress=_progress,
+        debug_invariants=True if args.debug_invariants else None,
     )
     print(run.summary())
     if not args.no_report:

@@ -36,9 +36,17 @@ class Action:
             raise ValueError(f"{self.kind} actions must not carry a direction")
 
 
+#: The two possible MOVE actions, interned: ``compute`` returns an action
+#: per agent per round, so the hot loop reuses these frozen instances
+#: instead of re-validating and re-allocating an identical ``Action``.
+_MOVES: dict[LocalDirection, Action] = {
+    d: Action(ActionKind.MOVE, d) for d in LocalDirection
+}
+
+
 def move(direction: LocalDirection) -> Action:
     """Attempt to traverse the edge in the agent's local ``direction``."""
-    return Action(ActionKind.MOVE, LocalDirection(direction))
+    return _MOVES[LocalDirection(direction)]
 
 
 #: The paper's ``nil``: stay exactly where you are (even on a port).

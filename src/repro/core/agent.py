@@ -14,13 +14,18 @@ from .directions import GlobalDirection, LocalDirection, Orientation
 from .memory import AgentMemory
 
 
-@dataclass
+@dataclass(slots=True)
 class AgentState:
     """Position, orientation and memory of one agent.
 
     ``port`` is ``None`` while the agent stands in the node interior;
     otherwise it is the *global* direction of the port of ``node`` the
     agent occupies (``PLUS`` = the port toward ``node + 1``).
+
+    ``left_global``/``right_global`` cache the agent's fixed frame mapping:
+    the Look phase consults them once per snapshot, so the orientation
+    algebra runs once per agent instead of once per observation.  The class
+    is slotted — every field is hot-path state touched each round.
     """
 
     index: int
@@ -34,6 +39,14 @@ class AgentState:
     rounds_since_active: int = 0
     activations: int = 0
 
+    # Frame cache (derived from the immutable orientation).
+    left_global: GlobalDirection = field(init=False)
+    right_global: GlobalDirection = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.left_global = self.orientation.to_global(LocalDirection.LEFT)
+        self.right_global = self.left_global.opposite
+
     @property
     def on_port(self) -> bool:
         return self.port is not None
@@ -42,7 +55,7 @@ class AgentState:
         """The occupied port expressed in this agent's own frame."""
         if self.port is None:
             return None
-        return self.orientation.to_local(self.port)
+        return LocalDirection.LEFT if self.port is self.left_global else LocalDirection.RIGHT
 
     def global_direction(self, local: LocalDirection) -> GlobalDirection:
         return self.orientation.to_global(local)

@@ -38,9 +38,15 @@ from typing import Any
 from .directions import LocalDirection
 
 
-@dataclass
+@dataclass(slots=True)
 class AgentMemory:
-    """Counters plus algorithm-private storage for a single agent."""
+    """Counters plus algorithm-private storage for a single agent.
+
+    Slotted: one instance lives per agent for the whole run and its
+    counters are read/written every round by both the engine and the
+    algorithms' predicates, so fixed-slot attribute access (and the
+    smaller footprint) is worth giving up ``__dict__``.
+    """
 
     # -- protocol-wide counters -------------------------------------------
     Ttime: int = 0
@@ -88,9 +94,10 @@ class AgentMemory:
 
         The engine's ``peek_intended_action`` (and through it every
         omniscient adversary) simulates an agent's next Compute against a
-        throwaway memory every round — ``copy.deepcopy`` there dominated
-        the peek hot path.  The counters are immutable scalars, so a
-        ``__dict__`` copy covers them; ``vars`` gets a fresh dict with
+        throwaway memory — ``copy.deepcopy`` there dominated the peek hot
+        path before the engine's peek cache existed, and cache misses
+        still take this path.  The counters are immutable scalars, so a
+        slot-by-slot copy covers them; ``vars`` gets a fresh dict with
         one level of container copying, which isolates everything the
         paper's algorithms do to it (they rebind keys, and the only
         non-scalar values — direction enums, ``DirectionSchedule`` — are
@@ -99,7 +106,8 @@ class AgentMemory:
         place during Compute.
         """
         clone = AgentMemory.__new__(AgentMemory)
-        clone.__dict__.update(self.__dict__)
+        for name in _SCALAR_SLOTS:
+            setattr(clone, name, getattr(self, name))
         clone.vars = {
             key: value.copy() if isinstance(value, (dict, list, set)) else value
             for key, value in self.vars.items()
@@ -156,3 +164,10 @@ class AgentMemory:
         self.Etime = 0
         if not keep_esteps:
             self.Esteps = 0
+
+
+#: Every slot ``clone`` copies verbatim (all fields except ``vars``,
+#: which needs its one-level container copy).  Computed once at import.
+_SCALAR_SLOTS = tuple(
+    f.name for f in AgentMemory.__dataclass_fields__.values() if f.name != "vars"
+)

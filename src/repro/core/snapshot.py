@@ -77,3 +77,36 @@ class Snapshot:
     def caught(self) -> bool:
         """I am on a port after a failed move and another agent is in the node."""
         return self.on_port is not None and not self.moved and self.others_in_node > 0
+
+
+#: Interning pool for :func:`intern_snapshot`.  The snapshot value space is
+#: tiny — 3 positions x (k+1) neighbour counts x 2^5 flags — so the pool
+#: stays bounded by the largest team ever simulated in the process, while
+#: the engine's Look phase stops allocating a frozen dataclass per agent
+#: per round.  Safe to share across engines: snapshots are immutable and
+#: compare by value.
+_INTERNED: dict[tuple, Snapshot] = {}
+
+
+def intern_snapshot(
+    on_port: LocalDirection | None,
+    others_in_node: int,
+    other_on_left_port: bool,
+    other_on_right_port: bool,
+    is_landmark: bool,
+    moved: bool,
+    failed: bool,
+) -> Snapshot:
+    """A shared :class:`Snapshot` instance for the given field values.
+
+    Behaviourally identical to calling ``Snapshot(...)`` (equality, hashing
+    and every predicate agree); only object identity is shared.  Algorithms
+    receive snapshots read-only, so reuse is invisible to them.
+    """
+    key = (on_port, others_in_node, other_on_left_port, other_on_right_port,
+           is_landmark, moved, failed)
+    snap = _INTERNED.get(key)
+    if snap is None:
+        snap = Snapshot(*key)
+        _INTERNED[key] = snap
+    return snap

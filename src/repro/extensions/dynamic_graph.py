@@ -96,6 +96,29 @@ class GraphSnapshot:
     moved: bool
 
 
+#: Interning pool for Look snapshots (same rationale as
+#: :func:`repro.core.snapshot.intern_snapshot`: the value space is tiny and
+#: snapshots are immutable, so the Look phase reuses frozen instances).
+_INTERNED_SNAPSHOTS: dict[tuple, GraphSnapshot] = {}
+
+_EMPTY_PORTS: frozenset[int] = frozenset()
+
+
+def _intern_graph_snapshot(
+    degree: int,
+    on_port: int | None,
+    others_in_node: int,
+    occupied_ports: frozenset[int],
+    moved: bool,
+) -> GraphSnapshot:
+    key = (degree, on_port, others_in_node, occupied_ports, moved)
+    snap = _INTERNED_SNAPSHOTS.get(key)
+    if snap is None:
+        snap = GraphSnapshot(*key)
+        _INTERNED_SNAPSHOTS[key] = snap
+    return snap
+
+
 class GraphExplorer(Protocol):
     """Deterministic-or-seeded per-agent exploration strategy."""
 
@@ -175,7 +198,14 @@ class GraphRunResult:
 
 
 class DynamicGraphEngine:
-    """Synchronous Look-Compute-Move on a dynamic port-labelled graph."""
+    """Synchronous Look-Compute-Move on a dynamic port-labelled graph.
+
+    Like the ring engine, the round loop maintains an incremental
+    occupancy index (``node -> interior count`` plus ``node -> {port:
+    holder}``), so a Look snapshot reads the observer's node in O(degree)
+    instead of scanning the whole team; ``optimized=False`` keeps the
+    original scan as the executable reference for the equivalence tests.
+    """
 
     def __init__(
         self,
@@ -184,6 +214,7 @@ class DynamicGraphEngine:
         positions: Sequence[Any],
         *,
         adversary=None,
+        optimized: bool = True,
     ) -> None:
         import networkx as nx
 
@@ -194,8 +225,12 @@ class DynamicGraphEngine:
         self.graph = graph
         self.explorer = explorer
         self.adversary = adversary if adversary is not None else StaticGraphAdversary()
+        self._optimized = bool(optimized)
         # Port labelling: node -> sorted neighbour list; port i = i-th neighbour.
         self.ports = {node: sorted(graph.neighbors(node)) for node in graph.nodes}
+        # Occupancy index: interior head-count and per-node held ports.
+        self._interior: dict[Any, int] = {}
+        self._node_ports: dict[Any, dict[int, int]] = {}
         self.agents = [
             GraphAgent(index=i, node=node) for i, node in enumerate(positions)
         ]
@@ -203,6 +238,7 @@ class DynamicGraphEngine:
             if agent.node not in graph:
                 raise ConfigurationError(f"start node {agent.node!r} not in the graph")
             self.explorer.setup(agent.memory)
+            self._interior[agent.node] = self._interior.get(agent.node, 0) + 1
         self.round_no = 0
         self.visited = {agent.node for agent in self.agents}
         self.exploration_round = 0 if self.exploration_complete else None
@@ -217,6 +253,25 @@ class DynamicGraphEngine:
         return len(self.ports[node])
 
     def snapshot_for(self, agent: GraphAgent) -> GraphSnapshot:
+        if not self._optimized:
+            return self._snapshot_for_scan(agent)
+        node = agent.node
+        others = self._interior.get(node, 0)
+        ports = self._node_ports.get(node)
+        own_port = agent.port
+        if own_port is None:
+            others -= 1  # don't count the observer itself
+            occupied = frozenset(ports) if ports else _EMPTY_PORTS
+        elif ports and len(ports) > 1:
+            occupied = frozenset(p for p in ports if p != own_port)
+        else:
+            occupied = _EMPTY_PORTS
+        return _intern_graph_snapshot(
+            len(self.ports[node]), own_port, others, occupied, agent.moved
+        )
+
+    def _snapshot_for_scan(self, agent: GraphAgent) -> GraphSnapshot:
+        """Reference implementation: O(k) scan over the team (pre-index)."""
         others = 0
         occupied: set[int] = set()
         for other in self.agents:
@@ -233,6 +288,40 @@ class DynamicGraphEngine:
             occupied_ports=frozenset(occupied),
             moved=agent.moved,
         )
+
+    # -- occupancy-index maintenance ------------------------------------
+
+    def _occ_release(self, agent: GraphAgent) -> None:
+        """Port -> interior of the same node."""
+        node = agent.node
+        ports = self._node_ports[node]
+        del ports[agent.port]
+        if not ports:
+            del self._node_ports[node]
+        self._interior[node] = self._interior.get(node, 0) + 1
+
+    def _occ_acquire(self, agent: GraphAgent, port: int) -> None:
+        """Interior (or another port) -> ``port`` of the same node."""
+        node = agent.node
+        if agent.port is None:
+            count = self._interior[node] - 1
+            if count:
+                self._interior[node] = count
+            else:
+                del self._interior[node]
+        else:
+            ports = self._node_ports[node]
+            del ports[agent.port]
+        self._node_ports.setdefault(node, {})[port] = agent.index
+
+    def _occ_traverse(self, agent: GraphAgent, target) -> None:
+        """Port of ``agent.node`` -> interior of ``target``."""
+        node = agent.node
+        ports = self._node_ports[node]
+        del ports[agent.port]
+        if not ports:
+            del self._node_ports[node]
+        self._interior[target] = self._interior.get(target, 0) + 1
 
     def _edge_of_port(self, node, port: int):
         neighbors = self.ports[node]
@@ -255,17 +344,26 @@ class DynamicGraphEngine:
 
         # Port acquisition in mutual exclusion (as in the ring engine:
         # ports occupied at round start stay denied, lowest index wins).
-        held = {
-            (agent.node, agent.port)
-            for agent in self.agents
-            if agent.port is not None
-        }
+        if self._optimized:
+            held = {
+                (node, port)
+                for node, ports in self._node_ports.items()
+                for port in ports
+            }
+        else:
+            held = {
+                (agent.node, agent.port)
+                for agent in self.agents
+                if agent.port is not None
+            }
         movers: list[GraphAgent] = []
         claims: dict[tuple, int] = {}
         for agent in self.agents:
             port = requests[agent.index]
             agent.moved = False
             if port is None:
+                if agent.port is not None:
+                    self._occ_release(agent)
                 agent.port = None  # a resting agent steps back into the node
                 continue
             key = (agent.node, port)
@@ -275,6 +373,7 @@ class DynamicGraphEngine:
                 continue  # denied
             else:
                 claims[key] = agent.index
+                self._occ_acquire(agent, port)
                 agent.port = port
                 movers.append(agent)
 
@@ -285,6 +384,7 @@ class DynamicGraphEngine:
             if edge in self.missing:
                 continue  # blocked: stays on the port
             target = self.ports[agent.node][agent.port]
+            self._occ_traverse(agent, target)
             agent.node = target
             agent.port = None
             agent.moved = True

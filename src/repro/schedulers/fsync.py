@@ -19,7 +19,9 @@ class FsyncScheduler:
         return None
 
     def select(self, engine: "Engine") -> set[int]:
-        return {agent.index for agent in engine.agents if not agent.terminated}
+        # Copy the engine-maintained live set: callers (e.g. wrapping
+        # schedulers) own the returned set and may mutate it.
+        return set(engine.live_indexes)
 
     def __repr__(self) -> str:
         return "FsyncScheduler()"

@@ -33,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def _live(engine: "Engine") -> list[int]:
-    return [agent.index for agent in engine.agents if not agent.terminated]
+    return sorted(engine.live_indexes)
 
 
 class RoundRobinScheduler:

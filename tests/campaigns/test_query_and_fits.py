@@ -64,8 +64,10 @@ class TestQuery:
              rec("a16", 16, seed=0, rounds=40)])
         assert store.query().series() == [(8, 15.0), (16, 40.0)]
         assert store.query().series(reduce="max") == [(8, 20.0), (16, 40.0)]
+        assert store.query().series(reduce="median") == [(8, 15.0), (16, 40.0)]
+        assert store.query().series(reduce="p90") == [(8, 19.0), (16, 40.0)]
         with pytest.raises(ConfigurationError, match="unknown reducer"):
-            store.query().series(reduce="median")
+            store.query().series(reduce="harmonic")
 
     def test_series_skips_errors(self, store):
         store.append(rec("ok", 8, rounds=10))
@@ -139,3 +141,48 @@ class TestQueryOnQueryObject:
         assert q.count() == 3
         assert len(q.table(by=("ring_size",))) == 3
         assert len(q.series()) == 3
+
+
+class TestPercentiles:
+    """The p50/p90 reach of the query layer and the report rows."""
+
+    def test_percentile_function_interpolates(self):
+        from repro.campaigns.stores.query import percentile
+
+        values = [10, 20, 30, 40, 50]
+        assert percentile(values, 50) == 30
+        assert percentile(values, 90) == 46.0
+        assert percentile(values, 0) == 10
+        assert percentile(values, 100) == 50
+        assert percentile([7], 90) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile(values, 101)
+
+    def test_series_percentile_reducers(self, store):
+        store.append_many(
+            [rec(f"k{s}", 8, seed=s, rounds=r)
+             for s, r in enumerate((10, 20, 30, 40, 100))])
+        assert store.query().series(reduce="p50") == [(8, 30.0)]
+        assert store.query().series(reduce="p90") == [(8, 76.0)]
+        assert store.query().series(reduce="p99") == [(8, 97.6)]
+
+    def test_group_stats_carry_tails(self, store):
+        from repro.campaigns.aggregate import summarize_metrics
+
+        store.append_many(
+            [rec(f"k{s}", 8, seed=s, rounds=r, moves=2 * r)
+             for s, r in enumerate((10, 20, 30, 40, 100))])
+        (row,) = store.query().table(by=("ring_size",))
+        assert row.stats.p50_rounds == 30
+        assert row.stats.p90_rounds == 76.0
+        assert row.stats.p50_moves == 60
+        assert row.stats.p90_moves == 152.0
+        # mean hides the straggler; p90 shows it in the rendered row
+        assert "p90 76" in str(row)
+        stats = summarize_metrics(
+            [{"rounds": r, "total_moves": r, "explored": True, "mode": "x"}
+             for r in (1, 1, 1, 1, 1000)])
+        assert stats.p50_rounds == 1
+        assert stats.p90_rounds > 500
