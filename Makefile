@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-suites smoke-campaign
+.PHONY: test bench bench-smoke bench-graph bench-suites smoke-campaign topologies-campaign
 
 ## Tier-1 test suite (the CI gate).
 test:
@@ -20,6 +20,11 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_engine_hotpath.py --smoke \
 		--out results/BENCH_engine_smoke.json --min-speedup 5
 
+## Graph-topology (unified core) numbers, merged into BENCH_engine.json
+## without disturbing the ring sections — commit the refreshed file.
+bench-graph:
+	$(PYTHON) benchmarks/bench_engine_hotpath.py --graph
+
 ## The pytest-benchmark suites (paper-table reproductions).
 bench-suites:
 	$(PYTHON) -m pytest benchmarks -q
@@ -27,3 +32,7 @@ bench-suites:
 ## The CI smoke campaign, serially, against the default JSONL store.
 smoke-campaign:
 	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec smoke --workers 2
+
+## The unified-core scheduler x topology smoke campaign (needs networkx).
+topologies-campaign:
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec topologies-smoke --workers 2

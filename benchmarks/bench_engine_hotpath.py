@@ -45,16 +45,25 @@ WARMUP_ROUNDS = 30
 
 
 def measure(cell: CellConfig, *, optimized: bool, budget_s: float,
-            max_rounds: int = 200_000) -> dict:
+            max_rounds: int = 200_000, prepare=None) -> dict:
     """Rounds/second for one configuration on one engine path.
 
     Engines that run out of live agents are rebuilt mid-measurement so
     short-lived algorithms still yield sustained-throughput numbers.
+    ``prepare`` (if given) runs against every freshly built engine —
+    the hook the rule-dispatch before/after measurement uses to toggle
+    ``memoize_dispatch`` on the algorithm.
     """
-    engine = build_cell_engine(cell, optimized=optimized)
+    def build():
+        engine = build_cell_engine(cell, optimized=optimized)
+        if prepare is not None:
+            prepare(engine)
+        return engine
+
+    engine = build()
     for _ in range(WARMUP_ROUNDS):
         if not engine.step():
-            engine = build_cell_engine(cell, optimized=optimized)
+            engine = build()
     rounds = 0
     elapsed = 0.0
     start = time.perf_counter()
@@ -63,7 +72,7 @@ def measure(cell: CellConfig, *, optimized: bool, budget_s: float,
             # Rebuild outside the clock: engine construction is not the
             # round loop.
             elapsed += time.perf_counter() - start
-            engine = build_cell_engine(cell, optimized=optimized)
+            engine = build()
             start = time.perf_counter()
             continue
         rounds += 1
@@ -97,6 +106,99 @@ def worst_case_cells() -> list[tuple[str, CellConfig]]:
             algorithm="pt-bound", ring_size=200, agents=2,
             max_rounds=10**8, adversary="zigzag", transport="pt")),
     ]
+
+
+def rule_dispatch_entry(budget: float) -> dict:
+    """Before/after for the memoised rule dispatch of ``algorithms/base.py``.
+
+    The workload is the compute-bound regime the ROADMAP names: FSYNC,
+    every agent active every round, no adversary peeks, O(1) Look — so
+    the round loop is dominated by the state-machine driver itself.
+    ``interpretive`` re-derives each state's dispatch from the StateSpec
+    on every Compute (the pre-memoisation behaviour); ``memoized`` reads
+    the per-state table compiled at construction.
+    """
+    config = dict(algorithm="known-bound", ring_size=1000, agents=32,
+                  adversary="none", transport="ns")
+    cell = CellConfig(max_rounds=10**8, **config)
+
+    def set_memo(value):
+        def prepare(engine):
+            engine.algorithm.memoize_dispatch = value
+        return prepare
+
+    memoized = measure(cell, optimized=True, budget_s=budget,
+                       prepare=set_memo(True))
+    interpretive = measure(cell, optimized=True, budget_s=budget,
+                           prepare=set_memo(False))
+    entry = {
+        "config": config,
+        "memoized": memoized,
+        "interpretive": interpretive,
+        "speedup": round(memoized["rounds_per_s"]
+                         / interpretive["rounds_per_s"], 3),
+    }
+    print(f"  rule-dispatch (n=1000, k=32, fsync): "
+          f"{memoized['rounds_per_s']:,.0f} vs "
+          f"{interpretive['rounds_per_s']:,.0f} rounds/s -> "
+          f"{entry['speedup']}x memoized", flush=True)
+    return entry
+
+
+def graph_cells(smoke: bool) -> list[tuple[str, CellConfig]]:
+    """Graph-topology workloads on the unified core (requires networkx).
+
+    Explorers never terminate, so every cell sustains for the budget;
+    ``adversary="random"`` includes the per-round connectivity check the
+    connectivity-preserving adversary pays, ``"none"`` isolates the
+    engine itself.
+    """
+    n = 64 if smoke else 1024  # torus factorises: 8x8 / 32x32
+    cells = [
+        (f"torus-walk(n={n},k=1)", CellConfig(
+            algorithm="random-walk", ring_size=n, agents=1, max_rounds=10**8,
+            adversary="none", topology="torus")),
+        (f"torus-walk(n={n},k=8)", CellConfig(
+            algorithm="random-walk", ring_size=n, agents=8, max_rounds=10**8,
+            adversary="none", topology="torus")),
+        # The connectivity-preserving adversary re-checks connectivity
+        # per round (O(m) in networkx), so its row uses a smaller torus —
+        # at large n it measures networkx, not the engine.
+        (f"torus-walk-adv(n={min(n, 256)},k=8)", CellConfig(
+            algorithm="random-walk", ring_size=min(n, 256), agents=8,
+            max_rounds=10**8, adversary="random", topology="torus")),
+        (f"torus-rotor(n={n},k=8)", CellConfig(
+            algorithm="rotor-router", ring_size=n, agents=8, max_rounds=10**8,
+            adversary="none", topology="torus")),
+        (f"cactus-walk(n={n+1},k=8)", CellConfig(
+            algorithm="random-walk", ring_size=n + 1, agents=8,
+            max_rounds=10**8, adversary="none", topology="cactus")),
+        (f"ring-walk(n={n},k=8)", CellConfig(
+            algorithm="random-walk", ring_size=n, agents=8, max_rounds=10**8,
+            adversary="none", topology="ring")),
+    ]
+    return cells
+
+
+def run_graph(smoke: bool, budget_s: float | None) -> list[dict]:
+    """The graph-topology section (``--graph`` / ``make bench-graph``)."""
+    budget = budget_s or (0.05 if smoke else 0.2)
+    rows = []
+    for label, cell in graph_cells(smoke):
+        row = {
+            "workload": "graph", "label": label,
+            "topology": cell.topology, "algorithm": cell.algorithm,
+            "nodes": cell.ring_size, "agents": cell.agents,
+            "adversary": cell.adversary,
+            "optimized": measure(cell, optimized=True, budget_s=budget),
+            "reference": measure(cell, optimized=False, budget_s=budget),
+        }
+        row["speedup"] = round(row["optimized"]["rounds_per_s"]
+                               / row["reference"]["rounds_per_s"], 2)
+        rows.append(row)
+        print(f"  {label:<26} {row['optimized']['rounds_per_s']:>10,.0f} "
+              f"rounds/s  ({row['speedup']}x vs reference)", flush=True)
+    return rows
 
 
 def run(smoke: bool, budget_s: float | None) -> dict:
@@ -165,20 +267,31 @@ def run(smoke: bool, budget_s: float | None) -> dict:
           f"{optimized['rounds_per_s']:,.0f} vs {reference['rounds_per_s']:,.0f} "
           f"rounds/s -> {headline['speedup']}x", flush=True)
 
-    return {
+    results = {
         "benchmark": "engine-hotpath",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "mode": "smoke" if smoke else "full",
         "headline": headline,
         "sweeps": sweeps,
+        "rule_dispatch": rule_dispatch_entry(max(budget * 4, 1.0)),
     }
+    if not smoke:
+        # Full runs also refresh the graph-topology section; smoke (CI)
+        # skips it to protect the <60s budget — `make bench-graph` merges
+        # it on demand.
+        results["graph"] = run_graph(smoke, budget_s)
+    return results
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: small grid, tiny budgets (< 60 s)")
+    parser.add_argument("--graph", action="store_true",
+                        help="measure only the graph-topology workloads and "
+                             "merge them into the existing --out JSON "
+                             "(make bench-graph)")
     parser.add_argument("--budget", type=float, default=None,
                         help="seconds of measurement per configuration")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_engine.json"),
@@ -188,8 +301,21 @@ def main(argv: list[str] | None = None) -> int:
                              "this factor (CI guard)")
     args = parser.parse_args(argv)
 
-    results = run(args.smoke, args.budget)
     out = Path(args.out)
+    if args.graph:
+        rows = run_graph(args.smoke, args.budget)
+        results = json.loads(out.read_text()) if out.exists() else {
+            "benchmark": "engine-hotpath",
+            "python": platform.python_version(),
+        }
+        results["graph"] = rows
+        results["created"] = datetime.now(timezone.utc).isoformat(
+            timespec="seconds")
+        out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {out} (graph section merged)")
+        return 0
+
+    results = run(args.smoke, args.budget)
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out}")
     if args.min_speedup is not None and \

@@ -201,6 +201,28 @@ def rules(*pairs: tuple[Predicate, str]) -> tuple[Rule, ...]:
     return tuple(Rule(predicate, target) for predicate, target in pairs)
 
 
+def _compile_state(spec: StateSpec) -> tuple:
+    """Flatten one state into the driver's dispatch tuple.
+
+    ``(on_enter, custom, keep_esteps, direction_value, direction_fn,
+    rule_pairs)`` — everything :meth:`StateMachineAlgorithm.compute`
+    consults per round, pre-resolved: the constant-vs-callable direction
+    decision is made here (not per Compute), and the rule list becomes a
+    flat tuple of ``(predicate, target)`` pairs so the guard loop touches
+    no dataclass attributes.
+    """
+    direction_fn = spec.direction if callable(spec.direction) else None
+    direction_value = spec.direction if direction_fn is None else None
+    return (
+        spec.on_enter,
+        spec.custom,
+        spec.keep_esteps,
+        direction_value,
+        direction_fn,
+        tuple((rule.predicate, rule.target) for rule in spec.rules),
+    )
+
+
 class StateMachineAlgorithm:
     """Base driver for the paper's Explore-style algorithms.
 
@@ -219,6 +241,17 @@ class StateMachineAlgorithm:
     #: that lets one catch event fire twice.  Production value: False.
     eager_entry_rules = False
 
+    #: Perf switch (ROADMAP "Compute-bound regimes"): rule dispatch is
+    #: memoised per state — each state's handlers, direction kind and
+    #: guard list are flattened once at construction
+    #: (:func:`_compile_state`) instead of being re-derived from the
+    #: ``StateSpec`` dataclass on every Compute.  ``False`` restores the
+    #: re-derive-per-Compute behaviour as the measured baseline of the
+    #: ``rule_dispatch`` entry in ``benchmarks/bench_engine_hotpath.py``;
+    #: both paths are behaviourally identical (the golden trace suite
+    #: covers the memoised one).
+    memoize_dispatch = True
+
     def __init__(self) -> None:
         self._states: dict[str, StateSpec] = {}
         for spec in self.build_states():
@@ -233,6 +266,9 @@ class StateMachineAlgorithm:
                     )
         if self.initial_state not in self._states:
             raise ValueError(f"unknown initial state {self.initial_state!r}")
+        self._dispatch: dict[str, tuple] = {
+            name: _compile_state(spec) for name, spec in self._states.items()
+        }
 
     # -- subclass interface ---------------------------------------------------
 
@@ -251,66 +287,64 @@ class StateMachineAlgorithm:
 
     def compute(self, snapshot: Snapshot, memory: AgentMemory) -> Action:
         ctx = Ctx(snapshot, memory)
+        vars = memory.vars
         entered_this_round = False
+        dispatch = self._dispatch if self.memoize_dispatch else None
         for _ in range(MAX_CHAIN):
-            state_name = memory.vars["state"]
+            state_name = vars["state"]
             if state_name == TERMINAL:
                 return TERMINATE
-            spec = self._states[state_name]
+            if dispatch is not None:
+                entry = dispatch[state_name]
+            else:
+                entry = _compile_state(self._states[state_name])
+            on_enter, custom, keep_esteps, direction, direction_fn, rule_pairs = entry
 
-            if not memory.vars["_entered"]:
-                if spec.on_enter is not None:
-                    outcome = spec.on_enter(ctx)
+            if not vars["_entered"]:
+                if on_enter is not None:
+                    outcome = on_enter(ctx)
                     if isinstance(outcome, str):
                         self._transition(memory, outcome)
                         entered_this_round = True
                         continue
                     if isinstance(outcome, Action):
                         if outcome.kind is ActionKind.TERMINATE:
-                            memory.vars["state"] = TERMINAL
+                            vars["state"] = TERMINAL
                         return outcome
-                memory.reset_explore(keep_esteps=spec.keep_esteps)
-                memory.vars["_entered"] = True
+                memory.reset_explore(keep_esteps=keep_esteps)
+                vars["_entered"] = True
 
-            if spec.custom is not None:
-                result = spec.custom(ctx)
+            if custom is not None:
+                result = custom(ctx)
                 if isinstance(result, str):
                     self._transition(memory, result)
                     entered_this_round = True
                     continue
                 if result.kind is ActionKind.TERMINATE:
-                    memory.vars["state"] = TERMINAL
+                    vars["state"] = TERMINAL
                 return result
 
-            direction = self._resolve_direction(spec, ctx)
+            if direction_fn is not None:
+                direction = direction_fn(ctx)
             ctx.direction = direction
-            memory.vars["last_dir"] = direction
+            vars["last_dir"] = direction
             # Guards of a state entered this round wait for the next Look
             # (see the module docstring); the agent still moves per the
             # new state's direction immediately.
-            defer_rules = entered_this_round and not self.eager_entry_rules
-            target = None if defer_rules else self._first_match(spec, ctx)
-            if target is None:
+            if entered_this_round and not self.eager_entry_rules:
                 return move(direction)
-            self._transition(memory, target)
-            entered_this_round = True
+            for predicate, target in rule_pairs:
+                if predicate(ctx):
+                    self._transition(memory, target)
+                    entered_this_round = True
+                    break
+            else:
+                return move(direction)
         raise ProtocolViolation(
             f"{self.name}: more than {MAX_CHAIN} same-round state transitions"
         )
 
     # -- internals ---------------------------------------------------------------
-
-    def _resolve_direction(self, spec: StateSpec, ctx: Ctx) -> LocalDirection:
-        if callable(spec.direction):
-            return spec.direction(ctx)
-        assert spec.direction is not None
-        return spec.direction
-
-    def _first_match(self, spec: StateSpec, ctx: Ctx) -> str | None:
-        for rule in spec.rules:
-            if rule.predicate(ctx):
-                return rule.target
-        return None
 
     def _transition(self, memory: AgentMemory, target: str) -> None:
         if target != TERMINAL and target not in self._states:

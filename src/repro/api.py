@@ -121,7 +121,9 @@ def run_cell(cell, *, trace: Trace | None = None) -> RunResult:
 
     The declarative twin of :func:`run_exploration`: the configuration is
     plain data (names into the campaign registry), so it can be hashed,
-    stored and shipped across processes.  Imported lazily because
+    stored and shipped across processes.  Works for every topology —
+    ring cells and graph cells build on the same unified core and return
+    the same :class:`RunResult`.  Imported lazily because
     :mod:`repro.campaigns` itself builds on this module.
     """
     from .campaigns.registry import build_cell_engine

@@ -8,9 +8,10 @@ object and runs it at scale:
 * :mod:`~repro.campaigns.spec` — :class:`CampaignSpec` (declarative
   grid/variants) expanding into content-hashed :class:`CellConfig` cells;
 * :mod:`~repro.campaigns.registry` — name → algorithm/adversary/scheduler
-  factories and :func:`build_cell_engine` (shared with the CLI), plus
-  beyond-paper topologies (``path``/``torus``/``cactus``) that run on the
-  dynamic-graph engine;
+  factories and :func:`build_cell_engine` (shared with the CLI); topology
+  is one more cell dimension (``ring``/``path``/``torus``/``cactus``),
+  and every cell — ring or graph — builds on the same unified
+  :class:`~repro.core.sim.SimulationCore`;
 * :mod:`~repro.campaigns.executor` — chunked multiprocessing execution
   with per-worker warm state, streaming results into the store;
 * :mod:`~repro.campaigns.stores` — pluggable result-store backends
@@ -42,7 +43,6 @@ from .aggregate import (
     TableRow,
     aggregate_records,
     aggregate_store,
-    metrics_from_graph_result,
     metrics_from_result,
     render_rows,
     summarize_metrics,
@@ -115,7 +115,6 @@ __all__ = [
     "get_spec",
     "is_graph_cell",
     "load_spec",
-    "metrics_from_graph_result",
     "metrics_from_result",
     "open_store",
     "render_fit_rows",

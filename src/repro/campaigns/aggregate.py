@@ -137,29 +137,6 @@ def summarize_metrics(metrics: Sequence[Mapping[str, Any]]) -> GroupStats:
     )
 
 
-def metrics_from_graph_result(result) -> dict[str, Any]:
-    """Flatten a :class:`~repro.extensions.dynamic_graph.GraphRunResult`.
-
-    Graph explorers are unconscious by construction (no explorer in the
-    open-problem playground terminates), so the termination fields pin to
-    their vacuous values; the shared keys (rounds, exploration, moves)
-    mean exactly what they mean for ring cells, which is what lets one
-    aggregate table mix topologies.
-    """
-    return {
-        "rounds": result.rounds,
-        "explored": result.explored,
-        "exploration_round": result.exploration_round,
-        "total_moves": result.total_moves,
-        "terminated_count": 0,
-        "all_terminated": False,
-        "last_termination_round": None,
-        "all_terminated_or_waiting": False,
-        "halted_reason": "explored" if result.explored else "horizon",
-        "mode": "unconscious" if result.explored else "none",
-    }
-
-
 def summarize_results(results: Sequence[RunResult]) -> GroupStats:
     """Reduce live :class:`RunResult` objects (the in-process sweep path)."""
     return summarize_metrics([metrics_from_result(r) for r in results])

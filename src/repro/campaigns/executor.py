@@ -19,33 +19,28 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
-from .aggregate import metrics_from_graph_result, metrics_from_result
-from .registry import (
-    build_cell_engine,
-    build_graph_cell_engine,
-    is_graph_cell,
-    validate_cell,
-)
+from .aggregate import metrics_from_result
+from .registry import build_cell_engine, validate_cell
 from .spec import CampaignSpec, CellConfig
 from .stores import ResultStore, open_store
 
 
 def execute_cell(cell: CellConfig) -> dict[str, Any]:
-    """Run one cell to completion and package the outcome as a store record."""
+    """Run one cell to completion and package the outcome as a store record.
+
+    Every topology takes the same path: the registry builds a facade over
+    the unified :class:`~repro.core.sim.SimulationCore`, which returns a
+    full :class:`~repro.core.results.RunResult` — so graph cells report
+    the identical metric schema (termination modes included) ring cells
+    always had.
+    """
     start = time.perf_counter()
     try:
-        if is_graph_cell(cell):
-            engine = build_graph_cell_engine(cell)
-            result = engine.run(
-                cell.max_rounds, stop_on_exploration=cell.stop_on_exploration
-            )
-            metrics = metrics_from_graph_result(result)
-        else:
-            engine = build_cell_engine(cell)
-            result = engine.run(
-                cell.max_rounds, stop_on_exploration=cell.stop_on_exploration
-            )
-            metrics = metrics_from_result(result)
+        engine = build_cell_engine(cell)
+        result = engine.run(
+            cell.max_rounds, stop_on_exploration=cell.stop_on_exploration
+        )
+        metrics = metrics_from_result(result)
         return {
             "key": cell.key(),
             "config": cell.to_dict(),

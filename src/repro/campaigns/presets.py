@@ -140,6 +140,43 @@ def topologies() -> CampaignSpec:
     )
 
 
+def topologies_smoke() -> CampaignSpec:
+    """Unified-core CI smoke: scheduler × topology grid (24 cells, <60s).
+
+    One cell per (topology × scheduler × seed) for the random walk, plus
+    a terminating rotor-router row per topology — FSYNC and SSYNC
+    activation, exploration and explicit termination, all through the
+    same :class:`~repro.core.sim.SimulationCore` ring cells run on.
+    Requires networkx.
+    """
+    return CampaignSpec(
+        name="topologies-smoke",
+        description="CI smoke for the unified core: every topology under "
+                    "FSYNC and SSYNC schedulers, plus explicit termination "
+                    "(requires networkx).",
+        base={
+            "adversary": "random",
+            "agents": 2,
+            "stop_on_exploration": True,
+            "horizon": "800 * n",
+        },
+        grid={
+            "seed": [0, 1],
+            "ring_size": [9],
+            "topology": ["ring", "path", "torus", "cactus"],
+        },
+        variants=[
+            {"label": "smoke-walk-fsync", "algorithm": "random-walk",
+             "scheduler": "auto"},
+            {"label": "smoke-walk-round-robin", "algorithm": "random-walk",
+             "scheduler": "round-robin"},
+            {"label": "smoke-rotor-terminating",
+             "algorithm": "rotor-router-terminating",
+             "scheduler": "random-fair", "stop_on_exploration": False},
+        ],
+    )
+
+
 def impossibility() -> CampaignSpec:
     """Tables 1/3 adversary constructions as one sweep (12 cells).
 
@@ -237,6 +274,7 @@ SPECS: dict[str, Callable[[], CampaignSpec]] = {
     "paper-tables": paper_tables,
     "impossibility": impossibility,
     "topologies": topologies,
+    "topologies-smoke": topologies_smoke,
     "smoke": smoke,
 }
 

@@ -162,15 +162,26 @@ def validate_cell(cell: CellConfig) -> None:
         raise ConfigurationError(
             f"unknown topology {cell.topology!r} (choose from {sorted(TOPOLOGIES)})")
     if is_graph_cell(cell):
-        # Graph cells run on the dynamic-graph engine: explorer algorithms
-        # only, graph-capable adversaries, synchronous activation.
+        # Graph cells run on the same unified core as ring cells: any
+        # scheduler/transport combination, plus every adversary with a
+        # topology-generic construction (the registry wraps single-edge
+        # look-ahead adversaries to stay connectivity-preserving).
         if cell.adversary not in GRAPH_ADVERSARIES:
             raise ConfigurationError(
                 f"adversary {cell.adversary!r} cannot drive topology "
                 f"{cell.topology!r} (choose from {sorted(GRAPH_ADVERSARIES)})")
-        if cell.scheduler != "auto":
+        if (cell.adversary in _PEEKING_GRAPH_ADVERSARIES
+                and cell.algorithm not in _DETERMINISTIC_EXPLORERS):
             raise ConfigurationError(
-                "graph topologies are fully synchronous; use scheduler='auto'")
+                f"peeking adversary {cell.adversary!r} needs a deterministic "
+                f"explorer (choose from {sorted(_DETERMINISTIC_EXPLORERS)}): "
+                f"peeking {cell.algorithm!r} would advance its RNG and make "
+                "results depend on how often the adversary looks ahead")
+        if cell.scheduler != "auto" and cell.scheduler not in SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown scheduler {cell.scheduler!r} "
+                f"(choose from {sorted(SCHEDULERS)})")
+        TransportModel(cell.transport)
         return
     if cell.topology != "ring":
         raise ConfigurationError(
@@ -193,7 +204,10 @@ def validate_cell(cell: CellConfig) -> None:
 def build_cell_engine(cell: CellConfig, *, trace=None, optimized: bool = True) -> "Engine":
     """Assemble the engine a cell describes (deterministic given the cell).
 
-    ``optimized=False`` builds the same configuration on the engine's
+    One entry point for every topology: ring-algorithm cells build the
+    ring facade, explorer cells the dynamic-graph facade — both are thin
+    constructors over the same :class:`~repro.core.sim.SimulationCore`.
+    ``optimized=False`` builds the same configuration on the core's
     reference (scan-based) Look path; the trace-equivalence tests run
     seed-matched cells through both and assert identical behaviour.
     """
@@ -201,9 +215,7 @@ def build_cell_engine(cell: CellConfig, *, trace=None, optimized: bool = True) -
 
     validate_cell(cell)
     if is_graph_cell(cell):
-        raise ConfigurationError(
-            f"cell {cell.algorithm!r}/{cell.topology!r} runs on the graph "
-            "engine; use build_graph_cell_engine")
+        return _build_graph_engine(cell, trace=trace, optimized=optimized)
     entry = ALGORITHMS[cell.algorithm]
     transport = TransportModel(cell.transport)
     placement = entry.placement_override or cell.placement
@@ -306,41 +318,72 @@ def _make_rotor_router(cell: CellConfig) -> Any:
     return RotorRouterExplorer()
 
 
-#: algorithm names that select the dynamic-graph engine (they work on
+def _make_rotor_router_terminating(cell: CellConfig) -> Any:
+    from ..extensions.explorers import TerminatingRotorRouter
+
+    # ``bound`` lets the explorer believe a node count other than the
+    # host's (mirroring the ring's known-bound protocols); by default it
+    # is told the truth.
+    return TerminatingRotorRouter(size=_bound(cell))
+
+
+#: algorithm names that select the dynamic-graph facade (they work on
 #: every topology, including ``"ring"`` — useful for cross-checks).
 GRAPH_EXPLORERS: dict[str, Callable[[CellConfig], Any]] = {
     "random-walk": _make_random_walk,
     "rotor-router": _make_rotor_router,
+    "rotor-router-terminating": _make_rotor_router_terminating,
 }
 
-#: adversary names valid for graph cells.
-GRAPH_ADVERSARIES = frozenset({"none", "random"})
+#: explorers that need the node-identity oracle (the documented model
+#: strengthening of :mod:`repro.extensions.explorers`).
+_ORACLE_EXPLORERS = frozenset({"rotor-router", "rotor-router-terminating"})
+
+#: adversary names valid for graph cells.  "none"/"random" build the
+#: graph-native adversaries; "block-agent" is the ring's peeking
+#: Observation-1 construction, made legal on arbitrary topologies by the
+#: connectivity-safe wrapper (it routes through the topology-generic
+#: ``peek_intended_edge``, so the omniscient look-ahead works unchanged;
+#: the remaining ring adversaries name edges by integer index or read the
+#: ring algebra, so they stay ring-only).
+GRAPH_ADVERSARIES = frozenset({"none", "random", "block-agent"})
+
+#: graph adversaries that simulate agents' next Compute (peek).  Peeks
+#: are only side-effect-free for *deterministic* explorers: the seeded
+#: random walk keeps a live RNG in its memory, which a speculative
+#: Compute would advance — making results depend on how often the
+#: adversary peeks and breaking optimized-vs-reference equivalence.
+#: validate_cell rejects those combinations outright.
+_PEEKING_GRAPH_ADVERSARIES = frozenset({"block-agent"})
+
+#: explorers whose Compute is a pure function of snapshot + memory.
+_DETERMINISTIC_EXPLORERS = frozenset({"rotor-router", "rotor-router-terminating"})
 
 
 def is_graph_cell(cell: CellConfig) -> bool:
-    """Does this cell run on the dynamic-graph engine?"""
+    """Does this cell run on the dynamic-graph facade?"""
     return cell.algorithm in GRAPH_EXPLORERS
 
 
-def build_graph_cell_engine(cell: CellConfig, *, optimized: bool = True) -> Any:
+def _build_graph_engine(
+    cell: CellConfig, *, trace=None, optimized: bool = True
+) -> Any:
     """Assemble a :class:`~repro.extensions.dynamic_graph.DynamicGraphEngine`.
 
     ``ring_size`` is read as the node count, placements resolve over node
-    labels ``0..n-1`` exactly as on the ring, and ``seed`` feeds both the
-    explorer (random walk) and the connectivity-preserving adversary.
-    Requires networkx (like everything in :mod:`repro.extensions`).
+    labels ``0..n-1`` exactly as on the ring, ``seed`` feeds the explorer
+    (random walk), the scheduler and the connectivity-preserving
+    adversary, and scheduler/transport resolve exactly as for ring cells
+    (``"auto"`` follows the transport model).  Requires networkx (like
+    everything in :mod:`repro.extensions`).
     """
     from ..extensions.dynamic_graph import (
         ConnectivityPreservingAdversary,
+        ConnectivitySafeAdversary,
         DynamicGraphEngine,
         StaticGraphAdversary,
     )
 
-    validate_cell(cell)
-    if not is_graph_cell(cell):
-        raise ConfigurationError(
-            f"cell {cell.algorithm!r} runs on the ring engine; "
-            "use build_cell_engine")
     graph = TOPOLOGIES[cell.topology](cell)
     node_count = graph.number_of_nodes()
     positions = resolve_positions(
@@ -349,16 +392,45 @@ def build_graph_cell_engine(cell: CellConfig, *, optimized: bool = True) -> Any:
         agents=cell.agents,
         positions=cell.positions if cell.placement == "explicit" else None,
     )
+    transport = TransportModel(cell.transport)
     if cell.adversary == "none":
         adversary = StaticGraphAdversary()
-    else:
+    elif cell.adversary == "random":
         adversary = ConnectivityPreservingAdversary(budget=1, seed=cell.seed)
+    else:
+        adversary = ConnectivitySafeAdversary(ADVERSARIES[cell.adversary](cell))
+    if cell.scheduler == "auto":
+        scheduler = SCHEDULERS[AUTO_SCHEDULER[transport]](cell)
+    else:
+        scheduler = SCHEDULERS[cell.scheduler](cell)
     explorer = GRAPH_EXPLORERS[cell.algorithm](cell)
     engine = DynamicGraphEngine(
-        graph, explorer, positions, adversary=adversary, optimized=optimized
+        graph, explorer, positions,
+        adversary=adversary,
+        scheduler=scheduler,
+        transport=transport,
+        trace=trace,
+        landmark=cell.landmark,
+        debug_invariants=cell.debug_invariants,
+        optimized=optimized,
     )
-    if cell.algorithm == "rotor-router":
+    if cell.algorithm in _ORACLE_EXPLORERS:
         from ..extensions.explorers import attach_node_oracle
 
         attach_node_oracle(engine)  # the documented model strengthening
     return engine
+
+
+def build_graph_cell_engine(cell: CellConfig, *, trace=None,
+                            optimized: bool = True) -> Any:
+    """Validate and build an explorer cell (graph-facade entry point).
+
+    :func:`build_cell_engine` dispatches here automatically; this remains
+    public for callers that want to *assert* a cell is a graph cell.
+    """
+    validate_cell(cell)
+    if not is_graph_cell(cell):
+        raise ConfigurationError(
+            f"cell {cell.algorithm!r} runs on the ring engine; "
+            "use build_cell_engine")
+    return _build_graph_engine(cell, trace=trace, optimized=optimized)

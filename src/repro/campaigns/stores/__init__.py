@@ -36,7 +36,7 @@ from .export import (
     parquet_available,
 )
 from .jsonl import JsonlStore
-from .query import FitRow, Query, fit_rows, render_fit_rows
+from .query import FitRow, Query, fit_rows, render_fit_rows, render_scatter
 from .sqlite import SqliteStore
 
 __all__ = [
@@ -57,5 +57,6 @@ __all__ = [
     "parquet_available",
     "record_matches",
     "render_fit_rows",
+    "render_scatter",
     "store_backends",
 ]

@@ -118,6 +118,36 @@ class Query:
         xs, ys = zip(*series)
         return fit_profile(xs, ys, models)
 
+    def scatter(
+        self, x: str = "ring_size", y: str = "rounds"
+    ) -> list[tuple[float, Any, float]]:
+        """Per-record ``(x, seed, y)`` points — the unreduced cloud.
+
+        The raw rows behind :meth:`series`: one point per successful
+        record, tagged with the record's seed so outlier runs can be
+        traced back to an exact re-runnable cell.  Sorted by ``(x, seed)``.
+        """
+        points: list[tuple[float, Any, float]] = []
+        for record in self.records():
+            if "error" in record:
+                continue
+            config = record.get("config", {})
+            x_value = config.get(x)
+            y_value = record.get("metrics", {}).get(y)
+            if not isinstance(x_value, (int, float)) or isinstance(x_value, bool):
+                continue
+            if not isinstance(y_value, (int, float)) or isinstance(y_value, bool):
+                continue
+            points.append((x_value, config.get("seed"), y_value))
+        return sorted(points, key=lambda p: (p[0], _seed_order(p[1])))
+
+
+def _seed_order(seed: Any) -> tuple:
+    """Sort key for seeds: numbers numerically, the rest lexically last."""
+    if isinstance(seed, (int, float)) and not isinstance(seed, bool):
+        return (0, seed, "")
+    return (1, 0, repr(seed))
+
 
 def _series_from_records(
     records, *, x: str, y: str, reduce: str
@@ -212,4 +242,51 @@ def render_fit_rows(rows: Sequence[FitRow], *, title: str = "") -> str:
     lines.extend(str(row) for row in rows)
     if not rows:
         lines.append("(no completed cells to fit)")
+    return "\n".join(lines)
+
+
+def render_scatter(
+    records: Sequence[dict[str, Any]],
+    *,
+    by: Sequence[str] = ("label",),
+    x: str = "ring_size",
+    metrics: Sequence[str] = ("rounds", "total_moves"),
+    title: str = "",
+) -> str:
+    """Per-seed scatter rows: one line per record, grouped like the table.
+
+    The drill-down under an aggregate report — each line names the exact
+    (group, x, seed) cell behind one measured value, so a fat p90 in the
+    table resolves to re-runnable configurations.
+    """
+    lines = []
+    if title:
+        lines.append(f"== {title}")
+    # One pass to bucket records under the same group key the aggregate
+    # table uses; aggregate_records then only dictates the group order.
+    buckets: dict[tuple, list[dict[str, Any]]] = {}
+    for record in records:
+        if "error" in record:
+            continue
+        config = record.get("config", {})
+        gkey = tuple(
+            (dim, tuple(v) if isinstance(v, list) else v)
+            for dim, v in ((d, config.get(d)) for d in by)
+        )
+        buckets.setdefault(gkey, []).append(record)
+    emitted = 0
+    for table_row in aggregate_records(records, by=by):
+        for record in buckets.get(table_row.group, ()):
+            config = record.get("config", {})
+            values = " ".join(
+                f"{metric}={record.get('metrics', {}).get(metric)}"
+                for metric in metrics
+            )
+            lines.append(
+                f"{table_row.label:<40} {x}={config.get(x):<6} "
+                f"seed={config.get('seed'):<4} {values}"
+            )
+            emitted += 1
+    if not emitted:
+        lines.append("(no completed cells)")
     return "\n".join(lines)

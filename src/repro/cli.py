@@ -11,7 +11,9 @@ Commands:
   * ``campaign run``    — expand a sweep spec and execute it (resumable);
   * ``campaign resume`` — continue an interrupted campaign;
   * ``campaign report`` — aggregate a result store into table rows
-    (``--fit`` adds complexity-shape verdicts straight from the store);
+    (``--fit`` adds complexity-shape verdicts straight from the store,
+    ``--reduce p90`` fits a tail percentile instead of the mean, and
+    ``--scatter`` drills down to per-seed rows);
   * ``campaign export`` — dump a store as a columnar file (CSV/Parquet);
   * ``campaign list``   — list the named campaign specs.
 
@@ -50,6 +52,7 @@ from .campaigns.stores import (
     fit_rows,
     open_store,
     render_fit_rows,
+    render_scatter,
 )
 from .core.errors import ConfigurationError
 from .theory.tables import render_map
@@ -124,6 +127,13 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--fit", action="store_true",
                    help="also shape-fit rounds/moves vs ring size per label "
                         "(linear vs n log n vs quadratic; needs numpy)")
+    p.add_argument("--reduce", choices=("mean", "p50", "p90", "p99"),
+                   default="mean",
+                   help="per-sweep-point reducer for the --fit series "
+                        "(default: mean; percentiles fit the tails instead)")
+    p.add_argument("--scatter", action="store_true",
+                   help="also print per-seed (unreduced) scatter rows, one "
+                        "line per stored record, grouped like the table")
 
     p = csub.add_parser(
         "export", help="export a result store as a columnar file")
@@ -199,19 +209,26 @@ def campaign_main(args) -> int:
             return 1
         by = tuple(d.strip() for d in args.by.split(",") if d.strip())
         query = store.query()
-        if args.fit:
-            # one store scan feeds both the aggregate table and the fits
+        if args.fit or args.scatter:
+            # one store scan feeds the aggregate table, fits and scatter
             records = list(query.records())
             rows = aggregate_records(records, by=by)
         else:
+            records = None
             rows = query.table(by=by)
         print(render_rows(rows, title=f"campaign {spec.name} ({store.uri()})"))
         if args.fit:
             print()
             print(render_fit_rows(
-                fit_rows(query, records=records),
+                fit_rows(query, records=records, reduce=args.reduce),
                 title="complexity-shape fits over ring_size "
-                      "(mean per size; best of linear/nlogn/quadratic)"))
+                      f"({args.reduce} per size; best of "
+                      "linear/nlogn/quadratic)"))
+        if args.scatter:
+            print()
+            print(render_scatter(
+                records, by=by,
+                title="per-seed scatter (one row per stored record)"))
         return 0
 
     if args.campaign_command == "export":

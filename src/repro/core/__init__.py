@@ -15,6 +15,8 @@ from .directions import (
     orientations_for,
 )
 from .engine import Engine, TransportModel
+from .sim import MAX_ROUNDS_LIMIT, SimulationCore
+from .topology import RingTopology
 from .errors import (
     AdversaryViolation,
     ConfigurationError,
@@ -45,6 +47,7 @@ __all__ = [
     "InvariantViolation",
     "LEFT",
     "LocalDirection",
+    "MAX_ROUNDS_LIMIT",
     "MIN_RING_SIZE",
     "MINUS",
     "MIRRORED",
@@ -54,7 +57,9 @@ __all__ = [
     "ReproError",
     "RIGHT",
     "Ring",
+    "RingTopology",
     "RunResult",
+    "SimulationCore",
     "Snapshot",
     "STAY",
     "TERMINATE",

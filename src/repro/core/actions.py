@@ -5,12 +5,24 @@ implicit terminal state.  One extra action is needed to express the
 communication dance of Figure 4 ("Move from the port to the node, i.e.
 staying at the same node"): :data:`ENTER_NODE` steps off a port back into
 the node interior without traversing anything.
+
+A MOVE names its port in one of two ways:
+
+* ``direction`` — the agent's local left/right, resolved through its
+  orientation by the engine (the ring algebra of Section 2.1); or
+* ``port`` — a topology port token used verbatim (the port-labelled model
+  of :mod:`repro.extensions.dynamic_graph`, where ports are integers
+  ``0..deg-1``).
+
+Exactly one of the two must be set; ring algorithms use ``direction``,
+graph explorers use ``port`` (via :func:`move_to_port`).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any, Hashable
 
 from .directions import LocalDirection
 
@@ -28,25 +40,41 @@ class Action:
 
     kind: ActionKind
     direction: LocalDirection | None = None
+    port: Any = None
 
     def __post_init__(self) -> None:
-        if self.kind is ActionKind.MOVE and self.direction is None:
-            raise ValueError("MOVE actions need a direction")
-        if self.kind is not ActionKind.MOVE and self.direction is not None:
-            raise ValueError(f"{self.kind} actions must not carry a direction")
+        if self.kind is ActionKind.MOVE:
+            if (self.direction is None) == (self.port is None):
+                raise ValueError(
+                    "MOVE actions need exactly one of direction or port")
+        elif self.direction is not None or self.port is not None:
+            raise ValueError(f"{self.kind} actions must not carry a target")
 
 
-#: The two possible MOVE actions, interned: ``compute`` returns an action
-#: per agent per round, so the hot loop reuses these frozen instances
-#: instead of re-validating and re-allocating an identical ``Action``.
+#: The two possible direction MOVE actions, interned: ``compute`` returns
+#: an action per agent per round, so the hot loop reuses these frozen
+#: instances instead of re-validating and re-allocating an identical
+#: ``Action``.  Port MOVEs are interned the same way (the port space of a
+#: bounded-degree topology is tiny).
 _MOVES: dict[LocalDirection, Action] = {
     d: Action(ActionKind.MOVE, d) for d in LocalDirection
 }
+
+_PORT_MOVES: dict[Hashable, Action] = {}
 
 
 def move(direction: LocalDirection) -> Action:
     """Attempt to traverse the edge in the agent's local ``direction``."""
     return _MOVES[LocalDirection(direction)]
+
+
+def move_to_port(port: Hashable) -> Action:
+    """Attempt to traverse the edge behind topology port ``port``."""
+    action = _PORT_MOVES.get(port)
+    if action is None:
+        action = Action(ActionKind.MOVE, port=port)
+        _PORT_MOVES[port] = action
+    return action
 
 
 #: The paper's ``nil``: stay exactly where you are (even on a port).

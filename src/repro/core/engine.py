@@ -1,119 +1,45 @@
-"""The dynamic-ring simulation engine.
+"""The dynamic-ring engine: a thin facade over the topology-generic core.
 
-Implements the computational model of Section 2.1 of the paper:
+The full round loop — schedulers, transport models, port mutual
+exclusion, the occupancy index, the peek cache, tracing and the invariant
+audit — lives in :class:`repro.core.sim.SimulationCore`, shared with
+every other topology (see :mod:`repro.extensions.dynamic_graph`).  This
+module keeps the paper-facing surface:
 
-* discrete rounds; at most one ring edge missing per round (1-interval
-  connectivity), chosen by an adaptive adversary;
-* a non-empty subset of agents activated per round (FSYNC = all of them),
-  chosen by a scheduler that may itself be adversarial;
-* per active agent: Look (simultaneous local snapshots), Compute (the
-  algorithm), Move (port mutual exclusion, traversal, blocking);
-* the three SSYNC transport models — NS, PT, ET — governing what happens
-  to an agent that sleeps while positioned on a port.
+* :class:`Engine` — the historical constructor signature (a
+  :class:`~repro.core.ring.Ring` plus algorithm/positions/orientations),
+  wired to the core through :class:`~repro.core.topology.RingTopology`;
+  ``engine.ring`` stays the plain :class:`Ring`, so adversaries and
+  analysis code keep the full ring algebra.
+* :data:`TransportModel` / :data:`MAX_ROUNDS_LIMIT` re-exports (their
+  definitions moved to :mod:`repro.core.sim` with the loop).
 
-Round anatomy (all ordering decisions documented in DESIGN.md):
-
-1. the adversary picks the missing edge;
-2. the scheduler picks the activation set (it already sees the edge choice,
-   like the single adversary of the paper that controls both);
-3. every active agent Looks at the configuration *as of the start of the
-   round* and Computes an action — decisions are simultaneous;
-4. actions resolve: terminations, port releases (``ENTER_NODE``) and port
-   acquisitions in mutual exclusion — a port occupied at the start of the
-   round is denied to new requesters for the whole round, contention among
-   new requesters is broken by a pluggable policy (default: lowest index);
-5. Move: every active agent standing on the port it requested traverses if
-   the edge is present, otherwise it stays blocked on the port; under PT
-   every *sleeping* agent on a port of a present edge is passively
-   transported across;
-6. bookkeeping: counters tick for active agents, landmark observations and
-   visited-set updates happen for agents that arrived at a node.
-
-Agents that crossed the same edge in opposite directions simply swap —
-the model says they "might not be able to detect each other", and no
-snapshot ever exposes the encounter.
-
-Hot path (see ARCHITECTURE.md, "Engine hot path")
--------------------------------------------------
-
-The round loop is built around an **incrementally maintained occupancy
-index** ``_occ`` (``node -> [interior count, PLUS-port holder, MINUS-port
-holder]``), updated at every position change, so a Look snapshot is O(1)
-per agent instead of an O(k) scan over the team.  On top of it sit a
-**peek cache** (an adversary's ``peek_intended_action`` result stays
-valid until the agent's memory or position, or its node's occupancy,
-changes), **snapshot interning** (the Look phase reuses frozen
-:class:`Snapshot` instances), and an allocation-audited round loop
-(scratch containers are reused, trace details are only built when a
-trace is attached, the live-agent set is maintained instead of rebuilt).
-``Engine(..., optimized=False)`` keeps the original scan-per-snapshot
-semantics as an executable reference; the trace-equivalence tests in
-``tests/core/test_hotpath_equivalence.py`` assert both paths produce
-identical event streams and results.
+Ring behaviour is *trace-exact* through the unified core: the golden
+fixture ``tests/core/golden_ring_traces.json`` pins event streams,
+per-round peeks and results to the pre-refactor engine, for both the
+optimized and the reference (``optimized=False``) Look paths.
 """
 
 from __future__ import annotations
 
-import enum
-import os
-import sys
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
-from .actions import Action, ActionKind, STAY
-from .agent import AgentState
-from .directions import GlobalDirection, LocalDirection, Orientation, CANONICAL
-from .errors import AdversaryViolation, ConfigurationError, InvariantViolation
+from .directions import Orientation
 from .interfaces import ActivationScheduler, Algorithm, EdgeAdversary
-from .memory import AgentMemory
-from .results import AgentStats, RunResult
 from .ring import Ring
-from .snapshot import Snapshot, intern_snapshot
-from .trace import Event, EventKind, Trace
+from .sim import (
+    MAX_ROUNDS_LIMIT,
+    SimulationCore,
+    TransportModel,
+    _default_tie_break,
+)
+from .topology import RingTopology
+from .trace import Trace
 
-_PLUS = GlobalDirection.PLUS
-_LEFT = LocalDirection.LEFT
-_RIGHT = LocalDirection.RIGHT
-
-
-class TransportModel(enum.Enum):
-    """What happens to an agent sleeping on a port (Section 2.1).
-
-    ``NS`` — no simultaneity: a sleeping agent never moves.
-    ``PT`` — passive transport: a sleeping agent on a port of a present
-    edge is carried across during that round.
-    ``ET`` — eventual transport: like NS, but the *scheduler* must
-    guarantee that an agent sleeping on a port of an infinitely-often
-    present edge is eventually activated in a round where the edge is
-    present (see :class:`repro.schedulers.ssync.ETFairScheduler`).
-
-    Under FSYNC nobody ever sleeps, so the choice is irrelevant there.
-    """
-
-    NS = "ns"
-    PT = "pt"
-    ET = "et"
+__all__ = ["Engine", "MAX_ROUNDS_LIMIT", "TransportModel"]
 
 
-#: Safety valve for same-round state-transition chains inside algorithms.
-MAX_ROUNDS_LIMIT = 100_000_000
-
-
-def _default_tie_break(contenders: Sequence[int]) -> int:
-    """Default port-contention winner: the lowest agent index."""
-    return min(contenders)
-
-
-def _default_debug_invariants() -> bool:
-    """Per-round invariant checking defaults on under pytest, off elsewhere.
-
-    Campaigns pass the flag explicitly per cell
-    (:attr:`repro.campaigns.spec.CellConfig.debug_invariants`), so sweep
-    throughput never pays for the audit unless a cell asks for it.
-    """
-    return "PYTEST_CURRENT_TEST" in os.environ or "pytest" in sys.modules
-
-
-class Engine:
+class Engine(SimulationCore):
     """A single simulation of one algorithm on one dynamic ring."""
 
     def __init__(
@@ -131,614 +57,17 @@ class Engine:
         debug_invariants: bool | None = None,
         optimized: bool = True,
     ) -> None:
-        if not positions:
-            raise ConfigurationError("at least one agent is required")
-        if orientations is None:
-            orientations = [CANONICAL] * len(positions)
-        if len(orientations) != len(positions):
-            raise ConfigurationError(
-                f"{len(positions)} positions but {len(orientations)} orientations"
-            )
         self.ring = ring
-        self.algorithm = algorithm
-        self.scheduler = scheduler
-        self.adversary = adversary
-        self.transport = TransportModel(transport)
-        self.trace = trace
-        self._tie_break = port_tie_break
-        self._optimized = bool(optimized)
-        self._debug = (
-            _default_debug_invariants() if debug_invariants is None
-            else bool(debug_invariants)
-        )
-        self._landmark = ring.landmark
-
-        # -- occupancy index + hot-path state (invariants in ARCHITECTURE.md):
-        # _occ[node] == [interior count, PLUS-port holder, MINUS-port holder]
-        # for every node hosting at least one agent (terminated agents stay
-        # in the index: the Look phase still sees them); _node_version[node]
-        # increases monotonically on every occupancy change at that node and
-        # is never reset, so peek-cache entries can never alias across
-        # visits; _live mirrors {a.index : not a.terminated}.
-        self._occ: dict[int, list] = {}
-        self._node_version: dict[int, int] = {}
-        self._live: set[int] = set()
-        self._peek_cache: dict[
-            int, tuple[Action, int, GlobalDirection | None, int, int | None]
-        ] = {}
-        # Reused per-round scratch containers (allocation audit).
-        self._decisions: dict[int, Action] = {}
-        self._requests: dict[tuple[int, GlobalDirection], list[int]] = {}
-        self._movers: set[int] = set()
-        self._released: set[tuple[int, GlobalDirection]] = set()
-
-        self.agents: list[AgentState] = []
-        for index, (node, orientation) in enumerate(zip(positions, orientations)):
-            agent = AgentState(
-                index=index,
-                orientation=orientation,
-                node=ring.normalize(node),
-                memory=AgentMemory(),
-            )
-            self.agents.append(agent)
-            self._live.add(index)
-            entry = self._occ.get(agent.node)
-            if entry is None:
-                self._occ[agent.node] = [1, None, None]
-            else:
-                entry[0] += 1
-            self._node_version[agent.node] = self._node_version.get(agent.node, 0) + 1
-
-        self.round_no = 0
-        self.missing_edge: int | None = None
-        self.visited: set[int] = set()
-        self.exploration_round: int | None = None
-        self.termination_rounds: dict[int, int] = {}
-        self.last_active: set[int] = set()
-
-        for agent in self.agents:
-            self.algorithm.setup(agent.memory)
-            self.visited.add(agent.node)
-            if self.ring.is_landmark(agent.node):
-                agent.memory.observe_landmark()
-        if len(self.visited) == self.ring.size:
-            self.exploration_round = 0
-        self.adversary.reset(self)
-        self.scheduler.reset(self)
-
-    # ------------------------------------------------------------------
-    # read API (used by adversaries, schedulers, analysis)
-    # ------------------------------------------------------------------
-
-    @property
-    def exploration_complete(self) -> bool:
-        return len(self.visited) == self.ring.size
-
-    @property
-    def live_agents(self) -> list[AgentState]:
-        return [a for a in self.agents if not a.terminated]
-
-    @property
-    def live_indexes(self) -> set[int]:
-        """Indexes of non-terminated agents (maintained; do not mutate)."""
-        return self._live
-
-    @property
-    def all_terminated(self) -> bool:
-        return not self._live
-
-    def port_edge(self, agent: AgentState) -> int | None:
-        """The edge the agent's occupied port leads to (``None`` if in a node)."""
-        if agent.port is None:
-            return None
-        return self.ring.edge_from(agent.node, agent.port)
-
-    def snapshot_for(self, agent: AgentState) -> Snapshot:
-        """Build the agent's Look snapshot of the current configuration.
-
-        On the optimized path this is an O(1) read of the occupancy index;
-        ``optimized=False`` keeps the original O(k) scan as the executable
-        reference the equivalence tests compare against.
-        """
-        if not self._optimized:
-            return self._snapshot_for_scan(agent)
-        node = agent.node
-        interior, plus_holder, minus_holder = self._occ[node]
-        port = agent.port
-        if port is None:
-            on_port = None
-            interior -= 1  # don't count the observer itself
-        elif port is agent.left_global:
-            on_port = _LEFT
-        else:
-            on_port = _RIGHT
-        if agent.left_global is _PLUS:
-            left_holder, right_holder = plus_holder, minus_holder
-        else:
-            left_holder, right_holder = minus_holder, plus_holder
-        index = agent.index
-        memory = agent.memory
-        return intern_snapshot(
-            on_port,
-            interior,
-            left_holder is not None and left_holder != index,
-            right_holder is not None and right_holder != index,
-            node == self._landmark,
-            memory.moved,
-            memory.failed,
-        )
-
-    def _snapshot_for_scan(self, agent: AgentState) -> Snapshot:
-        """Reference implementation: O(k) scan over the team (pre-index)."""
-        others_in_node = 0
-        left_port = agent.orientation.to_global(LocalDirection.LEFT)
-        other_left = False
-        other_right = False
-        for other in self.agents:
-            if other.index == agent.index or other.node != agent.node:
-                continue
-            if other.port is None:
-                others_in_node += 1
-            elif other.port is left_port:
-                other_left = True
-            else:
-                other_right = True
-        return Snapshot(
-            on_port=agent.local_port(),
-            others_in_node=others_in_node,
-            other_on_left_port=other_left,
-            other_on_right_port=other_right,
-            is_landmark=self.ring.is_landmark(agent.node),
-            moved=agent.memory.moved,
-            failed=agent.memory.failed,
-        )
-
-    def peek_intended_action(self, index: int) -> Action:
-        """Simulate the agent's next Compute without side effects.
-
-        This is the omniscience the paper's adversaries enjoy: protocols
-        are deterministic, so an adversary that knows the algorithm can
-        always work out what an agent would do if activated now.
-
-        Adversaries call this for every agent every round, so results are
-        cached: a peek is a pure function of the agent's snapshot and
-        memory, so a cached action stays valid until the agent's memory or
-        position changes (the engine drops entries for agents that were
-        active or passively transported) or the occupancy of its node
-        changes (detected via the node's monotonic version counter).  A
-        cache miss still pays one :meth:`AgentMemory.clone` plus one
-        speculative Compute — see ``benchmarks/bench_engine_hotpath.py``
-        for what the cache is worth under the peek-heavy adversaries.
-        """
-        agent = self.agents[index]
-        if agent.terminated:
-            return STAY
-        if not self._optimized:
-            snapshot = self.snapshot_for(agent)
-            return self.algorithm.compute(snapshot, agent.memory.clone())
-        return self._peek_entry(agent)[0]
-
-    def peek_intended_edge(self, index: int) -> int | None:
-        """The edge the agent would try to traverse if activated now.
-
-        ``None`` when the agent is terminated or its intended action is
-        not a MOVE.  This is the derived quantity every look-ahead
-        adversary actually wants (see :mod:`repro.adversary.blocking`,
-        :mod:`repro.adversary.impossibility`,
-        :mod:`repro.adversary.worst_case` and
-        :mod:`repro.analysis.model_check`); the edge is resolved once per
-        cached peek instead of per call.
-        """
-        agent = self.agents[index]
-        if agent.terminated:
-            return None
-        if not self._optimized:
-            intent = self.peek_intended_action(index)
-            if intent.kind is not ActionKind.MOVE:
-                return None
-            assert intent.direction is not None
-            target = agent.orientation.to_global(intent.direction)
-            return self.ring.edge_from(agent.node, target)
-        return self._peek_entry(agent)[4]
-
-    def _peek_entry(
-        self, agent: AgentState
-    ) -> tuple[Action, int, GlobalDirection | None, int, int | None]:
-        """The agent's cached ``(action, node, port, version, edge)`` peek.
-
-        Valid while the agent's position and its node's occupancy version
-        are unchanged (memory changes drop the entry, see
-        :meth:`_end_of_round` and :meth:`_move_phase`).
-        """
-        index = agent.index
-        node = agent.node
-        version = self._node_version.get(node, 0)
-        entry = self._peek_cache.get(index)
-        if (
-            entry is not None
-            and entry[1] == node
-            and entry[2] is agent.port
-            and entry[3] == version
-        ):
-            return entry
-        snapshot = self.snapshot_for(agent)
-        action = self.algorithm.compute(snapshot, agent.memory.clone())
-        if action.kind is ActionKind.MOVE:
-            target = (
-                agent.left_global if action.direction is _LEFT else agent.right_global
-            )
-            edge = node if target is _PLUS else (node - 1) % self.ring.size
-        else:
-            edge = None
-        entry = (action, node, agent.port, version, edge)
-        self._peek_cache[index] = entry
-        return entry
-
-    # ------------------------------------------------------------------
-    # the round loop
-    # ------------------------------------------------------------------
-
-    def step(self) -> bool:
-        """Execute one round; returns ``False`` if no live agent remains."""
-        if not self._live:
-            return False
-
-        self.missing_edge = self._validated_edge(self.adversary.choose_missing_edge(self))
-        active = self._validated_activation(self.scheduler.select(self))
-        self.last_active = active
-        if self.trace is not None:
-            self._emit(EventKind.ROUND, None, (self.missing_edge, tuple(sorted(active))))
-
-        # Look (simultaneous) + Compute.  Agent decisions are mutually
-        # independent — a Compute only mutates its own agent's memory and
-        # no snapshot reads any memory but the observer's — so the
-        # optimized path fuses Look and Compute per agent; the reference
-        # path keeps the original two-pass shape.
-        decisions = self._decisions
-        decisions.clear()
-        algorithm = self.algorithm
-        agents = self.agents
-        if self._optimized:
-            for i in active:
-                agent = agents[i]
-                snapshot = self.snapshot_for(agent)
-                agent.memory.failed = False
-                decisions[i] = algorithm.compute(snapshot, agent.memory)
-        else:
-            snapshots = {i: self.snapshot_for(agents[i]) for i in active}
-            for i in active:
-                agent = agents[i]
-                agent.memory.failed = False
-                decisions[i] = algorithm.compute(snapshots[i], agent.memory)
-
-        movers = self._resolve_actions(decisions)
-        self._move_phase(movers)
-        self._end_of_round(active, movers)
-        self.round_no += 1
-        return True
-
-    def run(
-        self,
-        max_rounds: int,
-        *,
-        stop_on_exploration: bool = False,
-        stop_when: Callable[["Engine"], bool] | None = None,
-    ) -> RunResult:
-        """Run until everyone terminated, a stop condition, or the horizon."""
-        if not 0 < max_rounds <= MAX_ROUNDS_LIMIT:
-            raise ConfigurationError(f"max_rounds must be in (0, {MAX_ROUNDS_LIMIT}]")
-        reason = "horizon"
-        for _ in range(max_rounds):
-            if self.all_terminated:
-                reason = "all-terminated"
-                break
-            if stop_on_exploration and self.exploration_complete:
-                reason = "explored"
-                break
-            if stop_when is not None and stop_when(self):
-                reason = "stop-condition"
-                break
-            self.step()
-        else:
-            if self.all_terminated:
-                reason = "all-terminated"
-            elif stop_on_exploration and self.exploration_complete:
-                reason = "explored"
-        return self._build_result(reason)
-
-    # ------------------------------------------------------------------
-    # occupancy-index maintenance
-    # ------------------------------------------------------------------
-    # Exactly three kinds of position change exist, each with one helper;
-    # every helper bumps the touched nodes' version counters so cached
-    # peeks of co-located agents are invalidated.
-
-    def _occ_acquire_port(self, agent: AgentState, target: GlobalDirection) -> None:
-        """Interior (or the other port) -> ``target`` port, same node."""
-        node = agent.node
-        entry = self._occ[node]
-        old_port = agent.port
-        if old_port is None:
-            entry[0] -= 1
-        else:
-            entry[1 if old_port is _PLUS else 2] = None
-            self._released.add((node, old_port))
-        entry[1 if target is _PLUS else 2] = agent.index
-        versions = self._node_version
-        versions[node] = versions.get(node, 0) + 1
-
-    def _occ_vacate_port(self, agent: AgentState) -> None:
-        """Port -> interior of the same node (``ENTER_NODE``)."""
-        node = agent.node
-        entry = self._occ[node]
-        entry[1 if agent.port is _PLUS else 2] = None
-        entry[0] += 1
-        self._released.add((node, agent.port))
-        versions = self._node_version
-        versions[node] = versions.get(node, 0) + 1
-
-    def _occ_traverse(self, agent: AgentState, new_node: int) -> None:
-        """Port of ``agent.node`` -> interior of ``new_node``."""
-        node = agent.node
-        entry = self._occ[node]
-        entry[1 if agent.port is _PLUS else 2] = None
-        if entry[0] == 0 and entry[1] is None and entry[2] is None:
-            del self._occ[node]
-        dest = self._occ.get(new_node)
-        if dest is None:
-            self._occ[new_node] = [1, None, None]
-        else:
-            dest[0] += 1
-        versions = self._node_version
-        versions[node] = versions.get(node, 0) + 1
-        versions[new_node] = versions.get(new_node, 0) + 1
-
-    # ------------------------------------------------------------------
-    # round phases
-    # ------------------------------------------------------------------
-
-    def _resolve_actions(self, decisions: dict[int, Action]) -> set[int]:
-        """Apply terminations/releases and resolve port mutual exclusion.
-
-        Returns the set of agents positioned on the port they asked to
-        traverse this round (the Move-phase participants).
-
-        Port denial rule: a port occupied at the *start* of the round is
-        denied to new requesters all round.  The optimized path answers
-        "occupied at start?" from the live index plus ``_released`` (the
-        ports vacated earlier in this very call — explicitly by
-        ``ENTER_NODE`` or implicitly by an agent winning the opposite
-        port); the reference path snapshots the start set up front.
-        """
-        optimized = self._optimized
-        self._released.clear()
-        if optimized:
-            occupied_at_start = None
-        else:
-            occupied_at_start = {
-                (a.node, a.port) for a in self.agents if a.port is not None
-            }
-        movers = self._movers
-        movers.clear()
-        requests = self._requests
-        requests.clear()
-        trace = self.trace
-
-        for i, action in decisions.items():
-            agent = self.agents[i]
-            kind = action.kind
-            if kind is ActionKind.STAY:
-                continue
-            if kind is ActionKind.MOVE:
-                direction = action.direction
-                target = (
-                    agent.left_global if direction is _LEFT else agent.right_global
-                )
-                if agent.port is target:
-                    movers.add(i)  # already holds the right port; Btime keeps counting
-                else:
-                    key = (agent.node, target)
-                    group = requests.get(key)
-                    if group is None:
-                        requests[key] = [i]
-                    else:
-                        group.append(i)
-                continue
-            if kind is ActionKind.TERMINATE:
-                agent.terminated = True
-                self._live.discard(i)
-                self.termination_rounds[i] = self.round_no
-                if trace is not None:
-                    self._emit(EventKind.TERMINATE, i, f"at v{agent.node}")
-                continue
-            # ENTER_NODE
-            if agent.port is not None:
-                self._occ_vacate_port(agent)
-                agent.port = None
-                agent.memory.Btime = 0
-                if trace is not None:
-                    self._emit(EventKind.ENTER_NODE, i, f"v{agent.node}")
-
-        for (node, target), contenders in requests.items():
-            if optimized:
-                entry = self._occ.get(node)
-                occupied = (
-                    entry is not None
-                    and entry[1 if target is _PLUS else 2] is not None
-                ) or (node, target) in self._released
-            else:
-                occupied = (node, target) in occupied_at_start
-            if occupied:
-                winner = -1
-            else:
-                winner = self._tie_break(contenders)
-                if winner not in contenders:
-                    raise InvariantViolation("tie-break returned a non-contender")
-            for i in contenders:
-                agent = self.agents[i]
-                # A fresh traversal attempt either way: the consecutive-wait
-                # clock restarts (it only accumulates while pushing on the
-                # same port across rounds).
-                agent.memory.Btime = 0
-                if i == winner:
-                    self._occ_acquire_port(agent, target)
-                    agent.port = target  # may implicitly vacate its other port
-                    movers.add(i)
-                else:
-                    # Section 2.1: "otherwise it sets moved = false".
-                    agent.memory.failed = True
-                    agent.memory.moved = False
-                    if trace is not None:
-                        self._emit(
-                            EventKind.PORT_DENIED, i, f"v{node} toward {target.name}"
-                        )
-        return movers
-
-    def _move_phase(self, movers: set[int]) -> None:
-        trace = self.trace
-        missing = self.missing_edge
-        for i in sorted(movers):
-            agent = self.agents[i]
-            assert agent.port is not None
-            edge = self.ring.edge_from(agent.node, agent.port)
-            if edge == missing:
-                agent.memory.record_blocked()
-                if trace is not None:
-                    self._emit(EventKind.BLOCKED, i, f"v{agent.node} edge e{edge}")
-            else:
-                self._traverse(agent, EventKind.MOVE)
-
-        if self.transport is TransportModel.PT:
-            last_active = self.last_active
-            peek_cache = self._peek_cache
-            for agent in self.agents:
-                if (
-                    agent.terminated
-                    or agent.index in last_active
-                    or agent.port is None
-                ):
-                    continue
-                edge = self.ring.edge_from(agent.node, agent.port)
-                if edge != missing:
-                    self._traverse(agent, EventKind.TRANSPORT)
-                    # A transported agent's memory changed without it being
-                    # active: its cached peek is stale.
-                    peek_cache.pop(agent.index, None)
-
-    def _traverse(self, agent: AgentState, kind: EventKind) -> None:
-        assert agent.port is not None
-        origin = agent.node
-        local = _LEFT if agent.port is agent.left_global else _RIGHT
-        destination = (origin + int(agent.port)) % self.ring.size
-        self._occ_traverse(agent, destination)
-        agent.node = destination
-        agent.port = None
-        agent.memory.record_traversal(local)
-        if destination == self._landmark:
-            agent.memory.observe_landmark()
-        visited = self.visited
-        if self.trace is not None:
-            self._emit(kind, agent.index, f"v{origin}->v{destination}")
-        if destination not in visited:
-            visited.add(destination)
-            if self.exploration_round is None and len(visited) == self.ring.size:
-                # Exploration completes during round `round_no`; by the
-                # paper's accounting that is "time round_no + 1" (rounds
-                # are 0-indexed).
-                self.exploration_round = self.round_no + 1
-                if self.trace is not None:
-                    self._emit(
-                        EventKind.EXPLORED, None, f"after {self.round_no + 1} rounds"
-                    )
-
-    def _end_of_round(self, active: set[int], movers: set[int]) -> None:
-        peek_cache = self._peek_cache
-        for agent in self.agents:
-            if agent.terminated:
-                continue
-            if agent.index in active:
-                agent.memory.tick()
-                agent.rounds_since_active = 0
-                agent.activations += 1
-                # Active agents Computed against their real memory (and may
-                # have moved/blocked/been denied): drop their cached peeks.
-                peek_cache.pop(agent.index, None)
-            else:
-                agent.rounds_since_active += 1
-        if self._debug:
-            self._check_invariants()
-
-    # ------------------------------------------------------------------
-    # validation / bookkeeping
-    # ------------------------------------------------------------------
-
-    def _validated_edge(self, edge: int | None) -> int | None:
-        if edge is None:
-            return None
-        if not isinstance(edge, int) or not 0 <= edge < self.ring.size:
-            raise AdversaryViolation(
-                f"adversary removed invalid edge {edge!r} on ring of size {self.ring.size}"
-            )
-        return edge
-
-    def _validated_activation(self, selected: Iterable[int]) -> set[int]:
-        live = self._live
-        active = {i for i in selected if i in live}
-        if not active:
-            raise AdversaryViolation(
-                "scheduler activated no live agent (activation sets must be non-empty)"
-            )
-        return active
-
-    def _check_invariants(self) -> None:
-        seen: set[tuple[int, GlobalDirection]] = set()
-        for agent in self.agents:
-            if agent.port is None:
-                continue
-            key = (agent.node, agent.port)
-            if key in seen:
-                raise InvariantViolation(f"two agents share port {key}")
-            seen.add(key)
-        # The occupancy index and live set must equal a fresh recount.
-        expected: dict[int, list] = {}
-        for agent in self.agents:
-            entry = expected.setdefault(agent.node, [0, None, None])
-            if agent.port is None:
-                entry[0] += 1
-            else:
-                entry[1 if agent.port is _PLUS else 2] = agent.index
-        if expected != self._occ:
-            raise InvariantViolation(
-                f"occupancy index drifted: have {self._occ}, expected {expected}"
-            )
-        live = {a.index for a in self.agents if not a.terminated}
-        if live != self._live:
-            raise InvariantViolation(
-                f"live set drifted: have {self._live}, expected {live}"
-            )
-
-    def _emit(self, kind: EventKind, agent: int | None, detail) -> None:
-        if self.trace is not None:
-            self.trace.emit(Event(self.round_no, kind, agent, detail))
-
-    def _build_result(self, reason: str) -> RunResult:
-        stats = [
-            AgentStats(
-                index=a.index,
-                moves=a.memory.Tsteps,
-                terminated=a.terminated,
-                termination_round=self.termination_rounds.get(a.index),
-                final_node=a.node,
-                waiting_on_port=a.port is not None,
-            )
-            for a in self.agents
-        ]
-        return RunResult(
-            ring_size=self.ring.size,
-            rounds=self.round_no,
-            explored=self.exploration_complete,
-            exploration_round=self.exploration_round,
-            visited=set(self.visited),
-            agents=stats,
-            halted_reason=reason,
+        super().__init__(
+            RingTopology(ring),
+            algorithm,
+            positions,
+            orientations=orientations,
+            scheduler=scheduler,
+            adversary=adversary,
+            transport=transport,
+            trace=trace,
+            port_tie_break=port_tie_break,
+            debug_invariants=debug_invariants,
+            optimized=optimized,
         )

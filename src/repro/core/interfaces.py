@@ -20,19 +20,91 @@ core free of dependency cycles).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Hashable, Protocol, Sequence, runtime_checkable
 
 from .actions import Action
 from .memory import AgentMemory
 from .snapshot import Snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .agent import AgentState
     from .engine import Engine
 
 
 @runtime_checkable
+class Topology(Protocol):
+    """The static structure one simulation runs on (ring, torus, ...).
+
+    The topology-generic core (:class:`repro.core.sim.SimulationCore`)
+    owns the round loop, the occupancy index, the peek cache, tracing and
+    the invariant audit; everything it needs to know about the *shape* of
+    the network goes through this protocol.  Two implementations ship:
+    :class:`repro.core.topology.RingTopology` (the paper's dynamic ring,
+    ports are :class:`~repro.core.directions.GlobalDirection` tokens) and
+    :class:`repro.extensions.dynamic_graph.GraphTopology` (arbitrary
+    port-labelled graphs, ports are integers ``0..deg-1``).
+
+    Port tokens must be hashable and identity-stable (the core compares
+    them with ``is``/``==`` and uses them as dict keys); edge ids must be
+    hashable (ints on the ring, ``frozenset({u, v})`` on graphs).
+
+    ``oriented`` declares whether agents carry the left/right orientation
+    algebra: on oriented topologies MOVE actions name a local direction
+    (resolved through the agent's orientation), on unoriented ones they
+    name a port token directly.
+    """
+
+    #: number of nodes (exploration completes when all are visited)
+    size: int
+    #: the unique observable node, or ``None`` (Section 2.1's landmark)
+    landmark: Any
+    #: whether agents' orientation algebra applies (rings: yes)
+    oriented: bool
+
+    def normalize(self, node: Any) -> Any:
+        """Map a caller-supplied start position onto a node id."""
+
+    def edge_from(self, node: Any, port: Hashable) -> Hashable:
+        """The edge id behind ``port`` of ``node``."""
+
+    def neighbor(self, node: Any, port: Hashable) -> Any:
+        """The node reached by traversing ``port`` of ``node``."""
+
+    def canonical_edge(self, edge: Any) -> Hashable:
+        """Normalise an adversary-supplied edge id (graphs: frozenset)."""
+
+    def validate_edge(self, edge: Any) -> None:
+        """Raise ``AdversaryViolation`` unless removing ``edge`` this
+        round is legal (it exists and the footprint stays connected)."""
+
+    def validate_missing(self, missing: set) -> None:
+        """Raise ``AdversaryViolation`` unless removing the whole edge
+        set leaves the footprint connected (1-interval connectivity)."""
+
+    def removable(self, edge: Any) -> bool:
+        """Whether removing ``edge`` alone keeps the footprint connected
+        (used by adversaries to stay inside the model's constraint)."""
+
+    def edge_label(self, edge: Any) -> str:
+        """Human-readable edge name for trace details."""
+
+    def snapshot(self, agent: "AgentState", interior: int, holders: dict) -> Any:
+        """Build the agent's Look snapshot from its node's occupancy-index
+        entry (``interior`` head-count *including* the observer when it
+        stands in the interior; ``holders`` maps port -> agent index)."""
+
+    def snapshot_scan(self, agent: "AgentState", agents: Sequence["AgentState"]) -> Any:
+        """Reference Look: an O(k) scan over the team (``optimized=False``)."""
+
+
+@runtime_checkable
 class EdgeAdversary(Protocol):
-    """Chooses which single edge (if any) is missing each round."""
+    """Chooses which single edge (if any) is missing each round.
+
+    Adversaries that remove *sets* of edges per round (general dynamic
+    graphs) instead expose ``missing_edges(engine) -> iterable`` — the
+    core auto-detects which of the two methods an adversary implements.
+    """
 
     def reset(self, engine: "Engine") -> None:
         """Called once before round 0 with the fully built engine."""

@@ -116,18 +116,25 @@ class AgentMemory:
 
     # -- updates driven by the engine ---------------------------------------
 
-    def record_traversal(self, direction: LocalDirection) -> None:
-        """Account for one successful edge traversal (active or passive)."""
+    def record_traversal(self, direction: LocalDirection | None) -> None:
+        """Account for one successful edge traversal (active or passive).
+
+        ``direction`` is the traversal in the agent's local frame; on
+        unoriented topologies (no left/right algebra) it is ``None`` and
+        the net-displacement tracking is skipped — ``Tnodes`` stays 0,
+        every step/clock counter still advances.
+        """
         self.Tsteps += 1
         self.Esteps += 1
-        if direction is LocalDirection.RIGHT:
-            self.net += 1
-        else:
-            self.net -= 1
-        if self.net > self.max_net:
-            self.max_net = self.net
-        elif self.net < self.min_net:
-            self.min_net = self.net
+        if direction is not None:
+            if direction is LocalDirection.RIGHT:
+                self.net += 1
+            else:
+                self.net -= 1
+            if self.net > self.max_net:
+                self.max_net = self.net
+            elif self.net < self.min_net:
+                self.min_net = self.net
         self.moved = True
         self.Btime = 0
 

@@ -1,0 +1,758 @@
+"""The topology-generic simulation core.
+
+One round loop runs every topology.  The computational model is the
+paper's (Section 2.1), with the ring specialised out into a
+:class:`~repro.core.interfaces.Topology` implementation:
+
+* discrete rounds; the adversary removes an edge set that keeps the
+  footprint connected (on the ring: at most one edge — 1-interval
+  connectivity by construction; on general graphs the topology validates
+  connectivity explicitly);
+* a non-empty subset of agents activated per round (FSYNC = all of them),
+  chosen by a scheduler that may itself be adversarial;
+* per active agent: Look (simultaneous local snapshots), Compute (the
+  algorithm), Move (port mutual exclusion, traversal, blocking);
+* the three SSYNC transport models — NS, PT, ET — governing what happens
+  to an agent that sleeps while positioned on a port.
+
+Round anatomy (ordering decisions documented in DESIGN.md):
+
+1. the adversary picks the missing edge set (single-edge adversaries
+   implement ``choose_missing_edge``, set adversaries ``missing_edges``;
+   the topology validates the choice);
+2. the scheduler picks the activation set (it already sees the edge
+   choice, like the single adversary of the paper that controls both);
+3. every active agent Looks at the configuration *as of the start of the
+   round* and Computes an action — decisions are simultaneous;
+4. actions resolve: terminations, port releases (``ENTER_NODE``) and port
+   acquisitions in mutual exclusion — a port occupied at the start of the
+   round is denied to new requesters for the whole round, contention among
+   new requesters is broken by a pluggable policy (default: lowest index);
+5. Move: every active agent standing on the port it requested traverses if
+   the edge is present, otherwise it stays blocked on the port; under PT
+   every *sleeping* agent on a port of a present edge is passively
+   transported across;
+6. bookkeeping: counters tick for active agents, landmark observations and
+   visited-set updates happen for agents that arrived at a node.
+
+Agents that crossed the same edge in opposite directions simply swap —
+the model says they "might not be able to detect each other", and no
+snapshot ever exposes the encounter.
+
+Hot path (see ARCHITECTURE.md, "Engine hot path")
+-------------------------------------------------
+
+The round loop is built around an **incrementally maintained occupancy
+index** ``_occ`` (``node -> [interior count, {port: holder}]``), updated
+at every position change, so a Look snapshot is O(1) per agent instead of
+an O(k) scan over the team.  On top of it sit a **peek cache** (an
+adversary's ``peek_intended_action`` result stays valid until the agent's
+memory or position, or its node's occupancy, changes), **snapshot
+interning** (the Look phase reuses frozen snapshot instances — the
+topology owns the snapshot type), and an allocation-audited round loop
+(scratch containers are reused, trace details are only built when a
+trace is attached, the live-agent set is maintained instead of rebuilt).
+``optimized=False`` keeps the original scan-per-snapshot semantics as an
+executable reference; the equivalence tests in
+``tests/core/test_hotpath_equivalence.py`` assert both paths produce
+identical event streams and results, and the golden fixture in
+``tests/core/golden_ring_traces.json`` pins ring behaviour to the
+pre-refactor engine byte for byte.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import sys
+from typing import Any, Callable, Iterable, Sequence
+
+from .actions import Action, ActionKind, STAY
+from .agent import AgentState
+from .directions import LocalDirection, Orientation, CANONICAL
+from .errors import AdversaryViolation, ConfigurationError, InvariantViolation
+from .interfaces import ActivationScheduler, Algorithm, Topology
+from .memory import AgentMemory
+from .results import AgentStats, RunResult
+from .trace import Event, EventKind
+
+_LEFT = LocalDirection.LEFT
+_RIGHT = LocalDirection.RIGHT
+
+
+class TransportModel(enum.Enum):
+    """What happens to an agent sleeping on a port (Section 2.1).
+
+    ``NS`` — no simultaneity: a sleeping agent never moves.
+    ``PT`` — passive transport: a sleeping agent on a port of a present
+    edge is carried across during that round.
+    ``ET`` — eventual transport: like NS, but the *scheduler* must
+    guarantee that an agent sleeping on a port of an infinitely-often
+    present edge is eventually activated in a round where the edge is
+    present (see :class:`repro.schedulers.ssync.ETFairScheduler`).
+
+    Under FSYNC nobody ever sleeps, so the choice is irrelevant there.
+    """
+
+    NS = "ns"
+    PT = "pt"
+    ET = "et"
+
+
+#: Safety valve for same-round state-transition chains inside algorithms.
+MAX_ROUNDS_LIMIT = 100_000_000
+
+
+def _default_tie_break(contenders: Sequence[int]) -> int:
+    """Default port-contention winner: the lowest agent index."""
+    return min(contenders)
+
+
+def _default_debug_invariants() -> bool:
+    """Per-round invariant checking defaults on under pytest, off elsewhere.
+
+    Campaigns pass the flag explicitly per cell
+    (:attr:`repro.campaigns.spec.CellConfig.debug_invariants`), so sweep
+    throughput never pays for the audit unless a cell asks for it.
+    """
+    return "PYTEST_CURRENT_TEST" in os.environ or "pytest" in sys.modules
+
+
+class SimulationCore:
+    """A single simulation of one algorithm on one dynamic topology.
+
+    The facades — :class:`repro.core.engine.Engine` (ring) and
+    :class:`repro.extensions.dynamic_graph.DynamicGraphEngine` (arbitrary
+    port-labelled graphs) — are thin constructors over this class; every
+    scheduler, transport model, termination mode, adversary hook and both
+    Look paths live here once, for all topologies.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: Algorithm,
+        positions: Sequence[Any],
+        *,
+        orientations: Sequence[Orientation] | None = None,
+        scheduler: ActivationScheduler,
+        adversary,
+        transport: TransportModel = TransportModel.NS,
+        trace=None,
+        port_tie_break: Callable[[Sequence[int]], int] = _default_tie_break,
+        debug_invariants: bool | None = None,
+        optimized: bool = True,
+    ) -> None:
+        if not positions:
+            raise ConfigurationError("at least one agent is required")
+        if orientations is None:
+            orientations = [CANONICAL] * len(positions)
+        if len(orientations) != len(positions):
+            raise ConfigurationError(
+                f"{len(positions)} positions but {len(orientations)} orientations"
+            )
+        self.topology = topology
+        self.algorithm = algorithm
+        self.scheduler = scheduler
+        self.adversary = adversary
+        self.transport = TransportModel(transport)
+        self.trace = trace
+        self._tie_break = port_tie_break
+        self._optimized = bool(optimized)
+        self._debug = (
+            _default_debug_invariants() if debug_invariants is None
+            else bool(debug_invariants)
+        )
+        self._landmark = topology.landmark
+        self._oriented = bool(topology.oriented)
+        # Adversaries declare their interface by method: single-edge
+        # (``choose_missing_edge``) or edge-set (``missing_edges``).
+        self._multi_adversary = hasattr(adversary, "missing_edges")
+
+        # -- occupancy index + hot-path state (invariants in ARCHITECTURE.md):
+        # _occ[node] == [interior count, {port: holder index}] for every
+        # node hosting at least one agent (terminated agents stay in the
+        # index: the Look phase still sees them); _node_version[node]
+        # increases monotonically on every occupancy change at that node
+        # and is never reset, so peek-cache entries can never alias across
+        # visits; _live mirrors {a.index : not a.terminated}.
+        self._occ: dict[Any, list] = {}
+        self._node_version: dict[Any, int] = {}
+        self._live: set[int] = set()
+        self._peek_cache: dict[int, tuple] = {}
+        # Reused per-round scratch containers (allocation audit).
+        self._decisions: dict[int, Action] = {}
+        self._requests: dict[tuple, list[int]] = {}
+        self._movers: set[int] = set()
+        self._released: set[tuple] = set()
+        self._missing: set = set()
+
+        self.agents: list[AgentState] = []
+        for index, (node, orientation) in enumerate(zip(positions, orientations)):
+            agent = AgentState(
+                index=index,
+                orientation=orientation,
+                node=topology.normalize(node),
+                memory=AgentMemory(),
+            )
+            self.agents.append(agent)
+            self._live.add(index)
+            entry = self._occ.get(agent.node)
+            if entry is None:
+                self._occ[agent.node] = [1, {}]
+            else:
+                entry[0] += 1
+            self._node_version[agent.node] = self._node_version.get(agent.node, 0) + 1
+
+        self.round_no = 0
+        self.missing_edge = None
+        self.visited: set = set()
+        self.exploration_round: int | None = None
+        self.termination_rounds: dict[int, int] = {}
+        self.last_active: set[int] = set()
+
+        for agent in self.agents:
+            self.algorithm.setup(agent.memory)
+            self.visited.add(agent.node)
+            if agent.node == self._landmark:
+                agent.memory.observe_landmark()
+        if len(self.visited) == self.topology.size:
+            self.exploration_round = 0
+        self.adversary.reset(self)
+        self.scheduler.reset(self)
+
+    # ------------------------------------------------------------------
+    # read API (used by adversaries, schedulers, analysis)
+    # ------------------------------------------------------------------
+
+    @property
+    def exploration_complete(self) -> bool:
+        return len(self.visited) == self.topology.size
+
+    @property
+    def live_agents(self) -> list[AgentState]:
+        return [a for a in self.agents if not a.terminated]
+
+    @property
+    def live_indexes(self) -> set[int]:
+        """Indexes of non-terminated agents (maintained; do not mutate)."""
+        return self._live
+
+    @property
+    def all_terminated(self) -> bool:
+        return not self._live
+
+    @property
+    def missing_edges(self) -> set:
+        """This round's missing edge set (empty when nothing is removed).
+
+        ``missing_edge`` remains the scalar view for single-edge rounds
+        (the paper's ring model); this is the general form schedulers and
+        adversaries should consult via :meth:`edge_present`.
+        """
+        return self._missing
+
+    def edge_present(self, edge) -> bool:
+        """Whether ``edge`` is present in this round's footprint."""
+        return edge not in self._missing
+
+    def port_edge(self, agent: AgentState):
+        """The edge the agent's occupied port leads to (``None`` if in a node)."""
+        if agent.port is None:
+            return None
+        return self.topology.edge_from(agent.node, agent.port)
+
+    def snapshot_for(self, agent: AgentState):
+        """Build the agent's Look snapshot of the current configuration.
+
+        On the optimized path this is an O(1) read of the occupancy index;
+        ``optimized=False`` keeps the original O(k) scan as the executable
+        reference the equivalence tests compare against.  The snapshot
+        *type* is topology-owned (ring: :class:`~repro.core.snapshot.Snapshot`,
+        graphs: :class:`~repro.extensions.dynamic_graph.GraphSnapshot`).
+        """
+        if not self._optimized:
+            return self.topology.snapshot_scan(agent, self.agents)
+        interior, holders = self._occ[agent.node]
+        return self.topology.snapshot(agent, interior, holders)
+
+    def _snapshot_for_scan(self, agent: AgentState):
+        """Reference implementation: O(k) scan over the team (pre-index)."""
+        return self.topology.snapshot_scan(agent, self.agents)
+
+    def peek_intended_action(self, index: int) -> Action:
+        """Simulate the agent's next Compute without side effects.
+
+        This is the omniscience the paper's adversaries enjoy: protocols
+        are deterministic, so an adversary that knows the algorithm can
+        always work out what an agent would do if activated now.
+
+        Adversaries call this for every agent every round, so results are
+        cached: a peek is a pure function of the agent's snapshot and
+        memory, so a cached action stays valid until the agent's memory or
+        position changes (the engine drops entries for agents that were
+        active or passively transported) or the occupancy of its node
+        changes (detected via the node's monotonic version counter).  A
+        cache miss still pays one :meth:`AgentMemory.clone` plus one
+        speculative Compute — see ``benchmarks/bench_engine_hotpath.py``
+        for what the cache is worth under the peek-heavy adversaries.
+        """
+        agent = self.agents[index]
+        if agent.terminated:
+            return STAY
+        if not self._optimized:
+            snapshot = self.snapshot_for(agent)
+            return self.algorithm.compute(snapshot, agent.memory.clone())
+        return self._peek_entry(agent)[0]
+
+    def peek_intended_edge(self, index: int):
+        """The edge the agent would try to traverse if activated now.
+
+        ``None`` when the agent is terminated or its intended action is
+        not a MOVE.  This is the derived quantity every look-ahead
+        adversary actually wants (see :mod:`repro.adversary.blocking`,
+        :mod:`repro.adversary.impossibility`,
+        :mod:`repro.adversary.worst_case` and
+        :mod:`repro.analysis.model_check`); the edge is resolved once per
+        cached peek instead of per call.
+        """
+        agent = self.agents[index]
+        if agent.terminated:
+            return None
+        if not self._optimized:
+            intent = self.peek_intended_action(index)
+            if intent.kind is not ActionKind.MOVE:
+                return None
+            return self.topology.edge_from(
+                agent.node, self._move_target(agent, intent))
+        return self._peek_entry(agent)[4]
+
+    def _move_target(self, agent: AgentState, action: Action):
+        """The port a MOVE action aims at (local direction or port token)."""
+        direction = action.direction
+        if direction is not None:
+            return agent.left_global if direction is _LEFT else agent.right_global
+        return action.port
+
+    def _peek_entry(self, agent: AgentState) -> tuple:
+        """The agent's cached ``(action, node, port, version, edge)`` peek.
+
+        Valid while the agent's position and its node's occupancy version
+        are unchanged (memory changes drop the entry, see
+        :meth:`_end_of_round` and :meth:`_move_phase`).
+        """
+        index = agent.index
+        node = agent.node
+        version = self._node_version.get(node, 0)
+        entry = self._peek_cache.get(index)
+        if (
+            entry is not None
+            and entry[1] == node
+            and entry[2] is agent.port
+            and entry[3] == version
+        ):
+            return entry
+        snapshot = self.snapshot_for(agent)
+        action = self.algorithm.compute(snapshot, agent.memory.clone())
+        if action.kind is ActionKind.MOVE:
+            edge = self.topology.edge_from(node, self._move_target(agent, action))
+        else:
+            edge = None
+        entry = (action, node, agent.port, version, edge)
+        self._peek_cache[index] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # the round loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one round; returns ``False`` if no live agent remains."""
+        if not self._live:
+            return False
+
+        missing = self._choose_missing()
+        active = self._validated_activation(self.scheduler.select(self))
+        self.last_active = active
+        if self.trace is not None:
+            detail = (
+                self.missing_edge if len(missing) <= 1
+                else tuple(sorted(missing, key=repr))
+            )
+            self._emit(EventKind.ROUND, None, (detail, tuple(sorted(active))))
+
+        # Look (simultaneous) + Compute.  Agent decisions are mutually
+        # independent — a Compute only mutates its own agent's memory and
+        # no snapshot reads any memory but the observer's — so the
+        # optimized path fuses Look and Compute per agent; the reference
+        # path keeps the original two-pass shape.
+        decisions = self._decisions
+        decisions.clear()
+        algorithm = self.algorithm
+        agents = self.agents
+        if self._optimized:
+            for i in active:
+                agent = agents[i]
+                snapshot = self.snapshot_for(agent)
+                agent.memory.failed = False
+                decisions[i] = algorithm.compute(snapshot, agent.memory)
+        else:
+            snapshots = {i: self.snapshot_for(agents[i]) for i in active}
+            for i in active:
+                agent = agents[i]
+                agent.memory.failed = False
+                decisions[i] = algorithm.compute(snapshots[i], agent.memory)
+
+        movers = self._resolve_actions(decisions)
+        self._move_phase(movers)
+        self._end_of_round(active, movers)
+        self.round_no += 1
+        return True
+
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stop_on_exploration: bool = False,
+        stop_when: Callable[["SimulationCore"], bool] | None = None,
+    ) -> RunResult:
+        """Run until everyone terminated, a stop condition, or the horizon."""
+        if not 0 < max_rounds <= MAX_ROUNDS_LIMIT:
+            raise ConfigurationError(f"max_rounds must be in (0, {MAX_ROUNDS_LIMIT}]")
+        reason = "horizon"
+        for _ in range(max_rounds):
+            if self.all_terminated:
+                reason = "all-terminated"
+                break
+            if stop_on_exploration and self.exploration_complete:
+                reason = "explored"
+                break
+            if stop_when is not None and stop_when(self):
+                reason = "stop-condition"
+                break
+            self.step()
+        else:
+            if self.all_terminated:
+                reason = "all-terminated"
+            elif stop_on_exploration and self.exploration_complete:
+                reason = "explored"
+        return self._build_result(reason)
+
+    # ------------------------------------------------------------------
+    # occupancy-index maintenance
+    # ------------------------------------------------------------------
+    # Exactly three kinds of position change exist, each with one helper;
+    # every helper bumps the touched nodes' version counters so cached
+    # peeks of co-located agents are invalidated.
+
+    def _occ_acquire_port(self, agent: AgentState, target) -> None:
+        """Interior (or the other port) -> ``target`` port, same node."""
+        node = agent.node
+        entry = self._occ[node]
+        holders = entry[1]
+        old_port = agent.port
+        if old_port is None:
+            entry[0] -= 1
+        else:
+            del holders[old_port]
+            self._released.add((node, old_port))
+        holders[target] = agent.index
+        versions = self._node_version
+        versions[node] = versions.get(node, 0) + 1
+
+    def _occ_vacate_port(self, agent: AgentState) -> None:
+        """Port -> interior of the same node (``ENTER_NODE``)."""
+        node = agent.node
+        entry = self._occ[node]
+        del entry[1][agent.port]
+        entry[0] += 1
+        self._released.add((node, agent.port))
+        versions = self._node_version
+        versions[node] = versions.get(node, 0) + 1
+
+    def _occ_traverse(self, agent: AgentState, new_node) -> None:
+        """Port of ``agent.node`` -> interior of ``new_node``."""
+        node = agent.node
+        entry = self._occ[node]
+        holders = entry[1]
+        del holders[agent.port]
+        if entry[0] == 0 and not holders:
+            del self._occ[node]
+        dest = self._occ.get(new_node)
+        if dest is None:
+            self._occ[new_node] = [1, {}]
+        else:
+            dest[0] += 1
+        versions = self._node_version
+        versions[node] = versions.get(node, 0) + 1
+        versions[new_node] = versions.get(new_node, 0) + 1
+
+    # ------------------------------------------------------------------
+    # round phases
+    # ------------------------------------------------------------------
+
+    def _choose_missing(self) -> set:
+        """Consult the adversary and validate its removal against the model."""
+        missing = self._missing
+        missing.clear()
+        topology = self.topology
+        if self._multi_adversary:
+            for edge in self.adversary.missing_edges(self):
+                missing.add(topology.canonical_edge(edge))
+            if missing:
+                topology.validate_missing(missing)
+        else:
+            edge = self.adversary.choose_missing_edge(self)
+            if edge is not None:
+                topology.validate_edge(edge)
+                missing.add(edge)
+        self.missing_edge = next(iter(missing)) if len(missing) == 1 else None
+        return missing
+
+    def _resolve_actions(self, decisions: dict[int, Action]) -> set[int]:
+        """Apply terminations/releases and resolve port mutual exclusion.
+
+        Returns the set of agents positioned on the port they asked to
+        traverse this round (the Move-phase participants).
+
+        Port denial rule: a port occupied at the *start* of the round is
+        denied to new requesters all round.  The optimized path answers
+        "occupied at start?" from the live index plus ``_released`` (the
+        ports vacated earlier in this very call — explicitly by
+        ``ENTER_NODE`` or implicitly by an agent winning the opposite
+        port); the reference path snapshots the start set up front.
+        """
+        optimized = self._optimized
+        self._released.clear()
+        if optimized:
+            occupied_at_start = None
+        else:
+            occupied_at_start = {
+                (a.node, a.port) for a in self.agents if a.port is not None
+            }
+        movers = self._movers
+        movers.clear()
+        requests = self._requests
+        requests.clear()
+        trace = self.trace
+
+        for i, action in decisions.items():
+            agent = self.agents[i]
+            kind = action.kind
+            if kind is ActionKind.STAY:
+                continue
+            if kind is ActionKind.MOVE:
+                direction = action.direction
+                if direction is not None:
+                    target = (
+                        agent.left_global if direction is _LEFT else agent.right_global
+                    )
+                else:
+                    target = action.port
+                if agent.port is target:
+                    movers.add(i)  # already holds the right port; Btime keeps counting
+                else:
+                    key = (agent.node, target)
+                    group = requests.get(key)
+                    if group is None:
+                        requests[key] = [i]
+                    else:
+                        group.append(i)
+                continue
+            if kind is ActionKind.TERMINATE:
+                agent.terminated = True
+                self._live.discard(i)
+                self.termination_rounds[i] = self.round_no
+                if trace is not None:
+                    self._emit(EventKind.TERMINATE, i, f"at v{agent.node}")
+                continue
+            # ENTER_NODE
+            if agent.port is not None:
+                self._occ_vacate_port(agent)
+                agent.port = None
+                agent.memory.Btime = 0
+                if trace is not None:
+                    self._emit(EventKind.ENTER_NODE, i, f"v{agent.node}")
+
+        for (node, target), contenders in requests.items():
+            if optimized:
+                entry = self._occ.get(node)
+                occupied = (
+                    entry is not None and target in entry[1]
+                ) or (node, target) in self._released
+            else:
+                occupied = (node, target) in occupied_at_start
+            if occupied:
+                winner = -1
+            else:
+                winner = self._tie_break(contenders)
+                if winner not in contenders:
+                    raise InvariantViolation("tie-break returned a non-contender")
+            for i in contenders:
+                agent = self.agents[i]
+                # A fresh traversal attempt either way: the consecutive-wait
+                # clock restarts (it only accumulates while pushing on the
+                # same port across rounds).
+                agent.memory.Btime = 0
+                if i == winner:
+                    self._occ_acquire_port(agent, target)
+                    agent.port = target  # may implicitly vacate its other port
+                    movers.add(i)
+                else:
+                    # Section 2.1: "otherwise it sets moved = false".
+                    agent.memory.failed = True
+                    agent.memory.moved = False
+                    if trace is not None:
+                        self._emit(
+                            EventKind.PORT_DENIED, i,
+                            f"v{node} toward {getattr(target, 'name', target)}",
+                        )
+        return movers
+
+    def _move_phase(self, movers: set[int]) -> None:
+        trace = self.trace
+        missing = self._missing
+        topology = self.topology
+        for i in sorted(movers):
+            agent = self.agents[i]
+            assert agent.port is not None
+            edge = topology.edge_from(agent.node, agent.port)
+            if edge in missing:
+                agent.memory.record_blocked()
+                if trace is not None:
+                    self._emit(
+                        EventKind.BLOCKED, i,
+                        f"v{agent.node} edge e{topology.edge_label(edge)}",
+                    )
+            else:
+                self._traverse(agent, EventKind.MOVE)
+
+        if self.transport is TransportModel.PT:
+            last_active = self.last_active
+            peek_cache = self._peek_cache
+            for agent in self.agents:
+                if (
+                    agent.terminated
+                    or agent.index in last_active
+                    or agent.port is None
+                ):
+                    continue
+                edge = topology.edge_from(agent.node, agent.port)
+                if edge not in missing:
+                    self._traverse(agent, EventKind.TRANSPORT)
+                    # A transported agent's memory changed without it being
+                    # active: its cached peek is stale.
+                    peek_cache.pop(agent.index, None)
+
+    def _traverse(self, agent: AgentState, kind: EventKind) -> None:
+        assert agent.port is not None
+        origin = agent.node
+        port = agent.port
+        if self._oriented:
+            local = _LEFT if port is agent.left_global else _RIGHT
+        else:
+            local = None
+        destination = self.topology.neighbor(origin, port)
+        self._occ_traverse(agent, destination)
+        agent.node = destination
+        agent.port = None
+        agent.memory.record_traversal(local)
+        if destination == self._landmark:
+            agent.memory.observe_landmark()
+        visited = self.visited
+        if self.trace is not None:
+            self._emit(kind, agent.index, f"v{origin}->v{destination}")
+        if destination not in visited:
+            visited.add(destination)
+            if self.exploration_round is None and len(visited) == self.topology.size:
+                # Exploration completes during round `round_no`; by the
+                # paper's accounting that is "time round_no + 1" (rounds
+                # are 0-indexed).
+                self.exploration_round = self.round_no + 1
+                if self.trace is not None:
+                    self._emit(
+                        EventKind.EXPLORED, None, f"after {self.round_no + 1} rounds"
+                    )
+
+    def _end_of_round(self, active: set[int], movers: set[int]) -> None:
+        peek_cache = self._peek_cache
+        for agent in self.agents:
+            if agent.terminated:
+                continue
+            if agent.index in active:
+                agent.memory.tick()
+                agent.rounds_since_active = 0
+                agent.activations += 1
+                # Active agents Computed against their real memory (and may
+                # have moved/blocked/been denied): drop their cached peeks.
+                peek_cache.pop(agent.index, None)
+            else:
+                agent.rounds_since_active += 1
+        if self._debug:
+            self._check_invariants()
+
+    # ------------------------------------------------------------------
+    # validation / bookkeeping
+    # ------------------------------------------------------------------
+
+    def _validated_activation(self, selected: Iterable[int]) -> set[int]:
+        live = self._live
+        active = {i for i in selected if i in live}
+        if not active:
+            raise AdversaryViolation(
+                "scheduler activated no live agent (activation sets must be non-empty)"
+            )
+        return active
+
+    def _check_invariants(self) -> None:
+        seen: set[tuple] = set()
+        for agent in self.agents:
+            if agent.port is None:
+                continue
+            key = (agent.node, agent.port)
+            if key in seen:
+                raise InvariantViolation(f"two agents share port {key}")
+            seen.add(key)
+        # The occupancy index and live set must equal a fresh recount.
+        expected: dict[Any, list] = {}
+        for agent in self.agents:
+            entry = expected.setdefault(agent.node, [0, {}])
+            if agent.port is None:
+                entry[0] += 1
+            else:
+                entry[1][agent.port] = agent.index
+        if expected != self._occ:
+            raise InvariantViolation(
+                f"occupancy index drifted: have {self._occ}, expected {expected}"
+            )
+        live = {a.index for a in self.agents if not a.terminated}
+        if live != self._live:
+            raise InvariantViolation(
+                f"live set drifted: have {self._live}, expected {live}"
+            )
+
+    def _emit(self, kind: EventKind, agent: int | None, detail) -> None:
+        if self.trace is not None:
+            self.trace.emit(Event(self.round_no, kind, agent, detail))
+
+    def _build_result(self, reason: str) -> RunResult:
+        stats = [
+            AgentStats(
+                index=a.index,
+                moves=a.memory.Tsteps,
+                terminated=a.terminated,
+                termination_round=self.termination_rounds.get(a.index),
+                final_node=a.node,
+                waiting_on_port=a.port is not None,
+            )
+            for a in self.agents
+        ]
+        return RunResult(
+            ring_size=self.topology.size,
+            rounds=self.round_no,
+            explored=self.exploration_complete,
+            exploration_round=self.exploration_round,
+            visited=set(self.visited),
+            agents=stats,
+            halted_reason=reason,
+        )

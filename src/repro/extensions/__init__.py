@@ -4,33 +4,51 @@ Section 5 of the paper: "a challenging [open problem] is the study of live
 exploration in a network of arbitrary topology ... meshes, tori,
 hypercubes".  This subpackage provides a faithful generalisation of the
 model to arbitrary port-labelled dynamic graphs (1-interval connectivity
-enforced per round) plus two baseline explorers, so that the open problem
-can at least be *measured* while the theory is open.
+enforced per round) plus baseline explorers, so that the open problem can
+at least be *measured* while the theory is open.
 
-Everything here is an extension, not a reproduction: no claims from the
-paper apply, and the interfaces are deliberately independent of the ring
-engine (whose direction algebra has no analogue on general graphs).
+Since the engine unification, graph topologies run on the same
+:class:`~repro.core.sim.SimulationCore` as the paper's ring:
+:class:`DynamicGraphEngine` is a thin facade, and every scheduler,
+transport model, termination mode and look-ahead adversary of the ring
+reproduction applies to these topologies too.  No *claims* from the paper
+transfer — only the machinery.
 """
 
 from .dynamic_graph import (
     ConnectivityPreservingAdversary,
+    ConnectivitySafeAdversary,
     DynamicGraphEngine,
-    GraphRunResult,
+    GraphSnapshot,
+    GraphTopology,
     StaticGraphAdversary,
+    cactus_graph,
     hypercube,
+    path_graph,
     ring_graph,
     torus,
 )
-from .explorers import RandomWalkExplorer, RotorRouterExplorer
+from .explorers import (
+    RandomWalkExplorer,
+    RotorRouterExplorer,
+    TerminatingRotorRouter,
+    attach_node_oracle,
+)
 
 __all__ = [
     "ConnectivityPreservingAdversary",
+    "ConnectivitySafeAdversary",
     "DynamicGraphEngine",
-    "GraphRunResult",
+    "GraphSnapshot",
+    "GraphTopology",
     "RandomWalkExplorer",
     "RotorRouterExplorer",
     "StaticGraphAdversary",
+    "TerminatingRotorRouter",
+    "attach_node_oracle",
+    "cactus_graph",
     "hypercube",
+    "path_graph",
     "ring_graph",
     "torus",
 ]

@@ -1,4 +1,4 @@
-"""A 1-interval-connected dynamic graph substrate (open-problem support).
+"""1-interval-connected dynamic graphs on the unified simulation core.
 
 Generalises the ring model of the paper to arbitrary port-labelled graphs:
 
@@ -11,18 +11,28 @@ Generalises the ring model of the paper to arbitrary port-labelled graphs:
   per-port agent occupancy; they request a port, win it in mutual
   exclusion, and cross iff the edge is present.
 
-The round loop mirrors :mod:`repro.core.engine` but drops everything
-ring-specific (orientations, the left/right algebra, landmark distance
-accounting).  networkx is required.
+There is no graph-specific round loop: :class:`DynamicGraphEngine` is a
+thin facade over :class:`repro.core.sim.SimulationCore` (the same core
+the ring engine runs on), wired through :class:`GraphTopology` (structure
++ Look semantics) and :class:`ExplorerAlgorithm` (adapts the explorer
+protocol to the core's Algorithm protocol).  That buys every topology the
+full ring machinery for free: FSYNC/SSYNC schedulers, the NS/PT/ET
+transport models, explicit termination, tracing, the occupancy index, the
+peek cache (so look-ahead adversaries like
+:class:`~repro.adversary.blocking.BlockAgentAdversary` work here too) and
+the ``optimized=False`` reference Look path.  networkx is required.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Protocol, Sequence
 
+from ..core.actions import Action, ENTER_NODE, move_to_port
 from ..core.errors import AdversaryViolation, ConfigurationError
+from ..core.memory import AgentMemory
+from ..core.sim import SimulationCore, TransportModel
 
 
 def ring_graph(n: int):
@@ -87,13 +97,25 @@ def hypercube(dimension: int):
 
 @dataclass(frozen=True)
 class GraphSnapshot:
-    """What a graph agent sees during Look (local frame, anonymous)."""
+    """What a graph agent sees during Look (local frame, anonymous).
+
+    ``failed`` and ``is_landmark`` mirror the ring snapshot's predicates
+    (a denied port acquisition last round; standing at the topology's
+    optional landmark node) — both came along when the graph engine moved
+    onto the unified core.  ``moved`` also adopted the ring semantics
+    then: it reports whether the agent's *last traversal attempt*
+    succeeded (sticky through rest/STAY rounds, cleared by a block or a
+    denial), not the pre-unification "traversed in the immediately
+    preceding round".
+    """
 
     degree: int
     on_port: int | None          # port the agent occupies after a failed move
     others_in_node: int
     occupied_ports: frozenset[int]  # ports of this node held by other agents
     moved: bool
+    failed: bool = False
+    is_landmark: bool = False
 
 
 #: Interning pool for Look snapshots (same rationale as
@@ -110,8 +132,11 @@ def _intern_graph_snapshot(
     others_in_node: int,
     occupied_ports: frozenset[int],
     moved: bool,
+    failed: bool,
+    is_landmark: bool,
 ) -> GraphSnapshot:
-    key = (degree, on_port, others_in_node, occupied_ports, moved)
+    key = (degree, on_port, others_in_node, occupied_ports, moved, failed,
+           is_landmark)
     snap = _INTERNED_SNAPSHOTS.get(key)
     if snap is None:
         snap = GraphSnapshot(*key)
@@ -120,13 +145,21 @@ def _intern_graph_snapshot(
 
 
 class GraphExplorer(Protocol):
-    """Deterministic-or-seeded per-agent exploration strategy."""
+    """Deterministic-or-seeded per-agent exploration strategy.
+
+    ``choose_port`` returns the port to push (``0..degree-1``), ``None``
+    to rest inside the node (releasing any held port), or a core
+    :class:`~repro.core.actions.Action` for the richer verbs — in
+    particular ``TERMINATE`` for explicitly terminating explorers.
+    """
 
     name: str
 
     def setup(self, memory: dict) -> None: ...
 
-    def choose_port(self, snapshot: GraphSnapshot, memory: dict) -> int | None: ...
+    def choose_port(
+        self, snapshot: GraphSnapshot, memory: dict
+    ) -> int | None | Action: ...
 
 
 class StaticGraphAdversary:
@@ -177,104 +210,141 @@ class ConnectivityPreservingAdversary:
         return removed
 
 
-@dataclass
-class GraphAgent:
-    index: int
-    node: Any
-    port: int | None = None
-    moved: bool = False
-    moves: int = 0
-    memory: dict = field(default_factory=dict)
+class ConnectivitySafeAdversary:
+    """Constrain a single-edge (ring-style) adversary to legal removals.
 
-
-@dataclass
-class GraphRunResult:
-    nodes: int
-    rounds: int
-    explored: bool
-    exploration_round: int | None
-    total_moves: int
-    visited: set = field(default_factory=set)
-
-
-class DynamicGraphEngine:
-    """Synchronous Look-Compute-Move on a dynamic port-labelled graph.
-
-    Like the ring engine, the round loop maintains an incremental
-    occupancy index (``node -> interior count`` plus ``node -> {port:
-    holder}``), so a Look snapshot reads the observer's node in O(degree)
-    instead of scanning the whole team; ``optimized=False`` keeps the
-    original scan as the executable reference for the equivalence tests.
+    The paper's adversary *chooses within* the 1-interval-connectivity
+    constraint; a look-ahead construction written for the ring (where any
+    single removal is legal) may pick a bridge on a general graph.  This
+    wrapper turns such a choice into "remove nothing" instead of letting
+    the core's model audit reject the round — which is exactly what a
+    constrained adversary would do.
     """
 
-    def __init__(
-        self,
-        graph,
-        explorer: GraphExplorer,
-        positions: Sequence[Any],
-        *,
-        adversary=None,
-        optimized: bool = True,
-    ) -> None:
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def reset(self, engine: "SimulationCore") -> None:
+        self._inner.reset(engine)
+
+    def choose_missing_edge(self, engine: "SimulationCore"):
+        edge = self._inner.choose_missing_edge(engine)
+        if edge is None:
+            return None
+        topology = engine.topology
+        edge = topology.canonical_edge(edge)
+        return edge if topology.removable(edge) else None
+
+    def __repr__(self) -> str:
+        return f"ConnectivitySafeAdversary({self._inner!r})"
+
+
+class GraphTopology:
+    """Port-labelled graph structure + Look semantics for the unified core.
+
+    Port labelling: ``port i`` of a node is its ``i``-th neighbour in
+    sorted order.  Edges are ``frozenset({u, v})``.  Bridges are
+    precomputed so the common single-edge-per-round adversaries validate
+    in O(1) instead of a per-round connectivity check.
+    """
+
+    oriented = False
+
+    def __init__(self, graph, *, landmark=None) -> None:
         import networkx as nx
 
-        if not positions:
-            raise ConfigurationError("at least one agent is required")
         if not nx.is_connected(graph):
             raise ConfigurationError("the underlying graph must be connected")
         self.graph = graph
-        self.explorer = explorer
-        self.adversary = adversary if adversary is not None else StaticGraphAdversary()
-        self._optimized = bool(optimized)
+        self.size = graph.number_of_nodes()
+        if landmark is not None and landmark not in graph:
+            raise ConfigurationError(f"landmark {landmark!r} not in the graph")
+        self.landmark = landmark
         # Port labelling: node -> sorted neighbour list; port i = i-th neighbour.
         self.ports = {node: sorted(graph.neighbors(node)) for node in graph.nodes}
-        # Occupancy index: interior head-count and per-node held ports.
-        self._interior: dict[Any, int] = {}
-        self._node_ports: dict[Any, dict[int, int]] = {}
-        self.agents = [
-            GraphAgent(index=i, node=node) for i, node in enumerate(positions)
-        ]
-        for agent in self.agents:
-            if agent.node not in graph:
-                raise ConfigurationError(f"start node {agent.node!r} not in the graph")
-            self.explorer.setup(agent.memory)
-            self._interior[agent.node] = self._interior.get(agent.node, 0) + 1
-        self.round_no = 0
-        self.visited = {agent.node for agent in self.agents}
-        self.exploration_round = 0 if self.exploration_complete else None
-        self.missing: set = set()
-        self.adversary.reset(self)
+        self._edges = {frozenset(e) for e in graph.edges()}
+        self._bridges = {frozenset(e) for e in nx.bridges(graph)}
 
-    @property
-    def exploration_complete(self) -> bool:
-        return len(self.visited) == self.graph.number_of_nodes()
+    # -- structure -----------------------------------------------------
+
+    def normalize(self, node):
+        if node not in self.ports:
+            raise ConfigurationError(f"start node {node!r} not in the graph")
+        return node
 
     def degree(self, node) -> int:
         return len(self.ports[node])
 
-    def snapshot_for(self, agent: GraphAgent) -> GraphSnapshot:
-        if not self._optimized:
-            return self._snapshot_for_scan(agent)
+    def edge_from(self, node, port: int):
+        neighbors = self.ports[node]
+        if not 0 <= port < len(neighbors):
+            raise AdversaryViolation(
+                f"explorer requested port {port} at a degree-{len(neighbors)} node"
+            )
+        return frozenset((node, neighbors[port]))
+
+    def neighbor(self, node, port: int):
+        return self.ports[node][port]
+
+    # -- adversary validation -------------------------------------------
+
+    def canonical_edge(self, edge):
+        return edge if isinstance(edge, frozenset) else frozenset(edge)
+
+    def validate_edge(self, edge) -> None:
+        if edge not in self._edges:
+            raise AdversaryViolation(
+                f"adversary removed non-edge {sorted(edge, key=repr)!r}")
+        if edge in self._bridges:
+            raise AdversaryViolation(
+                "adversary disconnected the footprint (1-interval connectivity)"
+            )
+
+    def validate_missing(self, missing: set) -> None:
+        import networkx as nx
+
+        if len(missing) == 1:
+            (edge,) = missing
+            self.validate_edge(edge)
+            return
+        footprint = self.graph.copy()
+        for edge in missing:
+            footprint.remove_edge(*tuple(edge))
+        if not nx.is_connected(footprint):
+            raise AdversaryViolation(
+                "adversary disconnected the footprint (1-interval connectivity)"
+            )
+
+    def removable(self, edge) -> bool:
+        return edge in self._edges and edge not in self._bridges
+
+    def edge_label(self, edge) -> str:
+        return "-".join(str(v) for v in sorted(edge, key=repr))
+
+    # -- Look semantics -------------------------------------------------
+
+    def snapshot(self, agent, interior: int, holders: dict) -> GraphSnapshot:
+        """O(degree) Look from the occupancy-index entry of the agent's node."""
         node = agent.node
-        others = self._interior.get(node, 0)
-        ports = self._node_ports.get(node)
         own_port = agent.port
         if own_port is None:
-            others -= 1  # don't count the observer itself
-            occupied = frozenset(ports) if ports else _EMPTY_PORTS
-        elif ports and len(ports) > 1:
-            occupied = frozenset(p for p in ports if p != own_port)
+            interior -= 1  # don't count the observer itself
+            occupied = frozenset(holders) if holders else _EMPTY_PORTS
+        elif len(holders) > 1:
+            occupied = frozenset(p for p in holders if p != own_port)
         else:
             occupied = _EMPTY_PORTS
+        memory = agent.memory
         return _intern_graph_snapshot(
-            len(self.ports[node]), own_port, others, occupied, agent.moved
+            len(self.ports[node]), own_port, interior, occupied,
+            memory.moved, memory.failed, node == self.landmark,
         )
 
-    def _snapshot_for_scan(self, agent: GraphAgent) -> GraphSnapshot:
-        """Reference implementation: O(k) scan over the team (pre-index)."""
+    def snapshot_scan(self, agent, agents: Sequence) -> GraphSnapshot:
+        """Reference Look: the original O(k) scan over the team."""
         others = 0
         occupied: set[int] = set()
-        for other in self.agents:
+        for other in agents:
             if other.index == agent.index or other.node != agent.node:
                 continue
             if other.port is None:
@@ -286,138 +356,101 @@ class DynamicGraphEngine:
             on_port=agent.port,
             others_in_node=others,
             occupied_ports=frozenset(occupied),
-            moved=agent.moved,
+            moved=agent.memory.moved,
+            failed=agent.memory.failed,
+            is_landmark=agent.node == self.landmark,
         )
 
-    # -- occupancy-index maintenance ------------------------------------
+    def __repr__(self) -> str:
+        return f"GraphTopology(n={self.size})"
 
-    def _occ_release(self, agent: GraphAgent) -> None:
-        """Port -> interior of the same node."""
-        node = agent.node
-        ports = self._node_ports[node]
-        del ports[agent.port]
-        if not ports:
-            del self._node_ports[node]
-        self._interior[node] = self._interior.get(node, 0) + 1
 
-    def _occ_acquire(self, agent: GraphAgent, port: int) -> None:
-        """Interior (or another port) -> ``port`` of the same node."""
-        node = agent.node
-        if agent.port is None:
-            count = self._interior[node] - 1
-            if count:
-                self._interior[node] = count
-            else:
-                del self._interior[node]
-        else:
-            ports = self._node_ports[node]
-            del ports[agent.port]
-        self._node_ports.setdefault(node, {})[port] = agent.index
+class ExplorerAlgorithm:
+    """Adapt a :class:`GraphExplorer` to the core's Algorithm protocol.
 
-    def _occ_traverse(self, agent: GraphAgent, target) -> None:
-        """Port of ``agent.node`` -> interior of ``target``."""
-        node = agent.node
-        ports = self._node_ports[node]
-        del ports[agent.port]
-        if not ports:
-            del self._node_ports[node]
-        self._interior[target] = self._interior.get(target, 0) + 1
+    Explorer state lives in ``memory.vars`` (the dict the explorer always
+    saw), so the core's peek machinery — :meth:`AgentMemory.clone` hands a
+    speculative copy to look-ahead adversaries — works unchanged.  Note
+    the omniscience caveat: peeks are only faithful for *deterministic*
+    explorers (rotor-router); a seeded random walk advances its RNG when
+    peeked, exactly as the paper's adversary model (deterministic
+    protocols) assumes away.
+    """
+
+    def __init__(self, explorer: GraphExplorer) -> None:
+        self.explorer = explorer
+        self.name = getattr(explorer, "name", type(explorer).__name__)
+
+    def setup(self, memory: AgentMemory) -> None:
+        self.explorer.setup(memory.vars)
+
+    def compute(self, snapshot: GraphSnapshot, memory: AgentMemory) -> Action:
+        choice = self.explorer.choose_port(snapshot, memory.vars)
+        if choice is None:
+            return ENTER_NODE  # rest inside the node, releasing any held port
+        if isinstance(choice, Action):
+            return choice
+        return move_to_port(choice)
+
+
+class DynamicGraphEngine(SimulationCore):
+    """Look-Compute-Move on a dynamic port-labelled graph (unified core).
+
+    A constructor-level facade: builds the :class:`GraphTopology` and the
+    explorer adapter, defaults to the fully synchronous scheduler and a
+    static adversary, and keeps the legacy attribute surface (``graph``,
+    ``ports``, ``degree``, ``missing``).  Everything else — schedulers,
+    transports, termination, tracing, both Look paths — is inherited.
+    """
+
+    def __init__(
+        self,
+        graph,
+        explorer: GraphExplorer,
+        positions: Sequence[Any],
+        *,
+        adversary=None,
+        scheduler=None,
+        transport: TransportModel = TransportModel.NS,
+        trace=None,
+        landmark=None,
+        debug_invariants: bool | None = None,
+        optimized: bool = True,
+    ) -> None:
+        from ..schedulers.fsync import FsyncScheduler
+
+        topology = GraphTopology(graph, landmark=landmark)
+        super().__init__(
+            topology,
+            ExplorerAlgorithm(explorer),
+            positions,
+            scheduler=scheduler if scheduler is not None else FsyncScheduler(),
+            adversary=adversary if adversary is not None else StaticGraphAdversary(),
+            transport=transport,
+            trace=trace,
+            debug_invariants=debug_invariants,
+            optimized=optimized,
+        )
+        self.graph = topology.graph
+        self.ports = topology.ports
+        self.explorer = explorer
+
+    def degree(self, node) -> int:
+        return len(self.ports[node])
 
     def _edge_of_port(self, node, port: int):
-        neighbors = self.ports[node]
-        if not 0 <= port < len(neighbors):
-            raise AdversaryViolation(
-                f"explorer requested port {port} at a degree-{len(neighbors)} node"
-            )
-        return frozenset((node, neighbors[port]))
+        return self.topology.edge_from(node, port)
 
-    def step(self) -> None:
-        self.missing = {frozenset(e) for e in self.adversary.missing_edges(self)}
-        self._check_connectivity()
+    @property
+    def missing(self) -> set:
+        """This round's missing edge set (legacy name for ``missing_edges``)."""
+        return self.missing_edges
 
-        # Look + Compute (simultaneous).
-        requests: dict[int, int | None] = {}
-        for agent in self.agents:
-            requests[agent.index] = self.explorer.choose_port(
-                self.snapshot_for(agent), agent.memory
-            )
-
-        # Port acquisition in mutual exclusion (as in the ring engine:
-        # ports occupied at round start stay denied, lowest index wins).
-        if self._optimized:
-            held = {
-                (node, port)
-                for node, ports in self._node_ports.items()
-                for port in ports
-            }
-        else:
-            held = {
-                (agent.node, agent.port)
-                for agent in self.agents
-                if agent.port is not None
-            }
-        movers: list[GraphAgent] = []
-        claims: dict[tuple, int] = {}
-        for agent in self.agents:
-            port = requests[agent.index]
-            agent.moved = False
-            if port is None:
-                if agent.port is not None:
-                    self._occ_release(agent)
-                agent.port = None  # a resting agent steps back into the node
-                continue
-            key = (agent.node, port)
-            if agent.port == port:
-                movers.append(agent)
-            elif key in held or claims.get(key, agent.index) != agent.index:
-                continue  # denied
-            else:
-                claims[key] = agent.index
-                self._occ_acquire(agent, port)
-                agent.port = port
-                movers.append(agent)
-
-        # Move.
-        for agent in movers:
-            assert agent.port is not None
-            edge = self._edge_of_port(agent.node, agent.port)
-            if edge in self.missing:
-                continue  # blocked: stays on the port
-            target = self.ports[agent.node][agent.port]
-            self._occ_traverse(agent, target)
-            agent.node = target
-            agent.port = None
-            agent.moved = True
-            agent.moves += 1
-            if target not in self.visited:
-                self.visited.add(target)
-                if self.exploration_complete and self.exploration_round is None:
-                    self.exploration_round = self.round_no + 1
-        self.round_no += 1
-
-    def run(self, max_rounds: int, *, stop_on_exploration: bool = True) -> GraphRunResult:
-        for _ in range(max_rounds):
-            if stop_on_exploration and self.exploration_complete:
-                break
-            self.step()
-        return GraphRunResult(
-            nodes=self.graph.number_of_nodes(),
-            rounds=self.round_no,
-            explored=self.exploration_complete,
-            exploration_round=self.exploration_round,
-            total_moves=sum(agent.moves for agent in self.agents),
-            visited=set(self.visited),
+    def run(self, max_rounds: int, *, stop_on_exploration: bool = True,
+            stop_when=None):
+        """Run to the horizon; graph runs historically stop on exploration."""
+        return super().run(
+            max_rounds,
+            stop_on_exploration=stop_on_exploration,
+            stop_when=stop_when,
         )
-
-    def _check_connectivity(self) -> None:
-        import networkx as nx
-
-        if not self.missing:
-            return
-        footprint = self.graph.copy()
-        for edge in self.missing:
-            footprint.remove_edge(*tuple(edge))
-        if not nx.is_connected(footprint):
-            raise AdversaryViolation(
-                "adversary disconnected the footprint (1-interval connectivity)"
-            )

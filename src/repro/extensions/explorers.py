@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 
+from ..core.actions import Action, TERMINATE
 from ..core.errors import ConfigurationError
 from .dynamic_graph import GraphSnapshot
 
@@ -81,12 +82,74 @@ class RotorRouterExplorer:
         return snapshot.on_port  # keep pushing the blocked port
 
 
+class TerminatingRotorRouter(RotorRouterExplorer):
+    """Rotor-router with *explicit termination* given the node count.
+
+    The graph analogue of the ring's known-bound protocols: the agent is
+    told ``size`` (the number of nodes) up front, counts the distinct
+    nodes it has personally stood at (via the same node oracle the plain
+    rotor-router needs), and enters the terminal state once it has seen
+    them all — necessarily *after* full exploration, so a finished run
+    classifies as the paper's explicit/partial termination modes.  An
+    agent that completes its census while waiting on a port first steps
+    back into the node and terminates from the interior.
+
+    Unlike the base rotor (which pushes a blocked port forever, the
+    behaviour an *eventually present* edge rewards), this variant gives
+    up after ``patience`` consecutive blocked rounds and re-routes
+    through the rotor — liveness against adversaries that can hold one
+    edge missing indefinitely (e.g. the peeking
+    :class:`~repro.adversary.blocking.BlockAgentAdversary`, whose pinned
+    target consequently never completes its census: Observation 1,
+    off the ring).
+    """
+
+    name = "rotor-router-terminating"
+
+    def __init__(self, size: int, patience: int = 3) -> None:
+        if size < 1:
+            raise ConfigurationError("size must be >= 1")
+        if patience < 1:
+            raise ConfigurationError("patience must be >= 1")
+        self._size = size
+        self._patience = patience
+
+    def setup(self, memory: dict) -> None:
+        super().setup(memory)
+        memory["seen"] = set()
+        memory["blocked"] = 0
+
+    def choose_port(self, snapshot: GraphSnapshot, memory: dict) -> int | None | Action:
+        oracle = memory.get("node_of")
+        if oracle is None:
+            raise ConfigurationError(
+                "TerminatingRotorRouter needs attach_node_oracle(engine) "
+                "(it uses node identities, a documented model strengthening)"
+            )
+        seen = memory["seen"]
+        seen.add(oracle())
+        if len(seen) >= self._size:
+            if snapshot.on_port is not None:
+                return None  # step off the port; terminate from the interior
+            return TERMINATE
+        if snapshot.on_port is not None:
+            streak = memory["blocked"] + 1
+            if streak >= self._patience:
+                memory["blocked"] = 0
+                return None  # abandon the held port; re-route next round
+            memory["blocked"] = streak
+            return snapshot.on_port
+        memory["blocked"] = 0
+        return super().choose_port(snapshot, memory)
+
+
 def attach_node_oracle(engine) -> None:
     """Give every agent a callback reporting its current node.
 
-    Installs ``memory['node_of']`` for each agent of a
+    Installs ``node_of`` in each agent's algorithm-variable store (the
+    dict explorers receive as ``memory``) on a
     :class:`~repro.extensions.dynamic_graph.DynamicGraphEngine`.  This is
-    the explicit strengthening the rotor-router baseline requires.
+    the explicit strengthening the rotor-router baselines require.
     """
     for agent in engine.agents:
-        agent.memory["node_of"] = (lambda a=agent: a.node)
+        agent.memory.vars["node_of"] = (lambda a=agent: a.node)

@@ -136,7 +136,9 @@ class ETFairScheduler:
                 self._debt[agent.index] = 0
                 continue
             edge = engine.port_edge(agent)
-            present = edge != engine.missing_edge
+            # edge_present consults the full missing *set*, so the wrapper
+            # also enforces ET fairness on multi-edge-removal topologies.
+            present = engine.edge_present(edge)
             if agent.index in chosen:
                 if present:
                     self._debt[agent.index] = 0

@@ -153,3 +153,37 @@ class TestStoreBackendCli:
         assert main(["campaign", "export", "--spec", "smoke",
                      "--out", str(in_tmp / "x.csv")]) == 1
         assert "no result store" in capsys.readouterr().err
+
+
+class TestReportReduceAndScatter:
+    """The --reduce switch and per-seed scatter rows on campaign report."""
+
+    def _seeded_store(self, in_tmp):
+        spec = get_spec("smoke")
+        spec.grid["seed"] = [0, 1, 2]
+        spec.variants = spec.variants[:1]
+        spec_path = in_tmp / "r.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        store = f"sqlite:{in_tmp / 'r.db'}"
+        assert main(["campaign", "run", "--spec-file", str(spec_path),
+                     "--store", store, "--workers", "1", "--no-report"]) == 0
+        return spec_path, store
+
+    def test_reduce_switch_changes_the_fit_series(self, in_tmp, capsys):
+        spec_path, store = self._seeded_store(in_tmp)
+        capsys.readouterr()
+        assert main(["campaign", "report", "--spec-file", str(spec_path),
+                     "--store", store, "--fit", "--reduce", "p90"]) == 0
+        out = capsys.readouterr().out
+        assert "p90 per size" in out
+
+    def test_scatter_prints_per_seed_rows(self, in_tmp, capsys):
+        spec_path, store = self._seeded_store(in_tmp)
+        capsys.readouterr()
+        assert main(["campaign", "report", "--spec-file", str(spec_path),
+                     "--store", store, "--scatter"]) == 0
+        out = capsys.readouterr().out
+        assert "per-seed scatter" in out
+        for seed in (0, 1, 2):
+            assert f"seed={seed}" in out
+        assert "rounds=" in out and "total_moves=" in out

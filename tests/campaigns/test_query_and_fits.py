@@ -186,3 +186,45 @@ class TestPercentiles:
              for r in (1, 1, 1, 1, 1000)])
         assert stats.p50_rounds == 1
         assert stats.p90_rounds > 500
+
+
+class TestScatter:
+    """Per-seed scatter: the unreduced drill-down under the report."""
+
+    def test_scatter_lists_every_record_sorted(self, store):
+        store.append_many(
+            [rec(f"k{n}-{s}", n, seed=s, rounds=10 * n + s)
+             for n in (8, 6) for s in (1, 0)])
+        points = store.query().scatter()
+        assert points == [(6, 0, 60), (6, 1, 61), (8, 0, 80), (8, 1, 81)]
+
+    def test_scatter_orders_two_digit_seeds_numerically(self, store):
+        store.append_many(
+            [rec(f"k{s}", 8, seed=s, rounds=100 + s) for s in (2, 11, 0, 10)])
+        assert [p[1] for p in store.query().scatter()] == [0, 2, 10, 11]
+
+    def test_scatter_skips_errors_and_respects_where(self, store):
+        store.append_many([
+            rec("a", 8, seed=0, rounds=80),
+            rec("b", 8, seed=1, label="other", rounds=99),
+            {"key": "c", "config": {"ring_size": 8, "seed": 2},
+             "error": "boom"},
+        ])
+        assert store.query().where(label="row").scatter() == [(8, 0, 80)]
+
+    def test_render_scatter_groups_like_the_table(self, store):
+        from repro.campaigns.stores import render_scatter
+
+        store.append_many(
+            [rec(f"k{s}", 8, seed=s, rounds=50 + s) for s in (0, 1)])
+        text = render_scatter(list(store.query().records()),
+                              title="per-seed scatter")
+        assert "== per-seed scatter" in text
+        assert "seed=0" in text and "seed=1" in text
+        assert "rounds=51" in text
+        assert "label=row" in text
+
+    def test_render_scatter_empty(self):
+        from repro.campaigns.stores import render_scatter
+
+        assert "(no completed cells)" in render_scatter([])

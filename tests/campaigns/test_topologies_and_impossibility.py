@@ -61,11 +61,34 @@ class TestTopologyRegistry:
             validate_cell(graph_cell(topology="path", adversary="figure2"))
 
     def test_engine_dispatch(self):
+        from repro.extensions import DynamicGraphEngine
+
         assert is_graph_cell(graph_cell())
         assert not is_graph_cell(
             CellConfig(algorithm="known-bound", ring_size=8, max_rounds=10))
-        with pytest.raises(ConfigurationError, match="graph engine"):
-            build_cell_engine(graph_cell())
+        # One entry point for every topology: build_cell_engine dispatches
+        # explorer cells to the graph facade of the unified core.
+        engine = build_cell_engine(graph_cell())
+        assert isinstance(engine, DynamicGraphEngine)
+        with pytest.raises(ConfigurationError, match="ring engine"):
+            build_graph_cell_engine(
+                CellConfig(algorithm="known-bound", ring_size=8, max_rounds=10))
+
+    def test_peeking_adversary_requires_deterministic_explorer(self):
+        """Peeks advance a random walk's RNG, so results would depend on
+        how often the adversary looks ahead — rejected at validation."""
+        with pytest.raises(ConfigurationError, match="deterministic"):
+            validate_cell(graph_cell(topology="torus", adversary="block-agent"))
+        # the deterministic rotors remain allowed
+        validate_cell(graph_cell(algorithm="rotor-router", topology="torus",
+                                 adversary="block-agent"))
+
+    def test_graph_cells_accept_ssync_schedulers(self):
+        cell = graph_cell(scheduler="round-robin", topology="torus")
+        validate_cell(cell)  # must not raise
+        engine = build_cell_engine(cell)
+        engine.step()
+        assert len(engine.last_active) == 1  # round-robin window of one
 
 
 class TestTopologyExecution:
@@ -101,6 +124,59 @@ class TestTopologyExecution:
         first = execute_cell(cell)
         second = execute_cell(cell)
         assert first["metrics"] == second["metrics"]
+
+    def test_torus_ssync_peeking_adversary_partial_termination(self):
+        """The widened matrix end to end: a non-ring topology under an
+        SSYNC scheduler, a peeking (look-ahead) adversary and a
+        termination mode, through the same executor path ring cells take.
+        The adversary pins its target forever (Observation 1 generalises),
+        so the free agent completes its census and terminates while the
+        target cannot — the paper's *partial* termination, classified
+        from the same RunResult schema ring cells produce."""
+        cell = CellConfig(
+            algorithm="rotor-router-terminating", ring_size=12, agents=2,
+            max_rounds=20_000, topology="torus", adversary="block-agent",
+            scheduler="round-robin", transport="ns",
+        )
+        record = execute_cell(cell)
+        assert "error" not in record, record.get("error")
+        metrics = record["metrics"]
+        assert metrics["explored"]
+        assert metrics["terminated_count"] == 1
+        assert not metrics["all_terminated"]
+        assert metrics["mode"] == "partial"
+        assert metrics["last_termination_round"] >= metrics["exploration_round"]
+
+    def test_torus_ssync_explicit_termination(self):
+        """With a connectivity-preserving (non-pinning) adversary every
+        terminating explorer finishes its census: explicit termination."""
+        cell = CellConfig(
+            algorithm="rotor-router-terminating", ring_size=9, agents=2,
+            max_rounds=40_000, topology="torus", adversary="random",
+            scheduler="random-fair", transport="ns",
+        )
+        record = execute_cell(cell)
+        assert "error" not in record, record.get("error")
+        metrics = record["metrics"]
+        assert metrics["explored"]
+        assert metrics["all_terminated"]
+        assert metrics["mode"] == "explicit"
+        assert metrics["halted_reason"] == "all-terminated"
+
+    def test_block_agent_pins_its_target_on_a_torus(self):
+        """Observation 1's peeking adversary, off the ring: the blocked
+        rotor-router never leaves its start node while free agents roam."""
+        cell = CellConfig(
+            algorithm="rotor-router", ring_size=9, agents=2, max_rounds=400,
+            topology="torus", adversary="block-agent",
+        )
+        engine = build_cell_engine(cell)
+        start = engine.agents[0].node
+        for _ in range(400):
+            engine.step()
+        assert engine.agents[0].node == start
+        assert engine.agents[0].memory.Tsteps == 0
+        assert engine.agents[1].memory.Tsteps > 0
 
 
 class TestImpossibilityPreset:

@@ -1,0 +1,155 @@
+"""Golden-trace digests: the legacy ring engine, frozen as a fixture.
+
+The unified topology-generic core (``repro.core.sim``) replaced the
+original ring-only round loop of ``core/engine.py``.  To prove the ring
+is *trace-exact* through the new core, this module records a canonical
+digest of everything observable about a run — the full event stream,
+every per-round peek of every agent, and the final result — and
+``tests/core/golden_ring_traces.json`` pins the digests produced by the
+**pre-refactor engine** (recorded at the commit that still contained the
+legacy loop).  The equivalence suite replays the same cells through the
+current engine and asserts byte-identical digests, for both the
+optimized and the reference (``optimized=False``) paths.
+
+Regenerate (only when a *deliberate* behaviour change is being made)::
+
+    PYTHONPATH=src python -m tests.core.golden_traces --record
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.campaigns.spec import CellConfig
+
+FIXTURE = Path(__file__).with_name("golden_ring_traces.json")
+
+#: The recorded matrix: one cell per (transport x adversary-style)
+#: corner, every peeking adversary included.  Deliberately a frozen copy
+#: (not an import from the equivalence suite) so extending that suite
+#: can never silently change what the golden fixture covers.
+GOLDEN_CELLS = [
+    CellConfig(algorithm="known-bound", ring_size=12, agents=2, max_rounds=80,
+               adversary="random", transport="ns"),
+    CellConfig(algorithm="known-bound", ring_size=10, agents=5, max_rounds=80,
+               adversary="random", scheduler="round-robin", transport="ns"),
+    CellConfig(algorithm="unconscious", ring_size=9, agents=3, max_rounds=60,
+               adversary="random", transport="ns", stop_on_exploration=True),
+    CellConfig(algorithm="landmark-chirality", ring_size=10, agents=2,
+               max_rounds=120, adversary="random", transport="ns", landmark=0),
+    CellConfig(algorithm="landmark-no-chirality", ring_size=8, agents=2,
+               max_rounds=200, adversary="block-agent", transport="ns",
+               landmark=0, chirality=False, flipped=(1,)),
+    CellConfig(algorithm="known-bound", ring_size=10, agents=2, max_rounds=120,
+               adversary="prevent-meetings", transport="ns"),
+    CellConfig(algorithm="known-bound", ring_size=12, agents=6, max_rounds=150,
+               adversary="ns-starvation", transport="ns"),
+    CellConfig(algorithm="known-bound", ring_size=9, agents=2, max_rounds=40,
+               adversary="figure2", transport="ns", placement="explicit",
+               positions=(0, 1), chirality=False, flipped=(0, 1)),
+    CellConfig(algorithm="pt-bound", ring_size=10, agents=2, max_rounds=200,
+               adversary="zigzag", transport="pt", adversary_arg=3),
+    CellConfig(algorithm="pt-landmark", ring_size=9, agents=2, max_rounds=200,
+               adversary="random", transport="pt", landmark=0),
+    CellConfig(algorithm="pt-bound-3", ring_size=9, agents=3, max_rounds=250,
+               adversary="random", transport="pt"),
+    CellConfig(algorithm="et-unconscious", ring_size=8, agents=2, max_rounds=200,
+               adversary="random", transport="et"),
+    CellConfig(algorithm="et-exact", ring_size=9, agents=3, max_rounds=300,
+               adversary="random", transport="et", bound=9),
+    CellConfig(algorithm="et-exact", ring_size=12, agents=3, max_rounds=200,
+               adversary="theorem19", transport="et", bound=6,
+               placement="explicit", positions=(0, 2, 4)),
+]
+
+GOLDEN_SEEDS = (0, 1)
+
+
+def cell_id(cell: CellConfig, optimized: bool) -> str:
+    path = "opt" if optimized else "ref"
+    return (f"{cell.algorithm}-{cell.adversary}-{cell.transport}"
+            f"-n{cell.ring_size}-k{cell.agents}-seed{cell.seed}-{path}")
+
+
+def run_digest(cell: CellConfig, *, optimized: bool) -> str:
+    """One canonical sha256 over a run's events, peeks and result.
+
+    Uses only process-stable serialisations (enum ``.value``/``.name``,
+    ``str`` of event details, plain ints) — never Python ``hash`` or
+    object reprs that may grow fields — so digests recorded by the
+    legacy engine stay comparable forever.
+    """
+    from repro.campaigns.registry import build_cell_engine
+    from repro.core.trace import Trace
+
+    trace = Trace(limit=None)
+    engine = build_cell_engine(cell, trace=trace, optimized=optimized)
+    peeks = []
+    for _ in range(cell.max_rounds):
+        row = []
+        for agent in engine.agents:
+            action = engine.peek_intended_action(agent.index)
+            row.append([
+                action.kind.value,
+                action.direction.name if action.direction is not None else None,
+                engine.peek_intended_edge(agent.index),
+            ])
+        peeks.append(row)
+        if not engine.step():
+            break
+    result = engine._build_result("golden")
+    payload = {
+        "events": [[e.round, e.kind.value, e.agent, str(e.detail)]
+                   for e in trace.events],
+        "peeks": peeks,
+        "result": {
+            "ring_size": result.ring_size,
+            "rounds": result.rounds,
+            "explored": result.explored,
+            "exploration_round": result.exploration_round,
+            "visited": sorted(result.visited),
+            "halted_reason": result.halted_reason,
+            "agents": [[a.index, a.moves, a.terminated, a.termination_round,
+                        a.final_node, a.waiting_on_port]
+                       for a in result.agents],
+        },
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def record() -> dict[str, str]:
+    from dataclasses import replace
+
+    digests: dict[str, str] = {}
+    for cell in GOLDEN_CELLS:
+        for seed in GOLDEN_SEEDS:
+            seeded = replace(cell, seed=seed)
+            for optimized in (True, False):
+                digests[cell_id(seeded, optimized)] = run_digest(
+                    seeded, optimized=optimized)
+    return digests
+
+
+def load_fixture() -> dict[str, str]:
+    return json.loads(FIXTURE.read_text())
+
+
+if __name__ == "__main__":  # pragma: no cover - manual regeneration entry
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="rewrite the fixture from the current engine")
+    args = parser.parse_args()
+    digests = record()
+    if args.record:
+        FIXTURE.write_text(json.dumps(digests, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {FIXTURE} ({len(digests)} digests)")
+    else:
+        pinned = load_fixture()
+        bad = [k for k, v in digests.items() if pinned.get(k) != v]
+        print("MISMATCH:" if bad else "all digests match",
+              ", ".join(bad) if bad else f"({len(digests)} digests)")

@@ -221,6 +221,9 @@ def test_occupancy_index_survives_model_check_deepcopy():
     assert result.worst_value == 3 * 5 - 6
 
 
+#: Graph cells across the widened matrix the unified core opened up:
+#: SSYNC schedulers, ET transport, the peeking block-agent adversary and
+#: an explicitly terminating explorer — all on non-ring topologies.
 GRAPH_CELLS = [
     CellConfig(algorithm="random-walk", ring_size=12, agents=3, max_rounds=150,
                adversary="random", topology="ring"),
@@ -230,34 +233,48 @@ GRAPH_CELLS = [
                adversary="random", topology="torus"),
     CellConfig(algorithm="rotor-router", ring_size=11, agents=4, max_rounds=150,
                adversary="none", topology="cactus"),
+    CellConfig(algorithm="rotor-router", ring_size=12, agents=3, max_rounds=200,
+               adversary="block-agent", topology="torus",
+               scheduler="round-robin"),
+    CellConfig(algorithm="rotor-router-terminating", ring_size=9, agents=2,
+               max_rounds=400, adversary="random", topology="cactus",
+               scheduler="random-fair", transport="et"),
 ]
 
 
 @pytest.mark.parametrize(
     "cell", GRAPH_CELLS,
-    ids=[f"{c.algorithm}-{c.topology}" for c in GRAPH_CELLS],
+    ids=[f"{c.algorithm}-{c.topology}-{c.scheduler}" for c in GRAPH_CELLS],
 )
 @pytest.mark.parametrize("seed", [0, 3])
 def test_graph_engine_equivalence(cell: CellConfig, seed: int):
-    """Graph engine: indexed and scan paths agree on full per-round state."""
+    """Graph cells: indexed and scan paths agree on full per-round state."""
     from dataclasses import replace
 
     pytest.importorskip("networkx")
+    from repro.core.trace import Trace
+
     cell = replace(cell, seed=seed)
-    opt = build_graph_cell_engine(cell, optimized=True)
-    ref = build_graph_cell_engine(cell, optimized=False)
+    t_opt, t_ref = Trace(limit=None), Trace(limit=None)
+    opt = build_graph_cell_engine(cell, trace=t_opt, optimized=True)
+    ref = build_graph_cell_engine(cell, trace=t_ref, optimized=False)
     for _ in range(cell.max_rounds):
         for a_opt, a_ref in zip(opt.agents, ref.agents):
             assert opt.snapshot_for(a_opt) == ref.snapshot_for(a_ref)
-        opt.step()
-        ref.step()
-        state_opt = [(a.node, a.port, a.moved, a.moves) for a in opt.agents]
-        state_ref = [(a.node, a.port, a.moved, a.moves) for a in ref.agents]
+        stepped_opt = opt.step()
+        stepped_ref = ref.step()
+        assert stepped_opt == stepped_ref
+        state_opt = [(a.node, a.port, a.terminated, a.memory.moved,
+                      a.memory.Tsteps) for a in opt.agents]
+        state_ref = [(a.node, a.port, a.terminated, a.memory.moved,
+                      a.memory.Tsteps) for a in ref.agents]
         assert state_opt == state_ref
-        if opt.exploration_complete:
+        if opt.exploration_complete or not stepped_opt:
             break
+    assert t_opt.events == t_ref.events
     assert opt.visited == ref.visited
     assert opt.exploration_round == ref.exploration_round
+    assert opt._build_result("equivalence") == ref._build_result("equivalence")
 
 
 def test_graph_index_matches_scan_every_round():
@@ -269,6 +286,47 @@ def test_graph_index_matches_scan_every_round():
         for agent in engine.agents:
             assert engine.snapshot_for(agent) == engine._snapshot_for_scan(agent)
         engine.step()
+
+
+class TestUnifiedVsLegacyGolden:
+    """The ring is byte-identical through the topology-generic core.
+
+    ``tests/core/golden_ring_traces.json`` pins sha256 digests of the full
+    event stream, every per-round peek (action + intended edge) of every
+    agent, and the final result, recorded by the *pre-refactor* ring-only
+    engine (commit 556f46f) over the equivalence-cell matrix — both the
+    optimized and the reference Look paths.  Replaying the same cells
+    through the unified core must reproduce each digest exactly: this is
+    the unified-vs-legacy lockstep proof, with the legacy side frozen in
+    the fixture.
+    """
+
+    @pytest.fixture(scope="class")
+    def pinned(self):
+        from tests.core import golden_traces
+
+        return golden_traces.load_fixture()
+
+    @pytest.mark.parametrize(
+        "index", range(14), ids=lambda i: f"cell{i}")
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("optimized", [True, False],
+                             ids=["opt", "ref"])
+    def test_ring_digest_matches_legacy(self, pinned, index, seed, optimized):
+        from dataclasses import replace
+
+        from tests.core import golden_traces
+
+        cell = replace(golden_traces.GOLDEN_CELLS[index], seed=seed)
+        key = golden_traces.cell_id(cell, optimized)
+        assert key in pinned, f"fixture missing {key}; regenerate deliberately"
+        assert golden_traces.run_digest(cell, optimized=optimized) == pinned[key]
+
+    def test_fixture_covers_the_whole_matrix(self, pinned):
+        from tests.core import golden_traces
+
+        assert len(golden_traces.GOLDEN_CELLS) == 14
+        assert len(pinned) == 14 * len(golden_traces.GOLDEN_SEEDS) * 2
 
 
 def test_debug_invariants_flag_resolution():

@@ -9,7 +9,9 @@ from repro.extensions import (
     RandomWalkExplorer,
     RotorRouterExplorer,
     StaticGraphAdversary,
+    TerminatingRotorRouter,
     hypercube,
+    path_graph,
     ring_graph,
     torus,
 )
@@ -187,3 +189,150 @@ class TestExploration:
         engine = DynamicGraphEngine(ring_graph(6), RotorRouterExplorer(), [0])
         with pytest.raises(ConfigurationError):
             engine.step()
+
+
+class TestUnifiedCoreMachinery:
+    """Ring machinery on graph topologies (the engine unification)."""
+
+    def test_ssync_round_robin_activates_one_agent_per_round(self):
+        from repro.schedulers import RoundRobinScheduler
+
+        engine = DynamicGraphEngine(
+            torus(3, 4), RandomWalkExplorer(seed=2), [0, 5, 9],
+            scheduler=RoundRobinScheduler(),
+        )
+        seen = []
+        for _ in range(6):
+            engine.step()
+            assert len(engine.last_active) == 1
+            seen.append(next(iter(engine.last_active)))
+        assert set(seen) == {0, 1, 2}  # fair rotation over the team
+
+    def test_ssync_random_walk_still_explores(self):
+        from repro.schedulers import RandomFairScheduler
+
+        engine = DynamicGraphEngine(
+            torus(3, 3), RandomWalkExplorer(seed=4), [0, 4],
+            scheduler=RandomFairScheduler(seed=9),
+            adversary=ConnectivityPreservingAdversary(budget=1, seed=5),
+        )
+        result = engine.run(60_000)
+        assert result.explored
+
+    def test_pt_transport_carries_sleeping_agents(self):
+        """A sleeping agent on a port of a present edge crosses under PT."""
+        from repro.core.sim import TransportModel
+        from repro.schedulers.ssync import ScriptedScheduler
+
+        class PushPortZero:
+            name = "push0"
+
+            def setup(self, memory):
+                return None
+
+            def choose_port(self, snapshot, memory):
+                return 0
+
+        class BlockOnce:
+            """Missing on the agent's first attempt, present afterwards."""
+
+            def __init__(self):
+                self.round = 0
+
+            def reset(self, engine):
+                self.round = 0
+
+            def missing_edges(self, engine):
+                self.round += 1
+                if self.round == 1:
+                    return {engine._edge_of_port(engine.agents[0].node, 0)}
+                return set()
+
+        engine = DynamicGraphEngine(
+            torus(3, 3), PushPortZero(), [0, 4],
+            adversary=BlockOnce(),
+            scheduler=ScriptedScheduler([{0}, {1}]),
+            transport=TransportModel.PT,
+        )
+        engine.step()  # agent 0 acquires port 0, edge missing: blocked
+        assert engine.agents[0].port == 0
+        engine.step()  # agent 0 sleeps; PT carries it across the present edge
+        assert engine.agents[0].port is None
+        assert engine.agents[0].node != 0
+        assert engine.agents[0].memory.Tsteps == 1
+
+    def test_terminating_rotor_reaches_explicit_termination(self):
+        graph = hypercube(3)
+        explorer = TerminatingRotorRouter(size=graph.number_of_nodes())
+        engine = DynamicGraphEngine(graph, explorer, [0, 3])
+        attach_node_oracle(engine)
+        result = engine.run(10_000, stop_on_exploration=False)
+        assert result.explored
+        assert result.all_terminated
+        assert result.termination_mode().value == "explicit"
+        assert result.explored_before_terminations()
+
+    def test_peeking_block_agent_pins_its_target(self):
+        from repro.adversary import BlockAgentAdversary
+        from repro.extensions import ConnectivitySafeAdversary
+
+        engine = DynamicGraphEngine(
+            torus(3, 3), RotorRouterExplorer(), [0, 4],
+            adversary=ConnectivitySafeAdversary(BlockAgentAdversary(0)),
+        )
+        attach_node_oracle(engine)
+        for _ in range(200):
+            engine.step()
+        assert engine.agents[0].node == 0
+        assert engine.agents[0].memory.Tsteps == 0
+        assert engine.agents[1].memory.Tsteps > 0
+
+    def test_connectivity_safe_wrapper_declines_bridges(self):
+        from repro.adversary import BlockAgentAdversary
+        from repro.extensions import ConnectivitySafeAdversary
+
+        # every path edge is a bridge: the wrapper must always decline,
+        # so the walk proceeds as if the adversary were static
+        engine = DynamicGraphEngine(
+            path_graph(6), RandomWalkExplorer(seed=3), [2],
+            adversary=ConnectivitySafeAdversary(BlockAgentAdversary(0)),
+        )
+        result = engine.run(20_000)
+        assert result.explored
+
+    def test_trace_records_graph_rounds(self):
+        from repro.core.trace import EventKind, Trace
+
+        trace = Trace(limit=None)
+        engine = DynamicGraphEngine(
+            ring_graph(6), RandomWalkExplorer(seed=1), [0, 3], trace=trace)
+        engine.run(50)
+        kinds = {e.kind for e in trace.events}
+        assert EventKind.ROUND in kinds
+        assert EventKind.MOVE in kinds
+        assert trace.of_kind(EventKind.EXPLORED)
+
+    def test_landmark_is_visible_in_graph_snapshots(self):
+        class Idle:
+            name = "idle"
+
+            def setup(self, memory):
+                return None
+
+            def choose_port(self, snapshot, memory):
+                return None
+
+        engine = DynamicGraphEngine(torus(3, 3), Idle(), [4], landmark=4)
+        snap = engine.snapshot_for(engine.agents[0])
+        assert snap.is_landmark
+        assert engine._snapshot_for_scan(engine.agents[0]).is_landmark
+
+    def test_run_returns_the_unified_result_type(self):
+        from repro.core.results import RunResult
+
+        engine = DynamicGraphEngine(ring_graph(5), RandomWalkExplorer(seed=8), [0])
+        result = engine.run(10_000)
+        assert isinstance(result, RunResult)
+        assert result.ring_size == 5  # node count, for any topology
+        assert result.total_moves == sum(
+            a.memory.Tsteps for a in engine.agents)
