@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-graph bench-suites smoke-campaign topologies-campaign
+.PHONY: test bench bench-smoke bench-graph bench-suites smoke-campaign topologies-campaign dist-smoke
 
 ## Tier-1 test suite (the CI gate).
 test:
@@ -36,3 +36,9 @@ smoke-campaign:
 ## The unified-core scheduler x topology smoke campaign (needs networkx).
 topologies-campaign:
 	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec topologies-smoke --workers 2
+
+## The distributed path end to end: enqueue into the lease queue, drain it
+## with two local worker processes (more hosts can join the same store).
+dist-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec topologies-smoke \
+		--distributed --workers 2 --store sqlite:results/topo-dist.db

@@ -32,7 +32,7 @@ class BlockAgentAdversary:
         if not 0 <= self._target < len(engine.agents):
             raise ValueError(f"no agent with index {self._target}")
 
-    def choose_missing_edge(self, engine: "Engine") -> int | None:
+    def choose_missing_edge(self, engine: "Engine"):
         agent = engine.agents[self._target]
         if agent.terminated:
             return None
@@ -70,6 +70,20 @@ class MeetingPreventionAdversary:
     (and gets) no removal.  The construction is stated for two agents; with
     more agents one removal per round may not suffice, so :meth:`reset`
     rejects larger teams.
+
+    The construction is **topology-generic**: prediction resolves moves
+    through :attr:`~repro.core.sim.SimulationCore.topology` (a ring MOVE
+    carries a local direction, a graph explorer MOVE a port number), and
+    the distance argument survives on any graph — two agents about to
+    co-locate at ``v`` arrive over at most two identifiable edges, and one
+    removal per round suffices.  What does *not* survive everywhere is
+    removal *legality*: on the ring every single-edge removal is legal, on
+    a general graph the chosen edge may be a bridge.  Graph cells wrap
+    this adversary in
+    :class:`~repro.extensions.dynamic_graph.ConnectivitySafeAdversary`,
+    which turns an illegal choice into "remove nothing" — so on the path,
+    where *every* edge is a bridge, the adversary is provably impotent
+    and meetings happen (the degree-2 boundary of Observation 2's reach).
     """
 
     def reset(self, engine: "Engine") -> None:
@@ -79,10 +93,10 @@ class MeetingPreventionAdversary:
         if a.node == b.node:
             raise ValueError("Observation 2 needs the agents to start at distinct nodes")
 
-    def choose_missing_edge(self, engine: "Engine") -> int | None:
-        ring = engine.ring
-        nodes: list[int] = []       # predicted node of each agent after the round
-        crossing: list[int | None] = []  # edge each agent would traverse, if any
+    def choose_missing_edge(self, engine: "Engine"):
+        topology = engine.topology
+        nodes = []          # predicted node of each agent after the round
+        crossing = []       # edge each agent would traverse, if any
         for agent in engine.agents:
             intent = (
                 engine.peek_intended_action(agent.index)
@@ -90,10 +104,12 @@ class MeetingPreventionAdversary:
                 else None
             )
             if intent is not None and intent.kind is ActionKind.MOVE:
-                assert intent.direction is not None
-                port = agent.orientation.to_global(intent.direction)
-                nodes.append(ring.neighbor(agent.node, port))
-                crossing.append(ring.edge_from(agent.node, port))
+                if intent.direction is not None:
+                    port = agent.orientation.to_global(intent.direction)
+                else:
+                    port = intent.port  # graph explorers move by port number
+                nodes.append(topology.neighbor(agent.node, port))
+                crossing.append(topology.edge_from(agent.node, port))
             else:
                 nodes.append(agent.node)
                 crossing.append(None)

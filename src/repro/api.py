@@ -138,6 +138,9 @@ def run_campaign(
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
+    retry_failed: bool = False,
+    distributed: bool = False,
+    lease_ttl_s: float | None = None,
 ):
     """Expand and execute a campaign spec; returns the executor's report.
 
@@ -147,15 +150,25 @@ def run_campaign(
     ``"jsonl:results/t2.jsonl"``), a bare path (JSONL by default), or a
     :class:`~repro.campaigns.stores.ResultStore` instance (default:
     ``results/<name>.jsonl``).  Re-running with the same spec and store
-    resumes, skipping completed cells.  See :mod:`repro.campaigns` for
-    the full toolkit.
+    resumes, skipping completed cells; ``retry_failed=True`` also
+    re-drives cells whose only outcome so far is an error record.
+
+    ``distributed=True`` executes through the lease-based work queue of
+    :mod:`repro.campaigns.distributed` instead of a multiprocessing
+    pool: pending cells are enqueued as claimable chunks in the (SQLite;
+    default ``results/<name>.db``) store and ``workers`` local worker
+    processes drain them — while any other machine pointed at the same
+    store with ``python -m repro campaign worker`` joins the same fleet.
     """
     from .campaigns import executor, presets
 
     if isinstance(spec, str):
         spec = presets.get_spec(spec)
     if store is None:
-        store = f"results/{spec.name}.jsonl"
+        store = (f"results/{spec.name}.db" if distributed
+                 else f"results/{spec.name}.jsonl")
     return executor.run_campaign(
-        spec, store, workers=workers, chunk_size=chunk_size
+        spec, store, workers=workers, chunk_size=chunk_size,
+        retry_failed=retry_failed, distributed=distributed,
+        lease_ttl_s=lease_ttl_s,
     )

@@ -21,9 +21,15 @@ object and runs it at scale:
   filtered reports and complexity-shape fits;
 * :mod:`~repro.campaigns.aggregate` — reduce raw records into the
   paper's table rows;
+* :mod:`~repro.campaigns.distributed` — fleet-scale execution: a
+  lease-based work queue living *in* the SQLite store (no coordinator
+  process), ``campaign worker`` processes on any number of hosts with
+  heartbeat/steal crash recovery, and live fleet telemetry
+  (``campaign status --watch``);
 * :mod:`~repro.campaigns.presets` — named specs (``table2-fsync``,
-  ``table4-ssync``, ``paper-tables``, ``impossibility``, ``topologies``,
-  ``smoke``) and JSON/YAML loading.
+  ``table4-ssync``, ``paper-tables``, ``impossibility``,
+  ``impossibility-path``, ``topologies``, ``smoke``) and JSON/YAML
+  loading.
 
 Quick start::
 
@@ -48,7 +54,23 @@ from .aggregate import (
     summarize_metrics,
     summarize_results,
 )
-from .executor import CampaignRun, execute_cell, run_campaign, run_cells
+from .distributed import (
+    LeaseLost,
+    WorkQueue,
+    enqueue_campaign,
+    fleet_status,
+    render_status,
+    run_distributed,
+    run_worker,
+)
+from .executor import (
+    CampaignRun,
+    chunk_cells,
+    default_chunk_size,
+    execute_cell,
+    run_campaign,
+    run_cells,
+)
 from .presets import DEFAULT_SPEC, SPECS, get_spec, load_spec
 from .registry import (
     ADVERSARIES,
@@ -97,6 +119,7 @@ __all__ = [
     "GRAPH_EXPLORERS",
     "GroupStats",
     "JsonlStore",
+    "LeaseLost",
     "Query",
     "ResultStore",
     "SCHEDULERS",
@@ -104,14 +127,19 @@ __all__ = [
     "SqliteStore",
     "TOPOLOGIES",
     "TableRow",
+    "WorkQueue",
     "aggregate_records",
     "aggregate_store",
     "build_cell_engine",
     "build_graph_cell_engine",
+    "chunk_cells",
+    "default_chunk_size",
     "default_horizon",
+    "enqueue_campaign",
     "execute_cell",
     "export_store",
     "fit_rows",
+    "fleet_status",
     "get_spec",
     "is_graph_cell",
     "load_spec",
@@ -119,10 +147,13 @@ __all__ = [
     "open_store",
     "render_fit_rows",
     "render_rows",
+    "render_status",
     "resolve_horizon",
     "resolve_positions",
     "run_campaign",
     "run_cells",
+    "run_distributed",
+    "run_worker",
     "summarize_metrics",
     "summarize_results",
     "validate_cell",

@@ -1,0 +1,616 @@
+"""The lease-based work queue: the SQLite store *is* the coordinator.
+
+A campaign becomes claimable work in three tables next to ``results``
+(schema in :mod:`repro.campaigns.stores.sqlite`):
+
+* ``chunks`` — the unit of claimable work (an ordered JSON array of cell
+  dicts), moving ``pending -> leased -> done``;
+* ``leases`` — at most one row per leased chunk: the holding worker, its
+  last heartbeat, and the attempt count;
+* ``workers`` — telemetry: one row per worker that ever polled.
+
+There is **no coordinator process**.  Every transition is one SQLite
+``BEGIN IMMEDIATE`` transaction, so any number of workers on any number
+of hosts pointed at the same database serialise on the write lock:
+
+* :meth:`WorkQueue.claim` atomically turns one pending chunk into a
+  lease (or *steals* a leased chunk whose heartbeat is older than the
+  lease TTL — the crash-recovery path);
+* :meth:`WorkQueue.heartbeat` refreshes the lease mid-chunk and reports
+  whether it is still held (a ``False`` means the chunk was stolen and
+  the worker must discard its partial work);
+* :meth:`WorkQueue.complete` appends the chunk's result records **and**
+  retires the chunk in the same transaction — so results are recorded
+  exactly once even when a slow worker and the thief that stole its
+  chunk both finish: whoever commits first wins, the loser gets
+  :class:`LeaseLost` and discards.
+
+Idempotence comes from the content-hashed cell keys: enqueueing skips
+cells already completed in the store (and cells already sitting in a
+live chunk), so ``enqueue`` after a crash re-queues exactly the missing
+work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ...core.errors import ConfigurationError
+from ..registry import validate_cell
+from ..spec import CellConfig
+from ..stores import ResultStore, open_store
+from ..stores.base import SCHEMA_VERSION
+from ..stores.sqlite import INSERT_RESULT_SQL, result_rows
+
+#: Default lease time-to-live: a lease whose heartbeat is older than this
+#: is considered orphaned and may be stolen.  Workers heartbeat at a
+#: quarter of the TTL, so one missed beat never costs a healthy worker
+#: its lease.
+DEFAULT_LEASE_TTL_S = 30.0
+
+#: Claim attempts after which a chunk is *parked* (state ``failed``)
+#: instead of stolen again.  A chunk whose cells kill the worker process
+#: outright (OOM, segfault — no Python exception, so no error record)
+#: would otherwise be re-stolen forever, killing every worker that
+#: touches it and never letting the campaign finish.  Parked chunks are
+#: terminal for :meth:`WorkQueue.finished`, show up in ``campaign
+#: status``, and their cells become enqueueable again by a fresh
+#: ``campaign enqueue``.
+DEFAULT_MAX_ATTEMPTS = 5
+
+
+class LeaseLost(RuntimeError):
+    """The lease was stolen (or released) out from under the worker."""
+
+
+def has_live_chunks(store) -> bool:
+    """Are pending/leased chunks registered for this store's campaign?
+
+    Cheap probe used by the pool executor: writing results past the
+    lease barrier (plain ``append_many``) while a fleet is draining the
+    same campaign could record a cell twice, so ``run_cells`` refuses
+    when this is true.
+    """
+    if not getattr(store, "supports_leases", False) or not store.exists():
+        return False
+    (live,) = store.connection().execute(
+        "SELECT COUNT(*) FROM chunks WHERE campaign_key = ? "
+        "AND state IN ('pending', 'leased')",
+        (store.campaign or "",)).fetchone()
+    return live > 0
+
+
+def worker_identity(suffix: str | None = None) -> str:
+    """A fleet-unique worker id: ``host-pid`` (plus an optional suffix)."""
+    base = f"{socket.gethostname()}-{os.getpid()}"
+    return f"{base}-{suffix}" if suffix else base
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One successfully claimed chunk of work."""
+
+    chunk_id: int
+    cells: tuple[dict[str, Any], ...]
+    attempt: int
+    stolen_from: str | None = None
+
+
+@dataclass(frozen=True)
+class EnqueueReport:
+    """What one :meth:`WorkQueue.enqueue` call did."""
+
+    total: int
+    enqueued_cells: int
+    chunks: int
+    chunk_size: int
+    skipped_done: int
+    skipped_failed: int
+    skipped_queued: int
+
+    def summary(self) -> str:
+        return (
+            f"cells={self.total} enqueued={self.enqueued_cells} "
+            f"(chunks={self.chunks} x <= {self.chunk_size}) "
+            f"skipped: done={self.skipped_done} failed={self.skipped_failed} "
+            f"queued={self.skipped_queued}"
+        )
+
+
+@dataclass(frozen=True)
+class QueueCounts:
+    """Chunk/cell totals for one campaign's queue (a status snapshot)."""
+
+    pending: int
+    leased: int
+    orphaned: int
+    done: int
+    cells_pending: int
+    cells_leased: int
+    cells_done: int
+    max_attempt: int
+    failed: int = 0          # chunks parked after exhausting max_attempts
+    cells_failed: int = 0    # cells inside parked chunks
+
+    @property
+    def chunks_total(self) -> int:
+        return self.pending + self.leased + self.done + self.failed
+
+    @property
+    def cells_remaining(self) -> int:
+        return self.cells_pending + self.cells_leased
+
+
+@dataclass(frozen=True)
+class WorkerInfo:
+    """One worker row: identity, liveness and completion counters."""
+
+    worker_id: str
+    host: str
+    pid: int
+    started_at: float
+    last_seen: float
+    cells_done: int
+    chunks_done: int
+
+
+class WorkQueue:
+    """Atomic claim/lease semantics over one campaign in a SQLite store."""
+
+    def __init__(
+        self,
+        store: ResultStore | str,
+        *,
+        campaign: str | None = None,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        store = open_store(store, campaign=campaign)
+        if not store.supports_leases:
+            raise ConfigurationError(
+                f"store backend {type(store).__name__} ({store.uri()}) cannot "
+                "host a distributed work queue: lease claims need atomic "
+                "multi-writer transactions — use a SQLite store "
+                "(--store sqlite:PATH)")
+        if lease_ttl_s <= 0:
+            raise ConfigurationError(f"lease_ttl_s must be > 0, got {lease_ttl_s}")
+        if max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.store = store
+        self.campaign = store.campaign or ""
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.max_attempts = int(max_attempts)
+        self._clock = clock
+        self._last_idle_touch = float("-inf")
+
+    # -- transaction plumbing ------------------------------------------
+
+    def _begin(self):
+        """Open an IMMEDIATE transaction (writers serialise here)."""
+        conn = self.store.connection()
+        conn.execute("BEGIN IMMEDIATE")
+        return conn
+
+    # -- enqueue -------------------------------------------------------
+
+    def enqueue(
+        self,
+        cells: Iterable[CellConfig],
+        *,
+        chunk_size: int | None = None,
+        retry_failed: bool = False,
+    ) -> EnqueueReport:
+        """Persist the pending cells of a campaign as claimable chunks.
+
+        Cells whose key is already completed in the store are skipped;
+        cells whose only outcome is an error record are skipped too
+        unless ``retry_failed`` (the fleet twin of
+        ``campaign resume --retry-failed``).  Cells already sitting in a
+        pending or leased chunk are never double-queued — the scan and
+        the inserts share one transaction, so concurrent enqueues
+        serialise instead of racing each other into duplicates.
+        """
+        from ..executor import default_chunk_size
+
+        cells = list(cells)
+        for cell in cells:
+            validate_cell(cell)
+        keyed = [(cell.key(), cell) for cell in cells]
+        done = self.store.completed_keys()
+        errored = set() if retry_failed else self.store.error_keys()
+        skipped_done = sum(1 for key, _ in keyed if key in done)
+        skipped_failed = sum(
+            1 for key, _ in keyed if key not in done and key in errored)
+        # Dedupe within the batch too (two spec variants can collapse to
+        # identical cells): the first occurrence wins, the rest count as
+        # already queued.
+        seen: set[str] = set()
+        duplicates = 0
+        runnable = []
+        for key, cell in keyed:
+            if key in done or key in errored:
+                continue
+            if key in seen:
+                duplicates += 1
+                continue
+            seen.add(key)
+            runnable.append((key, cell))
+        if chunk_size is None:
+            chunk_size = default_chunk_size(len(runnable))
+        elif chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        now = self._clock()
+        # Serialise payloads before taking the write lock; the only work
+        # inside the transaction is the indexed dedupe scan (reading the
+        # precomputed cell_keys column — no JSON cell parsing, no
+        # re-hashing) and the inserts, so fleet heartbeats/claims queued
+        # behind a large enqueue wait microseconds, not a key-hash pass.
+        prepared = []
+        for start in range(0, len(runnable), chunk_size):
+            batch = runnable[start:start + chunk_size]
+            prepared.append((
+                [key for key, _ in batch],
+                json.dumps([cell.to_dict() for _, cell in batch],
+                           sort_keys=True, separators=(",", ":")),
+            ))
+        by_key = dict(runnable)   # built outside the write lock
+        conn = self._begin()
+        try:
+            queued = self._queued_keys(conn)
+            fresh_count = 0
+            rows = []
+            for keys, payload in prepared:
+                kept = [k for k in keys if k not in queued]
+                if len(kept) != len(keys):
+                    # Rare overlap with a concurrent enqueue: rebuild the
+                    # chunk from the surviving cells only.
+                    payload = json.dumps(
+                        [by_key[k].to_dict() for k in kept],
+                        sort_keys=True, separators=(",", ":"))
+                    keys = kept
+                if not keys:
+                    continue
+                fresh_count += len(keys)
+                rows.append((
+                    self.campaign, payload,
+                    json.dumps(keys, separators=(",", ":")),
+                    len(keys), now,
+                ))
+            conn.executemany(
+                "INSERT INTO chunks (campaign_key, cells, cell_keys, "
+                "n_cells, created_at) VALUES (?, ?, ?, ?, ?)", rows)
+            conn.execute("COMMIT")
+        except BaseException:
+            if conn.in_transaction:
+                conn.execute("ROLLBACK")
+            raise
+        return EnqueueReport(
+            total=len(cells),
+            enqueued_cells=fresh_count,
+            chunks=len(rows),
+            chunk_size=chunk_size,
+            skipped_done=skipped_done,
+            skipped_failed=skipped_failed,
+            skipped_queued=len(runnable) - fresh_count + duplicates,
+        )
+
+    def _queued_keys(self, conn) -> set[str]:
+        """Cell keys sitting in a live (pending/leased) chunk.
+
+        ``failed`` (parked) chunks are excluded on purpose: a fresh
+        ``campaign enqueue`` is the operator's way of giving poison
+        chunks' cells a new attempt cycle.
+        """
+        queued: set[str] = set()
+        for (keys_json,) in conn.execute(
+            "SELECT cell_keys FROM chunks "
+            "WHERE campaign_key = ? AND state IN ('pending', 'leased')",
+            (self.campaign,),
+        ):
+            queued.update(json.loads(keys_json))
+        return queued
+
+    def queued_cell_keys(self) -> set[str]:
+        """Cell keys currently pending or leased (for tests/telemetry)."""
+        return self._queued_keys(self.store.connection())
+
+    # -- claim / heartbeat / complete ----------------------------------
+
+    def claim(self, worker_id: str) -> Claim | None:
+        """Atomically claim one chunk: pending first, else steal an
+        orphaned lease (heartbeat older than the TTL).  ``None`` when
+        nothing is claimable right now.
+
+        Empty-handed polls are cheap on purpose: a read-only probe runs
+        first, and the write transaction (plus the worker-liveness
+        upsert, rate-limited to once per quarter-TTL) is only taken when
+        there is something to claim — N idle workers polling one
+        straggler's lease must not serialise on the write lock.  The
+        probe is racy by design: work appearing after it is simply
+        picked up on the next poll.
+        """
+        now = self._clock()
+        read = self.store.connection()
+        claimable = read.execute(
+            "SELECT 1 FROM chunks WHERE campaign_key = ? "
+            "AND state = 'pending' LIMIT 1", (self.campaign,)).fetchone()
+        if claimable is None:
+            claimable = read.execute(
+                "SELECT 1 FROM chunks c JOIN leases l ON l.chunk_id = c.id "
+                "WHERE c.campaign_key = ? AND c.state = 'leased' "
+                "AND l.heartbeat < ? LIMIT 1",
+                (self.campaign, now - self.lease_ttl_s)).fetchone()
+        if claimable is None:
+            if now - self._last_idle_touch >= self.lease_ttl_s / 4.0:
+                conn = self._begin()
+                try:
+                    self._touch_worker(conn, worker_id, now)
+                    conn.execute("COMMIT")
+                except BaseException:
+                    if conn.in_transaction:
+                        conn.execute("ROLLBACK")
+                    raise
+                self._last_idle_touch = now
+            return None
+        conn = self._begin()
+        try:
+            self._touch_worker(conn, worker_id, now)
+            row = conn.execute(
+                "SELECT id, cells FROM chunks "
+                "WHERE campaign_key = ? AND state = 'pending' "
+                "ORDER BY id LIMIT 1", (self.campaign,),
+            ).fetchone()
+            if row is not None:
+                chunk_id, payload = row
+                conn.execute(
+                    "UPDATE chunks SET state = 'leased' WHERE id = ?",
+                    (chunk_id,))
+                conn.execute(
+                    "INSERT INTO leases (chunk_id, worker_id, heartbeat, "
+                    "acquired_at, attempt) VALUES (?, ?, ?, ?, 1)",
+                    (chunk_id, worker_id, now, now))
+                attempt, stolen_from = 1, None
+            else:
+                while True:
+                    row = conn.execute(
+                        "SELECT c.id, c.cells, l.worker_id, l.attempt "
+                        "FROM chunks c JOIN leases l ON l.chunk_id = c.id "
+                        "WHERE c.campaign_key = ? AND c.state = 'leased' "
+                        "AND l.heartbeat < ? ORDER BY l.heartbeat LIMIT 1",
+                        (self.campaign, now - self.lease_ttl_s),
+                    ).fetchone()
+                    if row is None:
+                        conn.execute("COMMIT")
+                        return None
+                    chunk_id, payload, stolen_from, previous = row
+                    if previous >= self.max_attempts:
+                        # A chunk that has burned through its attempts is
+                        # poison (its cells likely kill the worker process
+                        # outright): park it instead of feeding it to yet
+                        # another worker, and keep looking for real work.
+                        conn.execute(
+                            "UPDATE chunks SET state = 'failed', "
+                            "done_at = ? WHERE id = ?", (now, chunk_id))
+                        conn.execute(
+                            "DELETE FROM leases WHERE chunk_id = ?",
+                            (chunk_id,))
+                        continue
+                    attempt = previous + 1
+                    conn.execute(
+                        "UPDATE leases SET worker_id = ?, heartbeat = ?, "
+                        "acquired_at = ?, attempt = ? WHERE chunk_id = ?",
+                        (worker_id, now, now, attempt, chunk_id))
+                    break
+            conn.execute("COMMIT")
+        except BaseException:
+            if conn.in_transaction:
+                conn.execute("ROLLBACK")
+            raise
+        self._last_idle_touch = now  # the claim transaction touched us
+        return Claim(
+            chunk_id=chunk_id,
+            cells=tuple(json.loads(payload)),
+            attempt=attempt,
+            stolen_from=stolen_from,
+        )
+
+    def heartbeat(self, chunk_id: int, worker_id: str) -> bool:
+        """Refresh a held lease; ``False`` means it is no longer ours."""
+        now = self._clock()
+        conn = self._begin()
+        try:
+            cursor = conn.execute(
+                "UPDATE leases SET heartbeat = ? "
+                "WHERE chunk_id = ? AND worker_id = ?",
+                (now, chunk_id, worker_id))
+            self._touch_worker(conn, worker_id, now)
+            conn.execute("COMMIT")
+        except BaseException:
+            if conn.in_transaction:
+                conn.execute("ROLLBACK")
+            raise
+        return cursor.rowcount == 1
+
+    def complete(
+        self, chunk_id: int, worker_id: str,
+        records: Sequence[dict[str, Any]],
+    ) -> None:
+        """Append the chunk's records and retire it — one transaction.
+
+        This is the exactly-once-recording barrier: if the lease was
+        stolen while the worker computed, :class:`LeaseLost` is raised
+        and *nothing* is written — the thief's eventual ``complete``
+        records the chunk instead.
+        """
+        now = self._clock()
+        stamped = [dict(r, schema=SCHEMA_VERSION) for r in records]
+        rows = result_rows(stamped, self.campaign)
+        conn = self._begin()
+        try:
+            holder = conn.execute(
+                "SELECT worker_id FROM leases WHERE chunk_id = ?",
+                (chunk_id,)).fetchone()
+            if holder is None or holder[0] != worker_id:
+                conn.execute("ROLLBACK")
+                raise LeaseLost(
+                    f"chunk {chunk_id} is no longer leased to {worker_id} "
+                    f"(holder: {holder[0] if holder else 'nobody'})")
+            conn.executemany(INSERT_RESULT_SQL, rows)
+            conn.execute(
+                "UPDATE chunks SET state = 'done', done_at = ? WHERE id = ?",
+                (now, chunk_id))
+            conn.execute("DELETE FROM leases WHERE chunk_id = ?", (chunk_id,))
+            conn.execute(
+                "UPDATE workers SET cells_done = cells_done + ?, "
+                "chunks_done = chunks_done + 1, last_seen = ? "
+                "WHERE worker_id = ?",
+                (len(rows), now, worker_id))
+            conn.execute("COMMIT")
+        except BaseException:
+            if conn.in_transaction:
+                conn.execute("ROLLBACK")
+            raise
+        self.store.invalidate_caches()
+
+    def release(self, chunk_id: int, worker_id: str) -> bool:
+        """Hand a held chunk back to the pending pool (graceful shutdown)."""
+        conn = self._begin()
+        try:
+            cursor = conn.execute(
+                "DELETE FROM leases WHERE chunk_id = ? AND worker_id = ?",
+                (chunk_id, worker_id))
+            if cursor.rowcount == 1:
+                conn.execute(
+                    "UPDATE chunks SET state = 'pending' WHERE id = ?",
+                    (chunk_id,))
+            conn.execute("COMMIT")
+        except BaseException:
+            if conn.in_transaction:
+                conn.execute("ROLLBACK")
+            raise
+        return cursor.rowcount == 1
+
+    # -- telemetry -----------------------------------------------------
+
+    def finished(self) -> bool:
+        """Chunks were enqueued and none is still pending or leased.
+
+        A campaign with *no* chunks at all is **not** finished: workers
+        started before the enqueue commits (fleet bring-up scripts do
+        this) must wait for work to appear, not exit 0 and silently
+        strand the campaign.  Parked (``failed``) chunks are terminal —
+        a poison chunk must not hang the fleet forever; ``campaign
+        status`` surfaces them.
+        """
+        row = self.store.connection().execute(
+            "SELECT COUNT(*), "
+            "COALESCE(SUM(state IN ('pending', 'leased')), 0) FROM chunks "
+            "WHERE campaign_key = ?",
+            (self.campaign,)).fetchone()
+        total, open_chunks = int(row[0]), int(row[1])
+        return total > 0 and open_chunks == 0
+
+    def parked_cell_keys(self) -> set[str]:
+        """Cell keys inside parked (``failed``) chunks of this campaign.
+
+        A parked cell is not necessarily lost: a later enqueue may have
+        re-queued it (parked chunks are excluded from the dedupe scan)
+        and a worker may have completed or errored it since — compare
+        against the store's completed/error keys to find the cells that
+        truly never ran.
+        """
+        parked: set[str] = set()
+        for (keys_json,) in self.store.connection().execute(
+            "SELECT cell_keys FROM chunks "
+            "WHERE campaign_key = ? AND state = 'failed'",
+            (self.campaign,),
+        ):
+            parked.update(json.loads(keys_json))
+        return parked
+
+    def ever_enqueued(self) -> bool:
+        """Has any chunk (in any state) ever existed for this campaign?"""
+        (total,) = self.store.connection().execute(
+            "SELECT COUNT(*) FROM chunks WHERE campaign_key = ?",
+            (self.campaign,)).fetchone()
+        return total > 0
+
+    def counts(self) -> QueueCounts:
+        """Chunk/cell totals plus orphan detection (one aggregate query)."""
+        now = self._clock()
+        conn = self.store.connection()
+        by_state = {
+            state: (chunks, cells)
+            for state, chunks, cells in conn.execute(
+                "SELECT state, COUNT(*), COALESCE(SUM(n_cells), 0) "
+                "FROM chunks WHERE campaign_key = ? GROUP BY state",
+                (self.campaign,))
+        }
+        (orphaned,) = conn.execute(
+            "SELECT COUNT(*) FROM chunks c JOIN leases l ON l.chunk_id = c.id "
+            "WHERE c.campaign_key = ? AND c.state = 'leased' "
+            "AND l.heartbeat < ?",
+            (self.campaign, now - self.lease_ttl_s)).fetchone()
+        (max_attempt,) = conn.execute(
+            "SELECT COALESCE(MAX(l.attempt), 0) FROM leases l "
+            "JOIN chunks c ON c.id = l.chunk_id WHERE c.campaign_key = ?",
+            (self.campaign,)).fetchone()
+        pending = by_state.get("pending", (0, 0))
+        leased = by_state.get("leased", (0, 0))
+        done = by_state.get("done", (0, 0))
+        failed = by_state.get("failed", (0, 0))
+        return QueueCounts(
+            pending=pending[0], leased=leased[0], orphaned=orphaned,
+            done=done[0],
+            cells_pending=pending[1], cells_leased=leased[1],
+            cells_done=done[1], max_attempt=max_attempt,
+            failed=failed[0], cells_failed=failed[1],
+        )
+
+    def workers(self) -> list[WorkerInfo]:
+        """Every worker that ever polled this campaign, newest beat first."""
+        return [
+            WorkerInfo(*row)
+            for row in self.store.connection().execute(
+                "SELECT worker_id, host, pid, started_at, last_seen, "
+                "cells_done, chunks_done FROM workers "
+                "WHERE campaign_key = ? ORDER BY last_seen DESC, worker_id",
+                (self.campaign,))
+        ]
+
+    def completion_rate(self, window_s: float = 60.0) -> float | None:
+        """Fleet-wide cells/second over the trailing window (None if idle)."""
+        now = self._clock()
+        (cells,) = self.store.connection().execute(
+            "SELECT COALESCE(SUM(n_cells), 0) FROM chunks "
+            "WHERE campaign_key = ? AND state = 'done' AND done_at >= ?",
+            (self.campaign, now - window_s)).fetchone()
+        if not cells:
+            return None
+        return cells / window_s
+
+    def _touch_worker(self, conn, worker_id: str, now: float) -> None:
+        # On conflict, refresh identity as well as liveness: a reused
+        # worker_id (restarted process, or the same id polling a
+        # different campaign in a shared database) must show up in the
+        # campaign it is polling *now*.
+        conn.execute(
+            "INSERT INTO workers (worker_id, campaign_key, host, pid, "
+            "started_at, last_seen) VALUES (?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT(worker_id) DO UPDATE SET "
+            "last_seen = excluded.last_seen, "
+            "campaign_key = excluded.campaign_key, "
+            "host = excluded.host, pid = excluded.pid",
+            (worker_id, self.campaign, socket.gethostname(), os.getpid(),
+             now, now))
+
+    def __repr__(self) -> str:
+        return (f"WorkQueue({self.store.uri()!r}, campaign={self.campaign!r}, "
+                f"lease_ttl_s={self.lease_ttl_s})")

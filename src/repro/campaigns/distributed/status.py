@@ -1,0 +1,328 @@
+"""Coordinator verbs and live fleet telemetry — all read from the store.
+
+``campaign enqueue`` (:func:`enqueue_campaign`) expands a spec and
+persists its pending cells as claimable chunks; ``campaign status``
+(:func:`fleet_status` / :func:`render_status`, ``--watch`` via
+:func:`watch_status`) renders what the fleet is doing *right now* from
+the same tables the workers write — workers alive, chunks
+pending/leased/orphaned/done, cells per second, ETA.  Nothing here holds
+state: kill the status process, run it on another host, same picture.
+
+:func:`run_distributed` is the single-host convenience path behind
+``campaign run --distributed``: enqueue, spawn N local worker processes,
+poll progress, and summarise — the UX of ``campaign run``, the machinery
+of the fleet.  Multi-host is the same thing minus the spawn: run
+``python -m repro campaign worker`` anywhere that can reach the store.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from ...core.errors import ConfigurationError
+from ..executor import CampaignRun
+from ..spec import CampaignSpec, CellConfig
+from ..stores import ResultStore, open_store
+from .queue import (
+    DEFAULT_LEASE_TTL_S,
+    EnqueueReport,
+    QueueCounts,
+    WorkQueue,
+    WorkerInfo,
+)
+from .worker import run_worker
+
+
+def enqueue_campaign(
+    spec: CampaignSpec,
+    store: ResultStore | str,
+    *,
+    cells: Sequence[CellConfig] | None = None,
+    chunk_size: int | None = None,
+    retry_failed: bool = False,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+) -> tuple[WorkQueue, EnqueueReport]:
+    """Expand a spec and enqueue its pending cells as claimable chunks."""
+    store = open_store(store, campaign=spec.name)
+    queue = WorkQueue(store, lease_ttl_s=lease_ttl_s)
+    report = queue.enqueue(
+        cells if cells is not None else spec.cell_list(),
+        chunk_size=chunk_size, retry_failed=retry_failed)
+    return queue, report
+
+
+@dataclass(frozen=True)
+class FleetStatus:
+    """One snapshot of a campaign's fleet, read entirely from the store."""
+
+    campaign: str
+    store_uri: str
+    counts: QueueCounts
+    workers: tuple[WorkerInfo, ...]
+    alive: int
+    cells_completed: int     # distinct completed cell keys in the store
+    cells_errored: int       # cells whose only outcome is an error record
+    rate_cells_per_s: float | None
+    eta_s: float | None
+    lease_ttl_s: float
+    finished: bool
+    #: False when no chunk (in any state) exists for the campaign — the
+    #: store may hold pool-mode results, or the enqueue hasn't run yet.
+    ever_enqueued: bool = True
+
+
+def fleet_status(
+    store: ResultStore | str,
+    *,
+    campaign: str | None = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    clock: Callable[[], float] = time.time,
+) -> FleetStatus:
+    """Read the fleet's current state (workers, chunks, throughput, ETA)."""
+    queue = WorkQueue(
+        store, campaign=campaign, lease_ttl_s=lease_ttl_s, clock=clock)
+    now = clock()
+    counts = queue.counts()
+    workers = tuple(queue.workers())
+    alive = sum(1 for w in workers if now - w.last_seen <= lease_ttl_s)
+    rate = queue.completion_rate()
+    remaining = counts.cells_remaining
+    eta = (remaining / rate) if (rate and remaining) else None
+    queue.store.invalidate_caches()
+    return FleetStatus(
+        campaign=queue.campaign,
+        store_uri=queue.store.uri(),
+        counts=counts,
+        workers=workers,
+        alive=alive,
+        cells_completed=len(queue.store.completed_keys()),
+        cells_errored=len(queue.store.error_keys()),
+        rate_cells_per_s=rate,
+        eta_s=eta,
+        lease_ttl_s=lease_ttl_s,
+        finished=queue.finished(),
+        ever_enqueued=queue.ever_enqueued(),
+    )
+
+
+def _age(now: float, then: float) -> str:
+    delta = max(0.0, now - then)
+    if delta < 120:
+        return f"{delta:.1f}s ago"
+    return f"{delta / 60:.1f}m ago"
+
+
+def render_status(status: FleetStatus, *, clock: Callable[[], float] = time.time) -> str:
+    """Human-readable fleet telemetry (one call of ``campaign status``)."""
+    now = clock()
+    c = status.counts
+    lines = [
+        f"== campaign {status.campaign} — fleet status ({status.store_uri})"
+    ]
+    orphaned = f" ({c.orphaned} orphaned)" if c.orphaned else ""
+    failed = (f" / {c.failed} PARKED ({c.cells_failed} cells; re-enqueue "
+              "to retry)" if c.failed else "")
+    lines.append(
+        f"chunks  : {c.pending} pending / {c.leased} leased{orphaned} / "
+        f"{c.done} done{failed}  [{c.chunks_total} total"
+        + (f", worst attempt {c.max_attempt}" if c.max_attempt > 1 else "")
+        + "]")
+    rate = (f"{status.rate_cells_per_s:.1f} cells/s"
+            if status.rate_cells_per_s else "rate n/a")
+    eta = (f"ETA {status.eta_s:.0f}s" if status.eta_s is not None
+           else ("done" if status.finished else "ETA n/a"))
+    errored = (f" ({status.cells_errored} errored)"
+               if status.cells_errored else "")
+    lines.append(
+        f"cells   : {status.cells_completed} done / "
+        f"{c.cells_remaining} queued{errored}   {rate}   {eta}")
+    gone = len(status.workers) - status.alive
+    lines.append(
+        f"workers : {status.alive} alive"
+        + (f" / {gone} gone" if gone else "")
+        + f"  (lease TTL {status.lease_ttl_s:g}s)")
+    for w in status.workers:
+        liveness = "alive" if now - w.last_seen <= status.lease_ttl_s else "gone "
+        lines.append(
+            f"  {liveness}  {w.worker_id:<28} last seen {_age(now, w.last_seen):<11} "
+            f"chunks={w.chunks_done} cells={w.cells_done}")
+    if not status.workers:
+        lines.append("  (no worker has polled yet)")
+    if not status.ever_enqueued:
+        lines.append(
+            "note    : no chunks have been enqueued for this campaign — "
+            "the store may hold pool-mode results, or run "
+            "'campaign enqueue' first")
+    lines.append(f"finished: {'yes' if status.finished else 'no'}")
+    return "\n".join(lines)
+
+
+def watch_status(
+    store: ResultStore | str,
+    *,
+    campaign: str | None = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    interval_s: float = 2.0,
+    out=None,
+    max_snapshots: int | None = None,
+) -> FleetStatus:
+    """Re-render the fleet every ``interval_s`` until the queue finishes.
+
+    Returns the final snapshot; Ctrl-C stops the watch (not the fleet).
+    """
+    out = out if out is not None else sys.stdout
+    snapshots = 0
+    while True:
+        status = fleet_status(
+            store, campaign=campaign, lease_ttl_s=lease_ttl_s)
+        print(render_status(status), file=out, flush=True)
+        snapshots += 1
+        if status.finished:
+            return status
+        if max_snapshots is not None and snapshots >= max_snapshots:
+            return status
+        print(file=out)
+        time.sleep(interval_s)
+
+
+# ---------------------------------------------------------------------------
+# the single-host distributed path (campaign run --distributed)
+# ---------------------------------------------------------------------------
+
+def _local_worker_main(store_uri: str, campaign: str, worker_id: str,
+                       lease_ttl_s: float) -> None:
+    """Entry point of one spawned local worker process."""
+    run_worker(
+        store_uri,
+        campaign=campaign,
+        worker_id=worker_id,
+        lease_ttl_s=lease_ttl_s,
+        poll_s=0.2,
+    )
+
+
+def run_distributed(
+    spec: CampaignSpec,
+    store: ResultStore | str,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    retry_failed: bool = False,
+    debug_invariants: bool | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    cells: Sequence[CellConfig] | None = None,
+    poll_s: float = 0.25,
+) -> CampaignRun:
+    """Enqueue a spec, drain it with N local worker processes, summarise.
+
+    The distributed twin of :func:`~repro.campaigns.executor.run_cells`:
+    same progress callback, same :class:`CampaignRun` summary (with
+    ``records`` left empty — results live in the store).  The queue
+    carries the real state, so Ctrl-C / crashes resume exactly like a
+    multi-host fleet would: re-run with the same spec and store.
+    """
+    start = time.perf_counter()
+    cells = list(cells) if cells is not None else spec.cell_list()
+    if debug_invariants is not None:
+        # Apply before enqueue keys the cells: the flag is part of the
+        # content hash (when non-default), and workers execute chunks
+        # exactly as enqueued.
+        cells = [replace(c, debug_invariants=debug_invariants)
+                 for c in cells]
+    queue, report = enqueue_campaign(
+        spec, store, cells=cells, chunk_size=chunk_size,
+        retry_failed=retry_failed, lease_ttl_s=lease_ttl_s)
+    store = queue.store
+    open_counts = queue.counts()
+    open_chunks = open_counts.pending + open_counts.leased
+    if open_chunks == 0:
+        # Nothing claimable: every cell was already recorded (or queued
+        # work was fully drained).  Don't spawn workers that would sit
+        # waiting for chunks that will never come.
+        return CampaignRun(
+            total=report.total,
+            skipped=report.skipped_done + report.skipped_failed,
+            executed=0, failed=0,
+            elapsed_s=time.perf_counter() - start,
+            workers=0, records=[],
+        )
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    # Clamp to the chunks actually claimable — including leftovers from a
+    # crashed or interrupted earlier run, which a resume drains at full
+    # width even though it enqueued nothing new.
+    workers = max(1, min(workers, open_chunks))
+
+    records_before, errors_before = store.result_counts()
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    procs = []
+    for i in range(workers):
+        proc = ctx.Process(
+            target=_local_worker_main,
+            args=(store.uri(), queue.campaign, f"local-{i}-{os.getpid()}",
+                  lease_ttl_s),
+            daemon=True,
+        )
+        proc.start()
+        procs.append(proc)
+
+    total = open_counts.cells_remaining   # includes leftovers being resumed
+    try:
+        while any(p.is_alive() for p in procs):
+            if progress is not None and total:
+                done_now, _ = store.result_counts()
+                progress(min(done_now - records_before, total), total)
+            if queue.finished():
+                break
+            time.sleep(poll_s)
+    finally:
+        for proc in procs:
+            proc.join(timeout=max(2 * lease_ttl_s, 10.0))
+            if proc.is_alive():  # pragma: no cover - stuck worker backstop
+                proc.terminate()
+                proc.join()
+
+    if progress is not None and total:
+        done_now, _ = store.result_counts()
+        progress(min(done_now - records_before, total), total)
+    if not queue.finished():
+        raise ConfigurationError(
+            f"distributed run of {queue.campaign!r} stopped before the queue "
+            "drained (all local workers exited); inspect 'campaign status' "
+            "and re-run — completed chunks are not lost")
+    final_counts = queue.counts()
+    if final_counts.failed:
+        # Parked chunks are terminal for finished() so a poison chunk
+        # cannot hang the fleet — but a "successful" summary must not
+        # hide cells that were never run.  (A re-enqueue may already
+        # have re-driven them: only cells with no outcome at all count.)
+        store.invalidate_caches()
+        never_ran = (queue.parked_cell_keys()
+                     - store.completed_keys() - store.error_keys())
+        if never_ran:
+            raise ConfigurationError(
+                f"distributed run of {queue.campaign!r} drained, but "
+                f"{len(never_ran)} cell(s) sit in chunks parked after "
+                "repeatedly killing their workers and were never "
+                "executed; inspect 'campaign status', then "
+                "'campaign enqueue' to retry them")
+    records_after, errors_after = store.result_counts()
+    store.invalidate_caches()
+    return CampaignRun(
+        total=report.total,
+        # cells found already queued are drained (executed) by this very
+        # run's workers, so only done/failed skips count as skipped
+        skipped=report.skipped_done + report.skipped_failed,
+        executed=records_after - records_before,
+        failed=errors_after - errors_before,
+        elapsed_s=time.perf_counter() - start,
+        workers=workers,
+        records=[],
+    )

@@ -1,0 +1,222 @@
+"""The distributed campaign worker: claim, run, heartbeat, complete.
+
+``python -m repro campaign worker --store sqlite:PATH --campaign NAME``
+runs this loop.  A worker needs nothing but the store URI and the
+campaign tag — the chunks carry fully serialised cells — so scaling a
+campaign out is literally "run the same command on more machines".
+
+The loop per chunk:
+
+1. :meth:`~repro.campaigns.distributed.queue.WorkQueue.claim` a chunk
+   (pending first, else steal an orphaned lease);
+2. start a :class:`LeaseKeeper` — a daemon thread with its **own**
+   database connection that heartbeats the lease every quarter-TTL
+   *while cells compute*, so a single cell slower than the TTL cannot
+   get a healthy worker's chunk stolen;
+3. run each cell through the ordinary
+   :func:`~repro.campaigns.executor.execute_cell`, skipping cells whose
+   key already completed (protects against re-enqueues racing a finish);
+   a lost lease (the keeper's heartbeat came back ``False``) discards
+   the partial chunk — the thief records it;
+4. :meth:`~repro.campaigns.distributed.queue.WorkQueue.complete` —
+   records and chunk retirement commit atomically, or
+   :class:`~repro.campaigns.distributed.queue.LeaseLost` discards.
+
+A worker keeps polling until the campaign's queue is *finished* (no
+pending or leased chunk remains), not merely until it is empty-handed:
+while another worker still holds a lease, this one stays around to steal
+the chunk should that worker die — the crash-safe resume needs no
+coordinator process.  Ctrl-C releases the held chunk back to the pending
+pool on the way out, so a graceful shutdown costs the fleet nothing (a
+SIGKILL costs at most one lease TTL).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..executor import execute_cell
+from ..spec import CellConfig
+from ..stores import ResultStore
+from .queue import (
+    DEFAULT_LEASE_TTL_S,
+    DEFAULT_MAX_ATTEMPTS,
+    LeaseLost,
+    WorkQueue,
+    worker_identity,
+)
+
+
+class LeaseKeeper:
+    """Heartbeat one claimed chunk from a daemon thread.
+
+    SQLite connections are not shareable across threads, so the keeper
+    opens its own :class:`WorkQueue` (hence its own connection) from the
+    store's URI.  :attr:`lost` is set the moment a heartbeat reports the
+    lease is no longer ours; transient database errors (lock contention)
+    are retried on the next beat rather than treated as loss.
+    """
+
+    def __init__(self, queue: WorkQueue, chunk_id: int, worker_id: str) -> None:
+        self._queue = WorkQueue(
+            queue.store.uri(), campaign=queue.campaign or None,
+            lease_ttl_s=queue.lease_ttl_s, clock=queue._clock)
+        self._chunk_id = chunk_id
+        self._worker_id = worker_id
+        self._interval = max(queue.lease_ttl_s / 4.0, 0.05)
+        self.lost = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-keeper-{chunk_id}", daemon=True)
+
+    def __enter__(self) -> "LeaseKeeper":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.wait(self._interval):
+                try:
+                    if not self._queue.heartbeat(
+                            self._chunk_id, self._worker_id):
+                        self.lost.set()
+                        return
+                except Exception:  # lock contention etc.: retry next beat
+                    continue
+        finally:
+            # SQLite connections are thread-bound: close where we opened.
+            self._queue.store.close()
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+@dataclass
+class WorkerReport:
+    """What one :func:`run_worker` invocation did."""
+
+    worker_id: str
+    chunks_done: int = 0
+    cells_done: int = 0
+    cells_failed: int = 0
+    cells_skipped: int = 0
+    chunks_stolen: int = 0
+    leases_lost: int = 0
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"worker {self.worker_id}: chunks={self.chunks_done} "
+            f"cells={self.cells_done} failed={self.cells_failed} "
+            f"skipped={self.cells_skipped} stolen={self.chunks_stolen} "
+            f"leases-lost={self.leases_lost} in {self.elapsed_s:.1f}s"
+        )
+
+
+def run_worker(
+    store: ResultStore | str,
+    *,
+    campaign: str | None = None,
+    worker_id: str | None = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    poll_s: float = 0.5,
+    max_chunks: int | None = None,
+    progress: Callable[[str], None] | None = None,
+    clock: Callable[[], float] = time.time,
+) -> WorkerReport:
+    """Drain one campaign's work queue until it is finished.
+
+    ``max_chunks`` bounds how many chunks this worker will complete
+    (useful in tests and for batch-scheduler time slices); ``progress``
+    receives one human-readable line per claimed/completed chunk.
+
+    Workers execute cells *exactly* as enqueued — configuration
+    overrides like ``debug_invariants`` change a cell's content-hash
+    key, so they are applied at enqueue time (``campaign enqueue
+    --debug-invariants`` / ``run_distributed``), never per worker: a
+    worker re-keying cells would record them under keys the queue's
+    dedupe and the fleet's resume logic cannot see.
+    """
+    queue = WorkQueue(
+        store, campaign=campaign, lease_ttl_s=lease_ttl_s,
+        max_attempts=max_attempts, clock=clock)
+    worker_id = worker_id or worker_identity()
+    report = WorkerReport(worker_id=worker_id)
+    started = clock()
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    waiting_announced = False
+    while max_chunks is None or report.chunks_done < max_chunks:
+        claim = queue.claim(worker_id)
+        if claim is None:
+            if queue.finished():
+                break
+            if not waiting_announced and not queue.ever_enqueued():
+                # Fleet bring-up: workers may start before the enqueue
+                # commits.  finished() stays False for a never-enqueued
+                # campaign, so we wait here instead of exiting 0 and
+                # silently stranding the campaign.
+                say(f"no chunks enqueued yet for campaign "
+                    f"{queue.campaign!r}; waiting")
+                waiting_announced = True
+            time.sleep(poll_s)
+            continue
+        if claim.stolen_from is not None:
+            report.chunks_stolen += 1
+            say(f"chunk {claim.chunk_id}: reclaimed from {claim.stolen_from} "
+                f"(attempt {claim.attempt})")
+        else:
+            say(f"chunk {claim.chunk_id}: claimed "
+                f"({len(claim.cells)} cells)")
+        # A re-enqueue may race a finishing worker; never re-record a
+        # completed cell.  invalidate_caches() makes this one indexed
+        # query against the current truth, not a stale snapshot.
+        queue.store.invalidate_caches()
+        done_keys = queue.store.completed_keys()
+        records: list[dict[str, Any]] = []
+        skipped = 0
+        try:
+            with LeaseKeeper(queue, claim.chunk_id, worker_id) as keeper:
+                for cell_dict in claim.cells:
+                    if keeper.lost.is_set():
+                        break
+                    cell = CellConfig.from_dict(cell_dict)
+                    if cell.key() in done_keys:
+                        skipped += 1
+                    else:
+                        records.append(execute_cell(cell))
+            if keeper.lost.is_set():
+                report.leases_lost += 1
+                say(f"chunk {claim.chunk_id}: lease lost mid-chunk; discarding")
+                continue
+            try:
+                queue.complete(claim.chunk_id, worker_id, records)
+            except LeaseLost:
+                report.leases_lost += 1
+                say(f"chunk {claim.chunk_id}: lease lost at completion; "
+                    "discarding")
+                continue
+        except (KeyboardInterrupt, SystemExit):
+            # Graceful shutdown: hand the chunk straight back so the
+            # fleet does not wait a lease TTL for it.  Covers the whole
+            # claim-to-complete span; if complete() already committed,
+            # release() finds no lease and is a harmless no-op.
+            queue.release(claim.chunk_id, worker_id)
+            say(f"chunk {claim.chunk_id}: interrupted; released to pending")
+            raise
+        report.chunks_done += 1
+        report.cells_done += len(records)
+        report.cells_failed += sum(1 for r in records if "error" in r)
+        report.cells_skipped += skipped
+        say(f"chunk {claim.chunk_id}: done ({len(records)} cells)")
+
+    report.elapsed_s = clock() - started
+    return report

@@ -10,6 +10,12 @@ Completed chunks are appended to the :class:`~repro.campaigns.stores.ResultStore
 as they arrive, so an interrupted campaign loses at most the chunks in
 flight; :func:`run_cells` consults ``store.completed_keys()`` first and
 never re-runs a cell whose key is already present.
+
+The chunking helpers (:func:`default_chunk_size`, :func:`chunk_cells`)
+are shared with :mod:`repro.campaigns.distributed`, where a chunk is the
+unit of lease-based claiming across *hosts* rather than the unit of IPC
+across pool processes; ``run_campaign(distributed=True)`` switches the
+whole execution onto that queue.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
+from ..core.errors import ConfigurationError
 from .aggregate import metrics_from_result
 from .registry import build_cell_engine, validate_cell
 from .spec import CampaignSpec, CellConfig
@@ -47,7 +54,8 @@ def execute_cell(cell: CellConfig) -> dict[str, Any]:
             "metrics": metrics,
             "elapsed_s": round(time.perf_counter() - start, 6),
         }
-    except Exception as exc:  # record the failure; a resume retries it
+    except Exception as exc:  # record the failure as an attempted outcome
+        # (resumes skip it unless retry_failed re-drives it explicitly)
         return {
             "key": cell.key(),
             "config": cell.to_dict(),
@@ -80,7 +88,21 @@ class CampaignRun:
         )
 
 
-def _chunked(items: Sequence[Any], size: int) -> list[list[Any]]:
+def default_chunk_size(pending: int, workers: int | None = None) -> int:
+    """Cells per work unit: ~4 chunks per worker balances scheduling slack
+    against IPC, capped at 25 so a straggler chunk never dominates.
+
+    Shared with the distributed queue (where the eventual fleet size is
+    unknown at enqueue time and this host's CPU count stands in — small
+    chunks are also what makes lease stealing fine-grained).
+    """
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    return max(1, min(25, -(-pending // (workers * 4))))
+
+
+def chunk_cells(items: Sequence[Any], size: int) -> list[list[Any]]:
+    """Split a work list into chunks of at most ``size`` items."""
     return [list(items[i:i + size]) for i in range(0, len(items), size)]
 
 
@@ -92,13 +114,19 @@ def run_cells(
     chunk_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
     debug_invariants: bool | None = None,
+    retry_failed: bool = False,
 ) -> CampaignRun:
-    """Execute every cell not already in the store; return what happened.
+    """Execute every cell not already attempted; return what happened.
 
     ``workers=None`` uses every CPU; ``workers<=1`` runs serially in-process
     (same records, useful under debuggers and in tests).  Results stream
     into ``store`` chunk by chunk, so interrupting and re-invoking with the
     same cells resumes where the run stopped.
+
+    Cells whose only stored outcome is an error record are skipped unless
+    ``retry_failed``: re-driving failures is an explicit decision (a fleet
+    must not re-execute a deterministically crashing cell forever), made
+    per invocation via ``campaign resume --retry-failed``.
 
     ``debug_invariants`` (``None`` = leave each cell's own flag alone)
     force-overrides the per-round engine audit for every cell of this run;
@@ -111,9 +139,25 @@ def run_cells(
     for cell in cells:
         validate_cell(cell)
     start = time.perf_counter()
-    done = store.completed_keys()
-    pending = [c for c in cells if c.key() not in done]
+    skip = set(store.completed_keys())
+    if not retry_failed:
+        skip |= store.error_keys()
+    pending = [c for c in cells if c.key() not in skip]
     skipped = len(cells) - len(pending)
+
+    if pending and store.supports_leases:
+        # Writing past the lease barrier while a fleet drains the same
+        # campaign could record a cell twice (a worker's chunk may hold
+        # a pending cell this run would also execute).  Refuse loudly.
+        from .distributed.queue import has_live_chunks  # lazy: no cycle
+
+        if has_live_chunks(store):
+            raise ConfigurationError(
+                f"campaign {store.campaign or '?'!r} has pending or leased "
+                "chunks in its distributed work queue; run "
+                "'campaign worker' / '--distributed' to join the fleet "
+                "(or let it drain) instead of a pool-mode run that could "
+                "record cells twice")
 
     if workers is None:
         workers = multiprocessing.cpu_count()
@@ -136,9 +180,8 @@ def run_cells(
             consume([execute_cell(cell)])
     else:
         if chunk_size is None:
-            # ~4 chunks per worker balances scheduling slack against IPC.
-            chunk_size = max(1, min(25, -(-len(pending) // (workers * 4))))
-        chunks = _chunked([c.to_dict() for c in pending], chunk_size)
+            chunk_size = default_chunk_size(len(pending), workers)
+        chunks = chunk_cells([c.to_dict() for c in pending], chunk_size)
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
         with ctx.Pool(processes=workers) as pool:
@@ -165,16 +208,38 @@ def run_campaign(
     chunk_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
     debug_invariants: bool | None = None,
+    retry_failed: bool = False,
+    distributed: bool = False,
+    lease_ttl_s: float | None = None,
 ) -> CampaignRun:
     """Expand a spec and execute it against a store (URI, path or instance).
 
     Strings go through :func:`~repro.campaigns.stores.open_store`, so
     ``"sqlite:results/t2.db"`` selects the SQLite backend and a plain
     path keeps the JSONL default.
+
+    ``distributed=True`` routes through the lease-based work queue
+    (:mod:`repro.campaigns.distributed`): the spec's pending cells are
+    enqueued as claimable chunks in the (SQLite) store and ``workers``
+    local worker processes drain them — the same queue any number of
+    extra hosts can join mid-run with ``python -m repro campaign worker``.
     """
+    if distributed:
+        from .distributed.queue import DEFAULT_LEASE_TTL_S
+        from .distributed.status import run_distributed
+
+        return run_distributed(
+            spec, store,
+            workers=workers, chunk_size=chunk_size,
+            lease_ttl_s=(lease_ttl_s if lease_ttl_s is not None
+                         else DEFAULT_LEASE_TTL_S),
+            retry_failed=retry_failed,
+            debug_invariants=debug_invariants,
+            progress=progress,
+        )
     store = open_store(store, campaign=spec.name)
     return run_cells(
         spec.cells(), store,
         workers=workers, chunk_size=chunk_size, progress=progress,
-        debug_invariants=debug_invariants,
+        debug_invariants=debug_invariants, retry_failed=retry_failed,
     )

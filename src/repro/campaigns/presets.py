@@ -244,6 +244,62 @@ def impossibility() -> CampaignSpec:
     )
 
 
+def impossibility_path() -> CampaignSpec:
+    """Path-topology analogues of the Tables 1/3 constructions (24 cells).
+
+    The first bite of "adversary reach on graphs": the same look-ahead
+    adversaries that defeat exploration on the ring — Observation 1's
+    agent blocking, Observation 2's meeting prevention, Theorem 9's NS
+    starvation — re-run on the *path*, the harshest 1-interval-connected
+    degree-2 topology, where every edge is a bridge the connectivity
+    constraint pins in place.  Each variant sweeps ``topology`` over
+    ``ring`` and ``path`` with the same deterministic explorer, so the
+    report reads as a direct contrast: the ring rows starve (``NOT
+    always explored`` at the full horizon), the path rows explore —
+    removal legality, not the distance argument, is what the
+    constructions lose at degree 2.
+
+    Sized to stay fast serially yet non-trivial for the distributed
+    mode (``campaign run --spec impossibility-path --distributed``).
+    """
+    return CampaignSpec(
+        name="impossibility-path",
+        description="Tables 1/3 starvation constructions on ring vs path: "
+                    "on the path every edge is a bridge, so the blocking "
+                    "and starvation adversaries lose their bite "
+                    "(requires networkx).",
+        base={
+            "stop_on_exploration": True,
+            "horizon": "60 * n",
+        },
+        grid={
+            "ring_size": [8, 12, 16],
+            "topology": ["ring", "path"],
+            "seed": [0],
+        },
+        variants=[
+            # Corollary 1 / Observation 1: one agent, its intended edge
+            # forever removed — pinned on the ring, free on the path.
+            {"label": "ip-obs1-block-agent", "algorithm": "rotor-router",
+             "agents": 1, "adversary": "block-agent"},
+            # Observation 2: meetings prevented on the ring, forced on
+            # the path (exploration completes either way; the meeting
+            # behaviour itself is asserted by the test suite).
+            {"label": "ip-obs2-prevent-meetings", "algorithm": "rotor-router",
+             "agents": 2, "adversary": "prevent-meetings"},
+            # Theorem 9: the combined adversary/scheduler starves every
+            # move on the ring; on the path its removal is suppressed and
+            # its own schedule walks the agents to full exploration.
+            {"label": "ip-t9-ns-starvation", "algorithm": "rotor-router",
+             "agents": 2, "adversary": "ns-starvation", "transport": "ns"},
+            # Control row: the connectivity-preserving random adversary,
+            # same explorer, both topologies explore.
+            {"label": "ip-control-random", "algorithm": "rotor-router",
+             "agents": 2, "adversary": "random"},
+        ],
+    )
+
+
 def smoke() -> CampaignSpec:
     """A <60s CI campaign touching FSYNC, PT and ET paths (24 cells)."""
     return CampaignSpec(
@@ -273,6 +329,7 @@ SPECS: dict[str, Callable[[], CampaignSpec]] = {
     "table4-ssync": table4_ssync,
     "paper-tables": paper_tables,
     "impossibility": impossibility,
+    "impossibility-path": impossibility_path,
     "topologies": topologies,
     "topologies-smoke": topologies_smoke,
     "smoke": smoke,

@@ -340,13 +340,19 @@ GRAPH_EXPLORERS: dict[str, Callable[[CellConfig], Any]] = {
 _ORACLE_EXPLORERS = frozenset({"rotor-router", "rotor-router-terminating"})
 
 #: adversary names valid for graph cells.  "none"/"random" build the
-#: graph-native adversaries; "block-agent" is the ring's peeking
-#: Observation-1 construction, made legal on arbitrary topologies by the
-#: connectivity-safe wrapper (it routes through the topology-generic
-#: ``peek_intended_edge``, so the omniscient look-ahead works unchanged;
-#: the remaining ring adversaries name edges by integer index or read the
-#: ring algebra, so they stay ring-only).
-GRAPH_ADVERSARIES = frozenset({"none", "random", "block-agent"})
+#: graph-native adversaries; the rest are the paper's look-ahead
+#: constructions, ported off the ring: "block-agent" (Observation 1),
+#: "prevent-meetings" (Observation 2, its prediction resolved through
+#: the generic topology) and "ns-starvation" (Theorem 9, an adversary
+#: that is also the scheduler).  All three are made legal on arbitrary
+#: topologies by the connectivity-safe wrapper: an illegal (bridge)
+#: removal becomes "remove nothing", which on the path — where every
+#: edge is a bridge — is exactly the degree-2 boundary of their power
+#: (the ``impossibility-path`` preset sweeps that contrast).  The
+#: remaining ring adversaries name edges by integer index or read the
+#: ring algebra, so they stay ring-only.
+GRAPH_ADVERSARIES = frozenset(
+    {"none", "random", "block-agent", "prevent-meetings", "ns-starvation"})
 
 #: graph adversaries that simulate agents' next Compute (peek).  Peeks
 #: are only side-effect-free for *deterministic* explorers: the seeded
@@ -354,7 +360,8 @@ GRAPH_ADVERSARIES = frozenset({"none", "random", "block-agent"})
 #: Compute would advance — making results depend on how often the
 #: adversary peeks and breaking optimized-vs-reference equivalence.
 #: validate_cell rejects those combinations outright.
-_PEEKING_GRAPH_ADVERSARIES = frozenset({"block-agent"})
+_PEEKING_GRAPH_ADVERSARIES = frozenset(
+    {"block-agent", "prevent-meetings", "ns-starvation"})
 
 #: explorers whose Compute is a pure function of snapshot + memory.
 _DETERMINISTIC_EXPLORERS = frozenset({"rotor-router", "rotor-router-terminating"})
@@ -400,7 +407,13 @@ def _build_graph_engine(
     else:
         adversary = ConnectivitySafeAdversary(ADVERSARIES[cell.adversary](cell))
     if cell.scheduler == "auto":
-        scheduler = SCHEDULERS[AUTO_SCHEDULER[transport]](cell)
+        if cell.adversary in COMBINED_ADVERSARIES:
+            # The construction controls activation too (as on the ring);
+            # the connectivity-safe wrapper forwards ``select`` and only
+            # constrains the removal.
+            scheduler = adversary
+        else:
+            scheduler = SCHEDULERS[AUTO_SCHEDULER[transport]](cell)
     else:
         scheduler = SCHEDULERS[cell.scheduler](cell)
     explorer = GRAPH_EXPLORERS[cell.algorithm](cell)

@@ -36,7 +36,14 @@ from .export import (
     parquet_available,
 )
 from .jsonl import JsonlStore
-from .query import FitRow, Query, fit_rows, render_fit_rows, render_scatter
+from .query import (
+    FitRow,
+    Query,
+    fit_rows,
+    render_error_rows,
+    render_fit_rows,
+    render_scatter,
+)
 from .sqlite import SqliteStore
 
 __all__ = [
@@ -56,6 +63,7 @@ __all__ = [
     "open_store",
     "parquet_available",
     "record_matches",
+    "render_error_rows",
     "render_fit_rows",
     "render_scatter",
     "store_backends",

@@ -9,8 +9,13 @@ The key is :meth:`~repro.campaigns.spec.CellConfig.key` — a hash over the
 *configuration*, not the run identity — so re-expanding the same spec
 after an interrupt (or on another machine pointed at the same store)
 recognises completed cells and skips them.  Failed cells are recorded
-with an ``"error"`` field and are deliberately *not* treated as
-completed: a resume retries them.
+with an ``"error"`` field and are *not* treated as completed — but they
+do count as *attempted*: a resume skips them by default (a fleet of
+workers must not re-drive a deterministically crashing cell forever) and
+re-runs them only when asked (``--retry-failed`` /
+``run_cells(retry_failed=True)``).  :meth:`error_keys` lists the cells
+in that state; :meth:`~repro.campaigns.stores.query.Query.errors` shows
+their error records.
 
 Backends subclass :class:`ResultStore` and implement :meth:`records` and
 :meth:`_write_many`; everything else (completed-key caching, filtering,
@@ -95,6 +100,12 @@ class ResultStore:
     #: URI scheme naming this backend (``jsonl``, ``sqlite``, ...).
     scheme: ClassVar[str] = ""
 
+    #: Can this backend host the distributed lease queue
+    #: (:mod:`repro.campaigns.distributed`)?  Requires atomic multi-writer
+    #: claim/complete transactions, which only the SQLite backend gives;
+    #: the queue refuses other backends with a clear error.
+    supports_leases: ClassVar[bool] = False
+
     def __init__(self, path: str | os.PathLike[str], *,
                  campaign: str | None = None) -> None:
         self.path = Path(path)
@@ -102,6 +113,7 @@ class ResultStore:
         #: in one file (SQLite) scope reads and writes to it.
         self.campaign = campaign
         self._completed: set[str] | None = None
+        self._errored: set[str] | None = None
 
     # -- reading -------------------------------------------------------
 
@@ -118,6 +130,35 @@ class ResultStore:
         if self._completed is None:
             self._completed = self._load_completed_keys()
         return self._completed
+
+    def _load_error_keys(self) -> set[str]:
+        """One-time scan behind :meth:`error_keys` (override me)."""
+        succeeded: set[str] = set()
+        errored: set[str] = set()
+        for r in self.records():
+            (errored if "error" in r else succeeded).add(r["key"])
+        return errored - succeeded
+
+    def error_keys(self) -> set[str]:
+        """Keys of cells whose *only* outcome so far is an error record.
+
+        A cell that errored and later succeeded (e.g. a transient failure
+        re-driven with ``retry_failed``) does not appear here.
+        """
+        if self._errored is None:
+            self._errored = self._load_error_keys()
+        return self._errored
+
+    def invalidate_caches(self) -> None:
+        """Drop the cached key sets (records were written out of band).
+
+        The distributed work queue appends result rows inside its own
+        lease-completion transaction rather than through
+        :meth:`append_many`; it calls this so a long-lived store instance
+        re-reads the truth on its next :meth:`completed_keys`.
+        """
+        self._completed = None
+        self._errored = None
 
     def select(
         self, where: Mapping[str, Any] | None = None
@@ -168,6 +209,18 @@ class ResultStore:
             self._completed.update(
                 r["key"] for r in stamped if "error" not in r
             )
+        if self._errored is not None:
+            # completed_keys() (loaded if needed) — not a bare
+            # ``self._completed or set()`` — so an error appended for a
+            # cell that already succeeded on disk never enters the
+            # errored set (the contract: error_keys() lists cells whose
+            # ONLY outcome is an error).
+            known_done = self.completed_keys()
+            self._errored |= {
+                r["key"] for r in stamped
+                if "error" in r and r["key"] not in known_done
+            }
+            self._errored -= {r["key"] for r in stamped if "error" not in r}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -210,7 +263,8 @@ def open_store(
     if isinstance(target, ResultStore):
         if campaign is not None and target.campaign is None:
             target.campaign = campaign
-            target._completed = None  # the cache was read unscoped
+            target._completed = None  # the caches were read unscoped
+            target._errored = None
         return target
     backends = store_backends()
     text = os.fspath(target)

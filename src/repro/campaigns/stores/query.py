@@ -118,6 +118,21 @@ class Query:
         xs, ys = zip(*series)
         return fit_profile(xs, ys, models)
 
+    def errors(self) -> list[dict[str, Any]]:
+        """Latest error record per cell whose *only* outcome is an error.
+
+        The fleet-resume view: these are exactly the cells
+        ``campaign resume --retry-failed`` (or
+        ``WorkQueue.enqueue(retry_failed=True)``) would re-drive.  Cells
+        that errored and later succeeded do not appear.
+        """
+        failed = self.store.error_keys()
+        latest: dict[str, dict[str, Any]] = {}
+        for record in self.records():
+            if "error" in record and record["key"] in failed:
+                latest[record["key"]] = record  # records are oldest-first
+        return list(latest.values())
+
     def scatter(
         self, x: str = "ring_size", y: str = "rounds"
     ) -> list[tuple[float, Any, float]]:
@@ -242,6 +257,26 @@ def render_fit_rows(rows: Sequence[FitRow], *, title: str = "") -> str:
     lines.extend(str(row) for row in rows)
     if not rows:
         lines.append("(no completed cells to fit)")
+    return "\n".join(lines)
+
+
+def render_error_rows(
+    records: Sequence[dict[str, Any]], *, title: str = ""
+) -> str:
+    """One line per errored cell: key, label, the dimensions, the error."""
+    lines = []
+    if title:
+        lines.append(f"== {title}")
+    for record in records:
+        config = record.get("config", {})
+        label = config.get("label") or config.get("algorithm") or "?"
+        dims = (f"n={config.get('ring_size')} seed={config.get('seed')} "
+                f"topology={config.get('topology', 'ring')}")
+        lines.append(
+            f"{record.get('key', '?'):<26} {label:<36} {dims:<34} "
+            f"{record.get('error', '?')}")
+    if not records:
+        lines.append("(no errored cells)")
     return "\n".join(lines)
 
 

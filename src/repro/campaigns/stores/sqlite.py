@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import weakref
 from typing import Any, Iterator, Mapping
 
 from ...core.errors import ConfigurationError
@@ -32,6 +33,37 @@ from .base import LIST_FIELDS, ResultStore, _check_dimension
 
 #: First bytes of every SQLite database file.
 _SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: Every live store, so the fork hook below can find their connections.
+_LIVE_STORES: "weakref.WeakSet[SqliteStore]" = weakref.WeakSet()
+
+#: Connections inherited across ``fork()``, pinned forever in the child.
+#:
+#: SQLite documents that carrying an open connection across ``fork()``
+#: is unsafe — and *closing* one in the child is the worst case: the
+#: close path can drop POSIX locks and reset the WAL underneath the
+#: child's (or a sibling's) own healthy connection, silently discarding
+#: committed transactions.  Python finalizes unreferenced connections
+#: from the cyclic GC at unpredictable moments, so a child forked while
+#: the parent held cycle-trapped connections would eventually "close"
+#: them mid-campaign.  The documented-safe alternative is to never touch
+#: them: this list keeps a strong reference so the child leaks one file
+#: descriptor per inherited connection instead of corrupting the store.
+_QUARANTINED_CONNECTIONS: list = []
+
+
+def _quarantine_inherited_connections() -> None:
+    """after-fork(child) hook: detach every inherited connection."""
+    for store in list(_LIVE_STORES):
+        conn = store._conn
+        store._conn = None
+        store._pid = None
+        if conn is not None:
+            _QUARANTINED_CONNECTIONS.append(conn)
+
+
+if hasattr(os, "register_at_fork"):  # POSIX; fork is where the hazard is
+    os.register_at_fork(after_in_child=_quarantine_inherited_connections)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -45,11 +77,78 @@ CREATE INDEX IF NOT EXISTS ix_results_cell_key ON results (cell_key, ok);
 CREATE INDEX IF NOT EXISTS ix_results_campaign_key ON results (campaign_key);
 """
 
+#: Distributed-queue tables (see :mod:`repro.campaigns.distributed`).
+#: They live next to ``results`` on purpose: the store *is* the
+#: coordinator, and lease completion appends result rows and retires the
+#: chunk in one transaction — the exactly-once-recording guarantee.
+#:
+#: ``chunks``  — the unit of claimable work: an ordered JSON array of cell
+#:              dicts (plus the parallel array of their content-hash keys,
+#:              so dedupe scans never re-hash cells inside the write lock),
+#:              moving ``pending -> leased -> done``;
+#: ``leases``  — at most one row per leased chunk: who holds it, when the
+#:              holder last heartbeat, and how many times the chunk has
+#:              been claimed (attempt > 1 means it was stolen);
+#: ``workers`` — fleet telemetry: one row per worker that ever polled,
+#:              with its last-seen heartbeat and completion counters.
+_QUEUE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS chunks (
+    id           INTEGER PRIMARY KEY,
+    campaign_key TEXT NOT NULL DEFAULT '',
+    state        TEXT NOT NULL DEFAULT 'pending',
+    cells        TEXT NOT NULL,
+    cell_keys    TEXT NOT NULL,
+    n_cells      INTEGER NOT NULL,
+    created_at   REAL NOT NULL,
+    done_at      REAL
+);
+CREATE INDEX IF NOT EXISTS ix_chunks_state ON chunks (campaign_key, state);
+CREATE TABLE IF NOT EXISTS leases (
+    chunk_id     INTEGER PRIMARY KEY,
+    worker_id    TEXT NOT NULL,
+    heartbeat    REAL NOT NULL,
+    acquired_at  REAL NOT NULL,
+    attempt      INTEGER NOT NULL DEFAULT 1
+);
+CREATE TABLE IF NOT EXISTS workers (
+    worker_id    TEXT PRIMARY KEY,
+    campaign_key TEXT NOT NULL DEFAULT '',
+    host         TEXT NOT NULL DEFAULT '',
+    pid          INTEGER NOT NULL DEFAULT 0,
+    started_at   REAL NOT NULL,
+    last_seen    REAL NOT NULL,
+    cells_done   INTEGER NOT NULL DEFAULT 0,
+    chunks_done  INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+#: INSERT statement matching :func:`result_rows` (shared with the queue's
+#: lease-completion transaction).
+INSERT_RESULT_SQL = (
+    "INSERT INTO results (cell_key, campaign_key, ok, record) VALUES (?, ?, ?, ?)"
+)
+
+
+def result_rows(
+    records: list[dict[str, Any]], campaign: str
+) -> list[tuple[str, str, int, str]]:
+    """``results``-table rows for already schema-stamped records."""
+    return [
+        (
+            record["key"],
+            campaign,
+            0 if "error" in record else 1,
+            json.dumps(record, sort_keys=True, separators=(",", ":")),
+        )
+        for record in records
+    ]
+
 
 class SqliteStore(ResultStore):
     """A result store backed by one SQLite database (WAL mode)."""
 
     scheme = "sqlite"
+    supports_leases = True
 
     def __init__(self, path: str | os.PathLike[str], *,
                  campaign: str | None = None, timeout_s: float = 30.0) -> None:
@@ -57,6 +156,7 @@ class SqliteStore(ResultStore):
         self._timeout_s = timeout_s
         self._conn: sqlite3.Connection | None = None
         self._pid: int | None = None
+        _LIVE_STORES.add(self)
 
     # -- connection management ----------------------------------------
 
@@ -65,8 +165,12 @@ class SqliteStore(ResultStore):
         pid = os.getpid()
         if self._conn is None or self._pid != pid:
             # A connection inherited across fork() must never be reused:
-            # SQLite locks are per-process.  Drop it without closing (the
-            # parent still owns it) and open our own.
+            # SQLite locks are per-process.  The module's after-fork hook
+            # quarantines inherited connections eagerly (never closing
+            # them in the child); this pid check is the backstop.  Drop
+            # without closing — the parent still owns it.
+            if self._conn is not None:
+                _QUARANTINED_CONNECTIONS.append(self._conn)
             self._conn = None
             self._check_magic()
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -74,10 +178,20 @@ class SqliteStore(ResultStore):
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.executescript(_SCHEMA)
+            conn.executescript(_QUEUE_SCHEMA)
             conn.commit()
             self._conn = conn
             self._pid = pid
         return self._conn
+
+    def connection(self) -> sqlite3.Connection:
+        """The process-local connection (schema applied, WAL mode).
+
+        Public for the distributed work queue, which runs its own
+        claim/heartbeat/complete transactions against the same database
+        so result appends and lease transitions commit atomically.
+        """
+        return self._connect()
 
     def _check_magic(self) -> None:
         """Refuse to run SQL against a file another backend wrote.
@@ -145,6 +259,35 @@ class SqliteStore(ResultStore):
             sql += f" AND {scope}"
         return {key for (key,) in self._connect().execute(sql, scope_params)}
 
+    def result_counts(self) -> tuple[int, int]:
+        """(total records, error records) for this store's campaign scope.
+
+        One indexed aggregate — the distributed coordinator polls this
+        for progress accounting, so the results-table/scoping knowledge
+        stays here with the other indexed queries.
+        """
+        if not self.path.exists():
+            return (0, 0)
+        scope, scope_params = self._scope()
+        sql = "SELECT COUNT(*), COALESCE(SUM(1 - ok), 0) FROM results"
+        if scope:
+            sql += f" WHERE {scope}"
+        row = self._connect().execute(sql, scope_params).fetchone()
+        return (int(row[0]), int(row[1]))
+
+    def _load_error_keys(self) -> set[str]:
+        """Indexed errored-only keys: errored minus ever-succeeded."""
+        if not self.path.exists():
+            return set()
+        scope, scope_params = self._scope()
+        tail = f" AND {scope}" if scope else ""
+        sql = (
+            f"SELECT DISTINCT cell_key FROM results WHERE ok = 0{tail} "
+            f"EXCEPT SELECT DISTINCT cell_key FROM results WHERE ok = 1{tail}"
+        )
+        return {key for (key,) in
+                self._connect().execute(sql, scope_params + scope_params)}
+
     def select(
         self, where: Mapping[str, Any] | None = None
     ) -> Iterator[dict[str, Any]]:
@@ -204,20 +347,7 @@ class SqliteStore(ResultStore):
 
     def _write_many(self, records: list[dict[str, Any]]) -> None:
         """One transaction per chunk; atomic even against a mid-write kill."""
-        campaign = self.campaign or ""
-        rows = [
-            (
-                record["key"],
-                campaign,
-                0 if "error" in record else 1,
-                json.dumps(record, sort_keys=True, separators=(",", ":")),
-            )
-            for record in records
-        ]
+        rows = result_rows(records, self.campaign or "")
         conn = self._connect()
         with conn:  # BEGIN ... COMMIT (or ROLLBACK on error)
-            conn.executemany(
-                "INSERT INTO results (cell_key, campaign_key, ok, record) "
-                "VALUES (?, ?, ?, ?)",
-                rows,
-            )
+            conn.executemany(INSERT_RESULT_SQL, rows)

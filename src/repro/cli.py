@@ -8,18 +8,33 @@ Commands:
 * ``list``     — list available algorithms, adversaries and schedulers;
 * ``campaign`` — parallel experiment campaigns:
 
-  * ``campaign run``    — expand a sweep spec and execute it (resumable);
-  * ``campaign resume`` — continue an interrupted campaign;
+  * ``campaign run``    — expand a sweep spec and execute it (resumable;
+    ``--distributed`` drains it through the lease-based work queue with
+    N local worker processes instead of a multiprocessing pool);
+  * ``campaign resume`` — continue an interrupted campaign
+    (``--retry-failed`` also re-drives cells whose only outcome so far
+    is an error record);
+  * ``campaign enqueue`` — persist a spec's pending cells as claimable
+    chunks in a shared SQLite store (the multi-host entry point);
+  * ``campaign worker`` — claim/run/heartbeat chunks from a shared
+    store until the campaign's queue drains; run it on as many machines
+    as can reach the store;
+  * ``campaign status`` — live fleet telemetry (workers alive, chunk
+    lease states, cells/s, ETA) read straight from the store;
+    ``--watch`` re-renders until the queue finishes;
   * ``campaign report`` — aggregate a result store into table rows
     (``--fit`` adds complexity-shape verdicts straight from the store,
-    ``--reduce p90`` fits a tail percentile instead of the mean, and
-    ``--scatter`` drills down to per-seed rows);
+    ``--reduce p90`` fits a tail percentile instead of the mean,
+    ``--scatter`` drills down to per-seed rows, and ``--errors`` lists
+    the cells whose only outcome is an error record);
   * ``campaign export`` — dump a store as a columnar file (CSV/Parquet);
   * ``campaign list``   — list the named campaign specs.
 
 ``--store`` accepts a backend URI everywhere: ``sqlite:results/t2.db``
 selects the concurrent, indexed SQLite backend, ``jsonl:`` (or a bare
-path) the append-only JSONL default.
+path) the append-only JSONL default.  The distributed verbs need the
+SQLite backend (the queue's lease transactions live in the same
+database) and default to ``sqlite:results/<spec>.db``.
 
 Single runs and campaign cells share one registry
 (:mod:`repro.campaigns.registry`): every algorithm/adversary name below
@@ -51,6 +66,7 @@ from .campaigns.stores import (
     export_store,
     fit_rows,
     open_store,
+    render_error_rows,
     render_fit_rows,
     render_scatter,
 )
@@ -113,6 +129,85 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--debug-invariants", action="store_true",
                        help="run every cell with the per-round engine audit "
                             "on (campaigns default it off for throughput)")
+        p.add_argument("--retry-failed", action="store_true",
+                       help="also re-run cells whose only stored outcome is "
+                            "an error record (default: failures are skipped "
+                            "like completed cells)")
+        p.add_argument("--distributed", action="store_true",
+                       help="execute through the lease-based work queue: "
+                            "enqueue pending cells in the (SQLite) store, "
+                            "spawn --workers local worker processes, and let "
+                            "any extra 'campaign worker' processes on other "
+                            "hosts join the same queue")
+        p.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                       help="distributed lease time-to-live in seconds: a "
+                            "worker silent this long is presumed dead and "
+                            "its chunk is stolen (default: 30)")
+
+    p = csub.add_parser(
+        "enqueue",
+        help="persist a spec's pending cells as claimable chunks (multi-host)")
+    p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
+                   help=f"named spec (default: {DEFAULT_SPEC})")
+    p.add_argument("--spec-file", default=None, metavar="PATH",
+                   help="JSON/YAML spec file (overrides --spec)")
+    p.add_argument("--store", default=None, metavar="URI",
+                   help="SQLite result store hosting the queue "
+                        "(default: sqlite:results/<spec>.db)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="cells per claimable chunk (default: auto)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="only enqueue the first LIMIT cells of the expansion")
+    p.add_argument("--retry-failed", action="store_true",
+                   help="also enqueue cells whose only stored outcome is an "
+                        "error record")
+    p.add_argument("--debug-invariants", action="store_true",
+                   help="enqueue every cell with the per-round engine audit "
+                        "on (applied here, at keying time — workers execute "
+                        "chunks exactly as enqueued)")
+
+    p = csub.add_parser(
+        "worker",
+        help="claim and run chunks from a shared store until the queue drains")
+    p.add_argument("--store", default=None, metavar="URI",
+                   help="SQLite result store hosting the queue "
+                        "(default: sqlite:results/<campaign>.db)")
+    p.add_argument("--campaign", required=True, metavar="NAME",
+                   help="campaign tag the chunks were enqueued under "
+                        "(the spec name)")
+    p.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                   help="lease time-to-live in seconds (default: 30); must "
+                        "match the fleet's")
+    p.add_argument("--poll", type=float, default=0.5, metavar="S",
+                   help="seconds between claim attempts when empty-handed")
+    p.add_argument("--max-chunks", type=int, default=None,
+                   help="exit after completing this many chunks")
+    p.add_argument("--max-attempts", type=int, default=None,
+                   help="park a chunk as failed after this many claim "
+                        "attempts instead of stealing it again "
+                        "(default: 5; poison-chunk protection)")
+    p.add_argument("--worker-id", default=None,
+                   help="fleet-unique identity (default: <host>-<pid>)")
+
+    p = csub.add_parser(
+        "status", help="live fleet telemetry for a distributed campaign")
+    p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
+                   help="spec name used to locate the default store")
+    p.add_argument("--spec-file", default=None, metavar="PATH",
+                   help="JSON/YAML spec file (overrides --spec)")
+    p.add_argument("--store", default=None, metavar="URI",
+                   help="SQLite result store hosting the queue "
+                        "(default: sqlite:results/<spec>.db)")
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="campaign tag (default: the spec's name)")
+    p.add_argument("--watch", action="store_true",
+                   help="re-render every --interval seconds until the queue "
+                        "finishes")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="refresh period for --watch (default: 2)")
+    p.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                   help="lease time-to-live used to classify workers/leases "
+                        "as dead (default: 30); must match the fleet's")
 
     p = csub.add_parser("report", help="aggregate a result store into table rows")
     p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
@@ -134,6 +229,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--scatter", action="store_true",
                    help="also print per-seed (unreduced) scatter rows, one "
                         "line per stored record, grouped like the table")
+    p.add_argument("--errors", action="store_true",
+                   help="also list errored cells (cells whose only stored "
+                        "outcome is an error record; re-drive them with "
+                        "'campaign resume --retry-failed')")
 
     p = csub.add_parser(
         "export", help="export a result store as a columnar file")
@@ -182,9 +281,30 @@ def _campaign_spec(args):
     return get_spec(args.spec)
 
 
-def _campaign_store(args, spec) -> ResultStore:
-    target = args.store or Path("results") / f"{spec.name}.jsonl"
+def _campaign_store(args, spec, *, distributed: bool = False) -> ResultStore:
+    """The command's store: JSONL by default, SQLite for distributed verbs
+    (the lease queue lives in the same database as the results).
+
+    When no ``--store`` is given and the JSONL default does not exist
+    but the distributed default (``results/<spec>.db``) does, read
+    commands fall back to it — so ``campaign report`` finds the results
+    of a ``campaign run --distributed`` without repeating the URI.
+    """
+    if args.store:
+        return open_store(args.store, campaign=spec.name)
+    jsonl_default = Path("results") / f"{spec.name}.jsonl"
+    db_default = Path("results") / f"{spec.name}.db"
+    target = db_default if distributed else jsonl_default
+    if not distributed and not jsonl_default.exists() and db_default.exists():
+        target = db_default
     return open_store(target, campaign=spec.name)
+
+
+def _lease_ttl(args) -> float:
+    from .campaigns.distributed import DEFAULT_LEASE_TTL_S
+
+    ttl = getattr(args, "lease_ttl", None)
+    return ttl if ttl is not None else DEFAULT_LEASE_TTL_S
 
 
 def _progress(done: int, total: int) -> None:
@@ -200,7 +320,75 @@ def campaign_main(args) -> int:
             print(f"{name:<16} {spec.size():>4} cells  {spec.description}")
         return 0
 
+    if args.campaign_command == "worker":
+        # Workers need no spec: chunks carry fully serialised cells.
+        from .campaigns.distributed import run_worker
+
+        target = args.store or f"sqlite:results/{args.campaign}.db"
+        try:
+            report = run_worker(
+                target,
+                campaign=args.campaign,
+                worker_id=args.worker_id,
+                lease_ttl_s=_lease_ttl(args),
+                poll_s=args.poll,
+                max_chunks=args.max_chunks,
+                **({"max_attempts": args.max_attempts}
+                   if args.max_attempts is not None else {}),
+                progress=lambda line: print(line, file=sys.stderr),
+            )
+        except KeyboardInterrupt:
+            # run_worker released any held chunk on the way out.
+            print("worker interrupted; held lease released", file=sys.stderr)
+            return 130
+        print(report.summary())
+        return 0
+
     spec = _campaign_spec(args)
+
+    if args.campaign_command == "enqueue":
+        from .campaigns.distributed import enqueue_campaign
+
+        store = _campaign_store(args, spec, distributed=True)
+        cells = spec.cell_list()
+        if args.limit is not None:
+            cells = cells[:args.limit]
+        if args.debug_invariants:
+            from dataclasses import replace
+
+            cells = [replace(c, debug_invariants=True) for c in cells]
+        _, report = enqueue_campaign(
+            spec, store, cells=cells,
+            chunk_size=args.chunk_size, retry_failed=args.retry_failed,
+        )
+        print(f"campaign {spec.name}: {report.summary()} -> {store.uri()}")
+        return 0
+
+    if args.campaign_command == "status":
+        from .campaigns.distributed import (
+            fleet_status,
+            render_status,
+            watch_status,
+        )
+
+        campaign = args.campaign or spec.name
+        target = args.store or Path("results") / f"{campaign}.db"
+        store = open_store(target, campaign=campaign)
+        if not store.exists():
+            print(f"no result store at {store.path}", file=sys.stderr)
+            return 1
+        ttl = _lease_ttl(args)
+        if args.watch:
+            try:
+                watch_status(store, lease_ttl_s=ttl, interval_s=args.interval)
+            except KeyboardInterrupt:
+                # the promised UX: Ctrl-C stops the watch, not the fleet
+                print("watch stopped (the fleet keeps running)",
+                      file=sys.stderr)
+                return 130
+        else:
+            print(render_status(fleet_status(store, lease_ttl_s=ttl)))
+        return 0
 
     if args.campaign_command == "report":
         store = _campaign_store(args, spec)
@@ -229,6 +417,12 @@ def campaign_main(args) -> int:
             print(render_scatter(
                 records, by=by,
                 title="per-seed scatter (one row per stored record)"))
+        if args.errors:
+            print()
+            print(render_error_rows(
+                query.errors(),
+                title="errored cells (only outcome is an error record; "
+                      "re-drive with 'campaign resume --retry-failed')"))
         return 0
 
     if args.campaign_command == "export":
@@ -241,19 +435,32 @@ def campaign_main(args) -> int:
         return 0
 
     # run / resume
-    store = _campaign_store(args, spec)
+    store = _campaign_store(args, spec, distributed=args.distributed)
     if args.campaign_command == "resume" and not store.exists():
         print(f"nothing to resume: no store at {store.path}", file=sys.stderr)
         return 1
     cells = spec.cell_list()
     if args.limit is not None:
         cells = cells[:args.limit]
-    print(f"campaign {spec.name}: {len(cells)} cells -> {store.uri()}")
-    run = run_cells(
-        cells, store,
-        workers=args.workers, chunk_size=args.chunk_size, progress=_progress,
-        debug_invariants=True if args.debug_invariants else None,
-    )
+    mode = " [distributed]" if args.distributed else ""
+    print(f"campaign {spec.name}: {len(cells)} cells -> {store.uri()}{mode}")
+    debug = True if args.debug_invariants else None
+    if args.distributed:
+        from .campaigns.distributed import run_distributed
+
+        run = run_distributed(
+            spec, store, cells=cells,
+            workers=args.workers, chunk_size=args.chunk_size,
+            lease_ttl_s=_lease_ttl(args), retry_failed=args.retry_failed,
+            debug_invariants=debug, progress=_progress,
+        )
+    else:
+        run = run_cells(
+            cells, store,
+            workers=args.workers, chunk_size=args.chunk_size,
+            progress=_progress, debug_invariants=debug,
+            retry_failed=args.retry_failed,
+        )
     print(run.summary())
     if not args.no_report:
         print(render_rows(store.query().table(), title=f"campaign {spec.name}"))

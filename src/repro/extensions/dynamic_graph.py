@@ -235,6 +235,15 @@ class ConnectivitySafeAdversary:
         edge = topology.canonical_edge(edge)
         return edge if topology.removable(edge) else None
 
+    def select(self, engine: "SimulationCore") -> set[int]:
+        """Delegate activation to combined adversary/scheduler constructions.
+
+        The Tables 1/3 adversaries that also control the schedule (e.g.
+        NS starvation) keep both roles on graph topologies: the wrapper
+        constrains only the edge *removal*, never the activation set.
+        """
+        return self._inner.select(engine)
+
     def __repr__(self) -> str:
         return f"ConnectivitySafeAdversary({self._inner!r})"
 

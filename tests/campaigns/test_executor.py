@@ -122,15 +122,36 @@ class TestRunCells:
         with pytest.raises(ConfigurationError, match="unknown adversary"):
             run_cells([bad], ResultStore(tmp_path / "r.jsonl"))
 
-    def test_failed_cells_recorded_and_retried(self, tmp_path):
+    def test_failed_cells_recorded_and_skipped_until_retry(self, tmp_path):
         store = ResultStore(tmp_path / "r.jsonl")
         bad = CellConfig(algorithm="unconscious", ring_size=8, max_rounds=10,
                          placement="explicit", positions=None)
         run = run_cells([bad], store, workers=1)
         assert run.failed == 1
-        # failures are not "completed": the same cell runs again on resume
+        assert store.error_keys() == {bad.key()}
+        # failures count as *attempted*: a plain resume skips them...
         rerun = run_cells([bad], store, workers=1)
-        assert rerun.skipped == 0 and rerun.executed == 1
+        assert rerun.skipped == 1 and rerun.executed == 0
+        # ...and retry_failed re-drives them explicitly
+        redriven = run_cells([bad], store, workers=1, retry_failed=True)
+        assert redriven.skipped == 0 and redriven.executed == 1
+
+    def test_retry_failed_clears_error_listing_on_success(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        cell = small_spec(seeds=(0,)).cell_list()[0]
+        # Forge an error record for a cell that will succeed when re-driven
+        # (the transient-failure shape a fleet sees).
+        store.append({"key": cell.key(), "config": cell.to_dict(),
+                      "error": "RuntimeError: transient"})
+        assert store.error_keys() == {cell.key()}
+        assert run_cells([cell], store, workers=1).executed == 0
+        run = run_cells([cell], store, workers=1, retry_failed=True)
+        assert run.executed == 1 and run.failed == 0
+        # the error listing empties once a success exists
+        assert store.error_keys() == set()
+        fresh = ResultStore(store.path)
+        assert fresh.error_keys() == set()
+        assert store.query().errors() == []
 
 
 class TestAggregation:

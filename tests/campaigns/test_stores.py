@@ -155,6 +155,14 @@ def _append_worker(args):
     return worker_id
 
 
+def _report_quarantine(queue):
+    from repro.campaigns.stores import sqlite as sqlite_mod
+
+    stores = list(sqlite_mod._LIVE_STORES)
+    queue.put((len(sqlite_mod._QUARANTINED_CONNECTIONS),
+               all(s._conn is None for s in stores)))
+
+
 class TestConcurrency:
     def test_concurrent_appends_from_processes(self, tmp_path):
         """Several processes hammer one database; nothing is lost."""
@@ -171,6 +179,25 @@ class TestConcurrency:
         assert len(store) == workers * per_worker + 1
         expected = {f"w{w}-{i}" for w in range(workers) for i in range(per_worker)}
         assert expected <= store.completed_keys()
+
+    def test_fork_children_quarantine_inherited_connections(self, tmp_path):
+        """A child must never finalize (close) a connection it inherited:
+        SQLite's close path can drop POSIX locks / reset the WAL under a
+        sibling's healthy connection, losing committed records.  The
+        after-fork hook pins inherited connections instead."""
+        parent = SqliteStore(tmp_path / "q.db")
+        parent.append(rec("parent"))          # parent now holds a connection
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.SimpleQueue()
+        proc = ctx.Process(target=_report_quarantine, args=(queue,))
+        proc.start()
+        quarantined, conn_is_none = queue.get()
+        proc.join(timeout=30)
+        assert quarantined >= 1                # the inherited conn is pinned
+        assert conn_is_none                    # ...and detached from the store
+        parent.append(rec("parent-2"))         # the parent conn is untouched
+        assert SqliteStore(tmp_path / "q.db").completed_keys() == {
+            "parent", "parent-2"}
 
     def test_connection_not_shared_across_fork(self, tmp_path):
         """A store instance created pre-fork reopens in the child."""
@@ -222,10 +249,14 @@ class TestBackendEquivalence:
         SqliteStore(path).append(
             {"key": cells[3].key(), "config": cells[3].to_dict(),
              "error": "KilledMidRun"})
-        resumed = run_cells(cells, SqliteStore(path), workers=1)
+        resumed = run_cells(cells, SqliteStore(path), workers=1,
+                            retry_failed=True)
         assert resumed.skipped == 3          # completed cells stay done
-        assert resumed.executed == 3         # the failed one is retried
+        assert resumed.executed == 3         # the failed one is re-driven
         assert SqliteStore(path).completed_keys() == {c.key() for c in cells}
+        # without the flag the error record counts as attempted
+        plain = run_cells(cells, SqliteStore(path), workers=1)
+        assert plain.executed == 0 and plain.skipped == len(cells)
 
     def test_run_cells_accepts_any_backend(self, tmp_path):
         run = run_cells(small_spec(seeds=(0,)).cells(),

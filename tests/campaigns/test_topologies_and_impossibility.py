@@ -240,3 +240,94 @@ class TestImpossibilityPreset:
                           agents=3, adversary="theorem19", transport="et")
         with pytest.raises(ConfigurationError, match="bound"):
             build_cell_engine(cell)
+
+
+class TestMeetingPreventionOffTheRing:
+    """The Observation-2 port: topology-generic prediction, legality at the
+    connectivity wrapper, and the degree-2 boundary on the path."""
+
+    def _colocation_rounds(self, topology: str, rounds: int = 300) -> int:
+        cell = CellConfig(
+            algorithm="rotor-router", ring_size=8, agents=2, max_rounds=rounds,
+            adversary="prevent-meetings", topology=topology,
+        )
+        engine = build_cell_engine(cell)
+        count = 0
+        for _ in range(rounds):
+            if not engine.step():
+                break
+            a, b = engine.agents
+            if a.node == b.node:
+                count += 1
+        return count
+
+    def test_meetings_prevented_on_the_ring(self):
+        """On the ring every single removal is legal: zero co-locations."""
+        assert self._colocation_rounds("ring") == 0
+
+    def test_meetings_forced_on_the_path(self):
+        """Every path edge is a bridge, so the wrapper suppresses every
+        removal and the rotor-routers must eventually share a node."""
+        assert self._colocation_rounds("path") > 0
+
+    def test_ring_engine_still_prevents_meetings(self):
+        """The generic rewrite keeps the original ring construction: the
+        KnownUpperBound pair under prevent-meetings never co-locates."""
+        cell = CellConfig(algorithm="known-bound", ring_size=10, agents=2,
+                          max_rounds=120, adversary="prevent-meetings",
+                          transport="ns")
+        engine = build_cell_engine(cell)
+        for _ in range(120):
+            if not engine.step():
+                break
+            a, b = engine.agents
+            assert a.node != b.node
+
+    def test_peeking_port_requires_deterministic_explorer(self):
+        for adversary in ("prevent-meetings", "ns-starvation"):
+            cell = graph_cell(topology="path", adversary=adversary, agents=2)
+            with pytest.raises(ConfigurationError, match="deterministic"):
+                validate_cell(cell)
+
+    def test_combined_adversary_schedules_graph_cells_too(self):
+        cell = CellConfig(algorithm="rotor-router", ring_size=8, agents=2,
+                          max_rounds=10, adversary="ns-starvation",
+                          topology="path", transport="ns")
+        engine = build_cell_engine(cell)
+        assert engine.scheduler is engine.adversary  # the safe wrapper
+
+
+class TestImpossibilityPathPreset:
+    @pytest.fixture(scope="class")
+    def records(self):
+        """The smallest (ring, path) cell pair per variant."""
+        spec = get_spec("impossibility-path")
+        picked = {}
+        for cell in spec.cell_list():
+            picked.setdefault((cell.label, cell.topology), cell)
+        return {key: execute_cell(cell) for key, cell in picked.items()}
+
+    def test_preset_expands_the_full_contrast_grid(self):
+        spec = get_spec("impossibility-path")
+        cells = spec.cell_list()
+        assert len(cells) == 24
+        assert {c.topology for c in cells} == {"ring", "path"}
+
+    def test_every_cell_executes_cleanly(self, records):
+        for key, record in records.items():
+            assert "error" not in record, (key, record.get("error"))
+
+    @pytest.mark.parametrize("label", ["ip-obs1-block-agent",
+                                       "ip-t9-ns-starvation"])
+    def test_starvation_holds_on_the_ring(self, records, label):
+        metrics = records[(label, "ring")]["metrics"]
+        assert metrics["total_moves"] == 0
+        assert not metrics["explored"]
+
+    @pytest.mark.parametrize("label", ["ip-obs1-block-agent",
+                                       "ip-obs2-prevent-meetings",
+                                       "ip-t9-ns-starvation",
+                                       "ip-control-random"])
+    def test_every_path_cell_explores(self, records, label):
+        metrics = records[(label, "path")]["metrics"]
+        assert metrics["explored"], (label, metrics)

@@ -239,12 +239,28 @@ GRAPH_CELLS = [
     CellConfig(algorithm="rotor-router-terminating", ring_size=9, agents=2,
                max_rounds=400, adversary="random", topology="cactus",
                scheduler="random-fair", transport="et"),
+    # The Observation-2 port: meeting prevention through the generic
+    # topology, on the path (every removal suppressed — the degree-2
+    # boundary) and on the graph-facade ring (every removal legal).
+    CellConfig(algorithm="rotor-router", ring_size=9, agents=2, max_rounds=200,
+               adversary="prevent-meetings", topology="path"),
+    CellConfig(algorithm="rotor-router", ring_size=10, agents=2, max_rounds=200,
+               adversary="prevent-meetings", topology="ring",
+               scheduler="round-robin"),
+    # Theorem 9's combined adversary/scheduler off the ring: starves the
+    # ring, is forced to let the path explore.
+    CellConfig(algorithm="rotor-router", ring_size=8, agents=2, max_rounds=150,
+               adversary="ns-starvation", topology="path",
+               stop_on_exploration=True),
+    CellConfig(algorithm="rotor-router", ring_size=8, agents=2, max_rounds=150,
+               adversary="ns-starvation", topology="ring"),
 ]
 
 
 @pytest.mark.parametrize(
     "cell", GRAPH_CELLS,
-    ids=[f"{c.algorithm}-{c.topology}-{c.scheduler}" for c in GRAPH_CELLS],
+    ids=[f"{c.algorithm}-{c.topology}-{c.adversary}-{c.scheduler}"
+         for c in GRAPH_CELLS],
 )
 @pytest.mark.parametrize("seed", [0, 3])
 def test_graph_engine_equivalence(cell: CellConfig, seed: int):
