@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-graph bench-suites smoke-campaign topologies-campaign dist-smoke
+.PHONY: test bench bench-smoke bench-graph bench-batch bench-batch-smoke bench-suites smoke-campaign topologies-campaign dist-smoke batch-diff
 
 ## Tier-1 test suite (the CI gate).
 test:
@@ -17,6 +17,7 @@ bench:
 ## CI-sized benchmark (< 60 s) with the acceptance guard: fails if the
 ## worst-case-adversary headline drops below 5x over the reference path.
 bench-smoke:
+	@mkdir -p results
 	$(PYTHON) benchmarks/bench_engine_hotpath.py --smoke \
 		--out results/BENCH_engine_smoke.json --min-speedup 5
 
@@ -24,6 +25,29 @@ bench-smoke:
 ## without disturbing the ring sections — commit the refreshed file.
 bench-graph:
 	$(PYTHON) benchmarks/bench_engine_hotpath.py --graph
+
+## Batched-vs-scalar campaign throughput, merged into the batch section
+## of BENCH_engine.json — commit the refreshed file.  The guard fails if
+## the 256-cell k=32 headline chunk runs below 5x scalar throughput.
+bench-batch:
+	$(PYTHON) benchmarks/bench_batch.py --min-speedup 5
+
+## CI-sized batch benchmark (headline + one row, single repeat) with a
+## noise-tolerant 3x guard; writes next to the other smoke artifacts.
+bench-batch-smoke:
+	@mkdir -p results
+	$(PYTHON) benchmarks/bench_batch.py --smoke \
+		--out results/BENCH_batch_smoke.json --min-speedup 3
+
+## The all-eligible smoke campaign twice — vectorized and scalar — then a
+## byte-for-byte report diff plus per-record key/metrics equality.
+batch-diff:
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec batch-smoke \
+		--workers 1 --batch auto --store results/batch-auto.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec batch-smoke \
+		--workers 1 --batch off --store results/batch-off.jsonl
+	PYTHONPATH=src $(PYTHON) scripts/diff_stores.py \
+		results/batch-auto.jsonl results/batch-off.jsonl
 
 ## The pytest-benchmark suites (paper-table reproductions).
 bench-suites:

@@ -1,0 +1,169 @@
+"""Batched vs scalar campaign throughput; merges into ``BENCH_engine.json``.
+
+Measures cells/second of :func:`repro.campaigns.executor.run_chunk` —
+the exact code path a campaign chunk takes — with ``batch="auto"``
+(one lockstep :class:`~repro.core.batch.BatchCore` run over the whole
+chunk) against ``batch="off"`` (the per-cell scalar loop).  Both sides
+include engine/array construction and record assembly, so the ratio is
+campaign throughput, not a kernel microbenchmark.
+
+The headline is the chunk shape the batch path was built for: 256
+same-shape cells (one full vector width) at k=32 on a 64-ring under the
+random adversary — a seed-axis sweep chunk.  Its speedup gates CI via
+``--min-speedup`` (``make bench-batch``).
+
+Usage::
+
+    python benchmarks/bench_batch.py            # full grid
+    python benchmarks/bench_batch.py --smoke    # CI mode, < 60 s
+    make bench-batch
+
+Results merge into the ``batch`` section of ``BENCH_engine.json`` so the
+repo's perf trajectory carries the vectorization win alongside the
+hot-path history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaigns.executor import run_chunk  # noqa: E402
+from repro.campaigns.spec import CellConfig  # noqa: E402
+from repro.core.batch import numpy_available  # noqa: E402
+
+#: The acceptance chunk: one full vector width of same-shape cells over
+#: the seed axis — the composition ``default_chunk_size`` builds when a
+#: sweep's cells all qualify.
+HEADLINE = dict(algorithm="known-bound", ring_size=64, agents=32,
+                adversary="random", transport="ns", max_rounds=192)
+HEADLINE_CELLS = 256
+
+
+def chunk_cells(base: dict, count: int) -> list[CellConfig]:
+    cell = CellConfig(**base)
+    return [replace(cell, seed=seed) for seed in range(count)]
+
+
+def measure_chunk(cells: list[CellConfig], mode: str, *, repeats: int) -> dict:
+    """Cells/second of ``run_chunk`` under one routing mode (best of N)."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        records, batched = run_chunk(cells, batch=mode)
+        elapsed = time.perf_counter() - start
+        assert len(records) == len(cells)
+        assert all("error" not in r for r in records)
+        if mode == "auto":
+            assert batched == len(cells), "headline cells must all batch"
+        if best is None or elapsed < best:
+            best = elapsed
+    return {"cells": len(cells), "elapsed_s": round(best, 4),
+            "cells_per_s": round(len(cells) / best, 1)}
+
+
+def grid(smoke: bool) -> list[tuple[str, dict, int]]:
+    rows = [
+        ("known-bound(n=32,k=8)x256",
+         dict(algorithm="known-bound", ring_size=32, agents=8,
+              adversary="random", transport="ns", max_rounds=96), 256),
+        ("unconscious(n=48,k=4)x256",
+         dict(algorithm="unconscious", ring_size=48, agents=4,
+              adversary="random", transport="ns", max_rounds=128,
+              stop_on_exploration=True), 256),
+        ("known-bound(n=16,k=2)x64",
+         dict(algorithm="known-bound", ring_size=16, agents=2,
+              adversary="periodic", edge=5, transport="ns",
+              max_rounds=64), 64),
+    ]
+    if smoke:
+        rows = rows[:1]
+    return rows
+
+
+def run(smoke: bool) -> dict:
+    repeats = 1 if smoke else 3
+    rows = []
+    for label, base, count in grid(smoke):
+        cells = chunk_cells(base, count)
+        row = {
+            "label": label,
+            "batched": measure_chunk(cells, "auto", repeats=repeats),
+            "scalar": measure_chunk(cells, "off", repeats=repeats),
+        }
+        row["speedup"] = round(row["batched"]["cells_per_s"]
+                               / row["scalar"]["cells_per_s"], 2)
+        rows.append(row)
+        print(f"  {label:<28} {row['batched']['cells_per_s']:>9,.0f} vs "
+              f"{row['scalar']['cells_per_s']:>8,.0f} cells/s  "
+              f"({row['speedup']}x)", flush=True)
+
+    cells = chunk_cells(HEADLINE, HEADLINE_CELLS)
+    batched = measure_chunk(cells, "auto", repeats=repeats)
+    scalar = measure_chunk(cells, "off", repeats=repeats)
+    headline = {
+        "config": dict(HEADLINE),
+        "cells": HEADLINE_CELLS,
+        "batched": batched,
+        "scalar": scalar,
+        "speedup": round(batched["cells_per_s"] / scalar["cells_per_s"], 2),
+    }
+    print(f"headline ({HEADLINE_CELLS} cells, n=64, k=32, random): "
+          f"{batched['cells_per_s']:,.0f} vs {scalar['cells_per_s']:,.0f} "
+          f"cells/s -> {headline['speedup']}x", flush=True)
+
+    return {
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "mode": "smoke" if smoke else "full",
+        "headline": headline,
+        "chunks": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: headline + one grid row, one repeat")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_engine.json"),
+                        help="JSON file to merge the batch section into")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero if the headline chunk's batched "
+                             "throughput is below this multiple of scalar "
+                             "(CI guard)")
+    args = parser.parse_args(argv)
+
+    if not numpy_available():
+        print("FAIL: NumPy unavailable; the batch path cannot be measured",
+              file=sys.stderr)
+        return 1
+
+    section = run(args.smoke)
+    out = Path(args.out)
+    results = json.loads(out.read_text()) if out.exists() else {
+        "benchmark": "engine-hotpath",
+        "python": platform.python_version(),
+    }
+    results["batch"] = section
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out} (batch section merged)")
+    if args.min_speedup is not None and \
+            section["headline"]["speedup"] < args.min_speedup:
+        print(f"FAIL: batch headline speedup "
+              f"{section['headline']['speedup']}x "
+              f"< required {args.min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

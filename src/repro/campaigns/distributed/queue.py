@@ -136,6 +136,8 @@ class QueueCounts:
     max_attempt: int
     failed: int = 0          # chunks parked after exhausting max_attempts
     cells_failed: int = 0    # cells inside parked chunks
+    batched_done: int = 0    # done chunks that ran through BatchCore
+    cells_batched: int = 0   # cells inside those batched chunks
 
     @property
     def chunks_total(self) -> int:
@@ -157,6 +159,17 @@ class WorkerInfo:
     last_seen: float
     cells_done: int
     chunks_done: int
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """Telemetry of one retired chunk (``campaign status`` per-chunk rows)."""
+
+    chunk_id: int
+    n_cells: int
+    done_at: float
+    batched: bool
+    cells_per_s: float | None
 
 
 class WorkQueue:
@@ -216,7 +229,7 @@ class WorkQueue:
         the inserts share one transaction, so concurrent enqueues
         serialise instead of racing each other into duplicates.
         """
-        from ..executor import default_chunk_size
+        from ..executor import _wants_batch, default_chunk_size
 
         cells = list(cells)
         for cell in cells:
@@ -242,7 +255,12 @@ class WorkQueue:
             seen.add(key)
             runnable.append((key, cell))
         if chunk_size is None:
-            chunk_size = default_chunk_size(len(runnable))
+            # Chunks sized to fill the vector width when every runnable
+            # cell qualifies for the batch path (wide chunks are what
+            # makes one lease one lockstep NumPy run).
+            batchable = bool(runnable) and all(
+                _wants_batch(cell, None) for _, cell in runnable)
+            chunk_size = default_chunk_size(len(runnable), batch=batchable)
         elif chunk_size < 1:
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {chunk_size}")
@@ -441,6 +459,9 @@ class WorkQueue:
     def complete(
         self, chunk_id: int, worker_id: str,
         records: Sequence[dict[str, Any]],
+        *,
+        batched: bool = False,
+        cells_per_s: float | None = None,
     ) -> None:
         """Append the chunk's records and retire it — one transaction.
 
@@ -448,6 +469,10 @@ class WorkQueue:
         stolen while the worker computed, :class:`LeaseLost` is raised
         and *nothing* is written — the thief's eventual ``complete``
         records the chunk instead.
+
+        ``batched``/``cells_per_s`` are pure telemetry stamped onto the
+        retired chunk row (``campaign status`` shows them); they never
+        touch the result records themselves.
         """
         now = self._clock()
         stamped = [dict(r, schema=SCHEMA_VERSION) for r in records]
@@ -464,8 +489,9 @@ class WorkQueue:
                     f"(holder: {holder[0] if holder else 'nobody'})")
             conn.executemany(INSERT_RESULT_SQL, rows)
             conn.execute(
-                "UPDATE chunks SET state = 'done', done_at = ? WHERE id = ?",
-                (now, chunk_id))
+                "UPDATE chunks SET state = 'done', done_at = ?, "
+                "batched = ?, cells_per_s = ? WHERE id = ?",
+                (now, 1 if batched else 0, cells_per_s, chunk_id))
             conn.execute("DELETE FROM leases WHERE chunk_id = ?", (chunk_id,))
             conn.execute(
                 "UPDATE workers SET cells_done = cells_done + ?, "
@@ -562,6 +588,10 @@ class WorkQueue:
             "SELECT COALESCE(MAX(l.attempt), 0) FROM leases l "
             "JOIN chunks c ON c.id = l.chunk_id WHERE c.campaign_key = ?",
             (self.campaign,)).fetchone()
+        batched_done, cells_batched = conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(n_cells), 0) FROM chunks "
+            "WHERE campaign_key = ? AND state = 'done' AND batched = 1",
+            (self.campaign,)).fetchone()
         pending = by_state.get("pending", (0, 0))
         leased = by_state.get("leased", (0, 0))
         done = by_state.get("done", (0, 0))
@@ -572,6 +602,7 @@ class WorkQueue:
             cells_pending=pending[1], cells_leased=leased[1],
             cells_done=done[1], max_attempt=max_attempt,
             failed=failed[0], cells_failed=failed[1],
+            batched_done=batched_done, cells_batched=cells_batched,
         )
 
     def workers(self) -> list[WorkerInfo]:
@@ -583,6 +614,18 @@ class WorkQueue:
                 "cells_done, chunks_done FROM workers "
                 "WHERE campaign_key = ? ORDER BY last_seen DESC, worker_id",
                 (self.campaign,))
+        ]
+
+    def recent_chunks(self, limit: int = 5) -> list[ChunkInfo]:
+        """The most recently retired chunks, newest first (status rows)."""
+        return [
+            ChunkInfo(chunk_id=row[0], n_cells=row[1], done_at=row[2],
+                      batched=bool(row[3]), cells_per_s=row[4])
+            for row in self.store.connection().execute(
+                "SELECT id, n_cells, done_at, batched, cells_per_s "
+                "FROM chunks WHERE campaign_key = ? AND state = 'done' "
+                "ORDER BY done_at DESC, id DESC LIMIT ?",
+                (self.campaign, limit))
         ]
 
     def completion_rate(self, window_s: float = 60.0) -> float | None:

@@ -30,6 +30,7 @@ from ..spec import CampaignSpec, CellConfig
 from ..stores import ResultStore, open_store
 from .queue import (
     DEFAULT_LEASE_TTL_S,
+    ChunkInfo,
     EnqueueReport,
     QueueCounts,
     WorkQueue,
@@ -74,6 +75,8 @@ class FleetStatus:
     #: False when no chunk (in any state) exists for the campaign — the
     #: store may hold pool-mode results, or the enqueue hasn't run yet.
     ever_enqueued: bool = True
+    #: The most recently retired chunks (batched flag + cells/s each).
+    recent_chunks: tuple[ChunkInfo, ...] = ()
 
 
 def fleet_status(
@@ -107,6 +110,7 @@ def fleet_status(
         lease_ttl_s=lease_ttl_s,
         finished=queue.finished(),
         ever_enqueued=queue.ever_enqueued(),
+        recent_chunks=tuple(queue.recent_chunks()),
     )
 
 
@@ -141,6 +145,17 @@ def render_status(status: FleetStatus, *, clock: Callable[[], float] = time.time
     lines.append(
         f"cells   : {status.cells_completed} done / "
         f"{c.cells_remaining} queued{errored}   {rate}   {eta}")
+    if c.batched_done:
+        lines.append(
+            f"batch   : {c.batched_done}/{c.done} done chunks vectorized "
+            f"({c.cells_batched} cells)")
+    for chunk in status.recent_chunks:
+        per_s = (f"{chunk.cells_per_s:.0f} cells/s"
+                 if chunk.cells_per_s else "rate n/a")
+        lines.append(
+            f"  chunk {chunk.chunk_id:<6} done {_age(now, chunk.done_at):<11} "
+            f"{chunk.n_cells} cells  "
+            f"batched={'true ' if chunk.batched else 'false'}  {per_s}")
     gone = len(status.workers) - status.alive
     lines.append(
         f"workers : {status.alive} alive"
@@ -195,7 +210,7 @@ def watch_status(
 # ---------------------------------------------------------------------------
 
 def _local_worker_main(store_uri: str, campaign: str, worker_id: str,
-                       lease_ttl_s: float) -> None:
+                       lease_ttl_s: float, batch: str | None = None) -> None:
     """Entry point of one spawned local worker process."""
     run_worker(
         store_uri,
@@ -203,6 +218,7 @@ def _local_worker_main(store_uri: str, campaign: str, worker_id: str,
         worker_id=worker_id,
         lease_ttl_s=lease_ttl_s,
         poll_s=0.2,
+        batch=batch,
     )
 
 
@@ -218,6 +234,7 @@ def run_distributed(
     progress: Callable[[int, int], None] | None = None,
     cells: Sequence[CellConfig] | None = None,
     poll_s: float = 0.25,
+    batch: str | None = None,
 ) -> CampaignRun:
     """Enqueue a spec, drain it with N local worker processes, summarise.
 
@@ -267,7 +284,7 @@ def run_distributed(
         proc = ctx.Process(
             target=_local_worker_main,
             args=(store.uri(), queue.campaign, f"local-{i}-{os.getpid()}",
-                  lease_ttl_s),
+                  lease_ttl_s, batch),
             daemon=True,
         )
         proc.start()

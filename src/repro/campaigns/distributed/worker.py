@@ -13,11 +13,13 @@ The loop per chunk:
    database connection that heartbeats the lease every quarter-TTL
    *while cells compute*, so a single cell slower than the TTL cannot
    get a healthy worker's chunk stolen;
-3. run each cell through the ordinary
-   :func:`~repro.campaigns.executor.execute_cell`, skipping cells whose
-   key already completed (protects against re-enqueues racing a finish);
-   a lost lease (the keeper's heartbeat came back ``False``) discards
-   the partial chunk — the thief records it;
+3. run the chunk through the ordinary
+   :func:`~repro.campaigns.executor.run_chunk` — eligible cells in one
+   vectorized :class:`~repro.core.batch.BatchCore` pass, the rest
+   scalar — skipping cells whose key already completed (protects
+   against re-enqueues racing a finish); a lost lease (the keeper's
+   heartbeat came back ``False``) discards the partial chunk — the
+   thief records it;
 4. :meth:`~repro.campaigns.distributed.queue.WorkQueue.complete` —
    records and chunk retirement commit atomically, or
    :class:`~repro.campaigns.distributed.queue.LeaseLost` discards.
@@ -38,7 +40,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..executor import execute_cell
+from .. import executor as executor_module
+from ..executor import run_chunk
 from ..spec import CellConfig
 from ..stores import ResultStore
 from .queue import (
@@ -106,13 +109,17 @@ class WorkerReport:
     cells_skipped: int = 0
     chunks_stolen: int = 0
     leases_lost: int = 0
+    cells_batched: int = 0
     elapsed_s: float = 0.0
 
     def summary(self) -> str:
+        batched = (f" batched={self.cells_batched}"
+                   if self.cells_batched else "")
         return (
             f"worker {self.worker_id}: chunks={self.chunks_done} "
             f"cells={self.cells_done} failed={self.cells_failed} "
-            f"skipped={self.cells_skipped} stolen={self.chunks_stolen} "
+            f"skipped={self.cells_skipped}{batched} "
+            f"stolen={self.chunks_stolen} "
             f"leases-lost={self.leases_lost} in {self.elapsed_s:.1f}s"
         )
 
@@ -128,6 +135,7 @@ def run_worker(
     max_chunks: int | None = None,
     progress: Callable[[str], None] | None = None,
     clock: Callable[[], float] = time.time,
+    batch: str | None = None,
 ) -> WorkerReport:
     """Drain one campaign's work queue until it is finished.
 
@@ -140,7 +148,11 @@ def run_worker(
     key, so they are applied at enqueue time (``campaign enqueue
     --debug-invariants`` / ``run_distributed``), never per worker: a
     worker re-keying cells would record them under keys the queue's
-    dedupe and the fleet's resume logic cannot see.
+    dedupe and the fleet's resume logic cannot see.  ``batch`` is safe
+    per worker precisely because it is *not* configuration: routing
+    through :class:`~repro.core.batch.BatchCore` changes neither keys
+    nor records, so a mixed fleet (some hosts without NumPy) stays
+    coherent.
     """
     queue = WorkQueue(
         store, campaign=campaign, lease_ttl_s=lease_ttl_s,
@@ -182,23 +194,31 @@ def run_worker(
         queue.store.invalidate_caches()
         done_keys = queue.store.completed_keys()
         records: list[dict[str, Any]] = []
+        n_batched = 0
         skipped = 0
         try:
+            chunk_started = time.perf_counter()
             with LeaseKeeper(queue, claim.chunk_id, worker_id) as keeper:
+                todo: list[CellConfig] = []
                 for cell_dict in claim.cells:
-                    if keeper.lost.is_set():
-                        break
                     cell = CellConfig.from_dict(cell_dict)
                     if cell.key() in done_keys:
                         skipped += 1
                     else:
-                        records.append(execute_cell(cell))
+                        todo.append(cell)
+                records, n_batched = run_chunk(
+                    todo, batch=batch, abort=keeper.lost.is_set)
+            chunk_elapsed = time.perf_counter() - chunk_started
             if keeper.lost.is_set():
                 report.leases_lost += 1
                 say(f"chunk {claim.chunk_id}: lease lost mid-chunk; discarding")
                 continue
+            cells_per_s = (len(records) / chunk_elapsed
+                           if records and chunk_elapsed > 0 else None)
             try:
-                queue.complete(claim.chunk_id, worker_id, records)
+                queue.complete(
+                    claim.chunk_id, worker_id, records,
+                    batched=n_batched > 0, cells_per_s=cells_per_s)
             except LeaseLost:
                 report.leases_lost += 1
                 say(f"chunk {claim.chunk_id}: lease lost at completion; "
@@ -216,7 +236,10 @@ def run_worker(
         report.cells_done += len(records)
         report.cells_failed += sum(1 for r in records if "error" in r)
         report.cells_skipped += skipped
-        say(f"chunk {claim.chunk_id}: done ({len(records)} cells)")
+        report.cells_batched += n_batched
+        rate = (f", {cells_per_s:.0f} cells/s" if cells_per_s else "")
+        say(f"chunk {claim.chunk_id}: done ({len(records)} cells"
+            + (f", {n_batched} batched" if n_batched else "") + rate + ")")
 
     report.elapsed_s = clock() - started
     return report

@@ -20,16 +20,27 @@ whole execution onto that queue.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
+from ..core.batch import (
+    BATCH_WIDTH,
+    batch_eligible,
+    batch_ineligible_reason,
+    numpy_available,
+    run_batch_cells,
+)
 from ..core.errors import ConfigurationError
 from .aggregate import metrics_from_result
 from .registry import build_cell_engine, validate_cell
 from .spec import CampaignSpec, CellConfig
 from .stores import ResultStore, open_store
+
+#: Valid values of the execution-routing switch (CLI ``--batch``).
+BATCH_MODES = ("auto", "on", "off")
 
 
 def execute_cell(cell: CellConfig) -> dict[str, Any]:
@@ -64,9 +75,82 @@ def execute_cell(cell: CellConfig) -> dict[str, Any]:
         }
 
 
-def _run_chunk(payload: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
-    """Worker entry point: run a chunk of serialised cells."""
-    return [execute_cell(CellConfig.from_dict(d)) for d in payload]
+def _effective_batch(cell: CellConfig, override: str | None) -> str:
+    """The routing mode one cell runs under: CLI override beats the cell."""
+    if override is not None:
+        return override
+    return getattr(cell, "batch", "auto")
+
+
+def _wants_batch(cell: CellConfig, override: str | None) -> bool:
+    """True when routing *and* eligibility say this cell may batch."""
+    return (_effective_batch(cell, override) != "off"
+            and numpy_available()
+            and batch_eligible(cell))
+
+
+def run_chunk(
+    cells: Sequence[CellConfig],
+    *,
+    batch: str | None = None,
+    abort: Callable[[], bool] | None = None,
+) -> tuple[list[dict[str, Any]], int]:
+    """Run one chunk of cells, batching the eligible ones in lockstep.
+
+    The single routing point shared by the serial path, the pool workers
+    and the distributed worker: eligible cells (shared predicate
+    :func:`~repro.core.batch.batch_eligible`, honouring the ``batch``
+    override / per-cell ``batch`` field) run through
+    :class:`~repro.core.batch.BatchCore`; the rest fall back to
+    :func:`execute_cell` one by one.  Records come back in input order
+    with the exact schema the scalar path appends, so stores cannot tell
+    the paths apart.  Returns ``(records, batched)`` where ``batched``
+    counts cells that actually took the vector path.
+
+    ``abort`` (polled between scalar cells) lets a lease-losing worker
+    stop early; already-produced records are returned for the caller to
+    discard or keep.
+    """
+    if batch is not None and batch not in BATCH_MODES:
+        raise ConfigurationError(
+            f"batch must be one of {BATCH_MODES}, got {batch!r}")
+    records: list[dict[str, Any] | None] = [None] * len(cells)
+    eligible = [(i, c) for i, c in enumerate(cells) if _wants_batch(c, batch)]
+    batched = 0
+    if eligible:
+        start = time.perf_counter()
+        try:
+            results = run_batch_cells([c for _, c in eligible])
+        except Exception:
+            # Defensive only: the batch path is differentially proven, but
+            # a routing bug must degrade to the scalar path, never lose
+            # cells.  (The bench guard catches a silent always-fallback.)
+            results = None
+        if results is not None:
+            per_cell = round(
+                (time.perf_counter() - start) / len(eligible), 6)
+            for (i, cell), result in zip(eligible, results):
+                records[i] = {
+                    "key": cell.key(),
+                    "config": cell.to_dict(),
+                    "metrics": metrics_from_result(result),
+                    "elapsed_s": per_cell,
+                }
+            batched = len(eligible)
+    for i, cell in enumerate(cells):
+        if records[i] is not None:
+            continue
+        if abort is not None and abort():
+            break
+        records[i] = execute_cell(cell)
+    return [r for r in records if r is not None], batched
+
+
+def _run_chunk(
+    payload: Sequence[dict[str, Any]], batch: str | None = None
+) -> tuple[list[dict[str, Any]], int]:
+    """Pool-worker entry point: run a chunk of serialised cells."""
+    return run_chunk([CellConfig.from_dict(d) for d in payload], batch=batch)
 
 
 @dataclass
@@ -79,18 +163,30 @@ class CampaignRun:
     failed: int
     elapsed_s: float
     workers: int
+    #: Cells that took the vectorized BatchCore path (0 on scalar runs).
+    batched: int = 0
     records: list[dict[str, Any]] = field(default_factory=list, repr=False)
 
     def summary(self) -> str:
+        batched = f" batched={self.batched}" if self.batched else ""
         return (
             f"cells={self.total} skipped={self.skipped} executed={self.executed} "
-            f"failed={self.failed} workers={self.workers} in {self.elapsed_s:.1f}s"
+            f"failed={self.failed}{batched} workers={self.workers} "
+            f"in {self.elapsed_s:.1f}s"
         )
 
 
-def default_chunk_size(pending: int, workers: int | None = None) -> int:
+def default_chunk_size(
+    pending: int, workers: int | None = None, *, batch: bool = False
+) -> int:
     """Cells per work unit: ~4 chunks per worker balances scheduling slack
     against IPC, capped at 25 so a straggler chunk never dominates.
+
+    With ``batch=True`` (every pending cell qualifies for the vector
+    path) the cap rises to :data:`~repro.core.batch.BATCH_WIDTH` and the
+    target becomes one chunk per worker: a batched chunk is a single
+    lockstep NumPy run, so wide chunks amortise the per-chunk setup and
+    fill the vector width instead of slicing it into 25-cell slivers.
 
     Shared with the distributed queue (where the eventual fleet size is
     unknown at enqueue time and this host's CPU count stands in — small
@@ -98,12 +194,39 @@ def default_chunk_size(pending: int, workers: int | None = None) -> int:
     """
     if workers is None:
         workers = multiprocessing.cpu_count()
+    if batch:
+        return max(1, min(BATCH_WIDTH, -(-pending // workers)))
     return max(1, min(25, -(-pending // (workers * 4))))
 
 
 def chunk_cells(items: Sequence[Any], size: int) -> list[list[Any]]:
     """Split a work list into chunks of at most ``size`` items."""
     return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def _serial_groups(
+    cells: Sequence[CellConfig], batch: str | None
+) -> Iterable[list[CellConfig]]:
+    """Group a serial run's cells for :func:`run_chunk`.
+
+    Runs of batch-bound cells coalesce (up to the vector width) so the
+    serial path vectorizes too; scalar cells stay singletons, preserving
+    the per-cell progress granularity serial runs always had.
+    """
+    group: list[CellConfig] = []
+    for cell in cells:
+        if _wants_batch(cell, batch):
+            group.append(cell)
+            if len(group) >= BATCH_WIDTH:
+                yield group
+                group = []
+        else:
+            if group:
+                yield group
+                group = []
+            yield [cell]
+    if group:
+        yield group
 
 
 def run_cells(
@@ -115,8 +238,16 @@ def run_cells(
     progress: Callable[[int, int], None] | None = None,
     debug_invariants: bool | None = None,
     retry_failed: bool = False,
+    batch: str | None = None,
 ) -> CampaignRun:
     """Execute every cell not already attempted; return what happened.
+
+    ``batch`` overrides every cell's own ``batch`` field for this run:
+    ``"auto"`` routes eligible cells through the vectorized
+    :class:`~repro.core.batch.BatchCore` (scalar fallback otherwise),
+    ``"off"`` forces the scalar path, ``"on"`` demands the vector path
+    and refuses up front if NumPy is missing or any cell is ineligible.
+    Routing never changes store keys or record contents.
 
     ``workers=None`` uses every CPU; ``workers<=1`` runs serially in-process
     (same records, useful under debuggers and in tests).  Results stream
@@ -138,6 +269,22 @@ def run_cells(
         cells = [replace(c, debug_invariants=debug_invariants) for c in cells]
     for cell in cells:
         validate_cell(cell)
+    if batch is not None and batch not in BATCH_MODES:
+        raise ConfigurationError(
+            f"batch must be one of {BATCH_MODES}, got {batch!r}")
+    if batch == "on":
+        if not numpy_available():
+            raise ConfigurationError(
+                "--batch on requires NumPy, which is not importable here; "
+                "use --batch auto for a scalar fallback")
+        ineligible = [(c, batch_ineligible_reason(c)) for c in cells]
+        ineligible = [(c, r) for c, r in ineligible if r is not None]
+        if ineligible:
+            cell, reason = ineligible[0]
+            raise ConfigurationError(
+                f"--batch on: {len(ineligible)} cell(s) are not "
+                f"batch-eligible (first: {reason}); use --batch auto to "
+                "run them through the scalar core")
     start = time.perf_counter()
     skip = set(store.completed_keys())
     if not retry_failed:
@@ -165,6 +312,7 @@ def run_cells(
 
     records: list[dict[str, Any]] = []
     completed = 0
+    batched = 0
 
     def consume(chunk_records: list[dict[str, Any]]) -> None:
         nonlocal completed
@@ -174,18 +322,25 @@ def run_cells(
         if progress is not None:
             progress(completed, len(pending))
 
+    all_batchable = bool(pending) and all(
+        _wants_batch(c, batch) for c in pending)
     if workers <= 1 or len(pending) <= 1:
         workers = 1
-        for cell in pending:
-            consume([execute_cell(cell)])
+        for group in _serial_groups(pending, batch):
+            chunk_records, n_batched = run_chunk(group, batch=batch)
+            batched += n_batched
+            consume(chunk_records)
     else:
         if chunk_size is None:
-            chunk_size = default_chunk_size(len(pending), workers)
+            chunk_size = default_chunk_size(
+                len(pending), workers, batch=all_batchable)
         chunks = chunk_cells([c.to_dict() for c in pending], chunk_size)
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        runner = functools.partial(_run_chunk, batch=batch)
         with ctx.Pool(processes=workers) as pool:
-            for chunk_records in pool.imap_unordered(_run_chunk, chunks):
+            for chunk_records, n_batched in pool.imap_unordered(runner, chunks):
+                batched += n_batched
                 consume(chunk_records)
 
     failed = sum(1 for r in records if "error" in r)
@@ -196,6 +351,7 @@ def run_cells(
         failed=failed,
         elapsed_s=time.perf_counter() - start,
         workers=workers,
+        batched=batched,
         records=records,
     )
 
@@ -211,6 +367,7 @@ def run_campaign(
     retry_failed: bool = False,
     distributed: bool = False,
     lease_ttl_s: float | None = None,
+    batch: str | None = None,
 ) -> CampaignRun:
     """Expand a spec and execute it against a store (URI, path or instance).
 
@@ -236,10 +393,12 @@ def run_campaign(
             retry_failed=retry_failed,
             debug_invariants=debug_invariants,
             progress=progress,
+            batch=batch,
         )
     store = open_store(store, campaign=spec.name)
     return run_cells(
         spec.cells(), store,
         workers=workers, chunk_size=chunk_size, progress=progress,
         debug_invariants=debug_invariants, retry_failed=retry_failed,
+        batch=batch,
     )

@@ -323,6 +323,33 @@ def smoke() -> CampaignSpec:
     )
 
 
+def batch_smoke() -> CampaignSpec:
+    """A <60s CI campaign in which *every* cell is batch-eligible.
+
+    The CI batch lane runs this twice — ``--batch auto`` and
+    ``--batch off`` — and diffs the stores byte for byte: the vector
+    path must be invisible in everything persisted.  Mixed chunk
+    routing is covered by the ``smoke`` preset (its PT/ET variants stay
+    scalar under ``--batch auto``).
+    """
+    return CampaignSpec(
+        name="batch-smoke",
+        description="All-eligible sweep for the batched-vs-scalar CI diff.",
+        base={"adversary": "random", "transport": "ns"},
+        grid={"seed": [0, 1, 2, 3], "ring_size": [8, 12, 16]},
+        variants=[
+            {"label": "batch-known-bound", "algorithm": "known-bound",
+             "horizon": "known_bound_time(N) + 5",
+             "placement": "offset-spread"},
+            {"label": "batch-known-bound-k4", "algorithm": "known-bound",
+             "agents": 4, "horizon": "known_bound_time(N) + 5"},
+            {"label": "batch-unconscious", "algorithm": "unconscious",
+             "horizon": "100 * n", "stop_on_exploration": True,
+             "placement": "offset-spread"},
+        ],
+    )
+
+
 #: name -> spec factory; ``python -m repro campaign list`` prints these.
 SPECS: dict[str, Callable[[], CampaignSpec]] = {
     "table2-fsync": table2_fsync,
@@ -333,6 +360,7 @@ SPECS: dict[str, Callable[[], CampaignSpec]] = {
     "topologies": topologies,
     "topologies-smoke": topologies_smoke,
     "smoke": smoke,
+    "batch-smoke": batch_smoke,
 }
 
 DEFAULT_SPEC = "paper-tables"

@@ -178,6 +178,11 @@ class CellConfig:
     adversary_arg: int | None = None
     stop_on_exploration: bool = False
     debug_invariants: bool = False
+    #: Execution routing preference — ``auto`` (batch when eligible),
+    #: ``on`` (require the batch path) or ``off`` (always scalar).  Like
+    #: ``label`` this never enters :meth:`key`: both paths are proven to
+    #: produce identical records, so routing must not fork store keys.
+    batch: str = "auto"
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -190,6 +195,9 @@ class CellConfig:
             raise ConfigurationError(f"agents must be >= 1, got {self.agents}")
         if self.max_rounds < 1:
             raise ConfigurationError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.batch not in ("auto", "on", "off"):
+            raise ConfigurationError(
+                f"batch must be 'auto', 'on' or 'off', got {self.batch!r}")
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-able, round-trips via :meth:`from_dict`)."""
@@ -220,13 +228,16 @@ class CellConfig:
         The hash covers every *simulation-affecting* field via canonical
         JSON — any change to the cell (a new seed, a different horizon)
         yields a fresh key, while re-expanding the same spec reproduces
-        the same keys across runs and processes.  ``label`` is excluded:
-        it is an aggregation tag, so renaming a variant must not
-        invalidate its cached results.  Fields grown after the first
+        the same keys across runs and processes.  ``label`` is excluded
+        (an aggregation tag: renaming a variant must not invalidate its
+        cached results), and so is ``batch`` (a routing preference: the
+        batch and scalar paths are proven record-identical, so switching
+        them must resume, not re-run).  Fields grown after the first
         release (:data:`_KEY_EXCLUDED_DEFAULTS`) are excluded while at
         their default, so stores written by older versions still resume.
         """
-        fields_for_hash = {k: v for k, v in self.to_dict().items() if k != "label"}
+        fields_for_hash = {k: v for k, v in self.to_dict().items()
+                           if k not in ("label", "batch")}
         for name, default in _KEY_EXCLUDED_DEFAULTS.items():
             if fields_for_hash.get(name) == default:
                 del fields_for_hash[name]

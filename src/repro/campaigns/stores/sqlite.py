@@ -100,7 +100,9 @@ CREATE TABLE IF NOT EXISTS chunks (
     cell_keys    TEXT NOT NULL,
     n_cells      INTEGER NOT NULL,
     created_at   REAL NOT NULL,
-    done_at      REAL
+    done_at      REAL,
+    batched      INTEGER NOT NULL DEFAULT 0,
+    cells_per_s  REAL
 );
 CREATE INDEX IF NOT EXISTS ix_chunks_state ON chunks (campaign_key, state);
 CREATE TABLE IF NOT EXISTS leases (
@@ -121,6 +123,23 @@ CREATE TABLE IF NOT EXISTS workers (
     chunks_done  INTEGER NOT NULL DEFAULT 0
 );
 """
+
+def _migrate_chunk_telemetry(conn: sqlite3.Connection) -> None:
+    """Grow ``chunks`` columns added after the first queue release.
+
+    ``batched``/``cells_per_s`` (per-chunk execution telemetry for
+    ``campaign status``) arrived with the vectorized batch core; stores
+    created earlier lack the columns, and ``CREATE TABLE IF NOT EXISTS``
+    will not add them — so additive ``ALTER TABLE`` here keeps old
+    databases resumable without a rewrite.
+    """
+    have = {row[1] for row in conn.execute("PRAGMA table_info(chunks)")}
+    if "batched" not in have:
+        conn.execute(
+            "ALTER TABLE chunks ADD COLUMN batched INTEGER NOT NULL DEFAULT 0")
+    if "cells_per_s" not in have:
+        conn.execute("ALTER TABLE chunks ADD COLUMN cells_per_s REAL")
+
 
 #: INSERT statement matching :func:`result_rows` (shared with the queue's
 #: lease-completion transaction).
@@ -179,6 +198,7 @@ class SqliteStore(ResultStore):
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.executescript(_SCHEMA)
             conn.executescript(_QUEUE_SCHEMA)
+            _migrate_chunk_telemetry(conn)
             conn.commit()
             self._conn = conn
             self._pid = pid

@@ -30,6 +30,12 @@ Commands:
   * ``campaign export`` — dump a store as a columnar file (CSV/Parquet);
   * ``campaign list``   — list the named campaign specs.
 
+``--batch {auto,on,off}`` (on ``run``/``resume``/``worker``) routes
+eligible cells — ring/NS/FSYNC under an oblivious adversary — through
+the vectorized batch executor (:mod:`repro.core.batch`); it is pure
+execution routing, never cell identity: store keys, records and reports
+are byte-identical to the scalar path.
+
 ``--store`` accepts a backend URI everywhere: ``sqlite:results/t2.db``
 selects the concurrent, indexed SQLite backend, ``jsonl:`` (or a bare
 path) the append-only JSONL default.  The distributed verbs need the
@@ -143,6 +149,12 @@ def make_parser() -> argparse.ArgumentParser:
                        help="distributed lease time-to-live in seconds: a "
                             "worker silent this long is presumed dead and "
                             "its chunk is stolen (default: 30)")
+        p.add_argument("--batch", choices=("auto", "on", "off"), default=None,
+                       help="vectorized batch execution: auto routes "
+                            "eligible cells through the lockstep NumPy core "
+                            "(scalar fallback otherwise), on requires it, "
+                            "off forces the scalar path; never changes "
+                            "results or store keys (default: auto)")
 
     p = csub.add_parser(
         "enqueue",
@@ -188,6 +200,10 @@ def make_parser() -> argparse.ArgumentParser:
                         "(default: 5; poison-chunk protection)")
     p.add_argument("--worker-id", default=None,
                    help="fleet-unique identity (default: <host>-<pid>)")
+    p.add_argument("--batch", choices=("auto", "on", "off"), default=None,
+                   help="vectorized batch execution for claimed chunks "
+                        "(default: auto; routing never changes results, so "
+                        "a mixed fleet is fine)")
 
     p = csub.add_parser(
         "status", help="live fleet telemetry for a distributed campaign")
@@ -336,6 +352,7 @@ def campaign_main(args) -> int:
                 **({"max_attempts": args.max_attempts}
                    if args.max_attempts is not None else {}),
                 progress=lambda line: print(line, file=sys.stderr),
+                batch=args.batch,
             )
         except KeyboardInterrupt:
             # run_worker released any held chunk on the way out.
@@ -453,13 +470,14 @@ def campaign_main(args) -> int:
             workers=args.workers, chunk_size=args.chunk_size,
             lease_ttl_s=_lease_ttl(args), retry_failed=args.retry_failed,
             debug_invariants=debug, progress=_progress,
+            batch=args.batch,
         )
     else:
         run = run_cells(
             cells, store,
             workers=args.workers, chunk_size=args.chunk_size,
             progress=_progress, debug_invariants=debug,
-            retry_failed=args.retry_failed,
+            retry_failed=args.retry_failed, batch=args.batch,
         )
     print(run.summary())
     if not args.no_report:

@@ -1,0 +1,638 @@
+"""Lockstep batch execution: many ring cells as one NumPy program.
+
+``BENCH_engine.json`` shows the scalar round loop is bound by the
+per-agent Python work itself once the occupancy index made each step
+O(1): throughput per *cell* falls roughly linearly with agent count.
+Campaign chunks, however, are hundreds of cells that differ only along
+the seed / adversary-arg / ring-size axes — same algorithm, same agent
+count, same round structure.  :class:`BatchCore` exploits that shape by
+executing a whole chunk in lockstep: agent positions, ports, phases and
+counters become ``(cells, agents)`` integer/bool arrays, the adversary's
+edge removals a per-cell vector, and every FSYNC round a fixed sequence
+of whole-array Look/Compute/Move operations.  Cells that halt simply
+leave the active mask; the survivors keep stepping.
+
+Eligibility — the single predicate shared by the executor, the
+distributed worker and the test suite (:func:`batch_eligible`) — is
+deliberately narrow:
+
+* ring topology, NS transport, FSYNC activation (``scheduler`` "auto"
+  resolves to FSYNC for every eligible adversary): one global round
+  counter drives every cell, which is what makes lockstep valid;
+* a *deterministic FSYNC algorithm* with a vectorized kernel here
+  (``known-bound``, ``unconscious``);
+* a *non-peeking* adversary (``none``/``fixed``/``periodic``/``random``):
+  its edge choice is a function of the round number and its own RNG.
+  Peeking adversaries call ``peek_intended_action`` — a per-agent
+  speculative Compute against a cloned memory — which has no array form;
+  they (and every SSYNC scheduler, whose activation sets desynchronise
+  the cells) stay on the scalar core.
+
+Equivalence with :class:`~repro.core.sim.SimulationCore` is not argued,
+it is tested: ``tests/core/test_batch_equivalence.py`` drives both paths
+over a differential grid plus Hypothesis-generated batches and asserts
+cell-by-cell result *and* per-round state equality, and the golden ring
+traces replay through this core too.
+
+NumPy is a declared dependency but its absence only disables batching:
+:data:`HAVE_NUMPY` gates the routing (``REPRO_NO_NUMPY=1`` forces the
+scalar path, which is also how CI tests the fallback).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import TYPE_CHECKING, Sequence
+
+from .errors import ConfigurationError
+from .results import AgentStats, RunResult
+from .sim import MAX_ROUNDS_LIMIT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..campaigns.spec import CellConfig
+
+try:  # pragma: no cover - exercised via REPRO_NO_NUMPY in CI
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+#: Whether the batch path is available in this process.  Module-level so
+#: tests can monkeypatch it; consult :func:`numpy_available` from other
+#: modules (it reads this attribute dynamically).
+HAVE_NUMPY = _np is not None and os.environ.get("REPRO_NO_NUMPY", "") != "1"
+
+#: Preferred number of cells per lockstep batch — also the chunk-size cap
+#: :func:`repro.campaigns.executor.default_chunk_size` uses when every
+#: pending cell qualifies (fill the vector width instead of 25-cell IPC
+#: chunks).
+BATCH_WIDTH = 256
+
+#: Algorithms with a vectorized Compute kernel below.
+BATCH_ALGORITHMS = frozenset({"known-bound", "unconscious"})
+
+#: Adversaries whose edge choice is a function of (round, own RNG) only.
+BATCH_ADVERSARIES = frozenset({"none", "fixed", "periodic", "random"})
+
+#: Cap on the pairwise occupancy tensor (cells * agents^2 bools) and the
+#: visited bitmap (cells * max ring size) per batch; bigger groups are
+#: split by :func:`run_batch_cells`.
+_MAX_PAIRWISE = 1 << 22
+_MAX_VISITED = 1 << 26
+
+
+def numpy_available() -> bool:
+    """Dynamic read of :data:`HAVE_NUMPY` (monkeypatch-friendly)."""
+    return HAVE_NUMPY
+
+
+def batch_ineligible_reason(cell: "CellConfig") -> str | None:
+    """Why ``cell`` must run on the scalar core (``None`` = batchable).
+
+    The contract: for an eligible cell, :class:`BatchCore` produces the
+    exact :class:`~repro.core.results.RunResult` the scalar engine would.
+    Configurations the scalar path *rejects* (bad bound, out-of-range
+    fixed edge, invalid flip vector...) are therefore ineligible too, so
+    the fallback path reproduces the identical error record.
+    """
+    if cell.topology != "ring":
+        return f"topology {cell.topology!r} is not the ring"
+    if cell.algorithm not in BATCH_ALGORITHMS:
+        return f"algorithm {cell.algorithm!r} has no vectorized kernel"
+    if cell.adversary not in BATCH_ADVERSARIES:
+        return f"adversary {cell.adversary!r} peeks or schedules"
+    if cell.transport != "ns":
+        return f"transport {cell.transport!r} is not NS"
+    if cell.scheduler not in ("auto", "fsync"):
+        return f"scheduler {cell.scheduler!r} is not FSYNC"
+    if cell.landmark is not None:
+        return "landmark cells track LExplore observations"
+    if cell.debug_invariants:
+        return "per-round invariant audit requested"
+    if not 0 < cell.max_rounds <= MAX_ROUNDS_LIMIT:
+        return f"max_rounds {cell.max_rounds} outside (0, {MAX_ROUNDS_LIMIT}]"
+    if cell.algorithm == "known-bound" and cell.bound is not None and cell.bound < 3:
+        return f"bound {cell.bound} < 3 (scalar path rejects it)"
+    if cell.adversary in ("fixed", "periodic") and not 0 <= cell.edge < cell.ring_size:
+        return f"edge {cell.edge} outside ring of size {cell.ring_size}"
+    if cell.chirality and cell.flipped:
+        return "chirality with flipped agents (scalar path rejects it)"
+    if any(not 0 <= i < cell.agents for i in cell.flipped):
+        return "flipped index out of range (scalar path rejects it)"
+    if cell.placement == "explicit":
+        if cell.positions is None:
+            return "explicit placement without positions (scalar path rejects it)"
+    else:
+        if cell.positions is not None:
+            return "positions given for a non-explicit placement"
+        if cell.placement not in ("spread", "offset-spread", "thirds", "origin"):
+            return f"unknown placement {cell.placement!r}"
+    return None
+
+
+def batch_eligible(cell: "CellConfig") -> bool:
+    """Can ``cell`` run on :class:`BatchCore`? (shared routing predicate)"""
+    return batch_ineligible_reason(cell) is None
+
+
+_ADV_CODE = {"none": 0, "fixed": 1, "periodic": 2, "random": 3}
+
+# State codes.  known-bound: Init/Bounce/Forward (Terminate is an action,
+# not a resident state).  unconscious: Init/Reverse/Keep/Bounce/Forward.
+_INIT, _BOUNCE_KB, _FORWARD_KB = 0, 1, 2
+_REVERSE, _KEEP, _BOUNCE_UN, _FORWARD_UN = 1, 2, 3, 4
+
+
+class BatchCore:
+    """Lockstep execution of same-shape eligible cells.
+
+    Array layout (``C`` cells x ``K`` agents, all int64/bool):
+
+    ======================  =====================================================
+    ``pos[C,K]``            agent node
+    ``on_port``/``port``    standing on a port / its global sign (+1 toward
+                            ``v+1``); ``port`` is meaningful only under
+                            ``on_port``
+    ``left[C,K]``           the global sign each agent labels *left*
+                            (-1 canonical, +1 mirrored)
+    ``term``/``term_round`` terminated flag / round of termination (-1 = never)
+    counters                ``Ttime Tsteps Etime Esteps Btime net min_net
+                            max_net`` plus ``moved``/``failed`` — exactly
+                            :class:`~repro.core.memory.AgentMemory`'s slots
+    ``state[C,K]``          the state-machine state; per-algorithm extras
+                            (``bound[C]`` for known-bound; ``G``/``ldir``/
+                            ``fwd[C,K]`` for unconscious)
+    ``visited[C,n_max]``    visited bitmap + ``visited_count``/``explo_round``
+    ``running[C]``          cells still stepping; halted cells freeze
+    ======================  =====================================================
+
+    Each :meth:`advance` replays one scalar round exactly — adversary
+    choice, FSYNC Look (pairwise same-node occupancy tensors), the
+    vectorized Compute kernel (state transitions with the driver's
+    entered-state timing), port mutual exclusion (denial = port held at
+    round start, winner = lowest index, ``Btime`` reset for every
+    requester), the Move phase and the end-of-round tick — preceded by
+    the scalar ``run()`` stop-condition check in its exact priority
+    order (all-terminated > explored > horizon).
+    """
+
+    def __init__(self, cells: Sequence["CellConfig"]) -> None:
+        if not HAVE_NUMPY:
+            raise ConfigurationError("BatchCore requires numpy (HAVE_NUMPY is false)")
+        if not cells:
+            raise ConfigurationError("BatchCore needs at least one cell")
+        algorithms = {c.algorithm for c in cells}
+        agent_counts = {c.agents for c in cells}
+        if len(algorithms) != 1 or len(agent_counts) != 1:
+            raise ConfigurationError(
+                "a BatchCore batch must share one algorithm and agent count "
+                f"(got {sorted(algorithms)} x {sorted(agent_counts)}); "
+                "run_batch_cells groups heterogeneous batches")
+        for cell in cells:
+            reason = batch_ineligible_reason(cell)
+            if reason is not None:
+                raise ConfigurationError(f"cell is not batch-eligible: {reason}")
+        from ..campaigns.spec import resolve_positions  # late: spec is import-light
+
+        np = _np
+        self.cells = list(cells)
+        C = len(cells)
+        K = cells[0].agents
+        self._C, self._K = C, K
+        self.algorithm = cells[0].algorithm
+
+        self.n = np.array([c.ring_size for c in cells], dtype=np.int64)
+        self.max_rounds = np.array([c.max_rounds for c in cells], dtype=np.int64)
+        self.stop_expl = np.array(
+            [c.stop_on_exploration for c in cells], dtype=bool)
+
+        pos = np.empty((C, K), dtype=np.int64)
+        left = np.empty((C, K), dtype=np.int64)
+        for ci, cell in enumerate(cells):
+            placed = resolve_positions(
+                cell.placement,
+                ring_size=cell.ring_size,
+                agents=K,
+                positions=cell.positions if cell.placement == "explicit" else None,
+            )
+            pos[ci] = [p % cell.ring_size for p in placed]
+            if cell.chirality:
+                left[ci] = -1
+            else:
+                flipped = set(cell.flipped)
+                left[ci] = [1 if i in flipped else -1 for i in range(K)]
+        self.pos = pos
+        self.left = left
+
+        def zeros(dtype):
+            return np.zeros((C, K), dtype=dtype)
+
+        self.on_port = zeros(bool)
+        self.port = zeros(np.int64)
+        self.term = zeros(bool)
+        self.term_round = np.full((C, K), -1, dtype=np.int64)
+        self.Ttime = zeros(np.int64)
+        self.Tsteps = zeros(np.int64)
+        self.Etime = zeros(np.int64)
+        self.Esteps = zeros(np.int64)
+        self.Btime = zeros(np.int64)
+        self.net = zeros(np.int64)
+        self.min_net = zeros(np.int64)
+        self.max_net = zeros(np.int64)
+        self.moved = zeros(bool)
+        self.failed = zeros(bool)
+
+        self.state = zeros(np.int64)
+        if self.algorithm == "known-bound":
+            self.bound = np.array(
+                [c.bound if c.bound is not None else c.ring_size for c in cells],
+                dtype=np.int64)
+        else:
+            self.G = np.full((C, K), 2, dtype=np.int64)
+            self.ldir = np.full((C, K), -1, dtype=np.int64)  # local sign; LEFT=-1
+            self.fwd = zeros(np.int64)
+
+        self.adv = np.array([_ADV_CODE[c.adversary] for c in cells], dtype=np.int64)
+        self.adv_edge = np.array([c.edge for c in cells], dtype=np.int64)
+        self._rngs = [
+            random.Random(c.seed) if c.adversary == "random" else None
+            for c in cells
+        ]
+
+        self._n_max = int(self.n.max())
+        self.visited = np.zeros((C, self._n_max), dtype=bool)
+        self.visited[np.repeat(np.arange(C), K), pos.ravel()] = True
+        self.visited_count = self.visited.sum(axis=1).astype(np.int64)
+        self.explo_round = np.where(
+            self.visited_count >= self.n, 0, -1).astype(np.int64)
+
+        self.round_no = np.zeros(C, dtype=np.int64)
+        self.running = np.ones(C, dtype=bool)
+        self.halted: list[str | None] = [None] * C
+        self._t = 0
+        self._tril = np.tril(np.ones((K, K), dtype=bool), -1)  # [i,j]: j < i
+        self._eye = np.eye(K, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # the lockstep loop
+    # ------------------------------------------------------------------
+
+    def advance(self) -> bool:
+        """Halt-check every running cell, then execute one lockstep round.
+
+        Returns ``False`` once every cell has halted.  The halt check
+        mirrors ``SimulationCore.run`` exactly: conditions are evaluated
+        *before* each step, in the order all-terminated > explored >
+        horizon, so round counts and halt reasons match the scalar path.
+        """
+        np = _np
+        running = self.running
+        if not running.any():
+            return False
+        all_term = self.term.all(axis=1)
+        explored_stop = self.stop_expl & (self.visited_count >= self.n)
+        halt_term = running & all_term
+        halt_expl = running & ~all_term & explored_stop
+        halt_hor = (running & ~all_term & ~explored_stop
+                    & (self.round_no >= self.max_rounds))
+        for ci in np.nonzero(halt_term)[0]:
+            self.halted[ci] = "all-terminated"
+        for ci in np.nonzero(halt_expl)[0]:
+            self.halted[ci] = "explored"
+        for ci in np.nonzero(halt_hor)[0]:
+            self.halted[ci] = "horizon"
+        running &= ~(halt_term | halt_expl | halt_hor)
+        if not running.any():
+            return False
+        self._step(running)
+        self.round_no[running] += 1
+        self._t += 1
+        return True
+
+    def run(self) -> list[RunResult]:
+        """Drive every cell to its halt condition; return per-cell results."""
+        while self.advance():
+            pass
+        return self.results()
+
+    def _step(self, run) -> None:
+        np = _np
+        t = self._t
+
+        # 1. adversary: the missing edge per cell (-1 = none).  Running
+        # cells all sit at round t, so the oblivious adversaries are pure
+        # functions of t (and, for "random", of the cell's own RNG, which
+        # advances by exactly one randrange per stepped round — the same
+        # draw sequence the scalar engine consumes).
+        missing = np.full(self._C, -1, dtype=np.int64)
+        mask = run & (self.adv == 1)
+        missing[mask] = self.adv_edge[mask]
+        if t % 4 < 2:  # the registry's periodic adversary: period=4, duty=2
+            mask = run & (self.adv == 2)
+            missing[mask] = self.adv_edge[mask]
+        mask = run & (self.adv == 3)
+        if mask.any():
+            for ci in np.nonzero(mask)[0]:
+                missing[ci] = self._rngs[ci].randrange(int(self.n[ci]))
+
+        # 2. FSYNC activation: every live agent of every running cell.
+        act = run[:, None] & ~self.term
+
+        # 3. Look (simultaneous, against round-start state).  Pairwise
+        # same-node tensors answer every occupancy question the ring
+        # snapshot asks; terminated agents stay visible, the observer
+        # excludes itself.
+        pos = self.pos
+        same = pos[:, :, None] == pos[:, None, :]
+        others = same & ~self._eye
+        on_port = self.on_port
+        others_interior = (others & ~on_port[:, None, :]).sum(axis=2)
+        holds_plus = on_port & (self.port == 1)
+        holds_minus = on_port & (self.port == -1)
+        other_plus = (others & holds_plus[:, None, :]).any(axis=2)
+        other_minus = (others & holds_minus[:, None, :]).any(axis=2)
+        snap_failed = self.failed.copy()
+        snap_moved = self.moved.copy()
+        self.failed[act] = False
+
+        # 4. Compute (vectorized state-machine kernel).
+        if self.algorithm == "known-bound":
+            term_now, g = self._compute_known_bound(
+                act, snap_failed, snap_moved, others_interior,
+                other_plus, other_minus)
+        else:
+            term_now, g = self._compute_unconscious(
+                act, snap_moved, others_interior, other_plus, other_minus)
+
+        # 5. Resolve: terminations, then port mutual exclusion.  A port
+        # held at the *start* of the round (by anyone, terminated agents
+        # included) is denied to requesters all round; unheld ports go to
+        # the lowest-index requester; every requester's Btime restarts.
+        self.term |= term_now
+        self.term_round[term_now] = t
+        wants_move = act & ~term_now
+        direct = wants_move & on_port & (self.port == g)
+        request = wants_move & ~direct
+        occupied = np.where(g == 1, other_plus, other_minus)
+        beaten = (same & request[:, None, :]
+                  & (g[:, :, None] == g[:, None, :])
+                  & self._tril[None, :, :]).any(axis=2)
+        winner = request & ~occupied & ~beaten
+        denied = request & ~winner
+        self.Btime[request] = 0
+        self.on_port[winner] = True
+        self.port[winner] = g[winner]
+        self.failed[denied] = True
+        self.moved[denied] = False
+        movers = direct | winner
+
+        # 6. Move: PLUS ports cross edge v, MINUS ports edge v-1; a
+        # missing edge blocks (Btime accumulates), otherwise traverse.
+        n_col = self.n[:, None]
+        edge = np.where(self.port == 1, self.pos, (self.pos - 1) % n_col)
+        blocked = movers & (edge == missing[:, None])
+        self.moved[blocked] = False
+        self.Btime[blocked] += 1
+        traverse = movers & ~blocked
+        dest = (self.pos + self.port) % n_col
+        local = np.where(self.port == self.left, -1, 1)  # -1 LEFT, +1 RIGHT
+        self.Tsteps[traverse] += 1
+        self.Esteps[traverse] += 1
+        self.net[traverse] += local[traverse]
+        np.maximum(self.max_net, self.net, out=self.max_net, where=traverse)
+        np.minimum(self.min_net, self.net, out=self.min_net, where=traverse)
+        self.moved[traverse] = True
+        self.Btime[traverse] = 0
+        self.on_port[traverse] = False
+        self.pos[traverse] = dest[traverse]
+
+        tc, tk = np.nonzero(traverse)
+        if tc.size:
+            flat = np.unique(tc * self._n_max + dest[tc, tk])
+            bitmap = self.visited.reshape(-1)
+            fresh = flat[~bitmap[flat]]
+            if fresh.size:
+                bitmap[fresh] = True
+                np.add.at(self.visited_count, fresh // self._n_max, 1)
+                done = (run & (self.explo_round < 0)
+                        & (self.visited_count >= self.n))
+                # Exploration completing during round t is "time t + 1"
+                # (the scalar engine's accounting).
+                self.explo_round[done] = t + 1
+
+        # 7. End of round: clocks tick for active agents that did not
+        # terminate this round.
+        tick = act & ~self.term
+        self.Ttime[tick] += 1
+        self.Etime[tick] += 1
+
+    # ------------------------------------------------------------------
+    # Compute kernels
+    # ------------------------------------------------------------------
+    # Both kernels replicate the StateMachineAlgorithm driver timing: the
+    # predicates of the *current* state read the pre-round counters
+    # (Btime as min(Btime, Etime)); at most one transition fires per
+    # round (first matching rule); the entered state's preamble runs
+    # before its Explore reset (Etime = Esteps = 0); the agent moves in
+    # the new state's direction immediately but the new state's guards
+    # wait for the next Look.
+
+    def _compute_known_bound(self, act, snap_failed, snap_moved,
+                             others_interior, other_plus, other_minus):
+        np = _np
+        N = self.bound[:, None]
+        btime_eff = np.minimum(self.Btime, self.Etime)
+        warm = self.Ttime >= 2 * N - 4
+        bounce_now = (warm & (btime_eff >= N - 1)) | snap_failed
+        other_on_left = np.where(self.left == 1, other_plus, other_minus)
+        catches_left = ~self.on_port & other_on_left
+        caught = self.on_port & ~snap_moved & (others_interior > 0)
+
+        init = act & (self.state == _INIT)
+        to_bounce = init & (bounce_now | catches_left)
+        to_forward = init & ~to_bounce & (caught | warm)
+        settled = act & (self.state != _INIT)
+        term_now = settled & (self.Ttime >= 3 * N - 6)
+
+        # Local moving direction: LEFT (-1) for Init/Forward, RIGHT (+1)
+        # for Bounce — including the round Bounce is entered.
+        local = np.full((self._C, self._K), -1, dtype=np.int64)
+        local[settled & (self.state == _BOUNCE_KB)] = 1
+        local[to_bounce] = 1
+
+        trans = to_bounce | to_forward
+        self.Etime[trans] = 0
+        self.Esteps[trans] = 0
+        self.state[to_bounce] = _BOUNCE_KB
+        self.state[to_forward] = _FORWARD_KB
+        return term_now, -local * self.left
+
+    def _compute_unconscious(self, act, snap_moved, others_interior,
+                             other_plus, other_minus):
+        np = _np
+        G = self.G
+        btime_eff = np.minimum(self.Btime, self.Etime)
+        over = self.Etime >= 2 * G
+        phase = act & (self.state <= _KEEP)
+        g_dir = -self.ldir * self.left  # global sign of the moving direction
+        other_ahead = np.where(g_dir == 1, other_plus, other_minus)
+        catches = ~self.on_port & other_ahead
+        caught = self.on_port & ~snap_moved & (others_interior > 0)
+
+        # Ordered rules of every phase state: over&blocked -> Reverse,
+        # over -> Keep, catches -> Bounce, caught -> Forward.
+        to_rev = phase & over & (btime_eff > G)
+        to_keep = phase & over & ~to_rev
+        calm = phase & ~over
+        to_bnc = calm & catches
+        to_fwd = calm & ~to_bnc & caught
+
+        # Preambles run before the Explore reset; Bounce/Forward fix
+        # ``fwd`` to the direction held at the moment of transition.
+        self.ldir[to_rev] = -self.ldir[to_rev]
+        self.G[to_keep] *= 2
+        self.fwd[to_bnc] = self.ldir[to_bnc]
+        self.fwd[to_fwd] = self.ldir[to_fwd]
+        trans = to_rev | to_keep | to_bnc | to_fwd
+        self.Etime[trans] = 0
+        self.Esteps[trans] = 0
+        self.state[to_rev] = _REVERSE
+        self.state[to_keep] = _KEEP
+        self.state[to_bnc] = _BOUNCE_UN
+        self.state[to_fwd] = _FORWARD_UN
+
+        # Directions from the post-transition state: phase states follow
+        # ``dir`` (Reverse already flipped it), Bounce opposes ``fwd``,
+        # Forward follows it.  The algorithm never terminates.
+        local = np.where(self.state <= _KEEP, self.ldir,
+                         np.where(self.state == _BOUNCE_UN, -self.fwd, self.fwd))
+        term_now = np.zeros((self._C, self._K), dtype=bool)
+        return term_now, -local * self.left
+
+    # ------------------------------------------------------------------
+    # results + introspection
+    # ------------------------------------------------------------------
+
+    def results(self) -> list[RunResult]:
+        """Per-cell :class:`RunResult`s, identical to the scalar engine's."""
+        np = _np
+        out = []
+        for ci, _cell in enumerate(self.cells):
+            n = int(self.n[ci])
+            visited = {int(v) for v in np.nonzero(self.visited[ci, :n])[0]}
+            explo = int(self.explo_round[ci])
+            stats = [
+                AgentStats(
+                    index=i,
+                    moves=int(self.Tsteps[ci, i]),
+                    terminated=bool(self.term[ci, i]),
+                    termination_round=(int(self.term_round[ci, i])
+                                       if self.term_round[ci, i] >= 0 else None),
+                    final_node=int(self.pos[ci, i]),
+                    waiting_on_port=bool(self.on_port[ci, i]),
+                )
+                for i in range(self._K)
+            ]
+            out.append(RunResult(
+                ring_size=n,
+                rounds=int(self.round_no[ci]),
+                explored=int(self.visited_count[ci]) >= n,
+                exploration_round=explo if explo >= 0 else None,
+                visited=visited,
+                agents=stats,
+                halted_reason=self.halted[ci] or "horizon",
+            ))
+        return out
+
+    def debug_state(self, ci: int) -> dict:
+        """Observable per-agent state of one cell (for lockstep tests).
+
+        Mirrors what the scalar engine exposes through ``AgentState`` +
+        ``AgentMemory`` so the differential suite can compare the two
+        cores round by round, not only at the end.
+        """
+        agents = []
+        for i in range(self._K):
+            agents.append({
+                "node": int(self.pos[ci, i]),
+                "port": int(self.port[ci, i]) if self.on_port[ci, i] else None,
+                "terminated": bool(self.term[ci, i]),
+                "Ttime": int(self.Ttime[ci, i]),
+                "Tsteps": int(self.Tsteps[ci, i]),
+                "Etime": int(self.Etime[ci, i]),
+                "Esteps": int(self.Esteps[ci, i]),
+                "Btime": int(self.Btime[ci, i]),
+                "moved": bool(self.moved[ci, i]),
+                "failed": bool(self.failed[ci, i]),
+                "net": int(self.net[ci, i]),
+                "min_net": int(self.min_net[ci, i]),
+                "max_net": int(self.max_net[ci, i]),
+            })
+        return {
+            "round": int(self.round_no[ci]),
+            "running": bool(self.running[ci]),
+            "visited_count": int(self.visited_count[ci]),
+            "agents": agents,
+        }
+
+
+def _split_batches(indexed_cells):
+    """Split one (algorithm, agents) group so no batch's tensors blow up."""
+    batches = []
+    current: list = []
+    k = indexed_cells[0][1].agents
+    n_max = 0
+    for idx, cell in indexed_cells:
+        n_next = max(n_max, cell.ring_size)
+        count = len(current) + 1
+        if current and (count * k * k > _MAX_PAIRWISE
+                        or count * n_next > _MAX_VISITED
+                        or count > BATCH_WIDTH):
+            batches.append(current)
+            current = []
+            n_next = cell.ring_size
+        current.append((idx, cell))
+        n_max = n_next
+    if current:
+        batches.append(current)
+    return batches
+
+
+def run_batch_cells(cells: Sequence["CellConfig"]) -> list[RunResult]:
+    """Run eligible cells in lockstep; results align with the input order.
+
+    Heterogeneous inputs are grouped by (algorithm, agent count) — the
+    two axes :class:`BatchCore` requires to be uniform — and each group
+    is split so the pairwise occupancy tensor and the visited bitmap stay
+    modest.  Raises :class:`ConfigurationError` if NumPy is unavailable
+    or any cell is ineligible; routing callers are expected to have
+    filtered with :func:`batch_eligible` already.
+    """
+    if not HAVE_NUMPY:
+        raise ConfigurationError("run_batch_cells requires numpy")
+    results: list[RunResult | None] = [None] * len(cells)
+    groups: dict[tuple[str, int], list] = {}
+    for idx, cell in enumerate(cells):
+        reason = batch_ineligible_reason(cell)
+        if reason is not None:
+            raise ConfigurationError(f"cell {idx} is not batch-eligible: {reason}")
+        groups.setdefault((cell.algorithm, cell.agents), []).append((idx, cell))
+    for group in groups.values():
+        for batch in _split_batches(group):
+            core = BatchCore([cell for _, cell in batch])
+            for (idx, _), result in zip(batch, core.run()):
+                results[idx] = result
+    return results  # type: ignore[return-value]
+
+
+__all__ = [
+    "BATCH_ADVERSARIES",
+    "BATCH_ALGORITHMS",
+    "BATCH_WIDTH",
+    "BatchCore",
+    "HAVE_NUMPY",
+    "batch_eligible",
+    "batch_ineligible_reason",
+    "numpy_available",
+    "run_batch_cells",
+]

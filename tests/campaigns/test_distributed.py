@@ -99,15 +99,15 @@ def _slow_worker_main(path, campaign, worker_id, ttl, delay_s):
     """A worker whose every cell takes >= delay_s (for mid-run kills)."""
     from repro.campaigns.distributed import worker as worker_mod
 
-    real = worker_mod.execute_cell
+    real = worker_mod.executor_module.execute_cell
 
     def slow(cell):
         time.sleep(delay_s)
         return real(cell)
 
-    worker_mod.execute_cell = slow
+    worker_mod.executor_module.execute_cell = slow
     run_worker(f"sqlite:{path}", campaign=campaign, worker_id=worker_id,
-               lease_ttl_s=ttl, poll_s=0.02)
+               lease_ttl_s=ttl, poll_s=0.02, batch="off")
 
 
 class TestWorkQueue:
@@ -518,10 +518,11 @@ class TestReviewRegressions:
         def interrupted(cell):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(worker_mod, "execute_cell", interrupted)
+        monkeypatch.setattr(
+            worker_mod.executor_module, "execute_cell", interrupted)
         with pytest.raises(KeyboardInterrupt):
             run_worker(queue.store, worker_id="w", lease_ttl_s=10,
-                       poll_s=0.01)
+                       poll_s=0.01, batch="off")
         counts = queue.counts()
         assert counts.pending == 1 and counts.leased == 0
         assert len(queue.store) == 0           # nothing recorded

@@ -104,7 +104,10 @@ class TestRunCells:
             return original(cell)
 
         monkeypatch.setattr(executor_mod, "execute_cell", counting)
-        resumed = run_cells(cells, ResultStore(store.path), workers=1)
+        # batch="off" pins the scalar path so the counting hook sees
+        # every executed cell (the batch path never calls execute_cell).
+        resumed = run_cells(cells, ResultStore(store.path), workers=1,
+                            batch="off")
         assert resumed.skipped == 3
         assert set(executed) == {c.key() for c in cells[3:]}
 

@@ -133,6 +133,36 @@ def record() -> dict[str, str]:
     return digests
 
 
+def golden_result_payload(cell: CellConfig, *, optimized: bool = True) -> dict:
+    """The ``result`` block of :func:`run_digest`'s payload, un-hashed.
+
+    Runs the exact stepping discipline the digest uses (step up to
+    ``max_rounds``, ignoring ``stop_on_exploration``; halt reason is the
+    literal ``"golden"`` label).  The batch-replay tests compare
+    :class:`~repro.core.batch.BatchCore` output against this block: the
+    digest over the same run is pinned by the fixture, so payload
+    equality here chains batch == scalar == legacy.
+    """
+    from repro.campaigns.registry import build_cell_engine
+
+    engine = build_cell_engine(cell, optimized=optimized)
+    for _ in range(cell.max_rounds):
+        if not engine.step():
+            break
+    result = engine._build_result("golden")
+    return {
+        "ring_size": result.ring_size,
+        "rounds": result.rounds,
+        "explored": result.explored,
+        "exploration_round": result.exploration_round,
+        "visited": sorted(result.visited),
+        "halted_reason": result.halted_reason,
+        "agents": [[a.index, a.moves, a.terminated, a.termination_round,
+                    a.final_node, a.waiting_on_port]
+                   for a in result.agents],
+    }
+
+
 def load_fixture() -> dict[str, str]:
     return json.loads(FIXTURE.read_text())
 

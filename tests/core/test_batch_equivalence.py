@@ -1,0 +1,279 @@
+"""Differential suite: BatchCore vs the scalar cores, cell by cell.
+
+The vectorized batch engine re-implements the FSYNC round loop as
+whole-array NumPy operations; these tests are its correctness proof,
+built on the shared harness (:mod:`repro.analysis.differential`):
+
+* a deterministic grid — >= 20 cells x 3 seeds covering every
+  vectorizable algorithm/adversary pair, every placement policy, bound
+  overrides and mirrored orientations — executed as real mixed batches
+  and compared against *both* scalar paths;
+* lockstep round-by-round state equality (positions, ports, every
+  memory counter) so divergences that cancel by run end still fail;
+* hypothesis-generated compositions: random ring sizes, placements and
+  adversary schedules, mixed horizons (so batches mix terminated,
+  halted and running cells) — batch and scalar must agree cell-by-cell
+  for *any* valid composition;
+* the eligibility predicate itself: the single shared function the
+  executor, the worker and these tests import must accept exactly the
+  configurations the batch core handles and reject the rest with a
+  reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.differential import (
+    SCALAR_PATHS,
+    differential_cells,
+    lockstep_divergence,
+    result_payload,
+)
+from repro.campaigns.spec import CellConfig
+from repro.core.batch import (
+    BATCH_ADVERSARIES,
+    BATCH_ALGORITHMS,
+    BatchCore,
+    batch_eligible,
+    batch_ineligible_reason,
+    numpy_available,
+    run_batch_cells,
+)
+from repro.core.errors import ConfigurationError
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="batch core needs numpy")
+
+SEEDS = (0, 1, 2)
+
+
+def _grid_cells() -> list[CellConfig]:
+    """>= 20 cells covering every vectorizable algorithm x adversary."""
+    cells = []
+    # Every (algorithm, adversary) pair at a couple of shapes.
+    for algorithm in sorted(BATCH_ALGORITHMS):
+        stop = algorithm == "unconscious"
+        for adversary in sorted(BATCH_ADVERSARIES):
+            cells.append(CellConfig(
+                algorithm=algorithm, ring_size=8, agents=2, max_rounds=90,
+                adversary=adversary, edge=3, transport="ns",
+                stop_on_exploration=stop))
+            cells.append(CellConfig(
+                algorithm=algorithm, ring_size=11, agents=3, max_rounds=70,
+                adversary=adversary, edge=10, transport="ns",
+                placement="offset-spread", stop_on_exploration=stop))
+    # Placement policies, explicit positions (incl. out-of-range, which
+    # resolve_positions wraps), mirrored orientation, bound overrides,
+    # k=1 and a crowded ring.
+    cells += [
+        CellConfig(algorithm="known-bound", ring_size=9, agents=3,
+                   max_rounds=80, adversary="random", placement="thirds"),
+        CellConfig(algorithm="known-bound", ring_size=7, agents=2,
+                   max_rounds=60, adversary="random", placement="origin"),
+        CellConfig(algorithm="unconscious", ring_size=10, agents=2,
+                   max_rounds=120, adversary="random", placement="explicit",
+                   positions=(0, 13), stop_on_exploration=True),
+        CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                   max_rounds=80, adversary="random", chirality=False,
+                   flipped=(1,)),
+        CellConfig(algorithm="known-bound", ring_size=10, agents=2,
+                   max_rounds=100, adversary="random", bound=12),
+        CellConfig(algorithm="known-bound", ring_size=6, agents=1,
+                   max_rounds=50, adversary="random"),
+        CellConfig(algorithm="unconscious", ring_size=5, agents=5,
+                   max_rounds=60, adversary="random",
+                   stop_on_exploration=True),
+        CellConfig(algorithm="known-bound", ring_size=12, agents=4,
+                   max_rounds=30, adversary="periodic", edge=0),
+    ]
+    return cells
+
+
+GRID = _grid_cells()
+
+
+class TestGridEquivalence:
+    def test_grid_is_wide_enough(self):
+        assert len(GRID) >= 20
+        covered = {(c.algorithm, c.adversary) for c in GRID}
+        assert covered >= {
+            (alg, adv)
+            for alg in BATCH_ALGORITHMS for adv in BATCH_ADVERSARIES}
+        assert all(batch_eligible(c) for c in GRID)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batch_agrees_with_both_scalar_paths(self, seed):
+        """The whole grid as ONE mixed batch, against both scalar paths."""
+        from dataclasses import replace
+
+        cells = [replace(c, seed=seed) for c in GRID]
+        divergences = differential_cells(cells, paths=SCALAR_PATHS)
+        assert not divergences, "\n".join(str(d) for d in divergences)
+
+    def test_round_counts_match_cell_by_cell(self):
+        """Lockstep round/halt accounting, one batch vs per-cell scalar."""
+        from repro.analysis.differential import scalar_result
+
+        results = run_batch_cells(GRID)
+        for cell, batch_result in zip(GRID, results):
+            scalar = scalar_result(cell, optimized=True)
+            assert batch_result.rounds == scalar.rounds, cell
+            assert batch_result.halted_reason == scalar.halted_reason, cell
+
+
+class TestLockstep:
+    """Round-by-round state equality (not just final results)."""
+
+    @pytest.mark.parametrize("cell", [
+        GRID[0], GRID[5], GRID[9], GRID[-4], GRID[-2],
+        CellConfig(algorithm="unconscious", ring_size=9, agents=3,
+                   max_rounds=60, adversary="random", seed=7,
+                   stop_on_exploration=True),
+        CellConfig(algorithm="known-bound", ring_size=13, agents=2,
+                   max_rounds=120, adversary="fixed", edge=5, seed=3),
+    ], ids=lambda c: f"{c.algorithm}-{c.adversary}-n{c.ring_size}-k{c.agents}")
+    def test_every_round_state_identical(self, cell):
+        assert lockstep_divergence(cell) is None
+
+
+class TestMixedCompositions:
+    def test_mixed_horizons_batch_mixes_halted_and_running(self):
+        """Cells halting at wildly different rounds share one batch."""
+        from dataclasses import replace
+
+        cells = [replace(GRID[0], max_rounds=m, seed=s)
+                 for m in (1, 2, 7, 40, 90) for s in SEEDS]
+        # sanity: the composition really mixes halt reasons
+        results = run_batch_cells(cells)
+        assert len({r.halted_reason for r in results}) >= 2
+        assert not differential_cells(cells)
+
+    def test_singleton_batch(self):
+        assert not differential_cells([GRID[3]])
+
+    def test_core_requires_uniform_shape(self):
+        with pytest.raises(ConfigurationError):
+            BatchCore([GRID[0],
+                       CellConfig(algorithm="unconscious", ring_size=8,
+                                  agents=3, max_rounds=10)])
+
+    def test_run_batch_cells_groups_mixed_shapes(self):
+        """run_batch_cells regroups by (algorithm, k) and restores order."""
+        mixed = [GRID[0], GRID[2], GRID[1], GRID[0]]
+        payloads = [result_payload(r) for r in run_batch_cells(mixed)]
+        singles = [result_payload(run_batch_cells([c])[0]) for c in mixed]
+        assert payloads == singles
+
+
+# -- hypothesis: any valid composition agrees ---------------------------
+
+def _eligible_cell() -> st.SearchStrategy[CellConfig]:
+    @st.composite
+    def build(draw):
+        algorithm = draw(st.sampled_from(sorted(BATCH_ALGORITHMS)))
+        n = draw(st.integers(min_value=3, max_value=13))
+        k = draw(st.integers(min_value=1, max_value=4))
+        adversary = draw(st.sampled_from(sorted(BATCH_ADVERSARIES)))
+        placement = draw(st.sampled_from(
+            ("spread", "offset-spread", "origin", "explicit")))
+        positions = None
+        if placement == "explicit":
+            positions = tuple(draw(st.lists(
+                st.integers(min_value=-2 * n, max_value=2 * n),
+                min_size=k, max_size=k)))
+        mirrored = draw(st.booleans()) and k >= 2
+        flipped = tuple(sorted(draw(st.sets(
+            st.integers(min_value=0, max_value=k - 1),
+            min_size=1, max_size=k)))) if mirrored else ()
+        return CellConfig(
+            algorithm=algorithm,
+            ring_size=n,
+            agents=k,
+            max_rounds=draw(st.integers(min_value=1, max_value=120)),
+            seed=draw(st.integers(min_value=0, max_value=2 ** 20)),
+            adversary=adversary,
+            edge=draw(st.integers(min_value=0, max_value=n - 1)),
+            transport="ns",
+            placement=placement,
+            positions=positions,
+            bound=draw(st.sampled_from((None, n, n + 3))),
+            chirality=not mirrored,
+            flipped=flipped,
+            stop_on_exploration=draw(st.booleans()),
+        )
+
+    return build()
+
+
+class TestHypothesisCompositions:
+    @settings(max_examples=20, deadline=None)
+    @given(cells=st.lists(_eligible_cell(), min_size=1, max_size=6))
+    def test_any_valid_batch_agrees_cell_by_cell(self, cells):
+        assert all(batch_eligible(c) for c in cells)
+        divergences = differential_cells(cells, paths=("optimized",))
+        assert not divergences, "\n".join(str(d) for d in divergences)
+
+    @settings(max_examples=15, deadline=None)
+    @given(cell=_eligible_cell())
+    def test_any_valid_cell_lockstep(self, cell):
+        assert lockstep_divergence(cell) is None
+
+
+# -- the shared eligibility predicate -----------------------------------
+
+class TestEligibilityPredicate:
+    """One function, imported everywhere — these pin its contract."""
+
+    def test_executor_and_worker_share_this_predicate(self):
+        """The routing layers must use *this* function, not a copy."""
+        from repro.campaigns import executor
+        from repro.campaigns.distributed import worker
+
+        assert executor.batch_eligible is batch_eligible
+        # the worker routes through executor.run_chunk, which closes
+        # over the same module-level predicate
+        assert worker.run_chunk is executor.run_chunk
+
+    @pytest.mark.parametrize("cell,fragment", [
+        (CellConfig(algorithm="pt-bound", ring_size=8, agents=2,
+                    max_rounds=50, transport="pt", adversary="zigzag",
+                    adversary_arg=3), "algorithm"),
+        (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                    max_rounds=50, adversary="prevent-meetings"),
+         "adversary"),
+        (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                    max_rounds=50, scheduler="round-robin"), "scheduler"),
+        (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                    max_rounds=50, topology="torus"), "topology"),
+        (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                    max_rounds=50, debug_invariants=True), "invariant"),
+        (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                    max_rounds=50, adversary="fixed", edge=8), "edge"),
+        (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                    max_rounds=50, flipped=(1,)), "flipped"),
+        (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                    max_rounds=50, landmark=0), "landmark"),
+    ], ids=lambda v: v if isinstance(v, str) else "")
+    def test_ineligible_with_reason(self, cell, fragment):
+        reason = batch_ineligible_reason(cell)
+        assert reason is not None and fragment in reason
+        assert not batch_eligible(cell)
+
+    def test_eligible_cell_has_no_reason(self):
+        assert batch_ineligible_reason(GRID[0]) is None
+
+    def test_run_batch_cells_rejects_ineligible(self):
+        bad = CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                         max_rounds=50, scheduler="round-robin")
+        with pytest.raises(ConfigurationError, match="not batch-eligible"):
+            run_batch_cells([GRID[0], bad])
+
+    def test_scalar_rejected_configs_are_ineligible(self):
+        """Configs the scalar engine errors on must stay scalar, so the
+        fallback reproduces the identical error record."""
+        bad = CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                         max_rounds=50, placement="explicit",
+                         positions=None)
+        assert not batch_eligible(bad)

@@ -345,6 +345,54 @@ class TestUnifiedVsLegacyGolden:
         assert len(pinned) == 14 * len(golden_traces.GOLDEN_SEEDS) * 2
 
 
+class TestBatchVsGolden:
+    """Qualifying golden cells replay through the vectorized BatchCore.
+
+    Eligibility is decided by the *shared* routing predicate
+    (:func:`repro.core.batch.batch_eligible` — the same function the
+    executor and the distributed worker import), and each qualifying
+    cell's BatchCore run must reproduce the ``result`` block of the
+    pinned golden digest exactly.  The digest over the same scalar run
+    is re-verified against the fixture in the same test, so payload
+    equality chains batch == scalar == legacy (commit 556f46f).
+    """
+
+    def test_exactly_the_ns_fsync_cells_qualify(self):
+        from repro.core.batch import batch_eligible
+
+        from tests.core import golden_traces
+
+        qualifying = [i for i, cell in enumerate(golden_traces.GOLDEN_CELLS)
+                      if batch_eligible(cell)]
+        assert qualifying == [0, 2]
+
+    @pytest.mark.parametrize("index", [0, 2], ids=lambda i: f"cell{i}")
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_batch_replay_matches_pinned_result(self, index, seed):
+        from dataclasses import replace
+
+        from repro.analysis.differential import result_payload
+        from repro.core.batch import BatchCore, numpy_available
+
+        from tests.core import golden_traces
+
+        if not numpy_available():
+            pytest.skip("batch core needs numpy")
+        cell = replace(golden_traces.GOLDEN_CELLS[index], seed=seed)
+        # the digest of this very run is still the legacy-pinned one
+        pinned = golden_traces.load_fixture()
+        assert (golden_traces.run_digest(cell, optimized=True)
+                == pinned[golden_traces.cell_id(cell, True)])
+        golden = golden_traces.golden_result_payload(cell)
+        # replay under the digest's stepping discipline: no early stop
+        # on exploration; the "golden" halt label is the loop's, not a
+        # semantic difference.
+        core = BatchCore([replace(cell, stop_on_exploration=False)])
+        batch = result_payload(core.run()[0])
+        batch["halted_reason"] = golden["halted_reason"] = None
+        assert batch == golden
+
+
 def test_debug_invariants_flag_resolution():
     """Default resolves on under pytest; campaign cells default it off."""
     ring = Ring(6)
