@@ -145,6 +145,61 @@ def rule_dispatch_entry(budget: float) -> dict:
     return entry
 
 
+def obs_overhead_entry(budget: float) -> dict:
+    """Cost of the observability layer on the headline configuration.
+
+    Disabled instrumentation is free *by construction* — the engine's
+    plain ``step()`` is byte-identical to the pre-observability code and
+    the instrumented twin only exists after ``set_instrument()``
+    (``tests/obs/test_instrumented_step.py`` asserts the twin's
+    equivalence).  This section measures it anyway: ``disabled`` is an
+    A/A re-measurement of the baseline, so its overhead percentage
+    bounds the *noise floor* the ``--max-obs-overhead`` CI guard runs
+    at; ``enabled`` (a live :class:`~repro.obs.metrics.PhaseTimer` on
+    every round) is reported for context, not gated.  Measurements
+    interleave baseline/disabled/enabled; the gated percentage is the
+    *minimum over interleaved pairs* — a real regression slows every
+    pair by the same factor and survives the minimum, while scheduler
+    noise (which flips sign across pairs) collapses to zero instead of
+    flaking a 2% threshold.
+    """
+    from repro.obs.metrics import PhaseTimer
+
+    cell = CellConfig(max_rounds=10**8, **HEADLINE)
+
+    def plain() -> float:
+        return measure(cell, optimized=True,
+                       budget_s=budget)["rounds_per_s"]
+
+    def instrumented() -> float:
+        def prepare(engine):
+            engine.set_instrument(PhaseTimer())
+        return measure(cell, optimized=True, budget_s=budget,
+                       prepare=prepare)["rounds_per_s"]
+
+    baseline = disabled = enabled = 0.0
+    paired = []
+    for _ in range(3):
+        b, d, e = plain(), plain(), instrumented()
+        baseline, disabled, enabled = (
+            max(baseline, b), max(disabled, d), max(enabled, e))
+        paired.append(1 - d / b)
+    entry = {
+        "config": dict(HEADLINE),
+        "baseline_rounds_per_s": baseline,
+        "disabled_rounds_per_s": disabled,
+        "enabled_rounds_per_s": enabled,
+        "disabled_overhead_pct": round(max(0.0, min(paired)) * 100, 2),
+        "enabled_overhead_pct": round(
+            max(0.0, 1 - enabled / baseline) * 100, 2),
+    }
+    print(f"  obs overhead (headline): disabled "
+          f"{entry['disabled_overhead_pct']}% "
+          f"(A/A noise bound), enabled {entry['enabled_overhead_pct']}% "
+          f"({enabled:,.0f} vs {baseline:,.0f} rounds/s)", flush=True)
+    return entry
+
+
 def graph_cells(smoke: bool) -> list[tuple[str, CellConfig]]:
     """Graph-topology workloads on the unified core (requires networkx).
 
@@ -275,6 +330,7 @@ def run(smoke: bool, budget_s: float | None) -> dict:
         "headline": headline,
         "sweeps": sweeps,
         "rule_dispatch": rule_dispatch_entry(max(budget * 4, 1.0)),
+        "obs_overhead": obs_overhead_entry(max(budget * 2, 0.5)),
     }
     if not smoke:
         # Full runs also refresh the graph-topology section; smoke (CI)
@@ -299,6 +355,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero if the headline speedup is below "
                              "this factor (CI guard)")
+    parser.add_argument("--max-obs-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="exit non-zero if disabled instrumentation "
+                             "costs more than PCT%% on the headline "
+                             "(CI guard; e.g. 2.0)")
     args = parser.parse_args(argv)
 
     out = Path(args.out)
@@ -323,6 +384,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: headline speedup {results['headline']['speedup']}x "
               f"< required {args.min_speedup}x", file=sys.stderr)
         return 1
+    if args.max_obs_overhead is not None:
+        pct = results["obs_overhead"]["disabled_overhead_pct"]
+        if pct > args.max_obs_overhead:
+            print(f"FAIL: disabled instrumentation overhead {pct}% "
+                  f"> allowed {args.max_obs_overhead}%", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -47,6 +47,7 @@ from .status import (
     fleet_status,
     render_status,
     run_distributed,
+    store_metrics,
     watch_status,
 )
 from .worker import WorkerReport, run_worker
@@ -67,6 +68,7 @@ __all__ = [
     "render_status",
     "run_distributed",
     "run_worker",
+    "store_metrics",
     "watch_status",
     "worker_identity",
 ]

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ...core.errors import ConfigurationError
+from ...obs import metrics as obs_metrics
 from ..registry import validate_cell
 from ..spec import CellConfig
 from ..stores import ResultStore, open_store
@@ -205,9 +206,20 @@ class WorkQueue:
     # -- transaction plumbing ------------------------------------------
 
     def _begin(self):
-        """Open an IMMEDIATE transaction (writers serialise here)."""
+        """Open an IMMEDIATE transaction (writers serialise here).
+
+        With metrics on, the time spent waiting for the write lock is
+        recorded (``queue.lock_wait_s``) — the first signal that a fleet
+        has outgrown one SQLite writer.
+        """
         conn = self.store.connection()
-        conn.execute("BEGIN IMMEDIATE")
+        if obs_metrics.enabled():
+            t0 = time.perf_counter()
+            conn.execute("BEGIN IMMEDIATE")
+            obs_metrics.registry().histogram("queue.lock_wait_s").observe(
+                time.perf_counter() - t0)
+        else:
+            conn.execute("BEGIN IMMEDIATE")
         return conn
 
     # -- enqueue -------------------------------------------------------
@@ -355,6 +367,8 @@ class WorkQueue:
         picked up on the next poll.
         """
         now = self._clock()
+        reg = obs_metrics.registry() if obs_metrics.enabled() else None
+        t0 = time.perf_counter()
         read = self.store.connection()
         claimable = read.execute(
             "SELECT 1 FROM chunks WHERE campaign_key = ? "
@@ -376,6 +390,8 @@ class WorkQueue:
                         conn.execute("ROLLBACK")
                     raise
                 self._last_idle_touch = now
+            if reg is not None:
+                reg.counter("queue.idle_polls").inc()
             return None
         conn = self._begin()
         try:
@@ -406,6 +422,8 @@ class WorkQueue:
                     ).fetchone()
                     if row is None:
                         conn.execute("COMMIT")
+                        if reg is not None:
+                            reg.counter("queue.idle_polls").inc()
                         return None
                     chunk_id, payload, stolen_from, previous = row
                     if previous >= self.max_attempts:
@@ -419,6 +437,8 @@ class WorkQueue:
                         conn.execute(
                             "DELETE FROM leases WHERE chunk_id = ?",
                             (chunk_id,))
+                        if reg is not None:
+                            reg.counter("queue.parked").inc()
                         continue
                     attempt = previous + 1
                     conn.execute(
@@ -432,6 +452,11 @@ class WorkQueue:
                 conn.execute("ROLLBACK")
             raise
         self._last_idle_touch = now  # the claim transaction touched us
+        if reg is not None:
+            reg.counter("queue.claims").inc()
+            if stolen_from is not None:
+                reg.counter("queue.steals").inc()
+            reg.histogram("queue.claim_s").observe(time.perf_counter() - t0)
         return Claim(
             chunk_id=chunk_id,
             cells=tuple(json.loads(payload)),
@@ -454,7 +479,13 @@ class WorkQueue:
             if conn.in_transaction:
                 conn.execute("ROLLBACK")
             raise
-        return cursor.rowcount == 1
+        held = cursor.rowcount == 1
+        if obs_metrics.enabled():
+            reg = obs_metrics.registry()
+            reg.counter("queue.heartbeats").inc()
+            if not held:
+                reg.counter("queue.heartbeat_lost").inc()
+        return held
 
     def complete(
         self, chunk_id: int, worker_id: str,
@@ -484,6 +515,8 @@ class WorkQueue:
                 (chunk_id,)).fetchone()
             if holder is None or holder[0] != worker_id:
                 conn.execute("ROLLBACK")
+                if obs_metrics.enabled():
+                    obs_metrics.registry().counter("queue.lease_lost").inc()
                 raise LeaseLost(
                     f"chunk {chunk_id} is no longer leased to {worker_id} "
                     f"(holder: {holder[0] if holder else 'nobody'})")
@@ -504,6 +537,10 @@ class WorkQueue:
                 conn.execute("ROLLBACK")
             raise
         self.store.invalidate_caches()
+        if obs_metrics.enabled():
+            reg = obs_metrics.registry()
+            reg.counter("queue.completes").inc()
+            reg.counter("queue.cells_completed").inc(len(rows))
 
     def release(self, chunk_id: int, worker_id: str) -> bool:
         """Hand a held chunk back to the pending pool (graceful shutdown)."""
@@ -638,6 +675,30 @@ class WorkQueue:
         if not cells:
             return None
         return cells / window_s
+
+    def chunk_rates(self) -> list[float]:
+        """Per-chunk ``cells_per_s`` of every retired chunk (sorted).
+
+        The raw distribution behind the ``status``/``campaign metrics``
+        cells/s percentiles — per chunk, not per worker, so a straggler
+        chunk is visible even on a healthy fleet.
+        """
+        return sorted(
+            rate for (rate,) in self.store.connection().execute(
+                "SELECT cells_per_s FROM chunks WHERE campaign_key = ? "
+                "AND state = 'done' AND cells_per_s IS NOT NULL",
+                (self.campaign,))
+        )
+
+    def record_worker_metrics(
+        self, worker_id: str, snapshot: dict[str, Any]
+    ) -> None:
+        """Persist one worker's metrics snapshot (upsert; telemetry only)."""
+        self.store.record_metrics_snapshot(worker_id, snapshot)
+
+    def worker_metrics(self) -> list[tuple[str, float, dict[str, Any]]]:
+        """Every persisted worker snapshot for this campaign."""
+        return self.store.metrics_snapshots()
 
     def _touch_worker(self, conn, worker_id: str, now: float) -> None:
         # On conflict, refresh identity as well as liveness: a reused

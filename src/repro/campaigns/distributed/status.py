@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from ...core.errors import ConfigurationError
+from ...obs import metrics as obs_metrics
 from ..executor import CampaignRun
 from ..spec import CampaignSpec, CellConfig
 from ..stores import ResultStore, open_store
@@ -77,6 +78,15 @@ class FleetStatus:
     ever_enqueued: bool = True
     #: The most recently retired chunks (batched flag + cells/s each).
     recent_chunks: tuple[ChunkInfo, ...] = ()
+    #: Claim-latency summary (count/p50/p90/p99 seconds) merged from the
+    #: workers' persisted metrics snapshots; None when no worker ran
+    #: with ``--metrics``.
+    claim_latency: dict | None = None
+    #: Percentiles of per-chunk cells/s over every retired chunk.
+    chunk_rate: dict | None = None
+    #: Fraction of done cells that took the vector path (None before
+    #: any cell is done).
+    batch_share: float | None = None
 
 
 def fleet_status(
@@ -97,6 +107,16 @@ def fleet_status(
     remaining = counts.cells_remaining
     eta = (remaining / rate) if (rate and remaining) else None
     queue.store.invalidate_caches()
+    claim_latency = None
+    merged = obs_metrics.merge_snapshots(
+        snap for _, _, snap in queue.worker_metrics())
+    claim_dump = merged.get("queue.claim_s")
+    if claim_dump and claim_dump.get("type") == "histogram" \
+            and claim_dump.get("count"):
+        claim_latency = obs_metrics.summarize_histogram(claim_dump)
+    chunk_rate = _rate_percentiles(queue.chunk_rates())
+    batch_share = (counts.cells_batched / counts.cells_done
+                   if counts.cells_done else None)
     return FleetStatus(
         campaign=queue.campaign,
         store_uri=queue.store.uri(),
@@ -111,7 +131,54 @@ def fleet_status(
         finished=queue.finished(),
         ever_enqueued=queue.ever_enqueued(),
         recent_chunks=tuple(queue.recent_chunks()),
+        claim_latency=claim_latency,
+        chunk_rate=chunk_rate,
+        batch_share=batch_share,
     )
+
+
+def _rate_percentiles(rates: Sequence[float]) -> dict | None:
+    """count/p50/p90/p99 summary of a sorted cells/s list (None if empty)."""
+    if not rates:
+        return None
+    return obs_metrics.summarize_histogram({
+        "count": len(rates), "sum": sum(rates),
+        "min": rates[0], "max": rates[-1], "sample": list(rates),
+    })
+
+
+def store_metrics(
+    store: ResultStore | str, *, campaign: str | None = None
+) -> tuple[dict[str, dict], dict]:
+    """The ``campaign metrics`` data: (merged snapshot, fleet section).
+
+    The snapshot merges every persisted worker/run snapshot for the
+    campaign (counters sum, histogram reservoirs pool); the fleet
+    section derives cross-worker stats straight from the queue tables —
+    per-chunk cells/s percentiles and the batch share.  Requires a
+    store backend with telemetry tables (SQLite).
+    """
+    store = open_store(store, campaign=campaign)
+    snapshots_fn = getattr(store, "metrics_snapshots", None)
+    if snapshots_fn is None:
+        raise ConfigurationError(
+            f"store backend {type(store).__name__} ({store.uri()}) does not "
+            "persist metrics snapshots — use a SQLite store "
+            "(--store sqlite:PATH)")
+    rows = snapshots_fn()
+    merged = obs_metrics.merge_snapshots(snap for _, _, snap in rows)
+    fleet: dict = {}
+    if rows:
+        fleet["metrics.snapshots"] = len(rows)
+    queue = WorkQueue(store)
+    chunk_rate = _rate_percentiles(queue.chunk_rates())
+    if chunk_rate is not None:
+        fleet["chunk.cells_per_s"] = {
+            k: chunk_rate[k] for k in ("count", "p50", "p90", "p99")}
+    counts = queue.counts()
+    if counts.cells_done:
+        fleet["batch.share"] = counts.cells_batched / counts.cells_done
+    return merged, fleet
 
 
 def _age(now: float, then: float) -> str:
@@ -145,10 +212,24 @@ def render_status(status: FleetStatus, *, clock: Callable[[], float] = time.time
     lines.append(
         f"cells   : {status.cells_completed} done / "
         f"{c.cells_remaining} queued{errored}   {rate}   {eta}")
+    if status.chunk_rate is not None:
+        r = status.chunk_rate
+        lines.append(
+            f"rates   : chunk cells/s p50={r['p50']:.0f} "
+            f"p90={r['p90']:.0f} p99={r['p99']:.0f} "
+            f"(over {r['count']} done chunks)")
+    if status.claim_latency is not None:
+        cl = status.claim_latency
+        lines.append(
+            f"latency : claim p50={cl['p50'] * 1e3:.1f}ms "
+            f"p90={cl['p90'] * 1e3:.1f}ms p99={cl['p99'] * 1e3:.1f}ms "
+            f"(n={cl['count']})")
     if c.batched_done:
+        share = (f", {status.batch_share:.0%} of done cells"
+                 if status.batch_share is not None else "")
         lines.append(
             f"batch   : {c.batched_done}/{c.done} done chunks vectorized "
-            f"({c.cells_batched} cells)")
+            f"({c.cells_batched} cells{share})")
     for chunk in status.recent_chunks:
         per_s = (f"{chunk.cells_per_s:.0f} cells/s"
                  if chunk.cells_per_s else "rate n/a")
@@ -163,9 +244,12 @@ def render_status(status: FleetStatus, *, clock: Callable[[], float] = time.time
         + f"  (lease TTL {status.lease_ttl_s:g}s)")
     for w in status.workers:
         liveness = "alive" if now - w.last_seen <= status.lease_ttl_s else "gone "
+        span = w.last_seen - w.started_at
+        avg = (f"  ~{w.cells_done / span:.0f} cells/s"
+               if w.cells_done and span > 0 else "")
         lines.append(
             f"  {liveness}  {w.worker_id:<28} last seen {_age(now, w.last_seen):<11} "
-            f"chunks={w.chunks_done} cells={w.cells_done}")
+            f"chunks={w.chunks_done} cells={w.cells_done}{avg}")
     if not status.workers:
         lines.append("  (no worker has polled yet)")
     if not status.ever_enqueued:
@@ -332,6 +416,12 @@ def run_distributed(
                 "'campaign enqueue' to retry them")
     records_after, errors_after = store.result_counts()
     store.invalidate_caches()
+    run_metrics = None
+    if obs_metrics.enabled():
+        # Each worker upserted its cumulative snapshot; the merged view
+        # is the whole fleet's counters and pooled histograms.
+        run_metrics = obs_metrics.merge_snapshots(
+            snap for _, _, snap in queue.worker_metrics())
     return CampaignRun(
         total=report.total,
         # cells found already queued are drained (executed) by this very
@@ -342,4 +432,5 @@ def run_distributed(
         elapsed_s=time.perf_counter() - start,
         workers=workers,
         records=[],
+        metrics=run_metrics,
     )

@@ -37,9 +37,12 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ...obs import metrics as obs_metrics
+from ...obs import spans as obs_spans
 from .. import executor as executor_module
 from ..executor import run_chunk
 from ..spec import CellConfig
@@ -111,6 +114,8 @@ class WorkerReport:
     leases_lost: int = 0
     cells_batched: int = 0
     elapsed_s: float = 0.0
+    #: This worker's final metrics snapshot (None unless metrics enabled).
+    metrics: dict[str, dict] | None = field(default=None, repr=False)
 
     def summary(self) -> str:
         batched = (f" batched={self.cells_batched}"
@@ -165,81 +170,115 @@ def run_worker(
         if progress is not None:
             progress(message)
 
-    waiting_announced = False
-    while max_chunks is None or report.chunks_done < max_chunks:
-        claim = queue.claim(worker_id)
-        if claim is None:
-            if queue.finished():
-                break
-            if not waiting_announced and not queue.ever_enqueued():
-                # Fleet bring-up: workers may start before the enqueue
-                # commits.  finished() stays False for a never-enqueued
-                # campaign, so we wait here instead of exiting 0 and
-                # silently stranding the campaign.
-                say(f"no chunks enqueued yet for campaign "
-                    f"{queue.campaign!r}; waiting")
-                waiting_announced = True
-            time.sleep(poll_s)
-            continue
-        if claim.stolen_from is not None:
-            report.chunks_stolen += 1
-            say(f"chunk {claim.chunk_id}: reclaimed from {claim.stolen_from} "
-                f"(attempt {claim.attempt})")
-        else:
-            say(f"chunk {claim.chunk_id}: claimed "
-                f"({len(claim.cells)} cells)")
-        # A re-enqueue may race a finishing worker; never re-record a
-        # completed cell.  invalidate_caches() makes this one indexed
-        # query against the current truth, not a stale snapshot.
-        queue.store.invalidate_caches()
-        done_keys = queue.store.completed_keys()
-        records: list[dict[str, Any]] = []
-        n_batched = 0
-        skipped = 0
-        try:
-            chunk_started = time.perf_counter()
-            with LeaseKeeper(queue, claim.chunk_id, worker_id) as keeper:
-                todo: list[CellConfig] = []
-                for cell_dict in claim.cells:
-                    cell = CellConfig.from_dict(cell_dict)
-                    if cell.key() in done_keys:
-                        skipped += 1
-                    else:
-                        todo.append(cell)
-                records, n_batched = run_chunk(
-                    todo, batch=batch, abort=keeper.lost.is_set)
-            chunk_elapsed = time.perf_counter() - chunk_started
-            if keeper.lost.is_set():
-                report.leases_lost += 1
-                say(f"chunk {claim.chunk_id}: lease lost mid-chunk; discarding")
-                continue
-            cells_per_s = (len(records) / chunk_elapsed
-                           if records and chunk_elapsed > 0 else None)
+    # Observability (no-ops unless enabled by env/CLI): the worker
+    # session is one `campaign` span, each claimed chunk a child `chunk`
+    # span (cells nest inside, via run_chunk); the span buffer and this
+    # worker's metrics snapshot are flushed to the store after every
+    # completed chunk so `status`/`campaign metrics` see a live fleet.
+    rec = obs_spans.ensure_recorder(
+        store=queue.store, campaign=queue.campaign, worker=worker_id)
+    session_ctx = (
+        rec.span("campaign", queue.campaign or "campaign",
+                 worker_id=worker_id)
+        if rec is not None else nullcontext()
+    )
+
+    def publish_telemetry() -> None:
+        if obs_metrics.enabled():
             try:
-                queue.complete(
-                    claim.chunk_id, worker_id, records,
-                    batched=n_batched > 0, cells_per_s=cells_per_s)
-            except LeaseLost:
-                report.leases_lost += 1
-                say(f"chunk {claim.chunk_id}: lease lost at completion; "
-                    "discarding")
+                queue.record_worker_metrics(worker_id,
+                                            obs_metrics.snapshot())
+            except Exception:  # telemetry must never kill the worker
+                pass
+        if rec is not None:
+            rec.flush()
+
+    with session_ctx:
+        waiting_announced = False
+        while max_chunks is None or report.chunks_done < max_chunks:
+            claim = queue.claim(worker_id)
+            if claim is None:
+                if queue.finished():
+                    break
+                if not waiting_announced and not queue.ever_enqueued():
+                    # Fleet bring-up: workers may start before the enqueue
+                    # commits.  finished() stays False for a never-enqueued
+                    # campaign, so we wait here instead of exiting 0 and
+                    # silently stranding the campaign.
+                    say(f"no chunks enqueued yet for campaign "
+                        f"{queue.campaign!r}; waiting")
+                    waiting_announced = True
+                time.sleep(poll_s)
                 continue
-        except (KeyboardInterrupt, SystemExit):
-            # Graceful shutdown: hand the chunk straight back so the
-            # fleet does not wait a lease TTL for it.  Covers the whole
-            # claim-to-complete span; if complete() already committed,
-            # release() finds no lease and is a harmless no-op.
-            queue.release(claim.chunk_id, worker_id)
-            say(f"chunk {claim.chunk_id}: interrupted; released to pending")
-            raise
-        report.chunks_done += 1
-        report.cells_done += len(records)
-        report.cells_failed += sum(1 for r in records if "error" in r)
-        report.cells_skipped += skipped
-        report.cells_batched += n_batched
-        rate = (f", {cells_per_s:.0f} cells/s" if cells_per_s else "")
-        say(f"chunk {claim.chunk_id}: done ({len(records)} cells"
-            + (f", {n_batched} batched" if n_batched else "") + rate + ")")
+            if claim.stolen_from is not None:
+                report.chunks_stolen += 1
+                say(f"chunk {claim.chunk_id}: reclaimed from "
+                    f"{claim.stolen_from} (attempt {claim.attempt})")
+            else:
+                say(f"chunk {claim.chunk_id}: claimed "
+                    f"({len(claim.cells)} cells)")
+            # A re-enqueue may race a finishing worker; never re-record a
+            # completed cell.  invalidate_caches() makes this one indexed
+            # query against the current truth, not a stale snapshot.
+            queue.store.invalidate_caches()
+            done_keys = queue.store.completed_keys()
+            records: list[dict[str, Any]] = []
+            n_batched = 0
+            skipped = 0
+            span_attrs = {"chunk_id": claim.chunk_id,
+                          "attempt": claim.attempt}
+            if claim.stolen_from is not None:
+                span_attrs["stolen_from"] = claim.stolen_from
+            try:
+                chunk_started = time.perf_counter()
+                with LeaseKeeper(queue, claim.chunk_id, worker_id) as keeper:
+                    todo: list[CellConfig] = []
+                    for cell_dict in claim.cells:
+                        cell = CellConfig.from_dict(cell_dict)
+                        if cell.key() in done_keys:
+                            skipped += 1
+                        else:
+                            todo.append(cell)
+                    records, n_batched = run_chunk(
+                        todo, batch=batch, abort=keeper.lost.is_set,
+                        span_attrs=span_attrs)
+                chunk_elapsed = time.perf_counter() - chunk_started
+                if keeper.lost.is_set():
+                    report.leases_lost += 1
+                    say(f"chunk {claim.chunk_id}: lease lost mid-chunk; "
+                        "discarding")
+                    continue
+                cells_per_s = (len(records) / chunk_elapsed
+                               if records and chunk_elapsed > 0 else None)
+                try:
+                    queue.complete(
+                        claim.chunk_id, worker_id, records,
+                        batched=n_batched > 0, cells_per_s=cells_per_s)
+                except LeaseLost:
+                    report.leases_lost += 1
+                    say(f"chunk {claim.chunk_id}: lease lost at completion; "
+                        "discarding")
+                    continue
+            except (KeyboardInterrupt, SystemExit):
+                # Graceful shutdown: hand the chunk straight back so the
+                # fleet does not wait a lease TTL for it.  Covers the whole
+                # claim-to-complete span; if complete() already committed,
+                # release() finds no lease and is a harmless no-op.
+                queue.release(claim.chunk_id, worker_id)
+                say(f"chunk {claim.chunk_id}: interrupted; released to pending")
+                raise
+            report.chunks_done += 1
+            report.cells_done += len(records)
+            report.cells_failed += sum(1 for r in records if "error" in r)
+            report.cells_skipped += skipped
+            report.cells_batched += n_batched
+            publish_telemetry()
+            rate = (f", {cells_per_s:.0f} cells/s" if cells_per_s else "")
+            say(f"chunk {claim.chunk_id}: done ({len(records)} cells"
+                + (f", {n_batched} batched" if n_batched else "") + rate + ")")
 
     report.elapsed_s = clock() - started
+    if obs_metrics.enabled():
+        report.metrics = obs_metrics.snapshot()
+    publish_telemetry()
     return report

@@ -22,22 +22,30 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
 from ..core.batch import (
     BATCH_WIDTH,
     batch_eligible,
+    batch_ineligible_key,
     batch_ineligible_reason,
     numpy_available,
     run_batch_cells,
 )
 from ..core.errors import ConfigurationError
+from ..obs import metrics as obs_metrics
+from ..obs import spans as obs_spans
+from ..obs.logs import get_logger
 from .aggregate import metrics_from_result
 from .registry import build_cell_engine, validate_cell
 from .spec import CampaignSpec, CellConfig
 from .stores import ResultStore, open_store
+
+_log = get_logger(__name__)
 
 #: Valid values of the execution-routing switch (CLI ``--batch``).
 BATCH_MODES = ("auto", "on", "off")
@@ -51,15 +59,39 @@ def execute_cell(cell: CellConfig) -> dict[str, Any]:
     full :class:`~repro.core.results.RunResult` — so graph cells report
     the identical metric schema (termination modes included) ring cells
     always had.
+
+    When span tracing is active the cell gets a ``cell`` span
+    (route=scalar) and its record carries the ``span_id`` so a store row
+    can be traced back to the worker/host/chunk that produced it; with
+    tracing off, records are byte-identical to the pre-obs schema.
     """
+    rec = obs_spans.recorder()
+    if rec is None:
+        return _execute_cell(cell)
+    with rec.span("cell", cell.algorithm, key=cell.key(),
+                  route="scalar") as span:
+        record = _execute_cell(cell)
+        if "error" in record:
+            span.status = "error"
+            span.attrs["error"] = record["error"]
+        record["span_id"] = span.span_id
+    return record
+
+
+def _execute_cell(cell: CellConfig) -> dict[str, Any]:
     start = time.perf_counter()
+    timer = obs_metrics.phase_timer()
     try:
         engine = build_cell_engine(cell)
+        if timer is not None:
+            engine.set_instrument(timer)
         result = engine.run(
             cell.max_rounds, stop_on_exploration=cell.stop_on_exploration
         )
+        if timer is not None:
+            timer.flush()
         metrics = metrics_from_result(result)
-        return {
+        record = {
             "key": cell.key(),
             "config": cell.to_dict(),
             "metrics": metrics,
@@ -67,12 +99,20 @@ def execute_cell(cell: CellConfig) -> dict[str, Any]:
         }
     except Exception as exc:  # record the failure as an attempted outcome
         # (resumes skip it unless retry_failed re-drives it explicitly)
-        return {
+        record = {
             "key": cell.key(),
             "config": cell.to_dict(),
             "error": f"{type(exc).__name__}: {exc}",
             "elapsed_s": round(time.perf_counter() - start, 6),
         }
+    if obs_metrics.enabled():
+        reg = obs_metrics.registry()
+        reg.counter("executor.cells").inc()
+        reg.counter("executor.cells_scalar").inc()
+        if "error" in record:
+            reg.counter("executor.cells_failed").inc()
+        reg.histogram("executor.cell_s").observe(record["elapsed_s"])
+    return record
 
 
 def _effective_batch(cell: CellConfig, override: str | None) -> str:
@@ -94,6 +134,7 @@ def run_chunk(
     *,
     batch: str | None = None,
     abort: Callable[[], bool] | None = None,
+    span_attrs: dict[str, Any] | None = None,
 ) -> tuple[list[dict[str, Any]], int]:
     """Run one chunk of cells, batching the eligible ones in lockstep.
 
@@ -110,47 +151,107 @@ def run_chunk(
     ``abort`` (polled between scalar cells) lets a lease-losing worker
     stop early; already-produced records are returned for the caller to
     discard or keep.
+
+    Observability (all no-ops unless enabled): the chunk gets a
+    ``chunk`` span (``span_attrs`` lets the caller attach chunk ids or a
+    cross-process ``parent_id``); routing decisions feed the
+    ``executor.*`` counters — per-reason batch rejections
+    (``executor.batch_reject.<key>``) and vector-path degradations
+    (``executor.degrade_to_scalar``).
     """
     if batch is not None and batch not in BATCH_MODES:
         raise ConfigurationError(
             f"batch must be one of {BATCH_MODES}, got {batch!r}")
-    records: list[dict[str, Any] | None] = [None] * len(cells)
-    eligible = [(i, c) for i, c in enumerate(cells) if _wants_batch(c, batch)]
-    batched = 0
-    if eligible:
-        start = time.perf_counter()
-        try:
-            results = run_batch_cells([c for _, c in eligible])
-        except Exception:
-            # Defensive only: the batch path is differentially proven, but
-            # a routing bug must degrade to the scalar path, never lose
-            # cells.  (The bench guard catches a silent always-fallback.)
-            results = None
-        if results is not None:
-            per_cell = round(
-                (time.perf_counter() - start) / len(eligible), 6)
-            for (i, cell), result in zip(eligible, results):
-                records[i] = {
-                    "key": cell.key(),
-                    "config": cell.to_dict(),
-                    "metrics": metrics_from_result(result),
-                    "elapsed_s": per_cell,
-                }
-            batched = len(eligible)
-    for i, cell in enumerate(cells):
-        if records[i] is not None:
-            continue
-        if abort is not None and abort():
-            break
-        records[i] = execute_cell(cell)
+    rec = obs_spans.recorder()
+    reg = obs_metrics.registry() if obs_metrics.enabled() else None
+    chunk_ctx = (
+        rec.span("chunk", f"chunk[{len(cells)}]", **(span_attrs or {}))
+        if rec is not None else nullcontext()
+    )
+    with chunk_ctx as chunk_span:
+        records: list[dict[str, Any] | None] = [None] * len(cells)
+        eligible = [(i, c) for i, c in enumerate(cells)
+                    if _wants_batch(c, batch)]
+        if reg is not None:
+            reg.counter("executor.chunks").inc()
+            reg.histogram("executor.chunk_cells").observe(len(cells))
+            for cell in cells:
+                if _effective_batch(cell, batch) == "off":
+                    continue
+                if not numpy_available():
+                    reg.counter("executor.batch_reject.no_numpy").inc()
+                    continue
+                reason_key = batch_ineligible_key(cell)
+                if reason_key is not None:
+                    reg.counter(f"executor.batch_reject.{reason_key}").inc()
+        batched = 0
+        if eligible:
+            start = time.perf_counter()
+            try:
+                results = run_batch_cells([c for _, c in eligible])
+            except Exception:
+                # Defensive only: the batch path is differentially proven,
+                # but a routing bug must degrade to the scalar path, never
+                # lose cells.  (The bench guard catches a silent
+                # always-fallback.)
+                results = None
+                _log.warning(
+                    "batch path failed for %d cells; degrading to scalar",
+                    len(eligible), exc_info=True)
+                if reg is not None:
+                    reg.counter("executor.degrade_to_scalar").inc()
+            if results is not None:
+                per_cell = round(
+                    (time.perf_counter() - start) / len(eligible), 6)
+                for (i, cell), result in zip(eligible, results):
+                    records[i] = {
+                        "key": cell.key(),
+                        "config": cell.to_dict(),
+                        "metrics": metrics_from_result(result),
+                        "elapsed_s": per_cell,
+                    }
+                    if rec is not None:
+                        records[i]["span_id"] = rec.emit(
+                            "cell", cell.algorithm, elapsed_s=per_cell,
+                            attrs={"key": cell.key(), "route": "batch"})
+                batched = len(eligible)
+                if reg is not None:
+                    reg.counter("executor.cells").inc(batched)
+                    reg.counter("executor.cells_batched").inc(batched)
+        for i, cell in enumerate(cells):
+            if records[i] is not None:
+                continue
+            if abort is not None and abort():
+                if chunk_span is not None:
+                    chunk_span.attrs["aborted"] = True
+                break
+            records[i] = execute_cell(cell)
+        if chunk_span is not None:
+            chunk_span.attrs["cells"] = len(cells)
+            chunk_span.attrs["batched"] = batched
     return [r for r in records if r is not None], batched
 
 
 def _run_chunk(
-    payload: Sequence[dict[str, Any]], batch: str | None = None
-) -> tuple[list[dict[str, Any]], int]:
-    """Pool-worker entry point: run a chunk of serialised cells."""
-    return run_chunk([CellConfig.from_dict(d) for d in payload], batch=batch)
+    payload: Sequence[dict[str, Any]], batch: str | None = None,
+    parent_span_id: str | None = None,
+) -> tuple[list[dict[str, Any]], int, dict | None]:
+    """Pool-worker entry point: run a chunk of serialised cells.
+
+    Returns ``(records, batched, metrics_snapshot)``; the snapshot is a
+    per-chunk delta (the child registry is drained after each chunk) so
+    the parent can merge pool snapshots without double counting.
+    """
+    obs_spans.ensure_recorder()  # pool children: env-driven JSONL sink
+    span_attrs = {"parent_id": parent_span_id} if parent_span_id else None
+    records, batched = run_chunk(
+        [CellConfig.from_dict(d) for d in payload], batch=batch,
+        span_attrs=span_attrs)
+    snap: dict | None = None
+    if obs_metrics.enabled():
+        snap = obs_metrics.snapshot()
+        obs_metrics.reset()
+    return records, batched, snap
 
 
 @dataclass
@@ -166,6 +267,9 @@ class CampaignRun:
     #: Cells that took the vectorized BatchCore path (0 on scalar runs).
     batched: int = 0
     records: list[dict[str, Any]] = field(default_factory=list, repr=False)
+    #: Merged metrics snapshot (None unless metrics were enabled) — the
+    #: run's own registry plus every pool/fleet worker's snapshot.
+    metrics: dict[str, dict] | None = field(default=None, repr=False)
 
     def summary(self) -> str:
         batched = f" batched={self.batched}" if self.batched else ""
@@ -313,6 +417,7 @@ def run_cells(
     records: list[dict[str, Any]] = []
     completed = 0
     batched = 0
+    pool_snaps: list[dict] = []
 
     def consume(chunk_records: list[dict[str, Any]]) -> None:
         nonlocal completed
@@ -322,26 +427,51 @@ def run_cells(
         if progress is not None:
             progress(completed, len(pending))
 
+    rec = obs_spans.ensure_recorder(store=store,
+                                    campaign=store.campaign or "")
+    campaign_ctx = (
+        rec.span("campaign", store.campaign or "campaign",
+                 cells=len(pending), mode="pool")
+        if rec is not None else nullcontext()
+    )
     all_batchable = bool(pending) and all(
         _wants_batch(c, batch) for c in pending)
-    if workers <= 1 or len(pending) <= 1:
-        workers = 1
-        for group in _serial_groups(pending, batch):
-            chunk_records, n_batched = run_chunk(group, batch=batch)
-            batched += n_batched
-            consume(chunk_records)
-    else:
-        if chunk_size is None:
-            chunk_size = default_chunk_size(
-                len(pending), workers, batch=all_batchable)
-        chunks = chunk_cells([c.to_dict() for c in pending], chunk_size)
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        runner = functools.partial(_run_chunk, batch=batch)
-        with ctx.Pool(processes=workers) as pool:
-            for chunk_records, n_batched in pool.imap_unordered(runner, chunks):
+    with campaign_ctx as campaign_span:
+        if workers <= 1 or len(pending) <= 1:
+            workers = 1
+            for group in _serial_groups(pending, batch):
+                chunk_records, n_batched = run_chunk(group, batch=batch)
                 batched += n_batched
                 consume(chunk_records)
+        else:
+            if chunk_size is None:
+                chunk_size = default_chunk_size(
+                    len(pending), workers, batch=all_batchable)
+            chunks = chunk_cells([c.to_dict() for c in pending], chunk_size)
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+            runner = functools.partial(
+                _run_chunk, batch=batch,
+                parent_span_id=(campaign_span.span_id
+                                if campaign_span is not None else None))
+            with ctx.Pool(processes=workers) as pool:
+                for chunk_records, n_batched, snap in pool.imap_unordered(
+                        runner, chunks):
+                    batched += n_batched
+                    if snap:
+                        pool_snaps.append(snap)
+                    consume(chunk_records)
+    if rec is not None:
+        rec.flush()
+
+    run_metrics: dict[str, dict] | None = None
+    if obs_metrics.enabled():
+        run_metrics = obs_metrics.merge_snapshots(
+            [obs_metrics.snapshot(), *pool_snaps])
+        record_fn = getattr(store, "record_metrics_snapshot", None)
+        if record_fn is not None:
+            record_fn(f"run-{os.getpid()}", run_metrics)
 
     failed = sum(1 for r in records if "error" in r)
     return CampaignRun(
@@ -353,6 +483,7 @@ def run_cells(
         workers=workers,
         batched=batched,
         records=records,
+        metrics=run_metrics,
     )
 
 

@@ -124,6 +124,41 @@ CREATE TABLE IF NOT EXISTS workers (
 );
 """
 
+#: Observability tables (see :mod:`repro.obs`).  Additive — ``CREATE
+#: TABLE IF NOT EXISTS`` is the whole migration for stores created
+#: before this schema existed.
+#:
+#: ``spans``          — the persisted form of the campaign → chunk → cell
+#:                      span hierarchy (``repro.obs.spans``): one row per
+#:                      closed span, correlating worker/host/route with
+#:                      result rows via the record's ``span_id``;
+#: ``worker_metrics`` — one row per worker (or pool run): its latest
+#:                      serialized metrics snapshot, merged by ``campaign
+#:                      metrics`` / ``status`` into the fleet view.
+_OBS_SCHEMA = """
+CREATE TABLE IF NOT EXISTS spans (
+    span_id      TEXT PRIMARY KEY,
+    parent_id    TEXT,
+    campaign_key TEXT NOT NULL DEFAULT '',
+    kind         TEXT NOT NULL,
+    name         TEXT NOT NULL,
+    worker_id    TEXT NOT NULL DEFAULT '',
+    host         TEXT NOT NULL DEFAULT '',
+    start_s      REAL NOT NULL,
+    elapsed_s    REAL,
+    status       TEXT NOT NULL DEFAULT 'ok',
+    attrs        TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS ix_spans_campaign ON spans (campaign_key, kind);
+CREATE TABLE IF NOT EXISTS worker_metrics (
+    worker_id    TEXT PRIMARY KEY,
+    campaign_key TEXT NOT NULL DEFAULT '',
+    updated_at   REAL NOT NULL,
+    snapshot     TEXT NOT NULL
+);
+"""
+
+
 def _migrate_chunk_telemetry(conn: sqlite3.Connection) -> None:
     """Grow ``chunks`` columns added after the first queue release.
 
@@ -198,6 +233,7 @@ class SqliteStore(ResultStore):
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.executescript(_SCHEMA)
             conn.executescript(_QUEUE_SCHEMA)
+            conn.executescript(_OBS_SCHEMA)
             _migrate_chunk_telemetry(conn)
             conn.commit()
             self._conn = conn
@@ -371,3 +407,107 @@ class SqliteStore(ResultStore):
         conn = self._connect()
         with conn:  # BEGIN ... COMMIT (or ROLLBACK on error)
             conn.executemany(INSERT_RESULT_SQL, rows)
+
+    # -- observability (spans + worker metrics snapshots) --------------
+
+    def append_spans(self, spans: list[dict[str, Any]]) -> None:
+        """Persist closed spans (one transaction per flush, idempotent).
+
+        ``INSERT OR IGNORE``: span ids are unique per emission, so a
+        retried flush after a crash-mid-commit cannot double-insert.
+        """
+        rows = [
+            (
+                span["span_id"],
+                span.get("parent_id"),
+                self.campaign or span.get("campaign") or "",
+                span["kind"],
+                span["name"],
+                span.get("worker") or "",
+                span.get("host") or "",
+                span.get("start_s", 0.0),
+                span.get("elapsed_s"),
+                span.get("status", "ok"),
+                json.dumps(span.get("attrs") or {}, sort_keys=True,
+                           separators=(",", ":")),
+            )
+            for span in spans
+        ]
+        conn = self._connect()
+        with conn:
+            conn.executemany(
+                "INSERT OR IGNORE INTO spans (span_id, parent_id, "
+                "campaign_key, kind, name, worker_id, host, start_s, "
+                "elapsed_s, status, attrs) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows)
+
+    def spans(self, kind: str | None = None) -> list[dict[str, Any]]:
+        """Read back persisted spans (campaign-scoped, insertion order)."""
+        if not self.path.exists():
+            return []
+        scope, params = self._scope()
+        clauses = [scope] if scope else []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params = params + [kind]
+        sql = ("SELECT span_id, parent_id, campaign_key, kind, name, "
+               "worker_id, host, start_s, elapsed_s, status, attrs "
+               "FROM spans")
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY start_s, span_id"
+        out = []
+        for row in self._connect().execute(sql, params):
+            out.append({
+                "span_id": row[0],
+                "parent_id": row[1],
+                "campaign": row[2],
+                "kind": row[3],
+                "name": row[4],
+                "worker": row[5],
+                "host": row[6],
+                "start_s": row[7],
+                "elapsed_s": row[8],
+                "status": row[9],
+                "attrs": json.loads(row[10]) if row[10] else {},
+            })
+        return out
+
+    def record_metrics_snapshot(
+        self, worker_id: str, snapshot: Mapping[str, Any]
+    ) -> None:
+        """Upsert one worker's (or run's) latest metrics snapshot."""
+        import time as _time
+
+        conn = self._connect()
+        with conn:
+            conn.execute(
+                "INSERT INTO worker_metrics "
+                "(worker_id, campaign_key, updated_at, snapshot) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(worker_id) DO UPDATE SET "
+                "campaign_key = excluded.campaign_key, "
+                "updated_at = excluded.updated_at, "
+                "snapshot = excluded.snapshot",
+                (worker_id, self.campaign or "", _time.time(),
+                 json.dumps(snapshot, sort_keys=True,
+                            separators=(",", ":"))))
+
+    def metrics_snapshots(self) -> list[tuple[str, float, dict[str, Any]]]:
+        """``(worker_id, updated_at, snapshot)`` rows, campaign-scoped."""
+        if not self.path.exists():
+            return []
+        scope, params = self._scope()
+        sql = "SELECT worker_id, updated_at, snapshot FROM worker_metrics"
+        if scope:
+            sql += f" WHERE {scope}"
+        sql += " ORDER BY worker_id"
+        out = []
+        for worker_id, updated_at, text in self._connect().execute(sql, params):
+            try:
+                snap = json.loads(text)
+            except json.JSONDecodeError:  # pragma: no cover - rows are atomic
+                continue
+            out.append((worker_id, updated_at, snap))
+        return out

@@ -28,7 +28,19 @@ Commands:
     ``--scatter`` drills down to per-seed rows, and ``--errors`` lists
     the cells whose only outcome is an error record);
   * ``campaign export`` — dump a store as a columnar file (CSV/Parquet);
+  * ``campaign metrics`` — merged fleet metrics from the store's
+    persisted worker snapshots (``--format table|json|prom``; ``prom``
+    emits a Prometheus textfile);
   * ``campaign list``   — list the named campaign specs.
+
+Observability (see :mod:`repro.obs` and ARCHITECTURE.md):
+``--metrics`` / ``--trace`` / ``--trace-jsonl PATH`` (on
+``run``/``resume``/``worker``) switch on the metrics registry and the
+campaign→chunk→cell span trace — both off by default and free when off.
+The flags are exported as ``REPRO_METRICS`` / ``REPRO_TRACE`` /
+``REPRO_TRACE_JSONL`` so spawned worker processes inherit them.  The
+top-level ``--log-level/--log-json/-q/--verbose`` flags configure the
+stdlib-``logging`` backbone every progress line now flows through.
 
 ``--batch {auto,on,off}`` (on ``run``/``resume``/``worker``) routes
 eligible cells — ring/NS/FSYNC under an oblivious adversary — through
@@ -50,6 +62,7 @@ is also a valid name in a campaign spec.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -77,7 +90,12 @@ from .campaigns.stores import (
     render_scatter,
 )
 from .core.errors import ConfigurationError
+from .obs import expo as obs_expo
+from .obs import logs as obs_logs
+from .obs import metrics as obs_metrics
 from .theory.tables import render_map
+
+_log = obs_logs.get_logger(__name__)
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -85,6 +103,17 @@ def make_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Live Exploration of Dynamic Rings - reproduction CLI",
     )
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        help="logging threshold for repro.* loggers "
+                             "(DEBUG/INFO/WARNING/ERROR; default INFO)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log lines as JSON objects on stderr "
+                             "(machine-ingestable)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="warnings and errors only (silences progress "
+                             "lines; results still print on stdout)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="debug logging (per-chunk detail)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("atlas", help="print the paper's feasibility map")
@@ -155,6 +184,7 @@ def make_parser() -> argparse.ArgumentParser:
                             "(scalar fallback otherwise), on requires it, "
                             "off forces the scalar path; never changes "
                             "results or store keys (default: auto)")
+        _add_obs_flags(p)
 
     p = csub.add_parser(
         "enqueue",
@@ -204,6 +234,7 @@ def make_parser() -> argparse.ArgumentParser:
                    help="vectorized batch execution for claimed chunks "
                         "(default: auto; routing never changes results, so "
                         "a mixed fleet is fine)")
+    _add_obs_flags(p)
 
     p = csub.add_parser(
         "status", help="live fleet telemetry for a distributed campaign")
@@ -251,6 +282,27 @@ def make_parser() -> argparse.ArgumentParser:
                         "'campaign resume --retry-failed')")
 
     p = csub.add_parser(
+        "metrics",
+        help="merged fleet metrics from the store's worker snapshots")
+    p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
+                   help="spec name used to locate the default store")
+    p.add_argument("--spec-file", default=None, metavar="PATH",
+                   help="JSON/YAML spec file (overrides --spec)")
+    p.add_argument("--store", default=None, metavar="URI",
+                   help="SQLite result store holding the telemetry tables "
+                        "(default: sqlite:results/<spec>.db)")
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="campaign tag (default: the spec's name)")
+    p.add_argument("--format", choices=("table", "json", "prom"),
+                   default="table",
+                   help="table: aligned human report; json: summarised "
+                        "snapshot; prom: Prometheus textfile exposition "
+                        "(default: table)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the report to PATH instead of stdout "
+                        "(e.g. a node_exporter textfile collector dir)")
+
+    p = csub.add_parser(
         "export", help="export a result store as a columnar file")
     p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
                    help="spec name used to locate the default store")
@@ -266,6 +318,21 @@ def make_parser() -> argparse.ArgumentParser:
 
     csub.add_parser("list", help="list the named campaign specs")
     return parser
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """``--metrics/--trace/--trace-jsonl`` for verbs that execute cells."""
+    p.add_argument("--metrics", action="store_true",
+                   help="record counters/histograms (queue claim latency, "
+                        "engine phase timings, batch share) and print a "
+                        "metrics report after the summary; exported as "
+                        "REPRO_METRICS=1 so worker processes inherit it")
+    p.add_argument("--trace", action="store_true",
+                   help="record campaign→chunk→cell spans into the SQLite "
+                        "store's spans table (REPRO_TRACE=1)")
+    p.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                   help="also append spans as JSON lines to PATH "
+                        "(REPRO_TRACE_JSONL; works with any store backend)")
 
 
 def build_from_args(args) -> tuple:
@@ -323,10 +390,44 @@ def _lease_ttl(args) -> float:
     return ttl if ttl is not None else DEFAULT_LEASE_TTL_S
 
 
-def _progress(done: int, total: int) -> None:
-    print(f"\r  {done}/{total} cells", end="", file=sys.stderr, flush=True)
-    if done == total:
-        print(file=sys.stderr)
+def _apply_obs_flags(args) -> None:
+    """Export the observability flags as environment variables.
+
+    The env — not in-process state — is the contract: pool children and
+    spawned local workers inherit it, and multi-host workers accept the
+    same variables directly.
+    """
+    if getattr(args, "metrics", False):
+        os.environ["REPRO_METRICS"] = "1"
+    if getattr(args, "trace", False):
+        os.environ["REPRO_TRACE"] = "1"
+    if getattr(args, "trace_jsonl", None):
+        os.environ["REPRO_TRACE_JSONL"] = args.trace_jsonl
+
+
+class _Milestones:
+    """Log campaign progress at ~10% steps (replaces the ``\\r`` ticker —
+    log lines must stay one-per-event for ``--log-json`` consumers)."""
+
+    def __init__(self, step: float = 0.1) -> None:
+        self._step = step
+        self._next = step
+        self._last = -1
+
+    def __call__(self, done: int, total: int) -> None:
+        if not total or done == self._last:
+            return
+        frac = done / total
+        if frac >= self._next or done == total:
+            self._last = done
+            _log.info("%d/%d cells (%.0f%%)", done, total, frac * 100)
+            while self._next <= frac:
+                self._next += self._step
+
+
+def _print_metrics(snapshot, title: str) -> None:
+    if snapshot:
+        print(obs_expo.render_table(snapshot, title=title))
 
 
 def campaign_main(args) -> int:
@@ -340,6 +441,7 @@ def campaign_main(args) -> int:
         # Workers need no spec: chunks carry fully serialised cells.
         from .campaigns.distributed import run_worker
 
+        _apply_obs_flags(args)
         target = args.store or f"sqlite:results/{args.campaign}.db"
         try:
             report = run_worker(
@@ -351,14 +453,16 @@ def campaign_main(args) -> int:
                 max_chunks=args.max_chunks,
                 **({"max_attempts": args.max_attempts}
                    if args.max_attempts is not None else {}),
-                progress=lambda line: print(line, file=sys.stderr),
+                progress=_log.info,
                 batch=args.batch,
             )
         except KeyboardInterrupt:
             # run_worker released any held chunk on the way out.
-            print("worker interrupted; held lease released", file=sys.stderr)
+            _log.warning("worker interrupted; held lease released")
             return 130
         print(report.summary())
+        _print_metrics(report.metrics,
+                       title=f"metrics — worker {report.worker_id}")
         return 0
 
     spec = _campaign_spec(args)
@@ -392,7 +496,7 @@ def campaign_main(args) -> int:
         target = args.store or Path("results") / f"{campaign}.db"
         store = open_store(target, campaign=campaign)
         if not store.exists():
-            print(f"no result store at {store.path}", file=sys.stderr)
+            _log.error("no result store at %s", store.path)
             return 1
         ttl = _lease_ttl(args)
         if args.watch:
@@ -400,17 +504,43 @@ def campaign_main(args) -> int:
                 watch_status(store, lease_ttl_s=ttl, interval_s=args.interval)
             except KeyboardInterrupt:
                 # the promised UX: Ctrl-C stops the watch, not the fleet
-                print("watch stopped (the fleet keeps running)",
-                      file=sys.stderr)
+                _log.warning("watch stopped (the fleet keeps running)")
                 return 130
         else:
             print(render_status(fleet_status(store, lease_ttl_s=ttl)))
         return 0
 
+    if args.campaign_command == "metrics":
+        from .campaigns.distributed import store_metrics
+
+        campaign = args.campaign or spec.name
+        target = args.store or Path("results") / f"{campaign}.db"
+        store = open_store(target, campaign=campaign)
+        if not store.exists():
+            _log.error("no result store at %s", store.path)
+            return 1
+        merged, fleet = store_metrics(store)
+        if args.format == "json":
+            text = json.dumps(obs_expo.to_json(merged, fleet),
+                              indent=2, sort_keys=True)
+        elif args.format == "prom":
+            text = obs_expo.prometheus_text(
+                merged, labels={"campaign": campaign})
+        else:
+            text = obs_expo.render_table(
+                merged, fleet=fleet,
+                title=f"campaign {campaign} — metrics ({store.uri()})")
+        if args.out:
+            Path(args.out).write_text(text + "\n", encoding="utf-8")
+            _log.info("wrote %s metrics to %s", args.format, args.out)
+        else:
+            print(text)
+        return 0
+
     if args.campaign_command == "report":
         store = _campaign_store(args, spec)
         if not store.exists():
-            print(f"no result store at {store.path}", file=sys.stderr)
+            _log.error("no result store at %s", store.path)
             return 1
         by = tuple(d.strip() for d in args.by.split(",") if d.strip())
         query = store.query()
@@ -445,16 +575,17 @@ def campaign_main(args) -> int:
     if args.campaign_command == "export":
         store = _campaign_store(args, spec)
         if not store.exists():
-            print(f"no result store at {store.path}", file=sys.stderr)
+            _log.error("no result store at %s", store.path)
             return 1
         result = export_store(store, args.out, format=args.format)
         print(result.summary())
         return 0
 
     # run / resume
+    _apply_obs_flags(args)
     store = _campaign_store(args, spec, distributed=args.distributed)
     if args.campaign_command == "resume" and not store.exists():
-        print(f"nothing to resume: no store at {store.path}", file=sys.stderr)
+        _log.error("nothing to resume: no store at %s", store.path)
         return 1
     cells = spec.cell_list()
     if args.limit is not None:
@@ -469,27 +600,37 @@ def campaign_main(args) -> int:
             spec, store, cells=cells,
             workers=args.workers, chunk_size=args.chunk_size,
             lease_ttl_s=_lease_ttl(args), retry_failed=args.retry_failed,
-            debug_invariants=debug, progress=_progress,
+            debug_invariants=debug, progress=_Milestones(),
             batch=args.batch,
         )
     else:
         run = run_cells(
             cells, store,
             workers=args.workers, chunk_size=args.chunk_size,
-            progress=_progress, debug_invariants=debug,
+            progress=_Milestones(), debug_invariants=debug,
             retry_failed=args.retry_failed, batch=args.batch,
         )
     print(run.summary())
+    _print_metrics(run.metrics, title=f"metrics — campaign {spec.name}")
     if not args.no_report:
         print(render_rows(store.query().table(), title=f"campaign {spec.name}"))
     return 1 if run.failed else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
     try:
-        return _dispatch(make_parser().parse_args(argv))
-    except ConfigurationError as exc:
+        obs_logs.configure(
+            obs_logs.resolve_level(
+                args.log_level, quiet=args.quiet, verbose=args.verbose),
+            json_lines=args.log_json)
+    except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return _dispatch(args)
+    except ConfigurationError as exc:
+        _log.error("%s", exc)
         return 2
     except BrokenPipeError:
         # stdout went away (e.g. piped into `head`); exit quietly.

@@ -45,6 +45,7 @@ import os
 import random
 from typing import TYPE_CHECKING, Sequence
 
+from ..obs import metrics as obs_metrics
 from .errors import ConfigurationError
 from .results import AgentStats, RunResult
 from .sim import MAX_ROUNDS_LIMIT
@@ -86,53 +87,71 @@ def numpy_available() -> bool:
     return HAVE_NUMPY
 
 
-def batch_ineligible_reason(cell: "CellConfig") -> str | None:
-    """Why ``cell`` must run on the scalar core (``None`` = batchable).
+def _batch_ineligibility(cell: "CellConfig") -> tuple[str, str] | None:
+    """``(key, reason)`` why ``cell`` must run scalar (``None`` = batchable).
 
     The contract: for an eligible cell, :class:`BatchCore` produces the
     exact :class:`~repro.core.results.RunResult` the scalar engine would.
     Configurations the scalar path *rejects* (bad bound, out-of-range
     fixed edge, invalid flip vector...) are therefore ineligible too, so
     the fallback path reproduces the identical error record.
+
+    ``key`` is a short stable identifier the executor uses to label
+    rejection-reason counters (``executor.batch_reject.<key>``);
+    ``reason`` is the human message.
     """
     if cell.topology != "ring":
-        return f"topology {cell.topology!r} is not the ring"
+        return "topology", f"topology {cell.topology!r} is not the ring"
     if cell.algorithm not in BATCH_ALGORITHMS:
-        return f"algorithm {cell.algorithm!r} has no vectorized kernel"
+        return "algorithm", f"algorithm {cell.algorithm!r} has no vectorized kernel"
     if cell.adversary not in BATCH_ADVERSARIES:
-        return f"adversary {cell.adversary!r} peeks or schedules"
+        return "adversary", f"adversary {cell.adversary!r} peeks or schedules"
     if cell.transport != "ns":
-        return f"transport {cell.transport!r} is not NS"
+        return "transport", f"transport {cell.transport!r} is not NS"
     if cell.scheduler not in ("auto", "fsync"):
-        return f"scheduler {cell.scheduler!r} is not FSYNC"
+        return "scheduler", f"scheduler {cell.scheduler!r} is not FSYNC"
     if cell.landmark is not None:
-        return "landmark cells track LExplore observations"
+        return "landmark", "landmark cells track LExplore observations"
     if cell.debug_invariants:
-        return "per-round invariant audit requested"
+        return "debug_invariants", "per-round invariant audit requested"
     if not 0 < cell.max_rounds <= MAX_ROUNDS_LIMIT:
-        return f"max_rounds {cell.max_rounds} outside (0, {MAX_ROUNDS_LIMIT}]"
+        return ("max_rounds",
+                f"max_rounds {cell.max_rounds} outside (0, {MAX_ROUNDS_LIMIT}]")
     if cell.algorithm == "known-bound" and cell.bound is not None and cell.bound < 3:
-        return f"bound {cell.bound} < 3 (scalar path rejects it)"
+        return "bound", f"bound {cell.bound} < 3 (scalar path rejects it)"
     if cell.adversary in ("fixed", "periodic") and not 0 <= cell.edge < cell.ring_size:
-        return f"edge {cell.edge} outside ring of size {cell.ring_size}"
+        return "edge", f"edge {cell.edge} outside ring of size {cell.ring_size}"
     if cell.chirality and cell.flipped:
-        return "chirality with flipped agents (scalar path rejects it)"
+        return "chirality", "chirality with flipped agents (scalar path rejects it)"
     if any(not 0 <= i < cell.agents for i in cell.flipped):
-        return "flipped index out of range (scalar path rejects it)"
+        return "flipped", "flipped index out of range (scalar path rejects it)"
     if cell.placement == "explicit":
         if cell.positions is None:
-            return "explicit placement without positions (scalar path rejects it)"
+            return ("placement",
+                    "explicit placement without positions (scalar path rejects it)")
     else:
         if cell.positions is not None:
-            return "positions given for a non-explicit placement"
+            return "placement", "positions given for a non-explicit placement"
         if cell.placement not in ("spread", "offset-spread", "thirds", "origin"):
-            return f"unknown placement {cell.placement!r}"
+            return "placement", f"unknown placement {cell.placement!r}"
     return None
+
+
+def batch_ineligible_reason(cell: "CellConfig") -> str | None:
+    """Human-readable reason ``cell`` must run scalar (``None`` = batchable)."""
+    verdict = _batch_ineligibility(cell)
+    return None if verdict is None else verdict[1]
+
+
+def batch_ineligible_key(cell: "CellConfig") -> str | None:
+    """Short stable rejection key for metrics (``None`` = batchable)."""
+    verdict = _batch_ineligibility(cell)
+    return None if verdict is None else verdict[0]
 
 
 def batch_eligible(cell: "CellConfig") -> bool:
     """Can ``cell`` run on :class:`BatchCore`? (shared routing predicate)"""
-    return batch_ineligible_reason(cell) is None
+    return _batch_ineligibility(cell) is None
 
 
 _ADV_CODE = {"none": 0, "fixed": 1, "periodic": 2, "random": 3}
@@ -199,6 +218,11 @@ class BatchCore:
         C = len(cells)
         K = cells[0].agents
         self._C, self._K = C, K
+        if obs_metrics.enabled():
+            reg = obs_metrics.registry()
+            reg.counter("batch.cores").inc()
+            reg.histogram("batch.width").observe(C)
+            reg.histogram("batch.agents").observe(K)
         self.algorithm = cells[0].algorithm
 
         self.n = np.array([c.ring_size for c in cells], dtype=np.int64)

@@ -157,6 +157,11 @@ class SimulationCore:
         self.adversary = adversary
         self.transport = TransportModel(transport)
         self.trace = trace
+        # Optional obs PhaseTimer; attach via set_instrument().  The
+        # plain `step` never consults it — the instrumented twin is
+        # swapped in per instance, so the disabled path stays
+        # byte-identical to the uninstrumented engine.
+        self.instrument = None
         self._tie_break = port_tie_break
         self._optimized = bool(optimized)
         self._debug = (
@@ -381,11 +386,22 @@ class SimulationCore:
             )
             self._emit(EventKind.ROUND, None, (detail, tuple(sorted(active))))
 
-        # Look (simultaneous) + Compute.  Agent decisions are mutually
-        # independent — a Compute only mutates its own agent's memory and
-        # no snapshot reads any memory but the observer's — so the
-        # optimized path fuses Look and Compute per agent; the reference
-        # path keeps the original two-pass shape.
+        decisions = self._look_compute(active)
+        movers = self._resolve_actions(decisions)
+        self._move_phase(movers)
+        self._end_of_round(active, movers)
+        self.round_no += 1
+        return True
+
+    def _look_compute(self, active: set[int]) -> dict[int, Action]:
+        """Look (simultaneous) + Compute for every active agent.
+
+        Agent decisions are mutually independent — a Compute only
+        mutates its own agent's memory and no snapshot reads any memory
+        but the observer's — so the optimized path fuses Look and
+        Compute per agent; the reference path keeps the original
+        two-pass shape.
+        """
         decisions = self._decisions
         decisions.clear()
         algorithm = self.algorithm
@@ -402,10 +418,62 @@ class SimulationCore:
                 agent = agents[i]
                 agent.memory.failed = False
                 decisions[i] = algorithm.compute(snapshots[i], agent.memory)
+        return decisions
+
+    def set_instrument(self, instrument) -> None:
+        """Attach (or detach) an obs ``PhaseTimer`` to the round loop.
+
+        Instrumentation swaps :meth:`step` for :meth:`_step_instrumented`
+        on this *instance*, so an engine without an instrument executes
+        exactly the code it executed before observability existed —
+        that is the "near-zero cost when disabled" contract the
+        ``obs_overhead`` bench guard enforces.
+        """
+        self.instrument = instrument
+        if instrument is not None:
+            self.step = self._step_instrumented
+        else:
+            self.__dict__.pop("step", None)
+
+    def _step_instrumented(self) -> bool:
+        """`step` twin with per-phase wall-clock accounting.
+
+        Must mirror :meth:`step` exactly (asserted by
+        ``tests/obs/test_instrumented_step.py``); timings accumulate as
+        plain floats on the :class:`~repro.obs.metrics.PhaseTimer` and
+        are folded into histograms once per run by the executor.
+        """
+        from time import perf_counter
+
+        if not self._live:
+            return False
+
+        instr = self.instrument
+        t0 = perf_counter()
+        missing = self._choose_missing()
+        active = self._validated_activation(self.scheduler.select(self))
+        self.last_active = active
+        if self.trace is not None:
+            detail = (
+                self.missing_edge if len(missing) <= 1
+                else tuple(sorted(missing, key=repr))
+            )
+            self._emit(EventKind.ROUND, None, (detail, tuple(sorted(active))))
+        t1 = perf_counter()
+        instr.adversary += t1 - t0
+
+        decisions = self._look_compute(active)
+        t2 = perf_counter()
+        instr.look_compute += t2 - t1
 
         movers = self._resolve_actions(decisions)
         self._move_phase(movers)
+        t3 = perf_counter()
+        instr.move += t3 - t2
+
         self._end_of_round(active, movers)
+        instr.end_of_round += perf_counter() - t3
+        instr.rounds += 1
         self.round_no += 1
         return True
 

@@ -1,0 +1,25 @@
+"""Unified observability: metrics, span tracing, logging, exposition.
+
+One subsystem shared by every layer of the reproduction — the engine
+round loop, the batch kernels, the chunk executor, and the distributed
+fleet.  See ARCHITECTURE.md "Observability" for the design and the
+overhead contract (<2% on the engine headline with instrumentation
+disabled, CI-guarded by ``benchmarks/bench_engine_hotpath.py``).
+
+Submodules:
+
+* :mod:`repro.obs.metrics` — thread-safe registry (counters, gauges,
+  reservoir-sampled histograms) with mergeable snapshots; env-gated via
+  ``REPRO_METRICS=1`` / the ``campaign --metrics`` flag.
+* :mod:`repro.obs.spans` — campaign → chunk → cell span hierarchy,
+  emitted as JSONL and/or persisted to the SQLite ``spans`` table;
+  env-gated via ``REPRO_TRACE``/``REPRO_TRACE_JSONL``.
+* :mod:`repro.obs.logs` — ``repro.*`` stdlib-logging backbone
+  (``--log-level``/``--log-json``/``--quiet``/``--verbose``).
+* :mod:`repro.obs.expo` — human table / Prometheus textfile / JSON
+  rendering of snapshots (``campaign metrics``).
+"""
+
+from . import expo, logs, metrics, spans
+
+__all__ = ["expo", "logs", "metrics", "spans"]

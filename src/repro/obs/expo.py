@@ -1,0 +1,129 @@
+"""Exposition: render a (merged) metrics snapshot for humans and scrapers.
+
+Three formats, all fed by the same snapshot dict produced by
+``metrics.snapshot()`` / ``metrics.merge_snapshots``:
+
+* :func:`render_table` — aligned text for the terminal (`campaign
+  metrics`, and the summary block `--metrics` appends to run/worker
+  output).
+* :func:`prometheus_text` — the Prometheus textfile format
+  (node_exporter textfile-collector compatible): dotted metric names
+  become ``repro_``-prefixed snake_case, counters gain ``_total``,
+  histograms expose ``{quantile=...}`` samples plus ``_count``/``_sum``.
+* plain JSON — ``json.dumps`` of :func:`to_json`, which replaces raw
+  histogram reservoirs with derived summaries (count/sum/percentiles).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from .metrics import PERCENTILES, summarize_histogram
+
+__all__ = ["prometheus_text", "prom_name", "render_table", "to_json"]
+
+
+def _fmt(value: float | int | None) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.3e}"
+
+
+def render_table(snapshot: Mapping[str, dict], *, title: str = "metrics",
+                 fleet: Mapping | None = None) -> str:
+    """Aligned human-readable table of a snapshot (+ optional fleet block)."""
+    lines = [f"== {title}"]
+    if not snapshot and not fleet:
+        lines.append("  (no metrics recorded)")
+        return "\n".join(lines)
+    width = max((len(name) for name in snapshot), default=0)
+    for name, dump in snapshot.items():
+        kind = dump.get("type")
+        if kind == "histogram":
+            s = summarize_histogram(dump)
+            detail = (f"count={s['count']} p50={_fmt(s['p50'])} "
+                      f"p90={_fmt(s['p90'])} p99={_fmt(s['p99'])} "
+                      f"sum={_fmt(s['sum'])}")
+        else:
+            detail = _fmt(dump.get("value"))
+        lines.append(f"  {name:<{width}}  {kind:<9}  {detail}")
+    if fleet:
+        lines.append("  -- fleet --")
+        for key, value in fleet.items():
+            if isinstance(value, Mapping):
+                detail = " ".join(f"{k}={_fmt(v)}" for k, v in value.items())
+            else:
+                detail = _fmt(value)
+            lines.append(f"  {key:<{width}}  {detail}")
+    return "\n".join(lines)
+
+
+def to_json(snapshot: Mapping[str, dict],
+            fleet: Mapping | None = None) -> dict:
+    """JSON-friendly snapshot: histograms become derived summaries."""
+    out: dict = {}
+    for name, dump in snapshot.items():
+        if dump.get("type") == "histogram":
+            out[name] = {"type": "histogram", **summarize_histogram(dump)}
+        else:
+            out[name] = dict(dump)
+    payload = {"metrics": out}
+    if fleet is not None:
+        payload["fleet"] = dict(fleet)
+    return payload
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prom_name(name: str) -> str:
+    return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def _prom_labels(labels: Mapping[str, str] | None,
+                 extra: Mapping[str, str] | None = None) -> str:
+    merged = {**(labels or {}), **(extra or {})}
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+                    for k, v in merged.items())
+    return "{" + body + "}"
+
+
+def prometheus_text(snapshot: Mapping[str, dict], *,
+                    labels: Mapping[str, str] | None = None) -> str:
+    """Prometheus textfile exposition of a snapshot."""
+    lines: list[str] = []
+    for name, dump in snapshot.items():
+        kind = dump.get("type")
+        base = prom_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total{_prom_labels(labels)} "
+                         f"{dump.get('value', 0)}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base}{_prom_labels(labels)} "
+                         f"{dump.get('value', 0)}")
+        elif kind == "histogram":
+            s = summarize_histogram(dump)
+            lines.append(f"# TYPE {base} summary")
+            for p in PERCENTILES:
+                q = s.get(f"p{int(p)}")
+                if q is not None:
+                    lines.append(
+                        f"{base}{_prom_labels(labels, {'quantile': p / 100.0})}"
+                        f" {q:.9g}")
+            lines.append(f"{base}_count{_prom_labels(labels)} {s['count']}")
+            lines.append(f"{base}_sum{_prom_labels(labels)} "
+                         f"{s['sum']:.9g}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,98 @@
+"""Stdlib-``logging`` backbone for the ``repro.*`` logger tree.
+
+Every module logs through ``get_logger(__name__)``; nothing in the
+library configures handlers at import time (library rule: emit, don't
+configure).  The CLI entry point calls :func:`configure` exactly once
+per invocation, which attaches a single stream handler to the
+``repro`` root logger — plain text by default, JSON lines with
+``--log-json`` — and sets the level from ``--log-level`` /
+``--quiet`` / ``--verbose``.
+
+``configure`` replaces any previous handlers, so repeated CLI
+invocations inside one process (the test suite) rebind cleanly to the
+current ``sys.stderr``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import TextIO
+
+__all__ = ["configure", "get_logger", "resolve_level", "JsonLogFormatter"]
+
+ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` tree (idempotent for repro.* names)."""
+    if not name:
+        return logging.getLogger(ROOT)
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg (+ exc)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def resolve_level(log_level: str | None = None, *, quiet: bool = False,
+                  verbose: bool = False) -> int:
+    """Precedence: explicit ``--log-level`` > ``--quiet``/``--verbose``."""
+    if log_level:
+        try:
+            return _LEVELS[log_level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {log_level!r}; "
+                f"expected one of {', '.join(_LEVELS)}") from None
+    if quiet:
+        return logging.WARNING
+    if verbose:
+        return logging.DEBUG
+    return logging.INFO
+
+
+def configure(level: int | str = logging.INFO, *, json_lines: bool = False,
+              stream: TextIO | None = None) -> logging.Logger:
+    """Attach the single ``repro`` handler; safe to call repeatedly."""
+    if isinstance(level, str):
+        level = resolve_level(level)
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        formatter = logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

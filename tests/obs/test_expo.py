@@ -1,0 +1,68 @@
+"""Exposition formats: human table, JSON summaries, Prometheus textfile."""
+
+from repro.obs.expo import prom_name, prometheus_text, render_table, to_json
+
+SNAPSHOT = {
+    "executor.cells": {"type": "counter", "value": 12},
+    "queue.depth": {"type": "gauge", "value": 3.0},
+    "queue.claim_s": {"type": "histogram", "count": 4, "sum": 1.0,
+                      "min": 0.1, "max": 0.4,
+                      "sample": [0.1, 0.2, 0.3, 0.4]},
+}
+
+
+class TestRenderTable:
+    def test_rows_per_kind(self):
+        text = render_table(SNAPSHOT, title="t")
+        assert text.splitlines()[0] == "== t"
+        assert "executor.cells" in text and "counter" in text and "12" in text
+        assert "queue.depth" in text and "gauge" in text
+        assert "count=4" in text and "p50=" in text and "p99=" in text
+
+    def test_empty_snapshot(self):
+        assert "(no metrics recorded)" in render_table({})
+
+    def test_fleet_section(self):
+        text = render_table(SNAPSHOT, fleet={"batch.share": 0.5})
+        assert "-- fleet --" in text
+        assert "batch.share" in text
+
+    def test_fleet_only_snapshot_not_reported_empty(self):
+        assert "(no metrics" not in render_table({}, fleet={"x": 1})
+
+
+class TestToJson:
+    def test_histograms_summarised(self):
+        payload = to_json(SNAPSHOT, fleet={"batch.share": 1.0})
+        hist = payload["metrics"]["queue.claim_s"]
+        assert hist["count"] == 4
+        assert "sample" not in hist          # reservoirs never leave the API
+        assert hist["p50"] == 0.25
+        assert payload["metrics"]["executor.cells"]["value"] == 12
+        assert payload["fleet"] == {"batch.share": 1.0}
+
+
+class TestPrometheus:
+    def test_name_sanitisation(self):
+        assert prom_name("queue.claim_s") == "repro_queue_claim_s"
+        assert prom_name("a-b.c") == "repro_a_b_c"
+
+    def test_exposition_shapes(self):
+        text = prometheus_text(SNAPSHOT, labels={"campaign": "smoke"})
+        assert '# TYPE repro_executor_cells_total counter' in text
+        assert 'repro_executor_cells_total{campaign="smoke"} 12' in text
+        assert '# TYPE repro_queue_depth gauge' in text
+        assert '# TYPE repro_queue_claim_s summary' in text
+        assert 'repro_queue_claim_s{campaign="smoke",quantile="0.5"}' in text
+        assert 'repro_queue_claim_s_count{campaign="smoke"} 4' in text
+        assert 'repro_queue_claim_s_sum{campaign="smoke"} 1' in text
+        assert text.endswith("\n")
+
+    def test_no_labels(self):
+        text = prometheus_text({"c": {"type": "counter", "value": 1}})
+        assert "repro_c_total 1" in text
+
+    def test_label_value_escaping(self):
+        text = prometheus_text({"c": {"type": "counter", "value": 1}},
+                               labels={"tag": 'say "hi"'})
+        assert 'tag="say \\"hi\\""' in text

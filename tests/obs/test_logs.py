@@ -1,0 +1,74 @@
+"""The logging backbone: logger tree, level resolution, formats."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import logs
+
+
+@pytest.fixture(autouse=True)
+def restore_root():
+    yield
+    root = logging.getLogger(logs.ROOT)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        handler.close()
+    root.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_prefixes_under_repro(self):
+        assert logs.get_logger("cli").name == "repro.cli"
+        assert logs.get_logger("repro.core.sim").name == "repro.core.sim"
+        assert logs.get_logger().name == "repro"
+
+
+class TestResolveLevel:
+    def test_precedence_and_defaults(self):
+        assert logs.resolve_level() == logging.INFO
+        assert logs.resolve_level(quiet=True) == logging.WARNING
+        assert logs.resolve_level(verbose=True) == logging.DEBUG
+        # explicit level beats both switches
+        assert logs.resolve_level("debug", quiet=True) == logging.DEBUG
+        assert logs.resolve_level("ERROR", verbose=True) == logging.ERROR
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            logs.resolve_level("loud")
+
+
+class TestConfigure:
+    def test_single_handler_text_format(self):
+        stream = io.StringIO()
+        logs.configure(logging.INFO, stream=stream)
+        logs.configure(logging.INFO, stream=stream)   # idempotent: one handler
+        root = logging.getLogger(logs.ROOT)
+        assert len(root.handlers) == 1
+        assert root.propagate is False
+        logs.get_logger("cli").info("hello %d", 7)
+        assert stream.getvalue() == "I repro.cli: hello 7\n"
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        logs.configure(logging.WARNING, stream=stream)
+        logs.get_logger("x").info("suppressed")
+        logs.get_logger("x").warning("kept")
+        assert "suppressed" not in stream.getvalue()
+        assert "kept" in stream.getvalue()
+
+    def test_json_lines(self):
+        stream = io.StringIO()
+        logs.configure("debug", json_lines=True, stream=stream)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logs.get_logger("worker").error("failed", exc_info=True)
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "error"
+        assert payload["logger"] == "repro.worker"
+        assert payload["msg"] == "failed"
+        assert "RuntimeError: boom" in payload["exc"]
+        assert isinstance(payload["ts"], float)

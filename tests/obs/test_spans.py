@@ -1,0 +1,172 @@
+"""Span tracing: recorder hierarchy, sinks, env gating, store persistence."""
+
+import json
+
+import pytest
+
+from repro.obs import spans as obs_spans
+from repro.obs.spans import (
+    JsonlSpanSink,
+    SpanRecorder,
+    StoreSpanSink,
+    ensure_recorder,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_JSONL", raising=False)
+    obs_spans.install(None)
+    yield
+    obs_spans.install(None)
+
+
+def collecting_recorder(**kwargs):
+    emitted = []
+    rec = SpanRecorder([emitted.append], host="testhost", **kwargs)
+    return rec, emitted
+
+
+class TestRecorder:
+    def test_nested_spans_parent_by_stack(self):
+        rec, emitted = collecting_recorder(campaign="camp", worker="w1")
+        with rec.span("campaign", "camp") as root:
+            with rec.span("chunk", "chunk[2]") as chunk:
+                with rec.span("cell", "algo"):
+                    pass
+        # spans emit on close: innermost first
+        cell, chunk_span, campaign = emitted
+        assert campaign["parent_id"] is None
+        assert chunk_span["parent_id"] == root.span_id
+        assert cell["parent_id"] == chunk.span_id
+        assert [s["kind"] for s in emitted] == ["cell", "chunk", "campaign"]
+        assert all(s["campaign"] == "camp" and s["worker"] == "w1"
+                   and s["host"] == "testhost" for s in emitted)
+        assert all(s["elapsed_s"] >= 0 for s in emitted)
+
+    def test_explicit_parent_id_wins(self):
+        rec, emitted = collecting_recorder()
+        with rec.span("campaign", "camp"):
+            with rec.span("chunk", "c", parent_id="remote-parent"):
+                pass
+        assert emitted[0]["parent_id"] == "remote-parent"
+
+    def test_exception_marks_error_status(self):
+        rec, emitted = collecting_recorder()
+        with pytest.raises(ValueError):
+            with rec.span("cell", "boom"):
+                raise ValueError("nope")
+        assert emitted[0]["status"] == "error"
+        assert emitted[0]["attrs"]["error"] == "ValueError"
+
+    def test_attrs_mutable_through_handle(self):
+        rec, emitted = collecting_recorder()
+        with rec.span("chunk", "c", cells=4) as span:
+            span.attrs["batched"] = 4
+        assert emitted[0]["attrs"] == {"cells": 4, "batched": 4}
+
+    def test_emit_direct_closed_span(self):
+        rec, emitted = collecting_recorder()
+        with rec.span("chunk", "c") as chunk:
+            span_id = rec.emit("cell", "algo", elapsed_s=0.25,
+                               attrs={"route": "batch"})
+        assert emitted[0]["span_id"] == span_id
+        assert emitted[0]["parent_id"] == chunk.span_id
+        assert emitted[0]["elapsed_s"] == 0.25
+
+
+class TestSinks:
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "sub" / "spans.jsonl"
+        sink = JsonlSpanSink(str(path))
+        rec = SpanRecorder([sink], campaign="c")
+        with rec.span("campaign", "c"):
+            pass
+        rec.close()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 1
+        assert rows[0]["kind"] == "campaign"
+        assert rows[0]["schema"] == obs_spans.SPAN_SCHEMA
+
+    def test_store_sink_requires_append_spans(self):
+        with pytest.raises(TypeError, match="append_spans"):
+            StoreSpanSink(object())
+
+    def test_store_sink_buffers_until_flush(self):
+        class FakeStore:
+            def __init__(self):
+                self.batches = []
+
+            def append_spans(self, spans):
+                self.batches.append(list(spans))
+
+        store = FakeStore()
+        sink = StoreSpanSink(store, max_buffer=3)
+        for i in range(2):
+            sink({"span_id": str(i)})
+        assert store.batches == []
+        sink({"span_id": "2"})          # hits max_buffer: self-flush
+        assert len(store.batches) == 1 and len(store.batches[0]) == 3
+        sink({"span_id": "3"})
+        sink.flush()
+        assert len(store.batches) == 2
+
+    def test_sqlite_store_persists_and_reads_back(self, tmp_path):
+        from repro.campaigns.stores import open_store
+
+        store = open_store(f"sqlite:{tmp_path/'s.db'}", campaign="camp")
+        sink = StoreSpanSink(store)
+        rec = SpanRecorder([sink], campaign="camp", worker="w1")
+        with rec.span("campaign", "camp"):
+            with rec.span("chunk", "chunk[1]", chunk_id=7):
+                rec.emit("cell", "algo", attrs={"route": "batch"})
+        rec.close()
+        spans = store.spans()
+        assert [s["kind"] for s in spans] == ["campaign", "chunk", "cell"]
+        by_id = {s["span_id"]: s for s in spans}
+        chunk = next(s for s in spans if s["kind"] == "chunk")
+        assert by_id[chunk["parent_id"]]["kind"] == "campaign"
+        assert chunk["attrs"] == {"chunk_id": 7}
+        assert all(s["worker"] == "w1" for s in spans)
+        assert store.spans(kind="cell")[0]["attrs"]["route"] == "batch"
+        # idempotent re-append (INSERT OR IGNORE on span_id)
+        store.append_spans(
+            [dict(s, attrs={}, campaign="camp") for s in spans[:1]])
+        assert len(store.spans()) == 3
+
+
+class TestEnsureRecorder:
+    def test_disabled_without_env(self):
+        assert ensure_recorder() is None
+        assert not obs_spans.tracing_requested()
+
+    def test_jsonl_env_builds_recorder(self, tmp_path, monkeypatch):
+        path = tmp_path / "spans.jsonl"
+        monkeypatch.setenv("REPRO_TRACE_JSONL", str(path))
+        rec = ensure_recorder(campaign="c", worker="w")
+        assert rec is not None and obs_spans.tracing_requested()
+        assert ensure_recorder() is rec          # installed once per process
+        with rec.span("campaign", "c"):
+            pass
+        obs_spans.flush()
+        assert path.exists()
+        obs_spans.close_recorder()
+        assert obs_spans.recorder() is None
+
+    def test_store_env_needs_capable_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert ensure_recorder(store=object()) is None
+        from repro.campaigns.stores import open_store
+
+        store = open_store(f"sqlite:{tmp_path/'s.db'}", campaign="c")
+        rec = ensure_recorder(store=store, campaign="c")
+        assert rec is not None
+
+    def test_existing_recorder_backfills_identity(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_JSONL", str(tmp_path / "s.jsonl"))
+        rec = ensure_recorder()
+        assert rec.campaign == "" and rec.worker == ""
+        assert ensure_recorder(campaign="camp", worker="w9") is rec
+        assert rec.campaign == "camp" and rec.worker == "w9"
