@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-graph bench-batch bench-batch-smoke bench-suites smoke-campaign topologies-campaign dist-smoke batch-diff
+.PHONY: test bench bench-smoke bench-graph bench-batch bench-batch-smoke bench-suites smoke-campaign topologies-campaign dist-smoke batch-diff faults-campaign chaos-smoke
 
 ## Tier-1 test suite (the CI gate).
 test:
@@ -66,3 +66,39 @@ topologies-campaign:
 dist-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec topologies-smoke \
 		--distributed --workers 2 --store sqlite:results/topo-dist.db
+
+## The fault-injection sweep: crashed/lossy agents next to their
+## fault-free twins, then the error and complexity-fit reports over the
+## resulting store, then an integrity check.
+faults-campaign:
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec faults-smoke \
+		--workers 2 --store results/faults-smoke.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro campaign report --spec faults-smoke \
+		--store results/faults-smoke.jsonl --errors
+	PYTHONPATH=src $(PYTHON) -m repro campaign report --spec faults-smoke \
+		--store results/faults-smoke.jsonl --fit
+	PYTHONPATH=src $(PYTHON) -m repro campaign fsck --spec faults-smoke \
+		--store results/faults-smoke.jsonl
+
+## The chaos lane locally: a clean baseline run, then the same campaign
+## driven through the lease queue under REPRO_CHAOS (one worker crashes
+## mid-completion, the survivor finishes), then fsck + a byte diff
+## against the undisturbed store.  Mirrors the CI chaos step.
+chaos-smoke:
+	@mkdir -p results
+	rm -f results/chaos-clean.jsonl results/chaos.db
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec batch-smoke \
+		--workers 1 --store results/chaos-clean.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro campaign enqueue --spec batch-smoke \
+		--store sqlite:results/chaos.db --chunk-size 4
+	-PYTHONPATH=src REPRO_CHAOS="seed=7,busy=0.2,crash=before-commit:2" \
+		$(PYTHON) -m repro campaign worker --campaign batch-smoke \
+		--store sqlite:results/chaos.db --worker-id doomed --lease-ttl 2
+	PYTHONPATH=src REPRO_CHAOS="seed=11,busy=0.2" \
+		$(PYTHON) -m repro campaign worker --campaign batch-smoke \
+		--store sqlite:results/chaos.db --worker-id survivor \
+		--lease-ttl 2 --poll 0.5
+	PYTHONPATH=src $(PYTHON) -m repro campaign fsck --spec batch-smoke \
+		--store sqlite:results/chaos.db
+	PYTHONPATH=src $(PYTHON) scripts/diff_stores.py \
+		sqlite:results/chaos.db results/chaos-clean.jsonl

@@ -53,7 +53,7 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 def metrics_from_result(result: RunResult) -> dict[str, Any]:
     """Flatten a run outcome into the metric dict stored per cell."""
-    return {
+    out = {
         "rounds": result.rounds,
         "explored": result.explored,
         "exploration_round": result.exploration_round,
@@ -67,6 +67,12 @@ def metrics_from_result(result: RunResult) -> dict[str, Any]:
         "halted_reason": result.halted_reason,
         "mode": result.termination_mode().value,
     }
+    # The crash census only exists under a fault plan: fault-free
+    # records keep the pre-resilience shape byte for byte (golden
+    # stores, batch-vs-scalar diffs and store resume all rely on it).
+    if result.crashed_count is not None:
+        out["crashed_count"] = result.crashed_count
+    return out
 
 
 @dataclass(frozen=True)

@@ -42,6 +42,8 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ...core.errors import ConfigurationError
 from ...obs import metrics as obs_metrics
+from ...resilience.chaos import chaos_policy
+from ...resilience.retry import retry
 from ..registry import validate_cell
 from ..spec import CellConfig
 from ..stores import ResultStore, open_store
@@ -200,6 +202,13 @@ class WorkQueue:
         self.campaign = store.campaign or ""
         self.lease_ttl_s = float(lease_ttl_s)
         self.max_attempts = int(max_attempts)
+        chaos = chaos_policy()
+        if chaos is not None and clock is time.time:
+            # Chaos clock skew applies only to the real wall clock: the
+            # lease keeper re-opens a queue passing this queue's (already
+            # skewed) clock through, and test harnesses inject FakeClocks
+            # — neither must be skewed twice.
+            clock = chaos.skewed(clock)
         self._clock = clock
         self._last_idle_touch = float("-inf")
 
@@ -221,6 +230,33 @@ class WorkQueue:
         else:
             conn.execute("BEGIN IMMEDIATE")
         return conn
+
+    def _txn(self, site: str, body):
+        """Run ``body(conn)`` inside one retried IMMEDIATE transaction.
+
+        Every queue write routes through here: one BEGIN IMMEDIATE, the
+        body, one COMMIT — rolled back on any failure — the whole
+        attempt wrapped in :func:`~repro.resilience.retry.retry`, so
+        transient ``SQLITE_BUSY`` contention backs off and retries
+        uniformly instead of each site improvising.  A body is re-run
+        from scratch on retry and must be idempotent up to its own reads
+        (they all are: each re-checks state inside the fresh
+        transaction).  Non-transient errors — :class:`LeaseLost`,
+        :class:`~repro.resilience.chaos.ChaosCrash` — propagate
+        immediately.
+        """
+        def attempt():
+            conn = self._begin()
+            try:
+                out = body(conn)
+                conn.execute("COMMIT")
+                return out
+            except BaseException:
+                if conn.in_transaction:
+                    conn.execute("ROLLBACK")
+                raise
+
+        return retry(attempt, site=site)
 
     # -- enqueue -------------------------------------------------------
 
@@ -291,10 +327,10 @@ class WorkQueue:
                            sort_keys=True, separators=(",", ":")),
             ))
         by_key = dict(runnable)   # built outside the write lock
-        conn = self._begin()
-        try:
+
+        def body(conn):
             queued = self._queued_keys(conn)
-            fresh_count = 0
+            fresh = 0
             rows = []
             for keys, payload in prepared:
                 kept = [k for k in keys if k not in queued]
@@ -307,7 +343,7 @@ class WorkQueue:
                     keys = kept
                 if not keys:
                     continue
-                fresh_count += len(keys)
+                fresh += len(keys)
                 rows.append((
                     self.campaign, payload,
                     json.dumps(keys, separators=(",", ":")),
@@ -316,15 +352,13 @@ class WorkQueue:
             conn.executemany(
                 "INSERT INTO chunks (campaign_key, cells, cell_keys, "
                 "n_cells, created_at) VALUES (?, ?, ?, ?, ?)", rows)
-            conn.execute("COMMIT")
-        except BaseException:
-            if conn.in_transaction:
-                conn.execute("ROLLBACK")
-            raise
+            return fresh, len(rows)
+
+        fresh_count, chunk_count = self._txn("queue.enqueue", body)
         return EnqueueReport(
             total=len(cells),
             enqueued_cells=fresh_count,
-            chunks=len(rows),
+            chunks=chunk_count,
             chunk_size=chunk_size,
             skipped_done=skipped_done,
             skipped_failed=skipped_failed,
@@ -381,20 +415,15 @@ class WorkQueue:
                 (self.campaign, now - self.lease_ttl_s)).fetchone()
         if claimable is None:
             if now - self._last_idle_touch >= self.lease_ttl_s / 4.0:
-                conn = self._begin()
-                try:
-                    self._touch_worker(conn, worker_id, now)
-                    conn.execute("COMMIT")
-                except BaseException:
-                    if conn.in_transaction:
-                        conn.execute("ROLLBACK")
-                    raise
+                self._txn(
+                    "queue.claim",
+                    lambda conn: self._touch_worker(conn, worker_id, now))
                 self._last_idle_touch = now
             if reg is not None:
                 reg.counter("queue.idle_polls").inc()
             return None
-        conn = self._begin()
-        try:
+
+        def body(conn):
             self._touch_worker(conn, worker_id, now)
             row = conn.execute(
                 "SELECT id, cells FROM chunks "
@@ -410,47 +439,45 @@ class WorkQueue:
                     "INSERT INTO leases (chunk_id, worker_id, heartbeat, "
                     "acquired_at, attempt) VALUES (?, ?, ?, ?, 1)",
                     (chunk_id, worker_id, now, now))
-                attempt, stolen_from = 1, None
-            else:
-                while True:
-                    row = conn.execute(
-                        "SELECT c.id, c.cells, l.worker_id, l.attempt "
-                        "FROM chunks c JOIN leases l ON l.chunk_id = c.id "
-                        "WHERE c.campaign_key = ? AND c.state = 'leased' "
-                        "AND l.heartbeat < ? ORDER BY l.heartbeat LIMIT 1",
-                        (self.campaign, now - self.lease_ttl_s),
-                    ).fetchone()
-                    if row is None:
-                        conn.execute("COMMIT")
-                        if reg is not None:
-                            reg.counter("queue.idle_polls").inc()
-                        return None
-                    chunk_id, payload, stolen_from, previous = row
-                    if previous >= self.max_attempts:
-                        # A chunk that has burned through its attempts is
-                        # poison (its cells likely kill the worker process
-                        # outright): park it instead of feeding it to yet
-                        # another worker, and keep looking for real work.
-                        conn.execute(
-                            "UPDATE chunks SET state = 'failed', "
-                            "done_at = ? WHERE id = ?", (now, chunk_id))
-                        conn.execute(
-                            "DELETE FROM leases WHERE chunk_id = ?",
-                            (chunk_id,))
-                        if reg is not None:
-                            reg.counter("queue.parked").inc()
-                        continue
-                    attempt = previous + 1
+                return chunk_id, payload, 1, None
+            while True:
+                row = conn.execute(
+                    "SELECT c.id, c.cells, l.worker_id, l.attempt "
+                    "FROM chunks c JOIN leases l ON l.chunk_id = c.id "
+                    "WHERE c.campaign_key = ? AND c.state = 'leased' "
+                    "AND l.heartbeat < ? ORDER BY l.heartbeat LIMIT 1",
+                    (self.campaign, now - self.lease_ttl_s),
+                ).fetchone()
+                if row is None:
+                    return None
+                chunk_id, payload, stolen_from, previous = row
+                if previous >= self.max_attempts:
+                    # A chunk that has burned through its attempts is
+                    # poison (its cells likely kill the worker process
+                    # outright): park it instead of feeding it to yet
+                    # another worker, and keep looking for real work.
                     conn.execute(
-                        "UPDATE leases SET worker_id = ?, heartbeat = ?, "
-                        "acquired_at = ?, attempt = ? WHERE chunk_id = ?",
-                        (worker_id, now, now, attempt, chunk_id))
-                    break
-            conn.execute("COMMIT")
-        except BaseException:
-            if conn.in_transaction:
-                conn.execute("ROLLBACK")
-            raise
+                        "UPDATE chunks SET state = 'failed', "
+                        "done_at = ? WHERE id = ?", (now, chunk_id))
+                    conn.execute(
+                        "DELETE FROM leases WHERE chunk_id = ?",
+                        (chunk_id,))
+                    if reg is not None:
+                        reg.counter("queue.parked").inc()
+                    continue
+                attempt = previous + 1
+                conn.execute(
+                    "UPDATE leases SET worker_id = ?, heartbeat = ?, "
+                    "acquired_at = ?, attempt = ? WHERE chunk_id = ?",
+                    (worker_id, now, now, attempt, chunk_id))
+                return chunk_id, payload, attempt, stolen_from
+
+        claimed = self._txn("queue.claim", body)
+        if claimed is None:
+            if reg is not None:
+                reg.counter("queue.idle_polls").inc()
+            return None
+        chunk_id, payload, attempt, stolen_from = claimed
         self._last_idle_touch = now  # the claim transaction touched us
         if reg is not None:
             reg.counter("queue.claims").inc()
@@ -467,19 +494,16 @@ class WorkQueue:
     def heartbeat(self, chunk_id: int, worker_id: str) -> bool:
         """Refresh a held lease; ``False`` means it is no longer ours."""
         now = self._clock()
-        conn = self._begin()
-        try:
+
+        def body(conn):
             cursor = conn.execute(
                 "UPDATE leases SET heartbeat = ? "
                 "WHERE chunk_id = ? AND worker_id = ?",
                 (now, chunk_id, worker_id))
             self._touch_worker(conn, worker_id, now)
-            conn.execute("COMMIT")
-        except BaseException:
-            if conn.in_transaction:
-                conn.execute("ROLLBACK")
-            raise
-        held = cursor.rowcount == 1
+            return cursor.rowcount == 1
+
+        held = self._txn("queue.heartbeat", body)
         if obs_metrics.enabled():
             reg = obs_metrics.registry()
             reg.counter("queue.heartbeats").inc()
@@ -508,8 +532,11 @@ class WorkQueue:
         now = self._clock()
         stamped = [dict(r, schema=SCHEMA_VERSION) for r in records]
         rows = result_rows(stamped, self.campaign)
-        conn = self._begin()
-        try:
+        chaos = chaos_policy()
+        if chaos is not None:
+            chaos.maybe_delay()
+
+        def body(conn):
             holder = conn.execute(
                 "SELECT worker_id FROM leases WHERE chunk_id = ?",
                 (chunk_id,)).fetchone()
@@ -531,11 +558,16 @@ class WorkQueue:
                 "chunks_done = chunks_done + 1, last_seen = ? "
                 "WHERE worker_id = ?",
                 (len(rows), now, worker_id))
-            conn.execute("COMMIT")
-        except BaseException:
-            if conn.in_transaction:
-                conn.execute("ROLLBACK")
-            raise
+            if chaos is not None:
+                # Dies holding the lease, records rolled back: the chunk
+                # orphans and a peer steals it after the TTL.
+                chaos.crash_point("before-commit")
+
+        self._txn("queue.complete", body)
+        if chaos is not None:
+            # Dies with the records durably committed and the lease gone:
+            # the exactly-once barrier already did its job.
+            chaos.crash_point("after-commit")
         self.store.invalidate_caches()
         if obs_metrics.enabled():
             reg = obs_metrics.registry()
@@ -544,8 +576,7 @@ class WorkQueue:
 
     def release(self, chunk_id: int, worker_id: str) -> bool:
         """Hand a held chunk back to the pending pool (graceful shutdown)."""
-        conn = self._begin()
-        try:
+        def body(conn):
             cursor = conn.execute(
                 "DELETE FROM leases WHERE chunk_id = ? AND worker_id = ?",
                 (chunk_id, worker_id))
@@ -553,12 +584,9 @@ class WorkQueue:
                 conn.execute(
                     "UPDATE chunks SET state = 'pending' WHERE id = ?",
                     (chunk_id,))
-            conn.execute("COMMIT")
-        except BaseException:
-            if conn.in_transaction:
-                conn.execute("ROLLBACK")
-            raise
-        return cursor.rowcount == 1
+            return cursor.rowcount == 1
+
+        return self._txn("queue.release", body)
 
     # -- telemetry -----------------------------------------------------
 

@@ -350,6 +350,41 @@ def batch_smoke() -> CampaignSpec:
     )
 
 
+def faults_smoke() -> CampaignSpec:
+    """A <60s resilience sweep: fault-free vs crashed vs lossy agents.
+
+    Pairs each algorithm family with an identical faulty twin so
+    ``campaign report`` shows the degradation side by side: the
+    known-bound explorer under a ``crash:1@4`` plan loses an agent four
+    rounds in, the unconscious explorer is additionally run with a
+    small per-round crash rate.  ``make faults-campaign`` runs this and
+    then exercises ``report --errors`` and ``report --fit`` over the
+    resulting store.
+    """
+    return CampaignSpec(
+        name="faults-smoke",
+        description="Fault-injection sweep: crash-at-round and lossy "
+                    "fault plans next to their fault-free twins.",
+        base={"adversary": "random", "transport": "ns", "agents": 2,
+              "placement": "offset-spread"},
+        grid={"seed": [0, 1, 2], "ring_size": [8, 12, 16]},
+        variants=[
+            {"label": "ff-known-bound", "algorithm": "known-bound",
+             "horizon": "known_bound_time(N) + 5"},
+            {"label": "ff-unconscious", "algorithm": "unconscious",
+             "horizon": "100 * n", "stop_on_exploration": True},
+            {"label": "crash-known-bound", "algorithm": "known-bound",
+             "horizon": "known_bound_time(N) + 5", "faults": "crash:1@4"},
+            {"label": "crash-unconscious", "algorithm": "unconscious",
+             "horizon": "100 * n", "stop_on_exploration": True,
+             "faults": "crash:1@4"},
+            {"label": "lossy-unconscious", "algorithm": "unconscious",
+             "horizon": "100 * n", "stop_on_exploration": True,
+             "faults": "rate:0.05"},
+        ],
+    )
+
+
 #: name -> spec factory; ``python -m repro campaign list`` prints these.
 SPECS: dict[str, Callable[[], CampaignSpec]] = {
     "table2-fsync": table2_fsync,
@@ -361,6 +396,7 @@ SPECS: dict[str, Callable[[], CampaignSpec]] = {
     "topologies-smoke": topologies_smoke,
     "smoke": smoke,
     "batch-smoke": batch_smoke,
+    "faults-smoke": faults_smoke,
 }
 
 DEFAULT_SPEC = "paper-tables"

@@ -161,6 +161,11 @@ def validate_cell(cell: CellConfig) -> None:
     if cell.topology not in TOPOLOGIES:
         raise ConfigurationError(
             f"unknown topology {cell.topology!r} (choose from {sorted(TOPOLOGIES)})")
+    if cell.faults:
+        # Late import: resilience is a leaf package, but keep the
+        # registry importable without it on the module path.
+        from ..resilience.faults import FaultPlan
+        FaultPlan.parse(cell.faults).validate_agents(cell.agents)
     if is_graph_cell(cell):
         # Graph cells run on the same unified core as ring cells: any
         # scheduler/transport combination, plus every adversary with a
@@ -215,7 +220,8 @@ def build_cell_engine(cell: CellConfig, *, trace=None, optimized: bool = True) -
 
     validate_cell(cell)
     if is_graph_cell(cell):
-        return _build_graph_engine(cell, trace=trace, optimized=optimized)
+        return _attach_faults(
+            cell, _build_graph_engine(cell, trace=trace, optimized=optimized))
     entry = ALGORITHMS[cell.algorithm]
     transport = TransportModel(cell.transport)
     placement = entry.placement_override or cell.placement
@@ -238,7 +244,7 @@ def build_cell_engine(cell: CellConfig, *, trace=None, optimized: bool = True) -
     landmark = cell.landmark
     if landmark is None and entry.needs_landmark:
         landmark = 0
-    return build_engine(
+    return _attach_faults(cell, build_engine(
         entry.factory(cell),
         ring_size=cell.ring_size,
         positions=positions,
@@ -254,7 +260,21 @@ def build_cell_engine(cell: CellConfig, *, trace=None, optimized: bool = True) -
         # construction, which defaults the audit on under pytest).
         debug_invariants=cell.debug_invariants,
         optimized=optimized,
-    )
+    ))
+
+
+def _attach_faults(cell: CellConfig, engine):
+    """Arm the engine with the cell's fault plan (no-op when fault-free).
+
+    The injector is built per engine and seeded from the cell seed, so a
+    faulty cell replays deterministically and two engines built from the
+    same cell inject identical fault schedules.
+    """
+    if cell.faults:
+        from ..resilience.faults import FaultPlan
+        engine.set_fault_plan(
+            FaultPlan.parse(cell.faults).injector(seed=cell.seed))
+    return engine
 
 
 # ---------------------------------------------------------------------------

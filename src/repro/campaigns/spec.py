@@ -178,6 +178,12 @@ class CellConfig:
     adversary_arg: int | None = None
     stop_on_exploration: bool = False
     debug_invariants: bool = False
+    #: Fault plan spec (``repro.resilience.faults.FaultPlan.parse``
+    #: grammar, e.g. ``"crash:1@4"``/``"lost:*"``/``"rate:0.01"``) —
+    #: empty string = fault-free.  A simulation-affecting dimension, so
+    #: it participates in :meth:`key` (excluded only at its default, so
+    #: pre-resilience stores keep resuming).
+    faults: str = ""
     #: Execution routing preference — ``auto`` (batch when eligible),
     #: ``on`` (require the batch path) or ``off`` (always scalar).  Like
     #: ``label`` this never enters :meth:`key`: both paths are proven to
@@ -264,6 +270,7 @@ _KEY_EXCLUDED_DEFAULTS = {
     "topology": "ring",
     "adversary_arg": None,
     "debug_invariants": False,
+    "faults": "",
 }
 
 

@@ -11,7 +11,10 @@ from __future__ import annotations
 import json
 from typing import Any, Iterator
 
+from ...obs.logs import get_logger
 from .base import ResultStore
+
+_log = get_logger(__name__)
 
 
 class JsonlStore(ResultStore):
@@ -22,18 +25,30 @@ class JsonlStore(ResultStore):
     # -- reading -------------------------------------------------------
 
     def records(self) -> Iterator[dict[str, Any]]:
-        """Yield every well-formed record (malformed/truncated lines skipped)."""
+        """Yield every well-formed record (malformed/truncated lines skipped).
+
+        The file is read as bytes: a line torn mid-write can end inside
+        a multi-byte UTF-8 sequence, which a text-mode iterator would
+        turn into a ``UnicodeDecodeError`` for the *whole* file.  Each
+        skipped line is logged once (``campaign fsck`` finds and
+        quarantines them); the cell simply re-runs.
+        """
         if not self.path.exists():
             return
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
+        with self.path.open("rb") as fh:
+            for line_no, line in enumerate(fh, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # interrupted mid-write; the cell will re-run
+                except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+                    # interrupted mid-write; the cell will re-run
+                    _log.warning(
+                        "%s line %d: skipping malformed record "
+                        "(%d bytes; run `campaign fsck` to quarantine)",
+                        self.path, line_no, len(line))
+                    continue
                 if isinstance(record, dict) and "key" in record:
                     yield record
 

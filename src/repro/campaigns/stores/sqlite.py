@@ -29,6 +29,7 @@ import weakref
 from typing import Any, Iterator, Mapping
 
 from ...core.errors import ConfigurationError
+from ...resilience.retry import retry
 from .base import LIST_FIELDS, ResultStore, _check_dimension
 
 #: First bytes of every SQLite database file.
@@ -231,6 +232,13 @@ class SqliteStore(ResultStore):
             conn = sqlite3.connect(self.path, timeout=self._timeout_s)
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
+            # The connect() timeout only guards the implicit lock waits
+            # sqlite3 knows about; busy_timeout makes SQLite itself block
+            # (instead of raising) on locks taken inside explicit BEGIN
+            # IMMEDIATE transactions too.  Every connection goes through
+            # here — including fork-quarantine reopens and the lease
+            # keeper's — so there is no unguarded path.
+            conn.execute(f"PRAGMA busy_timeout = {int(self._timeout_s * 1000)}")
             conn.executescript(_SCHEMA)
             conn.executescript(_QUEUE_SCHEMA)
             conn.executescript(_OBS_SCHEMA)
@@ -405,8 +413,12 @@ class SqliteStore(ResultStore):
         """One transaction per chunk; atomic even against a mid-write kill."""
         rows = result_rows(records, self.campaign or "")
         conn = self._connect()
-        with conn:  # BEGIN ... COMMIT (or ROLLBACK on error)
-            conn.executemany(INSERT_RESULT_SQL, rows)
+
+        def txn() -> None:
+            with conn:  # BEGIN ... COMMIT (or ROLLBACK on error)
+                conn.executemany(INSERT_RESULT_SQL, rows)
+
+        retry(txn, site="store.write_many")
 
     # -- observability (spans + worker metrics snapshots) --------------
 
@@ -434,13 +446,17 @@ class SqliteStore(ResultStore):
             for span in spans
         ]
         conn = self._connect()
-        with conn:
-            conn.executemany(
-                "INSERT OR IGNORE INTO spans (span_id, parent_id, "
-                "campaign_key, kind, name, worker_id, host, start_s, "
-                "elapsed_s, status, attrs) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                rows)
+
+        def txn() -> None:
+            with conn:
+                conn.executemany(
+                    "INSERT OR IGNORE INTO spans (span_id, parent_id, "
+                    "campaign_key, kind, name, worker_id, host, start_s, "
+                    "elapsed_s, status, attrs) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    rows)
+
+        retry(txn, site="store.append_spans")
 
     def spans(self, kind: str | None = None) -> list[dict[str, Any]]:
         """Read back persisted spans (campaign-scoped, insertion order)."""
@@ -481,18 +497,22 @@ class SqliteStore(ResultStore):
         import time as _time
 
         conn = self._connect()
-        with conn:
-            conn.execute(
-                "INSERT INTO worker_metrics "
-                "(worker_id, campaign_key, updated_at, snapshot) "
-                "VALUES (?, ?, ?, ?) "
-                "ON CONFLICT(worker_id) DO UPDATE SET "
-                "campaign_key = excluded.campaign_key, "
-                "updated_at = excluded.updated_at, "
-                "snapshot = excluded.snapshot",
-                (worker_id, self.campaign or "", _time.time(),
-                 json.dumps(snapshot, sort_keys=True,
-                            separators=(",", ":"))))
+
+        def txn() -> None:
+            with conn:
+                conn.execute(
+                    "INSERT INTO worker_metrics "
+                    "(worker_id, campaign_key, updated_at, snapshot) "
+                    "VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT(worker_id) DO UPDATE SET "
+                    "campaign_key = excluded.campaign_key, "
+                    "updated_at = excluded.updated_at, "
+                    "snapshot = excluded.snapshot",
+                    (worker_id, self.campaign or "", _time.time(),
+                     json.dumps(snapshot, sort_keys=True,
+                                separators=(",", ":"))))
+
+        retry(txn, site="store.metrics_snapshot")
 
     def metrics_snapshots(self) -> list[tuple[str, float, dict[str, Any]]]:
         """``(worker_id, updated_at, snapshot)`` rows, campaign-scoped."""

@@ -135,6 +135,11 @@ def make_parser() -> argparse.ArgumentParser:
                        help="flip agent 1's orientation")
         p.add_argument("--rounds", type=int, default=None,
                        help="horizon (default: generous per algorithm)")
+        p.add_argument("--faults", default="", metavar="PLAN",
+                       help="fault plan: comma-separated crash:A@R (agent A "
+                            "crashes at round R), lost:A or lost:* (lost when "
+                            "waiting on a removed edge), rate:P (per-round "
+                            "crash probability); default: fault-free")
 
     campaign = sub.add_parser(
         "campaign", help="parallel, resumable experiment campaigns")
@@ -303,6 +308,23 @@ def make_parser() -> argparse.ArgumentParser:
                         "(e.g. a node_exporter textfile collector dir)")
 
     p = csub.add_parser(
+        "fsck",
+        help="validate a result store's integrity (torn lines, orphaned "
+             "leases, duplicate keys, chunk/span consistency)")
+    p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
+                   help="spec name used to locate the default store")
+    p.add_argument("--spec-file", default=None, metavar="PATH",
+                   help="JSON/YAML spec file (overrides --spec)")
+    p.add_argument("--store", default=None, metavar="URI",
+                   help="result store: a path, jsonl:PATH or sqlite:PATH "
+                        "(default: results/<spec>.jsonl, falling back to "
+                        "results/<spec>.db)")
+    p.add_argument("--quarantine", action="store_true",
+                   help="repair what can be repaired: move torn JSONL lines "
+                        "to a .quarantine sidecar, drop orphaned leases, "
+                        "return leaseless chunks to pending")
+
+    p = csub.add_parser(
         "export", help="export a result store as a columnar file")
     p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
                    help="spec name used to locate the default store")
@@ -354,6 +376,7 @@ def build_from_args(args) -> tuple:
         bound=args.bound,
         edge=args.edge,
         stop_on_exploration=unconscious,
+        faults=getattr(args, "faults", ""),
     )
     return build_cell_engine(cell), cell.max_rounds, unconscious
 
@@ -536,6 +559,17 @@ def campaign_main(args) -> int:
         else:
             print(text)
         return 0
+
+    if args.campaign_command == "fsck":
+        from .resilience import fsck_store
+
+        store = _campaign_store(args, spec)
+        if not store.exists():
+            _log.error("no result store at %s", store.path)
+            return 1
+        report = fsck_store(store, quarantine=args.quarantine)
+        print(report.render())
+        return 0 if report.ok else 1
 
     if args.campaign_command == "report":
         store = _campaign_store(args, spec)

@@ -33,6 +33,10 @@ class AgentState:
     node: int
     port: GlobalDirection | None = None
     terminated: bool = False
+    # Fault injection: a crashed agent is removed from the configuration
+    # (no snapshot sees it, no scheduler activates it) but stays in
+    # ``agents`` so indexes remain stable.
+    crashed: bool = False
     memory: AgentMemory = field(default_factory=AgentMemory)
 
     # Scheduler bookkeeping: rounds since last activation (fairness).
@@ -62,7 +66,9 @@ class AgentState:
 
     def describe(self) -> str:
         """Human-readable position (for traces and examples)."""
-        if self.terminated:
+        if self.crashed:
+            state = "crashed"
+        elif self.terminated:
             state = "terminated"
         elif self.port is GlobalDirection.PLUS:
             state = "on +port"

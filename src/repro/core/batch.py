@@ -106,6 +106,8 @@ def _batch_ineligibility(cell: "CellConfig") -> tuple[str, str] | None:
         return "algorithm", f"algorithm {cell.algorithm!r} has no vectorized kernel"
     if cell.adversary not in BATCH_ADVERSARIES:
         return "adversary", f"adversary {cell.adversary!r} peeks or schedules"
+    if cell.faults:
+        return "faults", f"fault plan {cell.faults!r} needs the scalar fault hook"
     if cell.transport != "ns":
         return "transport", f"transport {cell.transport!r} is not NS"
     if cell.scheduler not in ("auto", "fsync"):

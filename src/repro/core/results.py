@@ -39,6 +39,7 @@ class AgentStats:
     termination_round: int | None
     final_node: int
     waiting_on_port: bool
+    crashed: bool = False
 
 
 @dataclass
@@ -52,6 +53,9 @@ class RunResult:
     visited: set[int] = field(default_factory=set)
     agents: list[AgentStats] = field(default_factory=list)
     halted_reason: str = "horizon"
+    #: Crash census — ``None`` on fault-free runs (no fault plan attached),
+    #: so fault-free records keep the pre-resilience shape byte for byte.
+    crashed_count: int | None = None
 
     @property
     def total_moves(self) -> int:
@@ -62,8 +66,21 @@ class RunResult:
         return sum(1 for a in self.agents if a.terminated)
 
     @property
+    def survivors(self) -> list[AgentStats]:
+        """Agents that did not crash (the census termination anchors on)."""
+        return [a for a in self.agents if not a.crashed]
+
+    @property
     def all_terminated(self) -> bool:
-        return bool(self.agents) and all(a.terminated for a in self.agents)
+        """Every *surviving* agent terminated (and at least one survived).
+
+        Under fault injection termination re-anchors on the surviving
+        census: crashed agents cannot be required to stop.  A run that
+        lost its whole team certifies nothing and reports ``False``.
+        Fault-free runs are unchanged (everyone is a survivor).
+        """
+        survivors = self.survivors
+        return bool(survivors) and all(a.terminated for a in survivors)
 
     @property
     def any_terminated(self) -> bool:
@@ -114,7 +131,12 @@ class RunResult:
             f"a{a.index}:r{a.termination_round}" for a in self.agents if a.terminated
         )
         terms = terms or "none"
+        crashed = (
+            f" crashed={self.crashed_count}" if self.crashed_count is not None
+            else ""
+        )
         return (
             f"n={self.ring_size} rounds={self.rounds} {explored} "
             f"moves={self.total_moves} terminated=[{terms}] mode={mode}"
+            f"{crashed}"
         )

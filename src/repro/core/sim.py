@@ -185,6 +185,11 @@ class SimulationCore:
         self._node_version: dict[Any, int] = {}
         self._live: set[int] = set()
         self._peek_cache: dict[int, tuple] = {}
+        # Fault injection (repro.resilience.faults): attach via
+        # set_fault_plan().  ``None`` keeps every fault branch dead so
+        # fault-free runs execute exactly the pre-resilience loop.
+        self.faults = None
+        self._crashed: set[int] = set()
         # Reused per-round scratch containers (allocation audit).
         self._decisions: dict[int, Action] = {}
         self._requests: dict[tuple, list[int]] = {}
@@ -236,7 +241,7 @@ class SimulationCore:
 
     @property
     def live_agents(self) -> list[AgentState]:
-        return [a for a in self.agents if not a.terminated]
+        return [a for a in self.agents if not a.terminated and not a.crashed]
 
     @property
     def live_indexes(self) -> set[int]:
@@ -246,6 +251,16 @@ class SimulationCore:
     @property
     def all_terminated(self) -> bool:
         return not self._live
+
+    def set_fault_plan(self, injector) -> None:
+        """Attach (or detach) a fault injector to the round loop.
+
+        ``injector`` is a :class:`repro.resilience.faults.FaultInjector`
+        (one per run — it owns the stochastic clause's RNG stream).  With
+        no injector attached the loop never touches a fault branch, so
+        fault-free runs stay byte-identical to the pre-resilience engine.
+        """
+        self.faults = injector
 
     @property
     def missing_edges(self) -> set:
@@ -277,13 +292,18 @@ class SimulationCore:
         graphs: :class:`~repro.extensions.dynamic_graph.GraphSnapshot`).
         """
         if not self._optimized:
-            return self.topology.snapshot_scan(agent, self.agents)
+            return self._snapshot_for_scan(agent)
         interior, holders = self._occ[agent.node]
         return self.topology.snapshot(agent, interior, holders)
 
     def _snapshot_for_scan(self, agent: AgentState):
         """Reference implementation: O(k) scan over the team (pre-index)."""
-        return self.topology.snapshot_scan(agent, self.agents)
+        agents = self.agents
+        if self._crashed:
+            # A crashed agent vanished from the configuration; the scan
+            # must agree with the occupancy index it is checked against.
+            agents = [a for a in agents if not a.crashed]
+        return self.topology.snapshot_scan(agent, agents)
 
     def peek_intended_action(self, index: int) -> Action:
         """Simulate the agent's next Compute without side effects.
@@ -303,7 +323,7 @@ class SimulationCore:
         for what the cache is worth under the peek-heavy adversaries.
         """
         agent = self.agents[index]
-        if agent.terminated:
+        if agent.terminated or agent.crashed:
             return STAY
         if not self._optimized:
             snapshot = self.snapshot_for(agent)
@@ -322,7 +342,7 @@ class SimulationCore:
         cached peek instead of per call.
         """
         agent = self.agents[index]
-        if agent.terminated:
+        if agent.terminated or agent.crashed:
             return None
         if not self._optimized:
             intent = self.peek_intended_action(index)
@@ -375,6 +395,10 @@ class SimulationCore:
         """Execute one round; returns ``False`` if no live agent remains."""
         if not self._live:
             return False
+        if self.faults is not None:
+            self._apply_round_faults()
+            if not self._live:
+                return False
 
         missing = self._choose_missing()
         active = self._validated_activation(self.scheduler.select(self))
@@ -447,6 +471,10 @@ class SimulationCore:
 
         if not self._live:
             return False
+        if self.faults is not None:
+            self._apply_round_faults()
+            if not self._live:
+                return False
 
         instr = self.instrument
         t0 = perf_counter()
@@ -490,7 +518,7 @@ class SimulationCore:
         reason = "horizon"
         for _ in range(max_rounds):
             if self.all_terminated:
-                reason = "all-terminated"
+                reason = self._halt_reason()
                 break
             if stop_on_exploration and self.exploration_complete:
                 reason = "explored"
@@ -501,10 +529,22 @@ class SimulationCore:
             self.step()
         else:
             if self.all_terminated:
-                reason = "all-terminated"
+                reason = self._halt_reason()
             elif stop_on_exploration and self.exploration_complete:
                 reason = "explored"
         return self._build_result(reason)
+
+    def _halt_reason(self) -> str:
+        """Why the live set emptied: survivor census semantics.
+
+        Termination re-anchors on the surviving agents — a run whose
+        every *survivor* terminated halts ``all-terminated`` exactly as
+        a fault-free run would; a run that crashed its whole team halts
+        ``all-crashed`` (nobody is left to certify anything).
+        """
+        if self._crashed and len(self._crashed) == len(self.agents):
+            return "all-crashed"
+        return "all-terminated"
 
     # ------------------------------------------------------------------
     # occupancy-index maintenance
@@ -554,6 +594,49 @@ class SimulationCore:
         versions = self._node_version
         versions[node] = versions.get(node, 0) + 1
         versions[new_node] = versions.get(new_node, 0) + 1
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def _apply_round_faults(self) -> None:
+        """Crash the agents the fault plan dooms at this round's start.
+
+        Runs before the adversary moves and before the scheduler selects
+        (a dead agent can neither be activated nor observed), with the
+        live set passed in sorted order so the stochastic clause's draw
+        sequence is deterministic.
+        """
+        doomed = self.faults.crashes_at_round(self.round_no, sorted(self._live))
+        for i in doomed:
+            self._crash(self.agents[i])
+
+    def _crash(self, agent: AgentState) -> None:
+        """Remove one agent from the configuration, permanently.
+
+        A crashed agent releases its occupancy (a dead robot must not
+        hold a port against the mutual-exclusion rule forever), leaves
+        the live set, and is invisible to every later Look snapshot —
+        on both the indexed and the reference scan path.
+        """
+        node = agent.node
+        entry = self._occ[node]
+        if agent.port is None:
+            entry[0] -= 1
+        else:
+            del entry[1][agent.port]
+        if entry[0] == 0 and not entry[1]:
+            del self._occ[node]
+        versions = self._node_version
+        versions[node] = versions.get(node, 0) + 1
+        agent.crashed = True
+        agent.port = None
+        index = agent.index
+        self._live.discard(index)
+        self._crashed.add(index)
+        self._peek_cache.pop(index, None)
+        if self.trace is not None:
+            self._emit(EventKind.CRASH, index, f"at v{node}")
 
     # ------------------------------------------------------------------
     # round phases
@@ -681,11 +764,17 @@ class SimulationCore:
         trace = self.trace
         missing = self._missing
         topology = self.topology
+        faults = self.faults
         for i in sorted(movers):
             agent = self.agents[i]
             assert agent.port is not None
             edge = topology.edge_from(agent.node, agent.port)
             if edge in missing:
+                if faults is not None and faults.lost_on_removal(i):
+                    # Lost-on-removal: the agent waiting on the removed
+                    # edge is gone with it (crash-on-edge-removal model).
+                    self._crash(agent)
+                    continue
                 agent.memory.record_blocked()
                 if trace is not None:
                     self._emit(
@@ -745,7 +834,7 @@ class SimulationCore:
     def _end_of_round(self, active: set[int], movers: set[int]) -> None:
         peek_cache = self._peek_cache
         for agent in self.agents:
-            if agent.terminated:
+            if agent.terminated or agent.crashed:
                 continue
             if agent.index in active:
                 agent.memory.tick()
@@ -781,9 +870,12 @@ class SimulationCore:
             if key in seen:
                 raise InvariantViolation(f"two agents share port {key}")
             seen.add(key)
-        # The occupancy index and live set must equal a fresh recount.
+        # The occupancy index and live set must equal a fresh recount
+        # (crashed agents left the configuration and count for neither).
         expected: dict[Any, list] = {}
         for agent in self.agents:
+            if agent.crashed:
+                continue
             entry = expected.setdefault(agent.node, [0, {}])
             if agent.port is None:
                 entry[0] += 1
@@ -793,7 +885,8 @@ class SimulationCore:
             raise InvariantViolation(
                 f"occupancy index drifted: have {self._occ}, expected {expected}"
             )
-        live = {a.index for a in self.agents if not a.terminated}
+        live = {a.index for a in self.agents
+                if not a.terminated and not a.crashed}
         if live != self._live:
             raise InvariantViolation(
                 f"live set drifted: have {self._live}, expected {live}"
@@ -812,6 +905,7 @@ class SimulationCore:
                 termination_round=self.termination_rounds.get(a.index),
                 final_node=a.node,
                 waiting_on_port=a.port is not None,
+                crashed=a.crashed,
             )
             for a in self.agents
         ]
@@ -823,4 +917,7 @@ class SimulationCore:
             visited=set(self.visited),
             agents=stats,
             halted_reason=reason,
+            # Only fault-plan runs report a census; fault-free records
+            # stay byte-identical to the pre-resilience format.
+            crashed_count=len(self._crashed) if self.faults is not None else None,
         )

@@ -22,6 +22,7 @@ class EventKind(enum.Enum):
     ENTER_NODE = "enter-node"    # agent stepped from a port into the interior
     TRANSITION = "transition"    # algorithm state change
     TERMINATE = "terminate"      # agent entered the terminal state
+    CRASH = "crash"              # agent crashed (fault injection)
     EXPLORED = "explored"        # every node has now been visited
 
 

@@ -1,0 +1,39 @@
+"""Robustness as a first-class subsystem, at both layers of the stack.
+
+The paper's guarantees are stated for fault-free agents and the fleet
+from the distributed subsystem is SIGKILL-tested — this package covers
+everything in between:
+
+* :mod:`~repro.resilience.faults` — agent fault models (crash-at-round,
+  crash-on-edge-removal, stochastic crash rate) as an ordinary campaign
+  dimension (``CellConfig.faults``), injected through one hook in the
+  :class:`~repro.core.sim.SimulationCore` round loop;
+* :mod:`~repro.resilience.chaos` — a seeded, env-gated
+  (``REPRO_CHAOS=<spec>``) :class:`ChaosPolicy` injecting transient
+  ``OperationalError``\\ s, crash-before/after-commit points, heartbeat
+  clock skew and delayed completions into the store/queue layer,
+  replayable byte-for-byte from its seed;
+* :mod:`~repro.resilience.retry` — the one capped-exponential-backoff
+  :func:`retry` helper every store/queue transaction routes through;
+* :mod:`~repro.resilience.fsck` — store integrity checks behind
+  ``campaign fsck`` (torn JSONL tails, orphaned leases, duplicate cell
+  keys, chunk/span referential integrity) with quarantine-and-continue.
+"""
+
+from .chaos import ChaosCrash, ChaosPolicy, chaos_policy, reset_chaos_policy
+from .faults import FaultInjector, FaultPlan
+from .fsck import Finding, FsckReport, fsck_store
+from .retry import retry
+
+__all__ = [
+    "ChaosCrash",
+    "ChaosPolicy",
+    "chaos_policy",
+    "reset_chaos_policy",
+    "FaultInjector",
+    "FaultPlan",
+    "Finding",
+    "FsckReport",
+    "fsck_store",
+    "retry",
+]

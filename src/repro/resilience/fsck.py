@@ -1,0 +1,326 @@
+"""Store integrity validation behind ``campaign fsck``.
+
+A campaign store survives worker crashes by construction (append-only
+JSONL, one-transaction lease completion) — ``fsck`` is how an operator
+*proves* a store that lived through chaos is healthy, and quarantines
+what is not instead of crashing every future reader:
+
+JSONL checks
+    * ``torn-tail`` — a final line truncated mid-write (the signature of
+      a killed process; quarantine moves the bytes to ``<path>.quarantine``
+      and truncates the store back to whole records);
+    * ``malformed-line`` — an interior line that is not a JSON record;
+    * ``bad-record`` — a parsed record missing ``key``/``config`` or
+      carrying neither ``metrics`` nor ``error``;
+    * ``duplicate-key`` — a cell key recorded successfully more than
+      once (error-then-success retries are legitimate and not flagged).
+
+SQLite checks
+    * ``duplicate-key`` — as above, over ``ok = 1`` rows;
+    * ``orphaned-lease`` — a lease row whose chunk is missing or not in
+      state ``leased`` (quarantine deletes the lease);
+    * ``leaseless-chunk`` — a ``leased`` chunk with no lease row
+      (quarantine returns it to ``pending`` so a worker can claim it);
+    * ``chunk-integrity`` — ``n_cells``/``cell_keys``/``cells`` payloads
+      that disagree or fail to parse (quarantine parks the chunk);
+    * ``orphaned-span`` — a span whose parent was never persisted
+      (warning: a crashed worker flushes children before its session
+      span closes — expected debris, not corruption);
+    * ``bad-record`` — a result row whose JSON fails to parse
+      (quarantine deletes the row so the cell re-runs).
+
+Findings carry a severity: ``error`` findings fail ``campaign fsck``
+(exit 1) unless repaired by ``--quarantine``; ``warning`` findings are
+reported but never fail the check.
+
+No store imports at module level on purpose: the store backends import
+:mod:`repro.resilience.retry`, so this module resolves backends by
+their ``scheme`` attribute at call time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import ConfigurationError
+from ..obs.logs import get_logger
+
+_log = get_logger(__name__)
+
+
+@dataclass
+class Finding:
+    """One integrity problem found in a store."""
+
+    check: str
+    severity: str            # "error" | "warning"
+    message: str
+    repaired: bool = False
+
+    def render(self) -> str:
+        tag = "repaired" if self.repaired else self.severity
+        return f"[{tag}] {self.check}: {self.message}"
+
+
+@dataclass
+class FsckReport:
+    """Everything one :func:`fsck_store` pass found (and fixed)."""
+
+    store_uri: str
+    checks: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def ok(self) -> bool:
+        """No unrepaired error-severity findings remain."""
+        return not any(
+            f.severity == "error" and not f.repaired for f in self.findings)
+
+    def summary(self) -> str:
+        if self.clean:
+            return (f"fsck {self.store_uri}: clean "
+                    f"({len(self.checks)} checks)")
+        repaired = sum(1 for f in self.findings if f.repaired)
+        errors = sum(1 for f in self.findings
+                     if f.severity == "error" and not f.repaired)
+        warnings = sum(1 for f in self.findings
+                       if f.severity == "warning" and not f.repaired)
+        return (f"fsck {self.store_uri}: {len(self.findings)} finding(s) — "
+                f"{errors} error(s), {warnings} warning(s), "
+                f"{repaired} repaired")
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        lines.extend("  " + f.render() for f in self.findings)
+        return "\n".join(lines)
+
+
+def fsck_store(store: Any, *, quarantine: bool = False) -> FsckReport:
+    """Validate one store's integrity; optionally quarantine-and-repair."""
+    report = FsckReport(store_uri=store.uri())
+    scheme = getattr(store, "scheme", None)
+    if scheme == "jsonl":
+        _fsck_jsonl(store, report, quarantine=quarantine)
+    elif scheme == "sqlite":
+        _fsck_sqlite(store, report, quarantine=quarantine)
+    else:
+        raise ConfigurationError(
+            f"fsck does not know store backend {type(store).__name__} "
+            f"(scheme {scheme!r})")
+    _check_duplicates(store, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# shared checks
+# ---------------------------------------------------------------------------
+
+def _check_duplicates(store: Any, report: FsckReport) -> None:
+    """A cell key must hold at most one *successful* record."""
+    report.checks.append("duplicate-key")
+    seen: dict[str, int] = {}
+    for record in store.records():
+        if "error" in record:
+            continue
+        key = record.get("key")
+        seen[key] = seen.get(key, 0) + 1
+    for key, count in sorted(seen.items()):
+        if count > 1:
+            report.findings.append(Finding(
+                "duplicate-key", "error",
+                f"cell {key} recorded successfully {count} times"))
+
+
+def _check_record_shape(record: dict, where: str, report: FsckReport) -> None:
+    missing = [k for k in ("key", "config") if k not in record]
+    if missing or ("metrics" not in record and "error" not in record):
+        what = (f"missing {missing}" if missing
+                else "has neither metrics nor error")
+        report.findings.append(Finding(
+            "bad-record", "warning", f"record at {where} {what}"))
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def _fsck_jsonl(store: Any, report: FsckReport, *, quarantine: bool) -> None:
+    report.checks.extend(["torn-tail", "malformed-line", "bad-record"])
+    path = store.path
+    if not path.exists():
+        return
+    raw = path.read_bytes()
+    good: list[bytes] = []
+    bad: list[tuple[int, bytes, bool]] = []   # (line_no, bytes, is_tail)
+    lines = raw.split(b"\n")
+    trailing_newline = raw.endswith(b"\n")
+    if trailing_newline or lines[-1] == b"":
+        lines = lines[:-1]
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            good.append(line)
+            continue
+        is_tail = line_no == len(lines) and not trailing_newline
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            check = "torn-tail" if is_tail else "malformed-line"
+            bad.append((line_no, line, is_tail))
+            report.findings.append(Finding(
+                check, "error",
+                f"line {line_no}: {type(exc).__name__}: "
+                f"{str(exc)[:80]} ({len(line)} bytes)"))
+            continue
+        good.append(line)
+        if isinstance(record, dict):
+            _check_record_shape(record, f"line {line_no}", report)
+        else:
+            report.findings.append(Finding(
+                "bad-record", "warning",
+                f"line {line_no} is not a JSON object"))
+    if bad and quarantine:
+        sidecar = path.with_name(path.name + ".quarantine")
+        with sidecar.open("ab") as fh:
+            for line_no, line, _ in bad:
+                fh.write(line + b"\n")
+        with path.open("wb") as fh:
+            for line in good:
+                fh.write(line + b"\n")
+        for finding in report.findings:
+            if finding.check in ("torn-tail", "malformed-line"):
+                finding.repaired = True
+        _log.warning("quarantined %d malformed line(s) of %s to %s",
+                     len(bad), path, sidecar)
+        store.invalidate_caches()
+
+
+# ---------------------------------------------------------------------------
+# SQLite
+# ---------------------------------------------------------------------------
+
+def _scoped(store: Any, column: str = "campaign_key") -> tuple[str, list]:
+    if store.campaign is None:
+        return "", []
+    return f" WHERE {column} = ?", [store.campaign]
+
+
+def _fsck_sqlite(store: Any, report: FsckReport, *, quarantine: bool) -> None:
+    report.checks.extend(["bad-record", "orphaned-lease", "leaseless-chunk",
+                          "chunk-integrity", "orphaned-span"])
+    if not store.path.exists():
+        return
+    conn = store.connection()
+    scope, params = _scoped(store)
+
+    # results: every row's record must be parseable and well-shaped.
+    bad_rows: list[int] = []
+    for row_id, text in conn.execute(
+            f"SELECT id, record FROM results{scope}", params):
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            bad_rows.append(row_id)
+            report.findings.append(Finding(
+                "bad-record", "error",
+                f"results row {row_id}: {str(exc)[:80]}"))
+            continue
+        _check_record_shape(record, f"results row {row_id}", report)
+    if bad_rows and quarantine:
+        with conn:
+            conn.executemany("DELETE FROM results WHERE id = ?",
+                             [(i,) for i in bad_rows])
+        for finding in report.findings:
+            if finding.check == "bad-record" and finding.severity == "error":
+                finding.repaired = True
+        _log.warning("quarantined %d unparseable result row(s) of %s",
+                     len(bad_rows), store.path)
+        store.invalidate_caches()
+
+    # leases <-> chunks referential integrity.
+    orphaned = [
+        (lease_chunk, worker)
+        for lease_chunk, worker, state in conn.execute(
+            "SELECT l.chunk_id, l.worker_id, c.state FROM leases l "
+            "LEFT JOIN chunks c ON c.id = l.chunk_id")
+        if state != "leased"
+    ]
+    for chunk_id, worker in orphaned:
+        finding = Finding(
+            "orphaned-lease", "error",
+            f"lease on chunk {chunk_id} (held by {worker}) has no "
+            f"matching leased chunk")
+        if quarantine:
+            with conn:
+                conn.execute("DELETE FROM leases WHERE chunk_id = ?",
+                             (chunk_id,))
+            finding.repaired = True
+        report.findings.append(finding)
+
+    leaseless = [
+        chunk_id for (chunk_id,) in conn.execute(
+            f"SELECT c.id FROM chunks c LEFT JOIN leases l "
+            f"ON l.chunk_id = c.id "
+            f"WHERE c.state = 'leased' AND l.chunk_id IS NULL"
+            + (" AND c.campaign_key = ?" if scope else ""), params)
+    ]
+    for chunk_id in leaseless:
+        finding = Finding(
+            "leaseless-chunk", "error",
+            f"chunk {chunk_id} is 'leased' but holds no lease row")
+        if quarantine:
+            with conn:
+                conn.execute(
+                    "UPDATE chunks SET state = 'pending' WHERE id = ?",
+                    (chunk_id,))
+            finding.repaired = True
+        report.findings.append(finding)
+
+    # chunk payload integrity: cells/cell_keys/n_cells must agree.
+    # Chunks already parked as 'failed' are skipped — that is where a
+    # previous quarantine pass (or the worker's poison-chunk guard)
+    # deliberately left them, so re-flagging would never converge.
+    for chunk_id, cells_json, keys_json, n_cells in conn.execute(
+            f"SELECT id, cells, cell_keys, n_cells FROM chunks "
+            f"WHERE state != 'failed'"
+            + (" AND campaign_key = ?" if scope else ""), params):
+        problem = None
+        try:
+            cells = json.loads(cells_json)
+            keys = json.loads(keys_json)
+        except json.JSONDecodeError as exc:
+            problem = f"unparseable payload: {str(exc)[:60]}"
+        else:
+            if not (len(cells) == len(keys) == n_cells):
+                problem = (f"n_cells={n_cells} but {len(cells)} cells / "
+                           f"{len(keys)} keys")
+        if problem is None:
+            continue
+        finding = Finding(
+            "chunk-integrity", "error", f"chunk {chunk_id}: {problem}")
+        if quarantine:
+            with conn:
+                conn.execute(
+                    "UPDATE chunks SET state = 'failed' WHERE id = ?",
+                    (chunk_id,))
+                conn.execute("DELETE FROM leases WHERE chunk_id = ?",
+                             (chunk_id,))
+            finding.repaired = True
+        report.findings.append(finding)
+
+    # span hierarchy: a persisted child should have a persisted parent.
+    # A worker killed mid-session flushes chunk/cell spans whose session
+    # span never closes — debris chaos runs are expected to leave.
+    for span_id, parent_id in conn.execute(
+            f"SELECT s.span_id, s.parent_id FROM spans s{scope} "
+            f"{'AND' if scope else 'WHERE'} s.parent_id IS NOT NULL "
+            f"AND s.parent_id NOT IN (SELECT span_id FROM spans)",
+            params):
+        report.findings.append(Finding(
+            "orphaned-span", "warning",
+            f"span {span_id} references missing parent {parent_id}"))

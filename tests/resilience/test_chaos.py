@@ -1,0 +1,138 @@
+"""The chaos harness: spec grammar, seeded determinism, injection points."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.resilience import (
+    ChaosCrash,
+    ChaosPolicy,
+    chaos_policy,
+    reset_chaos_policy,
+)
+from repro.resilience.chaos import CHAOS_ENV
+
+
+@pytest.fixture(autouse=True)
+def fresh_policy_cache(monkeypatch):
+    """Each test re-reads the env; leave no armed policy behind."""
+    monkeypatch.delenv(CHAOS_ENV, raising=False)
+    reset_chaos_policy()
+    yield
+    reset_chaos_policy()
+
+
+class TestGrammar:
+    def test_full_spec(self):
+        policy = ChaosPolicy.parse(
+            "seed=7, busy=0.2, crash=after-commit:2, skew=5, delay=0.01")
+        assert policy.seed == 7
+        assert policy.busy == 0.2
+        assert policy.crash_at == "after-commit"
+        assert policy.crash_nth == 2
+        assert policy.skew_s == 5.0
+        assert policy.delay_s == 0.01
+
+    def test_empty_spec_is_a_neutral_policy(self):
+        policy = ChaosPolicy.parse("")
+        assert policy.busy == 0.0 and policy.crash_at is None
+
+    @pytest.mark.parametrize("bad", [
+        "busy", "busy=x", "busy=1.0", "busy=-0.1", "crash=mid-commit:2",
+        "crash=before-commit", "delay=-1", "volume=11",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy.parse(bad)
+
+
+class TestDeterminism:
+    def busy_schedule(self, seed, draws=64):
+        policy = ChaosPolicy(seed=seed, busy=0.3)
+        schedule = []
+        for i in range(draws):
+            try:
+                policy.maybe_busy(f"site{i}")
+                schedule.append(False)
+            except sqlite3.OperationalError:
+                schedule.append(True)
+        return schedule
+
+    def test_same_seed_same_injection_schedule(self):
+        first = self.busy_schedule(seed=7)
+        assert first == self.busy_schedule(seed=7)
+        assert any(first) and not all(first)
+
+    def test_different_seed_different_schedule(self):
+        assert self.busy_schedule(seed=7) != self.busy_schedule(seed=8)
+
+    def test_injected_error_names_the_site(self):
+        policy = ChaosPolicy(seed=0, busy=0.999)
+        with pytest.raises(sqlite3.OperationalError, match="chaos queue.claim"):
+            for _ in range(100):
+                policy.maybe_busy("queue.claim")
+
+
+class TestCrashPoint:
+    def test_dies_on_exactly_the_nth_visit(self):
+        policy = ChaosPolicy(crash_point="before-commit", crash_nth=3)
+        policy.crash_point("before-commit")
+        policy.crash_point("before-commit")
+        with pytest.raises(ChaosCrash, match="before-commit #3"):
+            policy.crash_point("before-commit")
+        # ...and only once: later visits pass (the process is dead anyway)
+        policy.crash_point("before-commit")
+
+    def test_other_points_never_trip_the_counter(self):
+        policy = ChaosPolicy(crash_point="after-commit", crash_nth=1)
+        policy.crash_point("before-commit")
+        with pytest.raises(ChaosCrash):
+            policy.crash_point("after-commit")
+
+    def test_chaos_crash_is_not_an_ordinary_exception(self):
+        assert not issubclass(ChaosCrash, Exception)
+        assert issubclass(ChaosCrash, BaseException)
+
+
+class TestClockAndDelay:
+    def test_skewed_clock_adds_the_constant(self):
+        policy = ChaosPolicy(skew_s=5.0)
+        clock = policy.skewed(lambda: 100.0)
+        assert clock() == 105.0
+
+    def test_zero_skew_returns_the_clock_unwrapped(self):
+        clock = lambda: 1.0  # noqa: E731
+        assert ChaosPolicy().skewed(clock) is clock
+
+    def test_delay_sleeps_only_when_configured(self, monkeypatch):
+        import repro.resilience.chaos as chaos_mod
+
+        slept = []
+        monkeypatch.setattr(chaos_mod.time, "sleep", slept.append)
+        ChaosPolicy().maybe_delay()
+        assert slept == []
+        ChaosPolicy(delay_s=0.25).maybe_delay()
+        assert slept == [0.25]
+
+
+class TestProcessPolicy:
+    def test_unset_env_means_no_chaos(self):
+        assert chaos_policy() is None
+
+    def test_env_arms_one_cached_policy(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "seed=3,busy=0.1")
+        reset_chaos_policy()
+        policy = chaos_policy()
+        assert policy is not None and policy.seed == 3
+        # cached: the same object (and thus the same RNG stream) is
+        # handed to every caller in the process
+        assert chaos_policy() is policy
+
+    def test_reset_rereads_the_env(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "seed=3")
+        reset_chaos_policy()
+        assert chaos_policy() is not None
+        monkeypatch.delenv(CHAOS_ENV)
+        reset_chaos_policy()
+        assert chaos_policy() is None

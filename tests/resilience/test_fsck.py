@@ -1,0 +1,188 @@
+"""``campaign fsck``: torn JSONL recovery, SQLite referential integrity.
+
+Also holds the regression tests for satellite guarantees: a JSONL store
+torn mid-byte (inside a multi-byte UTF-8 sequence) must stay readable,
+and quarantine must restore a byte-clean file without losing any whole
+record.
+"""
+
+import json
+
+import pytest
+
+from repro.campaigns import CellConfig, JsonlStore, SqliteStore
+from repro.campaigns.distributed import WorkQueue
+from repro.core.errors import ConfigurationError
+from repro.resilience import fsck_store
+
+
+def rec(key, **extra):
+    return {
+        "key": key,
+        "config": {"ring_size": 8, "seed": 0, "algorithm": "unconscious"},
+        "metrics": {"rounds": 3, "explored": True, "total_moves": 5,
+                    "exploration_round": 3, "all_terminated": True,
+                    "last_termination_round": 3, "mode": "unconscious"},
+        **extra,
+    }
+
+
+def cells(n=4):
+    return [CellConfig(algorithm="unconscious", ring_size=8, seed=s,
+                       max_rounds=100) for s in range(n)]
+
+
+class TestJsonlFsck:
+    def test_clean_store_is_clean(self, tmp_path):
+        store = JsonlStore(tmp_path / "r.jsonl")
+        store.append(rec("a"))
+        report = fsck_store(store)
+        assert report.clean and report.ok
+        assert "clean" in report.summary()
+
+    def test_torn_tail_detected_and_quarantined(self, tmp_path):
+        store = JsonlStore(tmp_path / "r.jsonl")
+        store.append(rec("a"))
+        store.append(rec("b"))
+        raw = store.path.read_bytes()
+        store.path.write_bytes(raw[:-25])      # kill -9 mid final record
+        report = fsck_store(store)
+        assert not report.ok
+        assert [f.check for f in report.findings] == ["torn-tail"]
+
+        repaired = fsck_store(store, quarantine=True)
+        assert repaired.ok and not repaired.clean
+        assert all(f.repaired for f in repaired.findings)
+        # the torn bytes moved to the sidecar; the store re-reads clean
+        sidecar = store.path.with_name(store.path.name + ".quarantine")
+        assert sidecar.exists()
+        assert [r["key"] for r in store.records()] == ["a"]
+        assert fsck_store(store).clean
+
+    def test_mid_utf8_byte_truncation_stays_readable(self, tmp_path):
+        """A line torn inside a multi-byte UTF-8 sequence must not take
+        down the whole file (regression: text-mode readers raise
+        ``UnicodeDecodeError`` for the entire iteration)."""
+        store = JsonlStore(tmp_path / "r.jsonl")
+        store.append(rec("a"))
+        # a raw-UTF-8 record line (the JSON writer escapes non-ASCII, so
+        # build the torn bytes by hand), cut one byte into "π"
+        line = json.dumps(rec("ключ-β", note="π≠3"),
+                          ensure_ascii=False).encode("utf-8")
+        cut = line.rfind("π".encode("utf-8")) + 1
+        with store.path.open("ab") as fh:
+            fh.write(line[:cut])
+        # the reader skips the torn tail, keeps every whole record
+        assert [r["key"] for r in store.records()] == ["a"]
+        report = fsck_store(store, quarantine=True)
+        assert report.ok
+        assert fsck_store(store).clean
+
+    def test_interior_garbage_is_malformed_line(self, tmp_path):
+        store = JsonlStore(tmp_path / "r.jsonl")
+        store.append(rec("a"))
+        with store.path.open("ab") as fh:
+            fh.write(b"not json at all\n")
+        store.append(rec("b"))
+        report = fsck_store(store)
+        assert [f.check for f in report.findings] == ["malformed-line"]
+        fsck_store(store, quarantine=True)
+        assert [r["key"] for r in store.records()] == ["a", "b"]
+
+    def test_duplicate_successful_key_is_an_error(self, tmp_path):
+        store = JsonlStore(tmp_path / "r.jsonl")
+        store.append(rec("a"))
+        store.append(rec("a"))
+        report = fsck_store(store)
+        assert [f.check for f in report.findings] == ["duplicate-key"]
+        assert not report.ok
+
+    def test_error_then_success_retry_is_legitimate(self, tmp_path):
+        store = JsonlStore(tmp_path / "r.jsonl")
+        error = rec("a")
+        del error["metrics"]
+        store.append(dict(error, error="worker exploded"))
+        store.append(rec("a"))
+        assert fsck_store(store).clean
+
+    def test_missing_file_is_clean(self, tmp_path):
+        assert fsck_store(JsonlStore(tmp_path / "never.jsonl")).clean
+
+    def test_unknown_backend_rejected(self):
+        class Exotic:
+            scheme = "mongo"
+
+            def uri(self):
+                return "mongo:x"
+
+        with pytest.raises(ConfigurationError, match="mongo"):
+            fsck_store(Exotic())
+
+
+class TestSqliteFsck:
+    def make_queue(self, tmp_path, *, campaign="fsck-test"):
+        store = SqliteStore(tmp_path / "q.db", campaign=campaign)
+        return store, WorkQueue(store, lease_ttl_s=30.0)
+
+    def test_clean_queue_is_clean(self, tmp_path):
+        store, queue = self.make_queue(tmp_path)
+        queue.enqueue(cells(), chunk_size=2)
+        claim = queue.claim("w1")
+        queue.complete(claim.chunk_id, "w1",
+                       [rec(CellConfig.from_dict(c).key())
+                        for c in claim.cells])
+        assert fsck_store(store).clean
+
+    def test_orphaned_lease_detected_and_repaired(self, tmp_path):
+        store, queue = self.make_queue(tmp_path)
+        queue.enqueue(cells(), chunk_size=2)
+        claim = queue.claim("w1")
+        conn = store.connection()
+        with conn:   # a lease whose chunk went elsewhere (corruption)
+            conn.execute("UPDATE chunks SET state = 'done' WHERE id = ?",
+                         (claim.chunk_id,))
+        report = fsck_store(store)
+        assert [f.check for f in report.findings] == ["orphaned-lease"]
+        repaired = fsck_store(store, quarantine=True)
+        assert repaired.ok and all(f.repaired for f in repaired.findings)
+        assert fsck_store(store).clean
+
+    def test_leaseless_chunk_returned_to_pending(self, tmp_path):
+        store, queue = self.make_queue(tmp_path)
+        queue.enqueue(cells(), chunk_size=2)
+        claim = queue.claim("w1")
+        conn = store.connection()
+        with conn:   # the lease row vanished (half-applied steal)
+            conn.execute("DELETE FROM leases WHERE chunk_id = ?",
+                         (claim.chunk_id,))
+        report = fsck_store(store)
+        assert [f.check for f in report.findings] == ["leaseless-chunk"]
+        fsck_store(store, quarantine=True)
+        assert fsck_store(store).clean
+        # the chunk is claimable again
+        assert queue.claim("w2") is not None
+
+    def test_unparseable_result_row_quarantined(self, tmp_path):
+        store = SqliteStore(tmp_path / "r.db", campaign="fsck-test")
+        store.append(rec("a"))
+        conn = store.connection()
+        with conn:
+            conn.execute("UPDATE results SET record = '{torn' "
+                         "WHERE campaign_key = 'fsck-test'")
+        report = fsck_store(store)
+        assert [f.check for f in report.findings] == ["bad-record"]
+        assert not report.ok
+        fsck_store(store, quarantine=True)
+        assert fsck_store(store).clean
+        assert list(store.records()) == []     # the cell will re-run
+
+    def test_chunk_integrity_mismatch_parked(self, tmp_path):
+        store, queue = self.make_queue(tmp_path)
+        queue.enqueue(cells(), chunk_size=2)
+        conn = store.connection()
+        with conn:
+            conn.execute("UPDATE chunks SET n_cells = 99")
+        report = fsck_store(store)
+        assert {f.check for f in report.findings} == {"chunk-integrity"}
+        fsck_store(store, quarantine=True)
+        assert fsck_store(store).clean

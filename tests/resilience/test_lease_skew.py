@@ -1,0 +1,125 @@
+"""Lease safety under clock skew: fast/slow workers must stay honest.
+
+The lease protocol tolerates wall clocks disagreeing by less than the
+TTL (heartbeats land every TTL/4, stealing waits a full TTL of
+silence).  These tests pin the two failure modes a skewed worker could
+introduce — stealing a live peer's lease, and ghost-heartbeating a
+lease already stolen from it — using the deterministic FakeClock
+harness shared with the distributed suite.
+"""
+
+import time
+
+from repro.campaigns import SqliteStore
+from repro.campaigns.distributed import LeaseLost, WorkQueue
+from repro.resilience import reset_chaos_policy
+from repro.resilience.chaos import CHAOS_ENV
+
+from ..campaigns.test_distributed import FakeClock, fast_spec
+
+TTL = 20.0
+
+
+def two_clock_queues(tmp_path, spec, skew_s):
+    """One store, two queue views: an honest clock and a skewed one."""
+    honest = FakeClock(now=1000.0)
+    skewed = FakeClock(now=1000.0 + skew_s)
+    store = SqliteStore(tmp_path / "q.db", campaign=spec.name)
+    peer_store = SqliteStore(tmp_path / "q.db", campaign=spec.name)
+    return (WorkQueue(store, lease_ttl_s=TTL, clock=honest), honest,
+            WorkQueue(peer_store, lease_ttl_s=TTL, clock=skewed), skewed)
+
+
+class TestSkewedPeers:
+    def test_fast_peer_must_not_steal_a_live_lease(self, tmp_path):
+        """A peer running > TTL/4 fast sees fresh heartbeats as older
+        than they are — but never old enough to steal before TTL."""
+        spec = fast_spec(name="skew-fast", seeds=(0,), sizes=(6,))
+        queue, clock, fast_queue, fast_clock = two_clock_queues(
+            tmp_path, spec, skew_s=TTL / 2)
+        queue.enqueue(spec.cell_list(), chunk_size=100)   # one chunk
+        claim = queue.claim("steady")
+        assert claim is not None
+        # the steady worker heartbeats on schedule (every TTL/4) while
+        # the fast peer keeps probing: it must come away empty-handed
+        for _ in range(8):
+            clock.advance(TTL / 4)
+            fast_clock.advance(TTL / 4)
+            assert queue.heartbeat(claim.chunk_id, "steady")
+            assert fast_queue.claim("fast-peer") is None
+        # the lease is still the steady worker's to complete
+        assert queue.heartbeat(claim.chunk_id, "steady")
+
+    def test_fast_peer_steals_once_the_holder_goes_silent(self, tmp_path):
+        """Skew shortens the fast peer's patience but stealing still
+        requires a full (skewed) TTL of silence — and then works."""
+        spec = fast_spec(name="skew-steal", seeds=(0,), sizes=(6,))
+        queue, clock, fast_queue, fast_clock = two_clock_queues(
+            tmp_path, spec, skew_s=TTL / 2)
+        queue.enqueue(spec.cell_list(), chunk_size=100)
+        claim = queue.claim("steady")
+        # silence: from the fast peer's view the heartbeat ages out
+        # TTL/2 early; advance just past its (skewed) expiry
+        fast_clock.advance(TTL / 2 + 0.1)
+        stolen = fast_queue.claim("fast-peer")
+        assert stolen is not None
+        assert stolen.stolen_from == "steady"
+        assert stolen.chunk_id == claim.chunk_id
+
+    def test_slow_holder_cannot_ghost_heartbeat_a_stolen_lease(self, tmp_path):
+        """After a steal the original holder's heartbeats and completion
+        must fail no matter how far behind its clock is."""
+        spec = fast_spec(name="skew-ghost", seeds=(0,), sizes=(6,))
+        queue, clock, slow_queue, slow_clock = two_clock_queues(
+            tmp_path, spec, skew_s=-(TTL / 2))
+        queue.enqueue(spec.cell_list(), chunk_size=100)
+        claim = slow_queue.claim("slow")
+        # the slow worker stalls; honest time passes a full TTL
+        clock.advance(TTL + 0.1)
+        stolen = queue.claim("thief")
+        assert stolen is not None and stolen.stolen_from == "slow"
+        # the slow worker wakes up behind the times: its heartbeat must
+        # report the lease lost, not refresh the thief's lease
+        assert not slow_queue.heartbeat(claim.chunk_id, "slow")
+        try:
+            slow_queue.complete(claim.chunk_id, "slow", [])
+            raise AssertionError("completion of a stolen lease must raise")
+        except LeaseLost:
+            pass
+        # and nothing the slow worker did revived its lease
+        assert not slow_queue.heartbeat(claim.chunk_id, "slow")
+
+    def test_holder_never_steals_its_own_fresh_lease(self, tmp_path):
+        """A worker whose clock jumps forward mid-claim must not see its
+        own lease as orphaned while it is still heartbeating."""
+        spec = fast_spec(name="skew-self", seeds=(0,), sizes=(6,))
+        clock = FakeClock(now=1000.0)
+        store = SqliteStore(tmp_path / "q.db", campaign=spec.name)
+        queue = WorkQueue(store, lease_ttl_s=TTL, clock=clock)
+        queue.enqueue(spec.cell_list(), chunk_size=100)
+        claim = queue.claim("jumpy")
+        clock.advance(TTL / 2)             # a forward jump > TTL/4
+        assert queue.heartbeat(claim.chunk_id, "jumpy")
+        assert queue.claim("jumpy") is None   # no self-steal
+
+
+class TestChaosSkewWiring:
+    def test_chaos_skew_wraps_only_the_wall_clock(self, tmp_path, monkeypatch):
+        """REPRO_CHAOS skew applies to the real clock, never to an
+        injected test clock (which would double-skew FakeClock suites
+        and the LeaseKeeper, both of which pass clocks through)."""
+        monkeypatch.setenv(CHAOS_ENV, "skew=500")
+        reset_chaos_policy()
+        try:
+            spec = fast_spec(name="skew-chaos", seeds=(0,), sizes=(6,))
+            fake = FakeClock(now=1000.0)
+            injected = WorkQueue(
+                SqliteStore(tmp_path / "a.db", campaign=spec.name),
+                lease_ttl_s=TTL, clock=fake)
+            assert injected._clock is fake          # untouched
+            walled = WorkQueue(
+                SqliteStore(tmp_path / "b.db", campaign=spec.name),
+                lease_ttl_s=TTL)
+            assert walled._clock() - time.time() > 400   # skewed
+        finally:
+            reset_chaos_policy()
