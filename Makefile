@@ -39,8 +39,10 @@ bench-batch-smoke:
 	$(PYTHON) benchmarks/bench_batch.py --smoke \
 		--out results/BENCH_batch_smoke.json --min-speedup 3
 
-## The all-eligible smoke campaign twice — vectorized and scalar — then a
-## byte-for-byte report diff plus per-record key/metrics equality.
+## The all-eligible smoke campaigns twice — vectorized and scalar — then
+## a byte-for-byte store diff.  batch-smoke covers the NS/FSYNC corner;
+## batch-wide covers the widened frontier (PT/ET transports, landmark
+## kernels, SSYNC activation masks).
 batch-diff:
 	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec batch-smoke \
 		--workers 1 --batch auto --store results/batch-auto.jsonl
@@ -48,6 +50,12 @@ batch-diff:
 		--workers 1 --batch off --store results/batch-off.jsonl
 	PYTHONPATH=src $(PYTHON) scripts/diff_stores.py \
 		results/batch-auto.jsonl results/batch-off.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec batch-wide \
+		--workers 1 --batch auto --store results/batch-wide-auto.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --spec batch-wide \
+		--workers 1 --batch off --store results/batch-wide-off.jsonl
+	PYTHONPATH=src $(PYTHON) scripts/diff_stores.py \
+		results/batch-wide-auto.jsonl results/batch-wide-off.jsonl
 
 ## The pytest-benchmark suites (paper-table reproductions).
 bench-suites:

@@ -1,8 +1,9 @@
 """Differential-testing harness: BatchCore vs the scalar simulation cores.
 
 The vectorized batch engine (:mod:`repro.core.batch`) re-implements the
-FSYNC round loop as whole-array operations, so its correctness argument
-is *empirical by construction*: every claim of equivalence is backed by
+round loop — FSYNC and the mask-replayable SSYNC schedulers, all three
+transports, every registry algorithm — as whole-array operations, so
+its correctness argument is *empirical by construction*: every claim of equivalence is backed by
 executing the same cells through :class:`~repro.core.batch.BatchCore`,
 ``SimulationCore(optimized=True)`` and the reference path
 (``optimized=False``) and comparing everything observable.  This module
@@ -136,6 +137,7 @@ def _agent_mismatch(state: dict, engine) -> str | None:
             "Btime": mem.Btime,
             "moved": mem.moved, "failed": mem.failed,
             "net": mem.net, "min_net": mem.min_net, "max_net": mem.max_net,
+            "size": mem.size, "Ntime": mem.Ntime,
         }
         for key, value in expected.items():
             if snap[key] != value:

@@ -45,6 +45,7 @@ from .status import (
     FleetStatus,
     enqueue_campaign,
     fleet_status,
+    render_batch_rejects,
     render_status,
     run_distributed,
     store_metrics,
@@ -65,6 +66,7 @@ __all__ = [
     "WorkerReport",
     "enqueue_campaign",
     "fleet_status",
+    "render_batch_rejects",
     "render_status",
     "run_distributed",
     "run_worker",

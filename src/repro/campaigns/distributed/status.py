@@ -26,7 +26,7 @@ from typing import Callable, Sequence
 
 from ...core.errors import ConfigurationError
 from ...obs import metrics as obs_metrics
-from ..executor import CampaignRun
+from ..executor import CampaignRun, batch_reject_counts
 from ..spec import CampaignSpec, CellConfig
 from ..stores import ResultStore, open_store
 from .queue import (
@@ -87,6 +87,10 @@ class FleetStatus:
     #: Fraction of done cells that took the vector path (None before
     #: any cell is done).
     batch_share: float | None = None
+    #: Per-reason scalar-fallback counts (``executor.batch_reject.*``
+    #: counters merged across workers), most frequent first; None when
+    #: no worker recorded a rejection (or none ran with ``--metrics``).
+    batch_rejects: dict[str, int] | None = None
 
 
 def fleet_status(
@@ -134,6 +138,7 @@ def fleet_status(
         claim_latency=claim_latency,
         chunk_rate=chunk_rate,
         batch_share=batch_share,
+        batch_rejects=batch_reject_counts(merged) or None,
     )
 
 
@@ -188,6 +193,26 @@ def _age(now: float, then: float) -> str:
     return f"{delta / 60:.1f}m ago"
 
 
+def render_batch_rejects(rejects: dict[str, int] | None) -> list[str]:
+    """The per-reason scalar-fallback table of ``campaign status``.
+
+    One line per rejection reason (keys of
+    :func:`~repro.campaigns.executor.batch_reject_counts`), so a user
+    who expected a vectorized sweep can see *why* cells ran scalar —
+    e.g. a peeking adversary or a fault plan.  Empty list when nothing
+    was rejected.
+    """
+    if not rejects:
+        return []
+    total = sum(rejects.values())
+    lines = [f"scalar  : {total} cell routing(s) fell back to the scalar "
+             "path, by reason:"]
+    width = max(len(key) for key in rejects)
+    for key, count in rejects.items():
+        lines.append(f"  {key:<{width}}  x{count}")
+    return lines
+
+
 def render_status(status: FleetStatus, *, clock: Callable[[], float] = time.time) -> str:
     """Human-readable fleet telemetry (one call of ``campaign status``)."""
     now = clock()
@@ -230,6 +255,7 @@ def render_status(status: FleetStatus, *, clock: Callable[[], float] = time.time
         lines.append(
             f"batch   : {c.batched_done}/{c.done} done chunks vectorized "
             f"({c.cells_batched} cells{share})")
+    lines.extend(render_batch_rejects(status.batch_rejects))
     for chunk in status.recent_chunks:
         per_s = (f"{chunk.cells_per_s:.0f} cells/s"
                  if chunk.cells_per_s else "rate n/a")

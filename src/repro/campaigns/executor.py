@@ -29,10 +29,10 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
 from ..core.batch import (
-    BATCH_WIDTH,
     batch_eligible,
     batch_ineligible_key,
     batch_ineligible_reason,
+    batch_width,
     numpy_available,
     run_batch_cells,
 )
@@ -49,6 +49,28 @@ _log = get_logger(__name__)
 
 #: Valid values of the execution-routing switch (CLI ``--batch``).
 BATCH_MODES = ("auto", "on", "off")
+
+#: Metric-name prefix of the per-reason batch rejection counters.
+BATCH_REJECT_PREFIX = "executor.batch_reject."
+
+
+def batch_reject_counts(snapshot: dict[str, dict] | None) -> dict[str, int]:
+    """Per-reason scalar-fallback counts from a metrics snapshot.
+
+    Collapses the ``executor.batch_reject.<key>`` counters (written by
+    :func:`run_chunk` whenever a cell that *could* have batched is routed
+    scalar) into ``{reason_key: count}``, ordered most-frequent first so
+    a rendered table leads with the dominant reason.  Empty dict when the
+    snapshot is ``None`` or holds no rejections.
+    """
+    rejects: dict[str, int] = {}
+    for name, dump in (snapshot or {}).items():
+        if not name.startswith(BATCH_REJECT_PREFIX):
+            continue
+        if dump.get("type") != "counter" or not dump.get("value"):
+            continue
+        rejects[name[len(BATCH_REJECT_PREFIX):]] = int(dump["value"])
+    return dict(sorted(rejects.items(), key=lambda kv: (-kv[1], kv[0])))
 
 
 def execute_cell(cell: CellConfig) -> dict[str, Any]:
@@ -273,9 +295,14 @@ class CampaignRun:
 
     def summary(self) -> str:
         batched = f" batched={self.batched}" if self.batched else ""
+        rejects = batch_reject_counts(self.metrics)
+        scalar = ""
+        if rejects:
+            pairs = ",".join(f"{k}={v}" for k, v in rejects.items())
+            scalar = f" scalar[{pairs}]"
         return (
             f"cells={self.total} skipped={self.skipped} executed={self.executed} "
-            f"failed={self.failed}{batched} workers={self.workers} "
+            f"failed={self.failed}{batched}{scalar} workers={self.workers} "
             f"in {self.elapsed_s:.1f}s"
         )
 
@@ -287,10 +314,11 @@ def default_chunk_size(
     against IPC, capped at 25 so a straggler chunk never dominates.
 
     With ``batch=True`` (every pending cell qualifies for the vector
-    path) the cap rises to :data:`~repro.core.batch.BATCH_WIDTH` and the
-    target becomes one chunk per worker: a batched chunk is a single
-    lockstep NumPy run, so wide chunks amortise the per-chunk setup and
-    fill the vector width instead of slicing it into 25-cell slivers.
+    path) the cap rises to :func:`~repro.core.batch.batch_width` (the
+    ``REPRO_BATCH_WIDTH``-overridable vector width) and the target
+    becomes one chunk per worker: a batched chunk is a single lockstep
+    NumPy run, so wide chunks amortise the per-chunk setup and fill the
+    vector width instead of slicing it into 25-cell slivers.
 
     Shared with the distributed queue (where the eventual fleet size is
     unknown at enqueue time and this host's CPU count stands in — small
@@ -299,7 +327,7 @@ def default_chunk_size(
     if workers is None:
         workers = multiprocessing.cpu_count()
     if batch:
-        return max(1, min(BATCH_WIDTH, -(-pending // workers)))
+        return max(1, min(batch_width(), -(-pending // workers)))
     return max(1, min(25, -(-pending // (workers * 4))))
 
 
@@ -318,10 +346,11 @@ def _serial_groups(
     the per-cell progress granularity serial runs always had.
     """
     group: list[CellConfig] = []
+    width = batch_width()
     for cell in cells:
         if _wants_batch(cell, batch):
             group.append(cell)
-            if len(group) >= BATCH_WIDTH:
+            if len(group) >= width:
                 yield group
                 group = []
         else:

@@ -328,9 +328,10 @@ def batch_smoke() -> CampaignSpec:
 
     The CI batch lane runs this twice — ``--batch auto`` and
     ``--batch off`` — and diffs the stores byte for byte: the vector
-    path must be invisible in everything persisted.  Mixed chunk
-    routing is covered by the ``smoke`` preset (its PT/ET variants stay
-    scalar under ``--batch auto``).
+    path must be invisible in everything persisted.  The widened
+    frontier (PT/ET transports, landmark kernels, SSYNC masks) gets the
+    same treatment from the ``batch-wide`` preset; mixed chunk routing
+    is covered by ``faults-smoke`` (its fault plans stay scalar).
     """
     return CampaignSpec(
         name="batch-smoke",
@@ -346,6 +347,56 @@ def batch_smoke() -> CampaignSpec:
             {"label": "batch-unconscious", "algorithm": "unconscious",
              "horizon": "100 * n", "stop_on_exploration": True,
              "placement": "offset-spread"},
+        ],
+    )
+
+
+def batch_wide() -> CampaignSpec:
+    """The widened-frontier CI sweep: PT/ET, landmarks, SSYNC (54 cells).
+
+    Every cell is batch-eligible and every variant lands in a kernel
+    family the original ``batch-smoke`` preset never touched: PT rides,
+    ET exact-traversal bookkeeping, landmark size learning (with and
+    without chirality) and the pre-drawn SSYNC activation masks.  The
+    CI batch lane runs this twice — ``--batch auto`` and ``--batch
+    off`` — and diffs the stores byte for byte, so a regression in any
+    new kernel breaks CI even if the equivalence suite's grid misses
+    the shape.
+    """
+    return CampaignSpec(
+        name="batch-wide",
+        description="All-eligible PT/ET/landmark/SSYNC sweep for the "
+                    "batched-vs-scalar CI diff.",
+        base={"adversary": "random"},
+        grid={"seed": [0, 1, 2], "ring_size": [8, 12]},
+        variants=[
+            {"label": "bw-pt-bound", "algorithm": "pt-bound",
+             "transport": "pt", "placement": "thirds",
+             "max_rounds": 2_000},
+            {"label": "bw-pt-landmark", "algorithm": "pt-landmark",
+             "transport": "pt", "landmark": 0, "placement": "thirds",
+             "max_rounds": 2_000},
+            {"label": "bw-et-unconscious", "algorithm": "et-unconscious",
+             "transport": "et", "placement": "thirds",
+             "stop_on_exploration": True, "max_rounds": 2_000},
+            {"label": "bw-et-exact", "algorithm": "et-exact", "agents": 3,
+             "transport": "et", "chirality": False, "flipped": [1],
+             "max_rounds": 2_000},
+            {"label": "bw-landmark-chirality",
+             "algorithm": "landmark-chirality", "landmark": 0,
+             "horizon": "100 * n"},
+            {"label": "bw-landmark-no-chirality",
+             "algorithm": "landmark-no-chirality", "landmark": 0,
+             "chirality": False, "flipped": [1],
+             "horizon": "no_chirality_timeout(n) + 10"},
+            {"label": "bw-ssync-round-robin", "algorithm": "known-bound",
+             "scheduler": "round-robin", "horizon": "100 * n"},
+            {"label": "bw-ssync-random-fair", "algorithm": "unconscious",
+             "scheduler": "random-fair", "stop_on_exploration": True,
+             "horizon": "100 * n"},
+            {"label": "bw-ssync-et-fair", "algorithm": "known-bound",
+             "scheduler": "et-fair", "transport": "et",
+             "max_rounds": 1_500},
         ],
     )
 
@@ -396,6 +447,7 @@ SPECS: dict[str, Callable[[], CampaignSpec]] = {
     "topologies-smoke": topologies_smoke,
     "smoke": smoke,
     "batch-smoke": batch_smoke,
+    "batch-wide": batch_wide,
     "faults-smoke": faults_smoke,
 }
 

@@ -8,31 +8,52 @@ the seed / adversary-arg / ring-size axes — same algorithm, same agent
 count, same round structure.  :class:`BatchCore` exploits that shape by
 executing a whole chunk in lockstep: agent positions, ports, phases and
 counters become ``(cells, agents)`` integer/bool arrays, the adversary's
-edge removals a per-cell vector, and every FSYNC round a fixed sequence
-of whole-array Look/Compute/Move operations.  Cells that halt simply
-leave the active mask; the survivors keep stepping.
+edge removals a per-cell vector, and every round a fixed sequence of
+whole-array Look/Compute/Move operations.  Cells that halt simply leave
+the active mask; the survivors keep stepping.
+
+PR 6 covered the narrowest corner (``known-bound``/``unconscious``,
+NS/FSYNC).  The frontier now spans the paper's whole oblivious matrix:
+
+* **every registry algorithm** — the hand-written kernels remain for the
+  two originals, and :mod:`repro.core.batch_kernels` runs the other nine
+  through a masked columnar twin of ``StateMachineAlgorithm``;
+* **PT and ET transports** — a PT agent left on a port by the scheduler
+  *rides* the edge when it is present (one extra masked traverse per
+  round); ET differs from NS only through its scheduler;
+* **SSYNC activation masks** — ``round-robin``/``random-fair``/
+  ``et-fair`` draws are pure functions of (round, cell RNG, public agent
+  state), not interleaved with engine queries, so each running cell's
+  scheduler is replayed in-loop into a per-round ``act[C, K]`` mask and
+  everything downstream stays lockstep;
+* **landmark cells** — the landmark is one more per-cell column
+  (``lm``/``lm_seen``/``lm_first_net``/``size``/``Ntime``), maintained
+  for every cell so LExplore observations match the scalar engine even
+  for algorithms that ignore them.
 
 Eligibility — the single predicate shared by the executor, the
-distributed worker and the test suite (:func:`batch_eligible`) — is
-deliberately narrow:
+distributed worker and the test suite (:func:`batch_eligible`) — still
+excludes what genuinely has no array form:
 
-* ring topology, NS transport, FSYNC activation (``scheduler`` "auto"
-  resolves to FSYNC for every eligible adversary): one global round
-  counter drives every cell, which is what makes lockstep valid;
-* a *deterministic FSYNC algorithm* with a vectorized kernel here
-  (``known-bound``, ``unconscious``);
-* a *non-peeking* adversary (``none``/``fixed``/``periodic``/``random``):
-  its edge choice is a function of the round number and its own RNG.
-  Peeking adversaries call ``peek_intended_action`` — a per-agent
-  speculative Compute against a cloned memory — which has no array form;
-  they (and every SSYNC scheduler, whose activation sets desynchronise
-  the cells) stay on the scalar core.
+* *peeking* adversaries (``block-agent``, ``figure2``, ``theorem19``,
+  ``zigzag``, ``ns-starvation``, stochastic edge processes):
+  ``peek_intended_action`` is a per-agent speculative Compute against a
+  cloned memory;
+* *fault plans*: the injector hooks the scalar round structure;
+* non-ring topologies, invalid configurations the scalar path rejects
+  (so the fallback reproduces the identical error record), and the
+  per-round invariant audit.
 
 Equivalence with :class:`~repro.core.sim.SimulationCore` is not argued,
 it is tested: ``tests/core/test_batch_equivalence.py`` drives both paths
 over a differential grid plus Hypothesis-generated batches and asserts
 cell-by-cell result *and* per-round state equality, and the golden ring
 traces replay through this core too.
+
+Scale: the visited bitmap is bit-packed (``n_max / 8`` bytes per cell),
+the split caps count packed bytes, and ``REPRO_BATCH_WIDTH`` overrides
+the default lane width — a 10^5-node ring batches a thousand cells wide
+within the default cap.
 
 NumPy is a declared dependency but its absence only disables batching:
 :data:`HAVE_NUMPY` gates the routing (``REPRO_NO_NUMPY=1`` forces the
@@ -46,6 +67,7 @@ import random
 from typing import TYPE_CHECKING, Sequence
 
 from ..obs import metrics as obs_metrics
+from .batch_kernels import K_ENTER, K_MOVE, K_TERM, Look, build_program
 from .errors import ConfigurationError
 from .results import AgentStats, RunResult
 from .sim import MAX_ROUNDS_LIMIT
@@ -63,28 +85,79 @@ except Exception:  # pragma: no cover
 #: modules (it reads this attribute dynamically).
 HAVE_NUMPY = _np is not None and os.environ.get("REPRO_NO_NUMPY", "") != "1"
 
-#: Preferred number of cells per lockstep batch — also the chunk-size cap
+#: Default number of cells per lockstep batch — also the chunk-size cap
 #: :func:`repro.campaigns.executor.default_chunk_size` uses when every
 #: pending cell qualifies (fill the vector width instead of 25-cell IPC
-#: chunks).
+#: chunks).  Override per process with ``REPRO_BATCH_WIDTH`` (validated
+#: by :func:`batch_width`).
 BATCH_WIDTH = 256
 
-#: Algorithms with a vectorized Compute kernel below.
-BATCH_ALGORITHMS = frozenset({"known-bound", "unconscious"})
+#: Upper bound a ``REPRO_BATCH_WIDTH`` override may request.
+MAX_BATCH_WIDTH = 1 << 16
+
+#: Algorithms with a vectorized Compute kernel (bespoke here, or a
+#: :class:`~repro.core.batch_kernels.VectorProgram`).
+BATCH_ALGORITHMS = frozenset({
+    "known-bound",
+    "unconscious",
+    "landmark-chirality",
+    "landmark-no-chirality",
+    "start-from-landmark",
+    "pt-bound",
+    "pt-landmark",
+    "pt-bound-3",
+    "pt-landmark-3",
+    "et-unconscious",
+    "et-exact",
+})
 
 #: Adversaries whose edge choice is a function of (round, own RNG) only.
 BATCH_ADVERSARIES = frozenset({"none", "fixed", "periodic", "random"})
 
+#: Transport models with an array form (ET's guarantees live in its
+#: scheduler, so its move phase is NS's; PT adds the port ride).
+BATCH_TRANSPORTS = frozenset({"ns", "pt", "et"})
+
+#: Schedulers whose activation draws are replayable without engine
+#: callbacks ("auto" resolves per transport via the registry).
+BATCH_SCHEDULERS = frozenset(
+    {"auto", "fsync", "round-robin", "random-fair", "et-fair"})
+
+#: Scalar-path minimum ``bound`` per algorithm (ctor-enforced); an
+#: explicit smaller bound must fall back so the scalar error reproduces.
+_MIN_BOUND = {"known-bound": 3, "pt-bound": 3, "pt-bound-3": 2, "et-exact": 3}
+
 #: Cap on the pairwise occupancy tensor (cells * agents^2 bools) and the
-#: visited bitmap (cells * max ring size) per batch; bigger groups are
-#: split by :func:`run_batch_cells`.
+#: *packed* visited bitmap (cells * ring-size/8 bytes) per batch; bigger
+#: groups are split by :func:`run_batch_cells`.
 _MAX_PAIRWISE = 1 << 22
-_MAX_VISITED = 1 << 26
+_MAX_VISITED_BYTES = 1 << 26
 
 
 def numpy_available() -> bool:
     """Dynamic read of :data:`HAVE_NUMPY` (monkeypatch-friendly)."""
     return HAVE_NUMPY
+
+
+def batch_width() -> int:
+    """The configured lane width (``REPRO_BATCH_WIDTH`` or the default).
+
+    Raises :class:`ConfigurationError` on a non-integer, non-positive or
+    absurd override — silently clamping would hide the typo that turned
+    a million-cell sweep into width-1 batches.
+    """
+    raw = os.environ.get("REPRO_BATCH_WIDTH", "").strip()
+    if not raw:
+        return BATCH_WIDTH
+    try:
+        width = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_BATCH_WIDTH={raw!r} is not an integer") from None
+    if not 1 <= width <= MAX_BATCH_WIDTH:
+        raise ConfigurationError(
+            f"REPRO_BATCH_WIDTH={width} outside [1, {MAX_BATCH_WIDTH}]")
+    return width
 
 
 def _batch_ineligibility(cell: "CellConfig") -> tuple[str, str] | None:
@@ -93,8 +166,9 @@ def _batch_ineligibility(cell: "CellConfig") -> tuple[str, str] | None:
     The contract: for an eligible cell, :class:`BatchCore` produces the
     exact :class:`~repro.core.results.RunResult` the scalar engine would.
     Configurations the scalar path *rejects* (bad bound, out-of-range
-    fixed edge, invalid flip vector...) are therefore ineligible too, so
-    the fallback path reproduces the identical error record.
+    fixed edge or landmark, invalid flip vector...) are therefore
+    ineligible too, so the fallback path reproduces the identical error
+    record.
 
     ``key`` is a short stable identifier the executor uses to label
     rejection-reason counters (``executor.batch_reject.<key>``);
@@ -108,19 +182,25 @@ def _batch_ineligibility(cell: "CellConfig") -> tuple[str, str] | None:
         return "adversary", f"adversary {cell.adversary!r} peeks or schedules"
     if cell.faults:
         return "faults", f"fault plan {cell.faults!r} needs the scalar fault hook"
-    if cell.transport != "ns":
-        return "transport", f"transport {cell.transport!r} is not NS"
-    if cell.scheduler not in ("auto", "fsync"):
-        return "scheduler", f"scheduler {cell.scheduler!r} is not FSYNC"
-    if cell.landmark is not None:
-        return "landmark", "landmark cells track LExplore observations"
+    if cell.transport not in BATCH_TRANSPORTS:
+        return "transport", f"transport {cell.transport!r} has no array form"
+    if cell.scheduler not in BATCH_SCHEDULERS:
+        return ("scheduler",
+                f"scheduler {cell.scheduler!r} interleaves with the engine")
+    if cell.landmark is not None and not 0 <= cell.landmark < cell.ring_size:
+        return ("landmark",
+                f"landmark {cell.landmark} outside ring of size "
+                f"{cell.ring_size} (scalar path rejects it)")
     if cell.debug_invariants:
         return "debug_invariants", "per-round invariant audit requested"
     if not 0 < cell.max_rounds <= MAX_ROUNDS_LIMIT:
         return ("max_rounds",
                 f"max_rounds {cell.max_rounds} outside (0, {MAX_ROUNDS_LIMIT}]")
-    if cell.algorithm == "known-bound" and cell.bound is not None and cell.bound < 3:
-        return "bound", f"bound {cell.bound} < 3 (scalar path rejects it)"
+    min_bound = _MIN_BOUND.get(cell.algorithm)
+    if (min_bound is not None and cell.bound is not None
+            and cell.bound < min_bound):
+        return ("bound",
+                f"bound {cell.bound} < {min_bound} (scalar path rejects it)")
     if cell.adversary in ("fixed", "periodic") and not 0 <= cell.edge < cell.ring_size:
         return "edge", f"edge {cell.edge} outside ring of size {cell.ring_size}"
     if cell.chirality and cell.flipped:
@@ -157,9 +237,18 @@ def batch_eligible(cell: "CellConfig") -> bool:
 
 
 _ADV_CODE = {"none": 0, "fixed": 1, "periodic": 2, "random": 3}
+_SCHED_CODE = {"fsync": 0, "round-robin": 1, "random-fair": 2, "et-fair": 3}
+_S_FSYNC, _S_RR, _S_RF, _S_ETF = 0, 1, 2, 3
 
-# State codes.  known-bound: Init/Bounce/Forward (Terminate is an action,
-# not a resident state).  unconscious: Init/Reverse/Keep/Bounce/Forward.
+# The random-fair scheduler's construction defaults (mirrored from
+# repro.schedulers.ssync; the registry builds them with defaults only).
+_RF_P = 0.5
+_RF_STARVATION_CAP = 64
+_ETF_PATIENCE = 8
+
+# State codes of the two bespoke kernels.  known-bound:
+# Init/Bounce/Forward (Terminate is an action, not a resident state).
+# unconscious: Init/Reverse/Keep/Bounce/Forward.
 _INIT, _BOUNCE_KB, _FORWARD_KB = 0, 1, 2
 _REVERSE, _KEEP, _BOUNCE_UN, _FORWARD_UN = 1, 2, 3, 4
 
@@ -178,23 +267,31 @@ class BatchCore:
                             (-1 canonical, +1 mirrored)
     ``term``/``term_round`` terminated flag / round of termination (-1 = never)
     counters                ``Ttime Tsteps Etime Esteps Btime net min_net
-                            max_net`` plus ``moved``/``failed`` — exactly
-                            :class:`~repro.core.memory.AgentMemory`'s slots
-    ``state[C,K]``          the state-machine state; per-algorithm extras
-                            (``bound[C]`` for known-bound; ``G``/``ldir``/
-                            ``fwd[C,K]`` for unconscious)
-    ``visited[C,n_max]``    visited bitmap + ``visited_count``/``explo_round``
+                            max_net Ntime`` plus ``moved``/``failed`` —
+                            exactly :class:`~repro.core.memory.AgentMemory`'s
+                            slots
+    landmark                ``lm[C]`` (node or -1), ``lm_seen``/
+                            ``lm_first_net``/``size[C,K]`` (-1 = unknown)
+    ``state[C,K]``          the state-machine state; ``entered``/``last_dir``
+                            for the generic driver, or the bespoke extras
+                            (``bound[C]``; ``G``/``ldir``/``fwd[C,K]``)
+    scheduling              ``sched[C]`` code, ``rsa[C,K]`` rounds since
+                            active, per-cell scheduler RNGs / RR offsets /
+                            ET debt
+    ``visited_bits``        packed bitmap ``[C, ceil(n_max/8)]`` +
+                            ``visited_count``/``explo_round``
     ``running[C]``          cells still stepping; halted cells freeze
     ======================  =====================================================
 
     Each :meth:`advance` replays one scalar round exactly — adversary
-    choice, FSYNC Look (pairwise same-node occupancy tensors), the
-    vectorized Compute kernel (state transitions with the driver's
-    entered-state timing), port mutual exclusion (denial = port held at
-    round start, winner = lowest index, ``Btime`` reset for every
-    requester), the Move phase and the end-of-round tick — preceded by
-    the scalar ``run()`` stop-condition check in its exact priority
-    order (all-terminated > explored > horizon).
+    choice, scheduler activation (FSYNC constant or the SSYNC replica),
+    Look (pairwise same-node occupancy tensors), the vectorized Compute
+    kernel (state transitions with the driver's entered-state timing),
+    port mutual exclusion (denial = port held at round start, winner =
+    lowest index, ``Btime`` reset for every requester), the Move phase
+    (with PT port rides and landmark observation) and the end-of-round
+    tick — preceded by the scalar ``run()`` stop-condition check in its
+    exact priority order (all-terminated > explored > horizon).
     """
 
     def __init__(self, cells: Sequence["CellConfig"]) -> None:
@@ -213,7 +310,12 @@ class BatchCore:
             reason = batch_ineligible_reason(cell)
             if reason is not None:
                 raise ConfigurationError(f"cell is not batch-eligible: {reason}")
-        from ..campaigns.spec import resolve_positions  # late: spec is import-light
+        # Late imports: spec is import-light; the registry is the single
+        # source of truth for auto-scheduler / landmark / placement
+        # resolution and is loaded by every campaign caller anyway.
+        from ..campaigns.registry import ALGORITHMS, AUTO_SCHEDULER
+        from ..campaigns.spec import resolve_positions
+        from .engine import TransportModel
 
         np = _np
         self.cells = list(cells)
@@ -226,20 +328,23 @@ class BatchCore:
             reg.histogram("batch.width").observe(C)
             reg.histogram("batch.agents").observe(K)
         self.algorithm = cells[0].algorithm
+        entry = ALGORITHMS[self.algorithm]
 
         self.n = np.array([c.ring_size for c in cells], dtype=np.int64)
         self.max_rounds = np.array([c.max_rounds for c in cells], dtype=np.int64)
         self.stop_expl = np.array(
             [c.stop_on_exploration for c in cells], dtype=bool)
 
+        placement = entry.placement_override
         pos = np.empty((C, K), dtype=np.int64)
         left = np.empty((C, K), dtype=np.int64)
         for ci, cell in enumerate(cells):
+            effective = placement or cell.placement
             placed = resolve_positions(
-                cell.placement,
+                effective,
                 ring_size=cell.ring_size,
                 agents=K,
-                positions=cell.positions if cell.placement == "explicit" else None,
+                positions=cell.positions if effective == "explicit" else None,
             )
             pos[ci] = [p % cell.ring_size for p in placed]
             if cell.chirality:
@@ -268,15 +373,63 @@ class BatchCore:
         self.moved = zeros(bool)
         self.failed = zeros(bool)
 
-        self.state = zeros(np.int64)
-        if self.algorithm == "known-bound":
-            self.bound = np.array(
-                [c.bound if c.bound is not None else c.ring_size for c in cells],
-                dtype=np.int64)
+        # -- landmark tracking (maintained for every cell; lm = -1 means
+        # the cell has no landmark and none of it ever fires) ----------
+        self.lm = np.array(
+            [c.landmark if c.landmark is not None
+             else (0 if entry.needs_landmark else -1) for c in cells],
+            dtype=np.int64)
+        self.lm_seen = pos == self.lm[:, None]
+        self.lm_first_net = zeros(np.int64)
+        self.size = np.full((C, K), -1, dtype=np.int64)
+        self.Ntime = zeros(np.int64)
+        self._any_lm = bool((self.lm >= 0).any())
+
+        # -- transport / scheduler columns ------------------------------
+        self.is_pt = np.array([c.transport == "pt" for c in cells], dtype=bool)
+        self._any_pt = bool(self.is_pt.any())
+        sched_names = [
+            c.scheduler if c.scheduler != "auto"
+            else AUTO_SCHEDULER[TransportModel(c.transport)]
+            for c in cells
+        ]
+        self.sched = np.array(
+            [_SCHED_CODE[name] for name in sched_names], dtype=np.int64)
+        self._all_fsync = bool((self.sched == _S_FSYNC).all())
+        self._rr_offset = np.zeros(C, dtype=np.int64)
+        self._sched_rngs = [
+            random.Random(c.seed + 1) if code in (_S_RF, _S_ETF) else None
+            for c, code in zip(cells, self.sched)
+        ]
+        self.rsa = zeros(np.int64)          # rounds_since_active
+        self._et_debt = zeros(np.int64)
+
+        # -- Compute kernel ---------------------------------------------
+        self._program = build_program(self.algorithm, cells)
+        if self._program is not None:
+            self.state = np.full(
+                (C, K), self._program.initial_code, dtype=np.int64)
+            self.entered = zeros(bool)
+            self.last_dir = np.full((C, K), -1, dtype=np.int64)
+            if self.algorithm in ("pt-bound", "pt-bound-3"):
+                self.pbound = np.array(
+                    [c.bound if c.bound is not None else c.ring_size
+                     for c in cells], dtype=np.int64)
+            elif self.algorithm == "et-exact":
+                self.pbound = np.array(
+                    [(c.bound if c.bound is not None else c.ring_size) - 1
+                     for c in cells], dtype=np.int64)
+            self._program.setup(self)
         else:
-            self.G = np.full((C, K), 2, dtype=np.int64)
-            self.ldir = np.full((C, K), -1, dtype=np.int64)  # local sign; LEFT=-1
-            self.fwd = zeros(np.int64)
+            self.state = zeros(np.int64)
+            if self.algorithm == "known-bound":
+                self.bound = np.array(
+                    [c.bound if c.bound is not None else c.ring_size
+                     for c in cells], dtype=np.int64)
+            else:
+                self.G = np.full((C, K), 2, dtype=np.int64)
+                self.ldir = np.full((C, K), -1, dtype=np.int64)  # LEFT=-1
+                self.fwd = zeros(np.int64)
 
         self.adv = np.array([_ADV_CODE[c.adversary] for c in cells], dtype=np.int64)
         self.adv_edge = np.array([c.edge for c in cells], dtype=np.int64)
@@ -286,9 +439,16 @@ class BatchCore:
         ]
 
         self._n_max = int(self.n.max())
-        self.visited = np.zeros((C, self._n_max), dtype=bool)
-        self.visited[np.repeat(np.arange(C), K), pos.ravel()] = True
-        self.visited_count = self.visited.sum(axis=1).astype(np.int64)
+        self._n_bytes = (self._n_max + 7) >> 3
+        self.visited_bits = np.zeros((C, self._n_bytes), dtype=np.uint8)
+        cells_i = np.repeat(np.arange(C), K)
+        nodes_i = pos.ravel()
+        np.bitwise_or.at(
+            self.visited_bits, (cells_i, nodes_i >> 3),
+            (1 << (nodes_i & 7)).astype(np.uint8))
+        start_flat = np.unique(cells_i * self._n_max + nodes_i)
+        self.visited_count = np.bincount(
+            start_flat // self._n_max, minlength=C).astype(np.int64)
         self.explo_round = np.where(
             self.visited_count >= self.n, 0, -1).astype(np.int64)
 
@@ -341,6 +501,60 @@ class BatchCore:
             pass
         return self.results()
 
+    def _activation(self, run, missing):
+        """This round's activation mask — the scalar scheduler, replayed.
+
+        FSYNC rows activate every live agent.  SSYNC rows replicate
+        their scheduler object exactly: same RNG stream (one
+        ``Random(seed + 1)`` per cell), same iteration order over
+        ``live_indexes``/``agents``, same starvation and ET-debt
+        bookkeeping — so the chosen sets are byte-identical to what the
+        scalar engine's ``scheduler.select`` would produce round by
+        round.
+        """
+        np = _np
+        act = run[:, None] & ~self.term
+        if self._all_fsync:
+            return act
+        for ci in np.nonzero(run & (self.sched != _S_FSYNC))[0]:
+            code = int(self.sched[ci])
+            termrow = self.term[ci]
+            live = [i for i in range(self._K) if not termrow[i]]
+            if code == _S_RR:
+                chosen = {live[int(self._rr_offset[ci]) % len(live)]}
+                self._rr_offset[ci] += 1
+            else:
+                rng = self._sched_rngs[ci]
+                chosen = {i for i in live if rng.random() < _RF_P}
+                for i in live:
+                    if self.rsa[ci, i] >= _RF_STARVATION_CAP:
+                        chosen.add(i)
+                if not chosen:
+                    chosen = {rng.choice(live)}
+                if code == _S_ETF:
+                    n = int(self.n[ci])
+                    gone = int(missing[ci])
+                    for i in range(self._K):
+                        if termrow[i] or not self.on_port[ci, i]:
+                            self._et_debt[ci, i] = 0
+                            continue
+                        node = int(self.pos[ci, i])
+                        edge = node if self.port[ci, i] == 1 else (node - 1) % n
+                        present = edge != gone
+                        if i in chosen:
+                            if present:
+                                self._et_debt[ci, i] = 0
+                            continue
+                        if present:
+                            self._et_debt[ci, i] += 1
+                            if self._et_debt[ci, i] >= _ETF_PATIENCE:
+                                chosen.add(i)
+                                self._et_debt[ci, i] = 0
+            row = np.zeros(self._K, dtype=bool)
+            row[list(chosen)] = True
+            act[ci] = row
+        return act
+
     def _step(self, run) -> None:
         np = _np
         t = self._t
@@ -361,8 +575,8 @@ class BatchCore:
             for ci in np.nonzero(mask)[0]:
                 missing[ci] = self._rngs[ci].randrange(int(self.n[ci]))
 
-        # 2. FSYNC activation: every live agent of every running cell.
-        act = run[:, None] & ~self.term
+        # 2. activation (FSYNC: every live agent; SSYNC: replayed draws).
+        act = self._activation(run, missing)
 
         # 3. Look (simultaneous, against round-start state).  Pairwise
         # same-node tensors answer every occupancy question the ring
@@ -380,23 +594,39 @@ class BatchCore:
         snap_failed = self.failed.copy()
         snap_moved = self.moved.copy()
         self.failed[act] = False
+        look = Look(snap_moved, snap_failed, others_interior,
+                    other_plus, other_minus,
+                    is_lm=(pos == self.lm[:, None]))
 
         # 4. Compute (vectorized state-machine kernel).
-        if self.algorithm == "known-bound":
+        enter = None
+        if self._program is not None:
+            kind, local_dir = self._program.run(self, act, look)
+            g = -local_dir * self.left
+            term_now = act & (kind == K_TERM)
+            wants_move = act & (kind == K_MOVE)
+            enter = act & (kind == K_ENTER) & self.on_port
+        elif self.algorithm == "known-bound":
             term_now, g = self._compute_known_bound(
                 act, snap_failed, snap_moved, others_interior,
                 other_plus, other_minus)
+            wants_move = act & ~term_now
         else:
             term_now, g = self._compute_unconscious(
                 act, snap_moved, others_interior, other_plus, other_minus)
+            wants_move = act & ~term_now
 
-        # 5. Resolve: terminations, then port mutual exclusion.  A port
-        # held at the *start* of the round (by anyone, terminated agents
-        # included) is denied to requesters all round; unheld ports go to
-        # the lowest-index requester; every requester's Btime restarts.
+        # 5. Resolve: terminations, port releases, then port mutual
+        # exclusion.  A port held at the *start* of the round (by anyone,
+        # terminated agents included — and still by agents who stepped
+        # off it this round, the scalar ``_released`` rule) is denied to
+        # requesters all round; unheld ports go to the lowest-index
+        # requester; every requester's Btime restarts.
         self.term |= term_now
         self.term_round[term_now] = t
-        wants_move = act & ~term_now
+        if enter is not None and enter.any():
+            self.on_port[enter] = False
+            self.Btime[enter] = 0
         direct = wants_move & on_port & (self.port == g)
         request = wants_move & ~direct
         occupied = np.where(g == 1, other_plus, other_minus)
@@ -414,12 +644,18 @@ class BatchCore:
 
         # 6. Move: PLUS ports cross edge v, MINUS ports edge v-1; a
         # missing edge blocks (Btime accumulates), otherwise traverse.
+        # Under PT, a non-activated agent standing on a present edge's
+        # port rides it (a passive traverse, no clocks).
         n_col = self.n[:, None]
         edge = np.where(self.port == 1, self.pos, (self.pos - 1) % n_col)
         blocked = movers & (edge == missing[:, None])
         self.moved[blocked] = False
         self.Btime[blocked] += 1
         traverse = movers & ~blocked
+        if self._any_pt:
+            ride = (run[:, None] & self.is_pt[:, None] & ~self.term & ~act
+                    & self.on_port & (edge != missing[:, None]))
+            traverse = traverse | ride
         dest = (self.pos + self.port) % n_col
         local = np.where(self.port == self.left, -1, 1)  # -1 LEFT, +1 RIGHT
         self.Tsteps[traverse] += 1
@@ -432,14 +668,34 @@ class BatchCore:
         self.on_port[traverse] = False
         self.pos[traverse] = dest[traverse]
 
+        # Landmark observation happens on arrival, after the net update
+        # (the scalar ``_traverse`` order): the first stand records the
+        # displacement, a later stand at a different displacement pins
+        # the ring size.
+        if self._any_lm:
+            arrived = traverse & (dest == self.lm[:, None])
+            if arrived.any():
+                learn = (arrived & self.lm_seen & (self.size < 0)
+                         & (self.net != self.lm_first_net))
+                first = arrived & ~self.lm_seen
+                self.size[learn] = np.abs(
+                    self.net[learn] - self.lm_first_net[learn])
+                self.lm_seen[first] = True
+                self.lm_first_net[first] = self.net[first]
+
         tc, tk = np.nonzero(traverse)
         if tc.size:
             flat = np.unique(tc * self._n_max + dest[tc, tk])
-            bitmap = self.visited.reshape(-1)
-            fresh = flat[~bitmap[flat]]
-            if fresh.size:
-                bitmap[fresh] = True
-                np.add.at(self.visited_count, fresh // self._n_max, 1)
+            cells_f = flat // self._n_max
+            nodes_f = flat % self._n_max
+            byte = nodes_f >> 3
+            bit = (1 << (nodes_f & 7)).astype(np.uint8)
+            fresh = (self.visited_bits[cells_f, byte] & bit) == 0
+            if fresh.any():
+                np.bitwise_or.at(
+                    self.visited_bits,
+                    (cells_f[fresh], byte[fresh]), bit[fresh])
+                np.add.at(self.visited_count, cells_f[fresh], 1)
                 done = (run & (self.explo_round < 0)
                         & (self.visited_count >= self.n))
                 # Exploration completing during round t is "time t + 1"
@@ -447,13 +703,19 @@ class BatchCore:
                 self.explo_round[done] = t + 1
 
         # 7. End of round: clocks tick for active agents that did not
-        # terminate this round.
-        tick = act & ~self.term
+        # terminate this round; idle live agents age toward the
+        # starvation cap.
+        alive = run[:, None] & ~self.term
+        tick = alive & act
         self.Ttime[tick] += 1
         self.Etime[tick] += 1
+        self.Ntime[tick & (self.size >= 0)] += 1
+        if not self._all_fsync:
+            self.rsa[tick] = 0
+            self.rsa[alive & ~act] += 1
 
     # ------------------------------------------------------------------
-    # Compute kernels
+    # bespoke Compute kernels (the PR 6 originals)
     # ------------------------------------------------------------------
     # Both kernels replicate the StateMachineAlgorithm driver timing: the
     # predicates of the *current* state read the pre-round counters
@@ -539,13 +801,17 @@ class BatchCore:
     # results + introspection
     # ------------------------------------------------------------------
 
+    def _visited_nodes(self, ci: int) -> set[int]:
+        np = _np
+        n = int(self.n[ci])
+        row = np.unpackbits(self.visited_bits[ci], bitorder="little")[:n]
+        return {int(v) for v in np.nonzero(row)[0]}
+
     def results(self) -> list[RunResult]:
         """Per-cell :class:`RunResult`s, identical to the scalar engine's."""
-        np = _np
         out = []
         for ci, _cell in enumerate(self.cells):
             n = int(self.n[ci])
-            visited = {int(v) for v in np.nonzero(self.visited[ci, :n])[0]}
             explo = int(self.explo_round[ci])
             stats = [
                 AgentStats(
@@ -564,7 +830,7 @@ class BatchCore:
                 rounds=int(self.round_no[ci]),
                 explored=int(self.visited_count[ci]) >= n,
                 exploration_round=explo if explo >= 0 else None,
-                visited=visited,
+                visited=self._visited_nodes(ci),
                 agents=stats,
                 halted_reason=self.halted[ci] or "horizon",
             ))
@@ -593,6 +859,9 @@ class BatchCore:
                 "net": int(self.net[ci, i]),
                 "min_net": int(self.min_net[ci, i]),
                 "max_net": int(self.max_net[ci, i]),
+                "size": (int(self.size[ci, i])
+                         if self.size[ci, i] >= 0 else None),
+                "Ntime": int(self.Ntime[ci, i]),
             })
         return {
             "round": int(self.round_no[ci]),
@@ -603,7 +872,13 @@ class BatchCore:
 
 
 def _split_batches(indexed_cells):
-    """Split one (algorithm, agents) group so no batch's tensors blow up."""
+    """Split one (algorithm, agents) group so no batch's tensors blow up.
+
+    The visited cap counts *packed* bytes (``ceil(n/8)`` per cell), so a
+    10^5-node ring still batches a thousand cells wide; the pairwise cap
+    is unchanged (bools don't pack — the tensor is transient anyway).
+    """
+    width = batch_width()
     batches = []
     current: list = []
     k = indexed_cells[0][1].agents
@@ -612,8 +887,8 @@ def _split_batches(indexed_cells):
         n_next = max(n_max, cell.ring_size)
         count = len(current) + 1
         if current and (count * k * k > _MAX_PAIRWISE
-                        or count * n_next > _MAX_VISITED
-                        or count > BATCH_WIDTH):
+                        or count * ((n_next + 7) // 8) > _MAX_VISITED_BYTES
+                        or count > width):
             batches.append(current)
             current = []
             n_next = cell.ring_size
@@ -628,11 +903,12 @@ def run_batch_cells(cells: Sequence["CellConfig"]) -> list[RunResult]:
     """Run eligible cells in lockstep; results align with the input order.
 
     Heterogeneous inputs are grouped by (algorithm, agent count) — the
-    two axes :class:`BatchCore` requires to be uniform — and each group
-    is split so the pairwise occupancy tensor and the visited bitmap stay
-    modest.  Raises :class:`ConfigurationError` if NumPy is unavailable
-    or any cell is ineligible; routing callers are expected to have
-    filtered with :func:`batch_eligible` already.
+    two axes :class:`BatchCore` requires to be uniform; transport,
+    scheduler, adversary and landmark mix freely within a batch — and
+    each group is split so the pairwise occupancy tensor and the packed
+    visited bitmap stay modest.  Raises :class:`ConfigurationError` if
+    NumPy is unavailable or any cell is ineligible; routing callers are
+    expected to have filtered with :func:`batch_eligible` already.
     """
     if not HAVE_NUMPY:
         raise ConfigurationError("run_batch_cells requires numpy")
@@ -654,11 +930,16 @@ def run_batch_cells(cells: Sequence["CellConfig"]) -> list[RunResult]:
 __all__ = [
     "BATCH_ADVERSARIES",
     "BATCH_ALGORITHMS",
+    "BATCH_SCHEDULERS",
+    "BATCH_TRANSPORTS",
     "BATCH_WIDTH",
     "BatchCore",
     "HAVE_NUMPY",
+    "MAX_BATCH_WIDTH",
     "batch_eligible",
+    "batch_ineligible_key",
     "batch_ineligible_reason",
+    "batch_width",
     "numpy_available",
     "run_batch_cells",
 ]

@@ -30,12 +30,12 @@ from repro.campaigns.distributed import (
     run_worker,
 )
 from repro.campaigns.executor import (
-    BATCH_WIDTH,
     CampaignRun,
     default_chunk_size,
     run_chunk,
 )
 from repro.core import batch as batch_mod
+from repro.core.batch import BATCH_WIDTH
 from repro.core.errors import ConfigurationError
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -55,7 +55,8 @@ def eligible_spec(name="batch-test", seeds=(0, 1, 2), sizes=(6, 8)) -> CampaignS
 
 
 def scalar_only_cell(seed=0) -> CellConfig:
-    """PT transport: no vectorized kernel, always routed scalar."""
+    """Zigzag peeks at agent state, so this cell is always routed scalar
+    (PT transport itself vectorizes since the frontier widened)."""
     return CellConfig(algorithm="pt-bound", ring_size=8, agents=2,
                       max_rounds=400, transport="pt", adversary="zigzag",
                       adversary_arg=3, seed=seed)
@@ -369,3 +370,34 @@ class TestCampaignRunSummary:
         run = CampaignRun(total=5, skipped=0, executed=5, failed=0,
                           workers=1, elapsed_s=1.0)
         assert "batched" not in run.summary()
+
+
+class TestPresetBatchIntent:
+    """Preset drift must not silently shrink batch coverage.
+
+    ``batch-smoke`` and ``batch-wide`` exist to exercise the vector
+    path in CI: every cell must stay batch-eligible.  ``faults-smoke``
+    deliberately pairs eligible fault-free twins with faulted cells
+    that must stay scalar *because of the fault plan* — an eligibility
+    regression in either direction changes what the preset tests.
+    """
+
+    @pytest.mark.parametrize("preset", ["batch-smoke", "batch-wide"])
+    def test_all_cells_of_batch_presets_are_eligible(self, preset):
+        from repro.campaigns.presets import get_spec
+        from repro.core.batch import batch_ineligible_reason
+
+        for cell in get_spec(preset).cell_list():
+            reason = batch_ineligible_reason(cell)
+            assert reason is None, f"{cell.key()}: {reason}"
+
+    def test_faults_smoke_scalar_cells_are_exactly_the_faulted_ones(self):
+        from repro.campaigns.presets import get_spec
+        from repro.core.batch import batch_ineligible_key
+
+        for cell in get_spec("faults-smoke").cell_list():
+            key = batch_ineligible_key(cell)
+            if cell.faults:
+                assert key == "faults", f"{cell.key()}: {key}"
+            else:
+                assert key is None, f"{cell.key()}: {key}"

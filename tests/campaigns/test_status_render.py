@@ -14,6 +14,7 @@ from repro.campaigns.distributed import (
     WorkQueue,
     enqueue_campaign,
     fleet_status,
+    render_batch_rejects,
     render_status,
     run_worker,
 )
@@ -135,6 +136,48 @@ class TestObservabilityLines:
         assert "batch   : 2/4 done chunks vectorized (10 cells, 50% of "
         assert "50% of done cells)" in text
 
+    def test_batch_reject_table_renders_most_frequent_first(self):
+        text = render_status(make_status(
+            batch_rejects={"adversary": 12, "faults": 4}))
+        assert ("scalar  : 16 cell routing(s) fell back to the scalar "
+                "path, by reason:") in text
+        adv = text.index("adversary  x12")
+        flt = text.index("faults     x4")
+        assert adv < flt
+
+    def test_batch_reject_table_absent_when_nothing_rejected(self):
+        text = render_status(make_status())
+        assert "scalar  :" not in text
+        assert render_batch_rejects(None) == []
+        assert render_batch_rejects({}) == []
+
+    def test_batch_reject_counts_from_snapshot(self):
+        from repro.campaigns.executor import batch_reject_counts
+
+        snap = {
+            "executor.batch_reject.adversary": {"type": "counter", "value": 3},
+            "executor.batch_reject.faults": {"type": "counter", "value": 7},
+            "executor.batch_reject.topology": {"type": "counter", "value": 0},
+            "executor.cells": {"type": "counter", "value": 99},
+            "executor.cell_s": {"type": "histogram", "count": 4},
+        }
+        assert batch_reject_counts(snap) == {"faults": 7, "adversary": 3}
+        assert list(batch_reject_counts(snap)) == ["faults", "adversary"]
+        assert batch_reject_counts(None) == {}
+
+    def test_run_summary_includes_reject_reasons(self):
+        from repro.campaigns.executor import CampaignRun
+
+        run = CampaignRun(
+            total=10, skipped=0, executed=10, failed=0, elapsed_s=1.0,
+            workers=1, batched=6,
+            metrics={"executor.batch_reject.adversary":
+                     {"type": "counter", "value": 4}})
+        assert "batched=6 scalar[adversary=4]" in run.summary()
+        plain = CampaignRun(total=1, skipped=0, executed=1, failed=0,
+                            elapsed_s=0.1, workers=1)
+        assert "scalar[" not in plain.summary()
+
     def test_worker_row_average_rate(self):
         now = time.time()
         w = WorkerInfo(worker_id="w1", host="h", pid=1,
@@ -163,6 +206,25 @@ class TestFleetStatusFromStore:
         assert status.chunk_rate is not None and status.chunk_rate["count"] == 2
         text = render_status(status)
         assert "latency : claim p50=" in text
+        obs_metrics.reset()
+
+    def test_live_rejects_surface_in_status(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.reset()
+        spec = CampaignSpec(
+            name="render-reject",
+            base={"algorithm": "known-bound", "horizon": "100 * n",
+                  "adversary": "prevent-meetings"},
+            grid={"ring_size": [6], "seed": [0, 1]},
+        )
+        store = SqliteStore(tmp_path / "rej.db", campaign=spec.name)
+        enqueue_campaign(spec, store, chunk_size=2)
+        run_worker(store, campaign=spec.name, worker_id="w1")
+        status = fleet_status(store)
+        assert status.batch_rejects == {"adversary": 2}
+        assert "scalar  : 2 cell routing(s)" in render_status(status)
         obs_metrics.reset()
 
     def test_without_metrics_fields_stay_none(self, tmp_path, monkeypatch):

@@ -35,9 +35,12 @@ from repro.campaigns.spec import CellConfig
 from repro.core.batch import (
     BATCH_ADVERSARIES,
     BATCH_ALGORITHMS,
+    BATCH_SCHEDULERS,
+    BATCH_TRANSPORTS,
     BatchCore,
     batch_eligible,
     batch_ineligible_reason,
+    batch_width,
     numpy_available,
     run_batch_cells,
 )
@@ -49,21 +52,43 @@ pytestmark = pytest.mark.skipif(
 SEEDS = (0, 1, 2)
 
 
+#: The transport the paper pairs each algorithm family with.  Transport
+#: is still a free axis (the grid crosses them deliberately below); this
+#: just makes the default grid exercise PT rides and ET bookkeeping.
+_HOME_TRANSPORT = {
+    "pt-bound": "pt", "pt-bound-3": "pt",
+    "pt-landmark": "pt", "pt-landmark-3": "pt",
+    "et-exact": "et", "et-unconscious": "et",
+}
+
+#: The pre-drawn-activation-mask schedulers (everything but fsync/auto).
+_SSYNC_SCHEDULERS = ("round-robin", "random-fair", "et-fair")
+
+
 def _grid_cells() -> list[CellConfig]:
-    """>= 20 cells covering every vectorizable algorithm x adversary."""
+    """>= 20 cells covering every vectorizable algorithm x adversary,
+    each at its home transport, plus an SSYNC scheduler sweep."""
     cells = []
-    # Every (algorithm, adversary) pair at a couple of shapes.
-    for algorithm in sorted(BATCH_ALGORITHMS):
+    # Every (algorithm, adversary) pair at a couple of shapes, plus a
+    # third shape under an explicit SSYNC scheduler (cycled so the grid
+    # covers every algorithm x scheduler pair across adversaries).
+    for i, algorithm in enumerate(sorted(BATCH_ALGORITHMS)):
         stop = algorithm == "unconscious"
-        for adversary in sorted(BATCH_ADVERSARIES):
+        transport = _HOME_TRANSPORT.get(algorithm, "ns")
+        for j, adversary in enumerate(sorted(BATCH_ADVERSARIES)):
             cells.append(CellConfig(
                 algorithm=algorithm, ring_size=8, agents=2, max_rounds=90,
-                adversary=adversary, edge=3, transport="ns",
+                adversary=adversary, edge=3, transport=transport,
                 stop_on_exploration=stop))
             cells.append(CellConfig(
                 algorithm=algorithm, ring_size=11, agents=3, max_rounds=70,
-                adversary=adversary, edge=10, transport="ns",
+                adversary=adversary, edge=10, transport=transport,
                 placement="offset-spread", stop_on_exploration=stop))
+            cells.append(CellConfig(
+                algorithm=algorithm, ring_size=9, agents=2, max_rounds=60,
+                adversary=adversary, edge=4, transport=transport,
+                scheduler=_SSYNC_SCHEDULERS[(i + j) % 3],
+                stop_on_exploration=stop))
     # Placement policies, explicit positions (incl. out-of-range, which
     # resolve_positions wraps), mirrored orientation, bound overrides,
     # k=1 and a crowded ring.
@@ -87,6 +112,24 @@ def _grid_cells() -> list[CellConfig]:
                    stop_on_exploration=True),
         CellConfig(algorithm="known-bound", ring_size=12, agents=4,
                    max_rounds=30, adversary="periodic", edge=0),
+        # Non-origin landmarks, cross-transport schedulers, bound
+        # overrides under PT — the frontier's new corners.
+        CellConfig(algorithm="landmark-chirality", ring_size=9, agents=2,
+                   max_rounds=80, adversary="random", landmark=4),
+        CellConfig(algorithm="landmark-no-chirality", ring_size=8, agents=3,
+                   max_rounds=90, adversary="random", landmark=5,
+                   transport="pt", scheduler="random-fair"),
+        CellConfig(algorithm="start-from-landmark", ring_size=7, agents=2,
+                   max_rounds=70, adversary="random", landmark=3),
+        CellConfig(algorithm="et-exact", ring_size=8, agents=3,
+                   max_rounds=60, adversary="random", transport="et",
+                   scheduler="et-fair"),
+        CellConfig(algorithm="pt-bound", ring_size=8, agents=2,
+                   max_rounds=80, adversary="random", transport="pt",
+                   bound=10),
+        CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                   max_rounds=80, adversary="random", transport="et",
+                   scheduler="round-robin"),
     ]
     return cells
 
@@ -101,6 +144,13 @@ class TestGridEquivalence:
         assert covered >= {
             (alg, adv)
             for alg in BATCH_ALGORITHMS for adv in BATCH_ADVERSARIES}
+        # the widened frontier: every transport, every scheduler, every
+        # algorithm x SSYNC-scheduler pair
+        assert {c.transport for c in GRID} == set(BATCH_TRANSPORTS)
+        assert {c.scheduler for c in GRID} >= set(_SSYNC_SCHEDULERS)
+        assert {(c.algorithm, c.scheduler) for c in GRID} >= {
+            (alg, sched)
+            for alg in BATCH_ALGORITHMS for sched in _SSYNC_SCHEDULERS}
         assert all(batch_eligible(c) for c in GRID)
 
     @pytest.mark.parametrize("seed", SEEDS)
@@ -143,7 +193,13 @@ class TestMixedCompositions:
         """Cells halting at wildly different rounds share one batch."""
         from dataclasses import replace
 
-        cells = [replace(GRID[0], max_rounds=m, seed=s)
+        # A cell that actually terminates well before round 90, so the
+        # horizon sweep really mixes halt reasons (GRID[0] is sorted-
+        # alphabetically "et-exact", which never terminates with k=2).
+        base = CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                          max_rounds=90, adversary="fixed", edge=3,
+                          transport="ns")
+        cells = [replace(base, max_rounds=m, seed=s)
                  for m in (1, 2, 7, 40, 90) for s in SEEDS]
         # sanity: the composition really mixes halt reasons
         results = run_batch_cells(cells)
@@ -165,6 +221,133 @@ class TestMixedCompositions:
         payloads = [result_payload(r) for r in run_batch_cells(mixed)]
         singles = [result_payload(run_batch_cells([c])[0]) for c in mixed]
         assert payloads == singles
+
+
+class TestSSyncMaskReplay:
+    """Pre-drawn activation masks vs the scalar schedulers, round by round.
+
+    The SSYNC story batches by replaying each cell's scheduler draws into
+    per-round activation masks; lockstep comparison after *every* round
+    is the proof that the mask stream equals the scalar interleaving
+    (same RNG, same starvation caps, same ET debt forcing).
+    """
+
+    @pytest.mark.parametrize("scheduler", _SSYNC_SCHEDULERS)
+    @pytest.mark.parametrize("algorithm,transport", [
+        ("known-bound", "ns"),
+        ("pt-bound", "pt"),
+        ("et-unconscious", "et"),
+    ], ids=lambda v: v if isinstance(v, str) else "")
+    def test_every_round_matches_scalar(self, scheduler, algorithm,
+                                        transport):
+        for seed in SEEDS:
+            cell = CellConfig(
+                algorithm=algorithm, ring_size=9, agents=3, max_rounds=80,
+                seed=seed, adversary="random", transport=transport,
+                scheduler=scheduler)
+            assert lockstep_divergence(cell) is None, (scheduler, seed)
+
+    def test_auto_scheduler_resolves_per_transport(self):
+        """auto = fsync/NS, random-fair/PT, et-fair/ET — all in one mix."""
+        from dataclasses import replace
+
+        base = [
+            CellConfig(algorithm="unconscious", ring_size=8, agents=2,
+                       max_rounds=70, adversary="random", transport="ns",
+                       stop_on_exploration=True),
+            CellConfig(algorithm="pt-landmark", ring_size=8, agents=2,
+                       max_rounds=70, adversary="random", transport="pt"),
+            CellConfig(algorithm="et-exact", ring_size=8, agents=2,
+                       max_rounds=70, adversary="random", transport="et"),
+        ]
+        cells = [replace(c, seed=s) for c in base for s in SEEDS]
+        assert not differential_cells(cells)
+
+
+class TestMixedEligibility:
+    """A chunk mixing batchable and scalar-only cells loses nothing."""
+
+    def test_chunk_interleaves_batch_and_scalar_records(self):
+        from dataclasses import replace
+
+        from repro.analysis.differential import scalar_result
+        from repro.campaigns.aggregate import metrics_from_result
+        from repro.campaigns.executor import run_chunk
+
+        eligible = [replace(GRID[i], seed=9) for i in (0, 5, 9)]
+        ineligible = [
+            CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                       max_rounds=50, faults="crash:0@3"),
+            CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                       max_rounds=50, adversary="prevent-meetings"),
+        ]
+        assert all(not batch_eligible(c) for c in ineligible)
+        cells = [eligible[0], ineligible[0], eligible[1], ineligible[1],
+                 eligible[2]]
+        records, batched = run_chunk(cells)
+        assert batched == 3
+        assert [r["key"] for r in records] == [c.key() for c in cells]
+        for cell, record in zip(cells, records):
+            assert "error" not in record, record
+            assert record["metrics"] == metrics_from_result(
+                scalar_result(cell))
+
+
+class TestWidthAndScale:
+    """REPRO_BATCH_WIDTH validation and the packed-bitmap memory cap."""
+
+    def test_batch_width_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_WIDTH", "64")
+        assert batch_width() == 64
+        from repro.core.batch import BATCH_WIDTH
+
+        monkeypatch.delenv("REPRO_BATCH_WIDTH")
+        assert batch_width() == BATCH_WIDTH
+        monkeypatch.setenv("REPRO_BATCH_WIDTH", "")  # empty = unset
+        assert batch_width() == BATCH_WIDTH
+
+    @pytest.mark.parametrize(
+        "value", ["0", "-3", "abc", "1.5", str((1 << 16) + 1)])
+    def test_batch_width_rejects_bad_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BATCH_WIDTH", value)
+        with pytest.raises(ConfigurationError, match="REPRO_BATCH_WIDTH"):
+            batch_width()
+
+    def test_split_batches_counts_packed_visited_bytes(self, monkeypatch):
+        """Pins the packed sizing: 1024 cells x 10^5 nodes is ONE batch.
+
+        Packed, the visited plane is 1024 x ceil(1e5/8) B ~ 12.2 MiB —
+        under the 64 MiB cap; an unpacked bool bitmap (1024 x 1e5 B
+        ~ 97.7 MiB) would have forced a split.  This is the regression
+        test for the 10^5-node-ring sweep that previously exceeded the
+        cap.
+        """
+        from repro.core.batch import _MAX_VISITED_BYTES, _split_batches
+
+        monkeypatch.setenv("REPRO_BATCH_WIDTH", "1024")
+        n = 100_000
+        cells = [CellConfig(algorithm="known-bound", ring_size=n, agents=2,
+                            max_rounds=5, seed=s, adversary="random")
+                 for s in range(1024)]
+        batches = _split_batches(list(enumerate(cells)))
+        assert len(batches) == 1
+        assert 1024 * ((n + 7) // 8) <= _MAX_VISITED_BYTES   # packed fits
+        assert 1024 * n > _MAX_VISITED_BYTES                 # bools did not
+
+    def test_hundred_thousand_node_ring_agrees_with_scalar(self):
+        cells = [CellConfig(algorithm="known-bound", ring_size=100_000,
+                            agents=2, max_rounds=12, seed=s,
+                            adversary="random")
+                 for s in range(2)]
+        assert not differential_cells(cells, paths=("optimized",))
+
+    def test_width_one_still_correct(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_WIDTH", "1")
+        cells = GRID[:4]
+        from repro.core.batch import _split_batches
+
+        assert len(_split_batches(list(enumerate(cells)))) == 4
+        assert not differential_cells(cells, paths=("optimized",))
 
 
 # -- hypothesis: any valid composition agrees ---------------------------
@@ -195,10 +378,13 @@ def _eligible_cell() -> st.SearchStrategy[CellConfig]:
             seed=draw(st.integers(min_value=0, max_value=2 ** 20)),
             adversary=adversary,
             edge=draw(st.integers(min_value=0, max_value=n - 1)),
-            transport="ns",
+            transport=draw(st.sampled_from(sorted(BATCH_TRANSPORTS))),
+            scheduler=draw(st.sampled_from(sorted(BATCH_SCHEDULERS))),
             placement=placement,
             positions=positions,
             bound=draw(st.sampled_from((None, n, n + 3))),
+            landmark=draw(st.sampled_from(
+                (None, 0, n // 2, n - 1))),
             chirality=not mirrored,
             flipped=flipped,
             stop_on_exploration=draw(st.booleans()),
@@ -237,14 +423,18 @@ class TestEligibilityPredicate:
         assert worker.run_chunk is executor.run_chunk
 
     @pytest.mark.parametrize("cell,fragment", [
+        (CellConfig(algorithm="strawman", ring_size=8, agents=2,
+                    max_rounds=50), "algorithm"),
         (CellConfig(algorithm="pt-bound", ring_size=8, agents=2,
                     max_rounds=50, transport="pt", adversary="zigzag",
-                    adversary_arg=3), "algorithm"),
+                    adversary_arg=3), "adversary"),
         (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
                     max_rounds=50, adversary="prevent-meetings"),
          "adversary"),
         (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
-                    max_rounds=50, scheduler="round-robin"), "scheduler"),
+                    max_rounds=50, scheduler="windowed"), "scheduler"),
+        (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
+                    max_rounds=50, faults="crash:0@3"), "fault"),
         (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
                     max_rounds=50, topology="torus"), "topology"),
         (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
@@ -254,7 +444,7 @@ class TestEligibilityPredicate:
         (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
                     max_rounds=50, flipped=(1,)), "flipped"),
         (CellConfig(algorithm="known-bound", ring_size=8, agents=2,
-                    max_rounds=50, landmark=0), "landmark"),
+                    max_rounds=50, landmark=8), "landmark"),
     ], ids=lambda v: v if isinstance(v, str) else "")
     def test_ineligible_with_reason(self, cell, fragment):
         reason = batch_ineligible_reason(cell)
@@ -266,7 +456,7 @@ class TestEligibilityPredicate:
 
     def test_run_batch_cells_rejects_ineligible(self):
         bad = CellConfig(algorithm="known-bound", ring_size=8, agents=2,
-                         max_rounds=50, scheduler="round-robin")
+                         max_rounds=50, faults="crash:0@3")
         with pytest.raises(ConfigurationError, match="not batch-eligible"):
             run_batch_cells([GRID[0], bad])
 

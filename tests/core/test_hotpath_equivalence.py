@@ -357,16 +357,20 @@ class TestBatchVsGolden:
     equality chains batch == scalar == legacy (commit 556f46f).
     """
 
-    def test_exactly_the_ns_fsync_cells_qualify(self):
+    def test_exactly_the_oblivious_fault_free_cells_qualify(self):
+        # The widened frontier (PT/ET transports, landmark algorithms,
+        # SSYNC schedulers) leaves only the peeking-adversary golden
+        # cells on the scalar path.
         from repro.core.batch import batch_eligible
 
         from tests.core import golden_traces
 
         qualifying = [i for i, cell in enumerate(golden_traces.GOLDEN_CELLS)
                       if batch_eligible(cell)]
-        assert qualifying == [0, 2]
+        assert qualifying == [0, 1, 2, 3, 9, 10, 11, 12]
 
-    @pytest.mark.parametrize("index", [0, 2], ids=lambda i: f"cell{i}")
+    @pytest.mark.parametrize("index", [0, 1, 2, 3, 9, 10, 11, 12],
+                             ids=lambda i: f"cell{i}")
     @pytest.mark.parametrize("seed", [0, 1])
     def test_batch_replay_matches_pinned_result(self, index, seed):
         from dataclasses import replace
