@@ -1,0 +1,19 @@
+"""Bench-history shim: ``python benchmarks/history.py record|check``.
+
+The logic lives in :mod:`repro.obs.history` (also reachable as
+``python -m repro bench record|check``); this shim exists because the
+benchmarks directory is where people look for bench tooling.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.history import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,102 +2,28 @@
 
 ``python scripts/check_spans.py spans.jsonl [--require-kinds campaign,chunk,cell]``
 exits non-zero unless every line is a well-formed span record
-(:mod:`repro.obs.spans` schema 1) and the parent hierarchy is sound:
+(:mod:`repro.obs.spans` schema 1) and the parent hierarchy is sound.
 
-* every line parses as a JSON object with the required keys;
-* ``kind`` / ``status`` come from the known vocabularies;
-* ``elapsed_s`` is a non-negative number, ``start_s`` a positive one;
-* a ``cell`` span's parent (when present in the file) is a ``chunk``;
-* a ``chunk`` span's parent (when present) is a ``campaign``;
-* ``--require-kinds`` asserts at least one span of each listed kind —
-  the smoke lane uses it to prove the whole hierarchy was emitted.
-
-Parents are checked only when the referenced span appears in the same
-file: a multi-process fleet may split one trace across sinks, so a
-dangling ``parent_id`` is not by itself an error.
+Thin shim: the validation rules live in :mod:`repro.obs.validate` so
+``campaign trace`` and the unit tests share them; this script only
+parses arguments and sets the exit code.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from collections import Counter
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.obs.spans import SPAN_KINDS, SPAN_SCHEMA  # noqa: E402
-
-REQUIRED_KEYS = frozenset({
-    "schema", "span_id", "parent_id", "kind", "name",
-    "start_s", "elapsed_s", "status", "attrs",
-})
-STATUSES = frozenset({"ok", "error"})
-#: Which parent kind each child kind must hang off (None = root allowed).
-PARENT_KIND = {"campaign": None, "chunk": "campaign", "cell": "chunk"}
-
-
-def check_spans(path: Path, require_kinds: list[str]) -> list[str]:
-    """Every problem found in ``path`` (empty list = valid trace)."""
-    problems: list[str] = []
-    spans: dict[str, dict] = {}
-    rows: list[tuple[int, dict]] = []
-    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-        if not line.strip():
-            continue
-        try:
-            span = json.loads(line)
-        except json.JSONDecodeError as exc:
-            problems.append(f"line {lineno}: not JSON ({exc})")
-            continue
-        missing = REQUIRED_KEYS - span.keys()
-        if missing:
-            problems.append(
-                f"line {lineno}: missing keys {sorted(missing)}")
-            continue
-        if span["schema"] != SPAN_SCHEMA:
-            problems.append(
-                f"line {lineno}: schema {span['schema']!r} != {SPAN_SCHEMA}")
-        if span["kind"] not in SPAN_KINDS:
-            problems.append(
-                f"line {lineno}: unknown kind {span['kind']!r}")
-        if span["status"] not in STATUSES:
-            problems.append(
-                f"line {lineno}: unknown status {span['status']!r}")
-        if not isinstance(span["elapsed_s"], (int, float)) \
-                or span["elapsed_s"] < 0:
-            problems.append(
-                f"line {lineno}: bad elapsed_s {span['elapsed_s']!r}")
-        if not isinstance(span["start_s"], (int, float)) \
-                or span["start_s"] <= 0:
-            problems.append(
-                f"line {lineno}: bad start_s {span['start_s']!r}")
-        if not isinstance(span["attrs"], dict):
-            problems.append(
-                f"line {lineno}: attrs is not an object")
-        if span["span_id"] in spans:
-            problems.append(
-                f"line {lineno}: duplicate span_id {span['span_id']!r}")
-        spans[span["span_id"]] = span
-        rows.append((lineno, span))
-
-    for lineno, span in rows:
-        parent = spans.get(span["parent_id"] or "")
-        if parent is not None:
-            want = PARENT_KIND.get(span["kind"])
-            if want is not None and parent["kind"] != want:
-                problems.append(
-                    f"line {lineno}: {span['kind']} span "
-                    f"{span['span_id']} hangs off a {parent['kind']} "
-                    f"span (expected {want})")
-
-    kinds = Counter(span["kind"] for _, span in rows)
-    for kind in require_kinds:
-        if not kinds.get(kind):
-            problems.append(f"no {kind!r} span in the trace")
-    return problems
+from repro.obs.validate import (  # noqa: E402,F401  (re-exported for callers)
+    PARENT_KIND,
+    REQUIRED_KEYS,
+    STATUSES,
+    check_spans,
+)
 
 
 def main(argv: list[str] | None = None) -> int:

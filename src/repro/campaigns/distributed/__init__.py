@@ -35,6 +35,7 @@ from .queue import (
     DEFAULT_MAX_ATTEMPTS,
     Claim,
     EnqueueReport,
+    LeaseInfo,
     LeaseLost,
     QueueCounts,
     WorkQueue,
@@ -59,6 +60,7 @@ __all__ = [
     "DEFAULT_MAX_ATTEMPTS",
     "EnqueueReport",
     "FleetStatus",
+    "LeaseInfo",
     "LeaseLost",
     "QueueCounts",
     "WorkQueue",

@@ -102,6 +102,9 @@ class Claim:
     cells: tuple[dict[str, Any], ...]
     attempt: int
     stolen_from: str | None = None
+    #: When the chunk was enqueued — lets the worker stamp the chunk
+    #: span's ``queue_wait_s`` (time spent claimable before this claim).
+    created_at: float | None = None
 
 
 @dataclass(frozen=True)
@@ -173,6 +176,18 @@ class ChunkInfo:
     done_at: float
     batched: bool
     cells_per_s: float | None
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """One currently-held lease (``status`` straggler detection rows)."""
+
+    chunk_id: int
+    worker_id: str
+    acquired_at: float
+    heartbeat: float
+    attempt: int
+    n_cells: int
 
 
 class WorkQueue:
@@ -426,12 +441,12 @@ class WorkQueue:
         def body(conn):
             self._touch_worker(conn, worker_id, now)
             row = conn.execute(
-                "SELECT id, cells FROM chunks "
+                "SELECT id, cells, created_at FROM chunks "
                 "WHERE campaign_key = ? AND state = 'pending' "
                 "ORDER BY id LIMIT 1", (self.campaign,),
             ).fetchone()
             if row is not None:
-                chunk_id, payload = row
+                chunk_id, payload, created_at = row
                 conn.execute(
                     "UPDATE chunks SET state = 'leased' WHERE id = ?",
                     (chunk_id,))
@@ -439,10 +454,11 @@ class WorkQueue:
                     "INSERT INTO leases (chunk_id, worker_id, heartbeat, "
                     "acquired_at, attempt) VALUES (?, ?, ?, ?, 1)",
                     (chunk_id, worker_id, now, now))
-                return chunk_id, payload, 1, None
+                return chunk_id, payload, 1, None, created_at
             while True:
                 row = conn.execute(
-                    "SELECT c.id, c.cells, l.worker_id, l.attempt "
+                    "SELECT c.id, c.cells, l.worker_id, l.attempt, "
+                    "c.created_at "
                     "FROM chunks c JOIN leases l ON l.chunk_id = c.id "
                     "WHERE c.campaign_key = ? AND c.state = 'leased' "
                     "AND l.heartbeat < ? ORDER BY l.heartbeat LIMIT 1",
@@ -450,7 +466,7 @@ class WorkQueue:
                 ).fetchone()
                 if row is None:
                     return None
-                chunk_id, payload, stolen_from, previous = row
+                chunk_id, payload, stolen_from, previous, created_at = row
                 if previous >= self.max_attempts:
                     # A chunk that has burned through its attempts is
                     # poison (its cells likely kill the worker process
@@ -470,14 +486,14 @@ class WorkQueue:
                     "UPDATE leases SET worker_id = ?, heartbeat = ?, "
                     "acquired_at = ?, attempt = ? WHERE chunk_id = ?",
                     (worker_id, now, now, attempt, chunk_id))
-                return chunk_id, payload, attempt, stolen_from
+                return chunk_id, payload, attempt, stolen_from, created_at
 
         claimed = self._txn("queue.claim", body)
         if claimed is None:
             if reg is not None:
                 reg.counter("queue.idle_polls").inc()
             return None
-        chunk_id, payload, attempt, stolen_from = claimed
+        chunk_id, payload, attempt, stolen_from, created_at = claimed
         self._last_idle_touch = now  # the claim transaction touched us
         if reg is not None:
             reg.counter("queue.claims").inc()
@@ -489,6 +505,7 @@ class WorkQueue:
             cells=tuple(json.loads(payload)),
             attempt=attempt,
             stolen_from=stolen_from,
+            created_at=created_at,
         )
 
     def heartbeat(self, chunk_id: int, worker_id: str) -> bool:
@@ -692,6 +709,43 @@ class WorkQueue:
                 "ORDER BY done_at DESC, id DESC LIMIT ?",
                 (self.campaign, limit))
         ]
+
+    def active_leases(self) -> list[LeaseInfo]:
+        """Every currently-held lease, oldest acquisition first.
+
+        The live half of straggler detection: a lease whose age dwarfs
+        the fleet's median chunk time (:meth:`chunk_seconds`) is either
+        a skewed chunk or a dying worker — ``campaign status`` renders
+        the hint via :func:`repro.obs.analyze.straggler_hint`.
+        """
+        return [
+            LeaseInfo(chunk_id=row[0], worker_id=row[1], acquired_at=row[2],
+                      heartbeat=row[3], attempt=row[4], n_cells=row[5])
+            for row in self.store.connection().execute(
+                "SELECT l.chunk_id, l.worker_id, l.acquired_at, "
+                "l.heartbeat, l.attempt, c.n_cells "
+                "FROM leases l JOIN chunks c ON c.id = l.chunk_id "
+                "WHERE c.campaign_key = ? AND c.state = 'leased' "
+                "ORDER BY l.acquired_at, l.chunk_id",
+                (self.campaign,))
+        ]
+
+    def chunk_seconds(self) -> list[float]:
+        """Estimated wall seconds of every retired chunk (sorted).
+
+        Derived from the per-chunk telemetry the completion transaction
+        stamps (``n_cells / cells_per_s``) — the fleet-median baseline
+        the straggler hint compares active lease ages against.
+        """
+        return sorted(
+            n_cells / rate
+            for n_cells, rate in self.store.connection().execute(
+                "SELECT n_cells, cells_per_s FROM chunks "
+                "WHERE campaign_key = ? AND state = 'done' "
+                "AND cells_per_s IS NOT NULL AND cells_per_s > 0 "
+                "AND n_cells > 0",
+                (self.campaign,))
+        )
 
     def completion_rate(self, window_s: float = 60.0) -> float | None:
         """Fleet-wide cells/second over the trailing window (None if idle)."""

@@ -26,6 +26,7 @@ from typing import Callable, Sequence
 
 from ...core.errors import ConfigurationError
 from ...obs import metrics as obs_metrics
+from ...obs.analyze import straggler_hint
 from ..executor import CampaignRun, batch_reject_counts
 from ..spec import CampaignSpec, CellConfig
 from ..stores import ResultStore, open_store
@@ -91,6 +92,10 @@ class FleetStatus:
     #: counters merged across workers), most frequent first; None when
     #: no worker recorded a rejection (or none ran with ``--metrics``).
     batch_rejects: dict[str, int] | None = None
+    #: One-line skew hint: the slowest active lease vs the fleet median
+    #: chunk time (:func:`repro.obs.analyze.straggler_hint`); None when
+    #: nothing is skewed — the quiet common case.
+    straggler: str | None = None
 
 
 def fleet_status(
@@ -139,6 +144,8 @@ def fleet_status(
         chunk_rate=chunk_rate,
         batch_share=batch_share,
         batch_rejects=batch_reject_counts(merged) or None,
+        straggler=straggler_hint(
+            queue.active_leases(), queue.chunk_seconds(), now=now),
     )
 
 
@@ -256,6 +263,8 @@ def render_status(status: FleetStatus, *, clock: Callable[[], float] = time.time
             f"batch   : {c.batched_done}/{c.done} done chunks vectorized "
             f"({c.cells_batched} cells{share})")
     lines.extend(render_batch_rejects(status.batch_rejects))
+    if status.straggler is not None:
+        lines.append(f"slowest : {status.straggler}")
     for chunk in status.recent_chunks:
         per_s = (f"{chunk.cells_per_s:.0f} cells/s"
                  if chunk.cells_per_s else "rate n/a")

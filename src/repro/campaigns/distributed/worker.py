@@ -196,7 +196,9 @@ def run_worker(
     with session_ctx:
         waiting_announced = False
         while max_chunks is None or report.chunks_done < max_chunks:
+            claim_t0 = time.perf_counter()
             claim = queue.claim(worker_id)
+            claim_s = time.perf_counter() - claim_t0
             if claim is None:
                 if queue.finished():
                     break
@@ -225,40 +227,66 @@ def run_worker(
             records: list[dict[str, Any]] = []
             n_batched = 0
             skipped = 0
+            # The worker — not run_chunk — owns this chunk's span, so the
+            # span covers claim → execute → commit and carries the phase
+            # timings `campaign trace --critical-path` attributes
+            # wall-clock to.  Cell spans still nest under it (recorder
+            # stack), so the hierarchy check sees the same tree.
             span_attrs = {"chunk_id": claim.chunk_id,
                           "attempt": claim.attempt}
             if claim.stolen_from is not None:
                 span_attrs["stolen_from"] = claim.stolen_from
+            chunk_ctx = (
+                rec.span("chunk", f"chunk[{len(claim.cells)}]", **span_attrs)
+                if rec is not None else nullcontext()
+            )
             try:
-                chunk_started = time.perf_counter()
-                with LeaseKeeper(queue, claim.chunk_id, worker_id) as keeper:
-                    todo: list[CellConfig] = []
-                    for cell_dict in claim.cells:
-                        cell = CellConfig.from_dict(cell_dict)
-                        if cell.key() in done_keys:
-                            skipped += 1
-                        else:
-                            todo.append(cell)
-                    records, n_batched = run_chunk(
-                        todo, batch=batch, abort=keeper.lost.is_set,
-                        span_attrs=span_attrs)
-                chunk_elapsed = time.perf_counter() - chunk_started
-                if keeper.lost.is_set():
-                    report.leases_lost += 1
-                    say(f"chunk {claim.chunk_id}: lease lost mid-chunk; "
-                        "discarding")
-                    continue
-                cells_per_s = (len(records) / chunk_elapsed
-                               if records and chunk_elapsed > 0 else None)
-                try:
-                    queue.complete(
-                        claim.chunk_id, worker_id, records,
-                        batched=n_batched > 0, cells_per_s=cells_per_s)
-                except LeaseLost:
-                    report.leases_lost += 1
-                    say(f"chunk {claim.chunk_id}: lease lost at completion; "
-                        "discarding")
-                    continue
+                with chunk_ctx as chunk_span:
+                    if chunk_span is not None:
+                        chunk_span.attrs["claim_s"] = round(claim_s, 6)
+                        if claim.created_at is not None:
+                            chunk_span.attrs["queue_wait_s"] = round(
+                                max(0.0, time.time() - claim.created_at), 6)
+                    chunk_started = time.perf_counter()
+                    with LeaseKeeper(queue, claim.chunk_id,
+                                     worker_id) as keeper:
+                        todo: list[CellConfig] = []
+                        for cell_dict in claim.cells:
+                            cell = CellConfig.from_dict(cell_dict)
+                            if cell.key() in done_keys:
+                                skipped += 1
+                            else:
+                                todo.append(cell)
+                        records, n_batched = run_chunk(
+                            todo, batch=batch, abort=keeper.lost.is_set,
+                            emit_span=False)
+                    chunk_elapsed = time.perf_counter() - chunk_started
+                    if keeper.lost.is_set():
+                        report.leases_lost += 1
+                        if chunk_span is not None:
+                            chunk_span.attrs["lease_lost"] = True
+                        say(f"chunk {claim.chunk_id}: lease lost mid-chunk; "
+                            "discarding")
+                        continue
+                    cells_per_s = (len(records) / chunk_elapsed
+                                   if records and chunk_elapsed > 0 else None)
+                    commit_t0 = time.perf_counter()
+                    try:
+                        queue.complete(
+                            claim.chunk_id, worker_id, records,
+                            batched=n_batched > 0, cells_per_s=cells_per_s)
+                    except LeaseLost:
+                        report.leases_lost += 1
+                        if chunk_span is not None:
+                            chunk_span.attrs["lease_lost"] = True
+                        say(f"chunk {claim.chunk_id}: lease lost at "
+                            "completion; discarding")
+                        continue
+                    if chunk_span is not None:
+                        chunk_span.attrs["commit_s"] = round(
+                            time.perf_counter() - commit_t0, 6)
+                        chunk_span.attrs["cells"] = len(records)
+                        chunk_span.attrs["batched"] = n_batched
             except (KeyboardInterrupt, SystemExit):
                 # Graceful shutdown: hand the chunk straight back so the
                 # fleet does not wait a lease TTL for it.  Covers the whole

@@ -157,6 +157,7 @@ def run_chunk(
     batch: str | None = None,
     abort: Callable[[], bool] | None = None,
     span_attrs: dict[str, Any] | None = None,
+    emit_span: bool = True,
 ) -> tuple[list[dict[str, Any]], int]:
     """Run one chunk of cells, batching the eligible ones in lockstep.
 
@@ -179,7 +180,10 @@ def run_chunk(
     cross-process ``parent_id``); routing decisions feed the
     ``executor.*`` counters — per-reason batch rejections
     (``executor.batch_reject.<key>``) and vector-path degradations
-    (``executor.degrade_to_scalar``).
+    (``executor.degrade_to_scalar``).  ``emit_span=False`` skips the
+    chunk span: the distributed worker owns it instead, so the span can
+    cover claim and commit around the execution this function times —
+    cell spans still nest correctly under the caller's open span.
     """
     if batch is not None and batch not in BATCH_MODES:
         raise ConfigurationError(
@@ -188,7 +192,7 @@ def run_chunk(
     reg = obs_metrics.registry() if obs_metrics.enabled() else None
     chunk_ctx = (
         rec.span("chunk", f"chunk[{len(cells)}]", **(span_attrs or {}))
-        if rec is not None else nullcontext()
+        if rec is not None and emit_span else nullcontext()
     )
     with chunk_ctx as chunk_span:
         records: list[dict[str, Any] | None] = [None] * len(cells)

@@ -151,6 +151,7 @@ CREATE TABLE IF NOT EXISTS spans (
     attrs        TEXT NOT NULL DEFAULT '{}'
 );
 CREATE INDEX IF NOT EXISTS ix_spans_campaign ON spans (campaign_key, kind);
+CREATE INDEX IF NOT EXISTS ix_spans_parent ON spans (parent_id);
 CREATE TABLE IF NOT EXISTS worker_metrics (
     worker_id    TEXT PRIMARY KEY,
     campaign_key TEXT NOT NULL DEFAULT '',

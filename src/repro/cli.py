@@ -31,7 +31,19 @@ Commands:
   * ``campaign metrics`` — merged fleet metrics from the store's
     persisted worker snapshots (``--format table|json|prom``; ``prom``
     emits a Prometheus textfile);
+  * ``campaign trace``  — trace analytics over the recorded spans:
+    span tree (default), ``--timeline`` per-worker Gantt,
+    ``--critical-path`` wall-clock attribution, ``--stragglers``
+    skew ranking, ``--format chrome`` Perfetto-compatible export;
+  * ``campaign profile`` — phase-attribution profile from the fleet's
+    metrics snapshots (``--format table|json|folded``; ``folded``
+    emits speedscope/flamegraph collapsed stacks);
   * ``campaign list``   — list the named campaign specs.
+
+* ``bench`` — bench-history regression guard: ``bench record`` appends
+  a ``BENCH_engine.json``'s headlines to ``BENCH_history.jsonl``;
+  ``bench check`` exits 1 when the latest entry drops below a fraction
+  (default 0.7) of the trailing median for any headline.
 
 Observability (see :mod:`repro.obs` and ARCHITECTURE.md):
 ``--metrics`` / ``--trace`` / ``--trace-jsonl PATH`` (on
@@ -93,6 +105,7 @@ from .core.errors import ConfigurationError
 from .obs import expo as obs_expo
 from .obs import logs as obs_logs
 from .obs import metrics as obs_metrics
+from .obs.history import add_bench_parsers, bench_main
 from .theory.tables import render_map
 
 _log = obs_logs.get_logger(__name__)
@@ -308,6 +321,58 @@ def make_parser() -> argparse.ArgumentParser:
                         "(e.g. a node_exporter textfile collector dir)")
 
     p = csub.add_parser(
+        "trace",
+        help="trace analytics over recorded campaign→chunk→cell spans")
+    p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
+                   help="spec name used to locate the default store")
+    p.add_argument("--spec-file", default=None, metavar="PATH",
+                   help="JSON/YAML spec file (overrides --spec)")
+    p.add_argument("--store", default=None, metavar="URI",
+                   help="SQLite result store holding the spans table "
+                        "(default: sqlite:results/<spec>.db)")
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="campaign tag (default: the spec's name)")
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="read spans from a REPRO_TRACE_JSONL file instead "
+                        "of the store (works with any backend)")
+    p.add_argument("--timeline", action="store_true",
+                   help="per-worker ASCII Gantt of chunk execution over "
+                        "the campaign wall clock")
+    p.add_argument("--critical-path", action="store_true",
+                   help="wall-clock attribution (queue-wait/claim/execute/"
+                        "commit) and the longest span chain")
+    p.add_argument("--stragglers", action="store_true",
+                   help="chunks and workers ranked vs the fleet median")
+    p.add_argument("--format", choices=("text", "json", "chrome"),
+                   default="text",
+                   help="text: human report; json: the requested analyses "
+                        "as one JSON object; chrome: Chrome trace-event "
+                        "JSON for ui.perfetto.dev (default: text)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the report to PATH instead of stdout")
+
+    p = csub.add_parser(
+        "profile",
+        help="phase-attribution profile from the fleet's metrics snapshots")
+    p.add_argument("--spec", default=DEFAULT_SPEC, metavar="NAME",
+                   help="spec name used to locate the default store")
+    p.add_argument("--spec-file", default=None, metavar="PATH",
+                   help="JSON/YAML spec file (overrides --spec)")
+    p.add_argument("--store", default=None, metavar="URI",
+                   help="SQLite result store holding the telemetry tables "
+                        "(default: sqlite:results/<spec>.db)")
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="campaign tag (default: the spec's name)")
+    p.add_argument("--format", choices=("table", "json", "folded"),
+                   default="table",
+                   help="table: aligned human report; json: phase/route "
+                        "rows; folded: collapsed stacks for speedscope/"
+                        "flamegraph tools (default: table)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the profile to PATH instead of stdout "
+                        "(e.g. profile.folded for speedscope)")
+
+    p = csub.add_parser(
         "fsck",
         help="validate a result store's integrity (torn lines, orphaned "
              "leases, duplicate keys, chunk/span consistency)")
@@ -339,6 +404,12 @@ def make_parser() -> argparse.ArgumentParser:
                    help="output format (default: from the --out suffix)")
 
     csub.add_parser("list", help="list the named campaign specs")
+
+    bench = sub.add_parser(
+        "bench",
+        help="bench-history regression guard (record/check headlines)")
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    add_bench_parsers(bsub)
     return parser
 
 
@@ -560,6 +631,85 @@ def campaign_main(args) -> int:
             print(text)
         return 0
 
+    if args.campaign_command == "trace":
+        from .obs import analyze as obs_analyze
+
+        campaign = args.campaign or spec.name
+        if args.jsonl:
+            spans = obs_analyze.load_spans(args.jsonl,
+                                           campaign=args.campaign)
+        else:
+            target = args.store or Path("results") / f"{campaign}.db"
+            store = open_store(target, campaign=campaign)
+            if not store.exists():
+                _log.error("no result store at %s", store.path)
+                return 1
+            if not hasattr(store, "spans"):
+                raise ConfigurationError(
+                    f"store backend {type(store).__name__} ({store.uri()}) "
+                    "has no spans table — use a SQLite store "
+                    "(--store sqlite:PATH) or --jsonl PATH")
+            spans = obs_analyze.load_spans(store)
+        if not spans:
+            _log.error("no spans recorded for campaign %r — run the fleet "
+                       "with --trace (or --trace-jsonl)", campaign)
+            return 1
+        if args.format == "chrome":
+            text = json.dumps(obs_analyze.chrome_trace(spans))
+        elif args.format == "json":
+            views: dict = {"spans": len(spans)}
+            if args.critical_path or not args.stragglers:
+                views["critical_path"] = obs_analyze.critical_path(spans)
+            if args.stragglers:
+                views["stragglers"] = obs_analyze.stragglers(spans)
+            text = json.dumps(views, indent=2, sort_keys=True)
+        else:
+            sections = []
+            if args.timeline:
+                sections.append(obs_analyze.render_timeline(spans))
+            if args.critical_path:
+                sections.append(obs_analyze.render_critical_path(
+                    obs_analyze.critical_path(spans)))
+            if args.stragglers:
+                sections.append(obs_analyze.render_stragglers(
+                    obs_analyze.stragglers(spans)))
+            if not sections:
+                sections.append(obs_analyze.render_tree(spans))
+            text = "\n\n".join(sections)
+        if args.out:
+            Path(args.out).write_text(text + "\n", encoding="utf-8")
+            _log.info("wrote %s trace report to %s", args.format, args.out)
+        else:
+            print(text)
+        return 0
+
+    if args.campaign_command == "profile":
+        from .campaigns.distributed import store_metrics
+        from .obs import profile as obs_profile
+
+        campaign = args.campaign or spec.name
+        target = args.store or Path("results") / f"{campaign}.db"
+        store = open_store(target, campaign=campaign)
+        if not store.exists():
+            _log.error("no result store at %s", store.path)
+            return 1
+        merged, _fleet = store_metrics(store)
+        if args.format == "json":
+            text = json.dumps(obs_profile.profile_data(merged),
+                              indent=2, sort_keys=True)
+        elif args.format == "folded":
+            text = obs_profile.folded_stacks(merged)
+        else:
+            text = obs_profile.render_profile(
+                merged,
+                title=f"campaign {campaign} — profile ({store.uri()})")
+        if args.out:
+            Path(args.out).write_text(text + "\n", encoding="utf-8")
+            _log.info("wrote %s profile to %s", args.format, args.out)
+        else:
+            print(text)
+        return 0
+
     if args.campaign_command == "fsck":
         from .resilience import fsck_store
 
@@ -688,6 +838,9 @@ def _dispatch(args) -> int:
 
     if args.command == "campaign":
         return campaign_main(args)
+
+    if args.command == "bench":
+        return bench_main(args)
 
     engine, horizon, unconscious = build_from_args(args)
     if args.command == "watch":

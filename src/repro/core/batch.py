@@ -64,6 +64,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from typing import TYPE_CHECKING, Sequence
 
 from ..obs import metrics as obs_metrics
@@ -922,7 +923,12 @@ def run_batch_cells(cells: Sequence["CellConfig"]) -> list[RunResult]:
     for group in groups.values():
         for batch in _split_batches(group):
             core = BatchCore([cell for _, cell in batch])
-            for (idx, _), result in zip(batch, core.run()):
+            core_t0 = time.perf_counter()
+            batch_results = core.run()
+            if obs_metrics.enabled():
+                obs_metrics.registry().histogram("batch.core_s").observe(
+                    time.perf_counter() - core_t0)
+            for (idx, _), result in zip(batch, batch_results):
                 results[idx] = result
     return results  # type: ignore[return-value]
 

@@ -18,8 +18,32 @@ Submodules:
   (``--log-level``/``--log-json``/``--quiet``/``--verbose``).
 * :mod:`repro.obs.expo` — human table / Prometheus textfile / JSON
   rendering of snapshots (``campaign metrics``).
+* :mod:`repro.obs.analyze` — trace analytics over recorded spans:
+  span tree, per-worker timeline, critical-path wall-clock attribution,
+  straggler ranking, Chrome trace-event export (``campaign trace``).
+* :mod:`repro.obs.profile` — phase-attribution profiles and speedscope
+  folded stacks from metrics snapshots (``campaign profile``).
+* :mod:`repro.obs.validate` — span-trace schema/hierarchy validation
+  (``scripts/check_spans.py`` shims here).
+* :mod:`repro.obs.history` — bench-history time series and regression
+  guard (``python -m repro bench record|check``).
+
+``analyze``/``profile``/``validate``/``history`` are read-side tools
+and import lazily where it matters; this package import stays cheap
+because the hot emit paths only need ``metrics``/``spans``/``logs``.
 """
 
 from . import expo, logs, metrics, spans
 
-__all__ = ["expo", "logs", "metrics", "spans"]
+__all__ = ["analyze", "expo", "history", "logs", "metrics", "profile",
+           "spans", "validate"]
+
+
+def __getattr__(name: str):
+    # Lazy submodule access (repro.obs.analyze etc.) without importing
+    # the read-side tooling on every engine run.
+    if name in __all__:
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

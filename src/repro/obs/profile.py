@@ -1,0 +1,176 @@
+"""Phase-attribution profiles from the metrics registry's snapshots.
+
+The emit side (PR 7) folds per-run engine phase seconds into
+``engine.phase.*_s`` histograms and counts every routing decision; this
+module is the read side — ``python -m repro campaign profile`` renders,
+from the store's persisted worker snapshots (or any merged snapshot):
+
+* :func:`phase_table` — where scalar engine time went per run:
+  adversary / look-compute / move / end-of-round, with totals, shares
+  and per-run percentiles;
+* :func:`route_table` — batch vs scalar attribution: cells and seconds
+  through each route (``batch.core_s`` histograms time every
+  :class:`~repro.core.batch.BatchCore` lockstep pass);
+* :func:`folded_stacks` — the same attribution as Brendan-Gregg
+  collapsed stacks (``frame;frame weight`` lines), the input format of
+  speedscope and every flamegraph tool.
+
+Weights in the folded output are integer microseconds, so
+``speedscope profile.folded`` shows wall-microsecond flames directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from . import metrics as obs_metrics
+
+__all__ = [
+    "folded_stacks",
+    "phase_table",
+    "render_profile",
+    "route_table",
+]
+
+#: Scalar engine phases, in round order (the PhaseTimer vocabulary).
+PHASES = obs_metrics.PhaseTimer.PHASES
+
+_PHASE_PREFIX = "engine.phase."
+
+
+def _histogram(snapshot: Mapping[str, Mapping], name: str) -> dict | None:
+    dump = snapshot.get(name)
+    if not dump or dump.get("type") != "histogram" or not dump.get("count"):
+        return None
+    return obs_metrics.summarize_histogram(dump)
+
+
+def _counter(snapshot: Mapping[str, Mapping], name: str) -> float:
+    dump = snapshot.get(name)
+    if not dump or dump.get("type") != "counter":
+        return 0.0
+    return dump.get("value", 0) or 0.0
+
+
+def phase_table(snapshot: Mapping[str, Mapping]) -> list[dict]:
+    """One row per engine phase: total seconds, share, per-run stats.
+
+    Empty when the snapshot holds no ``engine.phase.*_s`` histograms
+    (metrics were off, or only batched cells ran — the lockstep core
+    has no scalar phases).
+    """
+    rows = []
+    for phase in PHASES:
+        summary = _histogram(snapshot, f"{_PHASE_PREFIX}{phase}_s")
+        if summary is None:
+            continue
+        rows.append({"phase": phase, **summary})
+    total = sum(r["sum"] for r in rows)
+    for row in rows:
+        row["share"] = (row["sum"] / total) if total > 0 else None
+    return rows
+
+
+def route_table(snapshot: Mapping[str, Mapping]) -> list[dict]:
+    """Batch-vs-scalar attribution: cells and seconds per route.
+
+    The scalar row times whole cells (``executor.cell_s``); the batch
+    row times lockstep :class:`BatchCore` passes (``batch.core_s``),
+    each pass covering many cells — so ``seconds`` compares total wall
+    time per route, which is the number the routing decision optimises.
+    """
+    rows = []
+    scalar = _histogram(snapshot, "executor.cell_s")
+    if scalar is not None:
+        rows.append({
+            "route": "scalar",
+            "cells": int(_counter(snapshot, "executor.cells_scalar")),
+            "runs": scalar["count"],
+            "seconds": scalar["sum"],
+            "p50_s": scalar["p50"],
+            "p99_s": scalar["p99"],
+        })
+    batch = _histogram(snapshot, "batch.core_s")
+    if batch is not None:
+        rows.append({
+            "route": "batch",
+            "cells": int(_counter(snapshot, "executor.cells_batched")),
+            "runs": batch["count"],
+            "seconds": batch["sum"],
+            "p50_s": batch["p50"],
+            "p99_s": batch["p99"],
+        })
+    total = sum(r["seconds"] for r in rows)
+    for row in rows:
+        row["share"] = (row["seconds"] / total) if total > 0 else None
+    return rows
+
+
+def profile_data(snapshot: Mapping[str, Mapping]) -> dict:
+    """The JSON shape of ``campaign profile --format json``."""
+    return {
+        "phases": phase_table(snapshot),
+        "routes": route_table(snapshot),
+        "engine_runs": int(_counter(snapshot, "engine.runs")),
+    }
+
+
+def render_profile(snapshot: Mapping[str, Mapping], *,
+                   title: str = "profile") -> str:
+    """Aligned human table: phase attribution, then the route split."""
+    lines = [f"== {title}"]
+    phases = phase_table(snapshot)
+    if phases:
+        lines.append("engine phases (scalar runs, seconds per run):")
+        lines.append(f"  {'phase':<14} {'total_s':>9} {'share':>7} "
+                     f"{'runs':>6} {'p50_s':>10} {'p99_s':>10}")
+        for row in phases:
+            share = f"{row['share']:.1%}" if row["share"] is not None else "-"
+            lines.append(
+                f"  {row['phase']:<14} {row['sum']:9.3f} {share:>7} "
+                f"{row['count']:>6} {row['p50']:10.6f} {row['p99']:10.6f}")
+    else:
+        lines.append("engine phases: no engine.phase.*_s histograms in the "
+                     "snapshot (run with --metrics; batched cells have no "
+                     "scalar phases)")
+    routes = route_table(snapshot)
+    if routes:
+        lines.append("execution routes:")
+        lines.append(f"  {'route':<8} {'cells':>7} {'runs':>6} "
+                     f"{'seconds':>9} {'share':>7} {'p50_s':>10}")
+        for row in routes:
+            share = f"{row['share']:.1%}" if row["share"] is not None else "-"
+            lines.append(
+                f"  {row['route']:<8} {row['cells']:>7} {row['runs']:>6} "
+                f"{row['seconds']:9.3f} {share:>7} {row['p50_s']:10.6f}")
+    return "\n".join(lines)
+
+
+def folded_stacks(snapshot: Mapping[str, Mapping], *,
+                  root: str = "campaign") -> str:
+    """Collapsed-stack lines (``a;b;c weight``) for flamegraph tooling.
+
+    Scalar time splits into the four engine phases plus an ``other``
+    frame (cell seconds not covered by phase timings: engine setup,
+    result packaging, phase timing itself disabled); batch time is one
+    ``BatchCore.run`` frame — the lockstep pass is deliberately opaque
+    to per-phase attribution.  Weights are integer microseconds.
+    """
+    lines: list[str] = []
+
+    def emit(frames: list[str], seconds: float) -> None:
+        us = int(round(seconds * 1e6))
+        if us > 0:
+            lines.append(f"{';'.join(frames)} {us}")
+
+    phase_sum = 0.0
+    for row in phase_table(snapshot):
+        emit([root, "scalar", row["phase"]], row["sum"])
+        phase_sum += row["sum"]
+    scalar = _histogram(snapshot, "executor.cell_s")
+    if scalar is not None:
+        emit([root, "scalar", "other"], max(0.0, scalar["sum"] - phase_sum))
+    batch = _histogram(snapshot, "batch.core_s")
+    if batch is not None:
+        emit([root, "batch", "BatchCore.run"], batch["sum"])
+    return "\n".join(lines)

@@ -239,6 +239,46 @@ class TestFleetStatusFromStore:
         # registry: present regardless of --metrics
         assert status.chunk_rate is not None
 
+    def test_straggler_hint_renders_when_set(self):
+        hint = "chunk 7 (w-slow) running 9.0s vs 2.0s median chunk"
+        assert f"slowest : {hint}" in render_status(
+            make_status(straggler=hint))
+        assert "slowest" not in render_status(make_status())
+
+    def test_live_straggler_hint_from_queue(self, tmp_path):
+        # finish one chunk (the baseline), then claim a second and let
+        # the clock run past 2x the median: status names the laggard
+        spec = fast_spec(name="render-straggle", seeds=range(4))
+        store = SqliteStore(tmp_path / "s.db", campaign=spec.name)
+        queue, _ = enqueue_campaign(spec, store, chunk_size=2)
+        run_worker(store, campaign=spec.name, worker_id="w-fast",
+                   max_chunks=1)
+        claim = queue.claim("w-slow")
+        assert claim is not None
+        clock = FakeClock(time.time() + 3600.0)
+        status = fleet_status(store, clock=clock)
+        assert status.straggler is not None
+        assert f"chunk {claim.chunk_id} (w-slow)" in status.straggler
+        assert "straggler" in status.straggler
+        assert "slowest :" in render_status(status, clock=clock)
+
+    def test_active_leases_and_chunk_seconds(self, tmp_path):
+        spec = fast_spec(name="render-leases", seeds=range(4))
+        store = SqliteStore(tmp_path / "l.db", campaign=spec.name)
+        queue, _ = enqueue_campaign(spec, store, chunk_size=2)
+        assert queue.active_leases() == []
+        assert queue.chunk_seconds() == []
+        run_worker(store, campaign=spec.name, worker_id="w1", max_chunks=1)
+        seconds = queue.chunk_seconds()
+        assert len(seconds) == 1 and seconds[0] > 0
+        claim = queue.claim("w2")
+        leases = queue.active_leases()
+        assert [(l.chunk_id, l.worker_id, l.n_cells) for l in leases] \
+            == [(claim.chunk_id, "w2", 2)]
+        assert leases[0].attempt == 1
+        assert claim.created_at is not None
+        assert leases[0].acquired_at >= claim.created_at
+
     def test_store_metrics_requires_sqlite(self, tmp_path):
         from repro.campaigns import JsonlStore
         from repro.campaigns.distributed import store_metrics

@@ -1,0 +1,230 @@
+"""Trace analytics: tree building, timeline, critical path, stragglers,
+Chrome export, and the shared straggler-hint helper."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns.distributed.queue import LeaseInfo
+from repro.core.errors import ConfigurationError
+from repro.obs.analyze import (
+    build_tree,
+    chrome_trace,
+    critical_path,
+    load_spans,
+    median,
+    render_critical_path,
+    render_stragglers,
+    render_timeline,
+    render_tree,
+    straggler_hint,
+    stragglers,
+)
+
+_SEQ = [0]
+
+
+def span(kind, name, start, elapsed, *, parent=None, worker="w1",
+         host="h1", status="ok", **attrs):
+    _SEQ[0] += 1
+    return {
+        "schema": 1, "span_id": f"s{_SEQ[0]:04d}", "parent_id": parent,
+        "kind": kind, "name": name, "campaign": "camp", "worker": worker,
+        "host": host, "start_s": start, "elapsed_s": elapsed,
+        "status": status, "attrs": attrs,
+    }
+
+
+def fleet_trace():
+    """Two worker sessions, three chunks, with claim/commit attrs."""
+    s1 = span("campaign", "camp", 100.0, 10.0, worker="w1")
+    c1 = span("chunk", "chunk[4]", 101.0, 4.0, parent=s1["span_id"],
+              worker="w1", chunk_id=1, claim_s=0.5, commit_s=0.5)
+    c2 = span("chunk", "chunk[4]", 106.0, 3.0, parent=s1["span_id"],
+              worker="w1", chunk_id=2, claim_s=0.25, commit_s=0.25)
+    cell = span("cell", "algo", 102.0, 3.0, parent=c1["span_id"],
+                worker="w1", route="batch")
+    s2 = span("campaign", "camp", 100.0, 8.0, worker="w2")
+    c3 = span("chunk", "chunk[4]", 102.0, 6.0, parent=s2["span_id"],
+              worker="w2", chunk_id=3, claim_s=1.0, commit_s=1.0,
+              stolen_from="w-dead")
+    return [s1, c1, c2, cell, s2, c3]
+
+
+class TestLoadAndTree:
+    def test_load_spans_from_jsonl(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        spans = fleet_trace()
+        path.write_text(
+            "\n".join(json.dumps(s) for s in reversed(spans)) + "\n")
+        loaded = load_spans(path)
+        assert len(loaded) == len(spans)
+        # sorted by start regardless of file order
+        assert [s["start_s"] for s in loaded] == sorted(
+            s["start_s"] for s in spans)
+
+    def test_load_spans_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no span trace"):
+            load_spans(tmp_path / "nope.jsonl")
+
+    def test_load_spans_campaign_filter(self):
+        spans = fleet_trace()
+        other = span("campaign", "other", 0.0, 1.0)
+        other["campaign"] = "other"
+        assert len(load_spans(spans + [other], campaign="camp")) == len(spans)
+
+    def test_build_tree_roots_and_orphans(self):
+        spans = fleet_trace()
+        roots = build_tree(spans)
+        assert [r.kind for r in roots] == ["campaign", "campaign"]
+        assert len(roots[0].children) == 2          # w1's chunks
+        # orphan (parent not in the set) roots its own subtree
+        orphan = span("chunk", "chunk[1]", 50.0, 1.0, parent="gone")
+        roots = build_tree(spans + [orphan])
+        assert any(r.kind == "chunk" for r in roots)
+
+    def test_render_tree_collapses_cells(self):
+        chunk = span("chunk", "chunk[9]", 0.0, 9.0)
+        cells = [span("cell", f"algo{i}", float(i), 1.0,
+                      parent=chunk["span_id"], route="scalar")
+                 for i in range(9)]
+        text = render_tree([chunk] + cells, max_cells=4)
+        assert "... 5 more cells (5 scalar)" in text
+        assert text.count("cell algo") == 4
+
+    def test_render_tree_marks_errors(self):
+        text = render_tree([span("cell", "boom", 0.0, 1.0, status="error")])
+        assert "STATUS=error" in text
+
+
+class TestTimeline:
+    def test_one_lane_per_session(self):
+        text = render_timeline(fleet_trace())
+        assert "2 lane(s)" in text
+        assert "w1" in text and "w2" in text
+        assert "█" in text and "·" in text
+
+    def test_empty(self):
+        assert render_timeline([]) == "(no spans)"
+
+
+class TestCriticalPath:
+    def test_attribution_sums_to_session_time(self):
+        analysis = critical_path(fleet_trace())
+        total = (analysis["queue_wait_s"] + analysis["claim_s"]
+                 + analysis["execute_s"] + analysis["commit_s"])
+        assert total == pytest.approx(analysis["session_s"], rel=1e-6)
+        assert analysis["attributed_s"] == pytest.approx(total, rel=1e-6)
+        assert analysis["coverage"] == pytest.approx(1.0)
+        # w1: 10s session, 7s in chunks -> 3s queue-wait; w2: 8s, 6s -> 2s
+        assert analysis["queue_wait_s"] == pytest.approx(5.0)
+        assert analysis["claim_s"] == pytest.approx(1.75)
+        assert analysis["commit_s"] == pytest.approx(1.75)
+        assert analysis["wall_clock_s"] == pytest.approx(10.0)
+
+    def test_longest_chain_follows_dominant_child(self):
+        analysis = critical_path(fleet_trace())
+        # latest-ending lane is w1 (ends at 110); dominant chunk is chunk 1
+        kinds = [hop["kind"] for hop in analysis["path"]]
+        assert kinds == ["campaign", "chunk", "cell"]
+        assert analysis["path"][1]["chunk_id"] == 1
+        assert analysis["path"][0]["share"] == pytest.approx(1.0)
+
+    def test_stolen_chunk_carried_on_path(self):
+        s = span("campaign", "camp", 0.0, 5.0)
+        c = span("chunk", "chunk[2]", 0.0, 5.0, parent=s["span_id"],
+                 chunk_id=7, stolen_from="w-dead")
+        analysis = critical_path([s, c])
+        assert analysis["path"][1]["stolen_from"] == "w-dead"
+
+    def test_render_smoke(self):
+        text = render_critical_path(critical_path(fleet_trace()))
+        assert "queue-wait" in text and "coverage" in text
+        assert "longest chain" in text
+
+    def test_empty_trace(self):
+        analysis = critical_path([])
+        assert analysis["coverage"] is None
+        assert analysis["path"] == []
+
+
+class TestStragglers:
+    def test_flags_slow_chunk_and_steal(self):
+        spans = fleet_trace()
+        ranking = stragglers(spans, threshold=1.5)
+        # chunk 3 (6s) vs median 4s -> 1.5x: at threshold, not over
+        by_id = {r["chunk_id"]: r for r in ranking["top_chunks"]}
+        assert not by_id[3]["straggler"]
+        assert by_id[3]["stolen_from"] == "w-dead"
+        ranking = stragglers(spans, threshold=1.2)
+        assert {r["chunk_id"]: r["straggler"]
+                for r in ranking["top_chunks"]}[3]
+        text = render_stragglers(ranking)
+        assert "stolen from w-dead" in text
+
+    def test_no_chunks(self):
+        ranking = stragglers([span("campaign", "camp", 0.0, 1.0)])
+        assert ranking["median_chunk_s"] is None
+        assert "no timed chunk spans" in render_stragglers(ranking)
+
+
+class TestChromeTrace:
+    def test_schema_and_ids(self):
+        spans = fleet_trace()
+        doc = chrome_trace(spans)
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(events) == len(spans)
+        assert all(isinstance(e["ts"], int) and isinstance(e["dur"], int)
+                   and e["dur"] >= 1 for e in events)
+        assert min(e["ts"] for e in events) == 0
+        # one pid for the single host, one tid per worker, named via M
+        assert {e["pid"] for e in events} == {1}
+        assert {e["tid"] for e in events} == {1, 2}
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "h1") in names
+        assert ("thread_name", "w1") in names and ("thread_name", "w2") in names
+        json.dumps(doc)  # must be JSON-serialisable as-is
+
+    def test_open_spans_dropped_and_zero_dur_clamped(self):
+        open_span = span("chunk", "open", 0.0, 1.0)
+        open_span["elapsed_s"] = None
+        doc = chrome_trace([open_span, span("cell", "instant", 0.0, 0.0)])
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 1 and events[0]["dur"] == 1
+
+    def test_empty(self):
+        assert chrome_trace([]) == {"traceEvents": [],
+                                    "displayTimeUnit": "ms"}
+
+
+class TestStragglerHint:
+    def lease(self, chunk_id, age, *, now=1000.0, worker="w9"):
+        return LeaseInfo(chunk_id=chunk_id, worker_id=worker,
+                         acquired_at=now - age, heartbeat=now,
+                         attempt=1, n_cells=4)
+
+    def test_quiet_when_within_threshold(self):
+        assert straggler_hint([self.lease(1, 3.0)], [2.0, 2.0],
+                              now=1000.0) is None
+
+    def test_flags_slowest_lease(self):
+        hint = straggler_hint(
+            [self.lease(1, 1.0), self.lease(2, 9.0, worker="w-slow")],
+            [2.0, 2.0, 2.0], now=1000.0)
+        assert hint is not None
+        assert "chunk 2" in hint and "w-slow" in hint
+        assert "x4.5" in hint
+
+    def test_needs_baseline_and_leases(self):
+        assert straggler_hint([], [2.0], now=0.0) is None
+        assert straggler_hint([self.lease(1, 9.0)], [], now=1000.0) is None
+
+
+class TestMedian:
+    def test_odd_even_empty(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        assert median([]) is None

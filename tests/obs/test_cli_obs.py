@@ -130,12 +130,159 @@ class TestMetricsVerb:
         assert 'repro_executor_cells_total{campaign="smoke"} 4' in text
         assert "# TYPE repro_batch_width summary" in text
 
+    def test_missing_store_fails_cleanly_trace_profile_too(self, capsys):
+        for verb in ("trace", "profile"):
+            code = main(["campaign", verb, "--spec", "smoke",
+                         "--store", "sqlite:absent.db"])
+            assert code == 1
+            assert "no result store" in capsys.readouterr().err
+
     def test_missing_store_fails_cleanly(self, capsys):
         code = main(["campaign", "metrics", "--spec", "smoke",
                      "--store", "sqlite:absent.db"])
         captured = capsys.readouterr()
         assert code == 1
         assert "no result store" in captured.err
+
+
+class TestTraceVerb:
+    STORE = "sqlite:t.db"
+
+    def seed_trace(self, *, trace=True):
+        assert main(["campaign", "enqueue", "--spec", "smoke",
+                     "--limit", "6", "--chunk-size", "3",
+                     "--store", self.STORE]) == 0
+        worker = ["campaign", "worker", "--campaign", "smoke",
+                  "--store", self.STORE, "--worker-id", "w-test"]
+        if trace:
+            worker += ["--trace", "--trace-jsonl", "spans.jsonl"]
+        assert main(worker) == 0
+        obs_spans.close_recorder()
+
+    def test_tree_is_default(self, capsys):
+        self.seed_trace()
+        capsys.readouterr()
+        assert main(["campaign", "trace", "--spec", "smoke",
+                     "--store", self.STORE]) == 0
+        out = capsys.readouterr().out
+        assert "campaign smoke" in out
+        assert "chunk chunk[3]" in out
+
+    def test_timeline(self, capsys):
+        self.seed_trace()
+        capsys.readouterr()
+        assert main(["campaign", "trace", "--spec", "smoke",
+                     "--store", self.STORE, "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out and "w-test" in out and "█" in out
+
+    def test_critical_path_json_attribution(self, capsys):
+        self.seed_trace()
+        capsys.readouterr()
+        assert main(["campaign", "trace", "--spec", "smoke",
+                     "--store", self.STORE, "--critical-path",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        cp = data["critical_path"]
+        buckets = (cp["queue_wait_s"] + cp["claim_s"]
+                   + cp["execute_s"] + cp["commit_s"])
+        assert buckets == pytest.approx(cp["session_s"], rel=1e-3)
+        assert cp["coverage"] >= 0.9
+        assert cp["path"][0]["kind"] == "campaign"
+
+    def test_chrome_export(self, capsys, tmp_path):
+        self.seed_trace()
+        capsys.readouterr()
+        target = tmp_path / "trace.json"
+        assert main(["campaign", "trace", "--spec", "smoke",
+                     "--store", self.STORE, "--format", "chrome",
+                     "--out", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events and all(e["dur"] >= 1 for e in events)
+
+    def test_jsonl_source(self, capsys):
+        self.seed_trace()
+        capsys.readouterr()
+        assert main(["campaign", "trace", "--spec", "smoke",
+                     "--jsonl", "spans.jsonl", "--stragglers"]) == 0
+        assert "stragglers over" in capsys.readouterr().out
+
+    def test_no_spans_recorded_is_an_error(self, capsys):
+        self.seed_trace(trace=False)
+        capsys.readouterr()
+        assert main(["campaign", "trace", "--spec", "smoke",
+                     "--store", self.STORE]) == 1
+        assert "no spans recorded" in capsys.readouterr().err
+
+
+class TestProfileVerb:
+    STORE = "sqlite:p.db"
+
+    def seed_metrics(self, *, batch="auto"):
+        assert main([*RUN, "--limit", "6", "--metrics",
+                     "--batch", batch, "--store", self.STORE]) == 0
+
+    def test_table_output(self, capsys):
+        self.seed_metrics(batch="off")
+        capsys.readouterr()
+        assert main(["campaign", "profile", "--spec", "smoke",
+                     "--store", self.STORE]) == 0
+        out = capsys.readouterr().out
+        assert "campaign smoke — profile" in out
+        assert "engine phases" in out
+        assert "scalar" in out
+
+    def test_json_routes(self, capsys):
+        self.seed_metrics()
+        capsys.readouterr()
+        assert main(["campaign", "profile", "--spec", "smoke",
+                     "--store", self.STORE, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["routes"], "expected at least one execution route"
+        assert sum(r["cells"] for r in data["routes"]) == 6
+
+    def test_folded_stacks_output(self, capsys, tmp_path):
+        self.seed_metrics()
+        capsys.readouterr()
+        target = tmp_path / "profile.folded"
+        assert main(["campaign", "profile", "--spec", "smoke",
+                     "--store", self.STORE, "--format", "folded",
+                     "--out", str(target)]) == 0
+        lines = target.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            frames, weight = line.rsplit(" ", 1)
+            assert frames.startswith("campaign;")
+            assert int(weight) > 0
+
+
+class TestBenchVerb:
+    def bench_file(self, rps):
+        path = Path("BENCH_engine.json")
+        path.write_text(json.dumps(
+            {"mode": "smoke",
+             "headline": {"speedup": 8.0,
+                          "optimized": {"rounds_per_s": rps}}}))
+        return path
+
+    def test_record_and_check_roundtrip(self, capsys):
+        self.bench_file(20000.0)
+        assert main(["bench", "record", "--sha", "aaa"]) == 0
+        assert main(["bench", "record", "--sha", "bbb"]) == 0
+        assert main(["bench", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded aaa" in out and "bench history ok" in out
+
+    def test_check_fails_on_regression(self, capsys):
+        self.bench_file(20000.0)
+        assert main(["bench", "record", "--sha", "aaa"]) == 0
+        assert main(["bench", "record", "--sha", "bbb"]) == 0
+        self.bench_file(9000.0)
+        assert main(["bench", "record", "--sha", "ccc"]) == 0
+        assert main(["bench", "check"]) == 1
+        assert "bench regression" in capsys.readouterr().err
 
 
 class TestDiffStoresIgnoresTelemetry:

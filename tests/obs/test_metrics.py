@@ -138,6 +138,56 @@ class TestMerge:
         assert merge_snapshots([{}, None, {"c": {"type": "counter",
                                                  "value": 1}}])["c"]["value"] == 1
 
+    def test_empty_reservoir_histogram_merges(self):
+        # a worker can snapshot a histogram before observing anything:
+        # count 0, no sample, min/max None must not poison the pool
+        empty = {"type": "histogram", "count": 0, "sum": 0.0,
+                 "min": None, "max": None, "sample": []}
+        full = {"type": "histogram", "count": 2, "sum": 3.0,
+                "min": 1.0, "max": 2.0, "sample": [1.0, 2.0]}
+        for order in ([empty, full], [full, empty]):
+            merged = merge_snapshots([{"h": a} for a in order])["h"]
+            assert merged["count"] == 2
+            assert merged["min"] == 1.0 and merged["max"] == 2.0
+            assert sorted(merged["sample"]) == [1.0, 2.0]
+        both = merge_snapshots([{"h": empty}, {"h": dict(empty)}])["h"]
+        assert both["count"] == 0 and both["min"] is None
+        summary = summarize_histogram(both)
+        assert summary["mean"] is None and summary["p50"] is None
+
+    def test_disabled_registry_snapshot_merges_cleanly(self):
+        # a fleet mixes --metrics and plain workers: the disabled ones
+        # persist {} (null instruments dump nothing) and must vanish
+        disabled = MetricsRegistry(enabled=False)
+        disabled.counter("c").inc()
+        disabled.histogram("h").observe(1.0)
+        assert disabled.snapshot() == {}
+        enabled = MetricsRegistry()
+        enabled.counter("c").inc(3)
+        merged = merge_snapshots([disabled.snapshot(), enabled.snapshot(),
+                                  disabled.snapshot()])
+        assert merged["c"]["value"] == 3
+
+    def test_single_sample_percentiles_collapse_to_value(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(7.0)
+        merged = merge_snapshots([reg.snapshot()])
+        summary = summarize_histogram(merged["h"])
+        assert summary["count"] == 1
+        assert summary["p50"] == summary["p90"] == summary["p99"] == 7.0
+        assert summary["mean"] == 7.0
+        assert summary["min"] == summary["max"] == 7.0
+
+    def test_conflicting_types_keep_first(self):
+        merged = merge_snapshots([
+            {"m": {"type": "counter", "value": 2}},
+            {"m": {"type": "histogram", "count": 1, "sum": 1.0,
+                   "min": 1.0, "max": 1.0, "sample": [1.0]}},
+            {"m": {"type": "counter", "value": 5}},
+        ])
+        assert merged["m"]["type"] == "counter"
+        assert merged["m"]["value"] == 7
+
 
 class TestGlobalGate:
     def test_disabled_by_default_and_null_registry_is_free(self):

@@ -1,0 +1,113 @@
+"""Phase-attribution profiles: tables, folded stacks, rendering."""
+
+from __future__ import annotations
+
+from repro.obs.profile import (
+    folded_stacks,
+    phase_table,
+    profile_data,
+    render_profile,
+    route_table,
+)
+
+
+def hist(values):
+    return {"type": "histogram", "count": len(values), "sum": sum(values),
+            "min": min(values), "max": max(values), "sample": list(values)}
+
+
+def counter(value):
+    return {"type": "counter", "value": value}
+
+
+def snapshot():
+    return {
+        "engine.phase.adversary_s": hist([0.1, 0.1]),
+        "engine.phase.look_compute_s": hist([0.5, 0.5]),
+        "engine.phase.move_s": hist([0.2, 0.2]),
+        "engine.phase.end_of_round_s": hist([0.2, 0.2]),
+        "executor.cell_s": hist([1.1, 1.1]),
+        "executor.cells_scalar": counter(2),
+        "executor.cells_batched": counter(24),
+        "batch.core_s": hist([0.4]),
+        "engine.runs": counter(2),
+    }
+
+
+class TestPhaseTable:
+    def test_shares_sum_to_one(self):
+        rows = phase_table(snapshot())
+        assert [r["phase"] for r in rows] == [
+            "adversary", "look_compute", "move", "end_of_round"]
+        assert sum(r["share"] for r in rows) == 1.0
+        look = next(r for r in rows if r["phase"] == "look_compute")
+        assert look["share"] == 0.5
+        assert look["sum"] == 1.0
+
+    def test_empty_snapshot(self):
+        assert phase_table({}) == []
+
+    def test_skips_absent_phases(self):
+        rows = phase_table({"engine.phase.move_s": hist([1.0])})
+        assert [r["phase"] for r in rows] == ["move"]
+        assert rows[0]["share"] == 1.0
+
+
+class TestRouteTable:
+    def test_scalar_and_batch_rows(self):
+        rows = route_table(snapshot())
+        by_route = {r["route"]: r for r in rows}
+        assert by_route["scalar"]["cells"] == 2
+        assert by_route["scalar"]["seconds"] == 2.2
+        assert by_route["batch"]["cells"] == 24
+        assert by_route["batch"]["runs"] == 1
+        assert sum(r["share"] for r in rows) == 1.0
+
+    def test_batch_only(self):
+        rows = route_table({"batch.core_s": hist([0.4]),
+                            "executor.cells_batched": counter(24)})
+        assert [r["route"] for r in rows] == ["batch"]
+
+
+class TestFoldedStacks:
+    def test_weights_are_integer_microseconds(self):
+        lines = folded_stacks(snapshot()).splitlines()
+        parsed = {}
+        for line in lines:
+            frames, weight = line.rsplit(" ", 1)
+            parsed[frames] = int(weight)
+        assert parsed["campaign;scalar;look_compute"] == 1_000_000
+        # other = cell_s.sum (2.2) - phase sum (2.0)
+        assert parsed["campaign;scalar;other"] == 200_000
+        assert parsed["campaign;batch;BatchCore.run"] == 400_000
+
+    def test_custom_root_and_empty(self):
+        assert folded_stacks({}) == ""
+        line = folded_stacks({"batch.core_s": hist([1.0])}, root="fleet")
+        assert line.startswith("fleet;batch;")
+
+    def test_no_negative_other_frame(self):
+        # phases can exceed cell_s under reservoir thinning: clamp at 0
+        text = folded_stacks({
+            "engine.phase.move_s": hist([5.0]),
+            "executor.cell_s": hist([1.0]),
+        })
+        assert "other" not in text
+
+
+class TestRendering:
+    def test_render_profile_tables(self):
+        text = render_profile(snapshot(), title="t")
+        assert text.startswith("== t")
+        assert "look_compute" in text
+        assert "scalar" in text and "batch" in text
+
+    def test_render_profile_explains_missing_phases(self):
+        text = render_profile({})
+        assert "no engine.phase" in text
+
+    def test_profile_data_shape(self):
+        data = profile_data(snapshot())
+        assert data["engine_runs"] == 2
+        assert {r["route"] for r in data["routes"]} == {"scalar", "batch"}
+        assert len(data["phases"]) == 4
